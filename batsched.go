@@ -1,0 +1,149 @@
+// Package batsched is a Go reproduction of "Maximizing System Lifetime by
+// Battery Scheduling" (Jongerden, Haverkort, Bohnenkamp, Katoen; DSN 2009).
+//
+// Mobile devices powered by several batteries can extend the time until all
+// batteries are empty — the system lifetime — by scheduling which battery
+// serves each job. Batteries are kinetic (KiBaM): a high discharge current
+// extracts less total charge (rate-capacity effect) and idle periods
+// recover available charge from the bound-charge well (recovery effect), so
+// the schedule matters.
+//
+// The package offers four ways to evaluate a battery bank under a
+// piecewise-constant load:
+//
+//   - the continuous KiBaM with exact closed-form stepping (AnalyticLifetime),
+//   - the discretized KiBaM of the paper's Section 2.3 (DiscreteLifetime),
+//   - deterministic scheduling schemes — Sequential, RoundRobin,
+//     BestAvailable — simulated on the discretized model (PolicyLifetime),
+//   - the optimal schedule, computed either by direct branch-and-bound over
+//     the scheduling decisions (OptimalLifetime) or, as in the paper, by
+//     minimum-cost reachability on a network of priced timed automata
+//     (OptimalLifetimeTA).
+//
+// # Quick start
+//
+//	l, _ := batsched.PaperLoad("ILs alt", 120)
+//	p, _ := batsched.NewProblem([]batsched.BatteryParams{batsched.B1(), batsched.B1()}, l)
+//	best, _ := p.PolicyLifetime(batsched.BestAvailable())
+//	opt, _, _ := p.OptimalLifetime()
+//	fmt.Printf("best-of-two %.2f min, optimal %.2f min\n", best, opt)
+//
+// See the examples directory for complete programs and EXPERIMENTS.md for
+// the reproduction of every table and figure of the paper.
+package batsched
+
+import (
+	"io"
+
+	"batsched/internal/battery"
+	"batsched/internal/core"
+	"batsched/internal/load"
+	"batsched/internal/mc"
+	"batsched/internal/sched"
+	"batsched/internal/takibam"
+)
+
+// BatteryParams holds the KiBaM parameters of one battery: total capacity C
+// (A·min), available-charge fraction c, and transformed rate constant k'
+// (1/min).
+type BatteryParams = battery.Params
+
+// B1 returns the paper's 5.5 A·min battery (Itsy Li-ion parameters).
+func B1() BatteryParams { return battery.B1() }
+
+// B2 returns the paper's 11 A·min battery.
+func B2() BatteryParams { return battery.B2() }
+
+// Bank returns n identical copies of a battery.
+func Bank(p BatteryParams, n int) []BatteryParams { return battery.Bank(p, n) }
+
+// Load is a piecewise-constant discharge load: a sequence of epochs, each a
+// job (positive current) or an idle period.
+type Load = load.Load
+
+// Segment is one epoch of a load: Duration minutes at Current amperes.
+type Segment = load.Segment
+
+// NewLoad builds a load from segments.
+func NewLoad(name string, segments ...Segment) (Load, error) {
+	return load.New(name, segments...)
+}
+
+// PaperLoad builds one of the ten Section 5 test loads by its table name
+// ("CL 250", "ILs alt", "ILl 500", ...), covering at least horizon minutes.
+func PaperLoad(name string, horizon float64) (Load, error) {
+	return load.Paper(name, horizon)
+}
+
+// PaperLoadNames lists the ten Section 5 test loads in table order.
+func PaperLoadNames() []string {
+	return append([]string(nil), load.PaperLoadNames...)
+}
+
+// ParseLoad reads a load from the text format documented at
+// internal/load.Parse: one "duration current" pair per line, with comments
+// and an Nx(...) repeat form.
+func ParseLoad(name string, r io.Reader) (Load, error) {
+	return load.Parse(name, r)
+}
+
+// ParseLoadFile reads a load file; the load is named after the file.
+func ParseLoadFile(path string) (Load, error) {
+	return load.ParseFile(path)
+}
+
+// WriteLoad renders a load in the ParseLoad text format.
+func WriteLoad(w io.Writer, l Load) error {
+	return load.Write(w, l)
+}
+
+// Policy is a deterministic battery-scheduling scheme.
+type Policy = sched.Policy
+
+// Sequential drains the batteries one after the other (the worst schedule).
+func Sequential() Policy { return sched.Sequential() }
+
+// RoundRobin assigns job k to battery k mod B in a fixed rotation.
+func RoundRobin() Policy { return sched.RoundRobin() }
+
+// BestAvailable picks the battery with the most available charge at each
+// job start (the paper's best-of-two, for any number of batteries).
+func BestAvailable() Policy { return sched.BestAvailable() }
+
+// Lookahead returns the online model-predictive policy: at each scheduling
+// point it rolls every candidate battery forward horizonMin minutes on the
+// discretized model and commits to the best outcome. It recovers most of
+// the gap between best-of-two and the clairvoyant optimum; see
+// EXPERIMENTS.md.
+func Lookahead(horizonMin float64) Policy { return sched.Lookahead(horizonMin) }
+
+// Schedule is a sequence of scheduling decisions; Choice is one decision.
+type (
+	Schedule = sched.Schedule
+	Choice   = sched.Choice
+)
+
+// Problem couples a battery bank with a load on a discretization grid and
+// exposes lifetime computations; see package core for the full API.
+type Problem = core.Problem
+
+// Option customises a Problem.
+type Option = core.Option
+
+// WithGrid overrides the discretization grid (default: the paper's
+// T = 0.01 min, Gamma = 0.01 A·min).
+func WithGrid(stepMin, unitAmpMin float64) Option { return core.WithGrid(stepMin, unitAmpMin) }
+
+// NewProblem validates the inputs and builds a problem.
+func NewProblem(batteries []BatteryParams, ld Load, opts ...Option) (*Problem, error) {
+	return core.NewProblem(batteries, ld, opts...)
+}
+
+// TracePoint samples the bank state at one instant (Figure 6 curves).
+type TracePoint = core.TracePoint
+
+// SearchOptions bound the state space of the timed-automata search.
+type SearchOptions = mc.Options
+
+// TASolution is the outcome of the priced-timed-automata optimal search.
+type TASolution = takibam.Solution

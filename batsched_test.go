@@ -1,0 +1,124 @@
+package batsched_test
+
+import (
+	"math"
+	"testing"
+
+	"batsched"
+)
+
+// TestPublicQuickstart exercises the README quick-start path end to end
+// through the public API only.
+func TestPublicQuickstart(t *testing.T) {
+	l, err := batsched.PaperLoad("ILs alt", 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := batsched.NewProblem(batsched.Bank(batsched.B1(), 2), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := p.PolicyLifetime(batsched.BestAvailable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, schedule, err := p.OptimalLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(best-16.28) > 1e-9 || math.Abs(opt-16.90) > 1e-9 {
+		t.Fatalf("best %v / optimal %v, want 16.28 / 16.90", best, opt)
+	}
+	if len(schedule) == 0 {
+		t.Fatal("no schedule")
+	}
+}
+
+func TestPublicCustomLoad(t *testing.T) {
+	l, err := batsched.NewLoad("pulse",
+		batsched.Segment{Duration: 2, Current: 0.3},
+		batsched.Segment{Duration: 1, Current: 0},
+		batsched.Segment{Duration: 300, Current: 0.3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := batsched.NewProblem([]batsched.BatteryParams{batsched.B2()}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := p.AnalyticLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	discrete, err := p.DiscreteLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(discrete-analytic) / analytic; rel > 0.015 {
+		t.Fatalf("custom load: discrete %v vs analytic %v", discrete, analytic)
+	}
+}
+
+func TestPublicPaperLoadNames(t *testing.T) {
+	names := batsched.PaperLoadNames()
+	if len(names) != 10 {
+		t.Fatalf("%d names", len(names))
+	}
+	names[0] = "tampered"
+	if batsched.PaperLoadNames()[0] == "tampered" {
+		t.Fatal("PaperLoadNames exposed internal state")
+	}
+}
+
+func TestPublicPolicies(t *testing.T) {
+	for _, p := range []batsched.Policy{
+		batsched.Sequential(), batsched.RoundRobin(), batsched.BestAvailable(),
+	} {
+		if p.Name() == "" {
+			t.Fatal("unnamed policy")
+		}
+	}
+}
+
+func TestPublicTA(t *testing.T) {
+	l, err := batsched.PaperLoad("CL alt", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := batsched.NewProblem(batsched.Bank(batsched.B1(), 2), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.OptimalLifetimeTA(batsched.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := p.OptimalLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.LifetimeMinutes != direct {
+		t.Fatalf("TA %v vs direct %v", sol.LifetimeMinutes, direct)
+	}
+}
+
+func TestPublicGridOption(t *testing.T) {
+	l, err := batsched.PaperLoad("CL 250", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := batsched.NewProblem([]batsched.BatteryParams{batsched.B1()}, l,
+		batsched.WithGrid(0.005, 0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := p.DiscreteLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A finer grid tracks the analytic 4.53 even closer than the paper's.
+	if math.Abs(lt-4.53) > 0.03 {
+		t.Fatalf("fine-grid lifetime %v", lt)
+	}
+}

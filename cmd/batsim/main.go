@@ -1,0 +1,164 @@
+// Command batsim simulates a bank of KiBaM batteries serving one of the
+// paper's test loads under a chosen scheduling policy and reports the
+// system lifetime; with -trace it additionally writes the charge evolution
+// as TSV.
+//
+// Usage:
+//
+//	batsim [-battery B1|B2] [-capacity AMPMIN] [-n COUNT] [-load NAME]
+//	       [-policy sequential|roundrobin|bestof] [-horizon MIN]
+//	       [-continuous] [-trace FILE] [-sample N]
+//
+// Examples:
+//
+//	batsim -n 2 -load "ILs alt" -policy bestof
+//	batsim -battery B2 -load "CL 250" -policy sequential -continuous
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"batsched/internal/battery"
+	"batsched/internal/core"
+	"batsched/internal/experiments"
+	"batsched/internal/load"
+	"batsched/internal/sched"
+)
+
+func main() {
+	batteryName := flag.String("battery", "B1", "battery preset: B1 (5.5 A·min) or B2 (11 A·min)")
+	capacity := flag.Float64("capacity", 0, "override the battery capacity in A·min")
+	count := flag.Int("n", 1, "number of identical batteries")
+	loadName := flag.String("load", "ILs alt", "paper load name (CL 250, ILs alt, ILl 500, ...)")
+	loadFile := flag.String("loadfile", "", "read the load from a file instead (see internal/load.Parse for the format)")
+	policyName := flag.String("policy", "bestof", "scheduling policy: sequential, roundrobin, bestof, lookahead:MIN")
+	horizon := flag.Float64("horizon", experiments.Horizon, "load horizon in minutes")
+	continuous := flag.Bool("continuous", false, "simulate on the continuous KiBaM instead of the discretized model")
+	tracePath := flag.String("trace", "", "write a TSV charge trace to this file (discrete mode only)")
+	sample := flag.Int("sample", 10, "trace sampling interval in steps")
+	flag.Parse()
+
+	if *loadFile != "" {
+		*loadName = *loadFile
+	}
+	if err := run(*batteryName, *capacity, *count, *loadName, *policyName, *horizon, *continuous, *tracePath, *sample); err != nil {
+		fmt.Fprintf(os.Stderr, "batsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(batteryName string, capacity float64, count int, loadName, policyName string, horizon float64, continuous bool, tracePath string, sample int) error {
+	b, err := pickBattery(batteryName, capacity)
+	if err != nil {
+		return err
+	}
+	policy, err := pickPolicy(policyName)
+	if err != nil {
+		return err
+	}
+	l, err := pickLoad(loadName, horizon)
+	if err != nil {
+		return err
+	}
+	bank := battery.Bank(b, count)
+
+	if continuous {
+		res, err := sched.ContinuousRun(bank, l, policy)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d x %s on %s under %s (continuous KiBaM)\n", count, b, loadName, policy.Name())
+		fmt.Printf("lifetime: %.4f min; charge left: %.1f%%\n",
+			res.LifetimeMinutes, 100*res.RemainingFraction(bank))
+		return nil
+	}
+
+	p, err := core.NewProblem(bank, l)
+	if err != nil {
+		return err
+	}
+	lifetime, schedule, err := p.PolicyRun(policy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d x %s on %s under %s (discretized KiBaM)\n", count, b, loadName, policy.Name())
+	fmt.Printf("lifetime: %.2f min over %d scheduling decisions\n", lifetime, len(schedule))
+	if tracePath == "" {
+		return nil
+	}
+	points, err := p.TraceSchedule(schedule, sample)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "# time\tper-battery total...\tper-battery available...\tactive")
+	for _, pt := range points {
+		fmt.Fprintf(f, "%.2f", pt.Minutes)
+		for _, g := range pt.Total {
+			fmt.Fprintf(f, "\t%.4f", g)
+		}
+		for _, a := range pt.Available {
+			fmt.Fprintf(f, "\t%.4f", a)
+		}
+		fmt.Fprintf(f, "\t%d\n", pt.Active+1)
+	}
+	fmt.Printf("trace: %s (%d samples)\n", tracePath, len(points))
+	return nil
+}
+
+func pickBattery(name string, capacity float64) (battery.Params, error) {
+	var b battery.Params
+	switch strings.ToUpper(name) {
+	case "B1":
+		b = battery.B1()
+	case "B2":
+		b = battery.B2()
+	default:
+		return battery.Params{}, fmt.Errorf("unknown battery %q (want B1 or B2)", name)
+	}
+	if capacity != 0 {
+		if capacity < 0 {
+			return battery.Params{}, fmt.Errorf("capacity override must be positive (got %v)", capacity)
+		}
+		b = b.WithCapacity(capacity)
+	}
+	return b, b.Validate()
+}
+
+func pickPolicy(name string) (sched.Policy, error) {
+	lower := strings.ToLower(name)
+	if rest, ok := strings.CutPrefix(lower, "lookahead:"); ok {
+		horizon, err := strconv.ParseFloat(rest, 64)
+		if err != nil || horizon <= 0 {
+			return nil, fmt.Errorf("bad lookahead horizon %q (want lookahead:MINUTES)", rest)
+		}
+		return sched.Lookahead(horizon), nil
+	}
+	switch lower {
+	case "sequential", "seq":
+		return sched.Sequential(), nil
+	case "roundrobin", "rr":
+		return sched.RoundRobin(), nil
+	case "bestof", "best", "bestoftwo":
+		return sched.BestAvailable(), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want sequential, roundrobin, bestof, lookahead:MIN)", name)
+	}
+}
+
+// pickLoad resolves a paper load name, or a load file when the name refers
+// to an existing file.
+func pickLoad(name string, horizon float64) (load.Load, error) {
+	if _, err := os.Stat(name); err == nil {
+		return load.ParseFile(name)
+	}
+	return load.Paper(name, horizon)
+}

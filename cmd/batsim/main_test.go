@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPickBattery(t *testing.T) {
+	b, err := pickBattery("B1", 0)
+	if err != nil || b.Capacity != 5.5 {
+		t.Fatalf("B1: %v %v", b, err)
+	}
+	b, err = pickBattery("b2", 0)
+	if err != nil || b.Capacity != 11 {
+		t.Fatalf("b2 (case-insensitive): %v %v", b, err)
+	}
+	b, err = pickBattery("B1", 7.5)
+	if err != nil || b.Capacity != 7.5 {
+		t.Fatalf("capacity override: %v %v", b, err)
+	}
+	if _, err := pickBattery("B3", 0); err == nil {
+		t.Fatal("accepted unknown battery")
+	}
+	if _, err := pickBattery("B1", -2); err == nil {
+		t.Fatal("accepted negative capacity override")
+	}
+}
+
+func TestPickPolicy(t *testing.T) {
+	for name, want := range map[string]string{
+		"sequential": "sequential",
+		"seq":        "sequential",
+		"roundrobin": "round robin",
+		"rr":         "round robin",
+		"bestof":     "best-of-two",
+		"best":       "best-of-two",
+	} {
+		p, err := pickPolicy(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("%s -> %s, want %s", name, p.Name(), want)
+		}
+	}
+	if _, err := pickPolicy("greedy"); err == nil {
+		t.Fatal("accepted unknown policy")
+	}
+	p, err := pickPolicy("lookahead:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Name(), "lookahead") {
+		t.Fatalf("lookahead policy named %q", p.Name())
+	}
+	if _, err := pickPolicy("lookahead:zero"); err == nil {
+		t.Fatal("accepted bad lookahead horizon")
+	}
+	if _, err := pickPolicy("lookahead:-3"); err == nil {
+		t.Fatal("accepted negative lookahead horizon")
+	}
+}
+
+func TestPickLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "custom.load")
+	if err := os.WriteFile(path, []byte("2x(1 0.5 1 0)\n50x(1 0.25 1 0)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := pickLoad(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 104 {
+		t.Fatalf("%d segments", l.Len())
+	}
+	// Non-file names fall back to the paper loads.
+	if _, err := pickLoad("ILs alt", 60); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pickLoad("no-such-load", 60); err == nil {
+		t.Fatal("accepted unknown load name")
+	}
+}
+
+func TestRunDiscreteWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.tsv")
+	if err := run("B1", 0, 2, "ILs alt", "bestof", 120, false, trace, 20); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 20 {
+		t.Fatalf("trace has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "#") {
+		t.Fatal("no header comment")
+	}
+	// Data rows: time + 2 totals + 2 avails + active = 6 columns.
+	if cols := strings.Split(lines[1], "\t"); len(cols) != 6 {
+		t.Fatalf("row has %d columns", len(cols))
+	}
+}
+
+func TestRunContinuous(t *testing.T) {
+	if err := run("B2", 0, 1, "CL 250", "seq", 120, true, "", 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("B9", 0, 1, "CL 250", "seq", 120, false, "", 10); err == nil {
+		t.Fatal("unknown battery accepted")
+	}
+	if err := run("B1", 0, 1, "nope", "seq", 120, false, "", 10); err == nil {
+		t.Fatal("unknown load accepted")
+	}
+	if err := run("B1", 0, 1, "CL 250", "nope", 120, false, "", 10); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	// Horizon too short: the battery outlives the load.
+	if err := run("B1", 0, 1, "CL 250", "seq", 1, false, "", 10); err == nil {
+		t.Fatal("short horizon accepted")
+	}
+}

@@ -1,0 +1,63 @@
+// Command figures regenerates the data series of Figure 6 of the DSN 2009
+// battery-scheduling paper: the total and available charge of two B1
+// batteries under the ILs alt load, together with the battery schedule, for
+// the best-of-two (6a) and the optimal (6b) scheduler.
+//
+// Usage:
+//
+//	figures [-fig 6a|6b|both] [-sample N] [-out DIR]
+//
+// Output is gnuplot-ready TSV; with -out the panels are written to
+// DIR/figure6a.tsv and DIR/figure6b.tsv, otherwise to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"batsched/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "both", "which panel: 6a, 6b, both")
+	sample := flag.Int("sample", 10, "sample every N discretization steps")
+	out := flag.String("out", "", "directory for TSV files (default: stdout)")
+	flag.Parse()
+
+	panels := []struct {
+		name string
+		gen  func(int) (*experiments.Figure6Series, error)
+	}{
+		{"6a", experiments.Figure6BestOfTwo},
+		{"6b", experiments.Figure6Optimal},
+	}
+	for _, p := range panels {
+		if *fig != "both" && *fig != p.name {
+			continue
+		}
+		series, err := p.gen(*sample)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", p.name, err)
+			os.Exit(1)
+		}
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			path := filepath.Join(*out, "figure"+p.name+".tsv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			w = f
+			fmt.Printf("figure %s -> %s (lifetime %.2f min)\n", p.name, path, series.Lifetime)
+			defer f.Close()
+		}
+		if err := series.WriteTSV(w); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command loadgen is the "external program" of Section 4.1: it compiles a
+// test load into the three arrays (load_time, cur_times, cur) consumed by
+// the timed-automata battery model, on the paper's discretization grid.
+//
+// Usage:
+//
+//	loadgen [-load NAME] [-horizon MIN] [-step T] [-unit GAMMA] [-format table|go]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"batsched/internal/dkibam"
+	"batsched/internal/load"
+)
+
+func main() {
+	loadName := flag.String("load", "ILs alt", "paper load name")
+	horizon := flag.Float64("horizon", 40, "load horizon in minutes")
+	step := flag.Float64("step", dkibam.PaperStepMin, "time step T in minutes")
+	unit := flag.Float64("unit", dkibam.PaperUnitAmpMin, "charge unit Gamma in A·min")
+	format := flag.String("format", "table", "output format: table or go")
+	flag.Parse()
+
+	if err := run(*loadName, *horizon, *step, *unit, *format); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, horizon, step, unit float64, format string) error {
+	l, err := load.Paper(name, horizon)
+	if err != nil {
+		return err
+	}
+	cl, err := load.Compile(l, step, unit)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "table":
+		fmt.Printf("# %s, T=%g min, Gamma=%g A·min, %d epochs\n", name, step, unit, cl.Epochs())
+		fmt.Println("epoch  start  load_time  cur_times  cur  current(A)")
+		for y := 0; y < cl.Epochs(); y++ {
+			fmt.Printf("%5d  %5d  %9d  %9d  %3d  %10.3f\n",
+				y, cl.EpochStart(y), cl.LoadTime[y], cl.CurTimes[y], cl.Cur[y], cl.Current(y))
+		}
+	case "go":
+		fmt.Printf("// %s, T=%g min, Gamma=%g A·min\n", name, step, unit)
+		fmt.Printf("loadTime := %#v\n", cl.LoadTime)
+		fmt.Printf("curTimes := %#v\n", cl.CurTimes)
+		fmt.Printf("cur := %#v\n", cl.Cur)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunFormats(t *testing.T) {
+	if err := run("ILs alt", 10, 0.01, 0.01, "table"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("ILs alt", 10, 0.01, 0.01, "go"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("ILs alt", 10, 0.01, 0.01, "yaml"); err == nil {
+		t.Fatal("accepted unknown format")
+	}
+	if err := run("nope", 10, 0.01, 0.01, "table"); err == nil {
+		t.Fatal("accepted unknown load")
+	}
+	if err := run("ILs alt", 10, 0, 0.01, "table"); err == nil {
+		t.Fatal("accepted zero step")
+	}
+}

@@ -1,0 +1,147 @@
+// Command tables regenerates the evaluation tables of the DSN 2009
+// battery-scheduling paper: Table 3 (battery B1), Table 4 (battery B2),
+// Table 5 (two-battery scheduling), and the Section 6 capacity-scaling
+// claim. Measured values are printed next to the paper's.
+//
+// Usage:
+//
+//	tables [-table 3|4|5|capacity|lookahead|multi|all] [-ta] [-budget N]
+//
+// With -ta, the optimal schedules are additionally computed through the
+// priced-timed-automata model checker (slow for the ILl 250 load; raise
+// -budget if it exhausts its state budget). The "lookahead" and "multi"
+// tables are extensions beyond the paper; see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"batsched/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: 3, 4, 5, capacity, all")
+	viaTA := flag.Bool("ta", false, "also run the priced-timed-automata checker for optimal schedules")
+	budget := flag.Int("budget", 0, "state budget for the timed-automata checker (0 = default)")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *table != "all" && *table != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	run("3", func() error { return printSingle("Table 3 (battery B1, 5.5 A·min)", experiments.Table3, *viaTA) })
+	run("4", func() error { return printSingle("Table 4 (battery B2, 11 A·min)", experiments.Table4, *viaTA) })
+	run("5", func() error { return printTable5(*viaTA, *budget) })
+	run("capacity", printCapacity)
+	run("lookahead", printLookahead)
+	run("multi", printMultiBattery)
+}
+
+func printLookahead() error {
+	rows, err := experiments.LookaheadTable(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Extension: online model-predictive scheduling (two B1 batteries)")
+	fmt.Println("load        bo2    la-2m   la-5m  la-10m     opt   gap recovered @10m")
+	for _, r := range rows {
+		fmt.Printf("%-8s %6.2f  %6.2f  %6.2f  %6.2f  %6.2f   %15.0f%%\n",
+			r.Load, r.BestOfTwo, r.Horizons[2], r.Horizons[5], r.Horizons[10],
+			r.Optimal, 100*r.GapRecovered(10))
+	}
+	fmt.Println()
+	return nil
+}
+
+func printMultiBattery() error {
+	rows, err := experiments.MultiBatteryTable("ILs alt", 3)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Extension: bank size scaling (B1 batteries, ILs alt)")
+	fmt.Println("batteries     seq      rr    bo-N     opt")
+	for _, r := range rows {
+		fmt.Printf("%9d  %6.2f  %6.2f  %6.2f  %6.2f\n",
+			r.Batteries, r.Sequential, r.RoundRobin, r.BestOfN, r.Optimal)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printSingle(title string, gen func(bool) ([]experiments.SingleBatteryRow, error), viaTA bool) error {
+	rows, err := gen(viaTA)
+	if err != nil {
+		return err
+	}
+	fmt.Println(title)
+	header := "load      KiBaM   TA-KiBaM  diff%   | paper: KiBaM  TA-KiBaM"
+	if viaTA {
+		header += "  | TA-checker"
+	}
+	fmt.Println(header)
+	for _, r := range rows {
+		line := fmt.Sprintf("%-8s %6.2f   %6.2f   %5.2f   |       %6.2f   %6.2f",
+			r.Load, r.KiBaM, r.TAKiBaM, r.DiffPercent(), r.PaperKiBaM, r.PaperTA)
+		if viaTA {
+			line += fmt.Sprintf("   |   %6.2f", r.TAChecker)
+		}
+		fmt.Println(line)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printTable5(viaTA bool, budget int) error {
+	opts := experiments.Table5Options{
+		ViaTA:         viaTA,
+		TAStateBudget: budget,
+	}
+	rows, err := experiments.Table5(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 5 (two B1 batteries; diff% relative to round robin)")
+	header := "load       seq   diff%     rr     bo2  diff%    opt  diff%   | paper:  seq     rr    bo2    opt"
+	if viaTA {
+		header += "  | opt-TA"
+	}
+	fmt.Println(header)
+	for _, r := range rows {
+		line := fmt.Sprintf("%-8s %6.2f  %5.1f  %6.2f  %6.2f  %5.1f  %6.2f  %5.1f   |      %6.2f %6.2f %6.2f %6.2f",
+			r.Load, r.Sequential, r.SeqDiffPercent(), r.RoundRobin,
+			r.BestOfTwo, r.BestDiffPercent(), r.Optimal, r.OptDiffPercent(),
+			r.Paper[0], r.Paper[1], r.Paper[2], r.Paper[3])
+		if viaTA {
+			if r.OptimalTA > 0 {
+				line += fmt.Sprintf("  | %6.2f", r.OptimalTA)
+			} else {
+				line += "  |      -"
+			}
+		}
+		fmt.Println(line)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printCapacity() error {
+	rows, err := experiments.CapacityScaling([]float64{1, 2, 5, 10})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Section 6 capacity scaling (two batteries, best-of-two, ILs alt)")
+	fmt.Println("factor   lifetime   charge left")
+	for _, r := range rows {
+		fmt.Printf("  x%-4g  %8.2f   %9.1f%%\n", r.Factor, r.Lifetime, 100*r.RemainingFraction)
+	}
+	fmt.Println("paper: at x10 capacity, less than 10% remains")
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,147 @@
+// Lamp: the tutorial NLPTA of Section 3 of the paper (Figures 2-4), built
+// on this repository's priced-timed-automata framework. A lamp switches
+// off -> low -> bright when the user presses quickly, back off otherwise;
+// the automatic variant times out after 10 time units; the priced variant
+// pays 50 cost to switch on, then 10 per time unit in low and 20 in bright.
+//
+// The example asks the model checker Cora-style questions: can the lamp
+// reach bright quickly, and what is the cheapest way to have enjoyed 25
+// time units of light within a minute? This demonstrates the framework the
+// TA-KiBaM battery model is built on, so it imports the internal packages
+// directly.
+//
+// Run with: go run ./examples/lamp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"batsched/internal/lpta"
+	"batsched/internal/mc"
+)
+
+const (
+	// burnTarget is the light budget of the cost question.
+	burnTarget = 25
+	// deadline bounds the schedule length in ticks.
+	deadline = 60
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	net := lpta.NewNetwork("lamp")
+	press := net.Channel("press", lpta.Binary, 0, false)
+	y := net.Clock("y")
+	total := net.Clock("total")
+	// Values above the largest constant a guard mentions are equivalent:
+	// saturate the clocks there so the model stays finite.
+	net.ClockCeiling(y, 11)
+	net.ClockCeiling(total, deadline+1)
+	burn := net.Int("burned", 0) // time units of light enjoyed so far
+
+	enjoy := func(s *lpta.State) { // cap at the target to keep states finite
+		if v := burn.Get(s) + 10; v < burnTarget {
+			burn.Set(s, v)
+		} else {
+			burn.Set(s, burnTarget)
+		}
+	}
+
+	// The lamp of Figure 4: automatic switch-off after 10, with costs.
+	lamp := net.Automaton("lamp")
+	off := lamp.Location("off")
+	low := lamp.Location("low")
+	bright := lamp.Location("bright")
+	lamp.Initial(off)
+	lamp.Invariant(low, y, lpta.Const(10))
+	lamp.Invariant(bright, y, lpta.Const(10))
+	lamp.CostRate(low, lpta.ConstCost(10))
+	lamp.CostRate(bright, lpta.ConstCost(20))
+	lamp.Switch(off, low, lpta.SwitchSpec{
+		Recv: press, HasRecv: true,
+		Resets: []lpta.ClockID{y},
+		Cost:   lpta.ConstCost(50),
+		Label:  "switch-on",
+	})
+	lamp.Switch(low, bright, lpta.SwitchSpec{
+		Recv: press, HasRecv: true,
+		ClockGuards: []lpta.ClockGuard{{Clock: y, Op: lpta.LT, Bound: lpta.Const(5)}},
+		Label:       "brighten",
+	})
+	lamp.Switch(low, off, lpta.SwitchSpec{
+		ClockGuards: []lpta.ClockGuard{{Clock: y, Op: lpta.GE, Bound: lpta.Const(10)}},
+		Update:      enjoy,
+		Label:       "timeout",
+	})
+	lamp.Switch(bright, off, lpta.SwitchSpec{
+		ClockGuards: []lpta.ClockGuard{{Clock: y, Op: lpta.GE, Bound: lpta.Const(10)}},
+		Update:      enjoy,
+		Label:       "timeout",
+	})
+
+	// The user of Figure 2(b): may press the button at any time.
+	user := net.Automaton("user")
+	idle := user.Location("idle")
+	user.Initial(idle)
+	user.Switch(idle, idle, lpta.SwitchSpec{
+		Send: press, HasSend: true,
+		Label: "press",
+	})
+
+	if err := net.Finalize(); err != nil {
+		return err
+	}
+	// Step semantics: the lamp is not an urgent model (the user may press
+	// at any instant), so exhaustive unit delays are required.
+	engine, err := lpta.NewEngine(net, lpta.EngineOptions{Semantics: lpta.StepSemantics})
+	if err != nil {
+		return err
+	}
+	init := net.InitialState()
+
+	// Question 1 (reachability): can the lamp shine brightly within three
+	// ticks? Two quick presses should do it.
+	holds, err := mc.HoldsInvariantly(engine, init, func(s *lpta.State) bool {
+		return s.Locs[0] == uint16(bright) && s.Clock(total) <= 3
+	}, 2_000_000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("A[] not (bright within 3 ticks): %v\n", holds)
+
+	// Question 2 (optimal cost, Cora-style): the cheapest way to have
+	// enjoyed at least 25 time units of light within the deadline. Low
+	// light is cheaper per tick, so the optimum stays dim: 3 switch-ons at
+	// 50 plus 30 ticks of low at 10.
+	goal := func(s *lpta.State) bool {
+		return burn.Get(s) >= burnTarget && s.Clock(total) <= deadline
+	}
+	res, err := mc.MinCostReach(engine, init, goal, mc.Options{MaxStates: 5_000_000})
+	if err != nil {
+		return err
+	}
+	if !res.Found {
+		return fmt.Errorf("no schedule provides %d units of light", burnTarget)
+	}
+	fmt.Printf("cheapest %d+ units of light: cost %d (explored %d branch states)\n",
+		burnTarget, res.Cost, res.BranchStates)
+
+	trace, err := res.Replay(init)
+	if err != nil {
+		return err
+	}
+	fmt.Println("witness trace:")
+	for _, step := range trace {
+		if step.Trans.Kind == lpta.DelayTrans {
+			continue // keep the printout compact
+		}
+		fmt.Printf("  t=%2d cost=%3d  %s\n", step.Time, step.Cost, step.Trans.Describe(net))
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Quickstart: compute the lifetime of a single battery under an
+// intermittent load, three ways — the analytic KiBaM, the discretized
+// model, and a numeric check of the rate-capacity and recovery effects.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"batsched"
+)
+
+func main() {
+	// The paper's B1 battery: 5.5 A·min, Itsy Li-ion kinetics.
+	b1 := batsched.B1()
+
+	// "ILs 250": one-minute 250 mA jobs separated by one-minute idles.
+	ld, err := batsched.PaperLoad("ILs 250", 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := batsched.NewProblem([]batsched.BatteryParams{b1}, ld)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	analytic, err := problem.AnalyticLifetime()
+	if err != nil {
+		log.Fatal(err)
+	}
+	discrete, err := problem.DiscreteLifetime()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("battery %s under %s\n", b1, ld.Name())
+	fmt.Printf("  analytic KiBaM lifetime:    %6.2f min\n", analytic)
+	fmt.Printf("  discretized (dKiBaM):       %6.2f min\n", discrete)
+
+	// The rate-capacity effect: doubling the current more than halves the
+	// lifetime...
+	heavy, err := batsched.PaperLoad("ILs 500", 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	heavyProblem, err := batsched.NewProblem([]batsched.BatteryParams{b1}, heavy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	heavyLifetime, err := heavyProblem.AnalyticLifetime()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  at 500 mA instead of 250:   %6.2f min (rate-capacity effect: < half)\n", heavyLifetime)
+
+	// ...and the recovery effect: inserting idle time yields more total
+	// service time than the continuous discharge.
+	continuous, err := batsched.PaperLoad("CL 250", 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	contProblem, err := batsched.NewProblem([]batsched.BatteryParams{b1}, continuous)
+	if err != nil {
+		log.Fatal(err)
+	}
+	contLifetime, err := contProblem.AnalyticLifetime()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Under ILs 250 roughly half the elapsed time is service.
+	fmt.Printf("  continuous 250 mA:          %6.2f min of service\n", contLifetime)
+	fmt.Printf("  intermittent 250 mA:        %6.2f min of service (recovery effect)\n", analytic/2)
+}

@@ -1,0 +1,108 @@
+// Package battery defines battery parameter sets for the Kinetic Battery
+// Model (KiBaM) and well-known presets used in the DSN 2009 paper
+// "Maximizing System Lifetime by Battery Scheduling".
+//
+// A KiBaM battery distributes its capacity C over two wells: a fraction c in
+// the available-charge well (which feeds the load directly) and 1-c in the
+// bound-charge well, which leaks into the available well through a valve with
+// rate constant k. The model is parameterised here by the transformed rate
+// constant k' = k/(c(1-c)) as used throughout the paper.
+//
+// Units follow the paper: charge in ampere-minutes (A·min), current in
+// amperes (A), time in minutes.
+package battery
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params holds the KiBaM parameters of one battery.
+type Params struct {
+	// Capacity is the total charge C in A·min.
+	Capacity float64
+	// C is the available-charge fraction c in (0,1).
+	C float64
+	// KPrime is the transformed valve conductance k' = k/(c(1-c)) in 1/min.
+	KPrime float64
+	// Label is an optional human-readable name ("B1", "B2", ...).
+	Label string
+}
+
+// Validation errors returned by Params.Validate.
+var (
+	ErrNonPositiveCapacity = errors.New("battery: capacity must be positive")
+	ErrFractionOutOfRange  = errors.New("battery: well fraction c must be in (0,1)")
+	ErrNonPositiveKPrime   = errors.New("battery: rate constant k' must be positive")
+)
+
+// Validate reports whether the parameters describe a physically meaningful
+// battery.
+func (p Params) Validate() error {
+	if !(p.Capacity > 0) {
+		return fmt.Errorf("%w (got %v)", ErrNonPositiveCapacity, p.Capacity)
+	}
+	if !(p.C > 0 && p.C < 1) {
+		return fmt.Errorf("%w (got %v)", ErrFractionOutOfRange, p.C)
+	}
+	if !(p.KPrime > 0) {
+		return fmt.Errorf("%w (got %v)", ErrNonPositiveKPrime, p.KPrime)
+	}
+	return nil
+}
+
+// K returns the raw valve conductance k = k' * c * (1-c).
+func (p Params) K() float64 { return p.KPrime * p.C * (1 - p.C) }
+
+// String implements fmt.Stringer.
+func (p Params) String() string {
+	label := p.Label
+	if label == "" {
+		label = "battery"
+	}
+	return fmt.Sprintf("%s{C=%g A·min, c=%g, k'=%g 1/min}", label, p.Capacity, p.C, p.KPrime)
+}
+
+// WithCapacity returns a copy of p with the capacity replaced. It is used by
+// the capacity-scaling experiments of Section 6.
+func (p Params) WithCapacity(capacity float64) Params {
+	q := p
+	q.Capacity = capacity
+	return q
+}
+
+// Scale returns a copy of p with the capacity multiplied by factor.
+func (p Params) Scale(factor float64) Params {
+	return p.WithCapacity(p.Capacity * factor)
+}
+
+// Paper presets. The c and k' values correspond to the lithium-ion battery of
+// the Itsy pocket computer (Jongerden & Haverkort, TR-CTIT-08-01), used for
+// both battery types in the paper.
+const (
+	// ItsyC is the available-charge fraction of the Itsy Li-ion cell.
+	ItsyC = 0.166
+	// ItsyKPrime is the transformed rate constant of the Itsy cell in 1/min.
+	ItsyKPrime = 0.122
+)
+
+// B1 returns the 5.5 A·min battery used in Sections 5 and 6.
+func B1() Params {
+	return Params{Capacity: 5.5, C: ItsyC, KPrime: ItsyKPrime, Label: "B1"}
+}
+
+// B2 returns the 11 A·min battery used in Section 5.
+func B2() Params {
+	return Params{Capacity: 11, C: ItsyC, KPrime: ItsyKPrime, Label: "B2"}
+}
+
+// Bank returns n identical copies of p, labelled "<label>#1".."<label>#n".
+// Identical multi-battery packs are the configuration studied in Section 6.
+func Bank(p Params, n int) []Params {
+	bank := make([]Params, n)
+	for i := range bank {
+		bank[i] = p
+		bank[i].Label = fmt.Sprintf("%s#%d", p.Label, i+1)
+	}
+	return bank
+}

@@ -1,0 +1,108 @@
+package battery
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr error
+	}{
+		{"b1 ok", B1(), nil},
+		{"b2 ok", B2(), nil},
+		{"zero capacity", Params{Capacity: 0, C: 0.2, KPrime: 0.1}, ErrNonPositiveCapacity},
+		{"negative capacity", Params{Capacity: -1, C: 0.2, KPrime: 0.1}, ErrNonPositiveCapacity},
+		{"nan capacity", Params{Capacity: math.NaN(), C: 0.2, KPrime: 0.1}, ErrNonPositiveCapacity},
+		{"c zero", Params{Capacity: 1, C: 0, KPrime: 0.1}, ErrFractionOutOfRange},
+		{"c one", Params{Capacity: 1, C: 1, KPrime: 0.1}, ErrFractionOutOfRange},
+		{"c above one", Params{Capacity: 1, C: 1.5, KPrime: 0.1}, ErrFractionOutOfRange},
+		{"k zero", Params{Capacity: 1, C: 0.2, KPrime: 0}, ErrNonPositiveKPrime},
+		{"k negative", Params{Capacity: 1, C: 0.2, KPrime: -2}, ErrNonPositiveKPrime},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Validate() = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestPresets(t *testing.T) {
+	b1, b2 := B1(), B2()
+	if b1.Capacity != 5.5 || b2.Capacity != 11 {
+		t.Fatalf("capacities %v, %v; want 5.5, 11", b1.Capacity, b2.Capacity)
+	}
+	for _, b := range []Params{b1, b2} {
+		if b.C != ItsyC || b.KPrime != ItsyKPrime {
+			t.Fatalf("%s kinetics %v/%v, want Itsy %v/%v", b.Label, b.C, b.KPrime, ItsyC, ItsyKPrime)
+		}
+	}
+	if b1.Label != "B1" || b2.Label != "B2" {
+		t.Fatalf("labels %q, %q", b1.Label, b2.Label)
+	}
+}
+
+func TestK(t *testing.T) {
+	p := B1()
+	want := p.KPrime * p.C * (1 - p.C)
+	if math.Abs(p.K()-want) > 1e-12 {
+		t.Fatalf("K() = %v, want %v", p.K(), want)
+	}
+}
+
+func TestWithCapacityAndScale(t *testing.T) {
+	p := B1()
+	q := p.WithCapacity(7)
+	if q.Capacity != 7 || p.Capacity != 5.5 {
+		t.Fatalf("WithCapacity mutated the receiver or failed: %v, %v", q.Capacity, p.Capacity)
+	}
+	r := p.Scale(10)
+	if r.Capacity != 55 {
+		t.Fatalf("Scale(10) = %v, want 55", r.Capacity)
+	}
+	if r.C != p.C || r.KPrime != p.KPrime {
+		t.Fatal("Scale changed the kinetics")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := B1().String()
+	for _, want := range []string{"B1", "5.5", "0.166", "0.122"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	if !strings.Contains((Params{Capacity: 1, C: 0.5, KPrime: 1}).String(), "battery") {
+		t.Fatal("unlabeled battery should print a default label")
+	}
+}
+
+func TestBank(t *testing.T) {
+	bank := Bank(B1(), 3)
+	if len(bank) != 3 {
+		t.Fatalf("Bank(3) has %d entries", len(bank))
+	}
+	seen := map[string]bool{}
+	for _, b := range bank {
+		if b.Capacity != 5.5 {
+			t.Fatalf("bank battery capacity %v", b.Capacity)
+		}
+		if seen[b.Label] {
+			t.Fatalf("duplicate label %q", b.Label)
+		}
+		seen[b.Label] = true
+	}
+}

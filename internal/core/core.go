@@ -1,0 +1,278 @@
+// Package core ties the substrates of the battery-scheduling reproduction
+// together into one problem-solving API: a Problem couples a battery bank
+// with a load on a discretization grid; its methods compute lifetimes under
+// the analytic KiBaM, under the deterministic scheduling schemes, and under
+// the optimal schedule — via both the direct decision search and the
+// priced-timed-automata model checker, which the tests hold to agree.
+//
+// The root package batsched re-exports this API; external users should
+// import that.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"batsched/internal/battery"
+	"batsched/internal/dkibam"
+	"batsched/internal/kibam"
+	"batsched/internal/load"
+	"batsched/internal/mc"
+	"batsched/internal/sched"
+	"batsched/internal/takibam"
+)
+
+// Problem is a battery bank plus a load on a discretization grid.
+type Problem struct {
+	batteries []battery.Params
+	ld        load.Load
+
+	stepMin    float64
+	unitAmpMin float64
+
+	// lazily built artefacts
+	discs    []*dkibam.Discretization
+	compiled *load.Compiled
+}
+
+// Option customises a Problem.
+type Option func(*Problem)
+
+// WithGrid overrides the discretization grid (defaults to the paper's
+// T = 0.01 min, Gamma = 0.01 A·min).
+func WithGrid(stepMin, unitAmpMin float64) Option {
+	return func(p *Problem) {
+		p.stepMin = stepMin
+		p.unitAmpMin = unitAmpMin
+	}
+}
+
+// Problem construction errors.
+var (
+	ErrNoBatteries   = errors.New("core: need at least one battery")
+	ErrSingleBattery = errors.New("core: operation needs a single-battery problem")
+)
+
+// NewProblem validates the inputs and builds a problem.
+func NewProblem(batteries []battery.Params, ld load.Load, opts ...Option) (*Problem, error) {
+	if len(batteries) == 0 {
+		return nil, ErrNoBatteries
+	}
+	for i, b := range batteries {
+		if err := b.Validate(); err != nil {
+			return nil, fmt.Errorf("battery %d: %w", i, err)
+		}
+	}
+	if ld.Len() == 0 {
+		return nil, load.ErrEmptyLoad
+	}
+	p := &Problem{
+		batteries:  append([]battery.Params(nil), batteries...),
+		ld:         ld,
+		stepMin:    dkibam.PaperStepMin,
+		unitAmpMin: dkibam.PaperUnitAmpMin,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p, nil
+}
+
+// Batteries returns a copy of the battery parameters.
+func (p *Problem) Batteries() []battery.Params {
+	return append([]battery.Params(nil), p.batteries...)
+}
+
+// Load returns the problem's load.
+func (p *Problem) Load() load.Load { return p.ld }
+
+// Grid returns the discretization grid (T, Gamma).
+func (p *Problem) Grid() (stepMin, unitAmpMin float64) { return p.stepMin, p.unitAmpMin }
+
+// discretizations builds (and caches) the per-battery integer tables.
+func (p *Problem) discretizations() ([]*dkibam.Discretization, error) {
+	if p.discs != nil {
+		return p.discs, nil
+	}
+	ds := make([]*dkibam.Discretization, len(p.batteries))
+	for i, b := range p.batteries {
+		d, err := dkibam.Discretize(b, p.stepMin, p.unitAmpMin)
+		if err != nil {
+			return nil, fmt.Errorf("battery %d: %w", i, err)
+		}
+		ds[i] = d
+	}
+	p.discs = ds
+	return ds, nil
+}
+
+// compile builds (and caches) the three-array load encoding.
+func (p *Problem) compile() (load.Compiled, error) {
+	if p.compiled != nil {
+		return *p.compiled, nil
+	}
+	cl, err := load.Compile(p.ld, p.stepMin, p.unitAmpMin)
+	if err != nil {
+		return load.Compiled{}, err
+	}
+	p.compiled = &cl
+	return cl, nil
+}
+
+// AnalyticLifetime computes the battery lifetime under the continuous KiBaM
+// (closed form per constant-current segment). It requires a single-battery
+// problem; multi-battery lifetimes depend on a scheduling policy.
+func (p *Problem) AnalyticLifetime() (float64, error) {
+	if len(p.batteries) != 1 {
+		return 0, fmt.Errorf("%w (have %d)", ErrSingleBattery, len(p.batteries))
+	}
+	m, err := kibam.New(p.batteries[0])
+	if err != nil {
+		return 0, err
+	}
+	return m.Lifetime(p.ld)
+}
+
+// DiscreteLifetime computes the single-battery lifetime under the dKiBaM
+// (the TA-KiBaM column of Tables 3 and 4).
+func (p *Problem) DiscreteLifetime() (float64, error) {
+	if len(p.batteries) != 1 {
+		return 0, fmt.Errorf("%w (have %d)", ErrSingleBattery, len(p.batteries))
+	}
+	ds, err := p.discretizations()
+	if err != nil {
+		return 0, err
+	}
+	cl, err := p.compile()
+	if err != nil {
+		return 0, err
+	}
+	sys, err := dkibam.NewSystem(ds, cl)
+	if err != nil {
+		return 0, err
+	}
+	return sys.Run(sched.FixedChooser(0))
+}
+
+// PolicyLifetime simulates a scheduling policy on the discretized system
+// and returns the system lifetime in minutes.
+func (p *Problem) PolicyLifetime(policy sched.Policy) (float64, error) {
+	lifetime, _, err := p.PolicyRun(policy)
+	return lifetime, err
+}
+
+// PolicyRun simulates a scheduling policy and also returns its schedule.
+func (p *Problem) PolicyRun(policy sched.Policy) (float64, sched.Schedule, error) {
+	ds, err := p.discretizations()
+	if err != nil {
+		return 0, nil, err
+	}
+	cl, err := p.compile()
+	if err != nil {
+		return 0, nil, err
+	}
+	return sched.Run(ds, cl, policy)
+}
+
+// OptimalLifetime computes the maximum achievable lifetime and an optimal
+// schedule by direct branch-and-bound search over the scheduling decisions.
+func (p *Problem) OptimalLifetime() (float64, sched.Schedule, error) {
+	ds, err := p.discretizations()
+	if err != nil {
+		return 0, nil, err
+	}
+	cl, err := p.compile()
+	if err != nil {
+		return 0, nil, err
+	}
+	return sched.Optimal(ds, cl)
+}
+
+// BuildTA constructs the TA-KiBaM priced-timed-automata network of the
+// problem.
+func (p *Problem) BuildTA() (*takibam.Model, error) {
+	ds, err := p.discretizations()
+	if err != nil {
+		return nil, err
+	}
+	cl, err := p.compile()
+	if err != nil {
+		return nil, err
+	}
+	return takibam.Build(ds, cl)
+}
+
+// OptimalLifetimeTA computes the optimal schedule with the paper's method:
+// minimum-cost reachability on the TA-KiBaM network.
+func (p *Problem) OptimalLifetimeTA(opts mc.Options) (*takibam.Solution, error) {
+	m, err := p.BuildTA()
+	if err != nil {
+		return nil, err
+	}
+	return m.Solve(opts)
+}
+
+// TracePoint samples the bank state at one instant (for the Figure 6
+// charge curves).
+type TracePoint struct {
+	// Minutes is the sample time.
+	Minutes float64
+	// Total and Available hold gamma and y1 per battery, in A·min.
+	Total     []float64
+	Available []float64
+	// Active is the discharging battery index, or -1.
+	Active int
+}
+
+// TraceSchedule re-simulates a recorded schedule and samples the bank state
+// every sampleEvery steps (1 = every step).
+func (p *Problem) TraceSchedule(schedule sched.Schedule, sampleEvery int) ([]TracePoint, error) {
+	return p.trace(sched.Replay("replay", schedule), sampleEvery)
+}
+
+// TracePolicy simulates a policy and samples the bank state every
+// sampleEvery steps.
+func (p *Problem) TracePolicy(policy sched.Policy, sampleEvery int) ([]TracePoint, error) {
+	return p.trace(policy, sampleEvery)
+}
+
+func (p *Problem) trace(policy sched.Policy, sampleEvery int) ([]TracePoint, error) {
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	ds, err := p.discretizations()
+	if err != nil {
+		return nil, err
+	}
+	cl, err := p.compile()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := dkibam.NewSystem(ds, cl)
+	if err != nil {
+		return nil, err
+	}
+	sample := func(s *dkibam.System) TracePoint {
+		pt := TracePoint{
+			Minutes:   s.Minutes(),
+			Total:     make([]float64, s.Batteries()),
+			Available: make([]float64, s.Batteries()),
+			Active:    s.Active(),
+		}
+		for i := 0; i < s.Batteries(); i++ {
+			pt.Total[i] = s.Disc(i).TotalAmpMin(s.Cell(i))
+			pt.Available[i] = s.Disc(i).AvailableAmpMin(s.Cell(i))
+		}
+		return pt
+	}
+	points := []TracePoint{sample(sys)}
+	sys.OnStep = func(s *dkibam.System) {
+		if s.Step()%sampleEvery == 0 || s.Dead() {
+			points = append(points, sample(s))
+		}
+	}
+	if _, err := sys.Run(sched.AdaptChooser(policy.NewChooser())); err != nil {
+		return nil, err
+	}
+	return points, nil
+}

@@ -1,0 +1,248 @@
+package dkibam
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"batsched/internal/battery"
+)
+
+func paperDisc(t *testing.T, b battery.Params) *Discretization {
+	t.Helper()
+	d, err := Discretize(b, PaperStepMin, PaperUnitAmpMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiscretizeBasics(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+	if d.N != 550 {
+		t.Fatalf("N = %d, want 550", d.N)
+	}
+	if d.CMille != 166 {
+		t.Fatalf("CMille = %d, want 166", d.CMille)
+	}
+	d2 := paperDisc(t, battery.B2())
+	if d2.N != 1100 {
+		t.Fatalf("B2 N = %d, want 1100", d2.N)
+	}
+}
+
+func TestDiscretizeErrors(t *testing.T) {
+	b := battery.B1()
+	if _, err := Discretize(b, 0, PaperUnitAmpMin); !errors.Is(err, ErrBadStep) {
+		t.Fatalf("zero step: %v", err)
+	}
+	if _, err := Discretize(b, PaperStepMin, 0); !errors.Is(err, ErrBadUnit) {
+		t.Fatalf("zero unit: %v", err)
+	}
+	odd := b.WithCapacity(5.5037)
+	if _, err := Discretize(odd, PaperStepMin, PaperUnitAmpMin); !errors.Is(err, ErrCapacityGrain) {
+		t.Fatalf("non-integral capacity: %v", err)
+	}
+	bad := battery.Params{Capacity: 1, C: 0, KPrime: 1}
+	if _, err := Discretize(bad, PaperStepMin, PaperUnitAmpMin); err == nil {
+		t.Fatal("accepted invalid battery")
+	}
+}
+
+// TestRecoveryTableEquationSix: the table equals Eq. (6) divided by T and
+// rounded; spot-check hand-computed values for the Itsy kinetics.
+func TestRecoveryTableEquationSix(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+	for m := 2; m <= d.N; m++ {
+		exact := math.Log(float64(m)/float64(m-1)) / (0.122 * 0.01)
+		want := int(math.Round(exact))
+		if want < 1 {
+			want = 1
+		}
+		if d.RecovTime[m] != want {
+			t.Fatalf("RecovTime[%d] = %d, want %d", m, d.RecovTime[m], want)
+		}
+	}
+	// Hand-computed anchors: ln(2)/0.122 = 5.6815 min -> 568 steps;
+	// ln(3/2)/0.122 = 3.3236 min -> 332 steps.
+	if d.RecovTime[2] != 568 {
+		t.Fatalf("RecovTime[2] = %d, want 568", d.RecovTime[2])
+	}
+	if d.RecovTime[3] != 332 {
+		t.Fatalf("RecovTime[3] = %d, want 332", d.RecovTime[3])
+	}
+}
+
+// TestRecoveryTableMonotone: higher height difference recovers faster (the
+// flow is proportional to the height difference).
+func TestRecoveryTableMonotone(t *testing.T) {
+	d := paperDisc(t, battery.B2())
+	for m := 3; m <= d.N; m++ {
+		if d.RecovTime[m] > d.RecovTime[m-1] {
+			t.Fatalf("RecovTime[%d]=%d > RecovTime[%d]=%d", m, d.RecovTime[m], m-1, d.RecovTime[m-1])
+		}
+	}
+}
+
+func TestRecoveryMinutes(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+	if !math.IsInf(d.RecoveryMinutes(1), 1) {
+		t.Fatal("RecoveryMinutes(1) should diverge (Eq. (6) at m=1)")
+	}
+	if got, want := d.RecoveryMinutes(2), math.Log(2)/0.122; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RecoveryMinutes(2) = %v, want %v", got, want)
+	}
+}
+
+func TestStepsAndMinutes(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+	if d.Minutes(250) != 2.5 {
+		t.Fatalf("Minutes(250) = %v", d.Minutes(250))
+	}
+	steps, err := d.Steps(2.5)
+	if err != nil || steps != 250 {
+		t.Fatalf("Steps(2.5) = %v, %v", steps, err)
+	}
+	if _, err := d.Steps(2.505); err == nil {
+		t.Fatal("accepted off-grid duration")
+	}
+}
+
+// TestEmptyConditionMatchesContinuous: the integer criterion (8) agrees
+// with the continuous one on grid points.
+func TestEmptyConditionMatchesContinuous(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+	check := func(nRaw, mRaw uint16) bool {
+		n := int(nRaw % 551)
+		m := int(mRaw % 551)
+		c := Cell{N: n, M: m}
+		// Continuous: c*n <= (1-c)*m with c = 0.166 exactly representable
+		// via per-mille integers.
+		want := 166*n <= 834*m
+		return d.IsEmptyCondition(c) == want
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAvailableMilleSignMatchesEmpty: the battery is empty exactly when the
+// available charge is non-positive.
+func TestAvailableMilleSignMatchesEmpty(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+	check := func(nRaw, mRaw uint16) bool {
+		c := Cell{N: int(nRaw % 551), M: int(mRaw % 551)}
+		return d.IsEmptyCondition(c) == (d.AvailableMille(c) <= 0)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargeAccessors(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+	c := FullCell(d)
+	if c.N != 550 || c.M != 0 || c.Empty {
+		t.Fatalf("FullCell = %+v", c)
+	}
+	if d.TotalAmpMin(c) != 5.5 {
+		t.Fatalf("TotalAmpMin = %v", d.TotalAmpMin(c))
+	}
+	// Full battery: y1 = c*C = 0.166*5.5 = 0.913.
+	if got := d.AvailableAmpMin(c); math.Abs(got-0.913) > 1e-9 {
+		t.Fatalf("AvailableAmpMin = %v, want 0.913", got)
+	}
+}
+
+func TestDrawSemantics(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+	c := FullCell(d)
+	c.CRecov = 7 // garbage that must be cleared on entering active recovery
+
+	// First unit: N-1, M=1, recovery not yet active.
+	d.Draw(&c, 1)
+	if c.N != 549 || c.M != 1 {
+		t.Fatalf("after 1 draw: %+v", c)
+	}
+	// Second unit: enters active recovery, clock reset.
+	c.CRecov = 7
+	d.Draw(&c, 1)
+	if c.M != 2 || c.CRecov != 0 {
+		t.Fatalf("entering active recovery: %+v", c)
+	}
+	// Third unit while already active: the countdown keeps running.
+	c.CRecov = 55
+	d.Draw(&c, 1)
+	if c.M != 3 || c.CRecov != 55 {
+		t.Fatalf("draw while active reset the countdown: %+v", c)
+	}
+}
+
+func TestApplyRecovery(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+
+	// Not yet due.
+	c := Cell{N: 500, M: 5, CRecov: d.RecovTime[5] - 1}
+	d.ApplyRecovery(&c)
+	if c.M != 5 {
+		t.Fatalf("recovered early: %+v", c)
+	}
+	// Due: one decrement, clock reset.
+	c.CRecov = d.RecovTime[5]
+	d.ApplyRecovery(&c)
+	if c.M != 4 || c.CRecov != 0 {
+		t.Fatalf("due decrement: %+v", c)
+	}
+	// Overshoot after a draw bumped M: fires immediately.
+	c = Cell{N: 500, M: 10, CRecov: d.RecovTime[10] + 100}
+	d.ApplyRecovery(&c)
+	if c.M != 9 || c.CRecov != 0 {
+		t.Fatalf("overshoot: %+v", c)
+	}
+	// At M < 2 the clock is canonically zero.
+	c = Cell{N: 500, M: 1, CRecov: 99}
+	d.ApplyRecovery(&c)
+	if c.CRecov != 0 {
+		t.Fatalf("stale clock kept at M=1: %+v", c)
+	}
+}
+
+func TestAdvanceRecoveryClock(t *testing.T) {
+	c := Cell{M: 2, CRecov: 3}
+	c.AdvanceRecoveryClock()
+	if c.CRecov != 4 {
+		t.Fatalf("clock = %d, want 4", c.CRecov)
+	}
+	c = Cell{M: 1, CRecov: 3}
+	c.AdvanceRecoveryClock()
+	if c.CRecov != 0 {
+		t.Fatalf("clock at M<2 = %d, want 0", c.CRecov)
+	}
+}
+
+// TestRecoveryEquilibriumUnderLoad: discharging at 250 mA forever, the
+// height difference settles where the draw cadence equals the recovery
+// cadence (cur_times == recov_time), as discussed in Section 5. Rounding
+// makes recov_time[m] = 4 for every m in (183, 234], so growth stalls as
+// soon as that band is entered, around m = 184. The same rounding is what
+// gives the discretized model its slightly longer CL 250 / CL alt
+// lifetimes on B2 in Table 4.
+func TestRecoveryEquilibriumUnderLoad(t *testing.T) {
+	d := paperDisc(t, battery.B2().WithCapacity(110)) // huge battery so it survives
+	c := FullCell(d)
+	for step := 1; step <= 60000; step++ {
+		c.AdvanceRecoveryClock()
+		c.CDisch++
+		if c.CDisch >= 4 {
+			d.Draw(&c, 1)
+		}
+		d.ApplyRecovery(&c)
+	}
+	if c.M < 175 || c.M > 195 {
+		t.Fatalf("equilibrium M = %d, want the lower edge of the recov_time=4 band (~184)", c.M)
+	}
+	if d.RecovTime[c.M+2] != 4 {
+		t.Fatalf("equilibrium not at the cadence-matching band: recovTime[%d]=%d", c.M+2, d.RecovTime[c.M+2])
+	}
+}

@@ -1,0 +1,301 @@
+package dkibam
+
+import (
+	"errors"
+	"fmt"
+
+	"batsched/internal/load"
+)
+
+// Reason tells a chooser why a scheduling decision is needed.
+type Reason int
+
+const (
+	// JobStart means a new job epoch begins and a battery must be assigned
+	// (the load automaton's new_job synchronisation).
+	JobStart Reason = iota + 1
+	// BatteryEmptied means the active battery was observed empty in the
+	// middle of a job and a replacement must continue the job (the total
+	// charge automaton's new_job synchronisation).
+	BatteryEmptied
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case JobStart:
+		return "job-start"
+	case BatteryEmptied:
+		return "battery-emptied"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// NoBattery is the active-battery index while no battery discharges.
+const NoBattery = -1
+
+// System is a deterministic discrete-event simulator for a bank of dKiBaM
+// batteries serving a compiled load. It realises exactly the semantics of
+// the TA-KiBaM network of Section 4 with the event order: advance clocks,
+// draw (highest channel priority), recovery decrements, empty observation,
+// epoch switching. Scheduling decisions are delegated to the caller, which
+// makes the same engine usable for the deterministic policies of Section 6
+// and for the exhaustive optimal search.
+type System struct {
+	ds    []*Discretization
+	cells []Cell
+	cl    load.Compiled
+
+	t      int // current step
+	j      int // current epoch index
+	active int // index of the discharging battery, or NoBattery
+	dead   bool
+	death  int // step at which the last battery was observed empty
+
+	// OnStep, when non-nil, is invoked after every completed time step;
+	// used to sample charge traces (Figure 6). Clone clears it.
+	OnStep func(*System)
+}
+
+// Construction and stepping errors.
+var (
+	ErrNoBatteries      = errors.New("dkibam: need at least one battery")
+	ErrGridMismatch     = errors.New("dkibam: battery and load use different discretization grids")
+	ErrLoadExhausted    = errors.New("dkibam: batteries outlived the load horizon")
+	ErrChooseEmpty      = errors.New("dkibam: chooser picked an empty battery")
+	ErrChooseRange      = errors.New("dkibam: chooser picked an out-of-range battery")
+	ErrNoDecisionNeeded = errors.New("dkibam: no scheduling decision is pending")
+	ErrSystemDead       = errors.New("dkibam: all batteries are empty")
+)
+
+// NewSystem builds a system of fully charged batteries on the given load.
+// All batteries and the load must share the same (T, Gamma) grid.
+func NewSystem(ds []*Discretization, cl load.Compiled) (*System, error) {
+	if len(ds) == 0 {
+		return nil, ErrNoBatteries
+	}
+	if err := cl.Validate(); err != nil {
+		return nil, err
+	}
+	for i, d := range ds {
+		if d.StepMin != cl.StepMin || d.UnitAmpMin != cl.UnitAmpMin {
+			return nil, fmt.Errorf("%w (battery %d: T=%v/%v, Gamma=%v/%v)",
+				ErrGridMismatch, i, d.StepMin, cl.StepMin, d.UnitAmpMin, cl.UnitAmpMin)
+		}
+	}
+	s := &System{
+		ds:     ds,
+		cells:  make([]Cell, len(ds)),
+		cl:     cl,
+		active: NoBattery,
+	}
+	for i, d := range ds {
+		s.cells[i] = FullCell(d)
+	}
+	return s, nil
+}
+
+// Clone returns an independent deep copy of the system; used by the
+// exhaustive optimal search to branch on scheduling decisions. The OnStep
+// hook is not copied.
+func (s *System) Clone() *System {
+	c := *s
+	c.cells = make([]Cell, len(s.cells))
+	copy(c.cells, s.cells)
+	c.OnStep = nil
+	return &c
+}
+
+// Batteries returns the number of batteries.
+func (s *System) Batteries() int { return len(s.cells) }
+
+// Cell returns a copy of battery i's state.
+func (s *System) Cell(i int) Cell { return s.cells[i] }
+
+// Disc returns battery i's discretization tables.
+func (s *System) Disc(i int) *Discretization { return s.ds[i] }
+
+// Step returns the current time in steps.
+func (s *System) Step() int { return s.t }
+
+// Minutes returns the current time in minutes.
+func (s *System) Minutes() float64 { return float64(s.t) * s.cl.StepMin }
+
+// Epoch returns the current epoch index into the compiled load.
+func (s *System) Epoch() int { return s.j }
+
+// Active returns the index of the discharging battery, or NoBattery.
+func (s *System) Active() int { return s.active }
+
+// Dead reports whether all batteries have been observed empty.
+func (s *System) Dead() bool { return s.dead }
+
+// DeathStep returns the step at which the last battery was observed empty;
+// only meaningful when Dead.
+func (s *System) DeathStep() int { return s.death }
+
+// Lifetime returns the system lifetime in minutes; only meaningful when
+// Dead.
+func (s *System) Lifetime() float64 { return float64(s.death) * s.cl.StepMin }
+
+// AliveBatteries returns the indices of batteries not yet observed empty.
+func (s *System) AliveBatteries() []int {
+	var alive []int
+	for i, c := range s.cells {
+		if !c.Empty {
+			alive = append(alive, i)
+		}
+	}
+	return alive
+}
+
+// Decision describes a pending scheduling decision.
+type Decision struct {
+	// Reason is why a battery must be chosen.
+	Reason Reason
+	// Step is the time of the decision in steps.
+	Step int
+	// Epoch is the job epoch to serve.
+	Epoch int
+	// Alive lists the batteries that may be chosen.
+	Alive []int
+}
+
+// Chooser picks one of dec.Alive at a scheduling point.
+type Chooser func(s *System, dec Decision) int
+
+// AdvanceToDecision advances the simulation until a scheduling decision is
+// pending, the system is dead, or the load ends. It returns the pending
+// decision and true when the caller must call Choose next. It returns
+// (Decision{}, false) when the system died; if the load runs out first it
+// returns ErrLoadExhausted.
+func (s *System) AdvanceToDecision() (Decision, bool, error) {
+	for {
+		if s.dead {
+			return Decision{}, false, nil
+		}
+		if dec, pending := s.pendingDecision(); pending {
+			return dec, true, nil
+		}
+		if s.j >= s.cl.Epochs() {
+			return Decision{}, false, ErrLoadExhausted
+		}
+		s.step()
+	}
+}
+
+// pendingDecision reports whether the system sits at an instant where the
+// scheduler must assign a battery: a job epoch is running but no battery is
+// discharging (either the job just started or the previous battery emptied).
+func (s *System) pendingDecision() (Decision, bool) {
+	if s.dead || s.j >= s.cl.Epochs() || !s.cl.IsJob(s.j) || s.active != NoBattery {
+		return Decision{}, false
+	}
+	reason := JobStart
+	if s.t > s.cl.EpochStart(s.j) {
+		reason = BatteryEmptied
+	}
+	return Decision{
+		Reason: reason,
+		Step:   s.t,
+		Epoch:  s.j,
+		Alive:  s.AliveBatteries(),
+	}, true
+}
+
+// Choose assigns battery idx to the pending job, switching it on with a
+// fresh discharge clock (the go_on synchronisation).
+func (s *System) Choose(idx int) error {
+	if _, pending := s.pendingDecision(); !pending {
+		return ErrNoDecisionNeeded
+	}
+	if idx < 0 || idx >= len(s.cells) {
+		return fmt.Errorf("%w (%d of %d)", ErrChooseRange, idx, len(s.cells))
+	}
+	if s.cells[idx].Empty {
+		return fmt.Errorf("%w (battery %d)", ErrChooseEmpty, idx)
+	}
+	s.active = idx
+	s.cells[idx].CDisch = 0
+	return nil
+}
+
+// step advances the simulation by one time step of size T. The event order
+// at the step boundary mirrors the channel priorities of the TA-KiBaM:
+//
+//  1. all clocks advance (c_disch of the active battery, c_recov of all),
+//  2. the active battery draws if its discharge clock elapsed (use_charge
+//     has the highest priority),
+//  3. recovery decrements fire wherever their countdown elapsed,
+//  4. the empty condition is observed on the battery that drew (urgent
+//     emptied channel), possibly killing the system,
+//  5. the epoch boundary is processed (go_off, then j += 1, then new_job),
+//     leaving any new job's battery assignment pending for the caller.
+func (s *System) step() {
+	if s.OnStep != nil {
+		defer func() { s.OnStep(s) }()
+	}
+	s.t++
+	for i := range s.cells {
+		s.cells[i].AdvanceRecoveryClock()
+	}
+	drew := NoBattery
+	if s.active != NoBattery && s.cl.IsJob(s.j) {
+		cell := &s.cells[s.active]
+		cell.CDisch++
+		if cell.CDisch >= s.cl.CurTimes[s.j] {
+			s.ds[s.active].Draw(cell, s.cl.Cur[s.j])
+			drew = s.active
+		}
+	}
+	for i := range s.cells {
+		s.ds[i].ApplyRecovery(&s.cells[i])
+	}
+	if drew != NoBattery && s.ds[drew].IsEmptyCondition(s.cells[drew]) {
+		s.cells[drew].Empty = true
+		s.active = NoBattery
+		if len(s.AliveBatteries()) == 0 {
+			s.dead = true
+			s.death = s.t
+			return
+		}
+		// A replacement decision is now pending unless the job ends at this
+		// very instant, which the epoch switch below resolves.
+	}
+	// Epoch boundary: the current epoch ends at load_time[j].
+	if s.j < s.cl.Epochs() && s.t >= s.cl.LoadTime[s.j] {
+		s.active = NoBattery // go_off: the job (if any) is over
+		s.j++
+	}
+}
+
+// Run drives the system with the chooser until all batteries are empty and
+// returns the lifetime in minutes. It returns ErrLoadExhausted if the load
+// horizon ends first.
+func (s *System) Run(choose Chooser) (float64, error) {
+	for {
+		dec, pending, err := s.AdvanceToDecision()
+		if err != nil {
+			return 0, err
+		}
+		if !pending {
+			return s.Lifetime(), nil
+		}
+		idx := choose(s, dec)
+		if err := s.Choose(idx); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// RemainingUnits returns the summed remaining charge units over all
+// batteries; the maximum-finder automaton converts exactly this quantity
+// into cost, so minimising it maximises the lifetime.
+func (s *System) RemainingUnits() int {
+	total := 0
+	for _, c := range s.cells {
+		total += c.N
+	}
+	return total
+}

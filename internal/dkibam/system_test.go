@@ -1,0 +1,279 @@
+package dkibam
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"batsched/internal/battery"
+	"batsched/internal/load"
+)
+
+func compilePaper(t *testing.T, name string, horizon float64) load.Compiled {
+	t.Helper()
+	l, err := load.Paper(name, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := load.Compile(l, PaperStepMin, PaperUnitAmpMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func singleRun(t *testing.T, b battery.Params, loadName string) float64 {
+	t.Helper()
+	d := paperDisc(t, b)
+	sys, err := NewSystem([]*Discretization{d}, compilePaper(t, loadName, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifetime, err := sys.Run(func(*System, Decision) int { return 0 })
+	if err != nil {
+		t.Fatalf("%s %s: %v", b.Label, loadName, err)
+	}
+	return lifetime
+}
+
+// TestTable3Exact pins every single-battery B1 lifetime to the paper's
+// TA-KiBaM column of Table 3, exactly.
+func TestTable3Exact(t *testing.T) {
+	want := map[string]float64{
+		"CL 250": 4.56, "CL 500": 2.04, "CL alt": 2.60,
+		"ILs 250": 10.84, "ILs 500": 4.32, "ILs alt": 4.82,
+		"ILs r1": 4.74, "ILs r2": 4.74,
+		"ILl 250": 21.88, "ILl 500": 6.56,
+	}
+	for name, w := range want {
+		if got := singleRun(t, battery.B1(), name); math.Abs(got-w) > 1e-9 {
+			t.Errorf("B1 %s: %v, paper %v", name, got, w)
+		}
+	}
+}
+
+// TestTable4Exact pins every single-battery B2 lifetime to the paper's
+// TA-KiBaM column of Table 4, exactly.
+func TestTable4Exact(t *testing.T) {
+	want := map[string]float64{
+		"CL 250": 12.28, "CL 500": 4.54, "CL alt": 6.52,
+		"ILs 250": 44.80, "ILs 500": 10.84, "ILs alt": 16.94,
+		"ILs r1": 22.74, "ILs r2": 14.84,
+		"ILl 250": 84.92, "ILl 500": 21.88,
+	}
+	for name, w := range want {
+		if got := singleRun(t, battery.B2(), name); math.Abs(got-w) > 1e-9 {
+			t.Errorf("B2 %s: %v, paper %v", name, got, w)
+		}
+	}
+}
+
+// TestDiscreteCloseToAnalytic: the paper reports <= ~1% deviation between
+// the discretized and analytic models on every tested load.
+func TestDiscreteCloseToAnalytic(t *testing.T) {
+	analytic := map[string][2]float64{ // from Tables 3-4, verified in kibam
+		"CL 250": {4.53, 12.16}, "CL 500": {2.02, 4.53}, "CL alt": {2.58, 6.45},
+		"ILs 250": {10.80, 44.78}, "ILs 500": {4.30, 10.80}, "ILs alt": {4.80, 16.93},
+		"ILs r1": {4.72, 22.71}, "ILs r2": {4.72, 14.81},
+		"ILl 250": {21.86, 84.90}, "ILl 500": {6.53, 21.86},
+	}
+	for bi, b := range []battery.Params{battery.B1(), battery.B2()} {
+		for name, w := range analytic {
+			got := singleRun(t, b, name)
+			rel := math.Abs(got-w[bi]) / w[bi]
+			if rel > 0.015 {
+				t.Errorf("%s %s: discrete %v vs analytic %v (%.2f%%)", b.Label, name, got, w[bi], 100*rel)
+			}
+		}
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+	cl := compilePaper(t, "CL 250", 10)
+	if _, err := NewSystem(nil, cl); !errors.Is(err, ErrNoBatteries) {
+		t.Fatalf("no batteries: %v", err)
+	}
+	other, err := Discretize(battery.B1(), 0.02, PaperUnitAmpMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSystem([]*Discretization{other}, cl); !errors.Is(err, ErrGridMismatch) {
+		t.Fatalf("grid mismatch: %v", err)
+	}
+	bad := cl
+	bad.Cur = bad.Cur[:1]
+	if _, err := NewSystem([]*Discretization{d}, bad); err == nil {
+		t.Fatal("accepted corrupt load")
+	}
+}
+
+func TestDecisionFlow(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+	sys, err := NewSystem([]*Discretization{d, d}, compilePaper(t, "ILs 250", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, pending, err := sys.AdvanceToDecision()
+	if err != nil || !pending {
+		t.Fatalf("first decision: %v %v", pending, err)
+	}
+	if dec.Reason != JobStart || dec.Step != 0 || dec.Epoch != 0 {
+		t.Fatalf("first decision %+v", dec)
+	}
+	if len(dec.Alive) != 2 {
+		t.Fatalf("alive %v", dec.Alive)
+	}
+	// Choosing out of range or before a decision is rejected.
+	if err := sys.Choose(7); !errors.Is(err, ErrChooseRange) {
+		t.Fatalf("out of range: %v", err)
+	}
+	if err := sys.Choose(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Choose(0); !errors.Is(err, ErrNoDecisionNeeded) {
+		t.Fatalf("double choose: %v", err)
+	}
+	if sys.Active() != 1 {
+		t.Fatalf("active %d", sys.Active())
+	}
+	// Next decision is the second job, one cycle later.
+	dec, pending, err = sys.AdvanceToDecision()
+	if err != nil || !pending {
+		t.Fatalf("second decision: %v %v", pending, err)
+	}
+	if dec.Step != 200 || dec.Epoch != 2 {
+		t.Fatalf("second decision %+v", dec)
+	}
+}
+
+func TestChooseEmptyBatteryRejected(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+	sys, err := NewSystem([]*Discretization{d, d}, compilePaper(t, "CL 500", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain battery 0 by always choosing it until it empties.
+	for {
+		dec, pending, err := sys.AdvanceToDecision()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pending {
+			t.Fatal("system died with battery 1 untouched")
+		}
+		if dec.Reason == BatteryEmptied {
+			if err := sys.Choose(0); !errors.Is(err, ErrChooseEmpty) {
+				t.Fatalf("choosing the emptied battery: %v", err)
+			}
+			return
+		}
+		if err := sys.Choose(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLoadExhausted(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+	sys, err := NewSystem([]*Discretization{d}, compilePaper(t, "CL 250", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Run(func(*System, Decision) int { return 0 })
+	if !errors.Is(err, ErrLoadExhausted) {
+		t.Fatalf("short horizon: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+	sys, err := NewSystem([]*Discretization{d, d}, compilePaper(t, "ILs alt", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.AdvanceToDecision(); err != nil {
+		t.Fatal(err)
+	}
+	clone := sys.Clone()
+	if err := sys.Choose(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.AdvanceToDecision(); err != nil {
+		t.Fatal(err)
+	}
+	// The clone still sits at the first decision with full batteries.
+	if clone.Step() != 0 || clone.Cell(0).N != 550 {
+		t.Fatalf("clone mutated: step %d, N %d", clone.Step(), clone.Cell(0).N)
+	}
+	if err := clone.Choose(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequentialEqualsSumOfSingles: with identical batteries and a
+// continuous load, draining sequentially gives each battery its
+// single-battery lifetime back to back.
+func TestSequentialEqualsSumOfSingles(t *testing.T) {
+	single := singleRun(t, battery.B1(), "CL 500")
+	d := paperDisc(t, battery.B1())
+	sys, err := NewSystem([]*Discretization{d, d}, compilePaper(t, "CL 500", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifetime, err := sys.Run(func(s *System, dec Decision) int { return dec.Alive[0] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lifetime-2*single) > 1e-9 {
+		t.Fatalf("sequential %v, want 2x single %v", lifetime, 2*single)
+	}
+}
+
+func TestOnStepHook(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+	sys, err := NewSystem([]*Discretization{d}, compilePaper(t, "CL 500", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	sys.OnStep = func(s *System) { steps++ }
+	lifetime, err := sys.Run(func(*System, Decision) int { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := d.Steps(lifetime); steps != want {
+		t.Fatalf("hook fired %d times, want %d", steps, want)
+	}
+	// Clone drops the hook.
+	if sys.Clone().OnStep != nil {
+		t.Fatal("clone kept the hook")
+	}
+}
+
+func TestRemainingUnits(t *testing.T) {
+	d := paperDisc(t, battery.B1())
+	sys, err := NewSystem([]*Discretization{d, d}, compilePaper(t, "CL 500", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.RemainingUnits() != 1100 {
+		t.Fatalf("initial remaining %d", sys.RemainingUnits())
+	}
+	if _, err := sys.Run(func(s *System, dec Decision) int { return dec.Alive[0] }); err != nil {
+		t.Fatal(err)
+	}
+	// Dead system retains bound charge: 2 x (550 - 102 drawn) = 896.
+	if got := sys.RemainingUnits(); got >= 1100 || got <= 0 {
+		t.Fatalf("remaining after death %d", got)
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	if JobStart.String() != "job-start" || BatteryEmptied.String() != "battery-emptied" {
+		t.Fatal("reason names")
+	}
+	if Reason(99).String() == "" {
+		t.Fatal("unknown reason prints empty")
+	}
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTable3MatchesPaperExactly: all ten B1 rows, both columns, to the
+// printed 2 decimals.
+func TestTable3MatchesPaperExactly(t *testing.T) {
+	rows, err := Table3(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.KiBaM-r.PaperKiBaM) > 0.005 {
+			t.Errorf("%s: analytic %v vs paper %v", r.Load, r.KiBaM, r.PaperKiBaM)
+		}
+		if math.Abs(r.TAKiBaM-r.PaperTA) > 0.005 {
+			t.Errorf("%s: discretized %v vs paper %v", r.Load, r.TAKiBaM, r.PaperTA)
+		}
+		// The paper's last column: ~0.1-1.1% relative difference, always
+		// positive (the discretized model lives slightly longer).
+		if d := r.DiffPercent(); d < 0 || d > 1.5 {
+			t.Errorf("%s: diff %v%% outside the paper's band", r.Load, d)
+		}
+	}
+}
+
+// TestTable4MatchesPaperExactly: all ten B2 rows.
+func TestTable4MatchesPaperExactly(t *testing.T) {
+	rows, err := Table4(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if math.Abs(r.KiBaM-r.PaperKiBaM) > 0.005 {
+			t.Errorf("%s: analytic %v vs paper %v", r.Load, r.KiBaM, r.PaperKiBaM)
+		}
+		if math.Abs(r.TAKiBaM-r.PaperTA) > 0.005 {
+			t.Errorf("%s: discretized %v vs paper %v", r.Load, r.TAKiBaM, r.PaperTA)
+		}
+	}
+}
+
+// TestTable3ViaChecker: the full model-checker route agrees with the
+// discretized engine on every row.
+func TestTable3ViaChecker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checker sweep")
+	}
+	rows, err := Table3(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if math.Abs(r.TAChecker-r.TAKiBaM) > 1e-9 {
+			t.Errorf("%s: checker %v vs engine %v", r.Load, r.TAChecker, r.TAKiBaM)
+		}
+	}
+}
+
+// TestTable5MatchesPaper: all four schedulers on all ten loads, within 4
+// discretization steps (0.08 min) of the paper's printed values — the
+// paper's own equal-cost tie-breaking freedom.
+func TestTable5MatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("optimal sweep")
+	}
+	rows, err := Table5(Table5Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	const tol = 0.081
+	for _, r := range rows {
+		if math.Abs(r.Sequential-r.Paper[0]) > tol {
+			t.Errorf("%s sequential: %v vs paper %v", r.Load, r.Sequential, r.Paper[0])
+		}
+		if math.Abs(r.RoundRobin-r.Paper[1]) > tol {
+			t.Errorf("%s round robin: %v vs paper %v", r.Load, r.RoundRobin, r.Paper[1])
+		}
+		if math.Abs(r.BestOfTwo-r.Paper[2]) > tol {
+			t.Errorf("%s best-of-two: %v vs paper %v", r.Load, r.BestOfTwo, r.Paper[2])
+		}
+		if math.Abs(r.Optimal-r.Paper[3]) > tol {
+			t.Errorf("%s optimal: %v vs paper %v", r.Load, r.Optimal, r.Paper[3])
+		}
+		// Structural facts: sequential worst, optimal best.
+		if r.Sequential > r.RoundRobin || r.Sequential > r.BestOfTwo || r.Sequential > r.Optimal {
+			t.Errorf("%s: sequential is not worst", r.Load)
+		}
+		if r.Optimal+1e-9 < r.BestOfTwo || r.Optimal+1e-9 < r.RoundRobin {
+			t.Errorf("%s: optimal is not best", r.Load)
+		}
+	}
+}
+
+// TestTable5DiffColumns: the headline relative differences of the paper —
+// sequential is 3-42% worse than round robin; the optimal gain peaks at
+// ~32% (ILs alt).
+func TestTable5DiffColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("optimal sweep")
+	}
+	rows, err := Table5(Table5Options{Loads: []string{"ILs alt", "ILs 250", "ILs 500"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SchedulingRow{}
+	for _, r := range rows {
+		byName[r.Load] = r
+	}
+	if d := byName["ILs alt"].OptDiffPercent(); math.Abs(d-31.9) > 2 {
+		t.Errorf("ILs alt optimal gain %.1f%%, paper 31.9%%", d)
+	}
+	if d := byName["ILs alt"].BestDiffPercent(); math.Abs(d-27.2) > 2 {
+		t.Errorf("ILs alt best-of-two gain %.1f%%, paper 27.2%%", d)
+	}
+	if d := byName["ILs 250"].SeqDiffPercent(); math.Abs(d-(-41.5)) > 2 {
+		t.Errorf("ILs 250 sequential gap %.1f%%, paper -41.5%%", d)
+	}
+	if d := byName["ILs 500"].OptDiffPercent(); math.Abs(d) > 0.5 {
+		t.Errorf("ILs 500 optimal gain %.1f%%, paper 0%%", d)
+	}
+}
+
+// TestTable5ViaTA: the timed-automata optimal agrees with the direct search
+// on a representative subset.
+func TestTable5ViaTA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TA optimal sweep")
+	}
+	rows, err := Table5(Table5Options{
+		ViaTA: true,
+		Loads: []string{"CL alt", "ILs alt", "ILs r2", "ILl 500"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.OptimalTA == 0 {
+			t.Errorf("%s: TA optimal not computed", r.Load)
+			continue
+		}
+		if math.Abs(r.OptimalTA-r.Optimal) > 1e-9 {
+			t.Errorf("%s: TA %v vs direct %v", r.Load, r.OptimalTA, r.Optimal)
+		}
+	}
+}
+
+// TestFigure6: both panels reproduce the paper's qualitative observations:
+// the optimal schedule outlives best-of-two (16.9 vs 16.3), roughly
+// 3.9 A·min per battery remains (70%), and the best-of-two schedule
+// alternates after high jobs.
+func TestFigure6(t *testing.T) {
+	fa, err := Figure6BestOfTwo(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Figure6Optimal(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fa.Lifetime-16.28) > 0.081 {
+		t.Errorf("6a lifetime %v, paper 16.30", fa.Lifetime)
+	}
+	if math.Abs(fb.Lifetime-16.90) > 0.081 {
+		t.Errorf("6b lifetime %v, paper 16.91", fb.Lifetime)
+	}
+	if fb.Lifetime <= fa.Lifetime {
+		t.Error("optimal panel does not beat best-of-two")
+	}
+	// "approximately 3.9 A·min (70%) remains" per battery pair.
+	for _, f := range []*Figure6Series{fa, fb} {
+		perBattery := f.RemainingAmpMin / 2
+		if math.Abs(perBattery-3.9) > 0.2 {
+			t.Errorf("%s: %.2f A·min left per battery, paper ~3.9", f.Panel, perBattery)
+		}
+		if frac := f.RemainingAmpMin / 11; math.Abs(frac-0.70) > 0.04 {
+			t.Errorf("%s: %.0f%% left, paper ~70%%", f.Panel, 100*frac)
+		}
+	}
+	// The TSV rendering has the documented column structure.
+	var sb strings.Builder
+	if err := fa.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "total1\ttotal2\tavail1\tavail2\tchosen") {
+		t.Fatal("TSV header missing")
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 50 {
+		t.Fatal("TSV suspiciously short")
+	}
+}
+
+// TestCapacityScalingClaim: Section 6 — the stranded fraction falls with
+// capacity and is below 10% at 10x under best-of-two.
+func TestCapacityScalingClaim(t *testing.T) {
+	rows, err := CapacityScaling([]float64{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].RemainingFraction < 0.6 {
+		t.Errorf("at 1x the paper regime leaves ~70%%, got %.0f%%", 100*rows[0].RemainingFraction)
+	}
+	if rows[1].RemainingFraction >= 0.10 {
+		t.Errorf("at 10x %.1f%% remains, paper says < 10%%", 100*rows[1].RemainingFraction)
+	}
+	if rows[1].Lifetime <= rows[0].Lifetime {
+		t.Error("bigger battery died sooner")
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLookaheadTableShapes: the model-predictive extension recovers at
+// least 80% of the best-of-two-to-optimal gap on 8 of the 10 loads at the
+// 10-minute horizon, and never beats the optimum.
+func TestLookaheadTableShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lookahead sweep")
+	}
+	rows, err := LookaheadTable(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	good := 0
+	for _, r := range rows {
+		for _, h := range LookaheadHorizons {
+			if r.Horizons[h] > r.Optimal+1e-9 {
+				t.Errorf("%s: lookahead %g beats the optimum (%v > %v)", r.Load, h, r.Horizons[h], r.Optimal)
+			}
+		}
+		if r.GapRecovered(10) >= 0.8 {
+			good++
+		}
+	}
+	if good < 8 {
+		t.Errorf("only %d/10 loads recover >= 80%% of the gap at 10 min", good)
+	}
+}
+
+// TestMultiBatteryTableShapes: three batteries on ILs alt. The recovery
+// effect makes the optimal lifetime grow super-linearly in the bank size
+// (more idle time per battery), and the scheme ordering persists.
+func TestMultiBatteryTableShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-battery optimal searches")
+	}
+	rows, err := MultiBatteryTable("ILs alt", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Engine-exact anchors for the documented table.
+	if math.Abs(rows[0].Optimal-4.82) > 1e-9 {
+		t.Errorf("n=1 optimal %v, want 4.82", rows[0].Optimal)
+	}
+	if math.Abs(rows[1].Optimal-16.90) > 1e-9 {
+		t.Errorf("n=2 optimal %v, want 16.90", rows[1].Optimal)
+	}
+	if math.Abs(rows[2].Optimal-36.82) > 1e-9 {
+		t.Errorf("n=3 optimal %v, want 36.82", rows[2].Optimal)
+	}
+	for i, r := range rows {
+		if r.Sequential > r.RoundRobin+1e-9 || r.RoundRobin > r.BestOfN+1e-9 || r.BestOfN > r.Optimal+1e-9 {
+			t.Errorf("n=%d: scheme ordering violated (%v/%v/%v/%v)",
+				r.Batteries, r.Sequential, r.RoundRobin, r.BestOfN, r.Optimal)
+		}
+		if i > 0 {
+			// Super-linear: adding the n-th battery more than multiplies
+			// the optimal lifetime by n/(n-1).
+			ratio := r.Optimal / rows[i-1].Optimal
+			linear := float64(r.Batteries) / float64(rows[i-1].Batteries)
+			if ratio <= linear {
+				t.Errorf("n=%d: optimal grew %vx, not super-linear (> %vx)", r.Batteries, ratio, linear)
+			}
+		}
+	}
+}

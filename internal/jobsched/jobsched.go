@@ -1,0 +1,293 @@
+// Package jobsched implements the second optimisation problem sketched in
+// the outlook of the DSN 2009 battery-scheduling paper (Section 7): for a
+// device with one battery and a given workload, schedule the jobs over time
+// so that the battery survives the whole workload — useful for sensor-
+// network nodes with simple regular workloads.
+//
+// Jobs run in a fixed order; the scheduler chooses the idle gap inserted
+// before each job (quantised to keep the search finite). Idle time lets the
+// bound charge flow back into the available well (the recovery effect), so
+// a workload that kills the battery when run back-to-back can become
+// feasible. Among the feasible schedules the search minimises the makespan.
+//
+// The search is a level-by-level dynamic program over the discretized
+// battery state. Because every schedule at job level i has drawn the same
+// number of charge units, states at a level differ only in the height
+// difference M, the recovery-clock phase, and the elapsed time; a state
+// dominates another when it is no worse in all three (lower M is always at
+// least as good: the empty margin is larger and the cumulative recovery
+// time to any lower level is smaller). Dominated states are pruned, which
+// keeps each level's Pareto frontier small and the search exact.
+package jobsched
+
+import (
+	"errors"
+	"fmt"
+
+	"batsched/internal/battery"
+	"batsched/internal/dkibam"
+	"batsched/internal/load"
+)
+
+// Job is one task: Duration minutes at Current amperes.
+type Job struct {
+	Duration float64
+	Current  float64
+}
+
+// Options tune the schedule search.
+type Options struct {
+	// StepMin and UnitAmpMin set the discretization grid (default: the
+	// paper's T = 0.01 min, Gamma = 0.01 A·min).
+	StepMin    float64
+	UnitAmpMin float64
+	// GapQuantum is the granularity of inserted idle gaps in minutes
+	// (default 0.5).
+	GapQuantum float64
+	// MaxGap is the largest idle gap tried before one job, in minutes
+	// (default 15).
+	MaxGap float64
+	// Deadline, when positive, bounds the makespan in minutes.
+	Deadline float64
+}
+
+func (o *Options) fill() {
+	if o.StepMin <= 0 {
+		o.StepMin = dkibam.PaperStepMin
+	}
+	if o.UnitAmpMin <= 0 {
+		o.UnitAmpMin = dkibam.PaperUnitAmpMin
+	}
+	if o.GapQuantum <= 0 {
+		o.GapQuantum = 0.5
+	}
+	if o.MaxGap <= 0 {
+		o.MaxGap = 15
+	}
+}
+
+// Plan is the outcome of the search.
+type Plan struct {
+	// Feasible reports whether some schedule completes all jobs.
+	Feasible bool
+	// Gaps[i] is the idle time, in minutes, inserted before job i.
+	Gaps []float64
+	// Starts[i] is the start time of job i in minutes.
+	Starts []float64
+	// Makespan is the completion time of the last job in minutes.
+	Makespan float64
+	// FinalAvailable is the available charge left after the last job, in
+	// A·min.
+	FinalAvailable float64
+	// FrontierStates counts the Pareto states kept across all levels
+	// (search effort).
+	FrontierStates int
+}
+
+// Load renders the plan as a load (gaps and jobs interleaved), suitable for
+// simulation or plotting. Zero-length gaps are omitted.
+func (p Plan) Load(name string, jobs []Job) (load.Load, error) {
+	if !p.Feasible {
+		return load.Load{}, errors.New("jobsched: plan is infeasible")
+	}
+	var segs []load.Segment
+	for i, j := range jobs {
+		if p.Gaps[i] > 0 {
+			segs = append(segs, load.Segment{Duration: p.Gaps[i], Current: 0})
+		}
+		segs = append(segs, load.Segment{Duration: j.Duration, Current: j.Current})
+	}
+	return load.New(name, segs...)
+}
+
+// Search errors.
+var (
+	ErrNoJobs = errors.New("jobsched: no jobs")
+	ErrBadJob = errors.New("jobsched: job does not discretize")
+)
+
+// jobSpec is a compiled job: length in steps, draw cadence.
+type jobSpec struct {
+	steps    int
+	curTimes int
+	cur      int
+}
+
+// node is one Pareto state at a job level.
+type node struct {
+	cell    dkibam.Cell
+	elapsed int // steps since schedule start
+	parent  int // index into the previous level's frontier
+	gap     int // gap quanta inserted before the job that produced this node
+}
+
+// Optimize finds the minimum-makespan feasible schedule for the jobs on the
+// battery, or reports infeasibility (Plan.Feasible == false) when no gap
+// assignment within the options lets the battery survive.
+func Optimize(b battery.Params, jobs []Job, opts Options) (Plan, error) {
+	opts.fill()
+	if len(jobs) == 0 {
+		return Plan{}, ErrNoJobs
+	}
+	d, err := dkibam.Discretize(b, opts.StepMin, opts.UnitAmpMin)
+	if err != nil {
+		return Plan{}, err
+	}
+	specs, err := compileJobs(jobs, opts)
+	if err != nil {
+		return Plan{}, err
+	}
+	gapSteps := int(opts.GapQuantum/opts.StepMin + 0.5)
+	maxGaps := int(opts.MaxGap/opts.GapQuantum + 0.5)
+	var deadlineSteps int
+	if opts.Deadline > 0 {
+		deadlineSteps = int(opts.Deadline/opts.StepMin + 0.5)
+	}
+
+	frontier := []node{{cell: dkibam.FullCell(d), parent: -1}}
+	levels := make([][]node, 0, len(jobs)+1)
+	levels = append(levels, frontier)
+	total := len(frontier)
+
+	for _, spec := range specs {
+		var next []node
+		for pi, n := range frontier {
+			work := n.cell
+			work.CDisch = 0
+			for g := 0; g <= maxGaps; g++ {
+				if g > 0 {
+					idle(d, &work, gapSteps)
+				}
+				elapsed := n.elapsed + g*gapSteps + spec.steps
+				if deadlineSteps > 0 && elapsed > deadlineSteps {
+					break
+				}
+				trial := work
+				if !runJob(d, &trial, spec) {
+					continue
+				}
+				trial.CDisch = 0
+				next = insertPareto(next, node{cell: trial, elapsed: elapsed, parent: pi, gap: g})
+			}
+		}
+		if len(next) == 0 {
+			return Plan{Feasible: false, FrontierStates: total}, nil
+		}
+		frontier = next
+		levels = append(levels, frontier)
+		total += len(frontier)
+	}
+
+	// The minimum elapsed time on the final level is the makespan.
+	bestIdx := 0
+	for i, n := range frontier {
+		if n.elapsed < frontier[bestIdx].elapsed {
+			bestIdx = i
+		}
+	}
+	plan := Plan{
+		Feasible:       true,
+		Gaps:           make([]float64, len(jobs)),
+		Starts:         make([]float64, len(jobs)),
+		Makespan:       float64(frontier[bestIdx].elapsed) * opts.StepMin,
+		FinalAvailable: d.AvailableAmpMin(frontier[bestIdx].cell),
+		FrontierStates: total,
+	}
+	// Walk the parent chain to recover the gaps, then derive the starts.
+	idx := bestIdx
+	for level := len(jobs); level >= 1; level-- {
+		n := levels[level][idx]
+		plan.Gaps[level-1] = float64(n.gap*gapSteps) * opts.StepMin
+		idx = n.parent
+	}
+	elapsed := 0.0
+	for i, spec := range specs {
+		elapsed += plan.Gaps[i]
+		plan.Starts[i] = elapsed
+		elapsed += float64(spec.steps) * opts.StepMin
+	}
+	return plan, nil
+}
+
+// compileJobs derives each job's draw cadence via the load compiler.
+func compileJobs(jobs []Job, opts Options) ([]jobSpec, error) {
+	segs := make([]load.Segment, len(jobs))
+	for i, j := range jobs {
+		segs[i] = load.Segment{Duration: j.Duration, Current: j.Current}
+	}
+	l, err := load.New("jobs", segs...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadJob, err)
+	}
+	cl, err := load.Compile(l, opts.StepMin, opts.UnitAmpMin)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadJob, err)
+	}
+	specs := make([]jobSpec, len(jobs))
+	for i := range jobs {
+		specs[i] = jobSpec{
+			steps:    cl.LoadTime[i] - cl.EpochStart(i),
+			curTimes: cl.CurTimes[i],
+			cur:      cl.Cur[i],
+		}
+	}
+	return specs, nil
+}
+
+// idle advances the cell by steps of recovery.
+func idle(d *dkibam.Discretization, c *dkibam.Cell, steps int) {
+	for i := 0; i < steps; i++ {
+		c.AdvanceRecoveryClock()
+		d.ApplyRecovery(c)
+	}
+}
+
+// runJob simulates one job on the cell; false when the battery empties.
+// The event order per step matches internal/dkibam.System.
+func runJob(d *dkibam.Discretization, c *dkibam.Cell, spec jobSpec) bool {
+	c.CDisch = 0
+	for t := 1; t <= spec.steps; t++ {
+		c.AdvanceRecoveryClock()
+		c.CDisch++
+		drew := false
+		if c.CDisch >= spec.curTimes {
+			d.Draw(c, spec.cur)
+			drew = true
+		}
+		d.ApplyRecovery(c)
+		if drew && d.IsEmptyCondition(*c) {
+			return false
+		}
+	}
+	return true
+}
+
+// dominates reports whether a is at least as good as b in every respect:
+// no higher height difference, no less recovery progress at equal height,
+// and no more elapsed time. N is equal by construction at a level.
+func dominates(a, b node) bool {
+	if a.elapsed > b.elapsed {
+		return false
+	}
+	if a.cell.M < b.cell.M {
+		return true
+	}
+	return a.cell.M == b.cell.M && a.cell.CRecov >= b.cell.CRecov
+}
+
+// insertPareto adds n to the frontier unless dominated, evicting states n
+// dominates.
+func insertPareto(frontier []node, n node) []node {
+	for _, f := range frontier {
+		if dominates(f, n) {
+			return frontier
+		}
+	}
+	out := frontier[:0]
+	for _, f := range frontier {
+		if !dominates(n, f) {
+			out = append(out, f)
+		}
+	}
+	return append(out, n)
+}

@@ -1,0 +1,213 @@
+package jobsched
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"batsched/internal/battery"
+	"batsched/internal/kibam"
+)
+
+func job500(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Duration: 1, Current: 0.5}
+	}
+	return jobs
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	if _, err := Optimize(battery.B1(), nil, Options{}); !errors.Is(err, ErrNoJobs) {
+		t.Fatalf("no jobs: %v", err)
+	}
+	bad := []Job{{Duration: 0.005, Current: 0.25}} // off-grid duration
+	if _, err := Optimize(battery.B1(), bad, Options{}); !errors.Is(err, ErrBadJob) {
+		t.Fatalf("off-grid job: %v", err)
+	}
+	if _, err := Optimize(battery.Params{Capacity: -1, C: 0.5, KPrime: 1}, job500(1), Options{}); err == nil {
+		t.Fatal("accepted invalid battery")
+	}
+}
+
+// TestTrivialWorkloadNeedsNoGaps: a light workload is scheduled eagerly.
+func TestTrivialWorkloadNeedsNoGaps(t *testing.T) {
+	jobs := []Job{{Duration: 1, Current: 0.25}, {Duration: 1, Current: 0.25}}
+	plan, err := Optimize(battery.B1(), jobs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("light workload infeasible")
+	}
+	if plan.Makespan != 2 {
+		t.Fatalf("makespan %v, want 2 (no gaps)", plan.Makespan)
+	}
+	for i, g := range plan.Gaps {
+		if g != 0 {
+			t.Fatalf("gap %d = %v, want 0", i, g)
+		}
+	}
+}
+
+// TestRecoveryMakesBurstFeasible: five 500 mA minutes kill B1 back-to-back
+// (CL 500 dies at 2.04) but complete with gaps; the gaps escalate because
+// the total charge shrinks.
+func TestRecoveryMakesBurstFeasible(t *testing.T) {
+	plan, err := Optimize(battery.B1(), job500(5), Options{GapQuantum: 0.5, MaxGap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("burst infeasible even with gaps")
+	}
+	if plan.Makespan <= 5 {
+		t.Fatalf("makespan %v implies no gaps were needed", plan.Makespan)
+	}
+	// Later gaps are no shorter than earlier ones (less charge -> more
+	// recovery needed). Allow equality.
+	for i := 2; i < len(plan.Gaps); i++ {
+		if plan.Gaps[i] < plan.Gaps[i-1]-1e-9 {
+			t.Errorf("gap %d (%v) shorter than gap %d (%v)", i, plan.Gaps[i], i-1, plan.Gaps[i-1])
+		}
+	}
+	// Starts are consistent with gaps and durations.
+	elapsed := 0.0
+	for i := range plan.Gaps {
+		elapsed += plan.Gaps[i]
+		if math.Abs(plan.Starts[i]-elapsed) > 1e-9 {
+			t.Fatalf("start %d = %v, want %v", i, plan.Starts[i], elapsed)
+		}
+		elapsed += 1
+	}
+	if math.Abs(plan.Makespan-elapsed) > 1e-9 {
+		t.Fatalf("makespan %v, want %v", plan.Makespan, elapsed)
+	}
+}
+
+// TestPlanSurvivesContinuousModel: the discrete plan also keeps the
+// continuous KiBaM alive (cross-model validation).
+func TestPlanSurvivesContinuousModel(t *testing.T) {
+	jobs := job500(4)
+	plan, err := Optimize(battery.B1(), jobs, Options{GapQuantum: 0.5, MaxGap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("infeasible")
+	}
+	l, err := plan.Load("plan", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := kibam.MustNew(battery.B1())
+	// Lifetime must error with ErrLoadExhausted: the battery outlives the
+	// whole plan.
+	if _, err := m.Lifetime(l); !errors.Is(err, kibam.ErrLoadExhausted) {
+		t.Fatalf("continuous model died during the plan: %v", err)
+	}
+}
+
+// TestFeasibilityBoundary: a fully recovered battery still needs
+// gamma >= (1-c)/c * y1-equivalent ~ 2.37 A·min behind the empty condition
+// after a 1-min 500 mA job, so B1 (5.5 A·min) can serve six such jobs
+// (3.0 drawn, 2.5 left) but never seven (2.0 left).
+func TestFeasibilityBoundary(t *testing.T) {
+	six, err := Optimize(battery.B1(), job500(6), Options{GapQuantum: 1, MaxGap: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !six.Feasible {
+		t.Fatal("six high jobs should be (marginally) feasible")
+	}
+	seven, err := Optimize(battery.B1(), job500(7), Options{GapQuantum: 1, MaxGap: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seven.Feasible {
+		t.Fatalf("seven high jobs reported feasible (makespan %v)", seven.Makespan)
+	}
+}
+
+// TestDeadline: a deadline below the minimal makespan flips feasibility.
+func TestDeadline(t *testing.T) {
+	free, err := Optimize(battery.B1(), job500(4), Options{GapQuantum: 0.5, MaxGap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !free.Feasible {
+		t.Fatal("unbounded plan infeasible")
+	}
+	tight, err := Optimize(battery.B1(), job500(4), Options{
+		GapQuantum: 0.5, MaxGap: 16,
+		Deadline: free.Makespan - 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Feasible {
+		t.Fatal("deadline below the optimum reported feasible")
+	}
+	loose, err := Optimize(battery.B1(), job500(4), Options{
+		GapQuantum: 0.5, MaxGap: 16,
+		Deadline: free.Makespan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loose.Feasible || loose.Makespan != free.Makespan {
+		t.Fatal("deadline at the optimum changed the plan")
+	}
+}
+
+// TestFinerQuantumNeverWorse: halving the gap quantum can only improve (or
+// keep) the makespan, since coarse plans remain expressible.
+func TestFinerQuantumNeverWorse(t *testing.T) {
+	coarse, err := Optimize(battery.B1(), job500(4), Options{GapQuantum: 2, MaxGap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Optimize(battery.B1(), job500(4), Options{GapQuantum: 1, MaxGap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coarse.Feasible || !fine.Feasible {
+		t.Fatal("expected both feasible")
+	}
+	if fine.Makespan > coarse.Makespan+1e-9 {
+		t.Fatalf("finer quantum worse: %v > %v", fine.Makespan, coarse.Makespan)
+	}
+}
+
+// TestMixedJobs: currents may differ per job.
+func TestMixedJobs(t *testing.T) {
+	jobs := []Job{
+		{Duration: 1, Current: 0.5},
+		{Duration: 1, Current: 0.25},
+		{Duration: 1, Current: 0.5},
+		{Duration: 2, Current: 0.25},
+	}
+	plan, err := Optimize(battery.B1(), jobs, Options{GapQuantum: 0.5, MaxGap: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("mixed workload infeasible")
+	}
+	l, err := plan.Load("mixed", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total demanded charge is preserved by the plan rendering.
+	want := 0.5 + 0.25 + 0.5 + 0.5
+	if got := l.Charge(l.TotalDuration()); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("plan load charge %v, want %v", got, want)
+	}
+}
+
+func TestPlanLoadInfeasible(t *testing.T) {
+	p := Plan{Feasible: false}
+	if _, err := p.Load("x", job500(1)); err == nil {
+		t.Fatal("rendered an infeasible plan")
+	}
+}

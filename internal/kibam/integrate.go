@@ -1,0 +1,137 @@
+package kibam
+
+import (
+	"fmt"
+
+	"batsched/internal/load"
+)
+
+// CurrentFunc is an arbitrary discharge-current profile i(t), t in minutes.
+type CurrentFunc func(t float64) float64
+
+// Method selects a numeric integration scheme.
+type Method int
+
+const (
+	// Euler is the explicit (forward) Euler scheme, first order.
+	Euler Method = iota + 1
+	// RK4 is the classic fourth-order Runge-Kutta scheme.
+	RK4
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Euler:
+		return "euler"
+	case RK4:
+		return "rk4"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// deriv evaluates the KiBaM right-hand side at state s under current i.
+func (m *Model) deriv(s State, i float64) State {
+	return State{
+		Gamma: -i,
+		Delta: i/m.p.C - m.p.KPrime*s.Delta,
+	}
+}
+
+// Integrate advances the state from t0 to t1 under the current profile
+// using the given method with fixed step h. The final partial step is
+// shortened to land exactly on t1.
+func (m *Model) Integrate(s State, i CurrentFunc, t0, t1, h float64, method Method) (State, error) {
+	if h <= 0 {
+		return State{}, fmt.Errorf("kibam: integration step must be positive (got %v)", h)
+	}
+	if t1 < t0 {
+		return State{}, fmt.Errorf("kibam: integration interval reversed (%v > %v)", t0, t1)
+	}
+	for t := t0; t < t1-1e-15; {
+		step := h
+		if t+step > t1 {
+			step = t1 - t
+		}
+		var err error
+		s, err = m.stepNumeric(s, i, t, step, method)
+		if err != nil {
+			return State{}, err
+		}
+		t += step
+	}
+	return s, nil
+}
+
+func (m *Model) stepNumeric(s State, i CurrentFunc, t, h float64, method Method) (State, error) {
+	switch method {
+	case Euler:
+		d := m.deriv(s, i(t))
+		return State{Gamma: s.Gamma + h*d.Gamma, Delta: s.Delta + h*d.Delta}, nil
+	case RK4:
+		k1 := m.deriv(s, i(t))
+		k2 := m.deriv(State{Gamma: s.Gamma + h/2*k1.Gamma, Delta: s.Delta + h/2*k1.Delta}, i(t+h/2))
+		k3 := m.deriv(State{Gamma: s.Gamma + h/2*k2.Gamma, Delta: s.Delta + h/2*k2.Delta}, i(t+h/2))
+		k4 := m.deriv(State{Gamma: s.Gamma + h*k3.Gamma, Delta: s.Delta + h*k3.Delta}, i(t+h))
+		return State{
+			Gamma: s.Gamma + h/6*(k1.Gamma+2*k2.Gamma+2*k3.Gamma+k4.Gamma),
+			Delta: s.Delta + h/6*(k1.Delta+2*k2.Delta+2*k3.Delta+k4.Delta),
+		}, nil
+	default:
+		return State{}, fmt.Errorf("kibam: unknown integration method %v", method)
+	}
+}
+
+// LifetimeNumeric computes the battery lifetime under the load with a fixed
+// step-size numeric integrator instead of the closed form. The crossing is
+// located to within one step h, then refined by bisection on the final step.
+// It returns ErrLoadExhausted if the battery outlives the load.
+//
+// Sampling the current at sub-step times would smear epoch boundaries, so
+// the integrator is restarted at each segment boundary; within a segment the
+// current is constant.
+func (m *Model) LifetimeNumeric(l load.Load, h float64, method Method) (float64, error) {
+	if h <= 0 {
+		return 0, fmt.Errorf("kibam: integration step must be positive (got %v)", h)
+	}
+	s := Full(m.p)
+	elapsed := 0.0
+	for idx := 0; idx < l.Len(); idx++ {
+		seg := l.Segment(idx)
+		cur := func(float64) float64 { return seg.Current }
+		for t := 0.0; t < seg.Duration-1e-15; {
+			step := h
+			if t+step > seg.Duration {
+				step = seg.Duration - t
+			}
+			next, err := m.stepNumeric(s, cur, t, step, method)
+			if err != nil {
+				return 0, err
+			}
+			if next.slack(m.p) <= 0 {
+				return elapsed + t + m.bisectNumeric(s, seg.Current, step, method), nil
+			}
+			s = next
+			t += step
+		}
+		elapsed += seg.Duration
+	}
+	return 0, fmt.Errorf("%w after %.2f min (numeric %v)", ErrLoadExhausted, elapsed, method)
+}
+
+// bisectNumeric refines the crossing within a single integration step.
+func (m *Model) bisectNumeric(s State, current, h float64, method Method) float64 {
+	cur := func(float64) float64 { return current }
+	lo, hi := 0.0, h
+	for i := 0; i < 60 && hi-lo > 1e-12; i++ {
+		mid := (lo + hi) / 2
+		st, err := m.stepNumeric(s, cur, 0, mid, method)
+		if err != nil || st.slack(m.p) <= 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,118 @@
+package kibam
+
+import (
+	"math"
+	"testing"
+
+	"batsched/internal/load"
+)
+
+// TestIntegratorsConvergeToClosedForm: both schemes approach the exact
+// solution as h shrinks, RK4 much faster.
+func TestIntegratorsConvergeToClosedForm(t *testing.T) {
+	m := MustNew(b1())
+	const current, horizon = 0.4, 3.0
+	exact := m.StepConstant(Full(b1()), current, horizon)
+	cur := func(float64) float64 { return current }
+
+	prevErr := map[Method]float64{Euler: math.Inf(1), RK4: math.Inf(1)}
+	for _, h := range []float64{0.1, 0.01, 0.001} {
+		for _, method := range []Method{Euler, RK4} {
+			got, err := m.Integrate(Full(b1()), cur, 0, horizon, h, method)
+			if err != nil {
+				t.Fatalf("%v h=%v: %v", method, h, err)
+			}
+			e := math.Abs(got.Delta-exact.Delta) + math.Abs(got.Gamma-exact.Gamma)
+			// Below ~1e-11 the error is float64 roundoff, not truncation,
+			// and need not shrink further.
+			if e >= prevErr[method] && e > 1e-11 {
+				t.Errorf("%v error did not shrink at h=%v: %v >= %v", method, h, e, prevErr[method])
+			}
+			prevErr[method] = e
+		}
+	}
+	if prevErr[RK4] > 1e-10 {
+		t.Errorf("RK4 at h=0.001 error %v, want < 1e-10", prevErr[RK4])
+	}
+	if prevErr[Euler] > 1e-3 {
+		t.Errorf("Euler at h=0.001 error %v, want < 1e-3", prevErr[Euler])
+	}
+	if prevErr[RK4] >= prevErr[Euler] {
+		t.Errorf("RK4 (%v) not better than Euler (%v)", prevErr[RK4], prevErr[Euler])
+	}
+}
+
+// TestLifetimeNumericMatchesAnalytic on a mixed paper load.
+func TestLifetimeNumericMatchesAnalytic(t *testing.T) {
+	m := MustNew(b1())
+	l, err := load.Paper("ILs alt", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := m.Lifetime(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		method Method
+		h      float64
+		tol    float64
+	}{
+		{Euler, 1e-3, 5e-3},
+		{Euler, 1e-4, 5e-4},
+		{RK4, 1e-3, 1e-4},
+		{RK4, 1e-2, 1e-3},
+	} {
+		got, err := m.LifetimeNumeric(l, tc.h, tc.method)
+		if err != nil {
+			t.Fatalf("%v h=%v: %v", tc.method, tc.h, err)
+		}
+		if math.Abs(got-exact) > tc.tol {
+			t.Errorf("%v h=%v: lifetime %v vs exact %v (tol %v)", tc.method, tc.h, got, exact, tc.tol)
+		}
+	}
+}
+
+// TestIntegrateTimeVaryingCurrent: a ramp load has no closed form; check
+// RK4 against a fine-step Euler reference.
+func TestIntegrateTimeVaryingCurrent(t *testing.T) {
+	m := MustNew(b1())
+	ramp := func(t float64) float64 { return 0.1 + 0.05*t }
+	ref, err := m.Integrate(Full(b1()), ramp, 0, 2, 1e-6, Euler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Integrate(Full(b1()), ramp, 0, 2, 1e-3, RK4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Delta-ref.Delta) > 1e-6 || math.Abs(got.Gamma-ref.Gamma) > 1e-6 {
+		t.Fatalf("RK4 %+v vs fine Euler %+v", got, ref)
+	}
+}
+
+func TestIntegrateErrors(t *testing.T) {
+	m := MustNew(b1())
+	cur := func(float64) float64 { return 0.1 }
+	if _, err := m.Integrate(Full(b1()), cur, 0, 1, 0, Euler); err == nil {
+		t.Error("accepted zero step")
+	}
+	if _, err := m.Integrate(Full(b1()), cur, 1, 0, 0.1, Euler); err == nil {
+		t.Error("accepted reversed interval")
+	}
+	if _, err := m.Integrate(Full(b1()), cur, 0, 1, 0.1, Method(99)); err == nil {
+		t.Error("accepted unknown method")
+	}
+	if _, err := m.LifetimeNumeric(load.MustNew("l", load.Segment{Duration: 1, Current: 0.1}), -1, Euler); err == nil {
+		t.Error("accepted negative step")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Euler.String() != "euler" || RK4.String() != "rk4" {
+		t.Fatalf("method names: %v, %v", Euler, RK4)
+	}
+	if Method(99).String() == "" {
+		t.Fatal("unknown method has empty name")
+	}
+}

@@ -1,0 +1,313 @@
+package kibam
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"batsched/internal/battery"
+	"batsched/internal/load"
+)
+
+// tolerances for float comparisons.
+const (
+	tightTol = 1e-9
+	looseTol = 1e-6
+)
+
+func closeTo(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func b1() battery.Params { return battery.B1() }
+
+func TestFullState(t *testing.T) {
+	s := Full(b1())
+	if s.Gamma != 5.5 || s.Delta != 0 {
+		t.Fatalf("Full = %+v, want gamma 5.5, delta 0", s)
+	}
+	y1, y2 := s.Wells(b1())
+	if !closeTo(y1, 0.166*5.5, tightTol) || !closeTo(y2, 0.834*5.5, tightTol) {
+		t.Fatalf("wells = %v, %v; want c*C, (1-c)*C", y1, y2)
+	}
+}
+
+func TestWellsRoundTrip(t *testing.T) {
+	p := b1()
+	check := func(y1Raw, y2Raw float64) bool {
+		y1 := math.Abs(math.Mod(y1Raw, 5))
+		y2 := math.Abs(math.Mod(y2Raw, 5))
+		s := FromWells(p, y1, y2)
+		g1, g2 := s.Wells(p)
+		return closeTo(g1, y1, looseTol) && closeTo(g2, y2, looseTol)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyConditionMatchesAvailable(t *testing.T) {
+	p := b1()
+	check := func(gRaw, dRaw float64) bool {
+		s := State{Gamma: math.Abs(math.Mod(gRaw, 6)), Delta: math.Abs(math.Mod(dRaw, 6))}
+		return s.Empty(p) == (s.Available(p) <= tightTol*p.C) ||
+			// boundary wobble: both computed from the same expression, so
+			// only exact zero could disagree
+			math.Abs(s.Available(p)) < looseTol
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStepConstantSemigroup checks the closed form is exact: stepping dt1
+// then dt2 equals stepping dt1+dt2 (the defining property of the exact
+// solution that no fixed-step integrator has).
+func TestStepConstantSemigroup(t *testing.T) {
+	m := MustNew(b1())
+	check := func(dt1Raw, dt2Raw, iRaw float64) bool {
+		dt1 := math.Abs(math.Mod(dt1Raw, 3))
+		dt2 := math.Abs(math.Mod(dt2Raw, 3))
+		i := math.Abs(math.Mod(iRaw, 0.7))
+		s := Full(m.Params())
+		a := m.StepConstant(m.StepConstant(s, i, dt1), i, dt2)
+		b := m.StepConstant(s, i, dt1+dt2)
+		return closeTo(a.Gamma, b.Gamma, looseTol) && closeTo(a.Delta, b.Delta, looseTol)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChargeConservation: gamma decreases exactly by the charge drawn.
+func TestChargeConservation(t *testing.T) {
+	m := MustNew(b1())
+	check := func(dtRaw, iRaw float64) bool {
+		dt := math.Abs(math.Mod(dtRaw, 5))
+		i := math.Abs(math.Mod(iRaw, 0.7))
+		s := m.StepConstant(Full(m.Params()), i, dt)
+		return closeTo(s.Gamma, 5.5-i*dt, looseTol)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaNonNegative: the height difference never goes negative when
+// discharging from rest.
+func TestDeltaNonNegative(t *testing.T) {
+	m := MustNew(b1())
+	check := func(dtRaw, iRaw float64) bool {
+		dt := math.Abs(math.Mod(dtRaw, 10))
+		i := math.Abs(math.Mod(iRaw, 0.7))
+		s := m.StepConstant(Full(m.Params()), i, dt)
+		return s.Delta >= -tightTol
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaEquilibrium: under constant current delta converges to
+// i/(c k') from below.
+func TestDeltaEquilibrium(t *testing.T) {
+	m := MustNew(b1())
+	p := m.Params()
+	const i = 0.25
+	equilibrium := i / (p.C * p.KPrime)
+	s := m.StepConstant(Full(p), i, 200)
+	if !closeTo(s.Delta, equilibrium, 1e-6) {
+		t.Fatalf("delta after 200 min = %v, want equilibrium %v", s.Delta, equilibrium)
+	}
+}
+
+// TestRecoveryDecay: at zero current delta decays exponentially with rate
+// k'.
+func TestRecoveryDecay(t *testing.T) {
+	m := MustNew(b1())
+	start := State{Gamma: 4, Delta: 2}
+	s := m.StepConstant(start, 0, 3)
+	want := 2 * math.Exp(-m.Params().KPrime*3)
+	if !closeTo(s.Delta, want, tightTol) {
+		t.Fatalf("delta = %v, want %v", s.Delta, want)
+	}
+	if s.Gamma != 4 {
+		t.Fatalf("gamma changed during idle: %v", s.Gamma)
+	}
+}
+
+func TestStepConstantPanicsOnNegativeDt(t *testing.T) {
+	m := MustNew(b1())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative dt")
+		}
+	}()
+	m.StepConstant(Full(b1()), 0.1, -1)
+}
+
+func TestEmptyTime(t *testing.T) {
+	m := MustNew(b1())
+	// Continuous 250 mA kills B1 at 4.53 min (Table 3).
+	dt, crossed := m.EmptyTime(Full(b1()), 0.25, 10)
+	if !crossed {
+		t.Fatal("no crossing within 10 min at 250 mA")
+	}
+	if math.Abs(dt-4.53) > 0.005 {
+		t.Fatalf("crossing at %v, want 4.53", dt)
+	}
+	// No crossing while idle.
+	if _, crossed := m.EmptyTime(State{Gamma: 1, Delta: 0.5}, 0, 100); crossed {
+		t.Fatal("crossing during idle")
+	}
+	// Already empty crosses at 0.
+	dt, crossed = m.EmptyTime(State{Gamma: 1, Delta: 2}, 0.1, 1)
+	if !crossed || dt != 0 {
+		t.Fatalf("already-empty: dt=%v crossed=%v", dt, crossed)
+	}
+	// No crossing when maxDt too small.
+	if _, crossed := m.EmptyTime(Full(b1()), 0.25, 1); crossed {
+		t.Fatal("crossing inside 1 min at 250 mA")
+	}
+}
+
+// TestLifetimeMonotoneInCurrent: a heavier continuous load never extends
+// the lifetime (rate-capacity effect).
+func TestLifetimeMonotoneInCurrent(t *testing.T) {
+	m := MustNew(b1())
+	prev := math.Inf(1)
+	for _, i := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7} {
+		l := load.MustNew("cl", load.Segment{Duration: 400, Current: i})
+		lt, err := m.Lifetime(l)
+		if err != nil {
+			t.Fatalf("i=%v: %v", i, err)
+		}
+		if lt >= prev {
+			t.Fatalf("lifetime grew with current: %v at %v (prev %v)", lt, i, prev)
+		}
+		prev = lt
+	}
+}
+
+// TestLifetimeMonotoneInCapacity: more capacity never shortens lifetime.
+func TestLifetimeMonotoneInCapacity(t *testing.T) {
+	l := load.MustNew("cl", load.Segment{Duration: 400, Current: 0.25})
+	prev := 0.0
+	for _, f := range []float64{0.5, 1, 2, 4, 8} {
+		m := MustNew(b1().Scale(f))
+		lt, err := m.Lifetime(l)
+		if err != nil {
+			t.Fatalf("f=%v: %v", f, err)
+		}
+		if lt <= prev {
+			t.Fatalf("lifetime shrank with capacity: %v at %v (prev %v)", lt, f, prev)
+		}
+		prev = lt
+	}
+}
+
+// TestRecoveryExtendsLifetime: inserting idle periods yields strictly more
+// total service time (the recovery effect).
+func TestRecoveryExtendsLifetime(t *testing.T) {
+	m := MustNew(b1())
+	cont, err := m.Lifetime(load.Continuous("cl", 0.5, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	interm, err := m.Lifetime(load.Intermittent("il", 0.5, 1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Service time of the intermittent load is roughly half its horizon.
+	if interm/2 <= cont {
+		t.Fatalf("no recovery benefit: continuous %v vs intermittent %v (service ~%v)", cont, interm, interm/2)
+	}
+}
+
+// TestPaperTable3And4Analytic pins all twenty single-battery analytic
+// lifetimes to the paper's KiBaM columns.
+func TestPaperTable3And4Analytic(t *testing.T) {
+	want := map[string][2]float64{ // load -> {B1, B2}
+		"CL 250":  {4.53, 12.16},
+		"CL 500":  {2.02, 4.53},
+		"CL alt":  {2.58, 6.45},
+		"ILs 250": {10.80, 44.78},
+		"ILs 500": {4.30, 10.80},
+		"ILs alt": {4.80, 16.93},
+		"ILs r1":  {4.72, 22.71},
+		"ILs r2":  {4.72, 14.81},
+		"ILl 250": {21.86, 84.90},
+		"ILl 500": {6.53, 21.86},
+	}
+	for bi, b := range []battery.Params{battery.B1(), battery.B2()} {
+		m := MustNew(b)
+		for name, w := range want {
+			l, err := load.Paper(name, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lt, err := m.Lifetime(l)
+			if err != nil {
+				t.Fatalf("%s %s: %v", b.Label, name, err)
+			}
+			if math.Abs(lt-w[bi]) > 0.005 {
+				t.Errorf("%s %s: lifetime %.4f, paper %v", b.Label, name, lt, w[bi])
+			}
+		}
+	}
+}
+
+func TestLifetimeLoadExhausted(t *testing.T) {
+	m := MustNew(b1())
+	l := load.MustNew("tiny", load.Segment{Duration: 0.5, Current: 0.1})
+	if _, err := m.Lifetime(l); err == nil {
+		t.Fatal("no error for a load the battery outlives")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	m := MustNew(b1())
+	l, err := load.Paper("ILs 250", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := m.Trace(l, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 10 {
+		t.Fatalf("only %d trace points", len(points))
+	}
+	if points[0].Time != 0 || points[0].State.Gamma != 5.5 {
+		t.Fatalf("bad initial point %+v", points[0])
+	}
+	// Monotone time, non-increasing gamma.
+	for i := 1; i < len(points); i++ {
+		if points[i].Time <= points[i-1].Time-tightTol {
+			t.Fatalf("time not increasing at %d", i)
+		}
+		if points[i].State.Gamma > points[i-1].State.Gamma+tightTol {
+			t.Fatalf("gamma increased at %d", i)
+		}
+	}
+	// The final point is the death instant (Table 3: 10.80).
+	last := points[len(points)-1]
+	if math.Abs(last.Time-10.80) > 0.01 {
+		t.Fatalf("trace ends at %v, want 10.80", last.Time)
+	}
+	if !last.State.Empty(m.Params()) {
+		t.Fatal("trace did not end empty")
+	}
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	bad := []battery.Params{
+		{Capacity: 0, C: 0.2, KPrime: 0.1},
+		{Capacity: 1, C: 0, KPrime: 0.1},
+		{Capacity: 1, C: 1, KPrime: 0.1},
+		{Capacity: 1, C: 0.2, KPrime: 0},
+	}
+	for _, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%+v) accepted invalid params", p)
+		}
+	}
+}

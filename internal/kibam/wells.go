@@ -1,0 +1,58 @@
+package kibam
+
+import (
+	"fmt"
+
+	"batsched/internal/battery"
+)
+
+// WellState is the KiBaM state in the original (untransformed) coordinates
+// of Eq. (1): y1 is the available charge, y2 the bound charge. It exists to
+// validate the Section 2.2 coordinate transformation and for callers who
+// prefer to think in wells.
+type WellState struct {
+	Y1 float64
+	Y2 float64
+}
+
+// FullWells returns the wells of a freshly charged battery: y1 = cC,
+// y2 = (1-c)C.
+func FullWells(p battery.Params) WellState {
+	return WellState{Y1: p.C * p.Capacity, Y2: (1 - p.C) * p.Capacity}
+}
+
+// Transform maps wells into the transformed coordinates.
+func (w WellState) Transform(p battery.Params) State {
+	return FromWells(p, w.Y1, w.Y2)
+}
+
+// Heights returns the well heights h1 = y1/c and h2 = y2/(1-c).
+func (w WellState) Heights(p battery.Params) (h1, h2 float64) {
+	return w.Y1 / p.C, w.Y2 / (1 - p.C)
+}
+
+// Untransform maps a transformed state back to wells.
+func Untransform(p battery.Params, s State) WellState {
+	y1, y2 := s.Wells(p)
+	return WellState{Y1: y1, Y2: y2}
+}
+
+// StepWellsEuler advances the original two-well ODE system (1) by one Euler
+// step of size h under current i:
+//
+//	dy1/dt = -i + k (h2 - h1)
+//	dy2/dt = -k (h2 - h1)
+//
+// where k = k' c (1-c). It exists as an independent check that the
+// transformed dynamics used everywhere else agree with Eq. (1).
+func StepWellsEuler(p battery.Params, w WellState, current, h float64) WellState {
+	if h < 0 {
+		panic(fmt.Sprintf("kibam: negative step %v", h))
+	}
+	h1, h2 := w.Heights(p)
+	flow := p.K() * (h2 - h1)
+	return WellState{
+		Y1: w.Y1 + h*(-current+flow),
+		Y2: w.Y2 + h*(-flow),
+	}
+}

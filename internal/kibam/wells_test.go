@@ -1,0 +1,76 @@
+package kibam
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWellDynamicsMatchTransformed: integrating the original Eq. (1) with
+// fine Euler steps agrees with the closed-form transformed dynamics — the
+// Section 2.2 coordinate transformation is an equivalence.
+func TestWellDynamicsMatchTransformed(t *testing.T) {
+	p := b1()
+	m := MustNew(p)
+	const current, horizon, h = 0.35, 2.0, 1e-5
+
+	w := FullWells(p)
+	for step := 0; step < int(horizon/h); step++ {
+		w = StepWellsEuler(p, w, current, h)
+	}
+	exact := m.StepConstant(Full(p), current, horizon)
+	got := w.Transform(p)
+	if math.Abs(got.Gamma-exact.Gamma) > 1e-4 {
+		t.Errorf("gamma via wells %v vs closed form %v", got.Gamma, exact.Gamma)
+	}
+	if math.Abs(got.Delta-exact.Delta) > 1e-3 {
+		t.Errorf("delta via wells %v vs closed form %v", got.Delta, exact.Delta)
+	}
+}
+
+func TestHeights(t *testing.T) {
+	p := b1()
+	w := FullWells(p)
+	h1, h2 := w.Heights(p)
+	// A full battery has equal well heights (delta = 0).
+	if math.Abs(h1-h2) > 1e-9 {
+		t.Fatalf("full battery heights differ: %v vs %v", h1, h2)
+	}
+	if math.Abs(h1-p.Capacity) > 1e-9 {
+		t.Fatalf("full height %v, want C=%v", h1, p.Capacity)
+	}
+}
+
+func TestUntransform(t *testing.T) {
+	p := b1()
+	s := State{Gamma: 3.5, Delta: 1.2}
+	w := Untransform(p, s)
+	back := w.Transform(p)
+	if math.Abs(back.Gamma-s.Gamma) > 1e-9 || math.Abs(back.Delta-s.Delta) > 1e-9 {
+		t.Fatalf("round trip %+v -> %+v", s, back)
+	}
+}
+
+func TestWellConservation(t *testing.T) {
+	// The inter-well flow conserves total charge when no current is drawn.
+	p := b1()
+	w := WellState{Y1: 0.2, Y2: 3.0}
+	total := w.Y1 + w.Y2
+	for i := 0; i < 1000; i++ {
+		w = StepWellsEuler(p, w, 0, 1e-3)
+	}
+	if math.Abs(w.Y1+w.Y2-total) > 1e-9 {
+		t.Fatalf("charge not conserved: %v -> %v", total, w.Y1+w.Y2)
+	}
+	if w.Y1 <= 0.2 {
+		t.Fatal("no recovery flow into the available well")
+	}
+}
+
+func TestStepWellsEulerPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	StepWellsEuler(b1(), FullWells(b1()), 0.1, -1)
+}

@@ -1,0 +1,185 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Compiled is the three-array encoding of a load used by the timed-automata
+// battery model (Section 4.1, Table 1). The paper produces these arrays with
+// an external program; Compile is that program.
+//
+// All times are in discretization steps of StepMin minutes; charge is in
+// units of UnitAmpMin ampere-minutes.
+type Compiled struct {
+	// LoadTime[y] is the absolute step at which epoch y ends (strictly
+	// increasing).
+	LoadTime []int
+	// CurTimes[y] is the number of steps it takes to draw Cur[y] charge
+	// units during epoch y; zero for idle epochs.
+	CurTimes []int
+	// Cur[y] is the number of charge units drawn every CurTimes[y] steps
+	// during epoch y; zero for idle epochs.
+	Cur []int
+	// StepMin is the time-step size T in minutes.
+	StepMin float64
+	// UnitAmpMin is the charge-unit size Gamma in A·min.
+	UnitAmpMin float64
+}
+
+// Compilation errors.
+var (
+	ErrBadStep        = errors.New("load: step size must be positive")
+	ErrBadUnit        = errors.New("load: charge unit must be positive")
+	ErrNotDiscretable = errors.New("load: segment does not discretize")
+)
+
+// maxRateDenominator bounds the denominator of the rational approximation of
+// a segment's per-step charge draw.
+const maxRateDenominator = 10000
+
+// Compile discretizes the load onto a grid with time step stepMin (the
+// paper's T) and charge unit unitAmpMin (the paper's Gamma). Each epoch's
+// duration must be an integer number of steps, and each job current I must
+// satisfy Eq. (7): I = Cur*Gamma / (CurTimes*T) for small integers Cur and
+// CurTimes.
+func Compile(l Load, stepMin, unitAmpMin float64) (Compiled, error) {
+	if !(stepMin > 0) {
+		return Compiled{}, fmt.Errorf("%w (got %v)", ErrBadStep, stepMin)
+	}
+	if !(unitAmpMin > 0) {
+		return Compiled{}, fmt.Errorf("%w (got %v)", ErrBadUnit, unitAmpMin)
+	}
+	if l.Len() == 0 {
+		return Compiled{}, ErrEmptyLoad
+	}
+	c := Compiled{
+		LoadTime:   make([]int, 0, l.Len()),
+		CurTimes:   make([]int, 0, l.Len()),
+		Cur:        make([]int, 0, l.Len()),
+		StepMin:    stepMin,
+		UnitAmpMin: unitAmpMin,
+	}
+	end := 0
+	for i := 0; i < l.Len(); i++ {
+		seg := l.Segment(i)
+		steps, ok := asInt(seg.Duration / stepMin)
+		if !ok || steps <= 0 {
+			return Compiled{}, fmt.Errorf("%w: segment %d duration %v min is not a positive multiple of T=%v",
+				ErrNotDiscretable, i, seg.Duration, stepMin)
+		}
+		end += steps
+		c.LoadTime = append(c.LoadTime, end)
+		if !seg.IsJob() {
+			c.CurTimes = append(c.CurTimes, 0)
+			c.Cur = append(c.Cur, 0)
+			continue
+		}
+		// Per-step draw in charge units: r = I*T/Gamma. Find cur/curTimes = r.
+		r := seg.Current * stepMin / unitAmpMin
+		cur, curTimes, err := rationalize(r)
+		if err != nil {
+			return Compiled{}, fmt.Errorf("%w: segment %d current %v A: %v",
+				ErrNotDiscretable, i, seg.Current, err)
+		}
+		c.CurTimes = append(c.CurTimes, curTimes)
+		c.Cur = append(c.Cur, cur)
+	}
+	return c, nil
+}
+
+// MustCompile is Compile but panics on error.
+func MustCompile(l Load, stepMin, unitAmpMin float64) Compiled {
+	c, err := Compile(l, stepMin, unitAmpMin)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Epochs returns the number of epochs in the compiled load.
+func (c Compiled) Epochs() int { return len(c.LoadTime) }
+
+// EpochStart returns the step at which epoch y begins.
+func (c Compiled) EpochStart(y int) int {
+	if y == 0 {
+		return 0
+	}
+	return c.LoadTime[y-1]
+}
+
+// IsJob reports whether epoch y is a job epoch.
+func (c Compiled) IsJob(y int) bool { return y < len(c.Cur) && c.Cur[y] > 0 }
+
+// Current returns the current in amperes drawn during epoch y, per Eq. (7).
+func (c Compiled) Current(y int) float64 {
+	if !c.IsJob(y) {
+		return 0
+	}
+	return float64(c.Cur[y]) * c.UnitAmpMin / (float64(c.CurTimes[y]) * c.StepMin)
+}
+
+// TotalSteps returns the horizon of the compiled load in steps.
+func (c Compiled) TotalSteps() int {
+	if len(c.LoadTime) == 0 {
+		return 0
+	}
+	return c.LoadTime[len(c.LoadTime)-1]
+}
+
+// Validate checks the structural invariants of the encoding: strictly
+// increasing LoadTime, equal array lengths, and matching job/idle markers.
+func (c Compiled) Validate() error {
+	if len(c.LoadTime) != len(c.CurTimes) || len(c.LoadTime) != len(c.Cur) {
+		return fmt.Errorf("load: array lengths differ (%d/%d/%d)", len(c.LoadTime), len(c.CurTimes), len(c.Cur))
+	}
+	prev := 0
+	for y := range c.LoadTime {
+		if c.LoadTime[y] <= prev {
+			return fmt.Errorf("load: LoadTime not strictly increasing at epoch %d", y)
+		}
+		prev = c.LoadTime[y]
+		if (c.Cur[y] > 0) != (c.CurTimes[y] > 0) {
+			return fmt.Errorf("load: epoch %d mixes job and idle markers (cur=%d, curTimes=%d)", y, c.Cur[y], c.CurTimes[y])
+		}
+		if c.Cur[y] < 0 || c.CurTimes[y] < 0 {
+			return fmt.Errorf("load: epoch %d has negative entries", y)
+		}
+	}
+	return nil
+}
+
+// asInt converts a float that should be integral to an int.
+func asInt(v float64) (int, bool) {
+	r := math.Round(v)
+	if math.Abs(v-r) > 1e-6 {
+		return 0, false
+	}
+	return int(r), true
+}
+
+// rationalize approximates r as a fraction p/q with the smallest q up to
+// maxRateDenominator, using a Stern-Brocot walk.
+func rationalize(r float64) (p, q int, err error) {
+	if !(r > 0) {
+		return 0, 0, fmt.Errorf("rate %v not positive", r)
+	}
+	const tol = 1e-9
+	// Fast path: r itself close to a ratio with tiny denominator.
+	loP, loQ := 0, 1 // 0/1
+	hiP, hiQ := 1, 0 // inf
+	for loQ+hiQ <= maxRateDenominator {
+		midP, midQ := loP+hiP, loQ+hiQ
+		v := float64(midP) / float64(midQ)
+		switch {
+		case math.Abs(v-r) <= tol*math.Max(1, r):
+			return midP, midQ, nil
+		case v < r:
+			loP, loQ = midP, midQ
+		default:
+			hiP, hiQ = midP, midQ
+		}
+	}
+	return 0, 0, fmt.Errorf("rate %v has no rational form p/q with q <= %d", r, maxRateDenominator)
+}

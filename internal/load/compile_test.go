@@ -1,0 +1,196 @@
+package load
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	paperStep = 0.01
+	paperUnit = 0.01
+)
+
+func TestCompilePaperEncoding(t *testing.T) {
+	// ILs alt on the paper grid: 1-min jobs (100 steps) alternating
+	// 500 mA (1 unit per 2 steps) and 250 mA (1 unit per 4 steps), with
+	// 1-min idles.
+	l, err := Paper("ILs alt", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(l, paperStep, paperUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.LoadTime[0] != 100 || c.LoadTime[1] != 200 || c.LoadTime[2] != 300 {
+		t.Fatalf("LoadTime prefix %v", c.LoadTime[:3])
+	}
+	if c.Cur[0] != 1 || c.CurTimes[0] != 2 {
+		t.Fatalf("high job encoded %d/%d, want 1/2", c.Cur[0], c.CurTimes[0])
+	}
+	if c.Cur[1] != 0 || c.CurTimes[1] != 0 {
+		t.Fatalf("idle encoded %d/%d", c.Cur[1], c.CurTimes[1])
+	}
+	if c.Cur[2] != 1 || c.CurTimes[2] != 4 {
+		t.Fatalf("low job encoded %d/%d, want 1/4", c.Cur[2], c.CurTimes[2])
+	}
+}
+
+// TestEquationSeven: the compiled arrays reproduce each epoch's current
+// exactly via Eq. (7): I = cur*Gamma/(cur_times*T).
+func TestEquationSeven(t *testing.T) {
+	for _, name := range PaperLoadNames {
+		l, err := Paper(name, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compile(l, paperStep, paperUnit)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for y := 0; y < c.Epochs(); y++ {
+			if got, want := c.Current(y), l.Segment(y).Current; math.Abs(got-want) > 1e-9 {
+				t.Fatalf("%s epoch %d: Eq.(7) gives %v, load says %v", name, y, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileOddCurrents(t *testing.T) {
+	// The Itsy's 700 mA peak: 0.7 A * 0.01 min / 0.01 A·min = 0.7 units
+	// per step = 7 units per 10 steps.
+	l := MustNew("x", Segment{Duration: 1, Current: 0.7})
+	c, err := Compile(l, paperStep, paperUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cur[0] != 7 || c.CurTimes[0] != 10 {
+		t.Fatalf("700 mA encoded %d/%d, want 7/10", c.Cur[0], c.CurTimes[0])
+	}
+	// 1 A = 1 unit per step.
+	l2 := MustNew("y", Segment{Duration: 1, Current: 1})
+	c2, err := Compile(l2, paperStep, paperUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Cur[0] != 1 || c2.CurTimes[0] != 1 {
+		t.Fatalf("1 A encoded %d/%d, want 1/1", c2.Cur[0], c2.CurTimes[0])
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	l := MustNew("l", Segment{Duration: 1, Current: 0.25})
+	if _, err := Compile(l, 0, paperUnit); !errors.Is(err, ErrBadStep) {
+		t.Fatalf("zero step: %v", err)
+	}
+	if _, err := Compile(l, paperStep, 0); !errors.Is(err, ErrBadUnit) {
+		t.Fatalf("zero unit: %v", err)
+	}
+	// A duration that does not land on the grid.
+	frac := MustNew("f", Segment{Duration: 0.005, Current: 0.25})
+	if _, err := Compile(frac, paperStep, paperUnit); !errors.Is(err, ErrNotDiscretable) {
+		t.Fatalf("fractional duration: %v", err)
+	}
+	// A current with no small rational form.
+	weird := MustNew("w", Segment{Duration: 1, Current: 0.2500001})
+	if _, err := Compile(weird, paperStep, paperUnit); err == nil {
+		t.Fatal("accepted non-rationalizable current")
+	}
+}
+
+func TestEpochHelpers(t *testing.T) {
+	l, _ := Paper("ILs 250", 6)
+	c := MustCompile(l, paperStep, paperUnit)
+	if c.EpochStart(0) != 0 {
+		t.Fatalf("EpochStart(0) = %d", c.EpochStart(0))
+	}
+	for y := 1; y < c.Epochs(); y++ {
+		if c.EpochStart(y) != c.LoadTime[y-1] {
+			t.Fatalf("EpochStart(%d) = %d, want %d", y, c.EpochStart(y), c.LoadTime[y-1])
+		}
+	}
+	if !c.IsJob(0) || c.IsJob(1) {
+		t.Fatal("job/idle structure wrong")
+	}
+	if c.TotalSteps() != c.LoadTime[c.Epochs()-1] {
+		t.Fatal("TotalSteps mismatch")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	l, _ := Paper("ILs 250", 6)
+	good := MustCompile(l, paperStep, paperUnit)
+
+	bad := good
+	bad.LoadTime = append([]int(nil), good.LoadTime...)
+	bad.LoadTime[1] = bad.LoadTime[0] // not strictly increasing
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted non-increasing LoadTime")
+	}
+
+	bad2 := good
+	bad2.Cur = append([]int(nil), good.Cur...)
+	bad2.Cur[0] = 0 // job marker mismatch: CurTimes[0] > 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("accepted mixed job/idle markers")
+	}
+
+	bad3 := good
+	bad3.Cur = bad3.Cur[:1]
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+}
+
+// TestRationalize: p/q reconstruction of simple fractions.
+func TestRationalize(t *testing.T) {
+	cases := []struct {
+		r    float64
+		p, q int
+	}{
+		{0.25, 1, 4},
+		{0.5, 1, 2},
+		{0.7, 7, 10},
+		{1, 1, 1},
+		{2, 2, 1},
+		{1.0 / 3.0, 1, 3},
+	}
+	for _, c := range cases {
+		p, q, err := rationalize(c.r)
+		if err != nil {
+			t.Fatalf("rationalize(%v): %v", c.r, err)
+		}
+		if p != c.p || q != c.q {
+			t.Fatalf("rationalize(%v) = %d/%d, want %d/%d", c.r, p, q, c.p, c.q)
+		}
+	}
+	if _, _, err := rationalize(0); err == nil {
+		t.Fatal("accepted zero rate")
+	}
+	if _, _, err := rationalize(-1); err == nil {
+		t.Fatal("accepted negative rate")
+	}
+}
+
+// TestRationalizeProperty: for random small fractions p/q the walk finds an
+// equivalent fraction.
+func TestRationalizeProperty(t *testing.T) {
+	check := func(pRaw, qRaw uint8) bool {
+		p := int(pRaw%50) + 1
+		q := int(qRaw%50) + 1
+		gotP, gotQ, err := rationalize(float64(p) / float64(q))
+		if err != nil {
+			return false
+		}
+		// The result must be the same rational, possibly reduced.
+		return gotP*q == gotQ*p
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

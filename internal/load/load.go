@@ -1,0 +1,168 @@
+// Package load models the piecewise-constant discharge loads of the DSN 2009
+// battery-scheduling paper and compiles them into the three-array encoding
+// (load_time, cur_times, cur) consumed by the timed-automata battery model.
+//
+// A load is a finite sequence of epochs (the paper's term): intervals with a
+// constant current. Epochs with a positive current are jobs; epochs with zero
+// current are idle periods. Time is in minutes, current in amperes.
+package load
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Segment is one epoch of a load: Duration minutes at Current amperes.
+type Segment struct {
+	Duration float64
+	Current  float64
+}
+
+// IsJob reports whether the segment draws current (the paper calls such
+// epochs jobs; zero-current epochs are idle periods).
+func (s Segment) IsJob() bool { return s.Current > 0 }
+
+// Load is an immutable piecewise-constant load.
+type Load struct {
+	name     string
+	segments []Segment
+}
+
+// Errors returned by the constructors and accessors in this package.
+var (
+	ErrEmptyLoad        = errors.New("load: no segments")
+	ErrNegativeDuration = errors.New("load: segment duration must be positive")
+	ErrNegativeCurrent  = errors.New("load: segment current must be non-negative")
+)
+
+// New builds a load from segments. Adjacent segments with equal current are
+// kept separate on purpose: job boundaries are scheduling points even when
+// consecutive jobs draw the same current.
+func New(name string, segments ...Segment) (Load, error) {
+	if len(segments) == 0 {
+		return Load{}, ErrEmptyLoad
+	}
+	for i, s := range segments {
+		if !(s.Duration > 0) {
+			return Load{}, fmt.Errorf("%w (segment %d: %v)", ErrNegativeDuration, i, s.Duration)
+		}
+		if s.Current < 0 {
+			return Load{}, fmt.Errorf("%w (segment %d: %v)", ErrNegativeCurrent, i, s.Current)
+		}
+	}
+	segs := make([]Segment, len(segments))
+	copy(segs, segments)
+	return Load{name: name, segments: segs}, nil
+}
+
+// MustNew is New but panics on error; intended for tests and package-level
+// construction of known-good loads.
+func MustNew(name string, segments ...Segment) Load {
+	l, err := New(name, segments...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Name returns the load's display name (for example "ILs alt").
+func (l Load) Name() string { return l.name }
+
+// Len returns the number of epochs.
+func (l Load) Len() int { return len(l.segments) }
+
+// Segment returns epoch i.
+func (l Load) Segment(i int) Segment { return l.segments[i] }
+
+// Segments returns a copy of the epoch list.
+func (l Load) Segments() []Segment {
+	segs := make([]Segment, len(l.segments))
+	copy(segs, l.segments)
+	return segs
+}
+
+// TotalDuration returns the horizon of the load in minutes.
+func (l Load) TotalDuration() float64 {
+	var total float64
+	for _, s := range l.segments {
+		total += s.Duration
+	}
+	return total
+}
+
+// Current returns the current drawn at time t. Beyond the horizon it
+// returns 0. Boundary instants belong to the later epoch.
+func (l Load) Current(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	var end float64
+	for _, s := range l.segments {
+		end += s.Duration
+		if t < end {
+			return s.Current
+		}
+	}
+	return 0
+}
+
+// Charge returns the cumulative charge (A·min) demanded by the load over
+// [0, t].
+func (l Load) Charge(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	var total, start float64
+	for _, s := range l.segments {
+		end := start + s.Duration
+		if t <= end {
+			total += (t - start) * s.Current
+			return total
+		}
+		total += s.Duration * s.Current
+		start = end
+	}
+	return total
+}
+
+// JobCount returns the number of job epochs.
+func (l Load) JobCount() int {
+	n := 0
+	for _, s := range l.segments {
+		if s.IsJob() {
+			n++
+		}
+	}
+	return n
+}
+
+// Rename returns a copy of the load with a different display name.
+func (l Load) Rename(name string) Load {
+	return Load{name: name, segments: l.segments}
+}
+
+// Truncate returns the prefix of the load covering [0, horizon]. The final
+// epoch is shortened if the horizon falls inside it. If the horizon exceeds
+// the load, the load is returned unchanged.
+func (l Load) Truncate(horizon float64) (Load, error) {
+	if horizon <= 0 {
+		return Load{}, fmt.Errorf("load: truncate horizon must be positive (got %v)", horizon)
+	}
+	var out []Segment
+	var end float64
+	for _, s := range l.segments {
+		if end+s.Duration <= horizon+1e-12 {
+			out = append(out, s)
+			end += s.Duration
+			continue
+		}
+		if rem := horizon - end; rem > 1e-12 {
+			out = append(out, Segment{Duration: rem, Current: s.Current})
+		}
+		break
+	}
+	if len(out) == 0 {
+		return Load{}, ErrEmptyLoad
+	}
+	return Load{name: l.name, segments: out}, nil
+}

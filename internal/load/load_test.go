@@ -1,0 +1,223 @@
+package load
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("empty"); !errors.Is(err, ErrEmptyLoad) {
+		t.Fatalf("empty load: %v", err)
+	}
+	if _, err := New("bad", Segment{Duration: 0, Current: 1}); !errors.Is(err, ErrNegativeDuration) {
+		t.Fatalf("zero duration: %v", err)
+	}
+	if _, err := New("bad", Segment{Duration: 1, Current: -0.1}); !errors.Is(err, ErrNegativeCurrent) {
+		t.Fatalf("negative current: %v", err)
+	}
+	l, err := New("ok", Segment{Duration: 1, Current: 0.25}, Segment{Duration: 2, Current: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 || l.Name() != "ok" {
+		t.Fatalf("load %v/%v", l.Len(), l.Name())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustNew("bad")
+}
+
+func TestImmutability(t *testing.T) {
+	segs := []Segment{{Duration: 1, Current: 0.25}}
+	l := MustNew("l", segs...)
+	segs[0].Current = 99
+	if l.Segment(0).Current != 0.25 {
+		t.Fatal("constructor kept a reference to the caller's slice")
+	}
+	got := l.Segments()
+	got[0].Current = 99
+	if l.Segment(0).Current != 0.25 {
+		t.Fatal("Segments exposed internal state")
+	}
+}
+
+func TestCurrentAndCharge(t *testing.T) {
+	l := MustNew("l",
+		Segment{Duration: 1, Current: 0.5},
+		Segment{Duration: 2, Current: 0},
+		Segment{Duration: 1, Current: 0.25},
+	)
+	cases := []struct{ t, current, charge float64 }{
+		{-1, 0, 0},
+		{0, 0.5, 0},
+		{0.5, 0.5, 0.25},
+		{1, 0, 0.5}, // boundary belongs to the later epoch
+		{2.5, 0, 0.5},
+		{3, 0.25, 0.5},
+		{3.5, 0.25, 0.625},
+		{4, 0, 0.75},
+		{100, 0, 0.75},
+	}
+	for _, c := range cases {
+		if got := l.Current(c.t); got != c.current {
+			t.Errorf("Current(%v) = %v, want %v", c.t, got, c.current)
+		}
+		if got := l.Charge(c.t); math.Abs(got-c.charge) > 1e-12 {
+			t.Errorf("Charge(%v) = %v, want %v", c.t, got, c.charge)
+		}
+	}
+	if l.TotalDuration() != 4 {
+		t.Fatalf("TotalDuration = %v", l.TotalDuration())
+	}
+	if l.JobCount() != 2 {
+		t.Fatalf("JobCount = %v", l.JobCount())
+	}
+}
+
+// TestChargeMonotone: cumulative charge never decreases.
+func TestChargeMonotone(t *testing.T) {
+	l := MustNew("l",
+		Segment{Duration: 1, Current: 0.5},
+		Segment{Duration: 1, Current: 0},
+		Segment{Duration: 3, Current: 0.1},
+	)
+	check := func(aRaw, bRaw float64) bool {
+		a := math.Abs(math.Mod(aRaw, 6))
+		b := math.Abs(math.Mod(bRaw, 6))
+		if a > b {
+			a, b = b, a
+		}
+		return l.Charge(a) <= l.Charge(b)+1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	l := MustNew("l",
+		Segment{Duration: 1, Current: 0.5},
+		Segment{Duration: 2, Current: 0},
+	)
+	short, err := l.Truncate(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Len() != 2 || short.TotalDuration() != 1.5 {
+		t.Fatalf("truncated: %d segments, %v min", short.Len(), short.TotalDuration())
+	}
+	same, err := l.Truncate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.TotalDuration() != 3 {
+		t.Fatalf("over-truncate changed the load: %v", same.TotalDuration())
+	}
+	if _, err := l.Truncate(0); err == nil {
+		t.Fatal("accepted zero horizon")
+	}
+}
+
+func TestRename(t *testing.T) {
+	l := MustNew("a", Segment{Duration: 1, Current: 1})
+	r := l.Rename("b")
+	if r.Name() != "b" || l.Name() != "a" {
+		t.Fatalf("rename: %q, %q", r.Name(), l.Name())
+	}
+}
+
+func TestPaperLoadsStructure(t *testing.T) {
+	for _, name := range PaperLoadNames {
+		l, err := Paper(name, 100)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if l.TotalDuration() < 100 {
+			t.Errorf("%s covers only %v min", name, l.TotalDuration())
+		}
+		for i := 0; i < l.Len(); i++ {
+			s := l.Segment(i)
+			if s.IsJob() {
+				if s.Duration != JobDuration {
+					t.Errorf("%s: job %d lasts %v", name, i, s.Duration)
+				}
+				if s.Current != LowCurrent && s.Current != HighCurrent {
+					t.Errorf("%s: job %d draws %v", name, i, s.Current)
+				}
+			}
+		}
+	}
+	if _, err := Paper("bogus", 100); err == nil {
+		t.Fatal("accepted unknown load name")
+	}
+}
+
+func TestPaperLoadShapes(t *testing.T) {
+	cl, _ := Paper("CL 250", 10)
+	for i := 0; i < cl.Len(); i++ {
+		if !cl.Segment(i).IsJob() {
+			t.Fatal("CL 250 contains an idle epoch")
+		}
+	}
+	// Alternating loads start with the high job (recovered from Tables 3-4).
+	alt, _ := Paper("CL alt", 10)
+	if alt.Segment(0).Current != HighCurrent || alt.Segment(1).Current != LowCurrent {
+		t.Fatalf("CL alt starts %v, %v; want high, low", alt.Segment(0).Current, alt.Segment(1).Current)
+	}
+	ils, _ := Paper("ILs 250", 10)
+	if !ils.Segment(0).IsJob() || ils.Segment(1).IsJob() {
+		t.Fatal("ILs does not alternate job/idle")
+	}
+	if ils.Segment(1).Duration != ShortIdle {
+		t.Fatalf("ILs idle %v, want %v", ils.Segment(1).Duration, ShortIdle)
+	}
+	ill, _ := Paper("ILl 250", 10)
+	if ill.Segment(1).Duration != LongIdle {
+		t.Fatalf("ILl idle %v, want %v", ill.Segment(1).Duration, LongIdle)
+	}
+	// The backtick typography of the paper is accepted.
+	if _, err := Paper("IL` 250", 10); err != nil {
+		t.Fatalf("backtick name rejected: %v", err)
+	}
+}
+
+func TestRandomLoadsReproducible(t *testing.T) {
+	a := IntermittentRandom("r", 1, 50, 42)
+	b := IntermittentRandom("r", 1, 50, 42)
+	c := IntermittentRandom("r", 1, 50, 43)
+	if a.Len() != b.Len() {
+		t.Fatal("same seed, different length")
+	}
+	differ := false
+	for i := 0; i < a.Len(); i++ {
+		if a.Segment(i) != b.Segment(i) {
+			t.Fatalf("same seed differs at %d", i)
+		}
+		if i < c.Len() && a.Segment(i) != c.Segment(i) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("different seeds produced identical loads")
+	}
+}
+
+func TestPaperLoadsList(t *testing.T) {
+	loads := PaperLoads(50)
+	if len(loads) != 10 {
+		t.Fatalf("%d paper loads, want 10", len(loads))
+	}
+	for i, l := range loads {
+		if l.Name() != PaperLoadNames[i] {
+			t.Fatalf("load %d named %q, want %q", i, l.Name(), PaperLoadNames[i])
+		}
+	}
+}

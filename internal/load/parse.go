@@ -1,0 +1,124 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a load from a simple text format, one epoch per line:
+//
+//	# comment lines and blank lines are ignored
+//	<duration-minutes> <current-amperes>
+//	1.0 0.25
+//	1.0 0          # an idle period
+//	3x(1.0 0.5)    # repeat a group three times
+//
+// The repeat form nests one level deep and keeps hand-written workload
+// files short. Durations are minutes, currents amperes.
+func Parse(name string, r io.Reader) (Load, error) {
+	var segs []Segment
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		parsed, err := parseLine(line)
+		if err != nil {
+			return Load{}, fmt.Errorf("load: line %d: %w", lineNo, err)
+		}
+		segs = append(segs, parsed...)
+	}
+	if err := scanner.Err(); err != nil {
+		return Load{}, fmt.Errorf("load: read: %w", err)
+	}
+	return New(name, segs...)
+}
+
+// parseLine handles either "dur cur" or "Nx(dur cur [dur cur ...])".
+func parseLine(line string) ([]Segment, error) {
+	if i := strings.Index(line, "x("); i > 0 && strings.HasSuffix(line, ")") {
+		n, err := strconv.Atoi(strings.TrimSpace(line[:i]))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad repeat count %q", line[:i])
+		}
+		inner, err := parsePairs(line[i+2 : len(line)-1])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Segment, 0, n*len(inner))
+		for rep := 0; rep < n; rep++ {
+			out = append(out, inner...)
+		}
+		return out, nil
+	}
+	return parsePairs(line)
+}
+
+// parsePairs parses whitespace-separated duration/current pairs.
+func parsePairs(s string) ([]Segment, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 || len(fields)%2 != 0 {
+		return nil, fmt.Errorf("expected duration/current pairs, got %q", s)
+	}
+	segs := make([]Segment, 0, len(fields)/2)
+	for i := 0; i < len(fields); i += 2 {
+		dur, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad duration %q", fields[i])
+		}
+		cur, err := strconv.ParseFloat(fields[i+1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad current %q", fields[i+1])
+		}
+		segs = append(segs, Segment{Duration: dur, Current: cur})
+	}
+	return segs, nil
+}
+
+// ParseFile reads a load from a file; the load is named after the file.
+func ParseFile(path string) (Load, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Load{}, fmt.Errorf("load: %w", err)
+	}
+	defer f.Close()
+	return Parse(path, f)
+}
+
+// Write renders the load in the Parse text format, collapsing immediate
+// repetitions into the Nx(...) form when a segment repeats.
+func Write(w io.Writer, l Load) error {
+	if _, err := fmt.Fprintf(w, "# load %q: %d epochs, %.4g min, %.4g A·min\n",
+		l.Name(), l.Len(), l.TotalDuration(), l.Charge(l.TotalDuration())); err != nil {
+		return err
+	}
+	segs := l.Segments()
+	for i := 0; i < len(segs); {
+		run := 1
+		for i+run < len(segs) && segs[i+run] == segs[i] {
+			run++
+		}
+		var err error
+		if run > 1 {
+			_, err = fmt.Fprintf(w, "%dx(%g %g)\n", run, segs[i].Duration, segs[i].Current)
+		} else {
+			_, err = fmt.Fprintf(w, "%g %g\n", segs[i].Duration, segs[i].Current)
+		}
+		if err != nil {
+			return err
+		}
+		i += run
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	input := `
+# a pulse load
+1.0 0.25
+0.5 0      # rest
+2 0.5
+`
+	l, err := Parse("pulse", strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("%d segments", l.Len())
+	}
+	want := []Segment{{1, 0.25}, {0.5, 0}, {2, 0.5}}
+	for i, w := range want {
+		if l.Segment(i) != w {
+			t.Fatalf("segment %d = %+v, want %+v", i, l.Segment(i), w)
+		}
+	}
+}
+
+func TestParseRepeat(t *testing.T) {
+	l, err := Parse("rep", strings.NewReader("3x(1 0.5 1 0)\n2 0.25\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 7 {
+		t.Fatalf("%d segments, want 7", l.Len())
+	}
+	if l.Segment(0) != (Segment{1, 0.5}) || l.Segment(1) != (Segment{1, 0}) {
+		t.Fatal("repeat group wrong")
+	}
+	if l.Segment(4) != (Segment{1, 0.5}) {
+		t.Fatal("third repetition wrong")
+	}
+	if l.Segment(6) != (Segment{2, 0.25}) {
+		t.Fatal("trailing segment wrong")
+	}
+}
+
+func TestParsePairsOnOneLine(t *testing.T) {
+	l, err := Parse("inline", strings.NewReader("1 0.25 1 0 1 0.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("%d segments", l.Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"1\n",          // odd field count
+		"abc 0.25\n",   // bad duration
+		"1 xyz\n",      // bad current
+		"0x(1 0.25)\n", // zero repeat
+		"kx(1 0.25)\n", // bad repeat count
+		"-1 0.25\n",    // negative duration (caught by New)
+		"1 -0.5\n",     // negative current
+		"",             // empty load
+	}
+	for _, in := range cases {
+		if _, err := Parse("bad", strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestParseFileRoundTrip(t *testing.T) {
+	orig, err := Paper("ILs alt", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ils_alt.load")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round trip: %d vs %d segments", back.Len(), orig.Len())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		if back.Segment(i) != orig.Segment(i) {
+			t.Fatalf("segment %d: %+v vs %+v", i, back.Segment(i), orig.Segment(i))
+		}
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile("/nonexistent/load.txt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWriteCollapsesRuns(t *testing.T) {
+	l := MustNew("runs",
+		Segment{1, 0.5}, Segment{1, 0.5}, Segment{1, 0.5},
+		Segment{2, 0},
+	)
+	var sb strings.Builder
+	if err := Write(&sb, l); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "3x(1 0.5)") {
+		t.Fatalf("no run collapse in %q", sb.String())
+	}
+}

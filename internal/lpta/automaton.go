@@ -1,0 +1,305 @@
+package lpta
+
+import "fmt"
+
+// DataGuard is a predicate over the integer variables of a state. A nil
+// DataGuard is true. A data guard must not read clocks: the engine relies
+// on data guards being invariant under delay (use ClockGuards for timing
+// conditions), both for the event-jump semantics and for the delay
+// computation.
+type DataGuard func(s *State) bool
+
+// Update mutates the integer variables of a state when a switch fires. A
+// nil Update is a no-op.
+type Update func(s *State)
+
+// BoundFunc computes an integer bound from the variables of a state; bounds
+// may not depend on clocks. Use Const for constant bounds.
+type BoundFunc func(s *State) int
+
+// Const returns a BoundFunc for a constant bound.
+func Const(v int) BoundFunc { return func(*State) int { return v } }
+
+// CostFunc computes a non-negative cost amount or rate from a state's
+// variables.
+type CostFunc func(s *State) int64
+
+// ConstCost returns a CostFunc for a constant amount.
+func ConstCost(v int64) CostFunc { return func(*State) int64 { return v } }
+
+// GuardOp is a comparison operator of a clock guard.
+type GuardOp int
+
+// Clock-guard comparison operators.
+const (
+	LT GuardOp = iota + 1
+	LE
+	GE
+	GT
+	EQ
+)
+
+// String implements fmt.Stringer.
+func (o GuardOp) String() string {
+	switch o {
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case GT:
+		return ">"
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("GuardOp(%d)", int(o))
+	}
+}
+
+// holds evaluates clock `op` bound.
+func (o GuardOp) holds(clock, bound int32) bool {
+	switch o {
+	case LT:
+		return clock < bound
+	case LE:
+		return clock <= bound
+	case GE:
+		return clock >= bound
+	case GT:
+		return clock > bound
+	case EQ:
+		return clock == bound
+	default:
+		return false
+	}
+}
+
+// ClockGuard compares a clock against a variable-dependent bound.
+type ClockGuard struct {
+	Clock ClockID
+	Op    GuardOp
+	Bound BoundFunc
+}
+
+// Invariant is a clock upper bound (clock <= Bound) attached to a location.
+// Invariants constrain delay: time may not pass beyond the bound. Unlike in
+// Uppaal, a discrete transition may enter a state that violates an
+// invariant; the violation then forbids any delay until a transition
+// restores it (urgency semantics; see the package comment).
+type Invariant struct {
+	Clock ClockID
+	Bound BoundFunc
+}
+
+// Sync directions.
+type syncDir int
+
+const (
+	dirNone syncDir = iota
+	dirSend
+	dirRecv
+)
+
+type syncSpec struct {
+	ch  ChanID
+	dir syncDir
+}
+
+// SwitchSpec describes one switch (edge) of an automaton. Zero values mean:
+// no guard, no synchronisation, no update, no resets, no cost, priority 0.
+type SwitchSpec struct {
+	// Guard is the data guard over integer variables.
+	Guard DataGuard
+	// ClockGuards is a conjunction of clock comparisons.
+	ClockGuards []ClockGuard
+	// Send or Recv name the channel this switch synchronises on; at most
+	// one may be set (use the helper fields, not both).
+	Send ChanID
+	Recv ChanID
+	// hasSend/hasRecv disambiguate channel 0 from "no channel".
+	HasSend bool
+	HasRecv bool
+	// Update mutates variables when the switch fires.
+	Update Update
+	// Resets lists clocks reset to zero when the switch fires.
+	Resets []ClockID
+	// Cost is a discrete cost amount added when the switch fires.
+	Cost CostFunc
+	// Priority orders internal switches relative to channels; ignored for
+	// synchronising switches (the channel's priority applies).
+	Priority int
+	// Label is an optional human-readable name used in traces.
+	Label string
+}
+
+type swtch struct {
+	from, to    LocID
+	guard       DataGuard
+	clockGuards []ClockGuard
+	sync        syncSpec
+	update      Update
+	resets      []ClockID
+	cost        CostFunc
+	priority    int
+	label       string
+}
+
+type location struct {
+	name       string
+	committed  bool
+	invariants []Invariant
+	costRate   CostFunc
+	// urgentLoc forbids delay while the automaton occupies the location
+	// (Uppaal's urgent location).
+	urgentLoc bool
+}
+
+// Automaton is one component of a network.
+type Automaton struct {
+	net      *Network
+	id       AutoID
+	name     string
+	locs     []location
+	switches []swtch
+	initial  LocID
+	// switchesFrom[l] indexes switches by source location, built lazily at
+	// finalize time via ensureIndex.
+	switchesFrom [][]int
+}
+
+// ID returns the automaton's network-wide identifier.
+func (a *Automaton) ID() AutoID { return a.id }
+
+// Name returns the automaton's name.
+func (a *Automaton) Name() string { return a.name }
+
+// Location adds a normal location.
+func (a *Automaton) Location(name string) LocID {
+	return a.addLocation(name, false, false)
+}
+
+// CommittedLocation adds a committed location: while any automaton occupies
+// a committed location, no delay may pass and only transitions involving a
+// committed automaton may fire.
+func (a *Automaton) CommittedLocation(name string) LocID {
+	return a.addLocation(name, true, false)
+}
+
+// UrgentLocation adds an urgent location: no delay may pass while the
+// automaton occupies it, but it does not restrict which transitions fire.
+func (a *Automaton) UrgentLocation(name string) LocID {
+	return a.addLocation(name, false, true)
+}
+
+func (a *Automaton) addLocation(name string, committed, urgent bool) LocID {
+	a.net.mustBuild()
+	id := LocID(len(a.locs))
+	a.locs = append(a.locs, location{name: name, committed: committed, urgentLoc: urgent})
+	return id
+}
+
+// Initial marks the automaton's initial location.
+func (a *Automaton) Initial(l LocID) { a.net.mustBuild(); a.initial = l }
+
+// Invariant attaches a clock upper bound to a location.
+func (a *Automaton) Invariant(l LocID, clock ClockID, bound BoundFunc) {
+	a.net.mustBuild()
+	a.locs[l].invariants = append(a.locs[l].invariants, Invariant{Clock: clock, Bound: bound})
+}
+
+// CostRate sets the cost accrual rate of a location (cost per time step).
+func (a *Automaton) CostRate(l LocID, rate CostFunc) {
+	a.net.mustBuild()
+	a.locs[l].costRate = rate
+}
+
+// Switch adds an edge between two locations.
+func (a *Automaton) Switch(from, to LocID, spec SwitchSpec) {
+	a.net.mustBuild()
+	if spec.HasSend && spec.HasRecv {
+		panic(fmt.Sprintf("lpta: switch %s.%s->%s both sends and receives", a.name, a.locs[from].name, a.locs[to].name))
+	}
+	sw := swtch{
+		from:        from,
+		to:          to,
+		guard:       spec.Guard,
+		clockGuards: spec.ClockGuards,
+		update:      spec.Update,
+		resets:      spec.Resets,
+		cost:        spec.Cost,
+		priority:    spec.Priority,
+		label:       spec.Label,
+	}
+	switch {
+	case spec.HasSend:
+		sw.sync = syncSpec{ch: spec.Send, dir: dirSend}
+		sw.priority = a.net.channels[spec.Send].priority
+	case spec.HasRecv:
+		sw.sync = syncSpec{ch: spec.Recv, dir: dirRecv}
+		sw.priority = a.net.channels[spec.Recv].priority
+	}
+	a.switches = append(a.switches, sw)
+}
+
+// ensureIndex builds the per-location switch index.
+func (a *Automaton) ensureIndex() {
+	if a.switchesFrom != nil {
+		return
+	}
+	a.switchesFrom = make([][]int, len(a.locs))
+	for i := range a.switches {
+		from := a.switches[i].from
+		a.switchesFrom[from] = append(a.switchesFrom[from], i)
+	}
+}
+
+// IntVar is a handle to a scalar integer variable.
+type IntVar struct{ id VarID }
+
+// ID returns the variable's slot.
+func (v IntVar) ID() VarID { return v.id }
+
+// Get reads the variable in a state.
+func (v IntVar) Get(s *State) int { return int(s.Vars[v.id]) }
+
+// Set writes the variable in a state.
+func (v IntVar) Set(s *State, x int) { s.Vars[v.id] = int32(x) }
+
+// Add increments the variable in a state.
+func (v IntVar) Add(s *State, dx int) { s.Vars[v.id] += int32(dx) }
+
+// IntArrayVar is a handle to an integer array variable.
+type IntArrayVar struct {
+	base VarID
+	n    int
+}
+
+// Len returns the array length.
+func (a IntArrayVar) Len() int { return a.n }
+
+// At returns the scalar handle of element i.
+func (a IntArrayVar) At(i int) IntVar {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("lpta: array index %d out of range [0,%d)", i, a.n))
+	}
+	return IntVar{id: a.base + VarID(i)}
+}
+
+// Get reads element i in a state.
+func (a IntArrayVar) Get(s *State, i int) int { return a.At(i).Get(s) }
+
+// Set writes element i in a state.
+func (a IntArrayVar) Set(s *State, i, x int) { a.At(i).Set(s, x) }
+
+// Add increments element i in a state.
+func (a IntArrayVar) Add(s *State, i, dx int) { a.At(i).Add(s, dx) }
+
+// Sum returns the sum of all elements in a state.
+func (a IntArrayVar) Sum(s *State) int {
+	total := 0
+	for i := 0; i < a.n; i++ {
+		total += a.Get(s, i)
+	}
+	return total
+}

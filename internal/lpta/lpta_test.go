@@ -1,0 +1,729 @@
+package lpta
+
+import (
+	"errors"
+	"testing"
+)
+
+// buildEngine finalizes the network and builds an engine, failing the test
+// on error.
+func buildEngine(t *testing.T, net *Network, opts EngineOptions) *Engine {
+	t.Helper()
+	if err := net.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// findTrans returns the successor whose transition matches the predicate,
+// failing if absent.
+func findTrans(t *testing.T, succs []Succ, match func(Transition) bool) Succ {
+	t.Helper()
+	for _, s := range succs {
+		if match(s.Trans) {
+			return s
+		}
+	}
+	t.Fatalf("no matching transition among %d successors", len(succs))
+	return Succ{}
+}
+
+func kind(k TransKind) func(Transition) bool {
+	return func(tr Transition) bool { return tr.Kind == k }
+}
+
+func TestFinalizeValidation(t *testing.T) {
+	empty := NewNetwork("empty")
+	if err := empty.Finalize(); !errors.Is(err, ErrNoAutomata) {
+		t.Fatalf("empty network: %v", err)
+	}
+
+	noInit := NewNetwork("noinit")
+	noInit.Automaton("a").Location("l")
+	if err := noInit.Finalize(); !errors.Is(err, ErrNoInitialLocation) {
+		t.Fatalf("no initial: %v", err)
+	}
+
+	urgentGuard := NewNetwork("urgent")
+	ch := urgentGuard.Channel("u", Binary, 0, true)
+	clk := urgentGuard.Clock("x")
+	a := urgentGuard.Automaton("a")
+	l0 := a.Location("l0")
+	a.Initial(l0)
+	a.Switch(l0, l0, SwitchSpec{
+		Send: ch, HasSend: true,
+		ClockGuards: []ClockGuard{{Clock: clk, Op: GE, Bound: Const(1)}},
+	})
+	if err := urgentGuard.Finalize(); !errors.Is(err, ErrUrgentClockGuard) {
+		t.Fatalf("urgent clock guard: %v", err)
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	net := NewNetwork("init")
+	v := net.Int("v", 42)
+	arr := net.IntArray("a", []int{1, 2, 3})
+	net.Clock("x")
+	auto := net.Automaton("auto")
+	l0 := auto.Location("zero")
+	l1 := auto.Location("one")
+	auto.Initial(l1)
+	_ = l0
+	e := buildEngine(t, net, EngineOptions{})
+	s := e.Network().InitialState()
+	if s.Locs[0] != uint16(l1) {
+		t.Fatalf("initial location %d", s.Locs[0])
+	}
+	if v.Get(s) != 42 || arr.Get(s, 2) != 3 || arr.Sum(s) != 6 {
+		t.Fatalf("initial vars %v", s.Vars)
+	}
+	if s.Clock(0) != 0 || s.Cost != 0 || s.Time != 0 {
+		t.Fatal("clocks/cost/time not zero")
+	}
+}
+
+// TestDelayAndGuards: a switch guarded by x >= 5 under an invariant x <= 5
+// fires exactly at 5 in both semantics, and event semantics jumps there in
+// one delay.
+func TestDelayAndGuards(t *testing.T) {
+	build := func() (*Network, LocID) {
+		net := NewNetwork("g")
+		x := net.Clock("x")
+		a := net.Automaton("a")
+		l0 := a.Location("l0")
+		l1 := a.Location("l1")
+		a.Initial(l0)
+		a.Invariant(l0, x, Const(5))
+		a.Switch(l0, l1, SwitchSpec{
+			ClockGuards: []ClockGuard{{Clock: x, Op: GE, Bound: Const(5)}},
+		})
+		return net, l1
+	}
+
+	for _, sem := range []Semantics{StepSemantics, EventSemantics} {
+		net, l1 := build()
+		e := buildEngine(t, net, EngineOptions{Semantics: sem})
+		s := e.Network().InitialState()
+		hops := 0
+		for s.Locs[0] != uint16(l1) {
+			succs := e.Successors(s)
+			if len(succs) != 1 {
+				t.Fatalf("%v: %d successors at t=%d", sem, len(succs), s.Time)
+			}
+			s = succs[0].State
+			hops++
+			if hops > 20 {
+				t.Fatalf("%v: no progress", sem)
+			}
+		}
+		if s.Time != 5 {
+			t.Fatalf("%v: fired at t=%d, want 5", sem, s.Time)
+		}
+		if sem == EventSemantics && hops != 2 { // one jump, one switch
+			t.Fatalf("event semantics took %d hops, want 2", hops)
+		}
+	}
+}
+
+func TestGuardOps(t *testing.T) {
+	cases := []struct {
+		op     GuardOp
+		clock  int32
+		bound  int32
+		expect bool
+	}{
+		{LT, 4, 5, true}, {LT, 5, 5, false},
+		{LE, 5, 5, true}, {LE, 6, 5, false},
+		{GE, 5, 5, true}, {GE, 4, 5, false},
+		{GT, 5, 5, false}, {GT, 6, 5, true},
+		{EQ, 5, 5, true}, {EQ, 4, 5, false},
+	}
+	for _, c := range cases {
+		if got := c.op.holds(c.clock, c.bound); got != c.expect {
+			t.Errorf("%d %v %d = %v, want %v", c.clock, c.op, c.bound, got, c.expect)
+		}
+	}
+}
+
+// TestBinarySync: sender and receiver move together; the sender's update
+// runs before the receiver's.
+func TestBinarySync(t *testing.T) {
+	net := NewNetwork("sync")
+	ch := net.Channel("c", Binary, 0, false)
+	v := net.Int("v", 0)
+
+	a := net.Automaton("a")
+	a0 := a.Location("a0")
+	a1 := a.Location("a1")
+	a.Initial(a0)
+	a.Switch(a0, a1, SwitchSpec{
+		Send: ch, HasSend: true,
+		Update: func(s *State) { v.Set(s, 10) },
+	})
+
+	b := net.Automaton("b")
+	b0 := b.Location("b0")
+	b1 := b.Location("b1")
+	b.Initial(b0)
+	b.Switch(b0, b1, SwitchSpec{
+		Recv: ch, HasRecv: true,
+		Update: func(s *State) { v.Set(s, v.Get(s)*2) }, // sees the sender's write
+	})
+
+	e := buildEngine(t, net, EngineOptions{})
+	succs := e.Successors(e.Network().InitialState())
+	sync := findTrans(t, succs, kind(BinaryTrans))
+	if sync.State.Locs[0] != uint16(a1) || sync.State.Locs[1] != uint16(b1) {
+		t.Fatal("participants did not both move")
+	}
+	if v.Get(sync.State) != 20 {
+		t.Fatalf("v = %d, want 20 (sender then receiver)", v.Get(sync.State))
+	}
+}
+
+// TestBinarySyncNeedsPartner: a lone sender cannot fire.
+func TestBinarySyncNeedsPartner(t *testing.T) {
+	net := NewNetwork("lonely")
+	ch := net.Channel("c", Binary, 0, false)
+	a := net.Automaton("a")
+	a0 := a.Location("a0")
+	a.Initial(a0)
+	a.Switch(a0, a0, SwitchSpec{Send: ch, HasSend: true})
+	e := buildEngine(t, net, EngineOptions{})
+	if succs := e.Successors(e.Network().InitialState()); len(succs) != 0 {
+		t.Fatalf("lone sender produced %d successors", len(succs))
+	}
+}
+
+// TestBroadcast: one sender, all ready receivers move, non-ready ones stay.
+func TestBroadcast(t *testing.T) {
+	net := NewNetwork("bcast")
+	ch := net.Channel("c", Broadcast, 0, false)
+	ready := net.Int("ready", 1)
+
+	snd := net.Automaton("snd")
+	s0 := snd.Location("s0")
+	s1 := snd.Location("s1")
+	snd.Initial(s0)
+	snd.Switch(s0, s1, SwitchSpec{Send: ch, HasSend: true})
+
+	mkRecv := func(name string, guard DataGuard) (*Automaton, LocID, LocID) {
+		r := net.Automaton(name)
+		r0 := r.Location("r0")
+		r1 := r.Location("r1")
+		r.Initial(r0)
+		r.Switch(r0, r1, SwitchSpec{Recv: ch, HasRecv: true, Guard: guard})
+		return r, r0, r1
+	}
+	_, _, r1a := mkRecv("ra", nil)
+	_, r0b, _ := mkRecv("rb", func(s *State) bool { return ready.Get(s) == 0 }) // not ready
+
+	e := buildEngine(t, net, EngineOptions{})
+	succs := e.Successors(e.Network().InitialState())
+	bc := findTrans(t, succs, kind(BroadcastTrans))
+	if bc.State.Locs[0] != uint16(s1) {
+		t.Fatal("sender did not move")
+	}
+	if bc.State.Locs[1] != uint16(r1a) {
+		t.Fatal("ready receiver did not move")
+	}
+	if bc.State.Locs[2] != uint16(r0b) {
+		t.Fatal("non-ready receiver moved")
+	}
+	if len(bc.Trans.Parts) != 2 {
+		t.Fatalf("broadcast involved %d parts, want sender+1", len(bc.Trans.Parts))
+	}
+}
+
+// TestBroadcastZeroReceivers: broadcast fires with no receivers at all.
+func TestBroadcastZeroReceivers(t *testing.T) {
+	net := NewNetwork("bcast0")
+	ch := net.Channel("c", Broadcast, 0, false)
+	snd := net.Automaton("snd")
+	s0 := snd.Location("s0")
+	s1 := snd.Location("s1")
+	snd.Initial(s0)
+	snd.Switch(s0, s1, SwitchSpec{Send: ch, HasSend: true})
+	e := buildEngine(t, net, EngineOptions{})
+	succs := e.Successors(e.Network().InitialState())
+	bc := findTrans(t, succs, kind(BroadcastTrans))
+	if bc.State.Locs[0] != uint16(s1) {
+		t.Fatal("sender did not move")
+	}
+}
+
+// TestCommittedLocations: while an automaton is committed, only its
+// transitions fire and no delay passes.
+func TestCommittedLocations(t *testing.T) {
+	net := NewNetwork("committed")
+	x := net.Clock("x")
+
+	a := net.Automaton("a")
+	a0 := a.CommittedLocation("a0")
+	a1 := a.Location("a1")
+	a.Initial(a0)
+	a.Switch(a0, a1, SwitchSpec{})
+
+	b := net.Automaton("b")
+	b0 := b.Location("b0")
+	b.Initial(b0)
+	b.Switch(b0, b0, SwitchSpec{Label: "spin"})
+	_ = x
+
+	e := buildEngine(t, net, EngineOptions{})
+	succs := e.Successors(e.Network().InitialState())
+	if len(succs) != 1 {
+		t.Fatalf("%d successors from committed state, want only the committed automaton's", len(succs))
+	}
+	if succs[0].Trans.Parts[0].Auto != a.ID() {
+		t.Fatal("non-committed automaton fired")
+	}
+	for _, s := range succs {
+		if s.Trans.Kind == DelayTrans {
+			t.Fatal("delay from committed state")
+		}
+	}
+}
+
+// TestUrgentLocation: no delay, but all automata may fire.
+func TestUrgentLocation(t *testing.T) {
+	net := NewNetwork("urgentloc")
+	a := net.Automaton("a")
+	a0 := a.UrgentLocation("a0")
+	a1 := a.Location("a1")
+	a.Initial(a0)
+	a.Switch(a0, a1, SwitchSpec{})
+
+	b := net.Automaton("b")
+	b0 := b.Location("b0")
+	b.Initial(b0)
+	b.Switch(b0, b0, SwitchSpec{})
+
+	e := buildEngine(t, net, EngineOptions{})
+	succs := e.Successors(e.Network().InitialState())
+	if len(succs) != 2 {
+		t.Fatalf("%d successors, want both automata's switches", len(succs))
+	}
+	for _, s := range succs {
+		if s.Trans.Kind == DelayTrans {
+			t.Fatal("delay from urgent location")
+		}
+	}
+}
+
+// TestUrgentChannel: an enabled urgent sync forbids delay.
+func TestUrgentChannel(t *testing.T) {
+	net := NewNetwork("urgentchan")
+	ch := net.Channel("u", Binary, 0, true)
+	gate := net.Int("gate", 0)
+	x := net.Clock("x") // so that delay is observable at all
+	net.ClockCeiling(x, 5)
+
+	a := net.Automaton("a")
+	a0 := a.Location("a0")
+	a.Initial(a0)
+	a.Switch(a0, a0, SwitchSpec{
+		Send: ch, HasSend: true,
+		Guard: func(s *State) bool { return gate.Get(s) == 1 },
+	})
+	b := net.Automaton("b")
+	b0 := b.Location("b0")
+	b.Initial(b0)
+	b.Switch(b0, b0, SwitchSpec{Recv: ch, HasRecv: true})
+
+	e := buildEngine(t, net, EngineOptions{Semantics: StepSemantics})
+	// Gate closed: only delay.
+	init := e.Network().InitialState()
+	succs := e.Successors(init)
+	if len(succs) != 1 || succs[0].Trans.Kind != DelayTrans {
+		t.Fatalf("gate closed: %d successors", len(succs))
+	}
+	// Gate open: the urgent sync blocks delay.
+	open := init.Clone()
+	gate.Set(open, 1)
+	succs = e.Successors(open)
+	for _, s := range succs {
+		if s.Trans.Kind == DelayTrans {
+			t.Fatal("delay despite enabled urgent sync")
+		}
+	}
+	if len(succs) != 1 || succs[0].Trans.Kind != BinaryTrans {
+		t.Fatalf("gate open: %v", succs)
+	}
+}
+
+// TestChannelPriorities: among enabled transitions only the highest
+// priority fires.
+func TestChannelPriorities(t *testing.T) {
+	net := NewNetwork("prio")
+	hi := net.Channel("hi", Binary, 10, false)
+	lo := net.Channel("lo", Binary, 1, false)
+
+	s := net.Automaton("s")
+	s0 := s.Location("s0")
+	s1 := s.Location("s1")
+	s2 := s.Location("s2")
+	s.Initial(s0)
+	s.Switch(s0, s1, SwitchSpec{Send: hi, HasSend: true})
+	s.Switch(s0, s2, SwitchSpec{Send: lo, HasSend: true})
+
+	r := net.Automaton("r")
+	r0 := r.Location("r0")
+	r.Initial(r0)
+	r.Switch(r0, r0, SwitchSpec{Recv: hi, HasRecv: true})
+	r.Switch(r0, r0, SwitchSpec{Recv: lo, HasRecv: true})
+
+	e := buildEngine(t, net, EngineOptions{})
+	succs := e.Successors(e.Network().InitialState())
+	if len(succs) != 1 {
+		t.Fatalf("%d successors, want only the high-priority sync", len(succs))
+	}
+	if succs[0].Trans.Channel != hi {
+		t.Fatal("low-priority channel fired")
+	}
+	if succs[0].State.Locs[0] != uint16(s1) {
+		t.Fatal("wrong target")
+	}
+}
+
+// TestInternalPriority: internal switches carry their own priority.
+func TestInternalPriority(t *testing.T) {
+	net := NewNetwork("iprio")
+	a := net.Automaton("a")
+	a0 := a.Location("a0")
+	aHi := a.Location("ahi")
+	aLo := a.Location("alo")
+	a.Initial(a0)
+	a.Switch(a0, aHi, SwitchSpec{Priority: 5})
+	a.Switch(a0, aLo, SwitchSpec{Priority: 1})
+	e := buildEngine(t, net, EngineOptions{})
+	succs := e.Successors(e.Network().InitialState())
+	if len(succs) != 1 || succs[0].State.Locs[0] != uint16(aHi) {
+		t.Fatalf("priority filter failed: %d succs", len(succs))
+	}
+}
+
+// TestInvariantViolationForbidsDelay: our permissive semantics lets a
+// discrete transition enter a state whose invariant is violated; delay is
+// then forbidden until a transition restores it.
+func TestInvariantViolationForbidsDelay(t *testing.T) {
+	net := NewNetwork("violation")
+	x := net.Clock("x")
+	bound := net.Int("bound", 10)
+	a := net.Automaton("a")
+	a0 := a.Location("a0")
+	a.Initial(a0)
+	a.Invariant(a0, x, func(s *State) int { return bound.Get(s) })
+	a.Switch(a0, a0, SwitchSpec{
+		Guard:       func(s *State) bool { return bound.Get(s) == 10 },
+		ClockGuards: []ClockGuard{{Clock: x, Op: GE, Bound: Const(5)}},
+		Update:      func(s *State) { bound.Set(s, 3) }, // violates x <= bound
+		Label:       "shrink",
+	})
+	a.Switch(a0, a0, SwitchSpec{
+		Guard:  func(s *State) bool { return bound.Get(s) == 3 },
+		Resets: []ClockID{x},
+		Update: func(s *State) { bound.Set(s, 10) },
+		Label:  "restore",
+	})
+
+	e := buildEngine(t, net, EngineOptions{Semantics: EventSemantics})
+	s := e.Network().InitialState()
+	// Jump to x=5 (guard change point), then shrink the bound.
+	s = findTrans(t, e.Successors(s), kind(DelayTrans)).State
+	if s.Clock(x) != 5 {
+		t.Fatalf("jumped to %d, want 5", s.Clock(x))
+	}
+	s = findTrans(t, e.Successors(s), kind(InternalTrans)).State
+	// Invariant now violated: the only successor is the restoring switch.
+	succs := e.Successors(s)
+	if len(succs) != 1 || succs[0].Trans.Kind != InternalTrans {
+		t.Fatalf("violated invariant: %d successors", len(succs))
+	}
+	if bound.Get(succs[0].State) != 10 || succs[0].State.Clock(x) != 0 {
+		t.Fatal("restore switch did not run")
+	}
+}
+
+// TestCosts: rates accrue over delays, updates on switches.
+func TestCosts(t *testing.T) {
+	net := NewNetwork("cost")
+	x := net.Clock("x")
+	a := net.Automaton("a")
+	a0 := a.Location("a0")
+	a1 := a.Location("a1")
+	a.Initial(a0)
+	a.Invariant(a0, x, Const(4))
+	a.CostRate(a0, ConstCost(3))
+	a.Switch(a0, a1, SwitchSpec{
+		ClockGuards: []ClockGuard{{Clock: x, Op: GE, Bound: Const(4)}},
+		Cost:        ConstCost(100),
+	})
+	e := buildEngine(t, net, EngineOptions{})
+	s := e.Network().InitialState()
+	s = findTrans(t, e.Successors(s), kind(DelayTrans)).State
+	if s.Cost != 12 { // 4 steps at rate 3
+		t.Fatalf("delay cost %d, want 12", s.Cost)
+	}
+	s = findTrans(t, e.Successors(s), kind(InternalTrans)).State
+	if s.Cost != 112 {
+		t.Fatalf("switch cost %d, want 112", s.Cost)
+	}
+}
+
+// TestClockCeiling: a capped clock saturates, making a model without
+// invariants finite; a saturated no-op delay is not emitted.
+func TestClockCeiling(t *testing.T) {
+	net := NewNetwork("ceiling")
+	x := net.Clock("x")
+	net.ClockCeiling(x, 3)
+	a := net.Automaton("a")
+	a0 := a.Location("a0")
+	a.Initial(a0)
+	e := buildEngine(t, net, EngineOptions{Semantics: StepSemantics})
+	s := e.Network().InitialState()
+	for i := 0; i < 3; i++ {
+		succs := e.Successors(s)
+		if len(succs) != 1 {
+			t.Fatalf("step %d: %d successors", i, len(succs))
+		}
+		s = succs[0].State
+	}
+	if s.Clock(x) != 3 {
+		t.Fatalf("clock %d, want saturated 3", s.Clock(x))
+	}
+	// Saturated: delaying changes nothing, so no successors at all.
+	if succs := e.Successors(s); len(succs) != 0 {
+		t.Fatalf("saturated state has %d successors", len(succs))
+	}
+}
+
+// TestResets: clock resets apply on firing.
+func TestResets(t *testing.T) {
+	net := NewNetwork("resets")
+	x := net.Clock("x")
+	y := net.Clock("y")
+	a := net.Automaton("a")
+	a0 := a.Location("a0")
+	a.Initial(a0)
+	a.Invariant(a0, x, Const(2))
+	a.Switch(a0, a0, SwitchSpec{
+		ClockGuards: []ClockGuard{{Clock: x, Op: GE, Bound: Const(2)}},
+		Resets:      []ClockID{x},
+	})
+	e := buildEngine(t, net, EngineOptions{})
+	s := e.Network().InitialState()
+	s = findTrans(t, e.Successors(s), kind(DelayTrans)).State
+	s = findTrans(t, e.Successors(s), kind(InternalTrans)).State
+	if s.Clock(x) != 0 || s.Clock(y) != 2 {
+		t.Fatalf("clocks %d/%d, want 0/2", s.Clock(x), s.Clock(y))
+	}
+}
+
+// TestDeterministicInternals: commuting internal switches collapse to one
+// interleaving when the option is set.
+func TestDeterministicInternals(t *testing.T) {
+	build := func(collapse bool) int {
+		net := NewNetwork("di")
+		for i := 0; i < 2; i++ {
+			a := net.Automaton("a")
+			a0 := a.Location("a0")
+			a1 := a.Location("a1")
+			a.Initial(a0)
+			a.Switch(a0, a1, SwitchSpec{})
+		}
+		e := buildEngine(t, net, EngineOptions{DeterministicInternals: collapse})
+		return len(e.Successors(e.Network().InitialState()))
+	}
+	if n := build(false); n != 2 {
+		t.Fatalf("without collapse: %d successors, want 2", n)
+	}
+	if n := build(true); n != 1 {
+		t.Fatalf("with collapse: %d successors, want 1", n)
+	}
+}
+
+// TestDeterministicInternalsKeepsRealChoices: two internals in the SAME
+// automaton are a real nondeterministic choice and must not collapse.
+func TestDeterministicInternalsKeepsRealChoices(t *testing.T) {
+	net := NewNetwork("di2")
+	a := net.Automaton("a")
+	a0 := a.Location("a0")
+	a1 := a.Location("a1")
+	a2 := a.Location("a2")
+	a.Initial(a0)
+	a.Switch(a0, a1, SwitchSpec{})
+	a.Switch(a0, a2, SwitchSpec{})
+	e := buildEngine(t, net, EngineOptions{DeterministicInternals: true})
+	if n := len(e.Successors(e.Network().InitialState())); n != 2 {
+		t.Fatalf("%d successors, want 2 (real choice)", n)
+	}
+}
+
+func TestStateKeyAndClone(t *testing.T) {
+	s := &State{Locs: []uint16{1, 2}, Vars: []int32{3, -4}, Clocks: []int32{5}, Cost: 9, Time: 7}
+	c := s.Clone()
+	if s.Key() != c.Key() {
+		t.Fatal("clone has different key")
+	}
+	c.Vars[0] = 99
+	if s.Key() == c.Key() {
+		t.Fatal("key ignores vars")
+	}
+	if s.Vars[0] != 3 {
+		t.Fatal("clone shares storage")
+	}
+	// Cost and time are excluded from the key.
+	d := s.Clone()
+	d.Cost = 1000
+	d.Time = 1000
+	if s.Key() != d.Key() {
+		t.Fatal("key depends on cost/time")
+	}
+}
+
+func TestVarHandles(t *testing.T) {
+	net := NewNetwork("vars")
+	v := net.Int("v", 5)
+	arr := net.IntArray("a", []int{1, 2})
+	auto := net.Automaton("x")
+	auto.Initial(auto.Location("l"))
+	if err := net.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	s := net.InitialState()
+	v.Add(s, 3)
+	arr.Set(s, 1, 7)
+	arr.Add(s, 0, 1)
+	if v.Get(s) != 8 || arr.Get(s, 1) != 7 || arr.Get(s, 0) != 2 || arr.Sum(s) != 9 {
+		t.Fatalf("handles broken: %v", s.Vars)
+	}
+	if arr.Len() != 2 {
+		t.Fatal("array length")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range index did not panic")
+		}
+	}()
+	arr.At(5)
+}
+
+func TestDescribe(t *testing.T) {
+	net := NewNetwork("desc")
+	ch := net.Channel("ping", Binary, 0, false)
+	a := net.Automaton("alice")
+	a0 := a.Location("a0")
+	a.Initial(a0)
+	a.Switch(a0, a0, SwitchSpec{Send: ch, HasSend: true})
+	b := net.Automaton("bob")
+	b0 := b.Location("b0")
+	b.Initial(b0)
+	b.Switch(b0, b0, SwitchSpec{Recv: ch, HasRecv: true})
+	e := buildEngine(t, net, EngineOptions{})
+	succs := e.Successors(e.Network().InitialState())
+	desc := succs[0].Trans.Describe(net)
+	if desc == "" {
+		t.Fatal("empty description")
+	}
+	delay := Transition{Kind: DelayTrans, Delay: 7}
+	if delay.Describe(net) != "delay 7" {
+		t.Fatalf("delay description %q", delay.Describe(net))
+	}
+}
+
+func TestEngineRequiresFinalized(t *testing.T) {
+	net := NewNetwork("raw")
+	net.Automaton("a").Initial(net.autos[0].Location("l"))
+	if _, err := NewEngine(net, EngineOptions{}); err == nil {
+		t.Fatal("engine accepted unfinalized network")
+	}
+}
+
+// TestBroadcastMultipleReceiversPerAutomaton: when one automaton has
+// several enabled receiving switches on a broadcast channel, each
+// combination is a distinct transition (Uppaal semantics).
+func TestBroadcastMultipleReceiversPerAutomaton(t *testing.T) {
+	net := NewNetwork("bcast-combos")
+	ch := net.Channel("c", Broadcast, 0, false)
+
+	snd := net.Automaton("snd")
+	s0 := snd.Location("s0")
+	snd.Initial(s0)
+	snd.Switch(s0, s0, SwitchSpec{Send: ch, HasSend: true})
+
+	rcv := net.Automaton("rcv")
+	r0 := rcv.Location("r0")
+	rA := rcv.Location("rA")
+	rB := rcv.Location("rB")
+	rcv.Initial(r0)
+	rcv.Switch(r0, rA, SwitchSpec{Recv: ch, HasRecv: true})
+	rcv.Switch(r0, rB, SwitchSpec{Recv: ch, HasRecv: true})
+
+	e := buildEngine(t, net, EngineOptions{})
+	succs := e.Successors(e.Network().InitialState())
+	if len(succs) != 2 {
+		t.Fatalf("%d successors, want one per receiving switch", len(succs))
+	}
+	targets := map[uint16]bool{}
+	for _, s := range succs {
+		if s.Trans.Kind != BroadcastTrans {
+			t.Fatalf("unexpected transition %v", s.Trans.Kind)
+		}
+		targets[s.State.Locs[1]] = true
+	}
+	if !targets[uint16(rA)] || !targets[uint16(rB)] {
+		t.Fatalf("combinations missed a receiver switch: %v", targets)
+	}
+}
+
+// TestEventSemanticsStopsAtEQGuards: EQ clock guards open and close an
+// enabling window; the event semantics must stop at both edges.
+func TestEventSemanticsStopsAtEQGuards(t *testing.T) {
+	net := NewNetwork("eq")
+	x := net.Clock("x")
+	net.ClockCeiling(x, 10)
+	a := net.Automaton("a")
+	l0 := a.Location("l0")
+	l1 := a.Location("l1")
+	a.Initial(l0)
+	a.Switch(l0, l1, SwitchSpec{
+		ClockGuards: []ClockGuard{{Clock: x, Op: EQ, Bound: Const(4)}},
+	})
+	e := buildEngine(t, net, EngineOptions{Semantics: EventSemantics})
+	s := e.Network().InitialState()
+	// First jump lands exactly on the EQ instant.
+	s = findTrans(t, e.Successors(s), kind(DelayTrans)).State
+	if s.Clock(x) != 4 {
+		t.Fatalf("jumped to %d, want the EQ window at 4", s.Clock(x))
+	}
+	succs := e.Successors(s)
+	var kinds []TransKind
+	for _, succ := range succs {
+		kinds = append(kinds, succ.Trans.Kind)
+	}
+	// Both taking the switch and delaying past the window are possible.
+	if len(succs) != 2 {
+		t.Fatalf("at the EQ instant: %d successors (%v), want switch + delay", len(succs), kinds)
+	}
+}
+
+// TestBinarySendAndRecvOnSameSwitchPanics: a switch cannot both send and
+// receive.
+func TestBinarySendAndRecvOnSameSwitchPanics(t *testing.T) {
+	net := NewNetwork("both")
+	ch := net.Channel("c", Binary, 0, false)
+	a := net.Automaton("a")
+	l0 := a.Location("l0")
+	a.Initial(l0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for send+recv switch")
+		}
+	}()
+	a.Switch(l0, l0, SwitchSpec{Send: ch, HasSend: true, Recv: ch, HasRecv: true})
+}

@@ -1,0 +1,256 @@
+// Package lpta implements networks of linear priced timed automata (NLPTA)
+// with the ingredients used by Uppaal Cora and by the TA-KiBaM battery model
+// of the DSN 2009 battery-scheduling paper: locations (normal and
+// committed), switches with data and clock guards, invariants as clock upper
+// bounds, binary and broadcast channels, urgent channels, channel
+// priorities, integer variables and arrays, clock resets, and costs (rates
+// in locations, updates on switches).
+//
+// # Semantics
+//
+// The engine interprets the network in discrete time: clocks advance in
+// integer steps. Two delay disciplines are available (see Semantics):
+//
+//   - StepSemantics delays one unit at a time and is exhaustive for any
+//     model whose constants are integers.
+//   - EventSemantics jumps directly to the next instant at which the
+//     enabled-transition set can change (an invariant bound or a clock-guard
+//     threshold). It is exact for "urgent" models — models in which every
+//     enabled switch is forced at a specific instant by an invariant, a
+//     committed location, or an urgent channel, as is the case for the
+//     TA-KiBaM — and it is validated against StepSemantics in the tests.
+//
+// Two deliberate deviations from Uppaal are documented where they occur:
+// invariants constrain delay only (a discrete transition may enter a state
+// whose invariant already exceeded its bound, after which no time may pass
+// until a transition restores it — this realises the urgency resolution
+// needed when a charge draw overtakes a running recovery countdown), and
+// internal switches may carry a priority like channels do.
+package lpta
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ChanKind distinguishes handshake from broadcast channels.
+type ChanKind int
+
+const (
+	// Binary channels synchronise exactly one sender with one receiver.
+	Binary ChanKind = iota + 1
+	// Broadcast channels synchronise one sender with every automaton that
+	// has an enabled receiving switch; zero receivers is allowed.
+	Broadcast
+)
+
+// String implements fmt.Stringer.
+func (k ChanKind) String() string {
+	switch k {
+	case Binary:
+		return "binary"
+	case Broadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("ChanKind(%d)", int(k))
+	}
+}
+
+// VarID names an integer variable slot in the network's variable store.
+type VarID int
+
+// ClockID names a clock.
+type ClockID int
+
+// ChanID names a channel.
+type ChanID int
+
+// LocID names a location within one automaton.
+type LocID int
+
+// AutoID names an automaton within the network.
+type AutoID int
+
+// Network is a mutable NLPTA under construction. Build the network fully,
+// then call Finalize before handing it to the exploration engine.
+type Network struct {
+	name      string
+	varNames  []string
+	varInit   []int32
+	clocks    []string
+	ceilings  []int32
+	channels  []channel
+	autos     []*Automaton
+	finalized bool
+}
+
+type channel struct {
+	name     string
+	kind     ChanKind
+	priority int
+	urgent   bool
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork(name string) *Network {
+	return &Network{name: name}
+}
+
+// Name returns the network's name.
+func (n *Network) Name() string { return n.name }
+
+// Int declares a scalar integer variable with an initial value and returns
+// its handle.
+func (n *Network) Int(name string, init int) IntVar {
+	n.mustBuild()
+	id := VarID(len(n.varNames))
+	n.varNames = append(n.varNames, name)
+	n.varInit = append(n.varInit, int32(init))
+	return IntVar{id: id}
+}
+
+// IntArray declares an integer array variable. The handle indexes the
+// network's flat variable store.
+func (n *Network) IntArray(name string, init []int) IntArrayVar {
+	n.mustBuild()
+	base := VarID(len(n.varNames))
+	for i, v := range init {
+		n.varNames = append(n.varNames, fmt.Sprintf("%s[%d]", name, i))
+		n.varInit = append(n.varInit, int32(v))
+		_ = i
+	}
+	return IntArrayVar{base: base, n: len(init)}
+}
+
+// Clock declares a clock and returns its handle. Clocks start at zero.
+func (n *Network) Clock(name string) ClockID {
+	n.mustBuild()
+	id := ClockID(len(n.clocks))
+	n.clocks = append(n.clocks, name)
+	n.ceilings = append(n.ceilings, 0)
+	return id
+}
+
+// ClockCeiling caps a clock during delays: values above the ceiling are
+// behaviourally indistinguishable, so the clock saturates there. This is
+// the discrete-time analogue of the standard maximal-constant abstraction
+// of timed automata; it is sound when every guard and invariant bound that
+// mentions the clock never exceeds the ceiling. Without a ceiling, a clock
+// that is never reset grows forever and models without a natural end
+// diverge.
+func (n *Network) ClockCeiling(c ClockID, ceiling int) {
+	n.mustBuild()
+	if ceiling <= 0 {
+		panic(fmt.Sprintf("lpta: ceiling for clock %s must be positive", n.clocks[c]))
+	}
+	n.ceilings[c] = int32(ceiling)
+}
+
+// Channel declares a channel. Higher priority wins: among the enabled
+// discrete transitions of a state, only those on maximal-priority channels
+// may fire (internal switches carry their own priority, default 0). A
+// synchronisation on an urgent channel forbids delay while it is enabled;
+// Uppaal's restriction that switches on urgent channels carry no clock
+// guards is enforced at Finalize.
+func (n *Network) Channel(name string, kind ChanKind, priority int, urgent bool) ChanID {
+	n.mustBuild()
+	id := ChanID(len(n.channels))
+	n.channels = append(n.channels, channel{name: name, kind: kind, priority: priority, urgent: urgent})
+	return id
+}
+
+// Automaton adds an automaton to the network and returns it for population.
+func (n *Network) Automaton(name string) *Automaton {
+	n.mustBuild()
+	a := &Automaton{net: n, id: AutoID(len(n.autos)), name: name, initial: -1}
+	n.autos = append(n.autos, a)
+	return a
+}
+
+// Automata returns the number of automata.
+func (n *Network) Automata() int { return len(n.autos) }
+
+// AutomatonName returns the name of automaton a.
+func (n *Network) AutomatonName(a AutoID) string { return n.autos[a].name }
+
+// ChannelName returns the name of channel c.
+func (n *Network) ChannelName(c ChanID) string { return n.channels[c].name }
+
+// ClockName returns the name of clock c.
+func (n *Network) ClockName(c ClockID) string { return n.clocks[c] }
+
+// VarName returns the name of variable slot v.
+func (n *Network) VarName(v VarID) string { return n.varNames[v] }
+
+// LocationName returns the name of location l of automaton a.
+func (n *Network) LocationName(a AutoID, l LocID) string { return n.autos[a].locs[l].name }
+
+func (n *Network) mustBuild() {
+	if n.finalized {
+		panic("lpta: network already finalized")
+	}
+}
+
+// Finalization errors.
+var (
+	ErrNoAutomata        = errors.New("lpta: network has no automata")
+	ErrNoInitialLocation = errors.New("lpta: automaton has no initial location")
+	ErrUrgentClockGuard  = errors.New("lpta: switch on urgent channel carries a clock guard")
+	ErrDanglingLocation  = errors.New("lpta: switch references unknown location")
+)
+
+// Finalize validates the network and freezes it. The network must be
+// finalized before exploration.
+func (n *Network) Finalize() error {
+	if n.finalized {
+		return nil
+	}
+	if len(n.autos) == 0 {
+		return ErrNoAutomata
+	}
+	for _, a := range n.autos {
+		if a.initial < 0 || int(a.initial) >= len(a.locs) {
+			return fmt.Errorf("%w (%s)", ErrNoInitialLocation, a.name)
+		}
+		for i := range a.switches {
+			sw := &a.switches[i]
+			if int(sw.from) >= len(a.locs) || int(sw.to) >= len(a.locs) {
+				return fmt.Errorf("%w (%s switch %d)", ErrDanglingLocation, a.name, i)
+			}
+			if sw.sync.dir != dirNone && n.channels[sw.sync.ch].urgent && len(sw.clockGuards) > 0 {
+				return fmt.Errorf("%w (%s switch %d on %s)", ErrUrgentClockGuard, a.name, i, n.channels[sw.sync.ch].name)
+			}
+		}
+	}
+	n.finalized = true
+	return nil
+}
+
+// MustFinalize is Finalize but panics on error.
+func (n *Network) MustFinalize() {
+	if err := n.Finalize(); err != nil {
+		panic(err)
+	}
+}
+
+// Finalized reports whether the network is frozen.
+func (n *Network) Finalized() bool { return n.finalized }
+
+// InitialState returns the network's initial state: every automaton in its
+// initial location, variables at their declared values, clocks and cost at
+// zero.
+func (n *Network) InitialState() *State {
+	if !n.finalized {
+		panic("lpta: InitialState before Finalize")
+	}
+	s := &State{
+		Locs:   make([]uint16, len(n.autos)),
+		Vars:   make([]int32, len(n.varInit)),
+		Clocks: make([]int32, len(n.clocks)),
+	}
+	for i, a := range n.autos {
+		s.Locs[i] = uint16(a.initial)
+	}
+	copy(s.Vars, n.varInit)
+	return s
+}

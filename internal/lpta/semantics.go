@@ -1,0 +1,570 @@
+package lpta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Semantics selects the delay discipline of the engine; see the package
+// comment for when each is exact.
+type Semantics int
+
+const (
+	// StepSemantics advances time one step at a time (exhaustive).
+	StepSemantics Semantics = iota + 1
+	// EventSemantics jumps to the next instant at which the enabled set can
+	// change (exact for urgent models, much faster).
+	EventSemantics
+)
+
+// String implements fmt.Stringer.
+func (s Semantics) String() string {
+	switch s {
+	case StepSemantics:
+		return "step"
+	case EventSemantics:
+		return "event"
+	default:
+		return fmt.Sprintf("Semantics(%d)", int(s))
+	}
+}
+
+// EngineOptions tune the successor computation.
+type EngineOptions struct {
+	// Semantics selects the delay discipline (default EventSemantics).
+	Semantics Semantics
+	// DeterministicInternals, when set, executes commuting internal
+	// switches in a fixed order instead of exploring their interleavings:
+	// if every enabled candidate is an internal (non-synchronising) switch
+	// and no automaton has more than one of them, only the lowest-numbered
+	// automaton's switch is expanded. This is sound only when such internal
+	// switches commute (touch disjoint variables), which the caller
+	// asserts by setting the flag. The TA-KiBaM's recovery switches are of
+	// this kind.
+	DeterministicInternals bool
+}
+
+// Engine computes successors of network states.
+type Engine struct {
+	net  *Network
+	opts EngineOptions
+}
+
+// NewEngine builds an engine for a finalized network.
+func NewEngine(net *Network, opts EngineOptions) (*Engine, error) {
+	if !net.Finalized() {
+		return nil, fmt.Errorf("lpta: network %q is not finalized", net.name)
+	}
+	if opts.Semantics == 0 {
+		opts.Semantics = EventSemantics
+	}
+	for _, a := range net.autos {
+		a.ensureIndex()
+	}
+	return &Engine{net: net, opts: opts}, nil
+}
+
+// Network returns the engine's network.
+func (e *Engine) Network() *Network { return e.net }
+
+// TransKind classifies a transition.
+type TransKind int
+
+// Transition kinds.
+const (
+	DelayTrans TransKind = iota + 1
+	InternalTrans
+	BinaryTrans
+	BroadcastTrans
+)
+
+// Participant is one automaton's contribution to a discrete transition.
+type Participant struct {
+	Auto   AutoID
+	Switch int
+}
+
+// Transition describes how a successor was reached.
+type Transition struct {
+	Kind    TransKind
+	Delay   int
+	Channel ChanID
+	// Parts lists the participating switches; for syncs the sender comes
+	// first.
+	Parts []Participant
+}
+
+// Describe renders the transition with names from the network.
+func (t Transition) Describe(n *Network) string {
+	switch t.Kind {
+	case DelayTrans:
+		return fmt.Sprintf("delay %d", t.Delay)
+	case InternalTrans:
+		p := t.Parts[0]
+		sw := n.autos[p.Auto].switches[p.Switch]
+		label := sw.label
+		if label == "" {
+			label = fmt.Sprintf("%s->%s", n.autos[p.Auto].locs[sw.from].name, n.autos[p.Auto].locs[sw.to].name)
+		}
+		return fmt.Sprintf("%s: %s", n.autos[p.Auto].name, label)
+	case BinaryTrans, BroadcastTrans:
+		var b strings.Builder
+		b.WriteString(n.channels[t.Channel].name)
+		for i, p := range t.Parts {
+			if i == 0 {
+				b.WriteString("! ")
+			} else if i == 1 {
+				b.WriteString("? ")
+			} else {
+				b.WriteString(",")
+			}
+			b.WriteString(n.autos[p.Auto].name)
+		}
+		return b.String()
+	default:
+		return fmt.Sprintf("TransKind(%d)", int(t.Kind))
+	}
+}
+
+// Succ is one successor of a state.
+type Succ struct {
+	State *State
+	Trans Transition
+}
+
+// enabledSwitch is a switch whose guards hold in the current state.
+type enabledSwitch struct {
+	auto AutoID
+	idx  int
+	sw   *swtch
+}
+
+// unbounded marks the absence of an invariant bound.
+const unbounded = math.MaxInt32
+
+// Successors returns all successors of s under the engine's semantics:
+// the enabled discrete transitions (filtered by committedness and channel
+// priority) plus, when permitted, one delay transition.
+func (e *Engine) Successors(s *State) []Succ {
+	enabled := e.enabledSwitches(s)
+	committed := e.committedAutomata(s)
+	cands := e.candidates(s, enabled, committed)
+	cands = filterMaxPriority(cands)
+	if e.opts.DeterministicInternals {
+		cands = collapseCommutingInternals(cands)
+	}
+
+	succs := make([]Succ, 0, len(cands)+1)
+	for _, c := range cands {
+		succs = append(succs, Succ{State: e.apply(s, c), Trans: c.trans})
+	}
+	if d := e.allowedDelay(s, enabled, committed); d > 0 {
+		if next, changed := e.delay(s, d); changed {
+			succs = append(succs, Succ{State: next, Trans: Transition{Kind: DelayTrans, Delay: d}})
+		}
+	}
+	return succs
+}
+
+// enabledSwitches collects, per automaton, the switches whose source
+// location is current and whose data and clock guards hold.
+func (e *Engine) enabledSwitches(s *State) [][]enabledSwitch {
+	out := make([][]enabledSwitch, len(e.net.autos))
+	for ai, a := range e.net.autos {
+		loc := LocID(s.Locs[ai])
+		for _, swIdx := range a.switchesFrom[loc] {
+			sw := &a.switches[swIdx]
+			if !e.switchEnabled(s, sw) {
+				continue
+			}
+			out[ai] = append(out[ai], enabledSwitch{auto: AutoID(ai), idx: swIdx, sw: sw})
+		}
+	}
+	return out
+}
+
+func (e *Engine) switchEnabled(s *State, sw *swtch) bool {
+	if sw.guard != nil && !sw.guard(s) {
+		return false
+	}
+	for _, g := range sw.clockGuards {
+		if !g.Op.holds(s.Clocks[g.Clock], int32(g.Bound(s))) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) committedAutomata(s *State) []bool {
+	out := make([]bool, len(e.net.autos))
+	for ai, a := range e.net.autos {
+		out[ai] = a.locs[s.Locs[ai]].committed
+	}
+	return out
+}
+
+// candidate is a fireable discrete transition.
+type candidate struct {
+	trans    Transition
+	priority int
+}
+
+// candidates assembles internal, binary and broadcast transitions from the
+// enabled switches, honouring committed locations: while any automaton is
+// committed, only transitions involving a committed automaton may fire.
+func (e *Engine) candidates(s *State, enabled [][]enabledSwitch, committed []bool) []candidate {
+	anyCommitted := false
+	for _, c := range committed {
+		if c {
+			anyCommitted = true
+			break
+		}
+	}
+	var cands []candidate
+
+	// Internal switches.
+	for _, list := range enabled {
+		for _, es := range list {
+			if es.sw.sync.dir != dirNone {
+				continue
+			}
+			if anyCommitted && !committed[es.auto] {
+				continue
+			}
+			cands = append(cands, candidate{
+				trans: Transition{
+					Kind:  InternalTrans,
+					Parts: []Participant{{Auto: es.auto, Switch: es.idx}},
+				},
+				priority: es.sw.priority,
+			})
+		}
+	}
+
+	// Synchronisations, grouped per channel.
+	for chID := range e.net.channels {
+		ch := &e.net.channels[chID]
+		senders, receivers := e.partners(enabled, ChanID(chID))
+		if len(senders) == 0 {
+			continue
+		}
+		switch ch.kind {
+		case Binary:
+			for _, snd := range senders {
+				for _, rcv := range receivers {
+					if snd.auto == rcv.auto {
+						continue
+					}
+					if anyCommitted && !committed[snd.auto] && !committed[rcv.auto] {
+						continue
+					}
+					cands = append(cands, candidate{
+						trans: Transition{
+							Kind:    BinaryTrans,
+							Channel: ChanID(chID),
+							Parts: []Participant{
+								{Auto: snd.auto, Switch: snd.idx},
+								{Auto: rcv.auto, Switch: rcv.idx},
+							},
+						},
+						priority: ch.priority,
+					})
+				}
+			}
+		case Broadcast:
+			for _, snd := range senders {
+				// One receiving switch per automaton; explore every
+				// combination when an automaton has several enabled
+				// receivers (rare; matches Uppaal's semantics).
+				perAuto := make(map[AutoID][]enabledSwitch)
+				var autosWithRecv []AutoID
+				for _, rcv := range receivers {
+					if rcv.auto == snd.auto {
+						continue
+					}
+					if _, ok := perAuto[rcv.auto]; !ok {
+						autosWithRecv = append(autosWithRecv, rcv.auto)
+					}
+					perAuto[rcv.auto] = append(perAuto[rcv.auto], rcv)
+				}
+				sort.Slice(autosWithRecv, func(i, j int) bool { return autosWithRecv[i] < autosWithRecv[j] })
+				combos := broadcastCombos(perAuto, autosWithRecv)
+				for _, combo := range combos {
+					involved := committed[snd.auto]
+					parts := make([]Participant, 0, 1+len(combo))
+					parts = append(parts, Participant{Auto: snd.auto, Switch: snd.idx})
+					for _, rcv := range combo {
+						parts = append(parts, Participant{Auto: rcv.auto, Switch: rcv.idx})
+						involved = involved || committed[rcv.auto]
+					}
+					if anyCommitted && !involved {
+						continue
+					}
+					cands = append(cands, candidate{
+						trans: Transition{
+							Kind:    BroadcastTrans,
+							Channel: ChanID(chID),
+							Parts:   parts,
+						},
+						priority: ch.priority,
+					})
+				}
+			}
+		}
+	}
+	return cands
+}
+
+// partners splits the enabled switches of a channel into senders and
+// receivers.
+func (e *Engine) partners(enabled [][]enabledSwitch, ch ChanID) (senders, receivers []enabledSwitch) {
+	for _, list := range enabled {
+		for _, es := range list {
+			if es.sw.sync.ch != ch {
+				continue
+			}
+			switch es.sw.sync.dir {
+			case dirSend:
+				senders = append(senders, es)
+			case dirRecv:
+				receivers = append(receivers, es)
+			}
+		}
+	}
+	return senders, receivers
+}
+
+// broadcastCombos enumerates one receiving switch per automaton (the
+// cartesian product across automata).
+func broadcastCombos(perAuto map[AutoID][]enabledSwitch, order []AutoID) [][]enabledSwitch {
+	combos := [][]enabledSwitch{nil}
+	for _, a := range order {
+		opts := perAuto[a]
+		var next [][]enabledSwitch
+		for _, c := range combos {
+			for _, o := range opts {
+				nc := make([]enabledSwitch, len(c), len(c)+1)
+				copy(nc, c)
+				next = append(next, append(nc, o))
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+// filterMaxPriority keeps only the candidates on maximal-priority channels.
+func filterMaxPriority(cands []candidate) []candidate {
+	if len(cands) <= 1 {
+		return cands
+	}
+	best := cands[0].priority
+	for _, c := range cands[1:] {
+		if c.priority > best {
+			best = c.priority
+		}
+	}
+	out := cands[:0]
+	for _, c := range cands {
+		if c.priority == best {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// collapseCommutingInternals keeps only the first internal switch when the
+// whole candidate set consists of internal switches, one per automaton; see
+// EngineOptions.DeterministicInternals.
+func collapseCommutingInternals(cands []candidate) []candidate {
+	if len(cands) <= 1 {
+		return cands
+	}
+	seen := make(map[AutoID]bool, len(cands))
+	bestIdx := 0
+	for i, c := range cands {
+		if c.trans.Kind != InternalTrans {
+			return cands
+		}
+		a := c.trans.Parts[0].Auto
+		if seen[a] {
+			return cands
+		}
+		seen[a] = true
+		if a < cands[bestIdx].trans.Parts[0].Auto {
+			bestIdx = i
+		}
+	}
+	return []candidate{cands[bestIdx]}
+}
+
+// apply fires a discrete transition: sender update first, then receivers in
+// listed order; clock resets after the participant's update; switch costs
+// accumulate over all participants.
+func (e *Engine) apply(s *State, c candidate) *State {
+	next := s.Clone()
+	for _, p := range c.trans.Parts {
+		a := e.net.autos[p.Auto]
+		sw := &a.switches[p.Switch]
+		if sw.update != nil {
+			sw.update(next)
+		}
+		for _, clk := range sw.resets {
+			next.Clocks[clk] = 0
+		}
+		if sw.cost != nil {
+			next.Cost += sw.cost(next)
+		}
+		next.Locs[p.Auto] = uint16(sw.to)
+	}
+	return next
+}
+
+// allowedDelay returns how far time may advance from s: 0 when delay is
+// forbidden (committed or urgent location, enabled urgent sync, or an
+// invariant at/over its bound), otherwise one step under StepSemantics or
+// the jump to the next interesting instant under EventSemantics.
+func (e *Engine) allowedDelay(s *State, enabled [][]enabledSwitch, committed []bool) int {
+	for ai, a := range e.net.autos {
+		loc := a.locs[s.Locs[ai]]
+		if loc.committed || loc.urgentLoc {
+			return 0
+		}
+	}
+	if e.urgentSyncEnabled(enabled) {
+		return 0
+	}
+	maxDelay := e.invariantSlack(s)
+	if maxDelay <= 0 {
+		return 0
+	}
+	if e.opts.Semantics == StepSemantics {
+		return 1
+	}
+	stop := e.nextGuardChange(s)
+	if stop < maxDelay {
+		return stop
+	}
+	if maxDelay == unbounded {
+		// No invariant caps time and no guard flips ahead: delaying cannot
+		// change anything, so a delay successor would be useless.
+		return 0
+	}
+	return maxDelay
+}
+
+// urgentSyncEnabled reports whether a synchronisation on an urgent channel
+// is possible: a matching sender/receiver pair for binary channels, an
+// enabled sender for broadcast channels.
+func (e *Engine) urgentSyncEnabled(enabled [][]enabledSwitch) bool {
+	for chID := range e.net.channels {
+		ch := &e.net.channels[chID]
+		if !ch.urgent {
+			continue
+		}
+		senders, receivers := e.partners(enabled, ChanID(chID))
+		if len(senders) == 0 {
+			continue
+		}
+		if ch.kind == Broadcast {
+			return true
+		}
+		for _, snd := range senders {
+			for _, rcv := range receivers {
+				if snd.auto != rcv.auto {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// invariantSlack returns the largest delay that keeps every active
+// invariant satisfied, or unbounded when no invariant applies.
+func (e *Engine) invariantSlack(s *State) int {
+	slack := unbounded
+	for ai, a := range e.net.autos {
+		for _, inv := range a.locs[s.Locs[ai]].invariants {
+			d := inv.Bound(s) - int(s.Clocks[inv.Clock])
+			if d < slack {
+				slack = d
+			}
+		}
+	}
+	return slack
+}
+
+// nextGuardChange returns the smallest positive delay at which some clock
+// guard on a switch out of a current location flips truth value, or
+// unbounded if none does. Data guards cannot change with time and switches
+// whose data guard is false are skipped.
+func (e *Engine) nextGuardChange(s *State) int {
+	best := unbounded
+	consider := func(d int) {
+		if d > 0 && d < best {
+			best = d
+		}
+	}
+	for ai, a := range e.net.autos {
+		loc := LocID(s.Locs[ai])
+		for _, swIdx := range a.switchesFrom[loc] {
+			sw := &a.switches[swIdx]
+			if sw.guard != nil && !sw.guard(s) {
+				continue
+			}
+			for _, g := range sw.clockGuards {
+				clock := int(s.Clocks[g.Clock])
+				bound := g.Bound(s)
+				switch g.Op {
+				case GE:
+					consider(bound - clock)
+				case GT:
+					consider(bound - clock + 1)
+				case LE:
+					consider(bound - clock + 1)
+				case LT:
+					consider(bound - clock)
+				case EQ:
+					consider(bound - clock)
+					consider(bound - clock + 1)
+				}
+			}
+		}
+	}
+	return best
+}
+
+// delay advances time by d steps, accruing location cost rates. Clocks with
+// a ceiling saturate there. The second return value reports whether the
+// delay changed anything observable (some clock moved or cost accrued); a
+// no-op delay — every clock saturated, no cost rate — would reproduce the
+// same state forever and is not a useful successor.
+func (e *Engine) delay(s *State, d int) (*State, bool) {
+	next := s.Clone()
+	changed := false
+	for i := range next.Clocks {
+		v := next.Clocks[i] + int32(d)
+		if ceil := e.net.ceilings[i]; ceil > 0 && v > ceil {
+			v = ceil
+		}
+		if v != next.Clocks[i] {
+			changed = true
+		}
+		next.Clocks[i] = v
+	}
+	next.Time += int32(d)
+	var rate int64
+	for ai, a := range e.net.autos {
+		if cr := a.locs[s.Locs[ai]].costRate; cr != nil {
+			rate += cr(s)
+		}
+	}
+	if rate != 0 {
+		changed = true
+	}
+	next.Cost += rate * int64(d)
+	return next, changed
+}

@@ -1,0 +1,76 @@
+package lpta
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// State is a configuration of the network: one location per automaton, the
+// integer variable store, the clock valuation (in time steps), accumulated
+// cost, and the global time (in steps) for reporting. Time is redundant for
+// the semantics — guards and bounds may not reference it — and is excluded
+// from Key.
+type State struct {
+	Locs   []uint16
+	Vars   []int32
+	Clocks []int32
+	Cost   int64
+	Time   int32
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c := &State{
+		Locs:   make([]uint16, len(s.Locs)),
+		Vars:   make([]int32, len(s.Vars)),
+		Clocks: make([]int32, len(s.Clocks)),
+		Cost:   s.Cost,
+		Time:   s.Time,
+	}
+	copy(c.Locs, s.Locs)
+	copy(c.Vars, s.Vars)
+	copy(c.Clocks, s.Clocks)
+	return c
+}
+
+// Clock reads a clock value in steps.
+func (s *State) Clock(c ClockID) int { return int(s.Clocks[c]) }
+
+// Key returns a canonical byte-string encoding of the state's behaviour-
+// relevant parts (locations, variables, clocks — not cost, not time), used
+// for deduplication during exploration.
+func (s *State) Key() string {
+	buf := make([]byte, 0, 2*len(s.Locs)+4*len(s.Vars)+4*len(s.Clocks))
+	var scratch [4]byte
+	for _, l := range s.Locs {
+		binary.LittleEndian.PutUint16(scratch[:2], l)
+		buf = append(buf, scratch[:2]...)
+	}
+	for _, v := range s.Vars {
+		binary.LittleEndian.PutUint32(scratch[:], uint32(v))
+		buf = append(buf, scratch[:]...)
+	}
+	for _, c := range s.Clocks {
+		binary.LittleEndian.PutUint32(scratch[:], uint32(c))
+		buf = append(buf, scratch[:]...)
+	}
+	return string(buf)
+}
+
+// Format renders the state with names from the network, for debugging and
+// traces.
+func (s *State) Format(n *Network) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%d cost=%d", s.Time, s.Cost)
+	for i, a := range n.autos {
+		fmt.Fprintf(&b, " %s.%s", a.name, a.locs[s.Locs[i]].name)
+	}
+	for i, v := range s.Vars {
+		fmt.Fprintf(&b, " %s=%d", n.varNames[i], v)
+	}
+	for i, c := range s.Clocks {
+		fmt.Fprintf(&b, " %s=%d", n.clocks[i], c)
+	}
+	return b.String()
+}

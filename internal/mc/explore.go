@@ -1,0 +1,73 @@
+package mc
+
+import (
+	"fmt"
+
+	"batsched/internal/lpta"
+)
+
+// ExploreResult summarises an exhaustive reachability exploration.
+type ExploreResult struct {
+	// States is the number of distinct states reached.
+	States int
+	// GoalReached reports whether any explored state satisfied the goal.
+	GoalReached bool
+	// Deadlocks counts states with no successors.
+	Deadlocks int
+}
+
+// Explore enumerates all reachable states (breadth-first, full dedup, no
+// chain compression). It is intended for validating small models — the lamp
+// examples of Section 3, unit-test automata — and for cross-checking the
+// event-jump semantics against exhaustive unit-step exploration.
+//
+// The visit callback, if non-nil, is invoked once per distinct state; a
+// false return stops the exploration early.
+func Explore(engine *lpta.Engine, init *lpta.State, goal Goal, maxStates int, visit func(*lpta.State) bool) (ExploreResult, error) {
+	if maxStates <= 0 {
+		maxStates = 1_000_000
+	}
+	var res ExploreResult
+	seen := map[string]bool{}
+	queue := []*lpta.State{init.Clone()}
+	seen[init.Key()] = true
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		res.States++
+		if res.States > maxStates {
+			return res, fmt.Errorf("%w (%d states)", ErrBudgetExhausted, res.States)
+		}
+		if goal != nil && goal(st) {
+			res.GoalReached = true
+		}
+		if visit != nil && !visit(st) {
+			return res, nil
+		}
+		succs := engine.Successors(st)
+		if len(succs) == 0 {
+			res.Deadlocks++
+		}
+		for _, succ := range succs {
+			key := succ.State.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			queue = append(queue, succ.State)
+		}
+	}
+	return res, nil
+}
+
+// HoldsInvariantly checks the TCTL property "A[] not goal" by exhaustive
+// exploration: it returns true when no reachable state satisfies the goal.
+// This is the query shape the paper feeds to Cora (A[] not max.done); the
+// counterexample Cora returns is our MinCostReach witness.
+func HoldsInvariantly(engine *lpta.Engine, init *lpta.State, goal Goal, maxStates int) (bool, error) {
+	res, err := Explore(engine, init, goal, maxStates, nil)
+	if err != nil {
+		return false, err
+	}
+	return !res.GoalReached, nil
+}

@@ -1,0 +1,263 @@
+// Package mc is a minimum-cost reachability checker for linearly priced
+// timed automata networks (internal/lpta). It plays the role Uppaal Cora
+// plays in the DSN 2009 battery-scheduling paper: given the TA-KiBaM network
+// and the goal "all batteries empty and the remaining charge converted to
+// cost", the cheapest path to the goal is the optimal battery schedule.
+//
+// The search is uniform-cost (Dijkstra) over the discrete-time state graph
+// with one crucial optimisation: deterministic chains. Long stretches of the
+// TA-KiBaM evolve with exactly one successor per state (clock ticks, forced
+// draws, forced recoveries); such states are chased inline and never enter
+// the frontier or the visited set, so memory scales with the number of
+// branching (decision) states only.
+package mc
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"batsched/internal/lpta"
+)
+
+// Options tune the search.
+type Options struct {
+	// MaxStates bounds the total number of states touched (including
+	// chased chain states); 0 means DefaultMaxStates.
+	MaxStates int
+	// MaxChain bounds the length of a single deterministic chain; 0 means
+	// DefaultMaxChain. A chain longer than this almost certainly means the
+	// model diverges (time passes forever without branching or goal).
+	MaxChain int
+}
+
+// Default search budgets.
+const (
+	DefaultMaxStates = 50_000_000
+	DefaultMaxChain  = 10_000_000
+)
+
+// Result of a reachability query.
+type Result struct {
+	// Found reports whether a goal state is reachable.
+	Found bool
+	// Cost is the minimum cost over paths to the goal.
+	Cost int64
+	// Goal is the reached goal state.
+	Goal *lpta.State
+	// BranchStates counts distinct branching states settled.
+	BranchStates int
+	// TouchedStates counts every state visited, including chain states.
+	TouchedStates int
+	// trace bookkeeping for Replay.
+	searcher *searcher
+	goalKey  string
+}
+
+// Search errors.
+var (
+	ErrBudgetExhausted = errors.New("mc: state budget exhausted")
+	ErrChainDiverged   = errors.New("mc: deterministic chain exceeded budget (model diverges?)")
+)
+
+// Goal is a state predicate.
+type Goal func(*lpta.State) bool
+
+type pqItem struct {
+	state *lpta.State
+	key   string
+	cost  int64
+	seq   int // insertion order for deterministic tie-breaking
+	goal  bool
+}
+
+type priorityQueue []*pqItem
+
+func (q priorityQueue) Len() int { return len(q) }
+func (q priorityQueue) Less(i, j int) bool {
+	if q[i].cost != q[j].cost {
+		return q[i].cost < q[j].cost
+	}
+	return q[i].seq < q[j].seq
+}
+func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(*pqItem)) }
+func (q *priorityQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return item
+}
+
+type parentLink struct {
+	parentKey string
+	choice    int // successor index taken at the parent branch state
+}
+
+type searcher struct {
+	engine  *lpta.Engine
+	goal    Goal
+	opts    Options
+	visited map[string]int64 // branch-state key -> best cost settled/seen
+	parents map[string]parentLink
+	touched int
+	initKey string
+}
+
+// MinCostReach finds a cheapest path from init to a goal state. Costs must
+// be non-negative (cost rates and updates), which the priced-automata
+// formalism guarantees by construction here.
+func MinCostReach(engine *lpta.Engine, init *lpta.State, goal Goal, opts Options) (Result, error) {
+	if opts.MaxStates == 0 {
+		opts.MaxStates = DefaultMaxStates
+	}
+	if opts.MaxChain == 0 {
+		opts.MaxChain = DefaultMaxChain
+	}
+	s := &searcher{
+		engine:  engine,
+		goal:    goal,
+		opts:    opts,
+		visited: make(map[string]int64),
+		parents: make(map[string]parentLink),
+	}
+	return s.run(init)
+}
+
+func (s *searcher) run(init *lpta.State) (Result, error) {
+	var pq priorityQueue
+	seq := 0
+	push := func(st *lpta.State, key string, isGoal bool) {
+		heap.Push(&pq, &pqItem{state: st, key: key, cost: st.Cost, seq: seq, goal: isGoal})
+		seq++
+	}
+
+	first, hitGoal, err := s.chase(init.Clone())
+	if err != nil {
+		return Result{}, err
+	}
+	firstKey := first.Key()
+	s.initKey = firstKey
+	s.visited[firstKey] = first.Cost
+	push(first, firstKey, hitGoal)
+
+	for pq.Len() > 0 {
+		item := heap.Pop(&pq).(*pqItem)
+		if cost, ok := s.visited[item.key]; ok && item.cost > cost {
+			continue // stale entry
+		}
+		if item.goal {
+			return Result{
+				Found:         true,
+				Cost:          item.state.Cost,
+				Goal:          item.state,
+				BranchStates:  len(s.visited),
+				TouchedStates: s.touched,
+				searcher:      s,
+				goalKey:       item.key,
+			}, nil
+		}
+		succs := s.engine.Successors(item.state)
+		for i, succ := range succs {
+			next, hitGoal, err := s.chase(succ.State)
+			if err != nil {
+				return Result{}, err
+			}
+			key := next.Key()
+			if best, ok := s.visited[key]; ok && best <= next.Cost {
+				continue
+			}
+			s.visited[key] = next.Cost
+			s.parents[key] = parentLink{parentKey: item.key, choice: i}
+			push(next, key, hitGoal)
+		}
+	}
+	return Result{
+		Found:         false,
+		BranchStates:  len(s.visited),
+		TouchedStates: s.touched,
+	}, nil
+}
+
+// chase advances through deterministic (single-successor) states until it
+// reaches a goal state, a branching state, or a dead end. Chain states are
+// not recorded anywhere; they are recomputed during Replay.
+func (s *searcher) chase(st *lpta.State) (*lpta.State, bool, error) {
+	for steps := 0; ; steps++ {
+		if steps > s.opts.MaxChain {
+			return nil, false, fmt.Errorf("%w (at %d states)", ErrChainDiverged, steps)
+		}
+		s.touched++
+		if s.touched > s.opts.MaxStates {
+			return nil, false, fmt.Errorf("%w (%d states)", ErrBudgetExhausted, s.touched)
+		}
+		if s.goal(st) {
+			return st, true, nil
+		}
+		succs := s.engine.Successors(st)
+		if len(succs) != 1 {
+			return st, false, nil
+		}
+		st = succs[0].State
+	}
+}
+
+// TraceStep is one transition of a witness path.
+type TraceStep struct {
+	// Trans is the transition taken.
+	Trans lpta.Transition
+	// Time is the global time, in steps, after the transition.
+	Time int32
+	// Cost is the accumulated cost after the transition.
+	Cost int64
+}
+
+// Replay reconstructs the full timed witness trace of a successful search by
+// re-executing the deterministic chains between the recorded branch
+// decisions. The returned steps include every delay and every discrete
+// transition from the initial state to the goal.
+func (r Result) Replay(init *lpta.State) ([]TraceStep, error) {
+	if !r.Found {
+		return nil, errors.New("mc: no witness, goal not reached")
+	}
+	s := r.searcher
+	// Collect the branch decisions along the goal path, goal -> init.
+	choiceAt := make(map[string]int)
+	for key := r.goalKey; key != s.initKey; {
+		link, ok := s.parents[key]
+		if !ok {
+			return nil, fmt.Errorf("mc: broken parent chain at %q", key)
+		}
+		choiceAt[link.parentKey] = link.choice
+		key = link.parentKey
+	}
+
+	var steps []TraceStep
+	st := init.Clone()
+	for budget := 0; ; budget++ {
+		if budget > s.opts.MaxChain {
+			return nil, ErrChainDiverged
+		}
+		if s.goal(st) {
+			return steps, nil
+		}
+		succs := s.engine.Successors(st)
+		var take lpta.Succ
+		switch {
+		case len(succs) == 0:
+			return nil, errors.New("mc: replay hit a dead end")
+		case len(succs) == 1:
+			take = succs[0]
+		default:
+			choice, ok := choiceAt[st.Key()]
+			if !ok {
+				return nil, errors.New("mc: replay hit an unrecorded branch state")
+			}
+			take = succs[choice]
+		}
+		st = take.State
+		steps = append(steps, TraceStep{Trans: take.Trans, Time: st.Time, Cost: st.Cost})
+	}
+}

@@ -1,0 +1,246 @@
+package mc
+
+import (
+	"errors"
+	"testing"
+
+	"batsched/internal/lpta"
+)
+
+// diamond builds a network with a cheap-but-slow and an expensive-but-fast
+// path to a goal location:
+//
+//	start -(pay 10)-> a -(wait 5, rate 1)-> goal   total 15
+//	start -(pay  2)-> b -(wait 9, rate 1)-> goal   total 11  <- optimal
+func diamond(t *testing.T) (*lpta.Engine, *lpta.Network, lpta.LocID) {
+	t.Helper()
+	net := lpta.NewNetwork("diamond")
+	x := net.Clock("x")
+	a := net.Automaton("walker")
+	start := a.Location("start")
+	mid1 := a.Location("a")
+	mid2 := a.Location("b")
+	goal := a.Location("goal")
+	a.Initial(start)
+	a.Invariant(mid1, x, lpta.Const(5))
+	a.Invariant(mid2, x, lpta.Const(9))
+	a.CostRate(mid1, lpta.ConstCost(1))
+	a.CostRate(mid2, lpta.ConstCost(1))
+	a.Switch(start, mid1, lpta.SwitchSpec{Cost: lpta.ConstCost(10), Resets: []lpta.ClockID{x}, Label: "expensive"})
+	a.Switch(start, mid2, lpta.SwitchSpec{Cost: lpta.ConstCost(2), Resets: []lpta.ClockID{x}, Label: "cheap"})
+	a.Switch(mid1, goal, lpta.SwitchSpec{
+		ClockGuards: []lpta.ClockGuard{{Clock: x, Op: lpta.GE, Bound: lpta.Const(5)}},
+	})
+	a.Switch(mid2, goal, lpta.SwitchSpec{
+		ClockGuards: []lpta.ClockGuard{{Clock: x, Op: lpta.GE, Bound: lpta.Const(9)}},
+	})
+	if err := net.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := lpta.NewEngine(net, lpta.EngineOptions{Semantics: lpta.EventSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, net, goal
+}
+
+func TestMinCostPicksCheaperPath(t *testing.T) {
+	e, net, goal := diamond(t)
+	res, err := MinCostReach(e, net.InitialState(), func(s *lpta.State) bool {
+		return s.Locs[0] == uint16(goal)
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("goal not found")
+	}
+	if res.Cost != 11 {
+		t.Fatalf("min cost %d, want 11", res.Cost)
+	}
+	trace, err := res.Replay(net.InitialState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The witness must take the cheap branch and arrive at t=9.
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	final := trace[len(trace)-1]
+	if final.Time != 9 || final.Cost != 11 {
+		t.Fatalf("witness ends at t=%d cost=%d, want 9/11", final.Time, final.Cost)
+	}
+	foundCheap := false
+	for _, step := range trace {
+		if step.Trans.Kind != lpta.DelayTrans && step.Trans.Describe(net) == "walker: cheap" {
+			foundCheap = true
+		}
+	}
+	if !foundCheap {
+		t.Fatal("witness does not use the cheap branch")
+	}
+}
+
+func TestUnreachableGoal(t *testing.T) {
+	e, net, _ := diamond(t)
+	res, err := MinCostReach(e, net.InitialState(), func(*lpta.State) bool { return false }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("found an unreachable goal")
+	}
+	if _, err := res.Replay(net.InitialState()); err == nil {
+		t.Fatal("replay of a failed search must error")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	e, net, goal := diamond(t)
+	_, err := MinCostReach(e, net.InitialState(), func(s *lpta.State) bool {
+		return s.Locs[0] == uint16(goal)
+	}, Options{MaxStates: 2})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("tiny budget: %v", err)
+	}
+}
+
+// TestChainDivergence: a model that delays forever without reaching the
+// goal trips the chain budget rather than hanging.
+func TestChainDivergence(t *testing.T) {
+	net := lpta.NewNetwork("diverge")
+	net.Clock("x") // uncapped clock: delays change the state forever
+	a := net.Automaton("a")
+	a.Initial(a.Location("l"))
+	if err := net.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := lpta.NewEngine(net, lpta.EngineOptions{Semantics: lpta.StepSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = MinCostReach(e, net.InitialState(), func(*lpta.State) bool { return false }, Options{MaxChain: 100, MaxStates: 1000})
+	if err == nil {
+		t.Fatal("diverging model did not error")
+	}
+}
+
+// TestGoalMidChain: a goal hit inside a deterministic chain is found.
+func TestGoalMidChain(t *testing.T) {
+	net := lpta.NewNetwork("chain")
+	x := net.Clock("x")
+	a := net.Automaton("a")
+	l0 := a.Location("l0")
+	a.Initial(l0)
+	a.Invariant(l0, x, lpta.Const(100))
+	if err := net.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := lpta.NewEngine(net, lpta.EngineOptions{Semantics: lpta.StepSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinCostReach(e, net.InitialState(), func(s *lpta.State) bool {
+		return s.Clock(x) == 42
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("mid-chain goal missed")
+	}
+	trace, err := res.Replay(net.InitialState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace[len(trace)-1].Time != 42 {
+		t.Fatalf("witness ends at t=%d, want 42", trace[len(trace)-1].Time)
+	}
+}
+
+func TestExplore(t *testing.T) {
+	e, net, goal := diamond(t)
+	res, err := Explore(e, net.InitialState(), func(s *lpta.State) bool {
+		return s.Locs[0] == uint16(goal)
+	}, 10000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GoalReached {
+		t.Fatal("explore missed the goal")
+	}
+	if res.States == 0 {
+		t.Fatal("no states explored")
+	}
+	// goal has no outgoing switches and no invariant: it deadlocks.
+	if res.Deadlocks == 0 {
+		t.Fatal("goal location not counted as deadlock")
+	}
+}
+
+func TestExploreVisitEarlyStop(t *testing.T) {
+	e, net, _ := diamond(t)
+	visits := 0
+	res, err := Explore(e, net.InitialState(), nil, 10000, func(*lpta.State) bool {
+		visits++
+		return visits < 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visits != 2 || res.States != 2 {
+		t.Fatalf("early stop after %d visits / %d states", visits, res.States)
+	}
+}
+
+func TestHoldsInvariantly(t *testing.T) {
+	e, net, goal := diamond(t)
+	holds, err := HoldsInvariantly(e, net.InitialState(), func(s *lpta.State) bool {
+		return s.Locs[0] == uint16(goal)
+	}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Fatal("A[] not goal should be violated (goal reachable)")
+	}
+	holds, err = HoldsInvariantly(e, net.InitialState(), func(*lpta.State) bool { return false }, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds {
+		t.Fatal("A[] not false must hold")
+	}
+}
+
+// TestDijkstraOrdering: with two goals at different costs, the cheaper is
+// returned even when the expensive one is fewer hops away.
+func TestDijkstraOrdering(t *testing.T) {
+	net := lpta.NewNetwork("order")
+	a := net.Automaton("a")
+	start := a.Location("start")
+	near := a.Location("near") // 1 hop, cost 100
+	farM := a.Location("mid")
+	far := a.Location("far") // 2 hops, cost 2
+	a.Initial(start)
+	a.Switch(start, near, lpta.SwitchSpec{Cost: lpta.ConstCost(100)})
+	a.Switch(start, farM, lpta.SwitchSpec{Cost: lpta.ConstCost(1)})
+	a.Switch(farM, far, lpta.SwitchSpec{Cost: lpta.ConstCost(1)})
+	if err := net.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := lpta.NewEngine(net, lpta.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinCostReach(e, net.InitialState(), func(s *lpta.State) bool {
+		l := s.Locs[0]
+		return l == uint16(near) || l == uint16(far)
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 2 {
+		t.Fatalf("cost %d, want 2 (cheap two-hop goal)", res.Cost)
+	}
+}

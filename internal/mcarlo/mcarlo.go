@@ -1,0 +1,161 @@
+// Package mcarlo estimates battery-lifetime distributions under random
+// loads by Monte-Carlo simulation on the continuous KiBaM. The paper's
+// outlook (Section 7) notes that realistic random loads need analysis but
+// that Uppaal Cora cannot express probabilities; sampling the load
+// distribution and simulating each sample is the pragmatic substitute, in
+// the spirit of the authors' earlier work on battery lifetime
+// distributions (DSN 2007).
+package mcarlo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"batsched/internal/battery"
+	"batsched/internal/load"
+	"batsched/internal/sched"
+)
+
+// Generator draws a random load.
+type Generator func(rng *rand.Rand) (load.Load, error)
+
+// RandomIntermittent returns a generator for the paper's random test loads:
+// one-minute jobs, each independently low (250 mA) or high (500 mA) with
+// probability pHigh, separated by idle gaps of the given length.
+func RandomIntermittent(idle, horizon, pHigh float64) Generator {
+	return func(rng *rand.Rand) (load.Load, error) {
+		n := int(horizon/(load.JobDuration+idle)) + 1
+		segs := make([]load.Segment, 0, 2*n)
+		for i := 0; i < n; i++ {
+			current := load.LowCurrent
+			if rng.Float64() < pHigh {
+				current = load.HighCurrent
+			}
+			segs = append(segs, load.Segment{Duration: load.JobDuration, Current: current})
+			if idle > 0 {
+				segs = append(segs, load.Segment{Duration: idle, Current: 0})
+			}
+		}
+		return load.New("mc-random", segs...)
+	}
+}
+
+// MarkovBurst returns a generator alternating between bursty and calm
+// phases: a two-state Markov chain picks, per job, whether the node is in a
+// burst (high current) with persistence pStay.
+func MarkovBurst(idle, horizon, pStay float64) Generator {
+	return func(rng *rand.Rand) (load.Load, error) {
+		n := int(horizon/(load.JobDuration+idle)) + 1
+		segs := make([]load.Segment, 0, 2*n)
+		burst := rng.Intn(2) == 1
+		for i := 0; i < n; i++ {
+			if rng.Float64() > pStay {
+				burst = !burst
+			}
+			current := load.LowCurrent
+			if burst {
+				current = load.HighCurrent
+			}
+			segs = append(segs, load.Segment{Duration: load.JobDuration, Current: current})
+			if idle > 0 {
+				segs = append(segs, load.Segment{Duration: idle, Current: 0})
+			}
+		}
+		return load.New("mc-markov", segs...)
+	}
+}
+
+// Distribution summarises the sampled lifetimes.
+type Distribution struct {
+	// Samples holds the simulated lifetimes in minutes, sorted ascending.
+	Samples []float64
+	// Mean and Std are the sample mean and standard deviation.
+	Mean float64
+	Std  float64
+}
+
+// Min returns the smallest sampled lifetime.
+func (d Distribution) Min() float64 { return d.Samples[0] }
+
+// Max returns the largest sampled lifetime.
+func (d Distribution) Max() float64 { return d.Samples[len(d.Samples)-1] }
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank.
+func (d Distribution) Quantile(q float64) float64 {
+	if q <= 0 {
+		return d.Min()
+	}
+	if q >= 1 {
+		return d.Max()
+	}
+	idx := int(math.Ceil(q*float64(len(d.Samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return d.Samples[idx]
+}
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f",
+		len(d.Samples), d.Mean, d.Std, d.Min(), d.Quantile(0.5), d.Quantile(0.95), d.Max())
+}
+
+// Estimation errors.
+var ErrNoSamples = errors.New("mcarlo: need at least one sample")
+
+// LifetimeDistribution simulates n independent random loads on the battery
+// bank under the policy and returns the lifetime distribution. The run is
+// deterministic for a fixed seed.
+func LifetimeDistribution(params []battery.Params, policy sched.Policy, gen Generator, n int, seed int64) (Distribution, error) {
+	if n <= 0 {
+		return Distribution{}, ErrNoSamples
+	}
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := gen(rng)
+		if err != nil {
+			return Distribution{}, fmt.Errorf("sample %d: %w", i, err)
+		}
+		res, err := sched.ContinuousRun(params, l, policy)
+		if err != nil {
+			return Distribution{}, fmt.Errorf("sample %d: %w", i, err)
+		}
+		samples = append(samples, res.LifetimeMinutes)
+	}
+	sort.Float64s(samples)
+	var sum, sumSq float64
+	for _, s := range samples {
+		sum += s
+		sumSq += s * s
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Distribution{
+		Samples: samples,
+		Mean:    mean,
+		Std:     math.Sqrt(variance),
+	}, nil
+}
+
+// ComparePolicies estimates the lifetime distribution of several policies
+// on the same sequence of sampled loads (common random numbers), returning
+// the distributions keyed by policy name.
+func ComparePolicies(params []battery.Params, policies []sched.Policy, gen Generator, n int, seed int64) (map[string]Distribution, error) {
+	out := make(map[string]Distribution, len(policies))
+	for _, p := range policies {
+		d, err := LifetimeDistribution(params, p, gen, n, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name(), err)
+		}
+		out[p.Name()] = d
+	}
+	return out, nil
+}

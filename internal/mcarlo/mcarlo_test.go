@@ -1,0 +1,138 @@
+package mcarlo
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"batsched/internal/battery"
+	"batsched/internal/sched"
+)
+
+func pair() []battery.Params {
+	return []battery.Params{battery.B1(), battery.B1()}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	gen := RandomIntermittent(1, 120, 0.5)
+	a, err := LifetimeDistribution(pair(), sched.BestAvailable(), gen, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LifetimeDistribution(pair(), sched.BestAvailable(), gen, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs across identical seeds", i)
+		}
+	}
+	c, err := LifetimeDistribution(pair(), sched.BestAvailable(), gen, 20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical distributions")
+	}
+}
+
+func TestDistributionStatistics(t *testing.T) {
+	gen := RandomIntermittent(1, 120, 0.5)
+	d, err := LifetimeDistribution(pair(), sched.BestAvailable(), gen, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Samples) != 50 {
+		t.Fatalf("%d samples", len(d.Samples))
+	}
+	// Sorted.
+	for i := 1; i < len(d.Samples); i++ {
+		if d.Samples[i] < d.Samples[i-1] {
+			t.Fatal("samples not sorted")
+		}
+	}
+	if d.Min() > d.Quantile(0.5) || d.Quantile(0.5) > d.Max() {
+		t.Fatal("quantiles out of order")
+	}
+	if d.Quantile(0) != d.Min() || d.Quantile(1) != d.Max() {
+		t.Fatal("extreme quantiles")
+	}
+	if d.Mean < d.Min() || d.Mean > d.Max() {
+		t.Fatalf("mean %v outside range", d.Mean)
+	}
+	if d.Std < 0 {
+		t.Fatalf("negative std %v", d.Std)
+	}
+	// Two-battery ILs-style lifetimes live between the all-high and the
+	// all-low deterministic extremes (Table 5: 10.46 .. 38.92).
+	if d.Min() < 10 || d.Max() > 40 {
+		t.Fatalf("distribution [%v, %v] outside the deterministic envelope", d.Min(), d.Max())
+	}
+	if d.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+// TestLoadMixShiftsDistribution: more high-current jobs mean shorter lives.
+func TestLoadMixShiftsDistribution(t *testing.T) {
+	heavy, err := LifetimeDistribution(pair(), sched.BestAvailable(), RandomIntermittent(1, 120, 0.9), 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := LifetimeDistribution(pair(), sched.BestAvailable(), RandomIntermittent(1, 120, 0.1), 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Mean >= light.Mean {
+		t.Fatalf("heavy mix (%v) outlived light mix (%v)", heavy.Mean, light.Mean)
+	}
+}
+
+// TestPolicyOrderingUnderUncertainty: best-of-two dominates sequential in
+// expectation, as Table 5 suggests deterministically.
+func TestPolicyOrderingUnderUncertainty(t *testing.T) {
+	gen := RandomIntermittent(1, 150, 0.5)
+	dists, err := ComparePolicies(pair(), []sched.Policy{sched.Sequential(), sched.BestAvailable()}, gen, 25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := dists["sequential"]
+	bo := dists["best-of-two"]
+	if bo.Mean <= seq.Mean {
+		t.Fatalf("best-of-two mean %v not above sequential %v", bo.Mean, seq.Mean)
+	}
+}
+
+func TestMarkovBurstGenerator(t *testing.T) {
+	gen := MarkovBurst(1, 120, 0.9)
+	d, err := LifetimeDistribution(pair(), sched.RoundRobin(), gen, 20, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bursty loads have higher variance than i.i.d. ones with the same
+	// marginal mix (long high runs drain one battery hard).
+	iid, err := LifetimeDistribution(pair(), sched.RoundRobin(), RandomIntermittent(1, 120, 0.5), 20, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Std <= 0 || iid.Std <= 0 {
+		t.Fatal("degenerate distributions")
+	}
+	if math.IsNaN(d.Mean) || math.IsNaN(d.Std) {
+		t.Fatal("NaN statistics")
+	}
+}
+
+func TestNoSamplesError(t *testing.T) {
+	gen := RandomIntermittent(1, 100, 0.5)
+	if _, err := LifetimeDistribution(pair(), sched.Sequential(), gen, 0, 1); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("zero samples: %v", err)
+	}
+}

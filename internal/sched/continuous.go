@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"batsched/internal/battery"
+	"batsched/internal/kibam"
+	"batsched/internal/load"
+)
+
+// continuousBank adapts the continuous simulator to the Bank view.
+type continuousBank struct {
+	models []*kibam.Model
+	states []kibam.State
+	alive  []bool
+}
+
+var _ Bank = (*continuousBank)(nil)
+
+func (b *continuousBank) Batteries() int { return len(b.models) }
+func (b *continuousBank) Alive(i int) bool {
+	return b.alive[i]
+}
+func (b *continuousBank) Available(i int) float64 {
+	return b.states[i].Available(b.models[i].Params())
+}
+func (b *continuousBank) Total(i int) float64 {
+	return b.states[i].Gamma
+}
+
+func (b *continuousBank) aliveList() []int {
+	var out []int
+	for i, a := range b.alive {
+		if a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Continuous-simulation errors.
+var (
+	ErrContinuousExhausted = errors.New("sched: batteries outlived the load horizon (continuous)")
+	ErrContinuousChoice    = errors.New("sched: policy chose a dead battery (continuous)")
+)
+
+// ContinuousResult is the outcome of a continuous-model policy simulation.
+type ContinuousResult struct {
+	// LifetimeMinutes is the instant the last battery became empty.
+	LifetimeMinutes float64
+	// Schedule lists every decision taken.
+	Schedule Schedule
+	// Remaining holds each battery's total charge gamma at death, in
+	// A·min; the paper's Section 6 discusses the summed fraction left
+	// behind.
+	Remaining []float64
+}
+
+// RemainingFraction returns the fraction of the banks' initial charge left
+// at death.
+func (r ContinuousResult) RemainingFraction(params []battery.Params) float64 {
+	var left, total float64
+	for i, p := range params {
+		left += r.Remaining[i]
+		total += p.Capacity
+	}
+	if total == 0 {
+		return 0
+	}
+	return left / total
+}
+
+// ContinuousRun simulates a scheduling policy on the continuous KiBaM
+// (closed-form stepping, crossings located by bisection). Scheduling
+// decisions happen at job starts and when the serving battery becomes
+// empty, exactly as in the discretized system. It is used where the
+// discretization would distort results, such as the Section 6
+// capacity-scaling experiment.
+func ContinuousRun(params []battery.Params, l load.Load, p Policy) (ContinuousResult, error) {
+	if len(params) == 0 {
+		return ContinuousResult{}, errors.New("sched: need at least one battery")
+	}
+	bank := &continuousBank{
+		models: make([]*kibam.Model, len(params)),
+		states: make([]kibam.State, len(params)),
+		alive:  make([]bool, len(params)),
+	}
+	for i, bp := range params {
+		m, err := kibam.New(bp)
+		if err != nil {
+			return ContinuousResult{}, fmt.Errorf("battery %d: %w", i, err)
+		}
+		bank.models[i] = m
+		bank.states[i] = kibam.Full(bp)
+		bank.alive[i] = true
+	}
+
+	chooser := p.NewChooser()
+	var schedule Schedule
+	now := 0.0
+	decide := func(reason Reason) (int, error) {
+		dec := Decision{Reason: reason, Minutes: now, Alive: bank.aliveList()}
+		idx := chooser(bank, dec)
+		if idx < 0 || idx >= len(params) || !bank.alive[idx] {
+			return 0, fmt.Errorf("%w (battery %d at %.4f min)", ErrContinuousChoice, idx, now)
+		}
+		schedule = append(schedule, Choice{
+			Minutes: now,
+			Reason:  reason,
+			Battery: idx,
+		})
+		return idx, nil
+	}
+	// recoverOthers advances every battery except skip by dt at zero
+	// current.
+	recoverOthers := func(skip int, dt float64) {
+		for i := range bank.states {
+			if i == skip {
+				continue
+			}
+			bank.states[i] = bank.models[i].StepConstant(bank.states[i], 0, dt)
+		}
+	}
+	finish := func() ContinuousResult {
+		remaining := make([]float64, len(params))
+		for i, s := range bank.states {
+			remaining[i] = s.Gamma
+		}
+		return ContinuousResult{LifetimeMinutes: now, Schedule: schedule, Remaining: remaining}
+	}
+
+	for seg := 0; seg < l.Len(); seg++ {
+		s := l.Segment(seg)
+		if !s.IsJob() {
+			recoverOthers(-1, s.Duration)
+			now += s.Duration
+			continue
+		}
+		remaining := s.Duration
+		reason := JobStart
+		for remaining > 1e-12 {
+			idx, err := decide(reason)
+			if err != nil {
+				return ContinuousResult{}, err
+			}
+			dt, crossed := bank.models[idx].EmptyTime(bank.states[idx], s.Current, remaining)
+			if !crossed {
+				bank.states[idx] = bank.models[idx].StepConstant(bank.states[idx], s.Current, remaining)
+				recoverOthers(idx, remaining)
+				now += remaining
+				remaining = 0
+				break
+			}
+			bank.states[idx] = bank.models[idx].StepConstant(bank.states[idx], s.Current, dt)
+			recoverOthers(idx, dt)
+			now += dt
+			remaining -= dt
+			bank.alive[idx] = false
+			if len(bank.aliveList()) == 0 {
+				return finish(), nil
+			}
+			reason = BatteryEmptied
+		}
+	}
+	return ContinuousResult{}, fmt.Errorf("%w after %.2f min", ErrContinuousExhausted, now)
+}

@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"batsched/internal/battery"
+	"batsched/internal/load"
+)
+
+func TestContinuousMatchesDiscretePolicies(t *testing.T) {
+	params := []battery.Params{battery.B1(), battery.B1()}
+	ds := b1Pair(t)
+	for _, name := range []string{"CL alt", "ILs alt", "ILs 500", "ILl 500"} {
+		l, err := load.Paper(name, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := compiled(t, name, 200)
+		for _, p := range []Policy{Sequential(), RoundRobin(), BestAvailable()} {
+			cont, err := ContinuousRun(params, l, p)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, p.Name(), err)
+			}
+			disc, err := Lifetime(ds, cl, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The discretized model deviates by ~1% at most (Section 5).
+			if rel := math.Abs(cont.LifetimeMinutes-disc) / disc; rel > 0.015 {
+				t.Errorf("%s %s: continuous %v vs discrete %v (%.2f%%)",
+					name, p.Name(), cont.LifetimeMinutes, disc, 100*rel)
+			}
+		}
+	}
+}
+
+func TestContinuousSequentialIsTwoSingles(t *testing.T) {
+	params := []battery.Params{battery.B1(), battery.B1()}
+	l, err := load.Paper("CL 500", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ContinuousRun(params, l, Sequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under a continuous constant load the second battery lives exactly one
+	// single-battery lifetime after the first dies (2.02 each, Table 3).
+	single, err := ContinuousRun(params[:1], l, Sequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(single.LifetimeMinutes-2.02) > 0.005 {
+		t.Fatalf("single continuous %v, want 2.02", single.LifetimeMinutes)
+	}
+	if math.Abs(res.LifetimeMinutes-2*single.LifetimeMinutes) > 1e-6 {
+		t.Fatalf("sequential continuous %v, want 2x single %v", res.LifetimeMinutes, single.LifetimeMinutes)
+	}
+	if len(res.Remaining) != 2 {
+		t.Fatal("remaining slice size")
+	}
+	frac := res.RemainingFraction(params)
+	if frac <= 0.5 || frac >= 1 {
+		t.Fatalf("remaining fraction %v out of the plausible high-current band", frac)
+	}
+}
+
+func TestContinuousScheduleRecorded(t *testing.T) {
+	params := []battery.Params{battery.B1(), battery.B1()}
+	l, err := load.Paper("ILs alt", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ContinuousRun(params, l, RoundRobin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedule) < 4 {
+		t.Fatalf("only %d decisions recorded", len(res.Schedule))
+	}
+	// Decisions alternate batteries while both live.
+	if res.Schedule[0].Battery == res.Schedule[1].Battery {
+		t.Fatal("round robin did not alternate")
+	}
+	// Times non-decreasing.
+	for i := 1; i < len(res.Schedule); i++ {
+		if res.Schedule[i].Minutes < res.Schedule[i-1].Minutes {
+			t.Fatal("decision times decrease")
+		}
+	}
+}
+
+func TestContinuousErrors(t *testing.T) {
+	l, err := load.Paper("CL 250", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ContinuousRun(nil, l, Sequential()); err == nil {
+		t.Fatal("accepted empty bank")
+	}
+	bad := []battery.Params{{Capacity: -1, C: 0.5, KPrime: 1}}
+	if _, err := ContinuousRun(bad, l, Sequential()); err == nil {
+		t.Fatal("accepted invalid battery")
+	}
+	short, err := load.Paper("ILs 250", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ContinuousRun([]battery.Params{battery.B2()}, short, Sequential())
+	if !errors.Is(err, ErrContinuousExhausted) {
+		t.Fatalf("short horizon: %v", err)
+	}
+}
+
+// TestCapacityScalingReducesWaste: the Section 6 observation — the stranded
+// charge fraction falls as capacity grows, below 10% at 10x.
+func TestCapacityScalingReducesWaste(t *testing.T) {
+	prev := 1.0
+	for _, f := range []float64{1, 2, 5, 10} {
+		b := battery.B1().Scale(f)
+		params := []battery.Params{b, b}
+		l, err := load.Paper("ILs alt", 400*f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ContinuousRun(params, l, BestAvailable())
+		if err != nil {
+			t.Fatalf("factor %v: %v", f, err)
+		}
+		frac := res.RemainingFraction(params)
+		if frac >= prev {
+			t.Errorf("waste did not fall at factor %v: %v >= %v", f, frac, prev)
+		}
+		prev = frac
+	}
+	if prev >= 0.10 {
+		t.Errorf("at 10x capacity %v of the charge is stranded, paper says < 10%%", prev)
+	}
+}

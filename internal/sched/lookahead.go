@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"fmt"
+
+	"batsched/internal/dkibam"
+)
+
+// systemAccessor is implemented by banks backed by the discrete simulator;
+// rollout-based policies use it to clone the world.
+type systemAccessor interface {
+	system() *dkibam.System
+}
+
+func (b discreteBank) system() *dkibam.System { return b.sys }
+
+// lookahead is a model-predictive (receding-horizon) policy: at every
+// scheduling point it clones the discrete system, tries each alive battery,
+// rolls the clone forward under a base policy for a fixed horizon, and
+// commits to the candidate with the best outcome. Unlike the optimal
+// search, it is an online policy — it only ever looks a bounded distance
+// into the (known) load — yet it recovers most of the optimality gap the
+// paper leaves open between best-of-two and the optimal schedule.
+type lookahead struct {
+	horizonMin float64
+	base       Policy
+}
+
+// Lookahead returns a model-predictive policy with the given rollout
+// horizon in minutes, using best-available as the rollout base policy.
+// It requires the discrete simulator; on other banks it degrades to the
+// base policy.
+func Lookahead(horizonMin float64) Policy {
+	return lookahead{horizonMin: horizonMin, base: BestAvailable()}
+}
+
+// Name implements Policy.
+func (p lookahead) Name() string {
+	return fmt.Sprintf("lookahead-%gmin", p.horizonMin)
+}
+
+// NewChooser implements Policy.
+func (p lookahead) NewChooser() Chooser {
+	fallback := p.base.NewChooser()
+	return func(bank Bank, dec Decision) int {
+		acc, ok := bank.(systemAccessor)
+		if !ok {
+			return fallback(bank, dec)
+		}
+		sys := acc.system()
+		horizonSteps := int(p.horizonMin/sys.Disc(0).StepMin + 0.5)
+		best, bestScore := dec.Alive[0], rolloutScore{}
+		first := true
+		for _, idx := range dec.Alive {
+			score, err := p.rollout(sys, idx, horizonSteps)
+			if err != nil {
+				continue
+			}
+			if first || score.better(bestScore) {
+				best, bestScore, first = idx, score, false
+			}
+		}
+		return best
+	}
+}
+
+// rolloutScore ranks rollout outcomes: surviving the whole horizon beats
+// dying, a later death beats an earlier one, and among survivors a larger
+// summed available charge (better balance) wins.
+type rolloutScore struct {
+	died      bool
+	deathStep int
+	available int
+}
+
+func (s rolloutScore) better(o rolloutScore) bool {
+	if s.died != o.died {
+		return !s.died
+	}
+	if s.died {
+		return s.deathStep > o.deathStep
+	}
+	return s.available > o.available
+}
+
+// rollout simulates committing battery idx now and following the base
+// policy until the horizon elapses, the system dies, or the load ends (the
+// last counts as survival).
+func (p lookahead) rollout(sys *dkibam.System, idx, horizonSteps int) (rolloutScore, error) {
+	clone := sys.Clone()
+	if err := clone.Choose(idx); err != nil {
+		return rolloutScore{}, err
+	}
+	limit := clone.Step() + horizonSteps
+	base := AdaptChooser(p.base.NewChooser())
+	for {
+		dec, pending, err := clone.AdvanceToDecision()
+		if err != nil {
+			// The load horizon ended inside the rollout: treat as survival.
+			break
+		}
+		if !pending {
+			return rolloutScore{died: true, deathStep: clone.DeathStep()}, nil
+		}
+		if clone.Step() >= limit {
+			break
+		}
+		if err := clone.Choose(base(clone, dec)); err != nil {
+			return rolloutScore{}, err
+		}
+	}
+	score := rolloutScore{}
+	for i := 0; i < clone.Batteries(); i++ {
+		if !clone.Cell(i).Empty {
+			score.available += clone.Disc(i).AvailableMille(clone.Cell(i))
+		}
+	}
+	return score, nil
+}

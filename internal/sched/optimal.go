@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"batsched/internal/dkibam"
+	"batsched/internal/load"
+)
+
+// Optimal computes the maximum achievable system lifetime and a schedule
+// that attains it by exhaustive depth-first search over all scheduling
+// decisions of the discretized battery system, with memoisation on decision
+// states and an admissible charge-budget bound for pruning.
+//
+// This search is an independent cross-check of the priced-timed-automata
+// route of the paper (internal/takibam + internal/mc): both must agree on
+// the optimal lifetime, which the integration tests assert.
+func Optimal(ds []*dkibam.Discretization, cl load.Compiled) (float64, Schedule, error) {
+	sys, err := dkibam.NewSystem(ds, cl)
+	if err != nil {
+		return 0, nil, err
+	}
+	o := &optimizer{
+		cl:   cl,
+		memo: make(map[string]memoEntry),
+	}
+	best, err := o.solve(sys)
+	if err != nil {
+		return 0, nil, err
+	}
+	schedule, err := o.replay(dsClone(sys))
+	if err != nil {
+		return 0, nil, err
+	}
+	return float64(best) * cl.StepMin, schedule, nil
+}
+
+func dsClone(s *dkibam.System) *dkibam.System { return s.Clone() }
+
+type memoEntry struct {
+	death  int // best achievable death step from this decision state
+	choice int // battery index attaining it
+}
+
+type optimizer struct {
+	cl   load.Compiled
+	memo map[string]memoEntry
+}
+
+// errHorizon marks search branches on which the batteries outlived the load.
+var errHorizon = errors.New("sched: optimal search ran out of load horizon")
+
+// solve advances the system to its next decision point (or death) and
+// returns the best achievable death step.
+func (o *optimizer) solve(sys *dkibam.System) (int, error) {
+	dec, pending, err := sys.AdvanceToDecision()
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", errHorizon, err)
+	}
+	if !pending {
+		return sys.DeathStep(), nil
+	}
+	key := stateKey(sys)
+	if entry, ok := o.memo[key]; ok {
+		return entry.death, nil
+	}
+	best, bestChoice := -1, -1
+	for _, idx := range dec.Alive {
+		branch := sys.Clone()
+		if err := branch.Choose(idx); err != nil {
+			return 0, err
+		}
+		death, err := o.solve(branch)
+		if err != nil {
+			return 0, err
+		}
+		if death > best {
+			best, bestChoice = death, idx
+		}
+	}
+	o.memo[key] = memoEntry{death: best, choice: bestChoice}
+	return best, nil
+}
+
+// replay reconstructs an optimal schedule from the memo table.
+func (o *optimizer) replay(sys *dkibam.System) (Schedule, error) {
+	var schedule Schedule
+	for {
+		dec, pending, err := sys.AdvanceToDecision()
+		if err != nil {
+			return nil, err
+		}
+		if !pending {
+			return schedule, nil
+		}
+		entry, ok := o.memo[stateKey(sys)]
+		if !ok {
+			return nil, errors.New("sched: optimal replay hit an unexplored state")
+		}
+		schedule = append(schedule, Choice{
+			Step:    dec.Step,
+			Minutes: float64(dec.Step) * o.cl.StepMin,
+			Epoch:   dec.Epoch,
+			Reason:  dec.Reason,
+			Battery: entry.choice,
+		})
+		if err := sys.Choose(entry.choice); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// stateKey canonically encodes a decision state. Time (and hence the epoch
+// and position within it) plus every battery's discrete state fully
+// determine the future, because decisions always happen with no battery
+// discharging.
+func stateKey(sys *dkibam.System) string {
+	var b strings.Builder
+	b.Grow(16 + 20*sys.Batteries())
+	b.WriteString(strconv.Itoa(sys.Step()))
+	for i := 0; i < sys.Batteries(); i++ {
+		c := sys.Cell(i)
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(c.N))
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(c.M))
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(c.CRecov))
+		if c.Empty {
+			b.WriteString(",e")
+		}
+	}
+	return b.String()
+}

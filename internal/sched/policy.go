@@ -1,0 +1,214 @@
+// Package sched implements the battery-scheduling schemes compared in
+// Section 6 of the DSN 2009 paper: sequential, round robin, best-of-two
+// (generalised to best-of-N), and the optimal schedule found by exhaustive
+// search over the scheduling decisions of the discretized battery system.
+//
+// Policies are written against a small Bank view, so the same policy drives
+// both the discretized simulator (internal/dkibam) and the continuous
+// simulator in this package.
+package sched
+
+import (
+	"batsched/internal/dkibam"
+	"batsched/internal/load"
+)
+
+// Bank is a policy's read-only view of the battery bank at a scheduling
+// point.
+type Bank interface {
+	// Batteries returns the number of batteries.
+	Batteries() int
+	// Alive reports whether battery i may still be used.
+	Alive(i int) bool
+	// Available returns battery i's available charge y1 in A·min.
+	Available(i int) float64
+	// Total returns battery i's total remaining charge gamma in A·min.
+	Total(i int) float64
+}
+
+// Reason tells a policy why a decision is needed.
+type Reason = dkibam.Reason
+
+// Decision reasons (re-exported from the discrete engine so policies work
+// against either simulator).
+const (
+	JobStart       = dkibam.JobStart
+	BatteryEmptied = dkibam.BatteryEmptied
+)
+
+// Decision describes a pending scheduling decision.
+type Decision struct {
+	// Reason is why a battery must be chosen.
+	Reason Reason
+	// Minutes is the decision time.
+	Minutes float64
+	// Alive lists the batteries that may be chosen.
+	Alive []int
+}
+
+// Chooser picks one of dec.Alive at a scheduling point.
+type Chooser func(bank Bank, dec Decision) int
+
+// Policy is a deterministic battery-scheduling scheme. NewChooser returns a
+// fresh chooser per run because policies may carry per-run state (the round
+// robin rotation, for example).
+type Policy interface {
+	// Name returns the scheme's display name as used in Table 5.
+	Name() string
+	// NewChooser returns a chooser for one simulation run.
+	NewChooser() Chooser
+}
+
+// sequential uses the batteries one after the other: battery i+1 is only
+// touched once battery i is empty. The paper shows this is the worst
+// possible schedule.
+type sequential struct{}
+
+// Sequential returns the sequential scheduling scheme.
+func Sequential() Policy { return sequential{} }
+
+func (sequential) Name() string { return "sequential" }
+
+func (sequential) NewChooser() Chooser {
+	return func(_ Bank, dec Decision) int {
+		return dec.Alive[0]
+	}
+}
+
+// roundRobin assigns job k to battery k mod B in a fixed order, skipping
+// empty batteries. A battery that empties mid-job is replaced by the next
+// alive battery in the rotation.
+type roundRobin struct{}
+
+// RoundRobin returns the round robin scheduling scheme.
+func RoundRobin() Policy { return roundRobin{} }
+
+func (roundRobin) Name() string { return "round robin" }
+
+func (roundRobin) NewChooser() Chooser {
+	job := 0
+	last := 0
+	return func(bank Bank, dec Decision) int {
+		b := bank.Batteries()
+		var start int
+		switch dec.Reason {
+		case JobStart:
+			start = job % b
+			job++
+		default: // BatteryEmptied: continue with the next battery in order.
+			start = (last + 1) % b
+		}
+		for i := 0; i < b; i++ {
+			idx := (start + i) % b
+			if bank.Alive(idx) {
+				last = idx
+				return idx
+			}
+		}
+		return dec.Alive[0] // unreachable while the system is alive
+	}
+}
+
+// bestAvailable picks the battery with the most charge in the available
+// charge well (the paper's best-of-two, for any number of batteries). Ties
+// go to the lowest index, which makes the scheme behave exactly like round
+// robin on symmetric loads, as observed in the paper.
+type bestAvailable struct{}
+
+// BestAvailable returns the best-of-two scheme generalised to N batteries.
+func BestAvailable() Policy { return bestAvailable{} }
+
+func (bestAvailable) Name() string { return "best-of-two" }
+
+func (bestAvailable) NewChooser() Chooser {
+	return func(bank Bank, dec Decision) int {
+		best := dec.Alive[0]
+		bestAvail := bank.Available(best)
+		for _, idx := range dec.Alive[1:] {
+			if a := bank.Available(idx); a > bestAvail {
+				best, bestAvail = idx, a
+			}
+		}
+		return best
+	}
+}
+
+// discreteBank adapts the discretized system to the Bank view.
+type discreteBank struct{ sys *dkibam.System }
+
+var _ Bank = discreteBank{}
+
+func (b discreteBank) Batteries() int { return b.sys.Batteries() }
+func (b discreteBank) Alive(i int) bool {
+	return !b.sys.Cell(i).Empty
+}
+func (b discreteBank) Available(i int) float64 {
+	return b.sys.Disc(i).AvailableAmpMin(b.sys.Cell(i))
+}
+func (b discreteBank) Total(i int) float64 {
+	return b.sys.Disc(i).TotalAmpMin(b.sys.Cell(i))
+}
+
+// AdaptChooser turns a policy chooser into the discrete engine's chooser
+// type.
+func AdaptChooser(c Chooser) dkibam.Chooser {
+	return func(sys *dkibam.System, dec dkibam.Decision) int {
+		return c(discreteBank{sys: sys}, Decision{
+			Reason:  dec.Reason,
+			Minutes: float64(dec.Step) * sys.Disc(0).StepMin,
+			Alive:   dec.Alive,
+		})
+	}
+}
+
+// Lifetime simulates the policy on fully charged batteries and returns the
+// system lifetime in minutes.
+func Lifetime(ds []*dkibam.Discretization, cl load.Compiled, p Policy) (float64, error) {
+	sys, err := dkibam.NewSystem(ds, cl)
+	if err != nil {
+		return 0, err
+	}
+	return sys.Run(AdaptChooser(p.NewChooser()))
+}
+
+// Run simulates the policy and returns the full schedule next to the
+// lifetime.
+func Run(ds []*dkibam.Discretization, cl load.Compiled, p Policy) (float64, Schedule, error) {
+	sys, err := dkibam.NewSystem(ds, cl)
+	if err != nil {
+		return 0, nil, err
+	}
+	var schedule Schedule
+	chooser := AdaptChooser(p.NewChooser())
+	lifetime, err := sys.Run(func(s *dkibam.System, dec dkibam.Decision) int {
+		idx := chooser(s, dec)
+		schedule = append(schedule, Choice{
+			Step:    dec.Step,
+			Minutes: float64(dec.Step) * cl.StepMin,
+			Epoch:   dec.Epoch,
+			Reason:  dec.Reason,
+			Battery: idx,
+		})
+		return idx
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return lifetime, schedule, nil
+}
+
+// Choice records one scheduling decision.
+type Choice struct {
+	// Step is the decision time in steps; Minutes the same in minutes.
+	Step    int
+	Minutes float64
+	// Epoch is the load epoch being served.
+	Epoch int
+	// Reason is why the decision was needed.
+	Reason Reason
+	// Battery is the chosen battery index.
+	Battery int
+}
+
+// Schedule is the sequence of decisions of one run.
+type Schedule []Choice

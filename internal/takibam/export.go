@@ -1,0 +1,297 @@
+package takibam
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"batsched/internal/dkibam"
+	"batsched/internal/load"
+)
+
+// ExportUppaal writes the TA-KiBaM network for the given batteries and
+// compiled load as an Uppaal 4.x XML model, so the reproduction can be
+// cross-checked against the original toolchain (Uppaal Cora). The exported
+// model mirrors Figure 5 and this package's construction: per-battery total
+// charge and height difference templates, the load, the scheduler, and the
+// maximum finder, with the same channels, urgency, and priorities; the
+// precomputed arrays (load_time, cur_times, cur, recov_time) are emitted as
+// const int declarations. Verify with Cora's query "A[] not
+// MaximumFinder.done" exactly as in Section 4.3.
+//
+// The exporter intentionally writes the broadcast go_off and the
+// all_empty-before-conversion variant documented in this package's comment.
+func ExportUppaal(w io.Writer, ds []*dkibam.Discretization, cl load.Compiled) error {
+	if len(ds) == 0 {
+		return ErrNoBatteries
+	}
+	if err := cl.Validate(); err != nil {
+		return err
+	}
+	for i, d := range ds {
+		if d.StepMin != cl.StepMin || d.UnitAmpMin != cl.UnitAmpMin {
+			return fmt.Errorf("%w (battery %d)", ErrGridMismatch, i)
+		}
+	}
+	e := &exporter{ds: ds, cl: cl, b: len(ds)}
+	var sb strings.Builder
+	e.write(&sb)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+type exporter struct {
+	ds []*dkibam.Discretization
+	cl load.Compiled
+	b  int
+}
+
+// esc escapes a C-like expression for embedding in XML text.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func intList(vals []int) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (e *exporter) write(w *strings.Builder) {
+	fmt.Fprint(w, "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n")
+	fmt.Fprint(w, "<!DOCTYPE nta PUBLIC '-//Uppaal Team//DTD Flat System 1.1//EN' 'http://www.it.uu.se/research/group/darts/uppaal/flat-1_1.dtd'>\n")
+	fmt.Fprint(w, "<nta>\n")
+	e.globalDeclarations(w)
+	for id := 0; id < e.b; id++ {
+		e.totalChargeTemplate(w, id)
+		e.heightDifferenceTemplate(w, id)
+	}
+	e.loadTemplate(w)
+	e.schedulerTemplate(w)
+	e.maximumFinderTemplate(w)
+	e.system(w)
+	fmt.Fprint(w, "</nta>\n")
+}
+
+func (e *exporter) globalDeclarations(w *strings.Builder) {
+	var d strings.Builder
+	fmt.Fprintf(&d, "// TA-KiBaM for %d batteries, exported by batsched.\n", e.b)
+	fmt.Fprintf(&d, "// Grid: T = %g min, Gamma = %g A·min.\n", e.cl.StepMin, e.cl.UnitAmpMin)
+	fmt.Fprintf(&d, "const int B = %d;\n", e.b)
+	fmt.Fprintf(&d, "const int E = %d; // epochs\n", e.cl.Epochs())
+	fmt.Fprintf(&d, "const int load_time[E] = {%s};\n", intList(e.cl.LoadTime))
+	fmt.Fprintf(&d, "const int cur_times[E] = {%s};\n", intList(e.cl.CurTimes))
+	fmt.Fprintf(&d, "const int cur[E] = {%s};\n", intList(e.cl.Cur))
+	for id, disc := range e.ds {
+		fmt.Fprintf(&d, "const int c_mille_%d = %d;\n", id, disc.CMille)
+		fmt.Fprintf(&d, "const int N_%d = %d;\n", id, disc.N)
+		fmt.Fprintf(&d, "const int recov_time_%d[%d] = {%s};\n", id, len(disc.RecovTime), intList(disc.RecovTime))
+	}
+	var initN []string
+	for _, disc := range e.ds {
+		initN = append(initN, fmt.Sprint(disc.N))
+	}
+	fmt.Fprintf(&d, "int n_gamma[B] = {%s};\n", strings.Join(initN, ", "))
+	fmt.Fprint(&d, "int m_delta[B];\n")
+	fmt.Fprint(&d, "bool bat_empty[B];\n")
+	fmt.Fprint(&d, "int j = 0;\n")
+	fmt.Fprint(&d, "int empty_count = 0;\n")
+	fmt.Fprint(&d, "int charge_left = 0;\n")
+	fmt.Fprint(&d, "int sum_gamma() { int s = 0; for (i : int[0, B-1]) s += n_gamma[i]; return s; }\n")
+	for id := 0; id < e.b; id++ {
+		fmt.Fprintf(&d, "chan use_charge_%d;\n", id)
+	}
+	fmt.Fprint(&d, "urgent chan emptied;\n")
+	fmt.Fprint(&d, "broadcast chan all_empty;\n")
+	fmt.Fprint(&d, "chan new_job;\n")
+	fmt.Fprint(&d, "chan go_on;\n")
+	fmt.Fprint(&d, "broadcast chan go_off;\n")
+	fmt.Fprintf(w, "  <declaration>%s</declaration>\n", esc(d.String()))
+}
+
+// template helpers -----------------------------------------------------
+
+type xLoc struct {
+	id        string
+	name      string
+	invariant string
+	committed bool
+}
+
+type xTrans struct {
+	src, dst   string
+	guard      string
+	sync       string
+	assignment string
+}
+
+func writeTemplate(w *strings.Builder, name, localDecl string, locs []xLoc, init string, trans []xTrans) {
+	fmt.Fprint(w, "  <template>\n")
+	fmt.Fprintf(w, "    <name>%s</name>\n", name)
+	if localDecl != "" {
+		fmt.Fprintf(w, "    <declaration>%s</declaration>\n", esc(localDecl))
+	}
+	for _, l := range locs {
+		fmt.Fprintf(w, "    <location id=\"%s\">\n", l.id)
+		fmt.Fprintf(w, "      <name>%s</name>\n", l.name)
+		if l.invariant != "" {
+			fmt.Fprintf(w, "      <label kind=\"invariant\">%s</label>\n", esc(l.invariant))
+		}
+		if l.committed {
+			fmt.Fprint(w, "      <committed/>\n")
+		}
+		fmt.Fprint(w, "    </location>\n")
+	}
+	fmt.Fprintf(w, "    <init ref=\"%s\"/>\n", init)
+	for _, t := range trans {
+		fmt.Fprint(w, "    <transition>\n")
+		fmt.Fprintf(w, "      <source ref=\"%s\"/>\n", t.src)
+		fmt.Fprintf(w, "      <target ref=\"%s\"/>\n", t.dst)
+		if t.guard != "" {
+			fmt.Fprintf(w, "      <label kind=\"guard\">%s</label>\n", esc(t.guard))
+		}
+		if t.sync != "" {
+			fmt.Fprintf(w, "      <label kind=\"synchronisation\">%s</label>\n", esc(t.sync))
+		}
+		if t.assignment != "" {
+			fmt.Fprintf(w, "      <label kind=\"assignment\">%s</label>\n", esc(t.assignment))
+		}
+		fmt.Fprint(w, "    </transition>\n")
+	}
+	fmt.Fprint(w, "  </template>\n")
+}
+
+func (e *exporter) totalChargeTemplate(w *strings.Builder, id int) {
+	p := func(l string) string { return fmt.Sprintf("tc%d_%s", id, l) }
+	emptyCond := fmt.Sprintf("(1000 - c_mille_%d) * m_delta[%d] >= c_mille_%d * n_gamma[%d]", id, id, id, id)
+	notEmpty := fmt.Sprintf("(1000 - c_mille_%d) * m_delta[%d] < c_mille_%d * n_gamma[%d]", id, id, id, id)
+	locs := []xLoc{
+		{id: p("idle"), name: "idle"},
+		{id: p("on"), name: "on", invariant: "j < E && cur_times[j] > 0 imply c_disch <= cur_times[j]"},
+		{id: p("notifying"), name: "notifying", committed: true},
+		{id: p("empty"), name: "empty"},
+	}
+	trans := []xTrans{
+		{src: p("idle"), dst: p("on"), guard: fmt.Sprintf("!bat_empty[%d]", id), sync: "go_on?", assignment: "c_disch = 0"},
+		{src: p("on"), dst: p("on"),
+			guard:      fmt.Sprintf("c_disch >= cur_times[j] && j < E && cur[j] > 0 && %s", notEmpty),
+			sync:       fmt.Sprintf("use_charge_%d!", id),
+			assignment: fmt.Sprintf("n_gamma[%d] -= cur[j], c_disch = 0", id)},
+		{src: p("on"), dst: p("notifying"), guard: emptyCond, sync: "emptied!",
+			assignment: fmt.Sprintf("bat_empty[%d] = true", id)},
+		{src: p("on"), dst: p("idle"), sync: "go_off?"},
+		{src: p("notifying"), dst: p("empty"), sync: "new_job!"},
+		{src: p("notifying"), dst: p("empty"), sync: "all_empty?"},
+	}
+	writeTemplate(w, fmt.Sprintf("TotalCharge%d", id), "clock c_disch;", locs, p("idle"), trans)
+}
+
+func (e *exporter) heightDifferenceTemplate(w *strings.Builder, id int) {
+	p := func(l string) string { return fmt.Sprintf("hd%d_%s", id, l) }
+	recov := fmt.Sprintf("recov_time_%d[m_delta[%d]]", id, id)
+	locs := []xLoc{
+		{id: p("m0"), name: "m_delta_0"},
+		{id: p("m1"), name: "m_delta_1"},
+		{id: p("mgt1"), name: "m_delta_gt_1", invariant: fmt.Sprintf("c_recov <= %s", recov)},
+		{id: p("off"), name: "off"},
+	}
+	bump := fmt.Sprintf("m_delta[%d] += cur[j]", id)
+	trans := []xTrans{
+		{src: p("m0"), dst: p("m1"), guard: "cur[j] == 1", sync: fmt.Sprintf("use_charge_%d?", id), assignment: bump},
+		{src: p("m0"), dst: p("mgt1"), guard: "cur[j] > 1", sync: fmt.Sprintf("use_charge_%d?", id), assignment: bump + ", c_recov = 0"},
+		{src: p("m1"), dst: p("mgt1"), sync: fmt.Sprintf("use_charge_%d?", id), assignment: bump + ", c_recov = 0"},
+		{src: p("mgt1"), dst: p("mgt1"), sync: fmt.Sprintf("use_charge_%d?", id), assignment: bump},
+		{src: p("mgt1"), dst: p("mgt1"),
+			guard:      fmt.Sprintf("m_delta[%d] > 2 && c_recov >= %s", id, recov),
+			assignment: fmt.Sprintf("m_delta[%d] -= 1, c_recov = 0", id)},
+		{src: p("mgt1"), dst: p("m1"),
+			guard:      fmt.Sprintf("m_delta[%d] == 2 && c_recov >= %s", id, recov),
+			assignment: fmt.Sprintf("m_delta[%d] -= 1, c_recov = 0", id)},
+		{src: p("m0"), dst: p("off"), sync: "all_empty?"},
+		{src: p("m1"), dst: p("off"), sync: "all_empty?"},
+		{src: p("mgt1"), dst: p("off"), sync: "all_empty?"},
+	}
+	writeTemplate(w, fmt.Sprintf("HeightDifference%d", id), "clock c_recov;", locs, p("m0"), trans)
+}
+
+func (e *exporter) loadTemplate(w *strings.Builder) {
+	locs := []xLoc{
+		{id: "ld_dispatch", name: "dispatch", committed: true},
+		{id: "ld_job", name: "load_on", invariant: "j < E imply t <= load_time[j]"},
+		{id: "ld_idle", name: "idle", invariant: "j < E imply t <= load_time[j]"},
+		{id: "ld_exhausted", name: "exhausted"},
+		{id: "ld_off", name: "off"},
+	}
+	trans := []xTrans{
+		{src: "ld_dispatch", dst: "ld_job", guard: "j < E && cur[j] > 0", sync: "new_job!"},
+		{src: "ld_dispatch", dst: "ld_idle", guard: "j < E && cur[j] == 0"},
+		{src: "ld_dispatch", dst: "ld_exhausted", guard: "j >= E"},
+		{src: "ld_job", dst: "ld_dispatch", guard: "j < E && t >= load_time[j]", sync: "go_off!", assignment: "j += 1"},
+		{src: "ld_idle", dst: "ld_dispatch", guard: "j < E && t >= load_time[j]", assignment: "j += 1"},
+		{src: "ld_dispatch", dst: "ld_off", sync: "all_empty?"},
+		{src: "ld_job", dst: "ld_off", sync: "all_empty?"},
+		{src: "ld_idle", dst: "ld_off", sync: "all_empty?"},
+	}
+	writeTemplate(w, "LoadAuto", "clock t;", locs, "ld_dispatch", trans)
+}
+
+func (e *exporter) schedulerTemplate(w *strings.Builder) {
+	locs := []xLoc{
+		{id: "sc_wait", name: "wait"},
+		{id: "sc_choose", name: "choose", committed: true},
+		{id: "sc_off", name: "off"},
+	}
+	trans := []xTrans{
+		{src: "sc_wait", dst: "sc_choose", sync: "new_job?"},
+		{src: "sc_choose", dst: "sc_wait", sync: "go_on!"},
+		{src: "sc_wait", dst: "sc_off", sync: "all_empty?"},
+	}
+	writeTemplate(w, "Scheduler", "", locs, "sc_wait", trans)
+}
+
+func (e *exporter) maximumFinderTemplate(w *strings.Builder) {
+	locs := []xLoc{
+		{id: "mf_counting", name: "counting"},
+		{id: "mf_announce", name: "announce", committed: true},
+		// Cora cost rate: declared in the invariant, as in the paper's
+		// Figure 5(e).
+		{id: "mf_converting", name: "converting", invariant: "c_cost <= charge_left && cost' == 1"},
+		{id: "mf_done", name: "done"},
+	}
+	trans := []xTrans{
+		{src: "mf_counting", dst: "mf_counting", guard: "empty_count < B - 1", sync: "emptied?", assignment: "empty_count += 1"},
+		{src: "mf_counting", dst: "mf_announce", guard: "empty_count == B - 1", sync: "emptied?",
+			assignment: "empty_count += 1, charge_left = sum_gamma(), c_cost = 0"},
+		{src: "mf_announce", dst: "mf_converting", sync: "all_empty!"},
+		{src: "mf_converting", dst: "mf_done", guard: "c_cost >= charge_left"},
+	}
+	writeTemplate(w, "MaximumFinder", "clock c_cost;", locs, "mf_counting", trans)
+}
+
+func (e *exporter) system(w *strings.Builder) {
+	var d strings.Builder
+	var procs []string
+	for id := 0; id < e.b; id++ {
+		fmt.Fprintf(&d, "TC%d = TotalCharge%d();\n", id, id)
+		fmt.Fprintf(&d, "HD%d = HeightDifference%d();\n", id, id)
+		procs = append(procs, fmt.Sprintf("TC%d", id), fmt.Sprintf("HD%d", id))
+	}
+	fmt.Fprint(&d, "LD = LoadAuto();\nSC = Scheduler();\nMF = MaximumFinder();\n")
+	procs = append(procs, "LD", "SC", "MF")
+	// Channel priorities, lowest first, matching this package's constants.
+	var uses []string
+	for id := 0; id < e.b; id++ {
+		uses = append(uses, fmt.Sprintf("use_charge_%d", id))
+	}
+	fmt.Fprintf(&d, "chan priority go_off < go_on < new_job < all_empty < emptied < %s;\n",
+		strings.Join(uses, " < "))
+	fmt.Fprintf(&d, "system %s;\n", strings.Join(procs, ", "))
+	fmt.Fprintf(w, "  <system>%s</system>\n", esc(d.String()))
+	fmt.Fprint(w, "  <queries>\n    <query>\n")
+	fmt.Fprint(w, "      <formula>A[] not MF.done</formula>\n")
+	fmt.Fprint(w, "      <comment>Section 4.3: the counterexample trace minimising cost is the optimal battery schedule.</comment>\n")
+	fmt.Fprint(w, "    </query>\n  </queries>\n")
+}

@@ -1,0 +1,84 @@
+package takibam
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"batsched/internal/battery"
+)
+
+func TestExportUppaalWellFormed(t *testing.T) {
+	ds := discs(t, battery.B1(), 2)
+	cl := compiled(t, "ILs alt", 40)
+	var sb strings.Builder
+	if err := ExportUppaal(&sb, ds, cl); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// Well-formed XML (ignoring the DTD, which encoding/xml skips).
+	dec := xml.NewDecoder(strings.NewReader(out))
+	elements := 0
+	for {
+		tok, err := dec.Token()
+		if tok == nil {
+			break
+		}
+		if err != nil {
+			t.Fatalf("XML parse error: %v", err)
+		}
+		if _, ok := tok.(xml.StartElement); ok {
+			elements++
+		}
+	}
+	if elements < 50 {
+		t.Fatalf("only %d XML elements", elements)
+	}
+
+	// Structural landmarks of the model.
+	landmarks := []string{
+		"<name>TotalCharge0</name>",
+		"<name>TotalCharge1</name>",
+		"<name>HeightDifference0</name>",
+		"<name>LoadAuto</name>",
+		"<name>Scheduler</name>",
+		"<name>MaximumFinder</name>",
+		"urgent chan emptied;",
+		"broadcast chan all_empty;",
+		"broadcast chan go_off;",
+		"chan priority go_off",
+		"A[] not MF.done",
+		"const int load_time[E]",
+		"const int recov_time_0",
+	}
+	for _, want := range landmarks {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+	// Guards must be XML-escaped: no raw '<' may survive inside label text.
+	if strings.Contains(out, "c_disch <= cur_times") {
+		t.Error("unescaped guard text in XML")
+	}
+	if !strings.Contains(out, "c_disch &lt;= cur_times") {
+		t.Error("escaped invariant missing")
+	}
+	// The empty-condition guard with the per-mille constant appears.
+	if !strings.Contains(out, "(1000 - c_mille_0) * m_delta[0] &gt;= c_mille_0 * n_gamma[0]") {
+		t.Error("empty-condition guard missing")
+	}
+}
+
+func TestExportUppaalValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := ExportUppaal(&sb, nil, compiled(t, "CL 250", 10)); err == nil {
+		t.Fatal("accepted empty bank")
+	}
+	d := discs(t, battery.B1(), 1)
+	bad := compiled(t, "CL 250", 10)
+	bad.Cur = bad.Cur[:1]
+	if err := ExportUppaal(&sb, d, bad); err == nil {
+		t.Fatal("accepted corrupt load")
+	}
+}

@@ -1,0 +1,131 @@
+package takibam
+
+import (
+	"errors"
+	"fmt"
+
+	"batsched/internal/lpta"
+	"batsched/internal/mc"
+)
+
+// Goal returns the reachability goal "the maximum finder reached done",
+// i.e. all batteries are empty and the remaining charge has been converted
+// to cost. The paper checks the property A[] not max.done and uses Cora's
+// counterexample as the optimal schedule.
+func (m *Model) Goal() mc.Goal {
+	mf := int(m.mfAuto)
+	done := uint16(m.mfDone)
+	return func(s *lpta.State) bool { return s.Locs[mf] == done }
+}
+
+// Engine builds an exploration engine over the network. EventSemantics is
+// exact for the TA-KiBaM (every enabled switch is forced by an invariant, a
+// committed location or the urgent emptied channel) and is the default;
+// StepSemantics is available for cross-validation.
+func (m *Model) Engine(sem lpta.Semantics) (*lpta.Engine, error) {
+	return lpta.NewEngine(m.Net, lpta.EngineOptions{
+		Semantics: sem,
+		// Recovery switches of different batteries touch disjoint
+		// variables; their interleavings commute.
+		DeterministicInternals: true,
+	})
+}
+
+// Assignment is one scheduling action of a witness trace: battery Battery
+// was switched on at time Step.
+type Assignment struct {
+	// Step is the time in discretization steps.
+	Step int
+	// Minutes is the same instant in minutes.
+	Minutes float64
+	// Battery is the chosen battery index.
+	Battery int
+}
+
+// Solution is the outcome of the optimal-schedule search.
+type Solution struct {
+	// LifetimeMinutes is the maximal system lifetime: the instant the last
+	// battery is observed empty.
+	LifetimeMinutes float64
+	// DeathStep is the same instant in steps.
+	DeathStep int
+	// Cost is the minimal cost, equal to the charge units left in the
+	// batteries at death.
+	Cost int64
+	// Schedule lists every go_on assignment along the optimal path.
+	Schedule []Assignment
+	// BranchStates and TouchedStates report search effort.
+	BranchStates  int
+	TouchedStates int
+}
+
+// Solve errors.
+var (
+	ErrNoSchedule = errors.New("takibam: no schedule empties all batteries (extend the load horizon)")
+	ErrNoEmptied  = errors.New("takibam: witness trace contains no emptied event")
+)
+
+// Solve runs minimum-cost reachability on the network and extracts the
+// optimal schedule from the witness trace.
+func (m *Model) Solve(opts mc.Options) (*Solution, error) {
+	engine, err := m.Engine(lpta.EventSemantics)
+	if err != nil {
+		return nil, err
+	}
+	init := m.Net.InitialState()
+	res, err := mc.MinCostReach(engine, init, m.Goal(), opts)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Found {
+		return nil, fmt.Errorf("%w (explored %d branch states)", ErrNoSchedule, res.BranchStates)
+	}
+	trace, err := res.Replay(init)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{
+		Cost:          res.Cost,
+		BranchStates:  res.BranchStates,
+		TouchedStates: res.TouchedStates,
+	}
+	if err := m.decodeTrace(trace, sol); err != nil {
+		return nil, err
+	}
+	return sol, nil
+}
+
+// decodeTrace extracts lifetime and schedule from a witness trace.
+func (m *Model) decodeTrace(trace []mc.TraceStep, sol *Solution) error {
+	tcByAuto := make(map[lpta.AutoID]int, m.B)
+	for b, a := range m.tcAuto {
+		tcByAuto[a] = b
+	}
+	death := -1
+	for _, step := range trace {
+		switch step.Trans.Kind {
+		case lpta.BinaryTrans:
+			switch step.Trans.Channel {
+			case m.goOn:
+				receiver := step.Trans.Parts[1].Auto
+				battery, ok := tcByAuto[receiver]
+				if !ok {
+					return fmt.Errorf("takibam: go_on received by non-battery automaton %d", receiver)
+				}
+				sol.Schedule = append(sol.Schedule, Assignment{
+					Step:    int(step.Time),
+					Minutes: float64(step.Time) * m.cl.StepMin,
+					Battery: battery,
+				})
+			case m.emptied:
+				death = int(step.Time)
+			}
+		}
+	}
+	if death < 0 {
+		return ErrNoEmptied
+	}
+	sol.DeathStep = death
+	sol.LifetimeMinutes = float64(death) * m.cl.StepMin
+	return nil
+}

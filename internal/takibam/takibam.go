@@ -1,0 +1,461 @@
+// Package takibam constructs the TA-KiBaM: the network of priced timed
+// automata of Section 4 of the DSN 2009 battery-scheduling paper. For B
+// batteries the network contains 2B+3 automata:
+//
+//   - one total charge automaton per battery (Figure 5(a)): tracks
+//     n_gamma[id], draws cur[j] units every cur_times[j] steps while the
+//     battery is on, and observes the empty condition (8);
+//   - one height difference automaton per battery (Figure 5(b)): tracks
+//     m_delta[id], bumps it on every use_charge[id] and recovers one unit
+//     every recov_time[m] steps;
+//   - the load automaton (Figure 5(c)): walks the epochs of the compiled
+//     load, announcing jobs on new_job and ending them on go_off;
+//   - the scheduler automaton (Figure 5(d)): on new_job it
+//     nondeterministically switches one non-empty battery on via go_on —
+//     this choice is the entire scheduling freedom of the model;
+//   - the maximum finder automaton (Figure 5(e)): counts emptied batteries
+//     and, when all are empty, converts the remaining charge into cost, so
+//     that the minimum-cost path is the maximum-lifetime schedule.
+//
+// Channel overview (Table 2), with the priorities that resolve simultaneous
+// events exactly like the deterministic engine in internal/dkibam:
+//
+//	use_charge[id]  binary     prio 50  draw beats everything at an instant
+//	(recovery)      internal   prio 40  height-difference decrements
+//	emptied         binary(!)  prio 30  urgent: empty observed immediately
+//	all_empty       broadcast  prio 25  shuts all processes down
+//	new_job         binary     prio 20  wake the scheduler
+//	go_on           binary     prio 15  scheduler's (nondeterministic) pick
+//	go_off          broadcast  prio 10  job end switches the battery off
+//	(load internal) internal   prio  5  epoch bookkeeping
+//
+// Documented deviations from the paper's figures: go_off is broadcast
+// rather than binary (identical behaviour with exactly one battery on,
+// avoids a deadlock when a battery empties at a job boundary), all_empty is
+// emitted when the last battery empties rather than after the cost
+// conversion (the scheduler would otherwise deadlock in its committed
+// choose location), and recovery switches zero the recovery clock when the
+// height difference drops to one (the stale value is never read; zeroing it
+// merges equal physical states).
+package takibam
+
+import (
+	"errors"
+	"fmt"
+
+	"batsched/internal/dkibam"
+	"batsched/internal/load"
+	"batsched/internal/lpta"
+)
+
+// Channel priorities; see the package comment.
+const (
+	prioUseCharge    = 50
+	prioRecovery     = 40
+	prioEmptied      = 30
+	prioAllEmpty     = 25
+	prioNewJob       = 20
+	prioGoOn         = 15
+	prioGoOff        = 10
+	prioLoadInternal = 5
+)
+
+// unboundedInvariant stands in for "no bound" in invariant bound functions
+// whose defining array index is out of scope (e.g. cur_times[j] while the
+// battery cannot be on anyway).
+const unboundedInvariant = 1 << 30
+
+// Model is a built TA-KiBaM network together with the handles needed to
+// query it.
+type Model struct {
+	// Net is the finalized network.
+	Net *lpta.Network
+	// B is the number of batteries.
+	B int
+
+	ds []*dkibam.Discretization
+	cl load.Compiled
+
+	// Variable handles.
+	nGamma     lpta.IntArrayVar
+	mDelta     lpta.IntArrayVar
+	batEmpty   lpta.IntArrayVar
+	j          lpta.IntVar
+	emptyCount lpta.IntVar
+	chargeLeft lpta.IntVar
+
+	// Channels.
+	useCharge []lpta.ChanID
+	emptied   lpta.ChanID
+	allEmpty  lpta.ChanID
+	newJob    lpta.ChanID
+	goOn      lpta.ChanID
+	goOff     lpta.ChanID
+
+	// Automaton ids.
+	tcAuto    []lpta.AutoID
+	hdAuto    []lpta.AutoID
+	loadAuto  lpta.AutoID
+	schedAuto lpta.AutoID
+	mfAuto    lpta.AutoID
+
+	// Locations needed by goals and introspection.
+	mfDone  lpta.LocID
+	tcOn    []lpta.LocID
+	tcEmpty []lpta.LocID
+}
+
+// Build errors.
+var (
+	ErrNoBatteries  = errors.New("takibam: need at least one battery")
+	ErrGridMismatch = errors.New("takibam: battery and load use different discretization grids")
+)
+
+// Build constructs the TA-KiBaM for the given batteries and compiled load.
+func Build(ds []*dkibam.Discretization, cl load.Compiled) (*Model, error) {
+	if len(ds) == 0 {
+		return nil, ErrNoBatteries
+	}
+	if err := cl.Validate(); err != nil {
+		return nil, err
+	}
+	for i, d := range ds {
+		if d.StepMin != cl.StepMin || d.UnitAmpMin != cl.UnitAmpMin {
+			return nil, fmt.Errorf("%w (battery %d)", ErrGridMismatch, i)
+		}
+	}
+	b := len(ds)
+	m := &Model{B: b, ds: ds, cl: cl}
+	net := lpta.NewNetwork(fmt.Sprintf("takibam-%dx", b))
+	m.Net = net
+
+	// Variables (Table 1).
+	initN := make([]int, b)
+	for i, d := range ds {
+		initN[i] = d.N
+	}
+	m.nGamma = net.IntArray("n_gamma", initN)
+	m.mDelta = net.IntArray("m_delta", make([]int, b))
+	m.batEmpty = net.IntArray("bat_empty", make([]int, b))
+	m.j = net.Int("j", 0)
+	m.emptyCount = net.Int("empty_count", 0)
+	m.chargeLeft = net.Int("charge_left", 0)
+
+	// Channels (Table 2).
+	m.useCharge = make([]lpta.ChanID, b)
+	for i := 0; i < b; i++ {
+		m.useCharge[i] = net.Channel(fmt.Sprintf("use_charge[%d]", i), lpta.Binary, prioUseCharge, false)
+	}
+	m.emptied = net.Channel("emptied", lpta.Binary, prioEmptied, true)
+	m.allEmpty = net.Channel("all_empty", lpta.Broadcast, prioAllEmpty, false)
+	m.newJob = net.Channel("new_job", lpta.Binary, prioNewJob, false)
+	m.goOn = net.Channel("go_on", lpta.Binary, prioGoOn, false)
+	m.goOff = net.Channel("go_off", lpta.Broadcast, prioGoOff, false)
+
+	// Clocks.
+	cDisch := make([]lpta.ClockID, b)
+	cRecov := make([]lpta.ClockID, b)
+	for i := 0; i < b; i++ {
+		cDisch[i] = net.Clock(fmt.Sprintf("c_disch[%d]", i))
+		cRecov[i] = net.Clock(fmt.Sprintf("c_recov[%d]", i))
+	}
+	tClock := net.Clock("t")
+	cCost := net.Clock("c_cost")
+
+	m.tcAuto = make([]lpta.AutoID, b)
+	m.hdAuto = make([]lpta.AutoID, b)
+	m.tcOn = make([]lpta.LocID, b)
+	m.tcEmpty = make([]lpta.LocID, b)
+	for i := 0; i < b; i++ {
+		m.buildTotalCharge(i, cDisch[i])
+		m.buildHeightDifference(i, cRecov[i])
+	}
+	m.buildLoad(tClock)
+	m.buildScheduler()
+	m.buildMaximumFinder(cCost)
+
+	if err := net.Finalize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// epochs returns the number of epochs of the load.
+func (m *Model) epochs() int { return m.cl.Epochs() }
+
+// emptyCond evaluates the integer empty criterion (8) for battery id:
+// (1000-c)*m >= c*n.
+func (m *Model) emptyCond(s *lpta.State, id int) bool {
+	cm := m.ds[id].CMille
+	return (1000-cm)*m.mDelta.Get(s, id) >= cm*m.nGamma.Get(s, id)
+}
+
+// buildTotalCharge adds the total charge automaton of battery id
+// (Figure 5(a)).
+func (m *Model) buildTotalCharge(id int, cDisch lpta.ClockID) {
+	a := m.Net.Automaton(fmt.Sprintf("total_charge[%d]", id))
+	m.tcAuto[id] = a.ID()
+	idle := a.Location("idle")
+	on := a.Location("on")
+	notifying := a.CommittedLocation("notifying")
+	empty := a.Location("empty")
+	a.Initial(idle)
+	m.tcOn[id] = on
+	m.tcEmpty[id] = empty
+
+	curTimesBound := func(s *lpta.State) int {
+		jj := m.j.Get(s)
+		if jj < m.epochs() && m.cl.CurTimes[jj] > 0 {
+			return m.cl.CurTimes[jj]
+		}
+		return unboundedInvariant
+	}
+	a.Invariant(on, cDisch, curTimesBound)
+
+	// idle -> on: the scheduler switches this battery on (go_on).
+	a.Switch(idle, on, lpta.SwitchSpec{
+		Recv: m.goOn, HasRecv: true,
+		Guard:  func(s *lpta.State) bool { return m.batEmpty.Get(s, id) == 0 },
+		Resets: []lpta.ClockID{cDisch},
+		Label:  "switch-on",
+	})
+	// on -> on: draw cur[j] charge units after cur_times[j] steps, while not
+	// empty (the use self-loop with guard (1000-c)*m < c*n).
+	a.Switch(on, on, lpta.SwitchSpec{
+		Send: m.useCharge[id], HasSend: true,
+		Guard: func(s *lpta.State) bool {
+			jj := m.j.Get(s)
+			return jj < m.epochs() && m.cl.IsJob(jj) && !m.emptyCond(s, id)
+		},
+		ClockGuards: []lpta.ClockGuard{{Clock: cDisch, Op: lpta.GE, Bound: curTimesBound}},
+		Update: func(s *lpta.State) {
+			m.nGamma.Add(s, id, -m.cl.Cur[m.j.Get(s)])
+		},
+		Resets: []lpta.ClockID{cDisch},
+		Label:  "use",
+	})
+	// on -> notifying: the battery is observed empty (urgent emptied).
+	a.Switch(on, notifying, lpta.SwitchSpec{
+		Send: m.emptied, HasSend: true,
+		Guard:  func(s *lpta.State) bool { return m.emptyCond(s, id) },
+		Update: func(s *lpta.State) { m.batEmpty.Set(s, id, 1) },
+		Label:  "observe-empty",
+	})
+	// on -> idle: the job ended (go_off broadcast from the load).
+	a.Switch(on, idle, lpta.SwitchSpec{
+		Recv: m.goOff, HasRecv: true,
+		Label: "switch-off",
+	})
+	// notifying -> empty: wake the scheduler so another battery continues
+	// the job, or fall asleep when the system just died.
+	a.Switch(notifying, empty, lpta.SwitchSpec{
+		Send: m.newJob, HasSend: true,
+		Label: "handover",
+	})
+	a.Switch(notifying, empty, lpta.SwitchSpec{
+		Recv: m.allEmpty, HasRecv: true,
+		Label: "system-dead",
+	})
+}
+
+// buildHeightDifference adds the height difference automaton of battery id
+// (Figure 5(b)).
+func (m *Model) buildHeightDifference(id int, cRecov lpta.ClockID) {
+	a := m.Net.Automaton(fmt.Sprintf("height_difference[%d]", id))
+	m.hdAuto[id] = a.ID()
+	m0 := a.Location("m_delta_0")
+	m1 := a.Location("m_delta_1")
+	mGT1 := a.Location("m_delta_gt_1")
+	off := a.Location("off")
+	a.Initial(m0)
+
+	recovBound := func(s *lpta.State) int {
+		mm := m.mDelta.Get(s, id)
+		if mm < 2 {
+			return unboundedInvariant
+		}
+		if mm >= len(m.ds[id].RecovTime) {
+			mm = len(m.ds[id].RecovTime) - 1
+		}
+		return m.ds[id].RecovTime[mm]
+	}
+	a.Invariant(mGT1, cRecov, recovBound)
+
+	bump := func(s *lpta.State) { m.mDelta.Add(s, id, m.cl.Cur[m.j.Get(s)]) }
+	curIs1 := func(s *lpta.State) bool { return m.cl.Cur[m.j.Get(s)] == 1 }
+	curGT1 := func(s *lpta.State) bool { return m.cl.Cur[m.j.Get(s)] > 1 }
+
+	// Draw bumps: entering active recovery (m reaching >= 2 from <= 1)
+	// resets the recovery clock; further bumps while already in active
+	// recovery leave the running countdown untouched (Figure 5(b)).
+	a.Switch(m0, m1, lpta.SwitchSpec{
+		Recv: m.useCharge[id], HasRecv: true,
+		Guard: curIs1, Update: bump, Label: "bump-0to1",
+	})
+	a.Switch(m0, mGT1, lpta.SwitchSpec{
+		Recv: m.useCharge[id], HasRecv: true,
+		Guard: curGT1, Update: bump, Resets: []lpta.ClockID{cRecov}, Label: "bump-0toN",
+	})
+	a.Switch(m1, mGT1, lpta.SwitchSpec{
+		Recv: m.useCharge[id], HasRecv: true,
+		Update: bump, Resets: []lpta.ClockID{cRecov}, Label: "bump-1up",
+	})
+	a.Switch(mGT1, mGT1, lpta.SwitchSpec{
+		Recv: m.useCharge[id], HasRecv: true,
+		Update: bump, Label: "bump-running",
+	})
+	// Recovery decrements, forced by the invariant when the countdown
+	// elapses; they run whether or not the battery is discharging.
+	a.Switch(mGT1, mGT1, lpta.SwitchSpec{
+		Guard:       func(s *lpta.State) bool { return m.mDelta.Get(s, id) > 2 },
+		ClockGuards: []lpta.ClockGuard{{Clock: cRecov, Op: lpta.GE, Bound: recovBound}},
+		Update:      func(s *lpta.State) { m.mDelta.Add(s, id, -1) },
+		Resets:      []lpta.ClockID{cRecov},
+		Priority:    prioRecovery,
+		Label:       "recover",
+	})
+	a.Switch(mGT1, m1, lpta.SwitchSpec{
+		Guard:       func(s *lpta.State) bool { return m.mDelta.Get(s, id) == 2 },
+		ClockGuards: []lpta.ClockGuard{{Clock: cRecov, Op: lpta.GE, Bound: recovBound}},
+		Update:      func(s *lpta.State) { m.mDelta.Add(s, id, -1) },
+		Resets:      []lpta.ClockID{cRecov}, // stale value never read; reset merges states
+		Priority:    prioRecovery,
+		Label:       "recover-last",
+	})
+	for _, from := range []lpta.LocID{m0, m1, mGT1} {
+		a.Switch(from, off, lpta.SwitchSpec{
+			Recv: m.allEmpty, HasRecv: true,
+			Label: "system-dead",
+		})
+	}
+}
+
+// buildLoad adds the load automaton (Figure 5(c)).
+func (m *Model) buildLoad(t lpta.ClockID) {
+	a := m.Net.Automaton("load")
+	m.loadAuto = a.ID()
+	dispatch := a.CommittedLocation("dispatch")
+	job := a.Location("load_on")
+	idle := a.Location("idle")
+	exhausted := a.Location("exhausted")
+	off := a.Location("off")
+	a.Initial(dispatch)
+
+	loadTimeBound := func(s *lpta.State) int {
+		jj := m.j.Get(s)
+		if jj < m.epochs() {
+			return m.cl.LoadTime[jj]
+		}
+		return unboundedInvariant
+	}
+	a.Invariant(job, t, loadTimeBound)
+	a.Invariant(idle, t, loadTimeBound)
+
+	inRange := func(s *lpta.State) bool { return m.j.Get(s) < m.epochs() }
+	isJob := func(s *lpta.State) bool { jj := m.j.Get(s); return jj < m.epochs() && m.cl.IsJob(jj) }
+	isIdle := func(s *lpta.State) bool { jj := m.j.Get(s); return jj < m.epochs() && !m.cl.IsJob(jj) }
+	advance := func(s *lpta.State) { m.j.Add(s, 1) }
+
+	// dispatch: route the fresh epoch.
+	a.Switch(dispatch, job, lpta.SwitchSpec{
+		Send: m.newJob, HasSend: true,
+		Guard: isJob, Label: "announce-job",
+	})
+	a.Switch(dispatch, idle, lpta.SwitchSpec{
+		Guard: isIdle, Priority: prioLoadInternal, Label: "enter-idle",
+	})
+	a.Switch(dispatch, exhausted, lpta.SwitchSpec{
+		Guard:    func(s *lpta.State) bool { return !inRange(s) },
+		Priority: prioLoadInternal, Label: "load-exhausted",
+	})
+	// Epoch ends.
+	a.Switch(job, dispatch, lpta.SwitchSpec{
+		Send: m.goOff, HasSend: true,
+		ClockGuards: []lpta.ClockGuard{{Clock: t, Op: lpta.GE, Bound: loadTimeBound}},
+		Guard:       inRange,
+		Update:      advance,
+		Label:       "job-end",
+	})
+	a.Switch(idle, dispatch, lpta.SwitchSpec{
+		ClockGuards: []lpta.ClockGuard{{Clock: t, Op: lpta.GE, Bound: loadTimeBound}},
+		Guard:       inRange,
+		Update:      advance,
+		Priority:    prioLoadInternal,
+		Label:       "idle-end",
+	})
+	for _, from := range []lpta.LocID{dispatch, job, idle} {
+		a.Switch(from, off, lpta.SwitchSpec{
+			Recv: m.allEmpty, HasRecv: true,
+			Label: "system-dead",
+		})
+	}
+}
+
+// buildScheduler adds the scheduler automaton (Figure 5(d)). The go_on
+// send from the committed choose location has one enabled receiver per
+// alive idle battery; that receiver choice is the scheduling decision.
+func (m *Model) buildScheduler() {
+	a := m.Net.Automaton("scheduler")
+	m.schedAuto = a.ID()
+	wait := a.Location("wait")
+	choose := a.CommittedLocation("choose")
+	off := a.Location("off")
+	a.Initial(wait)
+
+	a.Switch(wait, choose, lpta.SwitchSpec{
+		Recv: m.newJob, HasRecv: true,
+		Label: "wake",
+	})
+	a.Switch(choose, wait, lpta.SwitchSpec{
+		Send: m.goOn, HasSend: true,
+		Label: "assign",
+	})
+	a.Switch(wait, off, lpta.SwitchSpec{
+		Recv: m.allEmpty, HasRecv: true,
+		Label: "system-dead",
+	})
+}
+
+// buildMaximumFinder adds the maximum finder automaton (Figure 5(e)): it
+// counts emptied batteries and converts the remaining total charge into
+// cost at rate 1, so minimal cost equals maximal drawn charge and thus
+// maximal lifetime.
+func (m *Model) buildMaximumFinder(cCost lpta.ClockID) {
+	a := m.Net.Automaton("maximum_finder")
+	m.mfAuto = a.ID()
+	counting := a.Location("counting")
+	announce := a.CommittedLocation("announce")
+	converting := a.Location("converting")
+	done := a.Location("done")
+	a.Initial(counting)
+	m.mfDone = done
+
+	chargeLeftBound := func(s *lpta.State) int { return m.chargeLeft.Get(s) }
+	a.Invariant(converting, cCost, chargeLeftBound)
+	a.CostRate(converting, lpta.ConstCost(1))
+
+	a.Switch(counting, counting, lpta.SwitchSpec{
+		Recv: m.emptied, HasRecv: true,
+		Guard:  func(s *lpta.State) bool { return m.emptyCount.Get(s) < m.B-1 },
+		Update: func(s *lpta.State) { m.emptyCount.Add(s, 1) },
+		Label:  "count-empty",
+	})
+	a.Switch(counting, announce, lpta.SwitchSpec{
+		Recv: m.emptied, HasRecv: true,
+		Guard: func(s *lpta.State) bool { return m.emptyCount.Get(s) == m.B-1 },
+		Update: func(s *lpta.State) {
+			m.emptyCount.Add(s, 1)
+			m.chargeLeft.Set(s, m.nGamma.Sum(s))
+		},
+		Resets: []lpta.ClockID{cCost},
+		Label:  "last-empty",
+	})
+	a.Switch(announce, converting, lpta.SwitchSpec{
+		Send: m.allEmpty, HasSend: true,
+		Label: "announce-death",
+	})
+	a.Switch(converting, done, lpta.SwitchSpec{
+		ClockGuards: []lpta.ClockGuard{{Clock: cCost, Op: lpta.GE, Bound: chargeLeftBound}},
+		Label:       "converted",
+	})
+}
