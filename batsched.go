@@ -40,6 +40,7 @@ import (
 	"batsched/internal/load"
 	"batsched/internal/mc"
 	"batsched/internal/sched"
+	"batsched/internal/sweep"
 	"batsched/internal/takibam"
 )
 
@@ -139,8 +140,55 @@ func NewProblem(batteries []BatteryParams, ld Load, opts ...Option) (*Problem, e
 	return core.NewProblem(batteries, ld, opts...)
 }
 
+// Compiled is the immutable, concurrency-safe compiled form of a Problem:
+// shared discretization tables plus the compiled load. Build one with
+// Problem.Compile and run any number of concurrent simulations on it.
+type Compiled = core.Compiled
+
 // TracePoint samples the bank state at one instant (Figure 6 curves).
 type TracePoint = core.TracePoint
+
+// Scenario sweeps: a SweepSpec declares a grid of banks × loads × policies
+// (× discretization grids) and RunSweep executes every combination over a
+// bounded worker pool with deterministic result ordering.
+type (
+	// SweepSpec is a declarative scenario grid.
+	SweepSpec = sweep.Spec
+	// SweepBank is one battery-bank configuration of a sweep.
+	SweepBank = sweep.Bank
+	// SweepLoad is one load of a sweep.
+	SweepLoad = sweep.LoadCase
+	// SweepPolicy is one scheduling scheme of a sweep.
+	SweepPolicy = sweep.PolicyCase
+	// SweepGrid is one discretization grid of a sweep.
+	SweepGrid = sweep.GridSpec
+	// SweepResult is the outcome of one sweep scenario.
+	SweepResult = sweep.Result
+	// SweepOptions tune a sweep run (worker pool size).
+	SweepOptions = sweep.Options
+)
+
+// RunSweep expands the spec and runs every scenario over a worker pool
+// bounded by opts.Workers (0 = number of CPUs), returning one result per
+// scenario in deterministic nested order.
+func RunSweep(spec SweepSpec, opts SweepOptions) ([]SweepResult, error) {
+	return sweep.Run(spec, opts)
+}
+
+// SweepBankOf builds a sweep bank of n identical batteries.
+func SweepBankOf(name string, p BatteryParams, n int) SweepBank { return sweep.BankOf(name, p, n) }
+
+// SweepPaperLoads builds the named Section 5 test loads (nil = all ten) as
+// sweep cases, each covering at least horizon minutes.
+func SweepPaperLoads(names []string, horizon float64) ([]SweepLoad, error) {
+	return sweep.PaperLoads(names, horizon)
+}
+
+// SweepPolicies wraps deterministic policies as sweep cases.
+func SweepPolicies(ps ...Policy) []SweepPolicy { return sweep.Policies(ps...) }
+
+// SweepOptimal returns the optimal-search sweep case.
+func SweepOptimal() SweepPolicy { return sweep.OptimalCase() }
 
 // SearchOptions bound the state space of the timed-automata search.
 type SearchOptions = mc.Options

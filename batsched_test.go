@@ -103,6 +103,74 @@ func TestPublicTA(t *testing.T) {
 	}
 }
 
+// TestPublicSweep runs the Table 5 grid through the re-exported sweep API
+// and checks it against the per-problem computations.
+func TestPublicSweep(t *testing.T) {
+	loads, err := batsched.SweepPaperLoads([]string{"CL alt", "ILs alt"}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := batsched.SweepSpec{
+		Banks: []batsched.SweepBank{batsched.SweepBankOf("2xB1", batsched.B1(), 2)},
+		Loads: loads,
+		Policies: append(
+			batsched.SweepPolicies(batsched.Sequential(), batsched.BestAvailable()),
+			batsched.SweepOptimal(),
+		),
+	}
+	results, err := batsched.RunSweep(spec, batsched.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("%d results, want 6", len(results))
+	}
+	want := map[string]float64{
+		"CL alt/sequential": 5.40, "CL alt/best-of-two": 6.12, "CL alt/optimal": 6.46,
+		"ILs alt/sequential": 12.38, "ILs alt/best-of-two": 16.28, "ILs alt/optimal": 16.90,
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s/%s: %v", r.Load, r.Policy, r.Err)
+		}
+		if w := want[r.Load+"/"+r.Policy]; math.Abs(r.Lifetime-w) > 1e-9 {
+			t.Errorf("%s/%s: %v, want %v", r.Load, r.Policy, r.Lifetime, w)
+		}
+	}
+}
+
+// TestPublicCompiled exercises the compiled-artifact API: one immutable
+// artifact serving multiple runs, including the parallel optimal search.
+func TestPublicCompiled(t *testing.T) {
+	l, err := batsched.PaperLoad("ILs alt", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := batsched.NewProblem(batsched.Bank(batsched.B1(), 2), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := c.PolicyLifetime(batsched.BestAvailable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := c.OptimalLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	optPar, _, err := c.OptimalLifetimeParallel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(best-16.28) > 1e-9 || math.Abs(opt-16.90) > 1e-9 || optPar != opt {
+		t.Fatalf("best %v, optimal %v, parallel optimal %v", best, opt, optPar)
+	}
+}
+
 func TestPublicGridOption(t *testing.T) {
 	l, err := batsched.PaperLoad("CL 250", 60)
 	if err != nil {

@@ -9,24 +9,35 @@
 //	       [-policy sequential|roundrobin|bestof] [-horizon MIN]
 //	       [-continuous] [-trace FILE] [-sample N]
 //
+// With -sweep it instead expands a scenario grid — banks × loads × policies
+// — and runs every combination over a parallel worker pool, printing one
+// result row per scenario in deterministic order:
+//
+//	batsim -sweep [-banks 2xB1,2xB2] [-loads all|NAME,NAME,...]
+//	       [-policies seq,rr,bestof,optimal] [-workers N] [-horizon MIN]
+//
 // Examples:
 //
 //	batsim -n 2 -load "ILs alt" -policy bestof
 //	batsim -battery B2 -load "CL 250" -policy sequential -continuous
+//	batsim -sweep -banks 2xB1 -loads all -policies seq,rr,bestof,optimal
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 
 	"batsched/internal/battery"
 	"batsched/internal/core"
 	"batsched/internal/experiments"
 	"batsched/internal/load"
 	"batsched/internal/sched"
+	"batsched/internal/sweep"
 )
 
 func main() {
@@ -40,8 +51,20 @@ func main() {
 	continuous := flag.Bool("continuous", false, "simulate on the continuous KiBaM instead of the discretized model")
 	tracePath := flag.String("trace", "", "write a TSV charge trace to this file (discrete mode only)")
 	sample := flag.Int("sample", 10, "trace sampling interval in steps")
+	doSweep := flag.Bool("sweep", false, "run a scenario sweep instead of a single simulation")
+	banksSpec := flag.String("banks", "2xB1", "sweep banks, comma-separated NxB1/NxB2 (e.g. 2xB1,1xB2)")
+	loadsSpec := flag.String("loads", "all", "sweep loads: 'all' or comma-separated paper load names")
+	policiesSpec := flag.String("policies", "seq,rr,bestof", "sweep policies, comma-separated (seq, rr, bestof, lookahead:MIN, optimal)")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = number of CPUs)")
 	flag.Parse()
 
+	if *doSweep {
+		if err := runSweep(*banksSpec, *loadsSpec, *policiesSpec, *horizon, *workers, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "batsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *loadFile != "" {
 		*loadName = *loadFile
 	}
@@ -49,6 +72,74 @@ func main() {
 		fmt.Fprintf(os.Stderr, "batsim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runSweep expands the flag grammar into a sweep.Spec, runs it, and prints
+// one aligned row per scenario.
+func runSweep(banksSpec, loadsSpec, policiesSpec string, horizon float64, workers int, w io.Writer) error {
+	spec, err := buildSweepSpec(banksSpec, loadsSpec, policiesSpec, horizon)
+	if err != nil {
+		return err
+	}
+	results, err := sweep.Run(spec, sweep.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "bank\tload\tpolicy\tlifetime-min\tdecisions")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(tw, "%s\t%s\t%s\terror: %v\t\n", r.Bank, r.Load, r.Policy, r.Err)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\t%d\n", r.Bank, r.Load, r.Policy, r.Lifetime, r.Decisions)
+	}
+	return tw.Flush()
+}
+
+// buildSweepSpec parses the comma-separated bank, load, and policy lists.
+func buildSweepSpec(banksSpec, loadsSpec, policiesSpec string, horizon float64) (sweep.Spec, error) {
+	var spec sweep.Spec
+	for _, s := range strings.Split(banksSpec, ",") {
+		s = strings.TrimSpace(s)
+		countStr, batName, ok := strings.Cut(s, "x")
+		if !ok {
+			return spec, fmt.Errorf("bad bank %q (want NxB1 or NxB2)", s)
+		}
+		n, err := strconv.Atoi(countStr)
+		if err != nil || n < 1 {
+			return spec, fmt.Errorf("bad bank count in %q", s)
+		}
+		b, err := pickBattery(batName, 0)
+		if err != nil {
+			return spec, err
+		}
+		spec.Banks = append(spec.Banks, sweep.BankOf(s, b, n))
+	}
+	var loadNames []string
+	if strings.TrimSpace(loadsSpec) != "all" {
+		for _, s := range strings.Split(loadsSpec, ",") {
+			loadNames = append(loadNames, strings.TrimSpace(s))
+		}
+	}
+	loads, err := sweep.PaperLoads(loadNames, horizon)
+	if err != nil {
+		return spec, err
+	}
+	spec.Loads = loads
+	for _, s := range strings.Split(policiesSpec, ",") {
+		s = strings.TrimSpace(s)
+		if strings.EqualFold(s, "optimal") || strings.EqualFold(s, "opt") {
+			spec.Policies = append(spec.Policies, sweep.OptimalCase())
+			continue
+		}
+		p, err := pickPolicy(s)
+		if err != nil {
+			return spec, err
+		}
+		spec.Policies = append(spec.Policies, sweep.Policies(p)...)
+	}
+	return spec, nil
 }
 
 func run(batteryName string, capacity float64, count int, loadName, policyName string, horizon float64, continuous bool, tracePath string, sample int) error {

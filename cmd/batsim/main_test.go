@@ -7,6 +7,53 @@ import (
 	"testing"
 )
 
+// TestRunSweepMode drives the -sweep path end to end and spot-checks the
+// Table 5 values in the printed rows.
+func TestRunSweepMode(t *testing.T) {
+	var buf strings.Builder
+	if err := runSweep("2xB1", "CL alt,ILs alt", "seq,bestof,optimal", 200, 2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+2*3 {
+		t.Fatalf("got %d lines, want header + 6 rows:\n%s", len(lines), buf.String())
+	}
+	for _, want := range []string{
+		"2xB1  CL alt   sequential   5.40",
+		"2xB1  CL alt   optimal      6.46",
+		"2xB1  ILs alt  best-of-two  16.28",
+		"2xB1  ILs alt  optimal      16.90",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output misses %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestBuildSweepSpec(t *testing.T) {
+	spec, err := buildSweepSpec("2xB1,1xB2", "all", "rr,optimal", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Banks) != 2 || len(spec.Loads) != 10 || len(spec.Policies) != 2 {
+		t.Fatalf("spec %d banks, %d loads, %d policies", len(spec.Banks), len(spec.Loads), len(spec.Policies))
+	}
+	if !spec.Policies[1].Optimal {
+		t.Error("optimal policy case not flagged")
+	}
+	for _, bad := range []string{"B1", "0xB1", "2xB9", "twoxB1"} {
+		if _, err := buildSweepSpec(bad, "all", "rr", 200); err == nil {
+			t.Errorf("accepted bank spec %q", bad)
+		}
+	}
+	if _, err := buildSweepSpec("2xB1", "no such load", "rr", 200); err == nil {
+		t.Error("accepted unknown load")
+	}
+	if _, err := buildSweepSpec("2xB1", "all", "greedy", 200); err == nil {
+		t.Error("accepted unknown policy")
+	}
+}
+
 func TestPickBattery(t *testing.T) {
 	b, err := pickBattery("B1", 0)
 	if err != nil || b.Capacity != 5.5 {

@@ -1,0 +1,121 @@
+// Benchmarks for the event-driven simulation engine and the parallel sweep
+// runner. Run with:
+//
+//	go test -bench 'PolicyLifetime|Engine' -benchmem
+//
+// BenchmarkPolicyLifetime compares the two stepping engines on the
+// discretized policy-lifetime path (the Table 5 inner loop);
+// BenchmarkEngine/sweep-* compare the serial and parallel execution of a
+// full 10-load × 3-policy grid, which scales with GOMAXPROCS.
+package batsched_test
+
+import (
+	"runtime"
+	"testing"
+
+	"batsched/internal/battery"
+	"batsched/internal/dkibam"
+	"batsched/internal/load"
+	"batsched/internal/sched"
+	"batsched/internal/sweep"
+)
+
+// benchSystem builds one reusable system plus its initial snapshot, so the
+// benchmark loop measures the stepping engine rather than per-run
+// construction; production sweeps amortize construction the same way via the
+// shared compiled artifact.
+func benchSystem(b *testing.B, ds []*dkibam.Discretization, cl load.Compiled, e dkibam.Engine) (*dkibam.System, dkibam.State) {
+	b.Helper()
+	sys, err := dkibam.NewSystem(ds, cl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.SetEngine(e)
+	return sys, sys.SaveState(nil)
+}
+
+func policyLifetime(b *testing.B, sys *dkibam.System, start dkibam.State, p sched.Policy) float64 {
+	b.Helper()
+	sys.RestoreState(start)
+	lifetime, err := sys.Run(sched.AdaptChooser(p.NewChooser()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lifetime
+}
+
+// BenchmarkPolicyLifetime measures one best-of-two policy-lifetime
+// computation (two B1 batteries) per iteration, under the tick-stepping
+// oracle and the event-driven engine. Both must report the same lifetime;
+// the event engine does it in O(events) instead of O(steps).
+func BenchmarkPolicyLifetime(b *testing.B) {
+	ds := discPair(b, battery.B1())
+	for _, loadName := range []string{"CL 250", "ILs alt", "ILl 500"} {
+		cl := benchCompiled(b, loadName)
+		for _, e := range []dkibam.Engine{dkibam.EngineTick, dkibam.EngineEvent} {
+			b.Run(loadName+"/engine="+e.String(), func(b *testing.B) {
+				sys, start := benchSystem(b, ds, cl, e)
+				var lifetime float64
+				for i := 0; i < b.N; i++ {
+					lifetime = policyLifetime(b, sys, start, sched.BestAvailable())
+				}
+				b.ReportMetric(lifetime, "lifetime-min")
+			})
+		}
+	}
+}
+
+// BenchmarkEngine covers the two engine comparisons end to end: single-run
+// stepping (tick vs event, all three deterministic policies on ILs alt) and
+// the sweep runner (serial vs GOMAXPROCS-parallel on the full 10-load ×
+// 3-policy Table 5 grid).
+func BenchmarkEngine(b *testing.B) {
+	ds := discPair(b, battery.B1())
+	cl := benchCompiled(b, "ILs alt")
+	for _, e := range []dkibam.Engine{dkibam.EngineTick, dkibam.EngineEvent} {
+		b.Run("step="+e.String(), func(b *testing.B) {
+			sys, start := benchSystem(b, ds, cl, e)
+			var lifetime float64
+			for i := 0; i < b.N; i++ {
+				for _, p := range []sched.Policy{sched.Sequential(), sched.RoundRobin(), sched.BestAvailable()} {
+					lifetime = policyLifetime(b, sys, start, p)
+				}
+			}
+			b.ReportMetric(lifetime, "lifetime-min")
+		})
+	}
+
+	loads, err := sweep.PaperLoads(nil, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := sweep.Spec{
+		Banks:    []sweep.Bank{sweep.BankOf("2xB1", battery.B1(), 2)},
+		Loads:    loads,
+		Policies: sweep.Policies(sched.Sequential(), sched.RoundRobin(), sched.BestAvailable()),
+	}
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sweep-serial", 1},
+		{"sweep-parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var lifetime float64
+			for i := 0; i < b.N; i++ {
+				results, err := sweep.Run(spec, sweep.Options{Workers: tc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+					lifetime = r.Lifetime
+				}
+			}
+			b.ReportMetric(lifetime, "last-lifetime-min")
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module batsched
+
+go 1.24

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"batsched/internal/battery"
+	"batsched/internal/load"
+	"batsched/internal/sched"
+)
+
+// cl250 builds the continuous 250 mA load, on which a B1 battery empties
+// in the middle of the (single, long) job epoch.
+func cl250(t *testing.T) load.Load {
+	t.Helper()
+	l, err := load.Paper("CL 250", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestTraceScheduleBatteryEmptied: tracing a schedule that contains a
+// mid-job BatteryEmptied replacement must replay cleanly, show the handover
+// between batteries, and end with the system dead.
+func TestTraceScheduleBatteryEmptied(t *testing.T) {
+	p, err := NewProblem(battery.Bank(battery.B1(), 2), cl250(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifetime, schedule, err := p.PolicyRun(sched.Sequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emptied *sched.Choice
+	for i := range schedule {
+		if schedule[i].Reason == sched.BatteryEmptied {
+			emptied = &schedule[i]
+			break
+		}
+	}
+	if emptied == nil {
+		t.Fatal("sequential on a continuous load recorded no BatteryEmptied decision")
+	}
+	points, err := p.TraceSchedule(schedule, 1)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if len(points) < 2 {
+		t.Fatalf("only %d trace points", len(points))
+	}
+	last := points[len(points)-1]
+	if last.Minutes != lifetime {
+		t.Errorf("trace ends at %v min, lifetime %v min", last.Minutes, lifetime)
+	}
+	// Before the replacement battery 0 discharges; after it battery 1 does.
+	sawOld, sawNew := false, false
+	for _, pt := range points {
+		if pt.Minutes < emptied.Minutes && pt.Active == 0 {
+			sawOld = true
+		}
+		if pt.Minutes > emptied.Minutes && pt.Active == 1 {
+			sawNew = true
+		}
+	}
+	if !sawOld || !sawNew {
+		t.Errorf("trace misses the handover (battery 0 before: %v, battery 1 after: %v)", sawOld, sawNew)
+	}
+	// The emptied battery's available charge is (near) zero at the handover,
+	// and both totals end below full.
+	if last.Total[0] >= battery.B1().Capacity {
+		t.Errorf("battery 0 still full at death: %v A·min", last.Total[0])
+	}
+	if last.Total[1] >= battery.B1().Capacity {
+		t.Errorf("battery 1 still full at death: %v A·min", last.Total[1])
+	}
+}
+
+// TestCompiledConcurrent: a single Compiled artifact must serve many
+// concurrent runs, all agreeing with the serial result — the property the
+// sweep runner depends on.
+func TestCompiledConcurrent(t *testing.T) {
+	p, err := NewProblem(battery.Bank(battery.B1(), 2), ilsAlt(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.PolicyLifetime(sched.BestAvailable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make([]float64, 16)
+	errs := make([]error, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = c.PolicyLifetime(sched.BestAvailable())
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if got[i] != want {
+			t.Errorf("run %d: lifetime %v, want %v", i, got[i], want)
+		}
+	}
+	// Compile is idempotent and returns the same artifact.
+	c2, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c {
+		t.Error("Compile rebuilt the artifact")
+	}
+}

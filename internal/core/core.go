@@ -5,6 +5,15 @@
 // the optimal schedule — via both the direct decision search and the
 // priced-timed-automata model checker, which the tests hold to agree.
 //
+// A Problem is a cheap declarative description. Compile turns it into a
+// Compiled artifact — the per-battery discretization tables plus the
+// three-array load encoding — which is immutable and safe to share across
+// goroutines; every simulation call creates its own per-run state (a
+// dkibam.System) on top of it. Problem's own lifetime methods delegate to a
+// lazily built, sync.Once-guarded Compiled, so a Problem is concurrency-safe
+// too. The parallel sweep runner (internal/sweep) leans on exactly this
+// split: one Compiled per scenario cell, many concurrent runs.
+//
 // The root package batsched re-exports this API; external users should
 // import that.
 package core
@@ -12,6 +21,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"batsched/internal/battery"
 	"batsched/internal/dkibam"
@@ -30,9 +40,11 @@ type Problem struct {
 	stepMin    float64
 	unitAmpMin float64
 
-	// lazily built artefacts
-	discs    []*dkibam.Discretization
-	compiled *load.Compiled
+	// The compiled artifact is built at most once; the sync.Once makes the
+	// lazy build safe for concurrent callers.
+	once     sync.Once
+	compiled *Compiled
+	compErr  error
 }
 
 // Option customises a Problem.
@@ -89,39 +101,146 @@ func (p *Problem) Load() load.Load { return p.ld }
 // Grid returns the discretization grid (T, Gamma).
 func (p *Problem) Grid() (stepMin, unitAmpMin float64) { return p.stepMin, p.unitAmpMin }
 
-// discretizations builds (and caches) the per-battery integer tables.
-func (p *Problem) discretizations() ([]*dkibam.Discretization, error) {
-	if p.discs != nil {
-		return p.discs, nil
+// Compile builds (once) and returns the problem's immutable compiled
+// artifact. The artifact is safe for concurrent use.
+func (p *Problem) Compile() (*Compiled, error) {
+	p.once.Do(func() {
+		p.compiled, p.compErr = Compile(p.batteries, p.ld, p.stepMin, p.unitAmpMin)
+	})
+	return p.compiled, p.compErr
+}
+
+// Compiled is the immutable compiled form of a problem: the per-battery
+// integer discretization tables and the three-array load encoding, shared by
+// every run. A Compiled is safe for concurrent use — all per-run state lives
+// in the dkibam.System each method creates.
+type Compiled struct {
+	batteries []battery.Params
+	ld        load.Load
+	discs     []*dkibam.Discretization
+	cl        load.Compiled
+}
+
+// Compile discretizes a bank and a load onto a grid, producing the shared
+// immutable artifact directly (without going through a Problem).
+func Compile(batteries []battery.Params, ld load.Load, stepMin, unitAmpMin float64) (*Compiled, error) {
+	if len(batteries) == 0 {
+		return nil, ErrNoBatteries
 	}
-	ds := make([]*dkibam.Discretization, len(p.batteries))
-	for i, b := range p.batteries {
-		d, err := dkibam.Discretize(b, p.stepMin, p.unitAmpMin)
+	ds := make([]*dkibam.Discretization, len(batteries))
+	for i, b := range batteries {
+		d, err := dkibam.Discretize(b, stepMin, unitAmpMin)
 		if err != nil {
 			return nil, fmt.Errorf("battery %d: %w", i, err)
 		}
 		ds[i] = d
 	}
-	p.discs = ds
-	return ds, nil
+	cl, err := load.Compile(ld, stepMin, unitAmpMin)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		batteries: append([]battery.Params(nil), batteries...),
+		ld:        ld,
+		discs:     ds,
+		cl:        cl,
+	}, nil
 }
 
-// compile builds (and caches) the three-array load encoding.
-func (p *Problem) compile() (load.Compiled, error) {
-	if p.compiled != nil {
-		return *p.compiled, nil
-	}
-	cl, err := load.Compile(p.ld, p.stepMin, p.unitAmpMin)
-	if err != nil {
-		return load.Compiled{}, err
-	}
-	p.compiled = &cl
-	return cl, nil
+// Batteries returns a copy of the battery parameters.
+func (c *Compiled) Batteries() []battery.Params {
+	return append([]battery.Params(nil), c.batteries...)
+}
+
+// Load returns the compiled problem's load.
+func (c *Compiled) Load() load.Load { return c.ld }
+
+// Grid returns the discretization grid (T, Gamma).
+func (c *Compiled) Grid() (stepMin, unitAmpMin float64) { return c.cl.StepMin, c.cl.UnitAmpMin }
+
+// Discretizations returns the shared per-battery integer tables. The slice
+// is freshly allocated; the tables themselves are immutable and shared.
+func (c *Compiled) Discretizations() []*dkibam.Discretization {
+	return append([]*dkibam.Discretization(nil), c.discs...)
+}
+
+// CompiledLoad returns the three-array load encoding.
+func (c *Compiled) CompiledLoad() load.Compiled { return c.cl }
+
+// NewSystem creates fresh per-run simulation state (fully charged batteries
+// at time zero) on the shared artifact.
+func (c *Compiled) NewSystem() (*dkibam.System, error) {
+	return dkibam.NewSystem(c.discs, c.cl)
 }
 
 // AnalyticLifetime computes the battery lifetime under the continuous KiBaM
 // (closed form per constant-current segment). It requires a single-battery
 // problem; multi-battery lifetimes depend on a scheduling policy.
+func (c *Compiled) AnalyticLifetime() (float64, error) {
+	if len(c.batteries) != 1 {
+		return 0, fmt.Errorf("%w (have %d)", ErrSingleBattery, len(c.batteries))
+	}
+	m, err := kibam.New(c.batteries[0])
+	if err != nil {
+		return 0, err
+	}
+	return m.Lifetime(c.ld)
+}
+
+// DiscreteLifetime computes the single-battery lifetime under the dKiBaM
+// (the TA-KiBaM column of Tables 3 and 4).
+func (c *Compiled) DiscreteLifetime() (float64, error) {
+	if len(c.batteries) != 1 {
+		return 0, fmt.Errorf("%w (have %d)", ErrSingleBattery, len(c.batteries))
+	}
+	sys, err := c.NewSystem()
+	if err != nil {
+		return 0, err
+	}
+	return sys.Run(sched.FixedChooser(0))
+}
+
+// PolicyLifetime simulates a scheduling policy on the discretized system
+// and returns the system lifetime in minutes.
+func (c *Compiled) PolicyLifetime(policy sched.Policy) (float64, error) {
+	return sched.Lifetime(c.discs, c.cl, policy)
+}
+
+// PolicyRun simulates a scheduling policy and also returns its schedule.
+func (c *Compiled) PolicyRun(policy sched.Policy) (float64, sched.Schedule, error) {
+	return sched.Run(c.discs, c.cl, policy)
+}
+
+// OptimalLifetime computes the maximum achievable lifetime and an optimal
+// schedule by direct iterative search over the scheduling decisions.
+func (c *Compiled) OptimalLifetime() (float64, sched.Schedule, error) {
+	return sched.Optimal(c.discs, c.cl)
+}
+
+// OptimalLifetimeParallel is OptimalLifetime with the branch exploration
+// spread over a worker pool (workers <= 0 means runtime.NumCPU()).
+func (c *Compiled) OptimalLifetimeParallel(workers int) (float64, sched.Schedule, error) {
+	return sched.OptimalParallel(c.discs, c.cl, workers)
+}
+
+// BuildTA constructs the TA-KiBaM priced-timed-automata network of the
+// problem.
+func (c *Compiled) BuildTA() (*takibam.Model, error) {
+	return takibam.Build(c.discs, c.cl)
+}
+
+// OptimalLifetimeTA computes the optimal schedule with the paper's method:
+// minimum-cost reachability on the TA-KiBaM network.
+func (c *Compiled) OptimalLifetimeTA(opts mc.Options) (*takibam.Solution, error) {
+	m, err := c.BuildTA()
+	if err != nil {
+		return nil, err
+	}
+	return m.Solve(opts)
+}
+
+// AnalyticLifetime computes the battery lifetime under the continuous KiBaM;
+// see Compiled.AnalyticLifetime.
 func (p *Problem) AnalyticLifetime() (float64, error) {
 	if len(p.batteries) != 1 {
 		return 0, fmt.Errorf("%w (have %d)", ErrSingleBattery, len(p.batteries))
@@ -133,83 +252,72 @@ func (p *Problem) AnalyticLifetime() (float64, error) {
 	return m.Lifetime(p.ld)
 }
 
-// DiscreteLifetime computes the single-battery lifetime under the dKiBaM
-// (the TA-KiBaM column of Tables 3 and 4).
+// DiscreteLifetime computes the single-battery lifetime under the dKiBaM.
 func (p *Problem) DiscreteLifetime() (float64, error) {
-	if len(p.batteries) != 1 {
-		return 0, fmt.Errorf("%w (have %d)", ErrSingleBattery, len(p.batteries))
-	}
-	ds, err := p.discretizations()
+	c, err := p.Compile()
 	if err != nil {
 		return 0, err
 	}
-	cl, err := p.compile()
-	if err != nil {
-		return 0, err
-	}
-	sys, err := dkibam.NewSystem(ds, cl)
-	if err != nil {
-		return 0, err
-	}
-	return sys.Run(sched.FixedChooser(0))
+	return c.DiscreteLifetime()
 }
 
 // PolicyLifetime simulates a scheduling policy on the discretized system
 // and returns the system lifetime in minutes.
 func (p *Problem) PolicyLifetime(policy sched.Policy) (float64, error) {
-	lifetime, _, err := p.PolicyRun(policy)
-	return lifetime, err
+	c, err := p.Compile()
+	if err != nil {
+		return 0, err
+	}
+	return c.PolicyLifetime(policy)
 }
 
 // PolicyRun simulates a scheduling policy and also returns its schedule.
 func (p *Problem) PolicyRun(policy sched.Policy) (float64, sched.Schedule, error) {
-	ds, err := p.discretizations()
+	c, err := p.Compile()
 	if err != nil {
 		return 0, nil, err
 	}
-	cl, err := p.compile()
-	if err != nil {
-		return 0, nil, err
-	}
-	return sched.Run(ds, cl, policy)
+	return c.PolicyRun(policy)
 }
 
 // OptimalLifetime computes the maximum achievable lifetime and an optimal
-// schedule by direct branch-and-bound search over the scheduling decisions.
+// schedule by direct search over the scheduling decisions.
 func (p *Problem) OptimalLifetime() (float64, sched.Schedule, error) {
-	ds, err := p.discretizations()
+	c, err := p.Compile()
 	if err != nil {
 		return 0, nil, err
 	}
-	cl, err := p.compile()
+	return c.OptimalLifetime()
+}
+
+// OptimalLifetimeParallel is OptimalLifetime with the branch exploration
+// spread over a worker pool (workers <= 0 means runtime.NumCPU()).
+func (p *Problem) OptimalLifetimeParallel(workers int) (float64, sched.Schedule, error) {
+	c, err := p.Compile()
 	if err != nil {
 		return 0, nil, err
 	}
-	return sched.Optimal(ds, cl)
+	return c.OptimalLifetimeParallel(workers)
 }
 
 // BuildTA constructs the TA-KiBaM priced-timed-automata network of the
 // problem.
 func (p *Problem) BuildTA() (*takibam.Model, error) {
-	ds, err := p.discretizations()
+	c, err := p.Compile()
 	if err != nil {
 		return nil, err
 	}
-	cl, err := p.compile()
-	if err != nil {
-		return nil, err
-	}
-	return takibam.Build(ds, cl)
+	return c.BuildTA()
 }
 
 // OptimalLifetimeTA computes the optimal schedule with the paper's method:
 // minimum-cost reachability on the TA-KiBaM network.
 func (p *Problem) OptimalLifetimeTA(opts mc.Options) (*takibam.Solution, error) {
-	m, err := p.BuildTA()
+	c, err := p.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return m.Solve(opts)
+	return c.OptimalLifetimeTA(opts)
 }
 
 // TracePoint samples the bank state at one instant (for the Figure 6
@@ -226,29 +334,41 @@ type TracePoint struct {
 
 // TraceSchedule re-simulates a recorded schedule and samples the bank state
 // every sampleEvery steps (1 = every step).
+func (c *Compiled) TraceSchedule(schedule sched.Schedule, sampleEvery int) ([]TracePoint, error) {
+	return c.trace(sched.Replay("replay", schedule), sampleEvery)
+}
+
+// TracePolicy simulates a policy and samples the bank state every
+// sampleEvery steps.
+func (c *Compiled) TracePolicy(policy sched.Policy, sampleEvery int) ([]TracePoint, error) {
+	return c.trace(policy, sampleEvery)
+}
+
+// TraceSchedule re-simulates a recorded schedule and samples the bank state
+// every sampleEvery steps (1 = every step).
 func (p *Problem) TraceSchedule(schedule sched.Schedule, sampleEvery int) ([]TracePoint, error) {
-	return p.trace(sched.Replay("replay", schedule), sampleEvery)
+	c, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return c.TraceSchedule(schedule, sampleEvery)
 }
 
 // TracePolicy simulates a policy and samples the bank state every
 // sampleEvery steps.
 func (p *Problem) TracePolicy(policy sched.Policy, sampleEvery int) ([]TracePoint, error) {
-	return p.trace(policy, sampleEvery)
+	c, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return c.TracePolicy(policy, sampleEvery)
 }
 
-func (p *Problem) trace(policy sched.Policy, sampleEvery int) ([]TracePoint, error) {
+func (c *Compiled) trace(policy sched.Policy, sampleEvery int) ([]TracePoint, error) {
 	if sampleEvery <= 0 {
 		sampleEvery = 1
 	}
-	ds, err := p.discretizations()
-	if err != nil {
-		return nil, err
-	}
-	cl, err := p.compile()
-	if err != nil {
-		return nil, err
-	}
-	sys, err := dkibam.NewSystem(ds, cl)
+	sys, err := c.NewSystem()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,211 @@
+package dkibam
+
+import (
+	"testing"
+
+	"batsched/internal/battery"
+	"batsched/internal/load"
+)
+
+func b1System(t *testing.T, n int, loadName string, horizon float64) *System {
+	t.Helper()
+	d, err := Discretize(battery.B1(), PaperStepMin, PaperUnitAmpMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := make([]*Discretization, n)
+	for i := range ds {
+		ds[i] = d
+	}
+	l, err := load.Paper(loadName, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := load.Compile(l, PaperStepMin, PaperUnitAmpMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(ds, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// firstAlive is the trivial chooser used by the engine unit tests.
+func firstAlive(_ *System, dec Decision) int { return dec.Alive[0] }
+
+// TestEngineDefault: systems default to the event engine, and an OnStep hook
+// transparently falls back to tick stepping (the hook must see every step).
+func TestEngineDefault(t *testing.T) {
+	sys := b1System(t, 1, "ILs alt", 60)
+	if sys.Engine() != EngineEvent {
+		t.Fatalf("default engine %v, want %v", sys.Engine(), EngineEvent)
+	}
+	steps := 0
+	sys.OnStep = func(*System) { steps++ }
+	lifetime, err := sys.Run(firstAlive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != sys.DeathStep() {
+		t.Errorf("OnStep saw %d steps, death at step %d", steps, sys.DeathStep())
+	}
+	if lifetime <= 0 {
+		t.Fatalf("lifetime %v", lifetime)
+	}
+}
+
+// TestEngineStrings: Engine values print as their names.
+func TestEngineStrings(t *testing.T) {
+	if EngineEvent.String() != "event" || EngineTick.String() != "tick" {
+		t.Errorf("engine names %q, %q", EngineEvent, EngineTick)
+	}
+	if Engine(42).String() == "" {
+		t.Error("unknown engine prints empty")
+	}
+}
+
+// TestEventMatchesTickStates: the two engines visit identical states at
+// every decision and agree on the death step (the in-package counterpart of
+// the cross-policy differential suite in internal/sched).
+func TestEventMatchesTickStates(t *testing.T) {
+	type snap struct {
+		t, j  int
+		cells [2]Cell
+	}
+	trace := func(e Engine) ([]snap, int) {
+		sys := b1System(t, 2, "ILs alt", 200)
+		sys.SetEngine(e)
+		var snaps []snap
+		if _, err := sys.Run(func(s *System, dec Decision) int {
+			sn := snap{t: s.Step(), j: s.Epoch()}
+			for i := 0; i < s.Batteries(); i++ {
+				sn.cells[i] = s.Cell(i)
+			}
+			snaps = append(snaps, sn)
+			return dec.Alive[len(dec.Alive)-1] // stress replacement handling
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return snaps, sys.DeathStep()
+	}
+	tickSnaps, tickDeath := trace(EngineTick)
+	eventSnaps, eventDeath := trace(EngineEvent)
+	if tickDeath != eventDeath {
+		t.Fatalf("death step tick=%d event=%d", tickDeath, eventDeath)
+	}
+	if len(tickSnaps) != len(eventSnaps) {
+		t.Fatalf("decision count tick=%d event=%d", len(tickSnaps), len(eventSnaps))
+	}
+	for i := range tickSnaps {
+		if tickSnaps[i] != eventSnaps[i] {
+			t.Fatalf("decision %d: tick %+v, event %+v", i, tickSnaps[i], eventSnaps[i])
+		}
+	}
+}
+
+// TestAliveCount: the incremental alive counter tracks the cell states
+// through deaths and state restores.
+func TestAliveCount(t *testing.T) {
+	sys := b1System(t, 2, "CL 250", 200)
+	if sys.AliveCount() != 2 {
+		t.Fatalf("fresh system alive=%d", sys.AliveCount())
+	}
+	start := sys.SaveState(nil)
+	if _, err := sys.Run(firstAlive); err != nil {
+		t.Fatal(err)
+	}
+	if sys.AliveCount() != 0 || !sys.Dead() {
+		t.Fatalf("dead system alive=%d dead=%v", sys.AliveCount(), sys.Dead())
+	}
+	if got := len(sys.AliveBatteries()); got != 0 {
+		t.Fatalf("AliveBatteries on a dead system: %d", got)
+	}
+	sys.RestoreState(start)
+	if sys.AliveCount() != 2 || sys.Dead() || sys.Step() != 0 {
+		t.Fatalf("restore: alive=%d dead=%v t=%d", sys.AliveCount(), sys.Dead(), sys.Step())
+	}
+	if lifetime, err := sys.Run(firstAlive); err != nil || lifetime <= 0 {
+		t.Fatalf("re-run after restore: %v, %v", lifetime, err)
+	}
+}
+
+// TestSaveRestoreBranching: restoring a decision snapshot and choosing
+// different batteries must match what independent clones produce.
+func TestSaveRestoreBranching(t *testing.T) {
+	sys := b1System(t, 2, "ILs alt", 200)
+	dec, pending, err := sys.AdvanceToDecision()
+	if err != nil || !pending {
+		t.Fatalf("no first decision: %v", err)
+	}
+	if len(dec.Alive) != 2 {
+		t.Fatalf("alive %v", dec.Alive)
+	}
+	// Reference lifetimes via clones.
+	wants := make([]float64, 2)
+	for _, idx := range dec.Alive {
+		clone := sys.Clone()
+		if err := clone.Choose(idx); err != nil {
+			t.Fatal(err)
+		}
+		wants[idx], err = clone.Run(firstAlive)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same runs via save/restore on the one system.
+	snap := sys.SaveState(nil)
+	for _, idx := range dec.Alive {
+		sys.RestoreState(snap)
+		if err := sys.Choose(idx); err != nil {
+			t.Fatal(err)
+		}
+		got, err := sys.Run(firstAlive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != wants[idx] {
+			t.Errorf("branch %d: restore gives %v, clone gives %v", idx, got, wants[idx])
+		}
+	}
+}
+
+// TestEventEngineAllocs: a full event-driven run allocates proportionally to
+// the number of decisions (the Alive slice per decision), never to the
+// number of steps — the hot step path itself is allocation-free.
+func TestEventEngineAllocs(t *testing.T) {
+	d, err := Discretize(battery.B1(), PaperStepMin, PaperUnitAmpMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := load.Paper("CL 250", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := load.Compile(l, PaperStepMin, PaperUnitAmpMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := []*Discretization{d, d}
+	var decisions int
+	allocs := testing.AllocsPerRun(10, func() {
+		sys, err := NewSystem(ds, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decisions = 0
+		if _, err := sys.Run(func(_ *System, dec Decision) int {
+			decisions++
+			return dec.Alive[0]
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// System + cells + one Alive slice per decision, with slack for the
+	// runtime; a per-step allocation would be tens of thousands.
+	budget := float64(4*decisions + 8)
+	if allocs > budget {
+		t.Errorf("run allocated %.0f objects for %d decisions (budget %.0f)", allocs, decisions, budget)
+	}
+}

@@ -35,6 +35,35 @@ func (r Reason) String() string {
 // NoBattery is the active-battery index while no battery discharges.
 const NoBattery = -1
 
+// Engine selects how a System advances time between scheduling decisions.
+type Engine int
+
+const (
+	// EngineEvent jumps directly from one event to the next (the active
+	// battery's next draw, the earliest recovery decrement, the epoch
+	// boundary) and is the default. Between two consecutive events every
+	// running clock grows by one per step and nothing else happens, so the
+	// jump reproduces the tick semantics bit for bit in O(events) instead of
+	// O(steps).
+	EngineEvent Engine = iota
+	// EngineTick advances one T-step at a time; it is kept as the
+	// differential-testing oracle for EngineEvent and is selected
+	// automatically while an OnStep hook is installed.
+	EngineTick
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineEvent:
+		return "event"
+	case EngineTick:
+		return "tick"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
 // System is a deterministic discrete-event simulator for a bank of dKiBaM
 // batteries serving a compiled load. It realises exactly the semantics of
 // the TA-KiBaM network of Section 4 with the event order: advance clocks,
@@ -50,8 +79,15 @@ type System struct {
 	t      int // current step
 	j      int // current epoch index
 	active int // index of the discharging battery, or NoBattery
+	alive  int // number of batteries not yet observed empty
 	dead   bool
 	death  int // step at which the last battery was observed empty
+	engine Engine
+
+	// lastReset is fastDraws scratch: per-cell absolute reset times of the
+	// inactive cells' recovery countdowns. Valid only within one fastDraws
+	// call; never part of snapshots or clones.
+	lastReset []int
 
 	// OnStep, when non-nil, is invoked after every completed time step;
 	// used to sample charge traces (Figure 6). Clone clears it.
@@ -85,10 +121,12 @@ func NewSystem(ds []*Discretization, cl load.Compiled) (*System, error) {
 		}
 	}
 	s := &System{
-		ds:     ds,
-		cells:  make([]Cell, len(ds)),
-		cl:     cl,
-		active: NoBattery,
+		ds:        ds,
+		cells:     make([]Cell, len(ds)),
+		cl:        cl,
+		active:    NoBattery,
+		alive:     len(ds),
+		lastReset: make([]int, len(ds)),
 	}
 	for i, d := range ds {
 		s.cells[i] = FullCell(d)
@@ -103,9 +141,18 @@ func (s *System) Clone() *System {
 	c := *s
 	c.cells = make([]Cell, len(s.cells))
 	copy(c.cells, s.cells)
+	c.lastReset = make([]int, len(s.cells))
 	c.OnStep = nil
 	return &c
 }
+
+// SetEngine selects the stepping engine. EngineEvent (the default) and
+// EngineTick produce bit-identical trajectories; EngineTick is O(steps) and
+// exists as the differential-testing oracle.
+func (s *System) SetEngine(e Engine) { s.engine = e }
+
+// Engine returns the selected stepping engine.
+func (s *System) Engine() Engine { return s.engine }
 
 // Batteries returns the number of batteries.
 func (s *System) Batteries() int { return len(s.cells) }
@@ -139,9 +186,13 @@ func (s *System) DeathStep() int { return s.death }
 // Dead.
 func (s *System) Lifetime() float64 { return float64(s.death) * s.cl.StepMin }
 
+// AliveCount returns the number of batteries not yet observed empty. It is
+// maintained incrementally, so the hot step path never allocates.
+func (s *System) AliveCount() int { return s.alive }
+
 // AliveBatteries returns the indices of batteries not yet observed empty.
 func (s *System) AliveBatteries() []int {
-	var alive []int
+	alive := make([]int, 0, s.alive)
 	for i, c := range s.cells {
 		if !c.Empty {
 			alive = append(alive, i)
@@ -178,22 +229,39 @@ func (s *System) AdvanceToDecision() (Decision, bool, error) {
 		if dec, pending := s.pendingDecision(); pending {
 			return dec, true, nil
 		}
-		if s.j >= s.cl.Epochs() {
+		if s.j >= len(s.cl.LoadTime) {
 			return Decision{}, false, ErrLoadExhausted
 		}
-		s.step()
+		if s.engine == EngineTick || s.OnStep != nil {
+			s.step()
+		} else {
+			s.leap()
+		}
 	}
 }
 
 // pendingDecision reports whether the system sits at an instant where the
 // scheduler must assign a battery: a job epoch is running but no battery is
 // discharging (either the job just started or the previous battery emptied).
+// decisionPending is the allocation-free test behind pendingDecision; Choose
+// and the advance loop use it directly. The epoch and job tests read s.cl's
+// arrays directly rather than going through the Compiled value methods: this
+// runs once per event, and a value-receiver call would copy the whole struct
+// each time.
+func (s *System) decisionPending() bool {
+	return !s.dead && s.j < len(s.cl.LoadTime) && s.cl.Cur[s.j] > 0 && s.active == NoBattery
+}
+
 func (s *System) pendingDecision() (Decision, bool) {
-	if s.dead || s.j >= s.cl.Epochs() || !s.cl.IsJob(s.j) || s.active != NoBattery {
+	if !s.decisionPending() {
 		return Decision{}, false
 	}
+	start := 0
+	if s.j > 0 {
+		start = s.cl.LoadTime[s.j-1]
+	}
 	reason := JobStart
-	if s.t > s.cl.EpochStart(s.j) {
+	if s.t > start {
 		reason = BatteryEmptied
 	}
 	return Decision{
@@ -207,7 +275,7 @@ func (s *System) pendingDecision() (Decision, bool) {
 // Choose assigns battery idx to the pending job, switching it on with a
 // fresh discharge clock (the go_on synchronisation).
 func (s *System) Choose(idx int) error {
-	if _, pending := s.pendingDecision(); !pending {
+	if !s.decisionPending() {
 		return ErrNoDecisionNeeded
 	}
 	if idx < 0 || idx >= len(s.cells) {
@@ -241,7 +309,7 @@ func (s *System) step() {
 		s.cells[i].AdvanceRecoveryClock()
 	}
 	drew := NoBattery
-	if s.active != NoBattery && s.cl.IsJob(s.j) {
+	if s.active != NoBattery && s.cl.Cur[s.j] > 0 {
 		cell := &s.cells[s.active]
 		cell.CDisch++
 		if cell.CDisch >= s.cl.CurTimes[s.j] {
@@ -255,7 +323,8 @@ func (s *System) step() {
 	if drew != NoBattery && s.ds[drew].IsEmptyCondition(s.cells[drew]) {
 		s.cells[drew].Empty = true
 		s.active = NoBattery
-		if len(s.AliveBatteries()) == 0 {
+		s.alive--
+		if s.alive == 0 {
 			s.dead = true
 			s.death = s.t
 			return
@@ -264,10 +333,335 @@ func (s *System) step() {
 		// very instant, which the epoch switch below resolves.
 	}
 	// Epoch boundary: the current epoch ends at load_time[j].
-	if s.j < s.cl.Epochs() && s.t >= s.cl.LoadTime[s.j] {
+	if s.j < len(s.cl.LoadTime) && s.t >= s.cl.LoadTime[s.j] {
 		s.active = NoBattery // go_off: the job (if any) is over
 		s.j++
 	}
+}
+
+// leap advances the simulation directly to the next event instead of
+// tick-stepping to it. During a job it first lets fastDraws consume a run of
+// consecutive draw events in a tight loop; the remaining (or coinciding)
+// events go through the generic single-event jump, which preserves the
+// TA-KiBaM same-instant ordering exactly by delegating to step().
+func (s *System) leap() {
+	if s.active != NoBattery && s.cl.Cur[s.j] > 0 {
+		if s.fastDraws() {
+			return
+		}
+	} else if s.fastIdle() {
+		return
+	}
+	s.eventJump()
+}
+
+// fastIdle is the no-discharge counterpart of fastDraws: while no battery
+// draws (an idle epoch, or a job instant handled elsewhere) the only events
+// are recovery decrements, which it fires in a tight loop up to — but not
+// including — the epoch boundary. Decrements never cascade into draws,
+// empty observations, or decisions, so nothing ever needs to bail here.
+func (s *System) fastIdle() bool {
+	limit := s.cl.LoadTime[s.j]
+	for i := range s.cells {
+		if s.cells[i].M >= 2 {
+			s.lastReset[i] = s.t - s.cells[i].CRecov
+		}
+	}
+	now := s.t
+	for {
+		tNext := limit
+		for i := range s.cells {
+			if s.cells[i].M >= 2 {
+				if f := s.lastReset[i] + s.ds[i].RecovTime[s.cells[i].M]; f < tNext {
+					tNext = f
+				}
+			}
+		}
+		if tNext >= limit {
+			break
+		}
+		now = tNext
+		for i := range s.cells {
+			if s.cells[i].M >= 2 && s.lastReset[i]+s.ds[i].RecovTime[s.cells[i].M] == now {
+				s.cells[i].M--
+				s.lastReset[i] = now
+			}
+		}
+	}
+	if now == s.t {
+		return false
+	}
+	for i := range s.cells {
+		if s.cells[i].M >= 2 {
+			s.cells[i].CRecov = now - s.lastReset[i]
+		} else {
+			s.cells[i].CRecov = 0
+		}
+	}
+	s.t = now
+	return true
+}
+
+// fastDraws is the in-job micro-engine: while the active battery serves a
+// job it consumes whole runs of events — draws (batched where provably
+// safe) and recovery decrements of every cell — in one tight loop, exactly
+// replicating the per-step event order of step() at each event instant and
+// skipping the dead time in between. Only two things end the run early and
+// are deliberately left unprocessed for the generic single-event path: the
+// epoch boundary, and a draw that would observe the empty condition (whose
+// death/replacement cascade step() handles canonically). Nothing is
+// committed for an instant that bails, so the trajectory stays bit-identical
+// to tick stepping. Inactive cells never draw, so their countdowns are
+// tracked as absolute reset times and their relative clocks reconstructed on
+// exit. fastDraws reports whether it advanced the system at all.
+func (s *System) fastDraws() bool {
+	ct, cur := s.cl.CurTimes[s.j], s.cl.Cur[s.j]
+	act := s.active
+	a := &s.cells[act]
+	d := s.ds[act]
+	limit := s.cl.LoadTime[s.j] // the epoch boundary always ends the run
+	for i := range s.cells {
+		if i != act && s.cells[i].M >= 2 {
+			s.lastReset[i] = s.t - s.cells[i].CRecov
+		}
+	}
+	// The earliest inactive-cell decrement changes only when one fires, so
+	// it is cached across iterations.
+	nextVictim := func() int {
+		tv := limit
+		for i := range s.cells {
+			if i != act && s.cells[i].M >= 2 {
+				if f := s.lastReset[i] + s.ds[i].RecovTime[s.cells[i].M]; f < tv {
+					tv = f
+				}
+			}
+		}
+		return tv
+	}
+	tVictim := nextVictim()
+	now := s.t
+	for {
+		// Batched draws cover the stretch up to the next non-draw event; a
+		// batch needs room for at least two draws to beat the single-draw
+		// path below.
+		if a.CDisch == 0 && a.M >= 2 && tVictim-now > 2*ct {
+			if k := batchDraws(a, d, ct, cur, tVictim-now); k > 0 {
+				a.N -= k * cur
+				a.M += k * cur
+				a.CRecov += k * ct
+				now += k * ct
+			}
+		}
+		// Next event of the active cell: its draw or its own decrement.
+		tActive := now + ct - a.CDisch
+		if a.M >= 2 {
+			if f := now + d.RecovTime[a.M] - a.CRecov; f < tActive {
+				tActive = f
+			}
+		}
+		tEvt := tActive
+		if tVictim < tEvt {
+			tEvt = tVictim
+		}
+		if tEvt >= limit {
+			break
+		}
+		dt := tEvt - now
+		if tActive == tEvt {
+			if a.CDisch+dt < ct {
+				// Pure decrement of the active cell: the countdown elapsed
+				// with no draw due, so it fires exactly once (a reset
+				// countdown cannot re-cross a threshold >= 1) and observes
+				// nothing.
+				a.M--
+				a.CRecov = 0
+				a.CDisch += dt
+			} else {
+				// A draw instant, exactly as step() runs it: clock advance,
+				// draw, recovery decrements, empty observation —
+				// speculatively, so an empty observation bails with the
+				// whole instant (including coinciding victim decrements)
+				// unprocessed.
+				n, m, crec := a.N, a.M, a.CRecov
+				if m >= 2 {
+					crec += dt
+				}
+				wasInactive := m < 2
+				n -= cur
+				m += cur
+				if wasInactive && m >= 2 {
+					crec = 0
+				}
+				for m >= 2 && crec >= d.RecovTime[m] {
+					m--
+					crec = 0
+				}
+				if m < 2 {
+					crec = 0
+				}
+				if (1000-d.CMille)*m >= d.CMille*n {
+					break
+				}
+				a.N, a.M, a.CRecov, a.CDisch = n, m, crec, 0
+			}
+		} else {
+			// Pure victim instant: the active cell just ages.
+			a.CDisch += dt
+			if a.M >= 2 {
+				a.CRecov += dt
+			}
+		}
+		now = tEvt
+		if tVictim == now {
+			// Fire every inactive-cell decrement due at this instant. A
+			// fired countdown restarts from zero and cannot re-fire in the
+			// same instant (RecovTime >= 1), matching ApplyRecovery.
+			for i := range s.cells {
+				if i != act && s.cells[i].M >= 2 &&
+					s.lastReset[i]+s.ds[i].RecovTime[s.cells[i].M] == now {
+					s.cells[i].M--
+					s.lastReset[i] = now
+				}
+			}
+			tVictim = nextVictim()
+		}
+	}
+	if now == s.t {
+		return false
+	}
+	for i := range s.cells {
+		if i != act {
+			if s.cells[i].M >= 2 {
+				s.cells[i].CRecov = now - s.lastReset[i]
+			} else {
+				s.cells[i].CRecov = 0
+			}
+		}
+	}
+	s.t = now
+	return true
+}
+
+// batchDraws returns how many consecutive draws of the active cell can be
+// applied as one O(log n) batch, given room steps until the earliest event
+// outside the cell. The cell must sit exactly at a draw boundary (CDisch=0)
+// with its recovery clock running (M >= 2), so after i batched draws the
+// state is the linear extrapolation N-i·cur, M+i·cur, CRecov+i·ct. Draw i
+// is safe when (a) it fires strictly inside room, (b) it leaves the cell
+// non-empty — the available charge A = c·n - (1000-c)·m drops by 1000·cur
+// per draw, so that bound is linear — and (c) no recovery decrement fires at
+// or before it: the countdown CRecov+i·ct grows while the threshold
+// RecovTime[M+i·cur] shrinks, so the first unsafe i is found by binary
+// search, and (as the monotone crossing also proves) no decrement can fire
+// between two safe draws either.
+func batchDraws(a *Cell, d *Discretization, ct, cur, room int) int {
+	hi := (room - 1) / ct // (a): i·ct <= room-1
+	// (b): A - i·1000·cur >= 1. The divide only runs when the charge bound
+	// actually binds (the battery is close to empty), which one multiply
+	// detects; early in a discharge the room bound is always the tighter
+	// one, keeping the hot path at a single division.
+	if avail := d.CMille*a.N - (1000-d.CMille)*a.M; 1000*cur*hi >= avail {
+		hi = (avail - 1) / (1000 * cur)
+		if hi < 1 {
+			return 0
+		}
+	}
+	// (c): find the largest i <= hi with CRecov+i·ct < RecovTime[M+i·cur].
+	rt := d.RecovTime
+	unsafe := func(i int) bool { return a.CRecov+i*ct >= rt[a.M+i*cur] }
+	if unsafe(1) {
+		return 0
+	}
+	if !unsafe(hi) {
+		return hi
+	}
+	lo := 1 // safe; hi unsafe
+	for hi-lo > 1 {
+		if mid := (lo + hi) / 2; unsafe(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// eventJump advances the simulation by exactly one event. Between the
+// current instant and the earliest of (a) the active battery's next draw,
+// (b) the earliest recovery decrement over all cells in active recovery, and
+// (c) the current epoch's boundary, every running clock grows by exactly one
+// per step and no state changes: no draw fires, no decrement fires, the
+// empty condition is only observed after draws, and no decision can become
+// pending. So the dt-1 intermediate steps are pure clock advancement, which
+// eventJump applies arithmetically before executing the event step through
+// the ordinary step() — preserving the TA-KiBaM event order bit for bit.
+func (s *System) eventJump() {
+	dt := s.cl.LoadTime[s.j] - s.t // (c) epoch boundary
+	if s.active != NoBattery && s.cl.Cur[s.j] > 0 {
+		if d := s.cl.CurTimes[s.j] - s.cells[s.active].CDisch; d < dt {
+			dt = d // (a) next draw of the active battery
+		}
+	}
+	for i := range s.cells {
+		c := &s.cells[i]
+		if c.M >= 2 {
+			if d := s.ds[i].RecovTime[c.M] - c.CRecov; d < dt {
+				dt = d // (b) next recovery decrement
+			}
+		}
+	}
+	// Every countdown is strictly in the future (step() and Choose restore
+	// that invariant after each event), so dt >= 1.
+	if skip := dt - 1; skip > 0 {
+		s.t += skip
+		if s.active != NoBattery && s.cl.Cur[s.j] > 0 {
+			s.cells[s.active].CDisch += skip
+		}
+		for i := range s.cells {
+			if s.cells[i].M >= 2 {
+				s.cells[i].CRecov += skip
+			}
+		}
+	}
+	s.step()
+}
+
+// State is a snapshot of the mutable simulation state of a System, taken by
+// SaveState and reinstated by RestoreState. Cells aliases the buffer passed
+// to SaveState; the immutable discretizations and compiled load are not part
+// of the snapshot. Search code uses snapshots to branch on scheduling
+// decisions without cloning whole systems.
+type State struct {
+	T, Epoch, Active int
+	Dead             bool
+	Death            int
+	Cells            []Cell
+}
+
+// SaveState captures the current simulation state, reusing buf (which may be
+// nil) as the cell storage.
+func (s *System) SaveState(buf []Cell) State {
+	return State{
+		T:     s.t,
+		Epoch: s.j, Active: s.active,
+		Dead: s.dead, Death: s.death,
+		Cells: append(buf[:0], s.cells...),
+	}
+}
+
+// RestoreState reinstates a snapshot taken by SaveState on a system with the
+// same batteries and load.
+func (s *System) RestoreState(st State) {
+	s.t, s.j, s.active = st.T, st.Epoch, st.Active
+	s.dead, s.death = st.Dead, st.Death
+	copy(s.cells, st.Cells)
+	alive := 0
+	for i := range s.cells {
+		if !s.cells[i].Empty {
+			alive++
+		}
+	}
+	s.alive = alive
 }
 
 // Run drives the system with the chooser until all batteries are empty and

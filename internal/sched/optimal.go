@@ -3,89 +3,211 @@ package sched
 import (
 	"errors"
 	"fmt"
-	"strconv"
-	"strings"
 
 	"batsched/internal/dkibam"
 	"batsched/internal/load"
 )
 
+// MaxOptimalBatteries bounds the bank size of the optimal search. The memo
+// key is a fixed-size comparable struct so that the map hashes it without
+// allocating; eight batteries is far beyond what the exponential search can
+// explore anyway.
+const MaxOptimalBatteries = 8
+
+// ErrTooManyBatteries is returned when the bank exceeds MaxOptimalBatteries.
+var ErrTooManyBatteries = errors.New("sched: optimal search supports at most 8 batteries")
+
 // Optimal computes the maximum achievable system lifetime and a schedule
 // that attains it by exhaustive depth-first search over all scheduling
 // decisions of the discretized battery system, with memoisation on decision
-// states and an admissible charge-budget bound for pruning.
+// states. The search is iterative (an explicit frame stack) and
+// allocation-lean: it branches by snapshotting and restoring cell state on a
+// single reusable system instead of cloning, and memoises on a compact
+// comparable struct key instead of a formatted string.
 //
 // This search is an independent cross-check of the priced-timed-automata
 // route of the paper (internal/takibam + internal/mc): both must agree on
 // the optimal lifetime, which the integration tests assert.
 func Optimal(ds []*dkibam.Discretization, cl load.Compiled) (float64, Schedule, error) {
+	o, best, err := solveOptimal(ds, cl)
+	if err != nil {
+		return 0, nil, err
+	}
 	sys, err := dkibam.NewSystem(ds, cl)
 	if err != nil {
 		return 0, nil, err
 	}
-	o := &optimizer{
-		cl:   cl,
-		memo: make(map[string]memoEntry),
-	}
-	best, err := o.solve(sys)
-	if err != nil {
-		return 0, nil, err
-	}
-	schedule, err := o.replay(dsClone(sys))
+	schedule, err := o.replay(sys)
 	if err != nil {
 		return 0, nil, err
 	}
 	return float64(best) * cl.StepMin, schedule, nil
 }
 
-func dsClone(s *dkibam.System) *dkibam.System { return s.Clone() }
+// solveOptimal runs the memoised search from the initial state and returns
+// the optimizer (holding the filled memo table) and the best death step.
+func solveOptimal(ds []*dkibam.Discretization, cl load.Compiled) (*optimizer, int, error) {
+	if len(ds) > MaxOptimalBatteries {
+		return nil, 0, fmt.Errorf("%w (have %d)", ErrTooManyBatteries, len(ds))
+	}
+	sys, err := dkibam.NewSystem(ds, cl)
+	if err != nil {
+		return nil, 0, err
+	}
+	o := newOptimizer(cl)
+	best, err := o.solve(sys)
+	if err != nil {
+		return nil, 0, err
+	}
+	return o, best, nil
+}
 
 type memoEntry struct {
-	death  int // best achievable death step from this decision state
-	choice int // battery index attaining it
+	death  int32 // best achievable death step from this decision state
+	choice int8  // battery index attaining it
+}
+
+// cellKey is one battery's state in a memo key. CDisch is omitted: decisions
+// always happen with no battery discharging, so the stale discharge clock is
+// physically meaningless (Choose resets it).
+type cellKey struct {
+	n, m, crecov int32
+	empty        bool
+}
+
+// stateKey canonically encodes a decision state. Time (and hence the epoch
+// and position within it) plus every battery's discrete state fully
+// determine the future, because decisions always happen with no battery
+// discharging. Unused battery slots stay at the zero value.
+type stateKey struct {
+	t     int32
+	cells [MaxOptimalBatteries]cellKey
+}
+
+func makeKey(sys *dkibam.System) stateKey {
+	k := stateKey{t: int32(sys.Step())}
+	for i := 0; i < sys.Batteries(); i++ {
+		c := sys.Cell(i)
+		k.cells[i] = cellKey{
+			n: int32(c.N), m: int32(c.M), crecov: int32(c.CRecov),
+			empty: c.Empty,
+		}
+	}
+	return k
 }
 
 type optimizer struct {
 	cl   load.Compiled
-	memo map[string]memoEntry
+	memo map[stateKey]memoEntry
+
+	// frame and cell-buffer free lists, reused across pushes and pops so the
+	// steady-state search does not allocate.
+	frames []frame
+	bufs   [][]dkibam.Cell
+}
+
+func newOptimizer(cl load.Compiled) *optimizer {
+	return &optimizer{cl: cl, memo: make(map[stateKey]memoEntry)}
+}
+
+// frame is one suspended decision node of the iterative depth-first search.
+type frame struct {
+	key    stateKey
+	state  dkibam.State
+	alive  []int
+	next   int   // index into alive of the next branch to explore
+	best   int32 // best death step over explored branches
+	choice int8  // battery attaining best
 }
 
 // errHorizon marks search branches on which the batteries outlived the load.
 var errHorizon = errors.New("sched: optimal search ran out of load horizon")
 
-// solve advances the system to its next decision point (or death) and
-// returns the best achievable death step.
+// solve explores the decision tree rooted at sys's next decision point and
+// returns the best achievable death step. sys is used as scratch space and
+// left in an unspecified state.
 func (o *optimizer) solve(sys *dkibam.System) (int, error) {
 	dec, pending, err := sys.AdvanceToDecision()
 	if err != nil {
-		return 0, fmt.Errorf("%w: %v", errHorizon, err)
+		return 0, fmt.Errorf("%w: %w", errHorizon, err)
 	}
 	if !pending {
 		return sys.DeathStep(), nil
 	}
-	key := stateKey(sys)
-	if entry, ok := o.memo[key]; ok {
-		return entry.death, nil
+	rootKey := makeKey(sys)
+	if e, ok := o.memo[rootKey]; ok {
+		return int(e.death), nil
 	}
-	best, bestChoice := -1, -1
-	for _, idx := range dec.Alive {
-		branch := sys.Clone()
-		if err := branch.Choose(idx); err != nil {
+	stack := o.frames[:0]
+	stack = append(stack, o.newFrame(sys, rootKey, dec))
+	// result carries the death step of the most recently completed subtree;
+	// the owning frame folds it in on its next visit.
+	result := 0
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next > 0 && int32(result) > f.best {
+			f.best = int32(result)
+			f.choice = int8(f.alive[f.next-1])
+		}
+		if f.next >= len(f.alive) {
+			o.memo[f.key] = memoEntry{death: f.best, choice: f.choice}
+			result = int(f.best)
+			o.releaseFrame(f)
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		idx := f.alive[f.next]
+		f.next++
+		sys.RestoreState(f.state)
+		if err := sys.Choose(idx); err != nil {
+			o.frames = stack
 			return 0, err
 		}
-		death, err := o.solve(branch)
+		dec, pending, err := sys.AdvanceToDecision()
 		if err != nil {
-			return 0, err
+			o.frames = stack
+			return 0, fmt.Errorf("%w: %w", errHorizon, err)
 		}
-		if death > best {
-			best, bestChoice = death, idx
+		if !pending {
+			result = sys.DeathStep()
+			continue
 		}
+		key := makeKey(sys)
+		if e, ok := o.memo[key]; ok {
+			result = int(e.death)
+			continue
+		}
+		stack = append(stack, o.newFrame(sys, key, dec))
 	}
-	o.memo[key] = memoEntry{death: best, choice: bestChoice}
-	return best, nil
+	o.frames = stack
+	return result, nil
 }
 
-// replay reconstructs an optimal schedule from the memo table.
+// newFrame suspends the current decision state of sys into a frame, reusing
+// pooled buffers where available.
+func (o *optimizer) newFrame(sys *dkibam.System, key stateKey, dec dkibam.Decision) frame {
+	var buf []dkibam.Cell
+	if n := len(o.bufs); n > 0 {
+		buf = o.bufs[n-1]
+		o.bufs = o.bufs[:n-1]
+	}
+	return frame{
+		key:    key,
+		state:  sys.SaveState(buf),
+		alive:  dec.Alive,
+		best:   -1,
+		choice: -1,
+	}
+}
+
+func (o *optimizer) releaseFrame(f *frame) {
+	o.bufs = append(o.bufs, f.state.Cells)
+	f.state.Cells = nil
+	f.alive = nil
+}
+
+// replay reconstructs an optimal schedule from the memo table by walking the
+// recorded best choices from sys's current state.
 func (o *optimizer) replay(sys *dkibam.System) (Schedule, error) {
 	var schedule Schedule
 	for {
@@ -96,7 +218,7 @@ func (o *optimizer) replay(sys *dkibam.System) (Schedule, error) {
 		if !pending {
 			return schedule, nil
 		}
-		entry, ok := o.memo[stateKey(sys)]
+		entry, ok := o.memo[makeKey(sys)]
 		if !ok {
 			return nil, errors.New("sched: optimal replay hit an unexplored state")
 		}
@@ -105,33 +227,10 @@ func (o *optimizer) replay(sys *dkibam.System) (Schedule, error) {
 			Minutes: float64(dec.Step) * o.cl.StepMin,
 			Epoch:   dec.Epoch,
 			Reason:  dec.Reason,
-			Battery: entry.choice,
+			Battery: int(entry.choice),
 		})
-		if err := sys.Choose(entry.choice); err != nil {
+		if err := sys.Choose(int(entry.choice)); err != nil {
 			return nil, err
 		}
 	}
-}
-
-// stateKey canonically encodes a decision state. Time (and hence the epoch
-// and position within it) plus every battery's discrete state fully
-// determine the future, because decisions always happen with no battery
-// discharging.
-func stateKey(sys *dkibam.System) string {
-	var b strings.Builder
-	b.Grow(16 + 20*sys.Batteries())
-	b.WriteString(strconv.Itoa(sys.Step()))
-	for i := 0; i < sys.Batteries(); i++ {
-		c := sys.Cell(i)
-		b.WriteByte('|')
-		b.WriteString(strconv.Itoa(c.N))
-		b.WriteByte(',')
-		b.WriteString(strconv.Itoa(c.M))
-		b.WriteByte(',')
-		b.WriteString(strconv.Itoa(c.CRecov))
-		if c.Empty {
-			b.WriteString(",e")
-		}
-	}
-	return b.String()
 }

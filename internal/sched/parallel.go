@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"batsched/internal/dkibam"
+	"batsched/internal/load"
+)
+
+// OptimalParallel is Optimal with the branch exploration spread over a
+// worker pool. The decision tree is first expanded breadth-first into a
+// frontier of independent subproblems (enough to keep the workers busy);
+// each worker then solves its share with its own memo table, and the best
+// subtree — together with the breadth-first prefix that reaches it — yields
+// the optimal lifetime and schedule. Workers <= 0 means runtime.NumCPU().
+//
+// The result is deterministic and identical to Optimal: subproblems are
+// assigned and compared in frontier order, and memo tables are per-worker,
+// so goroutine scheduling cannot change the outcome. The price of
+// parallelism is that sibling subtrees no longer share memo entries.
+func OptimalParallel(ds []*dkibam.Discretization, cl load.Compiled, workers int) (float64, Schedule, error) {
+	if len(ds) > MaxOptimalBatteries {
+		return 0, nil, fmt.Errorf("%w (have %d)", ErrTooManyBatteries, len(ds))
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers == 1 {
+		return Optimal(ds, cl)
+	}
+
+	frontier, deadEnds, err := expandFrontier(ds, cl, 4*workers)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	// Solve every frontier subproblem; worker w takes tasks w, w+workers, ...
+	// so the assignment is deterministic and each worker reuses one memo
+	// table (memo keys encode the full state, so entries are valid across a
+	// worker's tasks).
+	type outcome struct {
+		death int
+		opt   *optimizer
+		err   error
+	}
+	outcomes := make([]outcome, len(frontier))
+	var wg sync.WaitGroup
+	for w := 0; w < workers && w < len(frontier); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sys, err := dkibam.NewSystem(ds, cl)
+			if err != nil {
+				outcomes[w] = outcome{err: err}
+				return
+			}
+			o := newOptimizer(cl)
+			for i := w; i < len(frontier); i += workers {
+				sys.RestoreState(frontier[i].state)
+				death, err := o.solve(sys)
+				outcomes[i] = outcome{death: death, opt: o, err: err}
+				if err != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	best, bestIdx := -1, -1
+	for i, oc := range outcomes {
+		if oc.err != nil {
+			return 0, nil, oc.err
+		}
+		if oc.death > best {
+			best, bestIdx = oc.death, i
+		}
+	}
+	// A branch that died during frontier expansion is already a complete
+	// schedule; it wins only when strictly better, which keeps the outcome
+	// deterministic.
+	for _, de := range deadEnds {
+		if de.death > best {
+			best, bestIdx = de.death, -1
+		}
+	}
+	if bestIdx == -1 {
+		for _, de := range deadEnds {
+			if de.death == best {
+				return float64(best) * cl.StepMin, de.prefix, nil
+			}
+		}
+		return 0, nil, errHorizon
+	}
+
+	// Reconstruct: the winning subproblem's prefix, then the winning
+	// worker's memo from the subproblem's start state.
+	sys, err := dkibam.NewSystem(ds, cl)
+	if err != nil {
+		return 0, nil, err
+	}
+	sys.RestoreState(frontier[bestIdx].state)
+	tail, err := outcomes[bestIdx].opt.replay(sys)
+	if err != nil {
+		return 0, nil, err
+	}
+	schedule := append(append(Schedule{}, frontier[bestIdx].prefix...), tail...)
+	return float64(best) * cl.StepMin, schedule, nil
+}
+
+// subproblem is one frontier node of the parallel search: a decision state
+// plus the choices that led to it.
+type subproblem struct {
+	state  dkibam.State
+	prefix Schedule
+}
+
+// deadEnd records a branch on which the system died during expansion.
+type deadEnd struct {
+	death  int
+	prefix Schedule
+}
+
+// expandFrontier grows the decision tree breadth-first until it holds at
+// least target open subproblems (or cannot grow further). Branches that die
+// during expansion are returned separately as complete schedules.
+func expandFrontier(ds []*dkibam.Discretization, cl load.Compiled, target int) ([]subproblem, []deadEnd, error) {
+	sys, err := dkibam.NewSystem(ds, cl)
+	if err != nil {
+		return nil, nil, err
+	}
+	dec, pending, err := sys.AdvanceToDecision()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %w", errHorizon, err)
+	}
+	if !pending {
+		return nil, []deadEnd{{death: sys.DeathStep()}}, nil
+	}
+
+	type node struct {
+		state  dkibam.State
+		dec    dkibam.Decision
+		prefix Schedule
+	}
+	queue := []node{{state: sys.SaveState(nil), dec: dec, prefix: nil}}
+	var deadEnds []deadEnd
+	for len(queue) > 0 && len(queue) < target {
+		// FIFO expansion keeps the frontier shallow and is deterministic.
+		n := queue[0]
+		queue = queue[1:]
+		for _, idx := range n.dec.Alive {
+			sys.RestoreState(n.state)
+			if err := sys.Choose(idx); err != nil {
+				return nil, nil, err
+			}
+			prefix := append(append(Schedule{}, n.prefix...), Choice{
+				Step:    n.dec.Step,
+				Minutes: float64(n.dec.Step) * cl.StepMin,
+				Epoch:   n.dec.Epoch,
+				Reason:  n.dec.Reason,
+				Battery: idx,
+			})
+			childDec, pending, err := sys.AdvanceToDecision()
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: %w", errHorizon, err)
+			}
+			if !pending {
+				deadEnds = append(deadEnds, deadEnd{death: sys.DeathStep(), prefix: prefix})
+				continue
+			}
+			queue = append(queue, node{state: sys.SaveState(nil), dec: childDec, prefix: prefix})
+		}
+	}
+	if len(queue) == 0 {
+		// Every branch died during expansion; the prefixes are complete
+		// schedules.
+		return nil, deadEnds, nil
+	}
+	frontier := make([]subproblem, len(queue))
+	for i, n := range queue {
+		frontier[i] = subproblem{state: n.state, prefix: n.prefix}
+	}
+	return frontier, deadEnds, nil
+}

@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"batsched/internal/dkibam"
+)
+
+// TestReplayReproducesRun: replaying a recorded schedule yields the same
+// lifetime and the same decision sequence as the original policy run.
+func TestReplayReproducesRun(t *testing.T) {
+	ds := b1Pair(t)
+	for _, p := range []Policy{Sequential(), RoundRobin(), BestAvailable()} {
+		for _, name := range []string{"CL 250", "ILs alt"} {
+			cl := compiled(t, name, 200)
+			lifetime, schedule, err := Run(ds, cl, p)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, p.Name(), err)
+			}
+			replayed, replayedSchedule, err := Run(ds, cl, Replay("again", schedule))
+			if err != nil {
+				t.Fatalf("%s/%s replay: %v", name, p.Name(), err)
+			}
+			if replayed != lifetime {
+				t.Errorf("%s/%s: replay lifetime %v, original %v", name, p.Name(), replayed, lifetime)
+			}
+			if len(replayedSchedule) != len(schedule) {
+				t.Fatalf("%s/%s: replay made %d decisions, original %d", name, p.Name(), len(replayedSchedule), len(schedule))
+			}
+			for i := range schedule {
+				if replayedSchedule[i] != schedule[i] {
+					t.Errorf("%s/%s: decision %d replayed as %+v, original %+v", name, p.Name(), i, replayedSchedule[i], schedule[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReplayName: the replay policy reports the name it was given.
+func TestReplayName(t *testing.T) {
+	if got := Replay("opt", nil).Name(); got != "opt" {
+		t.Errorf("name %q, want %q", got, "opt")
+	}
+}
+
+// mustPanic runs f and asserts it panics with a message containing want.
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want one containing %q)", want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v, want one containing %q", r, want)
+		}
+	}()
+	f()
+}
+
+// TestReplayExhausted: a replay asked for more decisions than it recorded
+// panics rather than silently inventing choices.
+func TestReplayExhausted(t *testing.T) {
+	chooser := Replay("short", Schedule{}).NewChooser()
+	mustPanic(t, "replay exhausted", func() {
+		chooser(fakeBank{alive: []bool{true}}, Decision{Alive: []int{0}})
+	})
+}
+
+// TestReplayDesync: a decision arriving at a different time than recorded
+// panics; replays must not drift from the recorded trajectory.
+func TestReplayDesync(t *testing.T) {
+	schedule := Schedule{{Step: 100, Minutes: 1.0, Battery: 0}}
+	chooser := Replay("drift", schedule).NewChooser()
+	mustPanic(t, "replay desync", func() {
+		chooser(fakeBank{alive: []bool{true}}, Decision{Minutes: 2.0, Alive: []int{0}})
+	})
+}
+
+// TestReplayOnEmptiedBattery: replaying a schedule that includes a mid-job
+// BatteryEmptied replacement reproduces the decision, including its reason.
+func TestReplayOnEmptiedBattery(t *testing.T) {
+	ds := b1Pair(t)
+	cl := compiled(t, "CL 250", 200) // continuous load: battery 0 empties mid-job
+	_, schedule, err := Run(ds, cl, Sequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emptied int
+	for _, c := range schedule {
+		if c.Reason == BatteryEmptied {
+			emptied++
+		}
+	}
+	if emptied == 0 {
+		t.Fatal("sequential on a continuous load made no BatteryEmptied decision")
+	}
+	_, replayed, err := Run(ds, cl, Replay("seq", schedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range schedule {
+		if replayed[i].Reason != schedule[i].Reason {
+			t.Errorf("decision %d: reason %v, want %v", i, replayed[i].Reason, schedule[i].Reason)
+		}
+	}
+}
+
+// TestFixedChooser: the single-battery "scheduler" always picks its index.
+func TestFixedChooser(t *testing.T) {
+	c := FixedChooser(1)
+	for i := 0; i < 3; i++ {
+		if got := c(nil, dkibam.Decision{Alive: []int{0, 1}}); got != 1 {
+			t.Fatalf("picked %d, want 1", got)
+		}
+	}
+}

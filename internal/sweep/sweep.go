@@ -1,0 +1,259 @@
+// Package sweep runs declarative scenario grids — battery banks × loads ×
+// scheduling policies × discretization grids — over a bounded worker pool.
+//
+// The paper's result tables are exactly such grids (Table 5 is two B1
+// batteries × ten loads × four schemes), and the roadmap's production goal
+// is to evaluate far bigger ones. The runner exploits the core split between
+// the immutable compiled artifact (shared discretizations + compiled load,
+// built once per grid cell) and cheap per-run state: scenarios run
+// concurrently on runtime.NumCPU()-bounded workers, results land in a
+// pre-indexed slice, and the output order is the deterministic nested
+// iteration order grid × bank × load × policy no matter how the goroutines
+// interleave.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"batsched/internal/battery"
+	"batsched/internal/core"
+	"batsched/internal/dkibam"
+	"batsched/internal/load"
+	"batsched/internal/sched"
+)
+
+// Bank is one battery-bank configuration of a sweep.
+type Bank struct {
+	// Name labels the bank in results (e.g. "2xB1").
+	Name string
+	// Batteries are the bank's battery parameters.
+	Batteries []battery.Params
+}
+
+// BankOf builds a Bank of n identical batteries with a generated name.
+func BankOf(name string, p battery.Params, n int) Bank {
+	return Bank{Name: name, Batteries: battery.Bank(p, n)}
+}
+
+// LoadCase is one load of a sweep.
+type LoadCase struct {
+	// Name labels the load in results.
+	Name string
+	// Load is the piecewise-constant load.
+	Load load.Load
+}
+
+// PaperLoads builds the named Section 5 test loads ("all" or nil = all ten),
+// each covering at least horizon minutes.
+func PaperLoads(names []string, horizon float64) ([]LoadCase, error) {
+	if len(names) == 0 {
+		names = load.PaperLoadNames
+	}
+	cases := make([]LoadCase, len(names))
+	for i, name := range names {
+		l, err := load.Paper(name, horizon)
+		if err != nil {
+			return nil, err
+		}
+		cases[i] = LoadCase{Name: name, Load: l}
+	}
+	return cases, nil
+}
+
+// PolicyCase is one scheduling scheme of a sweep: either a deterministic
+// policy or the optimal search.
+type PolicyCase struct {
+	// Name labels the scheme in results.
+	Name string
+	// Policy is the deterministic scheme; nil when Optimal is set.
+	Policy sched.Policy
+	// Optimal selects the exhaustive optimal search instead of a policy.
+	Optimal bool
+	// OptimalWorkers sets the optimal search's worker pool (0 = serial);
+	// only meaningful with Optimal. Note that the sweep itself already runs
+	// scenarios in parallel, so nested workers mainly help sparse grids.
+	OptimalWorkers int
+}
+
+// Policies wraps deterministic policies as sweep cases.
+func Policies(ps ...sched.Policy) []PolicyCase {
+	cases := make([]PolicyCase, len(ps))
+	for i, p := range ps {
+		cases[i] = PolicyCase{Name: p.Name(), Policy: p}
+	}
+	return cases
+}
+
+// OptimalCase returns the optimal-search sweep case.
+func OptimalCase() PolicyCase { return PolicyCase{Name: "optimal", Optimal: true} }
+
+// GridSpec is one discretization grid of a sweep.
+type GridSpec struct {
+	// Name labels the grid in results (empty = derived from the sizes).
+	Name string
+	// StepMin is the time step T in minutes; UnitAmpMin the charge unit
+	// Gamma in A·min.
+	StepMin, UnitAmpMin float64
+}
+
+// PaperGrid is the paper's discretization grid (T = 0.01 min,
+// Gamma = 0.01 A·min).
+func PaperGrid() GridSpec {
+	return GridSpec{Name: "paper", StepMin: dkibam.PaperStepMin, UnitAmpMin: dkibam.PaperUnitAmpMin}
+}
+
+// Spec is a declarative scenario grid: every combination of grid × bank ×
+// load × policy is one scenario. Grids may be empty, which means the paper
+// grid.
+type Spec struct {
+	Banks    []Bank
+	Loads    []LoadCase
+	Policies []PolicyCase
+	Grids    []GridSpec
+}
+
+// Scenarios returns the number of scenarios the spec expands to.
+func (s Spec) Scenarios() int {
+	grids := len(s.Grids)
+	if grids == 0 {
+		grids = 1
+	}
+	return grids * len(s.Banks) * len(s.Loads) * len(s.Policies)
+}
+
+// Spec errors.
+var (
+	ErrNoBanks    = errors.New("sweep: spec has no banks")
+	ErrNoLoads    = errors.New("sweep: spec has no loads")
+	ErrNoPolicies = errors.New("sweep: spec has no policies")
+)
+
+func (s Spec) validate() error {
+	switch {
+	case len(s.Banks) == 0:
+		return ErrNoBanks
+	case len(s.Loads) == 0:
+		return ErrNoLoads
+	case len(s.Policies) == 0:
+		return ErrNoPolicies
+	}
+	return nil
+}
+
+// Result is the outcome of one scenario.
+type Result struct {
+	// Grid, Bank, Load, Policy name the scenario cell.
+	Grid, Bank, Load, Policy string
+	// Lifetime is the system lifetime in minutes (0 when Err is set).
+	Lifetime float64
+	// Decisions is the number of scheduling decisions of the run.
+	Decisions int
+	// Err is the per-scenario failure, if any; one bad cell does not abort
+	// the sweep.
+	Err error
+}
+
+// Options tune a sweep run.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means runtime.NumCPU().
+	Workers int
+}
+
+// Run expands the spec into scenarios and executes them over a worker pool,
+// returning one Result per scenario in deterministic nested order (grid,
+// then bank, then load, then policy). Per-scenario failures are reported in
+// Result.Err; Run itself only fails on an invalid spec.
+func Run(spec Spec, opts Options) ([]Result, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	// Copied so that filling in default names never writes through to the
+	// caller's slice (which would also race across concurrent Runs).
+	grids := append([]GridSpec(nil), spec.Grids...)
+	if len(grids) == 0 {
+		grids = []GridSpec{PaperGrid()}
+	}
+	for i := range grids {
+		if grids[i].Name == "" {
+			grids[i].Name = fmt.Sprintf("T%g-G%g", grids[i].StepMin, grids[i].UnitAmpMin)
+		}
+	}
+
+	// One immutable compiled artifact per (grid, bank, load) cell, shared by
+	// every policy scenario of that cell and safe for concurrent use.
+	// Compilation is cheap (integer tables + three arrays), so it happens
+	// up front and serially; a cell that fails to compile marks just its own
+	// scenarios as failed.
+	type cell struct {
+		compiled *core.Compiled
+		err      error
+	}
+	cells := make([]cell, len(grids)*len(spec.Banks)*len(spec.Loads))
+	for g, grid := range grids {
+		for b, bank := range spec.Banks {
+			for l, lc := range spec.Loads {
+				i := (g*len(spec.Banks)+b)*len(spec.Loads) + l
+				c, err := core.Compile(bank.Batteries, lc.Load, grid.StepMin, grid.UnitAmpMin)
+				cells[i] = cell{compiled: c, err: err}
+			}
+		}
+	}
+
+	results := make([]Result, spec.Scenarios())
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(results) {
+		workers = len(results)
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				p := i % len(spec.Policies)
+				c := i / len(spec.Policies) // == cell index: ((g*B)+b)*L + l
+				g := c / (len(spec.Banks) * len(spec.Loads))
+				b := c / len(spec.Loads) % len(spec.Banks)
+				l := c % len(spec.Loads)
+				r := &results[i]
+				r.Grid, r.Bank, r.Load, r.Policy =
+					grids[g].Name, spec.Banks[b].Name, spec.Loads[l].Name, spec.Policies[p].Name
+				if cells[c].err != nil {
+					r.Err = cells[c].err
+					continue
+				}
+				r.Lifetime, r.Decisions, r.Err = runScenario(cells[c].compiled, spec.Policies[p])
+			}
+		}()
+	}
+	for i := range results {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, nil
+}
+
+// runScenario executes one scenario on a shared compiled artifact.
+func runScenario(c *core.Compiled, pc PolicyCase) (lifetime float64, decisions int, err error) {
+	var schedule sched.Schedule
+	switch {
+	case pc.Optimal && pc.OptimalWorkers > 1:
+		lifetime, schedule, err = c.OptimalLifetimeParallel(pc.OptimalWorkers)
+	case pc.Optimal:
+		lifetime, schedule, err = c.OptimalLifetime()
+	case pc.Policy != nil:
+		lifetime, schedule, err = c.PolicyRun(pc.Policy)
+	default:
+		return 0, 0, fmt.Errorf("sweep: policy case %q has neither a policy nor the optimal flag", pc.Name)
+	}
+	return lifetime, len(schedule), err
+}

@@ -1,0 +1,193 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"batsched/internal/battery"
+	"batsched/internal/core"
+	"batsched/internal/sched"
+)
+
+func table5Spec(t *testing.T, loads []string) Spec {
+	t.Helper()
+	lcs, err := PaperLoads(loads, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{
+		Banks:    []Bank{BankOf("2xB1", battery.B1(), 2)},
+		Loads:    lcs,
+		Policies: append(Policies(sched.Sequential(), sched.RoundRobin(), sched.BestAvailable()), OptimalCase()),
+	}
+}
+
+// TestSweepMatchesDirect: every sweep cell must equal the corresponding
+// direct core computation.
+func TestSweepMatchesDirect(t *testing.T) {
+	spec := table5Spec(t, []string{"CL alt", "ILs alt", "ILs 500"})
+	results, err := Run(spec, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != spec.Scenarios() {
+		t.Fatalf("got %d results, want %d", len(results), spec.Scenarios())
+	}
+	for _, lc := range spec.Loads {
+		c, err := core.Compile(spec.Banks[0].Batteries, lc.Load, PaperGrid().StepMin, PaperGrid().UnitAmpMin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[string]float64{}
+		for _, p := range []sched.Policy{sched.Sequential(), sched.RoundRobin(), sched.BestAvailable()} {
+			lt, err := c.PolicyLifetime(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[p.Name()] = lt
+		}
+		opt, _, err := c.OptimalLifetime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want["optimal"] = opt
+		for _, r := range results {
+			if r.Load != lc.Name {
+				continue
+			}
+			if r.Err != nil {
+				t.Fatalf("%s/%s: %v", r.Load, r.Policy, r.Err)
+			}
+			if r.Lifetime != want[r.Policy] {
+				t.Errorf("%s/%s: sweep %v, direct %v", r.Load, r.Policy, r.Lifetime, want[r.Policy])
+			}
+			if r.Decisions == 0 {
+				t.Errorf("%s/%s: no decisions recorded", r.Load, r.Policy)
+			}
+		}
+	}
+}
+
+// TestSweepDeterministicOrder: the result slice must be identical — same
+// order, same values — for any worker count.
+func TestSweepDeterministicOrder(t *testing.T) {
+	spec := table5Spec(t, []string{"CL alt", "ILs alt", "ILs r2"})
+	serial, err := Run(spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		parallel, err := Run(spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("results differ between 1 and %d workers", workers)
+		}
+	}
+	// Nested order: loads iterate outside policies.
+	i := 0
+	for _, lc := range spec.Loads {
+		for _, pc := range spec.Policies {
+			r := serial[i]
+			if r.Load != lc.Name || r.Policy != pc.Name || r.Bank != "2xB1" || r.Grid != "paper" {
+				t.Fatalf("result %d is %s/%s/%s/%s, want paper/2xB1/%s/%s",
+					i, r.Grid, r.Bank, r.Load, r.Policy, lc.Name, pc.Name)
+			}
+			i++
+		}
+	}
+}
+
+// TestSweepMultiGrid: grids multiply the scenario set, and a finer grid
+// changes the discrete lifetime only within discretization error.
+func TestSweepMultiGrid(t *testing.T) {
+	lcs, err := PaperLoads([]string{"ILs alt"}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Banks:    []Bank{BankOf("1xB1", battery.B1(), 1)},
+		Loads:    lcs,
+		Policies: Policies(sched.Sequential()),
+		Grids: []GridSpec{
+			PaperGrid(),
+			{StepMin: 0.02, UnitAmpMin: 0.02},
+		},
+	}
+	results, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if results[0].Grid != "paper" || results[1].Grid != "T0.02-G0.02" {
+		t.Fatalf("grid names %q, %q", results[0].Grid, results[1].Grid)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Grid, r.Err)
+		}
+		if r.Lifetime <= 0 {
+			t.Fatalf("%s: lifetime %v", r.Grid, r.Lifetime)
+		}
+	}
+	if d := results[0].Lifetime - results[1].Lifetime; d > 1 || d < -1 {
+		t.Errorf("grids disagree beyond discretization error: %v vs %v", results[0].Lifetime, results[1].Lifetime)
+	}
+}
+
+// TestSweepScenarioError: a cell that cannot compile fails alone without
+// aborting the sweep.
+func TestSweepScenarioError(t *testing.T) {
+	lcs, err := PaperLoads([]string{"ILs alt"}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := battery.B1()
+	bad.Capacity = 5.5005 // not an integer number of 0.01 A·min units
+	spec := Spec{
+		Banks: []Bank{
+			{Name: "bad", Batteries: []battery.Params{bad}},
+			BankOf("good", battery.B1(), 1),
+		},
+		Loads:    lcs,
+		Policies: Policies(sched.Sequential()),
+	}
+	results, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Error("bad bank did not fail")
+	}
+	if results[1].Err != nil {
+		t.Errorf("good bank failed: %v", results[1].Err)
+	}
+	if results[1].Lifetime <= 0 {
+		t.Errorf("good bank lifetime %v", results[1].Lifetime)
+	}
+}
+
+// TestSweepSpecValidation: empty dimensions are rejected.
+func TestSweepSpecValidation(t *testing.T) {
+	lcs, err := PaperLoads([]string{"ILs alt"}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banks := []Bank{BankOf("1xB1", battery.B1(), 1)}
+	pols := Policies(sched.Sequential())
+	for _, tc := range []struct {
+		spec Spec
+		want error
+	}{
+		{Spec{Loads: lcs, Policies: pols}, ErrNoBanks},
+		{Spec{Banks: banks, Policies: pols}, ErrNoLoads},
+		{Spec{Banks: banks, Loads: lcs}, ErrNoPolicies},
+	} {
+		if _, err := Run(tc.spec, Options{}); err != tc.want {
+			t.Errorf("got %v, want %v", err, tc.want)
+		}
+	}
+}
