@@ -37,12 +37,27 @@ import (
 
 	"batsched/internal/battery"
 	"batsched/internal/core"
+	"batsched/internal/dkibam"
 	"batsched/internal/load"
 	"batsched/internal/mc"
+	"batsched/internal/mcarlo"
 	"batsched/internal/sched"
+	"batsched/internal/service"
+	"batsched/internal/spec"
 	"batsched/internal/sweep"
 	"batsched/internal/takibam"
 )
+
+// PaperStepMin and PaperUnitAmpMin are the paper's discretization grid:
+// time step T in minutes and charge unit Gamma in A·min.
+const (
+	PaperStepMin    = dkibam.PaperStepMin
+	PaperUnitAmpMin = dkibam.PaperUnitAmpMin
+)
+
+// DefaultHorizonMin is the default load horizon in minutes, matching the
+// paper experiments.
+const DefaultHorizonMin = spec.DefaultHorizonMin
 
 // BatteryParams holds the KiBaM parameters of one battery: total capacity C
 // (A·min), available-charge fraction c, and transformed rate constant k'
@@ -195,3 +210,145 @@ type SearchOptions = mc.Options
 
 // TASolution is the outcome of the priced-timed-automata optimal search.
 type TASolution = takibam.Solution
+
+// ContinuousResult is the outcome of simulating a policy on the continuous
+// (non-discretized) KiBaM.
+type ContinuousResult = sched.ContinuousResult
+
+// ContinuousRun simulates a scheduling policy on the continuous KiBaM.
+func ContinuousRun(batteries []BatteryParams, l Load, p Policy) (ContinuousResult, error) {
+	return sched.ContinuousRun(batteries, l, p)
+}
+
+// Serializable scenario layer: a Scenario is a JSON-round-trippable grid of
+// banks × loads × solvers (× grids). Solvers are addressed by registry name
+// with optional parameters; Scenario.Compile resolves everything into a
+// runnable SweepSpec. See internal/spec for the wire format.
+type (
+	// Scenario is a serializable scenario grid.
+	Scenario = spec.Scenario
+	// RunSpec is a serializable single-cell request.
+	RunSpec = spec.Run
+	// BankSpec describes one battery bank.
+	BankSpec = spec.Bank
+	// BatterySpec describes one battery (preset or custom KiBaM params).
+	BatterySpec = spec.Battery
+	// LoadSpec describes one load (paper name, inline segments, or text).
+	LoadSpec = spec.Load
+	// SegmentSpec is one serializable load epoch.
+	SegmentSpec = spec.Segment
+	// GridSpec describes one discretization grid.
+	GridSpec = spec.Grid
+	// SolverSpec addresses a solver by registry name plus parameters.
+	SolverSpec = spec.Solver
+	// SolverBuilder is one registry entry (name, aliases, doc, builder).
+	SolverBuilder = spec.Builder
+	// LookaheadParams parameterise the "lookahead" solver.
+	LookaheadParams = spec.LookaheadParams
+	// OptimalParams parameterise the "optimal" solver.
+	OptimalParams = spec.OptimalParams
+	// OptimalTAParams parameterise the "optimal-ta" solver.
+	OptimalTAParams = spec.OptimalTAParams
+	// MonteCarloParams parameterise the "montecarlo" solver.
+	MonteCarloParams = spec.MonteCarloParams
+)
+
+// ErrUnknownSolver is returned when a solver name is not in the registry.
+var ErrUnknownSolver = spec.ErrUnknownSolver
+
+// ParseScenario decodes scenario JSON, rejecting unknown fields.
+func ParseScenario(data []byte) (Scenario, error) { return spec.ParseScenario(data) }
+
+// ParseRun decodes single-cell run JSON, rejecting unknown fields.
+func ParseRun(data []byte) (RunSpec, error) { return spec.ParseRun(data) }
+
+// NamedSolver builds a SolverSpec from a registry name and a params struct.
+func NamedSolver(name string, params any) (SolverSpec, error) {
+	return spec.NamedSolver(name, params)
+}
+
+// SolverNames lists the canonical registered solver names, sorted.
+func SolverNames() []string { return spec.SolverNames() }
+
+// Solvers returns the registered solver builders in registration order.
+func Solvers() []SolverBuilder { return spec.Builders() }
+
+// RegisterSolver adds a scheme to the registry, making it addressable from
+// scenario JSON, sweeps, and the HTTP service without touching callers.
+func RegisterSolver(b SolverBuilder) { spec.Register(b) }
+
+// BuildSolver resolves a solver reference into a runnable sweep case.
+func BuildSolver(s SolverSpec) (SweepPolicy, error) { return spec.BuildSolver(s) }
+
+// CLIBattery resolves the tools' -battery flag grammar: a preset name
+// ("B1", "b2") with an optional capacity override in A·min.
+func CLIBattery(name string, capacity float64) (BatteryParams, error) {
+	return spec.CLIBattery(name, capacity)
+}
+
+// CLIBank parses the sweep bank grammar "NxB1" into a bank description.
+func CLIBank(s string) (BankSpec, error) { return spec.CLIBank(s) }
+
+// CLISolver parses the -policy flag grammar (registry names and aliases,
+// plus "lookahead:MIN") into a solver reference.
+func CLISolver(s string) (SolverSpec, error) { return spec.CLISolver(s) }
+
+// CLILoad resolves the -load flag grammar: a paper load name, or the path
+// of a load file when such a file exists (0 horizon = the default 200 min).
+func CLILoad(name string, horizon float64) (Load, error) { return spec.CLILoad(name, horizon) }
+
+// Evaluation service: a long-lived Service answers Evaluate/Sweep requests
+// with bounded concurrency and a shared Compiled-artifact cache keyed by
+// the resolved (bank, load, grid) content. cmd/batserve exposes it over
+// HTTP.
+type (
+	// EvalService is the long-lived evaluation service.
+	EvalService = service.Service
+	// EvalOptions tune an EvalService (concurrency bound, cache size).
+	EvalOptions = service.Options
+	// EvalStats reports the service's cache counters.
+	EvalStats = service.Stats
+	// EvalResult is one evaluated scenario cell in wire form.
+	EvalResult = service.Result
+	// RunRequest asks the service for a single scenario cell.
+	RunRequest = service.RunRequest
+	// SweepRequest asks the service for a whole scenario grid.
+	SweepRequest = service.SweepRequest
+	// InvalidRequestError marks spec-level validation failures.
+	InvalidRequestError = service.InvalidRequestError
+)
+
+// NewEvalService builds an evaluation service.
+func NewEvalService(opts EvalOptions) *EvalService { return service.New(opts) }
+
+// Monte-Carlo lifetime estimation (internal/mcarlo): sample random loads,
+// simulate each on the continuous KiBaM, and summarise the lifetime
+// distribution. Also addressable in sweeps as the "montecarlo" solver.
+type (
+	// MCDistribution summarises sampled lifetimes.
+	MCDistribution = mcarlo.Distribution
+	// MCGenerator draws one random load.
+	MCGenerator = mcarlo.Generator
+)
+
+// MCRandomIntermittent generates the paper-style random intermittent loads.
+func MCRandomIntermittent(idle, horizon, pHigh float64) MCGenerator {
+	return mcarlo.RandomIntermittent(idle, horizon, pHigh)
+}
+
+// MCMarkovBurst generates bursty loads from a two-state Markov chain.
+func MCMarkovBurst(idle, horizon, pStay float64) MCGenerator {
+	return mcarlo.MarkovBurst(idle, horizon, pStay)
+}
+
+// MCLifetimeDistribution estimates the lifetime distribution of a policy
+// over n sampled loads; deterministic for a fixed seed.
+func MCLifetimeDistribution(batteries []BatteryParams, p Policy, gen MCGenerator, n int, seed int64) (MCDistribution, error) {
+	return mcarlo.LifetimeDistribution(batteries, p, gen, n, seed)
+}
+
+// MCComparePolicies estimates the distributions of several policies on the
+// same sampled load sequence (common random numbers), keyed by policy name.
+func MCComparePolicies(batteries []BatteryParams, policies []Policy, gen MCGenerator, n int, seed int64) (map[string]MCDistribution, error) {
+	return mcarlo.ComparePolicies(batteries, policies, gen, n, seed)
+}

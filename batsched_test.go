@@ -1,7 +1,9 @@
 package batsched_test
 
 import (
+	"context"
 	"math"
+	"strings"
 	"testing"
 
 	"batsched"
@@ -188,5 +190,146 @@ func TestPublicGridOption(t *testing.T) {
 	// A finer grid tracks the analytic 4.53 even closer than the paper's.
 	if math.Abs(lt-4.53) > 0.03 {
 		t.Fatalf("fine-grid lifetime %v", lt)
+	}
+}
+
+// TestPublicScenarioAPI drives the serializable scenario layer through the
+// root package: JSON in, compiled sweep out, with the same Table 5 values
+// the imperative API produces.
+func TestPublicScenarioAPI(t *testing.T) {
+	scenario, err := batsched.ParseScenario([]byte(`{
+		"banks":   [{"battery": {"preset": "B1"}, "count": 2}],
+		"loads":   [{"paper": "ILs alt"}],
+		"solvers": ["bestof", {"lookahead": {"horizon": 5}}, "optimal"]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := scenario.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := batsched.RunSweep(spec, batsched.SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	byName := map[string]float64{}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Policy, r.Err)
+		}
+		byName[r.Policy] = r.Lifetime
+	}
+	if math.Abs(byName["best-of-two"]-16.28) > 1e-9 || math.Abs(byName["optimal"]-16.90) > 1e-9 {
+		t.Fatalf("scenario lifetimes %v, want best 16.28 / optimal 16.90", byName)
+	}
+	// Lookahead must appear in sweeps and land between best-of-two and the
+	// optimum.
+	la := byName["lookahead-5min"]
+	if la < byName["best-of-two"]-1e-9 || la > byName["optimal"]+1e-9 {
+		t.Fatalf("lookahead %v outside [%v, %v]", la, byName["best-of-two"], byName["optimal"])
+	}
+}
+
+// TestPublicSolverRegistry checks every scheme the root package exports is
+// name-addressable.
+func TestPublicSolverRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, n := range batsched.SolverNames() {
+		names[n] = true
+	}
+	for _, want := range []string{
+		"sequential", "roundrobin", "bestof", "lookahead",
+		"optimal", "optimal-ta", "analytic", "montecarlo",
+	} {
+		if !names[want] {
+			t.Errorf("SolverNames misses %q", want)
+		}
+	}
+	if _, err := batsched.BuildSolver(batsched.SolverSpec{Name: "greedy"}); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+	pc, err := batsched.BuildSolver(batsched.SolverSpec{Name: "rr"})
+	if err != nil || pc.Policy == nil {
+		t.Fatalf("alias rr: %+v %v", pc, err)
+	}
+}
+
+// TestPublicEvalService runs the service through the root re-exports.
+func TestPublicEvalService(t *testing.T) {
+	svc := batsched.NewEvalService(batsched.EvalOptions{MaxConcurrent: 2})
+	res, err := svc.Evaluate(context.Background(), batsched.RunRequest{
+		Bank:   batsched.BankSpec{Battery: &batsched.BatterySpec{Preset: "B1"}, Count: 2},
+		Load:   batsched.LoadSpec{Paper: "ILs alt"},
+		Solver: batsched.SolverSpec{Name: "bestof"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != "" || math.Abs(res.LifetimeMin-16.28) > 1e-9 {
+		t.Fatalf("service result %+v", res)
+	}
+	if st := svc.Stats(); st.Compiles != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestPublicMonteCarlo exercises the Monte-Carlo estimator through the
+// root package (it was previously unreachable from the public API).
+func TestPublicMonteCarlo(t *testing.T) {
+	gen := batsched.MCRandomIntermittent(1, 60, 0.5)
+	dist, err := batsched.MCLifetimeDistribution(
+		batsched.Bank(batsched.B1(), 2), batsched.BestAvailable(), gen, 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist.Samples) != 20 || dist.Mean <= 0 || dist.Min() > dist.Max() {
+		t.Fatalf("distribution %+v", dist)
+	}
+	again, err := batsched.MCLifetimeDistribution(
+		batsched.Bank(batsched.B1(), 2), batsched.BestAvailable(), gen, 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Mean != again.Mean {
+		t.Fatalf("not deterministic: %v vs %v", dist.Mean, again.Mean)
+	}
+	cmp, err := batsched.MCComparePolicies(
+		batsched.Bank(batsched.B1(), 2),
+		[]batsched.Policy{batsched.Sequential(), batsched.BestAvailable()},
+		gen, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp["best-of-two"].Mean < cmp["sequential"].Mean {
+		t.Fatalf("best-of-two (%v) worse than sequential (%v) on random loads",
+			cmp["best-of-two"].Mean, cmp["sequential"].Mean)
+	}
+}
+
+// TestPublicUppaalExport checks the Uppaal export is reachable from the
+// public API.
+func TestPublicUppaalExport(t *testing.T) {
+	l, err := batsched.PaperLoad("CL alt", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := batsched.NewProblem(batsched.Bank(batsched.B1(), 2), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := c.ExportUppaal(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<nta>") {
+		t.Fatalf("export does not look like Uppaal XML: %.80s", buf.String())
 	}
 }

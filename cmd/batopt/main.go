@@ -7,113 +7,122 @@
 // Usage:
 //
 //	batopt [-battery B1|B2] [-n COUNT] [-load NAME] [-horizon MIN]
-//	       [-direct] [-budget N] [-export FILE.xml] [-v]
+//	       [-spec run.json] [-direct] [-budget N] [-export FILE.xml] [-v]
 //
-// With -export, the TA-KiBaM network is additionally written as an Uppaal
-// 4.x XML model for cross-checking against the original toolchain.
+// With -spec, the bank/load/grid come from a serializable run file (the
+// same JSON the batserve /v1/run endpoint accepts; its solver field is
+// ignored) instead of the individual flags. With -export, the TA-KiBaM
+// network is additionally written as an Uppaal 4.x XML model for
+// cross-checking against the original toolchain.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"batsched/internal/battery"
-	"batsched/internal/core"
-	"batsched/internal/dkibam"
-	"batsched/internal/experiments"
-	"batsched/internal/load"
-	"batsched/internal/mc"
-	"batsched/internal/takibam"
+	"batsched"
 )
 
 func main() {
 	batteryName := flag.String("battery", "B1", "battery preset: B1 or B2")
 	count := flag.Int("n", 2, "number of identical batteries")
 	loadName := flag.String("load", "ILs alt", "paper load name")
-	horizon := flag.Float64("horizon", experiments.Horizon, "load horizon in minutes")
+	horizon := flag.Float64("horizon", batsched.DefaultHorizonMin, "load horizon in minutes")
+	specPath := flag.String("spec", "", "read the bank/load/grid from a serializable run file (JSON)")
 	direct := flag.Bool("direct", false, "skip the timed-automata checker, use only the direct search")
 	budget := flag.Int("budget", 0, "state budget for the timed-automata checker (0 = default)")
 	export := flag.String("export", "", "write the TA-KiBaM as an Uppaal XML model to this file")
 	verbose := flag.Bool("v", false, "print the full optimal schedule")
 	flag.Parse()
 
-	if err := run(*batteryName, *count, *loadName, *horizon, *direct, *budget, *verbose); err != nil {
+	problem, label, err := buildProblem(*specPath, *batteryName, *count, *loadName, *horizon)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "batopt: %v\n", err)
+		os.Exit(1)
+	}
+	if err := run(problem, label, *direct, *budget, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "batopt: %v\n", err)
 		os.Exit(1)
 	}
 	if *export != "" {
-		if err := exportModel(*batteryName, *count, *loadName, *horizon, *export); err != nil {
+		if err := exportModel(problem, *export); err != nil {
 			fmt.Fprintf(os.Stderr, "batopt: export: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func exportModel(batteryName string, count int, loadName string, horizon float64, path string) error {
-	b, err := pickBattery(batteryName)
+// buildProblem resolves either the -spec run file or the individual flags
+// into a Problem and a display label.
+func buildProblem(specPath, batteryName string, count int, loadName string, horizon float64) (*batsched.Problem, string, error) {
+	if specPath == "" {
+		b, err := batsched.CLIBattery(batteryName, 0)
+		if err != nil {
+			return nil, "", err
+		}
+		l, err := batsched.CLILoad(loadName, horizon)
+		if err != nil {
+			return nil, "", err
+		}
+		p, err := batsched.NewProblem(batsched.Bank(b, count), l)
+		if err != nil {
+			return nil, "", err
+		}
+		return p, fmt.Sprintf("%d x %s on %s", count, b, loadName), nil
+	}
+
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return nil, "", err
+	}
+	run, err := batsched.ParseRun(data)
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", specPath, err)
+	}
+	bankName, bank, err := run.Bank.Resolve()
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", specPath, err)
+	}
+	ldName, ld, err := run.Load.Resolve()
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", specPath, err)
+	}
+	opts := []batsched.Option{}
+	if run.Grid != nil {
+		g := run.Grid.Resolve()
+		opts = append(opts, batsched.WithGrid(g.StepMin, g.UnitAmpMin))
+	}
+	p, err := batsched.NewProblem(bank, ld, opts...)
+	if err != nil {
+		return nil, "", err
+	}
+	return p, fmt.Sprintf("%s on %s", bankName, ldName), nil
+}
+
+func exportModel(p *batsched.Problem, path string) error {
+	c, err := p.Compile()
 	if err != nil {
 		return err
-	}
-	l, err := load.Paper(loadName, horizon)
-	if err != nil {
-		return err
-	}
-	cl, err := load.Compile(l, dkibam.PaperStepMin, dkibam.PaperUnitAmpMin)
-	if err != nil {
-		return err
-	}
-	d, err := dkibam.Discretize(b, dkibam.PaperStepMin, dkibam.PaperUnitAmpMin)
-	if err != nil {
-		return err
-	}
-	ds := make([]*dkibam.Discretization, count)
-	for i := range ds {
-		ds[i] = d
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := takibam.ExportUppaal(f, ds, cl); err != nil {
+	if err := c.ExportUppaal(f); err != nil {
 		return err
 	}
 	fmt.Printf("Uppaal model written to %s\n", path)
 	return nil
 }
 
-func pickBattery(name string) (battery.Params, error) {
-	switch strings.ToUpper(name) {
-	case "B1":
-		return battery.B1(), nil
-	case "B2":
-		return battery.B2(), nil
-	default:
-		return battery.Params{}, fmt.Errorf("unknown battery %q", name)
-	}
-}
-
-func run(batteryName string, count int, loadName string, horizon float64, direct bool, budget int, verbose bool) error {
-	b, err := pickBattery(batteryName)
-	if err != nil {
-		return err
-	}
-	l, err := load.Paper(loadName, horizon)
-	if err != nil {
-		return err
-	}
-	p, err := core.NewProblem(battery.Bank(b, count), l)
-	if err != nil {
-		return err
-	}
-
+func run(p *batsched.Problem, label string, direct bool, budget int, verbose bool) error {
 	lifetime, schedule, err := p.OptimalLifetime()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d x %s on %s\n", count, b, loadName)
+	fmt.Println(label)
 	fmt.Printf("optimal lifetime (direct search):  %.2f min (%d decisions)\n", lifetime, len(schedule))
 	if verbose {
 		for _, c := range schedule {
@@ -124,13 +133,13 @@ func run(batteryName string, count int, loadName string, horizon float64, direct
 		return nil
 	}
 
-	sol, err := p.OptimalLifetimeTA(mc.Options{MaxStates: budget})
+	sol, err := p.OptimalLifetimeTA(batsched.SearchOptions{MaxStates: budget})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("optimal lifetime (TA-KiBaM + model checker): %.2f min\n", sol.LifetimeMinutes)
 	fmt.Printf("  min cost %d charge units left (%.2f A·min); %d branch states, %d states touched\n",
-		sol.Cost, float64(sol.Cost)*dkibam.PaperUnitAmpMin, sol.BranchStates, sol.TouchedStates)
+		sol.Cost, float64(sol.Cost)*batsched.PaperUnitAmpMin, sol.BranchStates, sol.TouchedStates)
 	if verbose {
 		for _, a := range sol.Schedule {
 			fmt.Printf("  %7.2f min  go_on -> battery %d\n", a.Minutes, a.Battery+1)

@@ -1,0 +1,81 @@
+// Command batserve is the long-lived HTTP evaluation service of the
+// battery-scheduling reproduction. It serves the serializable scenario API
+// over four endpoints:
+//
+//	GET  /healthz      liveness plus compiled-cache counters
+//	GET  /v1/policies  every solver addressable by name (with aliases)
+//	POST /v1/run       evaluate one scenario cell  -> one JSON object
+//	POST /v1/sweep     evaluate a scenario grid    -> NDJSON, one cell per
+//	                   line in deterministic nested order, streamed as
+//	                   results complete
+//
+// Scenarios are JSON (see internal/spec): banks are presets or custom KiBaM
+// parameters, loads are paper names, inline segments, or load-file text,
+// and solvers are registry names with optional parameters. Compiled
+// artifacts are cached across requests keyed by the resolved
+// (bank, load, grid) content, so many clients probing the same grid share
+// one discretization.
+//
+// Usage:
+//
+//	batserve [-addr :8080] [-concurrency N] [-cache N]
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/run -d '{
+//	  "bank":   {"battery": {"preset": "B1"}, "count": 2},
+//	  "load":   {"paper": "ILs alt"},
+//	  "solver": "bestof"
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"batsched"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	concurrency := flag.Int("concurrency", 0, "max concurrently executing requests (0 = number of CPUs)")
+	cacheSize := flag.Int("cache", 0, "compiled-artifact cache entries (0 = default)")
+	flag.Parse()
+
+	svc := batsched.NewEvalService(batsched.EvalOptions{
+		MaxConcurrent: *concurrency,
+		CacheEntries:  *cacheSize,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("batserve: listening on %s\n", *addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "batserve: %v\n", err)
+		os.Exit(1)
+	case <-stop:
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "batserve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"batsched"
+)
+
+// maxRequestBytes bounds request bodies; scenario JSON is small, and an
+// open evaluation service should not buffer arbitrary uploads.
+const maxRequestBytes = 4 << 20
+
+// streamWriteTimeout bounds each NDJSON line write so a connected client
+// that stops reading cannot wedge a sweep's workers behind a full TCP
+// buffer.
+const streamWriteTimeout = 30 * time.Second
+
+// newHandler wires the API routes onto a fresh mux. It takes the service
+// (not a global) so httptest can stand up isolated instances.
+func newHandler(svc *batsched.EvalService) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", handleHealth(svc))
+	mux.HandleFunc("GET /v1/policies", handlePolicies)
+	mux.HandleFunc("POST /v1/run", handleRun(svc))
+	mux.HandleFunc("POST /v1/sweep", handleSweep(svc))
+	return mux
+}
+
+// writeJSON writes v as a single JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps an error to a JSON {"error": ...} payload.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decodeBody strictly decodes one JSON value from the request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// handleHealth reports liveness plus the compiled-cache counters, which
+// double as a cheap load indicator.
+func handleHealth(svc *batsched.EvalService) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st := svc.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ok",
+			"cache_entries":  st.Entries,
+			"cache_compiles": st.Compiles,
+			"cache_hits":     st.Hits,
+		})
+	}
+}
+
+// policyInfo is one registry entry in wire form.
+type policyInfo struct {
+	Name    string   `json:"name"`
+	Aliases []string `json:"aliases,omitempty"`
+	Doc     string   `json:"doc"`
+}
+
+// handlePolicies lists every solver the registry (and thus the whole API
+// surface) can address by name.
+func handlePolicies(w http.ResponseWriter, r *http.Request) {
+	builders := batsched.Solvers()
+	out := make([]policyInfo, len(builders))
+	for i, b := range builders {
+		out[i] = policyInfo{Name: b.Name, Aliases: b.Aliases, Doc: b.Doc}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"policies": out})
+}
+
+// handleRun evaluates a single scenario cell.
+func handleRun(svc *batsched.EvalService) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req batsched.RunRequest
+		if err := decodeBody(w, r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := svc.Evaluate(r.Context(), req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		if res.Error != "" {
+			// The cell is well-formed but the solver failed (budget
+			// exhausted, horizon too short, ...): the request itself is not
+			// at fault.
+			writeJSON(w, http.StatusUnprocessableEntity, res)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// handleSweep evaluates a scenario grid, streaming one NDJSON line per cell
+// in deterministic nested order as soon as each result's predecessors are
+// done.
+func handleSweep(svc *batsched.EvalService) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req batsched.SweepRequest
+		if err := decodeBody(w, r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		// The header is deferred until the first result: SweepStream
+		// validates the scenario itself (once — no separate Validate pass),
+		// so spec errors still surface with a proper status code.
+		flusher, _ := w.(http.Flusher)
+		rc := http.NewResponseController(w)
+		enc := json.NewEncoder(w)
+		streaming := false
+		// The connection outlives this handler (keep-alive), so the per-line
+		// deadline must not leak into the next request on it.
+		defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
+		err := svc.SweepStream(r.Context(), req, func(res batsched.EvalResult) error {
+			if !streaming {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.WriteHeader(http.StatusOK)
+				streaming = true
+			}
+			// A connected client that stops reading would otherwise block
+			// this write forever — and with it the sweep's workers and a
+			// service concurrency slot. Bound each line; a missed deadline
+			// fails the emit, which cancels the sweep's remaining cells.
+			_ = rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+		if err != nil && !streaming {
+			var invalid *batsched.InvalidRequestError
+			if errors.As(err, &invalid) {
+				writeError(w, http.StatusBadRequest, err)
+			} else {
+				writeError(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		// After the first line the headers are out; an error mid-stream can
+		// only cut the stream short.
+	}
+}
+
+// statusFor distinguishes caller mistakes (bad spec → 400) from server
+// trouble.
+func statusFor(err error) int {
+	var invalid *batsched.InvalidRequestError
+	if errors.As(err, &invalid) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}

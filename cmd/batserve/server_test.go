@@ -1,0 +1,363 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"batsched"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *batsched.EvalService) {
+	t.Helper()
+	svc := batsched.NewEvalService(batsched.EvalOptions{})
+	ts := httptest.NewServer(newHandler(svc))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+const runBody = `{
+	"bank":   {"battery": {"preset": "B1"}, "count": 2},
+	"load":   {"paper": "ILs alt"},
+	"solver": "bestof"
+}`
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Status       string `json:"status"`
+		CacheEntries int    `json:"cache_entries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" {
+		t.Fatalf("status %q", body.Status)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Policies []struct {
+			Name    string   `json:"name"`
+			Aliases []string `json:"aliases"`
+			Doc     string   `json:"doc"`
+		} `json:"policies"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, p := range body.Policies {
+		names[p.Name] = true
+		if p.Doc == "" {
+			t.Errorf("policy %q has no doc", p.Name)
+		}
+	}
+	// Every scheme the root package exports must be name-addressable here.
+	for _, want := range []string{
+		"sequential", "roundrobin", "bestof", "lookahead",
+		"optimal", "optimal-ta", "analytic", "montecarlo",
+	} {
+		if !names[want] {
+			t.Errorf("/v1/policies misses %q (have %v)", want, names)
+		}
+	}
+	if got := len(body.Policies); got != len(batsched.Solvers()) {
+		t.Errorf("listed %d policies, registry has %d", got, len(batsched.Solvers()))
+	}
+}
+
+func TestRun(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/run", runBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var res batsched.EvalResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.LifetimeMin < 16.27 || res.LifetimeMin > 16.29 {
+		t.Fatalf("lifetime %.2f, want ~16.28 (Table 5)", res.LifetimeMin)
+	}
+	if res.Bank != "2xB1" || res.Load != "ILs alt" || res.Solver != "best-of-two" {
+		t.Fatalf("labels: %+v", res)
+	}
+}
+
+func TestRunParameterisedSolver(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := `{
+		"bank":   {"battery": {"preset": "B1"}, "count": 2},
+		"load":   {"paper": "ILs alt"},
+		"solver": {"lookahead": {"horizon": 5}}
+	}`
+	resp, data := postJSON(t, ts.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var res batsched.EvalResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Solver != "lookahead-5min" || res.LifetimeMin <= 0 {
+		t.Fatalf("lookahead run: %+v", res)
+	}
+}
+
+func TestRunBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := map[string]string{
+		"not json":         `{`,
+		"unknown field":    `{"bank":{},"load":{},"solver":"bestof","frob":1}`,
+		"unknown solver":   `{"bank":{"battery":{"preset":"B1"}},"load":{"paper":"ILs alt"},"solver":"greedy"}`,
+		"unknown preset":   `{"bank":{"battery":{"preset":"B9"}},"load":{"paper":"ILs alt"},"solver":"bestof"}`,
+		"9xB1 optimal":     `{"bank":{"battery":{"preset":"B1"},"count":9},"load":{"paper":"ILs alt"},"solver":"optimal"}`,
+		"negative horizon": `{"bank":{"battery":{"preset":"B1"}},"load":{"paper":"ILs alt","horizon_min":-5},"solver":"bestof"}`,
+	}
+	for name, body := range cases {
+		resp, data := postJSON(t, ts.URL+"/v1/run", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, resp.StatusCode, data)
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error payload %s", name, data)
+		}
+	}
+}
+
+func TestRunSolverFailureIs422(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := `{
+		"bank":   {"battery": {"preset": "B1"}, "count": 2},
+		"load":   {"paper": "ILs alt"},
+		"solver": {"optimal-ta": {"budget": 1}}
+	}`
+	resp, data := postJSON(t, ts.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, data)
+	}
+	var res batsched.EvalResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Error, "budget") {
+		t.Fatalf("cell error %q", res.Error)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/run status %d, want 405", resp.StatusCode)
+	}
+}
+
+const sweepBody = `{
+	"scenario": {
+		"banks":   [{"battery": {"preset": "B1"}, "count": 2}],
+		"loads":   [{"paper": "CL alt"}, {"paper": "ILs alt"}],
+		"solvers": ["sequential", "bestof", "optimal"]
+	}
+}`
+
+func TestSweepNDJSON(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q, want application/x-ndjson", ct)
+	}
+	var results []batsched.EvalResult
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var r batsched.EvalResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("%d lines, want 6", len(results))
+	}
+	// Deterministic nested order and Table 5 values.
+	wantOrder := []string{
+		"CL alt/sequential", "CL alt/best-of-two", "CL alt/optimal",
+		"ILs alt/sequential", "ILs alt/best-of-two", "ILs alt/optimal",
+	}
+	for i, r := range results {
+		if got := r.Load + "/" + r.Solver; got != wantOrder[i] {
+			t.Errorf("line %d = %q, want %q", i, got, wantOrder[i])
+		}
+		if r.Error != "" || r.LifetimeMin <= 0 {
+			t.Errorf("line %d: %+v", i, r)
+		}
+	}
+	if lt := results[3].LifetimeMin; fmt.Sprintf("%.2f", lt) != "12.38" {
+		t.Errorf("ILs alt sequential %.2f, want 12.38 (Table 5)", lt)
+	}
+	if lt := results[5].LifetimeMin; fmt.Sprintf("%.2f", lt) != "16.90" {
+		t.Errorf("ILs alt optimal %.2f, want 16.90 (Table 5)", lt)
+	}
+}
+
+// TestSweepMatchesLibraryBytes is the issue's acceptance check: the same
+// scenario JSON produces byte-identical lifetimes via the library and via
+// POST /v1/sweep.
+func TestSweepMatchesLibraryBytes(t *testing.T) {
+	const scenarioJSON = `{
+		"banks":   [{"battery": {"preset": "B1"}, "count": 2}],
+		"loads":   [{"paper": "ILs alt"}],
+		"solvers": ["sequential", "bestof"]
+	}`
+	sc, err := batsched.ParseScenario([]byte(scenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	library, err := batsched.RunSweep(sp, batsched.SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts, _ := newTestServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/sweep", `{"scenario":`+scenarioJSON+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) != len(library) {
+		t.Fatalf("%d lines vs %d library results", len(lines), len(library))
+	}
+	for i, line := range lines {
+		var r batsched.EvalResult
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatal(err)
+		}
+		if wire := fmt.Sprintf("%v", r.LifetimeMin); wire != fmt.Sprintf("%v", library[i].Lifetime) {
+			t.Errorf("cell %d: HTTP %s != library %v", i, wire, library[i].Lifetime)
+		}
+	}
+}
+
+func TestSweepBadScenario(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/sweep",
+		`{"scenario":{"banks":[{"battery":{"preset":"B1"}}],"loads":[{"paper":"ILs alt"}],"solvers":["greedy"]}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+	}
+	if !bytes.Contains(data, []byte("unknown solver")) {
+		t.Fatalf("error payload %s", data)
+	}
+}
+
+// TestConcurrentClientsShareCompiledArtifact drives many concurrent HTTP
+// clients at the same cell and asserts the service compiled it exactly
+// once.
+func TestConcurrentClientsShareCompiledArtifact(t *testing.T) {
+	ts, svc := newTestServer(t)
+	const clients = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(runBody))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			var res batsched.EvalResult
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				errs <- err
+				return
+			}
+			if res.LifetimeMin < 16.27 || res.LifetimeMin > 16.29 {
+				errs <- fmt.Errorf("lifetime %v", res.LifetimeMin)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if st.Compiles != 1 {
+		t.Fatalf("compiled %d times for %d identical clients, want 1", st.Compiles, clients)
+	}
+	if st.Hits != clients-1 {
+		t.Fatalf("cache hits %d, want %d", st.Hits, clients-1)
+	}
+}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	batsim [-battery B1|B2] [-capacity AMPMIN] [-n COUNT] [-load NAME]
-//	       [-policy sequential|roundrobin|bestof] [-horizon MIN]
+//	       [-policy sequential|roundrobin|bestof|lookahead:MIN] [-horizon MIN]
 //	       [-continuous] [-trace FILE] [-sample N]
 //
 // With -sweep it instead expands a scenario grid — banks × loads × policies
@@ -16,11 +16,17 @@
 //	batsim -sweep [-banks 2xB1,2xB2] [-loads all|NAME,NAME,...]
 //	       [-policies seq,rr,bestof,optimal] [-workers N] [-horizon MIN]
 //
+// With -spec it runs a serializable scenario file (the same JSON the
+// batserve HTTP service accepts) and prints one row per cell:
+//
+//	batsim -spec scenario.json [-workers N]
+//
 // Examples:
 //
 //	batsim -n 2 -load "ILs alt" -policy bestof
 //	batsim -battery B2 -load "CL 250" -policy sequential -continuous
 //	batsim -sweep -banks 2xB1 -loads all -policies seq,rr,bestof,optimal
+//	batsim -spec table5.json
 package main
 
 import (
@@ -28,16 +34,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 	"text/tabwriter"
 
-	"batsched/internal/battery"
-	"batsched/internal/core"
-	"batsched/internal/experiments"
-	"batsched/internal/load"
-	"batsched/internal/sched"
-	"batsched/internal/sweep"
+	"batsched"
 )
 
 func main() {
@@ -47,41 +47,75 @@ func main() {
 	loadName := flag.String("load", "ILs alt", "paper load name (CL 250, ILs alt, ILl 500, ...)")
 	loadFile := flag.String("loadfile", "", "read the load from a file instead (see internal/load.Parse for the format)")
 	policyName := flag.String("policy", "bestof", "scheduling policy: sequential, roundrobin, bestof, lookahead:MIN")
-	horizon := flag.Float64("horizon", experiments.Horizon, "load horizon in minutes")
+	horizon := flag.Float64("horizon", batsched.DefaultHorizonMin, "load horizon in minutes")
 	continuous := flag.Bool("continuous", false, "simulate on the continuous KiBaM instead of the discretized model")
 	tracePath := flag.String("trace", "", "write a TSV charge trace to this file (discrete mode only)")
 	sample := flag.Int("sample", 10, "trace sampling interval in steps")
 	doSweep := flag.Bool("sweep", false, "run a scenario sweep instead of a single simulation")
+	specPath := flag.String("spec", "", "run a serializable scenario file (JSON) instead of flag wiring")
 	banksSpec := flag.String("banks", "2xB1", "sweep banks, comma-separated NxB1/NxB2 (e.g. 2xB1,1xB2)")
 	loadsSpec := flag.String("loads", "all", "sweep loads: 'all' or comma-separated paper load names")
-	policiesSpec := flag.String("policies", "seq,rr,bestof", "sweep policies, comma-separated (seq, rr, bestof, lookahead:MIN, optimal)")
+	policiesSpec := flag.String("policies", "seq,rr,bestof", "sweep policies, comma-separated registry names (seq, rr, bestof, lookahead:MIN, optimal, optimal-ta, montecarlo)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = number of CPUs)")
 	flag.Parse()
 
-	if *doSweep {
-		if err := runSweep(*banksSpec, *loadsSpec, *policiesSpec, *horizon, *workers, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "batsim: %v\n", err)
-			os.Exit(1)
+	var err error
+	switch {
+	case *specPath != "":
+		err = runSpecFile(*specPath, *workers, os.Stdout)
+	case *doSweep:
+		err = runSweep(*banksSpec, *loadsSpec, *policiesSpec, *horizon, *workers, os.Stdout)
+	default:
+		if *loadFile != "" {
+			*loadName = *loadFile
 		}
-		return
+		err = run(*batteryName, *capacity, *count, *loadName, *policyName, *horizon, *continuous, *tracePath, *sample)
 	}
-	if *loadFile != "" {
-		*loadName = *loadFile
-	}
-	if err := run(*batteryName, *capacity, *count, *loadName, *policyName, *horizon, *continuous, *tracePath, *sample); err != nil {
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "batsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// runSweep expands the flag grammar into a sweep.Spec, runs it, and prints
-// one aligned row per scenario.
+// runSpecFile executes a serializable scenario file — the exact JSON the
+// batserve /v1/sweep endpoint accepts — and prints one row per cell.
+func runSpecFile(path string, workers int, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	scenario, err := batsched.ParseScenario(data)
+	if err != nil {
+		return err
+	}
+	spec, err := scenario.Compile()
+	if err != nil {
+		return err
+	}
+	results, err := batsched.RunSweep(spec, batsched.SweepOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "grid\tbank\tload\tpolicy\tlifetime-min\tdecisions")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\terror: %v\t\n", r.Grid, r.Bank, r.Load, r.Policy, r.Err)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.2f\t%d\n", r.Grid, r.Bank, r.Load, r.Policy, r.Lifetime, r.Decisions)
+	}
+	return tw.Flush()
+}
+
+// runSweep expands the flag grammar into a compiled scenario, runs it, and
+// prints one aligned row per scenario.
 func runSweep(banksSpec, loadsSpec, policiesSpec string, horizon float64, workers int, w io.Writer) error {
 	spec, err := buildSweepSpec(banksSpec, loadsSpec, policiesSpec, horizon)
 	if err != nil {
 		return err
 	}
-	results, err := sweep.Run(spec, sweep.Options{Workers: workers})
+	results, err := batsched.RunSweep(spec, batsched.SweepOptions{Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -97,49 +131,35 @@ func runSweep(banksSpec, loadsSpec, policiesSpec string, horizon float64, worker
 	return tw.Flush()
 }
 
-// buildSweepSpec parses the comma-separated bank, load, and policy lists.
-func buildSweepSpec(banksSpec, loadsSpec, policiesSpec string, horizon float64) (sweep.Spec, error) {
-	var spec sweep.Spec
+// buildSweepSpec parses the comma-separated bank, load, and policy lists
+// into a serializable scenario and compiles it.
+func buildSweepSpec(banksSpec, loadsSpec, policiesSpec string, horizon float64) (batsched.SweepSpec, error) {
+	var scenario batsched.Scenario
 	for _, s := range strings.Split(banksSpec, ",") {
-		s = strings.TrimSpace(s)
-		countStr, batName, ok := strings.Cut(s, "x")
-		if !ok {
-			return spec, fmt.Errorf("bad bank %q (want NxB1 or NxB2)", s)
-		}
-		n, err := strconv.Atoi(countStr)
-		if err != nil || n < 1 {
-			return spec, fmt.Errorf("bad bank count in %q", s)
-		}
-		b, err := pickBattery(batName, 0)
+		bank, err := batsched.CLIBank(s)
 		if err != nil {
-			return spec, err
+			return batsched.SweepSpec{}, err
 		}
-		spec.Banks = append(spec.Banks, sweep.BankOf(s, b, n))
+		scenario.Banks = append(scenario.Banks, bank)
 	}
-	var loadNames []string
+	loadNames := batsched.PaperLoadNames()
 	if strings.TrimSpace(loadsSpec) != "all" {
+		loadNames = nil
 		for _, s := range strings.Split(loadsSpec, ",") {
 			loadNames = append(loadNames, strings.TrimSpace(s))
 		}
 	}
-	loads, err := sweep.PaperLoads(loadNames, horizon)
-	if err != nil {
-		return spec, err
+	for _, name := range loadNames {
+		scenario.Loads = append(scenario.Loads, batsched.LoadSpec{Paper: name, HorizonMin: horizon})
 	}
-	spec.Loads = loads
 	for _, s := range strings.Split(policiesSpec, ",") {
-		s = strings.TrimSpace(s)
-		if strings.EqualFold(s, "optimal") || strings.EqualFold(s, "opt") {
-			spec.Policies = append(spec.Policies, sweep.OptimalCase())
-			continue
-		}
-		p, err := pickPolicy(s)
+		solver, err := batsched.CLISolver(s)
 		if err != nil {
-			return spec, err
+			return batsched.SweepSpec{}, err
 		}
-		spec.Policies = append(spec.Policies, sweep.Policies(p)...)
+		scenario.Solvers = append(scenario.Solvers, solver)
 	}
-	return spec, nil
+	return scenario.Compile()
 }
 
 func run(batteryName string, capacity float64, count int, loadName, policyName string, horizon float64, continuous bool, tracePath string, sample int) error {
@@ -155,10 +175,10 @@ func run(batteryName string, capacity float64, count int, loadName, policyName s
 	if err != nil {
 		return err
 	}
-	bank := battery.Bank(b, count)
+	bank := batsched.Bank(b, count)
 
 	if continuous {
-		res, err := sched.ContinuousRun(bank, l, policy)
+		res, err := batsched.ContinuousRun(bank, l, policy)
 		if err != nil {
 			return err
 		}
@@ -168,7 +188,7 @@ func run(batteryName string, capacity float64, count int, loadName, policyName s
 		return nil
 	}
 
-	p, err := core.NewProblem(bank, l)
+	p, err := batsched.NewProblem(bank, l)
 	if err != nil {
 		return err
 	}
@@ -205,51 +225,28 @@ func run(batteryName string, capacity float64, count int, loadName, policyName s
 	return nil
 }
 
-func pickBattery(name string, capacity float64) (battery.Params, error) {
-	var b battery.Params
-	switch strings.ToUpper(name) {
-	case "B1":
-		b = battery.B1()
-	case "B2":
-		b = battery.B2()
-	default:
-		return battery.Params{}, fmt.Errorf("unknown battery %q (want B1 or B2)", name)
-	}
-	if capacity != 0 {
-		if capacity < 0 {
-			return battery.Params{}, fmt.Errorf("capacity override must be positive (got %v)", capacity)
-		}
-		b = b.WithCapacity(capacity)
-	}
-	return b, b.Validate()
+// pickBattery, pickPolicy, and pickLoad delegate to the shared spec-layer
+// flag grammars (the former per-main switch statements are gone).
+func pickBattery(name string, capacity float64) (batsched.BatteryParams, error) {
+	return batsched.CLIBattery(name, capacity)
 }
 
-func pickPolicy(name string) (sched.Policy, error) {
-	lower := strings.ToLower(name)
-	if rest, ok := strings.CutPrefix(lower, "lookahead:"); ok {
-		horizon, err := strconv.ParseFloat(rest, 64)
-		if err != nil || horizon <= 0 {
-			return nil, fmt.Errorf("bad lookahead horizon %q (want lookahead:MINUTES)", rest)
-		}
-		return sched.Lookahead(horizon), nil
+// pickPolicy resolves a solver name to a simulable deterministic policy.
+func pickPolicy(name string) (batsched.Policy, error) {
+	solver, err := batsched.CLISolver(name)
+	if err != nil {
+		return nil, err
 	}
-	switch lower {
-	case "sequential", "seq":
-		return sched.Sequential(), nil
-	case "roundrobin", "rr":
-		return sched.RoundRobin(), nil
-	case "bestof", "best", "bestoftwo":
-		return sched.BestAvailable(), nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q (want sequential, roundrobin, bestof, lookahead:MIN)", name)
+	pc, err := batsched.BuildSolver(solver)
+	if err != nil {
+		return nil, err
 	}
+	if pc.Policy == nil {
+		return nil, fmt.Errorf("%q is not a step-by-step policy; use -sweep or -spec for it", pc.Name)
+	}
+	return pc.Policy, nil
 }
 
-// pickLoad resolves a paper load name, or a load file when the name refers
-// to an existing file.
-func pickLoad(name string, horizon float64) (load.Load, error) {
-	if _, err := os.Stat(name); err == nil {
-		return load.ParseFile(name)
-	}
-	return load.Paper(name, horizon)
+func pickLoad(name string, horizon float64) (batsched.Load, error) {
+	return batsched.CLILoad(name, horizon)
 }

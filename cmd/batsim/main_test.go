@@ -176,3 +176,48 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("short horizon accepted")
 	}
 }
+
+// TestRunSpecFile drives the -spec path end to end: the same scenario JSON
+// the batserve HTTP service accepts must produce the same Table 5 values.
+func TestRunSpecFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	scenario := `{
+		"banks":   [{"battery": {"preset": "B1"}, "count": 2}],
+		"loads":   [{"paper": "CL alt"}, {"paper": "ILs alt"}],
+		"solvers": ["sequential", "bestof", "optimal"]
+	}`
+	if err := os.WriteFile(path, []byte(scenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := runSpecFile(path, 2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+2*3 {
+		t.Fatalf("got %d lines, want header + 6 rows:\n%s", len(lines), buf.String())
+	}
+	for _, want := range []string{
+		"paper  2xB1  CL alt   sequential   5.40",
+		"paper  2xB1  CL alt   optimal      6.46",
+		"paper  2xB1  ILs alt  best-of-two  16.28",
+		"paper  2xB1  ILs alt  optimal      16.90",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output misses %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRunSpecFileErrors(t *testing.T) {
+	if err := runSpecFile(filepath.Join(t.TempDir(), "nope.json"), 1, &strings.Builder{}); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"banks":[],"loads":[],"solvers":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSpecFile(bad, 1, &strings.Builder{}); err == nil {
+		t.Fatal("empty scenario accepted")
+	}
+}

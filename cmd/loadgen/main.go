@@ -12,15 +12,15 @@ import (
 	"fmt"
 	"os"
 
-	"batsched/internal/dkibam"
+	"batsched"
 	"batsched/internal/load"
 )
 
 func main() {
 	loadName := flag.String("load", "ILs alt", "paper load name")
 	horizon := flag.Float64("horizon", 40, "load horizon in minutes")
-	step := flag.Float64("step", dkibam.PaperStepMin, "time step T in minutes")
-	unit := flag.Float64("unit", dkibam.PaperUnitAmpMin, "charge unit Gamma in A·min")
+	step := flag.Float64("step", batsched.PaperStepMin, "time step T in minutes")
+	unit := flag.Float64("unit", batsched.PaperUnitAmpMin, "charge unit Gamma in A·min")
 	format := flag.String("format", "table", "output format: table or go")
 	flag.Parse()
 
@@ -31,7 +31,7 @@ func main() {
 }
 
 func run(name string, horizon, step, unit float64, format string) error {
-	l, err := load.Paper(name, horizon)
+	l, err := batsched.CLILoad(name, horizon)
 	if err != nil {
 		return err
 	}

@@ -6,18 +6,26 @@
 // Usage:
 //
 //	tables [-table 3|4|5|capacity|lookahead|multi|all] [-ta] [-budget N]
+//	tables -spec scenario.json [-workers N]
 //
 // With -ta, the optimal schedules are additionally computed through the
 // priced-timed-automata model checker (slow for the ILl 250 load; raise
 // -budget if it exhausts its state budget). The "lookahead" and "multi"
 // tables are extensions beyond the paper; see EXPERIMENTS.md.
+//
+// With -spec, any serializable scenario file (the same JSON batsim -spec
+// and the batserve service accept) is rendered as a Table-5-style pivot:
+// one row per grid × bank × load, one lifetime column per solver.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"text/tabwriter"
 
+	"batsched"
 	"batsched/internal/experiments"
 )
 
@@ -25,7 +33,17 @@ func main() {
 	table := flag.String("table", "all", "which table to print: 3, 4, 5, capacity, all")
 	viaTA := flag.Bool("ta", false, "also run the priced-timed-automata checker for optimal schedules")
 	budget := flag.Int("budget", 0, "state budget for the timed-automata checker (0 = default)")
+	specPath := flag.String("spec", "", "render a serializable scenario file (JSON) as a pivot table")
+	workers := flag.Int("workers", 0, "sweep worker pool size for -spec (0 = number of CPUs)")
 	flag.Parse()
+
+	if *specPath != "" {
+		if err := printSpec(*specPath, *workers, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string, f func() error) {
 		if *table != "all" && *table != name {
@@ -42,6 +60,57 @@ func main() {
 	run("capacity", printCapacity)
 	run("lookahead", printLookahead)
 	run("multi", printMultiBattery)
+}
+
+// printSpec runs a scenario file and pivots the results into a table: one
+// row per grid × bank × load cell, one lifetime column per solver, in the
+// scenario's deterministic order. Reproducing Table 5 becomes a single
+// scenario file (see EXPERIMENTS.md).
+func printSpec(path string, workers int, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	scenario, err := batsched.ParseScenario(data)
+	if err != nil {
+		return err
+	}
+	spec, err := scenario.Compile()
+	if err != nil {
+		return err
+	}
+	results, err := batsched.RunSweep(spec, batsched.SweepOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+
+	solvers := len(spec.Policies)
+	multiGrid := len(spec.Grids) > 1
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	header := "bank\tload"
+	if multiGrid {
+		header = "grid\t" + header
+	}
+	for _, p := range spec.Policies {
+		header += "\t" + p.Name
+	}
+	fmt.Fprintln(tw, header)
+	for row := 0; row < len(results); row += solvers {
+		r := results[row]
+		line := fmt.Sprintf("%s\t%s", r.Bank, r.Load)
+		if multiGrid {
+			line = r.Grid + "\t" + line
+		}
+		for _, cell := range results[row : row+solvers] {
+			if cell.Err != nil {
+				line += fmt.Sprintf("\terror: %v", cell.Err)
+				continue
+			}
+			line += fmt.Sprintf("\t%.2f", cell.Lifetime)
+		}
+		fmt.Fprintln(tw, line)
+	}
+	return tw.Flush()
 }
 
 func printLookahead() error {

@@ -21,6 +21,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 
 	"batsched/internal/battery"
@@ -227,6 +228,12 @@ func (c *Compiled) OptimalLifetimeParallel(workers int) (float64, sched.Schedule
 // problem.
 func (c *Compiled) BuildTA() (*takibam.Model, error) {
 	return takibam.Build(c.discs, c.cl)
+}
+
+// ExportUppaal writes the problem's TA-KiBaM network as an Uppaal 4.x XML
+// model for cross-checking against the paper's original toolchain.
+func (c *Compiled) ExportUppaal(w io.Writer) error {
+	return takibam.ExportUppaal(w, c.discs, c.cl)
 }
 
 // OptimalLifetimeTA computes the optimal schedule with the paper's method:

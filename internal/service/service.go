@@ -1,0 +1,290 @@
+// Package service is the long-lived evaluation layer between the
+// serializable scenario spec (internal/spec) and the sweep engine
+// (internal/sweep). A Service answers Evaluate (one scenario cell) and
+// Sweep (a whole grid) requests, bounds how many requests execute
+// concurrently, and caches Compiled artifacts keyed by the resolved
+// (bank, load, grid) content so that repeated and overlapping requests —
+// the service is meant to sit behind cmd/batserve and many concurrent
+// clients — share one discretization instead of recompiling per request.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"batsched/internal/battery"
+	"batsched/internal/core"
+	"batsched/internal/load"
+	"batsched/internal/spec"
+	"batsched/internal/sweep"
+)
+
+// Options tune a Service.
+type Options struct {
+	// MaxConcurrent bounds how many requests execute at once; further
+	// requests block (or fail when their context is cancelled). <= 0 means
+	// runtime.NumCPU().
+	MaxConcurrent int
+	// CacheEntries bounds the compiled-artifact cache; <= 0 means 256.
+	// Eviction is FIFO: scenario grids revisit the same cells, so recency
+	// tracking buys little over insertion order here.
+	CacheEntries int
+}
+
+// DefaultCacheEntries is the compiled-cache bound when Options.CacheEntries
+// is unset.
+const DefaultCacheEntries = 256
+
+// Service evaluates scenarios with bounded concurrency and a shared
+// compiled-artifact cache. It is safe for concurrent use.
+type Service struct {
+	sem     chan struct{}
+	maxSize int
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+	order []string
+
+	compiles atomic.Int64
+	hits     atomic.Int64
+}
+
+// cacheEntry builds its artifact at most once; concurrent requests for the
+// same cell block on the first builder instead of compiling twice.
+type cacheEntry struct {
+	once sync.Once
+	c    *core.Compiled
+	err  error
+}
+
+// New builds a Service.
+func New(opts Options) *Service {
+	workers := opts.MaxConcurrent
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	size := opts.CacheEntries
+	if size <= 0 {
+		size = DefaultCacheEntries
+	}
+	return &Service{
+		sem:     make(chan struct{}, workers),
+		maxSize: size,
+		cache:   make(map[string]*cacheEntry),
+	}
+}
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	// Compiles counts cells actually compiled; Hits counts requests served
+	// from the cache; Entries is the current cache size.
+	Compiles int64
+	Hits     int64
+	Entries  int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	entries := len(s.cache)
+	s.mu.Unlock()
+	return Stats{Compiles: s.compiles.Load(), Hits: s.hits.Load(), Entries: entries}
+}
+
+// Result is one evaluated scenario cell in wire form.
+type Result struct {
+	Grid        string  `json:"grid"`
+	Bank        string  `json:"bank"`
+	Load        string  `json:"load"`
+	Solver      string  `json:"solver"`
+	LifetimeMin float64 `json:"lifetime_min"`
+	Decisions   int     `json:"decisions"`
+	// Error is the per-cell failure; one bad cell does not abort a sweep.
+	Error string `json:"error,omitempty"`
+}
+
+// SweepRequest asks for a whole scenario grid.
+type SweepRequest struct {
+	Scenario spec.Scenario `json:"scenario"`
+	// Workers bounds the sweep's worker pool (0 = number of CPUs).
+	Workers int `json:"workers,omitempty"`
+}
+
+// RunRequest asks for a single scenario cell.
+type RunRequest = spec.Run
+
+// InvalidRequestError wraps spec-level validation failures (unknown solver,
+// malformed bank, ...) so transports can map them to client-error statuses
+// without knowing every spec sentinel.
+type InvalidRequestError struct{ Err error }
+
+func (e *InvalidRequestError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying spec error for errors.Is checks.
+func (e *InvalidRequestError) Unwrap() error { return e.Err }
+
+// Evaluate runs one scenario cell. Spec-level problems (unknown solver,
+// invalid bank, ...) come back as an error; a solver failure on a valid
+// cell is reported in Result.Error.
+func (s *Service) Evaluate(ctx context.Context, req RunRequest) (Result, error) {
+	results, err := s.Sweep(ctx, SweepRequest{Scenario: req.Scenario(), Workers: 1})
+	if err != nil {
+		return Result{}, err
+	}
+	if len(results) != 1 {
+		return Result{}, fmt.Errorf("service: run expanded to %d cells, want 1", len(results))
+	}
+	return results[0], nil
+}
+
+// Sweep evaluates every cell of the scenario grid and returns the results
+// in deterministic nested order (grid, bank, load, solver).
+func (s *Service) Sweep(ctx context.Context, req SweepRequest) ([]Result, error) {
+	var out []Result
+	err := s.SweepStream(ctx, req, func(r Result) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SweepStream evaluates the scenario grid and emits each result as soon as
+// it and all its predecessors in the deterministic order are done, so
+// consumers (the NDJSON endpoint) stream a stable order without waiting for
+// the whole grid. An emit error stops further emission and is returned.
+func (s *Service) SweepStream(ctx context.Context, req SweepRequest, emit func(Result) error) error {
+	sp, err := req.Scenario.Compile()
+	if err != nil {
+		return &InvalidRequestError{Err: err}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+
+	// cancel aborts the sweep's remaining cells when the caller goes away
+	// (ctx) or stops consuming (emit error) — abandoned requests must not
+	// keep burning CPU while holding a semaphore slot.
+	cancel := make(chan struct{})
+	var cancelOnce sync.Once
+	stop := func() { cancelOnce.Do(func() { close(cancel) }) }
+	finished := make(chan struct{})
+	defer close(finished)
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop()
+		case <-finished:
+		}
+	}()
+
+	pending := make(map[int]Result)
+	next := 0
+	var emitErr error
+	opts := sweep.Options{
+		Workers: req.Workers,
+		Compile: s.cachedCompile,
+		Cancel:  cancel,
+		OnResult: func(i int, r sweep.Result) {
+			if emitErr != nil {
+				return
+			}
+			pending[i] = fromSweep(r)
+			for {
+				res, ok := pending[next]
+				if !ok {
+					return
+				}
+				delete(pending, next)
+				if err := emit(res); err != nil {
+					emitErr = err
+					stop()
+					return
+				}
+				next++
+			}
+		},
+	}
+	if _, err := sweep.Run(sp, opts); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return emitErr
+}
+
+// fromSweep converts an engine result to wire form.
+func fromSweep(r sweep.Result) Result {
+	out := Result{
+		Grid:        r.Grid,
+		Bank:        r.Bank,
+		Load:        r.Load,
+		Solver:      r.Policy,
+		LifetimeMin: r.Lifetime,
+		Decisions:   r.Decisions,
+	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+	}
+	return out
+}
+
+// cachedCompile is the sweep Compile hook: one Compiled artifact per
+// distinct (bank, load, grid) content, shared across requests.
+func (s *Service) cachedCompile(bank sweep.Bank, lc sweep.LoadCase, grid sweep.GridSpec) (*core.Compiled, error) {
+	key := cellKey(bank.Batteries, lc.Load, grid)
+
+	s.mu.Lock()
+	e, ok := s.cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		s.cache[key] = e
+		s.order = append(s.order, key)
+		for len(s.order) > s.maxSize {
+			evict := s.order[0]
+			s.order = s.order[1:]
+			delete(s.cache, evict)
+		}
+	}
+	s.mu.Unlock()
+
+	if ok {
+		s.hits.Add(1)
+	}
+	e.once.Do(func() {
+		s.compiles.Add(1)
+		e.c, e.err = core.Compile(bank.Batteries, lc.Load, grid.StepMin, grid.UnitAmpMin)
+	})
+	return e.c, e.err
+}
+
+// cellKey digests the resolved compile inputs — battery parameters, load
+// epochs, grid sizes — so that two spec spellings of the same cell (say, a
+// preset and its explicit parameters) share one artifact. Names are
+// deliberately excluded: they label results, not physics.
+func cellKey(bats []battery.Params, ld load.Load, grid sweep.GridSpec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "g:%g:%g;", grid.StepMin, grid.UnitAmpMin)
+	for _, b := range bats {
+		fmt.Fprintf(h, "b:%g:%g:%g;", b.Capacity, b.C, b.KPrime)
+	}
+	for i := 0; i < ld.Len(); i++ {
+		s := ld.Segment(i)
+		fmt.Fprintf(h, "l:%g:%g;", s.Duration, s.Current)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

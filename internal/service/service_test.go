@@ -1,0 +1,306 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"batsched/internal/core"
+	"batsched/internal/sched"
+	"batsched/internal/spec"
+	"batsched/internal/sweep"
+)
+
+// testExecutions counts runs of the test-only "test-counting" solver. The
+// registry is process-global and Register panics on duplicates, so the
+// solver is registered at most once even under go test -count=N.
+var (
+	testExecutions   atomic.Int64
+	registerTestOnce sync.Once
+)
+
+func registerCountingSolver() {
+	registerTestOnce.Do(func() {
+		spec.Register(spec.Builder{
+			Name: "test-counting",
+			Doc:  "test-only solver counting its executions",
+			Build: func(json.RawMessage) (sweep.PolicyCase, error) {
+				return sweep.PolicyCase{
+					Name: "test-counting",
+					Run: func(c *core.Compiled) (float64, int, error) {
+						testExecutions.Add(1)
+						lt, err := c.PolicyLifetime(sched.BestAvailable())
+						return lt, 0, err
+					},
+				}, nil
+			},
+		})
+	})
+	testExecutions.Store(0)
+}
+
+func twoB1ILsAlt() spec.Run {
+	return spec.Run{
+		Bank:   spec.Bank{Battery: &spec.Battery{Preset: "B1"}, Count: 2},
+		Load:   spec.Load{Paper: "ILs alt"},
+		Solver: spec.Solver{Name: "bestof"},
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	s := New(Options{})
+	res, err := s.Evaluate(context.Background(), twoB1ILsAlt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != "" {
+		t.Fatal(res.Error)
+	}
+	if res.Bank != "2xB1" || res.Load != "ILs alt" || res.Solver != "best-of-two" || res.Grid != "paper" {
+		t.Fatalf("labels: %+v", res)
+	}
+	// Paper Table 5: best-of-two on ILs alt lives 16.28 min.
+	if res.LifetimeMin < 16.27 || res.LifetimeMin > 16.29 {
+		t.Fatalf("lifetime %.2f, want ~16.28", res.LifetimeMin)
+	}
+	if res.Decisions == 0 {
+		t.Fatal("no decisions recorded")
+	}
+}
+
+func TestEvaluateSpecError(t *testing.T) {
+	s := New(Options{})
+	req := twoB1ILsAlt()
+	req.Solver = spec.Solver{Name: "greedy"}
+	if _, err := s.Evaluate(context.Background(), req); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+}
+
+func TestEvaluateRuntimeErrorInResult(t *testing.T) {
+	s := New(Options{})
+	req := twoB1ILsAlt()
+	sv, err := spec.NamedSolver("optimal-ta", spec.OptimalTAParams{Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Solver = sv
+	res, err := s.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Error, "budget") {
+		t.Fatalf("expected budget-exhausted cell error, got %+v", res)
+	}
+}
+
+// TestSweepMatchesLibrary asserts the service path produces byte-identical
+// lifetimes to a direct library sweep of the same scenario.
+func TestSweepMatchesLibrary(t *testing.T) {
+	sc := spec.Scenario{
+		Banks:   []spec.Bank{{Battery: &spec.Battery{Preset: "B1"}, Count: 2}},
+		Loads:   []spec.Load{{Paper: "CL alt"}, {Paper: "ILs alt"}},
+		Solvers: []spec.Solver{{Name: "sequential"}, {Name: "bestof"}, {Name: "optimal"}},
+	}
+	sp, err := sc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sweep.Run(sp, sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Options{})
+	results, err := s.Sweep(context.Background(), SweepRequest{Scenario: sc, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(direct) {
+		t.Fatalf("%d results, want %d", len(results), len(direct))
+	}
+	for i, r := range results {
+		d := direct[i]
+		if r.Bank != d.Bank || r.Load != d.Load || r.Solver != d.Policy {
+			t.Fatalf("result %d order drifted: %+v vs %+v", i, r, d)
+		}
+		if r.LifetimeMin != d.Lifetime {
+			t.Errorf("%s/%s/%s: service %v != library %v", r.Bank, r.Load, r.Solver, r.LifetimeMin, d.Lifetime)
+		}
+	}
+}
+
+// TestConcurrentCacheReuse is the issue's acceptance test: many concurrent
+// clients asking for the same (bank, load, grid) share a single Compiled
+// artifact.
+func TestConcurrentCacheReuse(t *testing.T) {
+	s := New(Options{MaxConcurrent: 8})
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.Evaluate(context.Background(), twoB1ILsAlt())
+			if err == nil && res.Error != "" {
+				err = context.DeadlineExceeded // any sentinel; the text matters below
+			}
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Compiles != 1 {
+		t.Fatalf("compiled %d times for %d identical clients, want 1", st.Compiles, clients)
+	}
+	if st.Hits != clients-1 {
+		t.Fatalf("cache hits %d, want %d", st.Hits, clients-1)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("cache entries %d, want 1", st.Entries)
+	}
+}
+
+// TestCacheKeySemantics: a preset and its spelled-out parameters are the
+// same physics and must share one artifact; a different grid must not.
+func TestCacheKeySemantics(t *testing.T) {
+	s := New(Options{})
+	ctx := context.Background()
+
+	if _, err := s.Evaluate(ctx, twoB1ILsAlt()); err != nil {
+		t.Fatal(err)
+	}
+	explicit := twoB1ILsAlt()
+	explicit.Bank = spec.Bank{
+		Name: "explicit",
+		Batteries: []spec.Battery{
+			{Capacity: 5.5, C: 0.166, KPrime: 0.122},
+			{Capacity: 5.5, C: 0.166, KPrime: 0.122},
+		},
+	}
+	if _, err := s.Evaluate(ctx, explicit); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Compiles != 1 {
+		t.Fatalf("equivalent banks compiled %d times, want 1", st.Compiles)
+	}
+
+	coarser := twoB1ILsAlt()
+	coarser.Grid = &spec.Grid{StepMin: 0.02, UnitAmpMin: 0.02}
+	if _, err := s.Evaluate(ctx, coarser); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Compiles != 2 {
+		t.Fatalf("distinct grid reused stale artifact (compiles %d, want 2)", st.Compiles)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	s := New(Options{CacheEntries: 2})
+	ctx := context.Background()
+	for _, name := range []string{"CL 250", "CL 500", "CL alt"} {
+		req := twoB1ILsAlt()
+		req.Load = spec.Load{Paper: name, HorizonMin: 50}
+		if _, err := s.Evaluate(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Entries != 2 {
+		t.Fatalf("cache entries %d, want bound 2", st.Entries)
+	}
+}
+
+func TestSweepStreamOrder(t *testing.T) {
+	sc := spec.Scenario{
+		Banks:   []spec.Bank{{Battery: &spec.Battery{Preset: "B1"}, Count: 2}},
+		Loads:   []spec.Load{{Paper: "CL alt"}, {Paper: "ILs alt"}, {Paper: "CL 250"}},
+		Solvers: []spec.Solver{{Name: "sequential"}, {Name: "bestof"}},
+	}
+	s := New(Options{})
+	var got []string
+	err := s.SweepStream(context.Background(), SweepRequest{Scenario: sc, Workers: 4}, func(r Result) error {
+		got = append(got, r.Load+"/"+r.Solver)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"CL alt/sequential", "CL alt/best-of-two",
+		"ILs alt/sequential", "ILs alt/best-of-two",
+		"CL 250/sequential", "CL 250/best-of-two",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stream order[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSweepStreamEmitError(t *testing.T) {
+	s := New(Options{})
+	wantErr := context.Canceled
+	calls := 0
+	err := s.SweepStream(context.Background(),
+		SweepRequest{Scenario: twoB1ILsAlt().Scenario()},
+		func(Result) error { calls++; return wantErr })
+	if err != wantErr {
+		t.Fatalf("got %v, want the emit error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("emit called %d times after failing, want 1", calls)
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Evaluate(ctx, twoB1ILsAlt()); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestEmitErrorCancelsRemainingCells: a consumer that stops reading (a
+// disconnected NDJSON client) must abort the sweep's pending cells rather
+// than keep computing the whole grid.
+func TestEmitErrorCancelsRemainingCells(t *testing.T) {
+	registerCountingSolver()
+	sc := spec.Scenario{
+		Banks: []spec.Bank{{Battery: &spec.Battery{Preset: "B1"}, Count: 2}},
+		Loads: []spec.Load{
+			{Paper: "CL 250"}, {Paper: "CL 500"}, {Paper: "CL alt"},
+			{Paper: "ILs 250"}, {Paper: "ILs 500"}, {Paper: "ILs alt"},
+		},
+		Solvers: []spec.Solver{{Name: "test-counting"}},
+	}
+	s := New(Options{})
+	emits := 0
+	wantErr := context.Canceled
+	// Workers: 1 makes the sequence strict: cell 0 runs, its emit fails,
+	// and every later cell must be skipped as canceled — not executed.
+	err := s.SweepStream(context.Background(), SweepRequest{Scenario: sc, Workers: 1},
+		func(Result) error { emits++; return wantErr })
+	if err != wantErr {
+		t.Fatalf("got %v, want the emit error", err)
+	}
+	if emits != 1 {
+		t.Fatalf("emit called %d times after failing, want 1", emits)
+	}
+	if got := testExecutions.Load(); got != 1 {
+		t.Fatalf("%d cells executed after the consumer vanished, want 1", got)
+	}
+}

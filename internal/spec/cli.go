@@ -1,0 +1,72 @@
+package spec
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"batsched/internal/battery"
+	"batsched/internal/load"
+)
+
+// This file holds the flag grammars shared by the command-line tools
+// (batsim, batopt, loadgen, batserve). They resolve through the same spec
+// types and solver registry as the JSON API, so a flag invocation and a
+// scenario file always mean the same thing.
+
+// CLIBattery resolves the -battery flag grammar: a preset name ("B1", "b2")
+// with an optional capacity override in A·min.
+func CLIBattery(name string, capacity float64) (battery.Params, error) {
+	return Battery{Preset: name, Capacity: capacity}.Resolve()
+}
+
+// CLIBank parses the sweep bank grammar "NxB1" (e.g. "2xB1") into a bank
+// description.
+func CLIBank(s string) (Bank, error) {
+	countStr, batName, ok := strings.Cut(strings.TrimSpace(s), "x")
+	if !ok {
+		return Bank{}, fmt.Errorf("spec: bad bank %q (want NxB1 or NxB2)", s)
+	}
+	n, err := strconv.Atoi(countStr)
+	if err != nil || n < 1 {
+		return Bank{}, fmt.Errorf("spec: bad bank count in %q", s)
+	}
+	b := Bank{Name: strings.TrimSpace(s), Battery: &Battery{Preset: batName}, Count: n}
+	if _, _, err := b.Resolve(); err != nil {
+		return Bank{}, err
+	}
+	return b, nil
+}
+
+// CLISolver parses the -policy flag grammar into a solver reference: a
+// registry name or alias ("seq", "bestof", "optimal", "optimal-ta", ...),
+// or "lookahead:MIN" for the model-predictive policy.
+func CLISolver(s string) (Solver, error) {
+	name := strings.TrimSpace(s)
+	if rest, ok := strings.CutPrefix(strings.ToLower(name), "lookahead:"); ok {
+		horizon, err := strconv.ParseFloat(rest, 64)
+		if err != nil || horizon <= 0 {
+			return Solver{}, fmt.Errorf("spec: bad lookahead horizon %q (want lookahead:MINUTES)", rest)
+		}
+		return NamedSolver("lookahead", LookaheadParams{Horizon: horizon})
+	}
+	b, ok := Lookup(name)
+	if !ok {
+		return Solver{}, fmt.Errorf("%w %q (known: %s)",
+			ErrUnknownSolver, name, strings.Join(SolverNames(), ", "))
+	}
+	return Solver{Name: b.Name}, nil
+}
+
+// CLILoad resolves the -load flag grammar: a paper load name, or the path
+// of a load file in the internal/load.Parse format when such a file exists.
+func CLILoad(name string, horizon float64) (load.Load, error) {
+	if _, err := os.Stat(name); err == nil {
+		return load.ParseFile(name)
+	}
+	if horizon == 0 {
+		horizon = DefaultHorizonMin
+	}
+	return load.Paper(name, horizon)
+}

@@ -1,0 +1,528 @@
+// Package spec is the serializable scenario layer of the reproduction: a
+// declarative, JSON-round-trippable description of battery banks, loads,
+// discretization grids, and solvers, plus a named-solver registry that
+// turns solver names with parameters into runnable sweep cases.
+//
+// The paper's evaluation surface is a grid — banks × loads × schemes — and
+// this package makes that grid a value: a Scenario marshals to JSON, travels
+// over HTTP (cmd/batserve), lands in files (batsim -spec), and compiles into
+// the internal/sweep grid the engine executes. Everything the engine can do
+// is addressable by data; adding a scheme means registering a builder, not
+// touching callers.
+//
+// Encoding is byte-stable: encode → decode → encode produces identical
+// bytes, so scenario JSON can be used as a cache key and compared in tests.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"batsched/internal/battery"
+	"batsched/internal/dkibam"
+	"batsched/internal/load"
+	"batsched/internal/sweep"
+)
+
+// DefaultHorizonMin is the default load horizon in minutes, matching the
+// paper experiments (internal/experiments.Horizon).
+const DefaultHorizonMin = 200.0
+
+// Battery describes one battery: either a named preset ("B1", "B2"),
+// optionally with a capacity override, or fully custom KiBaM parameters
+// (capacity, c, kprime).
+type Battery struct {
+	// Preset names a built-in parameter set: "B1" (5.5 A·min) or "B2"
+	// (11 A·min). Empty means custom parameters.
+	Preset string `json:"preset,omitempty"`
+	// Capacity is the total charge C in A·min; with a preset it overrides
+	// the preset's capacity (Section 6 capacity scaling).
+	Capacity float64 `json:"capacity,omitempty"`
+	// C is the available-charge well fraction in (0,1); custom only.
+	C float64 `json:"c,omitempty"`
+	// KPrime is the transformed rate constant k' in 1/min; custom only.
+	KPrime float64 `json:"kprime,omitempty"`
+	// Label optionally names the battery in traces and results.
+	Label string `json:"label,omitempty"`
+}
+
+// Spec errors.
+var (
+	ErrUnknownPreset = errors.New("spec: unknown battery preset")
+	ErrBatteryParams = errors.New("spec: custom battery needs capacity, c, and kprime")
+	ErrEmptyBank     = errors.New("spec: bank has no batteries")
+	ErrBankConflict  = errors.New("spec: bank sets both battery/count and batteries")
+	ErrNoLoadSource  = errors.New("spec: load needs exactly one of paper, segments, or text")
+	ErrBadHorizon    = errors.New("spec: load horizon must be non-negative")
+	ErrNoBanks       = errors.New("spec: scenario has no banks")
+	ErrNoLoads       = errors.New("spec: scenario has no loads")
+	ErrNoSolvers     = errors.New("spec: scenario has no solvers")
+	ErrDuplicateName = errors.New("spec: duplicate name in scenario")
+	ErrUnknownSolver = errors.New("spec: unknown solver")
+	ErrSolverParams  = errors.New("spec: bad solver parameters")
+	ErrTooManyBanks  = errors.New("spec: solver cannot handle this many batteries")
+	ErrBankTooSmall  = errors.New("spec: solver needs a single-battery bank")
+)
+
+// Resolve turns the description into validated KiBaM parameters.
+func (b Battery) Resolve() (battery.Params, error) {
+	var p battery.Params
+	switch strings.ToUpper(b.Preset) {
+	case "":
+		if !(b.Capacity > 0) || !(b.C > 0) || !(b.KPrime > 0) {
+			return p, fmt.Errorf("%w (got capacity=%v c=%v kprime=%v)",
+				ErrBatteryParams, b.Capacity, b.C, b.KPrime)
+		}
+		p = battery.Params{Capacity: b.Capacity, C: b.C, KPrime: b.KPrime, Label: b.Label}
+	case "B1":
+		p = battery.B1()
+	case "B2":
+		p = battery.B2()
+	default:
+		return p, fmt.Errorf("%w %q (want B1 or B2)", ErrUnknownPreset, b.Preset)
+	}
+	if b.Preset != "" {
+		// Only the capacity may override a preset; silently dropping a c or
+		// kprime override would run materially different physics than asked.
+		if b.C != 0 || b.KPrime != 0 {
+			return p, fmt.Errorf(
+				"spec: preset %q cannot be combined with c/kprime overrides (use custom parameters): %w",
+				b.Preset, ErrBatteryParams)
+		}
+		if b.Capacity < 0 {
+			return p, fmt.Errorf("%w (capacity override %v)", ErrBatteryParams, b.Capacity)
+		}
+		if b.Capacity > 0 {
+			p = p.WithCapacity(b.Capacity)
+		}
+		if b.Label != "" {
+			p.Label = b.Label
+		}
+	}
+	return p, p.Validate()
+}
+
+// Bank describes one battery bank: either Count copies of Battery (the
+// paper's identical packs) or an explicit heterogeneous Batteries list.
+type Bank struct {
+	// Name labels the bank in results; empty means a derived name such as
+	// "2xB1".
+	Name string `json:"name,omitempty"`
+	// Battery plus Count describe a homogeneous bank (Count defaults to 1).
+	Battery *Battery `json:"battery,omitempty"`
+	Count   int      `json:"count,omitempty"`
+	// Batteries lists the bank members explicitly; mutually exclusive with
+	// Battery.
+	Batteries []Battery `json:"batteries,omitempty"`
+}
+
+// Resolve turns the bank description into battery parameters and a display
+// name.
+func (b Bank) Resolve() (name string, params []battery.Params, err error) {
+	name = b.Name
+	switch {
+	case b.Battery != nil && len(b.Batteries) > 0:
+		return "", nil, ErrBankConflict
+	case b.Battery != nil:
+		n := b.Count
+		if n == 0 {
+			n = 1
+		}
+		if n < 0 {
+			return "", nil, fmt.Errorf("%w (count %d)", ErrEmptyBank, n)
+		}
+		p, err := b.Battery.Resolve()
+		if err != nil {
+			return "", nil, err
+		}
+		params = battery.Bank(p, n)
+		if name == "" {
+			label := p.Label
+			if label == "" {
+				label = "custom"
+			}
+			name = fmt.Sprintf("%dx%s", n, label)
+		}
+	case len(b.Batteries) > 0:
+		if b.Count != 0 && b.Count != len(b.Batteries) {
+			return "", nil, fmt.Errorf("%w (count %d vs %d batteries)",
+				ErrBankConflict, b.Count, len(b.Batteries))
+		}
+		params = make([]battery.Params, len(b.Batteries))
+		labels := make([]string, len(b.Batteries))
+		for i, bs := range b.Batteries {
+			p, err := bs.Resolve()
+			if err != nil {
+				return "", nil, fmt.Errorf("battery %d: %w", i, err)
+			}
+			params[i] = p
+			switch {
+			case bs.Label != "":
+				labels[i] = bs.Label
+			case bs.Preset != "":
+				labels[i] = strings.ToUpper(bs.Preset)
+			default:
+				labels[i] = fmt.Sprintf("C%g", p.Capacity)
+			}
+		}
+		if name == "" {
+			// Derived from the members, not their count, so two distinct
+			// unnamed banks do not collide on a default name.
+			name = strings.Join(labels, "+")
+		}
+	default:
+		return "", nil, ErrEmptyBank
+	}
+	return name, params, nil
+}
+
+// Segment is one serializable load epoch.
+type Segment struct {
+	// DurationMin is the epoch length in minutes.
+	DurationMin float64 `json:"duration_min"`
+	// CurrentA is the constant current in amperes (0 = idle).
+	CurrentA float64 `json:"current_a"`
+}
+
+// Load describes one load by exactly one source: a paper load name, inline
+// segments, or inline text in the internal/load.Parse format.
+type Load struct {
+	// Name labels the load in results; defaults to the paper name or a
+	// derived name.
+	Name string `json:"name,omitempty"`
+	// Paper names one of the ten Section 5 test loads ("CL 250", "ILs alt",
+	// ...), repeated to cover HorizonMin minutes.
+	Paper string `json:"paper,omitempty"`
+	// HorizonMin is the minimum horizon for paper loads; 0 means the
+	// default 200 minutes.
+	HorizonMin float64 `json:"horizon_min,omitempty"`
+	// Segments lists the epochs inline.
+	Segments []Segment `json:"segments,omitempty"`
+	// Text is a load file inline (see internal/load.Parse for the format:
+	// "duration current" lines with comments and an Nx(...) repeat form).
+	Text string `json:"text,omitempty"`
+}
+
+// Resolve turns the description into a load and a display name.
+func (l Load) Resolve() (name string, ld load.Load, err error) {
+	sources := 0
+	if l.Paper != "" {
+		sources++
+	}
+	if len(l.Segments) > 0 {
+		sources++
+	}
+	if l.Text != "" {
+		sources++
+	}
+	if sources != 1 {
+		return "", ld, fmt.Errorf("%w (got %d sources)", ErrNoLoadSource, sources)
+	}
+	if l.HorizonMin < 0 {
+		return "", ld, fmt.Errorf("%w (got %v)", ErrBadHorizon, l.HorizonMin)
+	}
+	name = l.Name
+	switch {
+	case l.Paper != "":
+		horizon := l.HorizonMin
+		if horizon == 0 {
+			horizon = DefaultHorizonMin
+		}
+		ld, err = load.Paper(l.Paper, horizon)
+		if name == "" {
+			name = l.Paper
+		}
+	case len(l.Segments) > 0:
+		segs := make([]load.Segment, len(l.Segments))
+		for i, s := range l.Segments {
+			segs[i] = load.Segment{Duration: s.DurationMin, Current: s.CurrentA}
+		}
+		if name == "" {
+			// Content-derived, so two distinct unnamed inline loads do not
+			// collide on a default name.
+			h := fnv.New32a()
+			for _, s := range segs {
+				fmt.Fprintf(h, "%g:%g;", s.Duration, s.Current)
+			}
+			name = fmt.Sprintf("inline-%d-%08x", len(segs), h.Sum32())
+		}
+		ld, err = load.New(name, segs...)
+	default:
+		if name == "" {
+			h := fnv.New32a()
+			h.Write([]byte(l.Text))
+			name = fmt.Sprintf("text-%08x", h.Sum32())
+		}
+		ld, err = load.Parse(name, bytes.NewReader([]byte(l.Text)))
+	}
+	if err != nil {
+		return "", ld, err
+	}
+	return name, ld, nil
+}
+
+// Grid describes one discretization grid; the zero value means the paper
+// grid (T = 0.01 min, Gamma = 0.01 A·min).
+type Grid struct {
+	// Name labels the grid in results.
+	Name string `json:"name,omitempty"`
+	// StepMin is the time step T in minutes; 0 means the paper's 0.01.
+	StepMin float64 `json:"step_min,omitempty"`
+	// UnitAmpMin is the charge unit Gamma in A·min; 0 means the paper's
+	// 0.01.
+	UnitAmpMin float64 `json:"unit_amp_min,omitempty"`
+}
+
+// Resolve fills in paper-grid defaults and a derived name.
+func (g Grid) Resolve() sweep.GridSpec {
+	out := sweep.GridSpec{Name: g.Name, StepMin: g.StepMin, UnitAmpMin: g.UnitAmpMin}
+	if out.StepMin == 0 {
+		out.StepMin = dkibam.PaperStepMin
+	}
+	if out.UnitAmpMin == 0 {
+		out.UnitAmpMin = dkibam.PaperUnitAmpMin
+	}
+	if out.Name == "" {
+		if g.StepMin == 0 && g.UnitAmpMin == 0 {
+			out.Name = "paper"
+		} else {
+			out.Name = fmt.Sprintf("T%g-G%g", out.StepMin, out.UnitAmpMin)
+		}
+	}
+	return out
+}
+
+// Solver addresses one scheme by registry name plus optional parameters. On
+// the wire it is either a bare JSON string ("optimal-ta") or a single-key
+// object ({"lookahead":{"horizon":5}}).
+type Solver struct {
+	// Name is the registry name ("sequential", "roundrobin", "bestof",
+	// "lookahead", "optimal", "optimal-ta", "analytic", "montecarlo").
+	Name string
+	// Params holds the solver's parameter object verbatim; nil means
+	// defaults.
+	Params json.RawMessage
+}
+
+// NamedSolver builds a Solver from a name and a params struct (marshalled).
+func NamedSolver(name string, params any) (Solver, error) {
+	s := Solver{Name: name}
+	if params != nil {
+		raw, err := json.Marshal(params)
+		if err != nil {
+			return s, err
+		}
+		s.Params = raw
+	}
+	return s, nil
+}
+
+// MarshalJSON encodes a bare name as a string and a parameterised solver as
+// a {"name":params} object with compacted params.
+func (s Solver) MarshalJSON() ([]byte, error) {
+	if len(s.Params) == 0 {
+		return json.Marshal(s.Name)
+	}
+	var params bytes.Buffer
+	if err := json.Compact(&params, s.Params); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrSolverParams, s.Name, err)
+	}
+	nameJSON, err := json.Marshal(s.Name)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	buf.Write(nameJSON)
+	buf.WriteByte(':')
+	buf.Write(params.Bytes())
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalJSON accepts both wire forms; see MarshalJSON.
+func (s *Solver) UnmarshalJSON(data []byte) error {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && trimmed[0] == '"' {
+		s.Params = nil
+		return json.Unmarshal(trimmed, &s.Name)
+	}
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal(trimmed, &obj); err != nil {
+		return fmt.Errorf("spec: solver must be a string or a {name:params} object: %w", err)
+	}
+	if len(obj) != 1 {
+		return fmt.Errorf("spec: solver object must have exactly one key (got %d)", len(obj))
+	}
+	for name, params := range obj {
+		s.Name = name
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, params); err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrSolverParams, name, err)
+		}
+		s.Params = append(json.RawMessage(nil), compact.Bytes()...)
+	}
+	return nil
+}
+
+// Scenario is a serializable scenario grid: every combination of grid ×
+// bank × load × solver is one scenario cell. Grids may be empty (= the
+// paper grid).
+type Scenario struct {
+	Banks   []Bank   `json:"banks"`
+	Loads   []Load   `json:"loads"`
+	Solvers []Solver `json:"solvers"`
+	Grids   []Grid   `json:"grids,omitempty"`
+}
+
+// Run is a single-cell request: one bank, one load, one solver, and an
+// optional grid.
+type Run struct {
+	Bank   Bank   `json:"bank"`
+	Load   Load   `json:"load"`
+	Solver Solver `json:"solver"`
+	Grid   *Grid  `json:"grid,omitempty"`
+}
+
+// Scenario lifts the single run into a one-cell scenario.
+func (r Run) Scenario() Scenario {
+	sc := Scenario{
+		Banks:   []Bank{r.Bank},
+		Loads:   []Load{r.Load},
+		Solvers: []Solver{r.Solver},
+	}
+	if r.Grid != nil {
+		sc.Grids = []Grid{*r.Grid}
+	}
+	return sc
+}
+
+// ParseScenario decodes scenario JSON, rejecting unknown fields.
+func ParseScenario(data []byte) (Scenario, error) {
+	var sc Scenario
+	if err := strictDecode(data, &sc); err != nil {
+		return sc, err
+	}
+	return sc, nil
+}
+
+// ParseRun decodes single-cell run JSON, rejecting unknown fields.
+func ParseRun(data []byte) (Run, error) {
+	var r Run
+	if err := strictDecode(data, &r); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// strictDecode is the one decode policy every spec entry point shares.
+func strictDecode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	return nil
+}
+
+// Compile validates the scenario and resolves it into the executable sweep
+// grid. Solver names are resolved through the registry; bank sizes are
+// checked against each solver's limits (the optimal search handles at most
+// 8 batteries, the analytic lifetime exactly 1).
+func (sc Scenario) Compile() (sweep.Spec, error) {
+	var out sweep.Spec
+	switch {
+	case len(sc.Banks) == 0:
+		return out, ErrNoBanks
+	case len(sc.Loads) == 0:
+		return out, ErrNoLoads
+	case len(sc.Solvers) == 0:
+		return out, ErrNoSolvers
+	}
+
+	maxBank := 0
+	seen := map[string]bool{}
+	for i, b := range sc.Banks {
+		name, params, err := b.Resolve()
+		if err != nil {
+			return out, fmt.Errorf("bank %d: %w", i, err)
+		}
+		if seen[name] {
+			return out, fmt.Errorf("%w: bank %q", ErrDuplicateName, name)
+		}
+		seen[name] = true
+		if len(params) > maxBank {
+			maxBank = len(params)
+		}
+		out.Banks = append(out.Banks, sweep.Bank{Name: name, Batteries: params})
+	}
+	seen = map[string]bool{}
+	for i, l := range sc.Loads {
+		name, ld, err := l.Resolve()
+		if err != nil {
+			return out, fmt.Errorf("load %d: %w", i, err)
+		}
+		if seen[name] {
+			return out, fmt.Errorf("%w: load %q", ErrDuplicateName, name)
+		}
+		seen[name] = true
+		out.Loads = append(out.Loads, sweep.LoadCase{Name: name, Load: ld})
+	}
+
+	seen = map[string]bool{}
+	seenSolver := map[string]bool{}
+	for i, s := range sc.Solvers {
+		builder, pc, err := buildSolver(s)
+		if err != nil {
+			return out, fmt.Errorf("solver %d: %w", i, err)
+		}
+		if builder.MaxBatteries > 0 && maxBank > builder.MaxBatteries {
+			return out, fmt.Errorf("%w: %s handles at most %d batteries (bank has %d)",
+				ErrTooManyBanks, builder.Name, builder.MaxBatteries, maxBank)
+		}
+		if builder.SingleBattery && maxBank > 1 {
+			return out, fmt.Errorf("%w: %s", ErrBankTooSmall, builder.Name)
+		}
+		// Duplicates are judged on (canonical name, params) — the solver's
+		// identity — not on the display name, because parameter variants of
+		// a fixed-name solver (two montecarlo seeds, two optimal-ta
+		// budgets) are a legitimate sweep axis.
+		identity := builder.Name + "\x00" + string(s.Params)
+		if seenSolver[identity] {
+			return out, fmt.Errorf("%w: solver %q", ErrDuplicateName, builder.Name)
+		}
+		seenSolver[identity] = true
+		if seen[pc.Name] {
+			h := fnv.New32a()
+			h.Write(s.Params)
+			pc.Name = fmt.Sprintf("%s#%08x", pc.Name, h.Sum32())
+		}
+		if seen[pc.Name] {
+			return out, fmt.Errorf("%w: solver %q", ErrDuplicateName, pc.Name)
+		}
+		seen[pc.Name] = true
+		out.Policies = append(out.Policies, pc)
+	}
+
+	seen = map[string]bool{}
+	for _, g := range sc.Grids {
+		gs := g.Resolve()
+		if seen[gs.Name] {
+			return out, fmt.Errorf("%w: grid %q", ErrDuplicateName, gs.Name)
+		}
+		seen[gs.Name] = true
+		out.Grids = append(out.Grids, gs)
+	}
+	return out, nil
+}
+
+// Validate checks the scenario without building loads or solver cases
+// beyond what Compile does; it is Compile minus the result.
+func (sc Scenario) Validate() error {
+	_, err := sc.Compile()
+	return err
+}

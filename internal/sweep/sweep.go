@@ -63,12 +63,12 @@ func PaperLoads(names []string, horizon float64) ([]LoadCase, error) {
 	return cases, nil
 }
 
-// PolicyCase is one scheduling scheme of a sweep: either a deterministic
-// policy or the optimal search.
+// PolicyCase is one scheduling scheme of a sweep: a deterministic policy,
+// the optimal search, or an arbitrary evaluator over the compiled cell.
 type PolicyCase struct {
 	// Name labels the scheme in results.
 	Name string
-	// Policy is the deterministic scheme; nil when Optimal is set.
+	// Policy is the deterministic scheme; nil when Optimal or Run is set.
 	Policy sched.Policy
 	// Optimal selects the exhaustive optimal search instead of a policy.
 	Optimal bool
@@ -76,6 +76,12 @@ type PolicyCase struct {
 	// only meaningful with Optimal. Note that the sweep itself already runs
 	// scenarios in parallel, so nested workers mainly help sparse grids.
 	OptimalWorkers int
+	// Run is a custom evaluator over the shared compiled cell; it takes
+	// precedence over Policy and Optimal. This is how schemes beyond
+	// deterministic policies — the analytic single-battery lifetime, the
+	// timed-automata checker, the Monte-Carlo estimator — plug into a sweep.
+	// It must be safe for concurrent calls on distinct cells.
+	Run func(c *core.Compiled) (lifetime float64, decisions int, err error)
 }
 
 // Policies wraps deterministic policies as sweep cases.
@@ -160,7 +166,25 @@ type Result struct {
 type Options struct {
 	// Workers bounds the worker pool; <= 0 means runtime.NumCPU().
 	Workers int
+	// Compile, when set, overrides how a (grid, bank, load) cell is turned
+	// into its compiled artifact. Callers that evaluate many overlapping
+	// sweeps (the evaluation service) use it to share cached artifacts
+	// across runs. It must be safe for concurrent use.
+	Compile func(bank Bank, lc LoadCase, grid GridSpec) (*core.Compiled, error)
+	// OnResult, when set, is invoked once per completed scenario with the
+	// scenario's deterministic index and its result. Calls are serialized
+	// but arrive in completion order, not index order; the service's NDJSON
+	// streaming reorders on top of this hook.
+	OnResult func(index int, r Result)
+	// Cancel, when non-nil, aborts the run early once the channel closes:
+	// scenarios not yet started are marked with ErrCanceled instead of
+	// being executed (in-flight ones finish). The service wires client
+	// disconnects here so abandoned sweeps stop burning CPU.
+	Cancel <-chan struct{}
 }
+
+// ErrCanceled marks scenarios skipped because Options.Cancel fired.
+var ErrCanceled = errors.New("sweep: run canceled")
 
 // Run expands the spec into scenarios and executes them over a worker pool,
 // returning one Result per scenario in deterministic nested order (grid,
@@ -191,12 +215,33 @@ func Run(spec Spec, opts Options) ([]Result, error) {
 		compiled *core.Compiled
 		err      error
 	}
+	compile := opts.Compile
+	if compile == nil {
+		compile = func(bank Bank, lc LoadCase, grid GridSpec) (*core.Compiled, error) {
+			return core.Compile(bank.Batteries, lc.Load, grid.StepMin, grid.UnitAmpMin)
+		}
+	}
+	canceled := func() bool {
+		if opts.Cancel == nil {
+			return false
+		}
+		select {
+		case <-opts.Cancel:
+			return true
+		default:
+			return false
+		}
+	}
 	cells := make([]cell, len(grids)*len(spec.Banks)*len(spec.Loads))
 	for g, grid := range grids {
 		for b, bank := range spec.Banks {
 			for l, lc := range spec.Loads {
 				i := (g*len(spec.Banks)+b)*len(spec.Loads) + l
-				c, err := core.Compile(bank.Batteries, lc.Load, grid.StepMin, grid.UnitAmpMin)
+				if canceled() {
+					cells[i] = cell{err: ErrCanceled}
+					continue
+				}
+				c, err := compile(bank, lc, grid)
 				cells[i] = cell{compiled: c, err: err}
 			}
 		}
@@ -213,6 +258,7 @@ func Run(spec Spec, opts Options) ([]Result, error) {
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	var emitMu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -226,11 +272,19 @@ func Run(spec Spec, opts Options) ([]Result, error) {
 				r := &results[i]
 				r.Grid, r.Bank, r.Load, r.Policy =
 					grids[g].Name, spec.Banks[b].Name, spec.Loads[l].Name, spec.Policies[p].Name
-				if cells[c].err != nil {
+				switch {
+				case canceled():
+					r.Err = ErrCanceled
+				case cells[c].err != nil:
 					r.Err = cells[c].err
-					continue
+				default:
+					r.Lifetime, r.Decisions, r.Err = runScenario(cells[c].compiled, spec.Policies[p])
 				}
-				r.Lifetime, r.Decisions, r.Err = runScenario(cells[c].compiled, spec.Policies[p])
+				if opts.OnResult != nil {
+					emitMu.Lock()
+					opts.OnResult(i, *r)
+					emitMu.Unlock()
+				}
 			}
 		}()
 	}
@@ -246,6 +300,8 @@ func Run(spec Spec, opts Options) ([]Result, error) {
 func runScenario(c *core.Compiled, pc PolicyCase) (lifetime float64, decisions int, err error) {
 	var schedule sched.Schedule
 	switch {
+	case pc.Run != nil:
+		return pc.Run(c)
 	case pc.Optimal && pc.OptimalWorkers > 1:
 		lifetime, schedule, err = c.OptimalLifetimeParallel(pc.OptimalWorkers)
 	case pc.Optimal:
