@@ -208,6 +208,11 @@ func SweepOptimal() SweepPolicy { return sweep.OptimalCase() }
 // SearchOptions bound the state space of the timed-automata search.
 type SearchOptions = mc.Options
 
+// OptimalSearchStats counts the work of the direct optimal search (states
+// expanded, memo hits, pruned branches); sweeps and the evaluation service
+// attach it to optimal-solver results.
+type OptimalSearchStats = sched.SearchStats
+
 // TASolution is the outcome of the priced-timed-automata optimal search.
 type TASolution = takibam.Solution
 

@@ -124,6 +124,37 @@ func TestRun(t *testing.T) {
 	}
 }
 
+func TestRunOptimalReportsSearchStats(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := `{
+		"bank":   {"battery": {"preset": "B1"}, "count": 2},
+		"load":   {"paper": "ILs alt"},
+		"solver": "optimal"
+	}`
+	resp, data := postJSON(t, ts.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var res batsched.EvalResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.LifetimeMin < 16.89 || res.LifetimeMin > 16.91 {
+		t.Fatalf("optimal lifetime %.2f, want 16.90 (Table 5)", res.LifetimeMin)
+	}
+	if res.Stats == nil || res.Stats.States == 0 {
+		t.Fatalf("optimal run carries no search stats: %s", data)
+	}
+	// The wire field must actually serialize (it is how perf is observed).
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["stats"]; !ok {
+		t.Fatalf("no stats field on the wire: %s", data)
+	}
+}
+
 func TestRunParameterisedSolver(t *testing.T) {
 	ts, _ := newTestServer(t)
 	body := `{
@@ -151,7 +182,7 @@ func TestRunBadRequests(t *testing.T) {
 		"unknown field":    `{"bank":{},"load":{},"solver":"bestof","frob":1}`,
 		"unknown solver":   `{"bank":{"battery":{"preset":"B1"}},"load":{"paper":"ILs alt"},"solver":"greedy"}`,
 		"unknown preset":   `{"bank":{"battery":{"preset":"B9"}},"load":{"paper":"ILs alt"},"solver":"bestof"}`,
-		"9xB1 optimal":     `{"bank":{"battery":{"preset":"B1"},"count":9},"load":{"paper":"ILs alt"},"solver":"optimal"}`,
+		"13xB1 optimal":    `{"bank":{"battery":{"preset":"B1"},"count":13},"load":{"paper":"ILs alt"},"solver":"optimal"}`,
 		"negative horizon": `{"bank":{"battery":{"preset":"B1"}},"load":{"paper":"ILs alt","horizon_min":-5},"solver":"bestof"}`,
 	}
 	for name, body := range cases {
@@ -359,5 +390,22 @@ func TestConcurrentClientsShareCompiledArtifact(t *testing.T) {
 	}
 	if st.Hits != clients-1 {
 		t.Fatalf("cache hits %d, want %d", st.Hits, clients-1)
+	}
+}
+
+// TestRunDiverseBankRejected: past 8 batteries the optimal search requires
+// interchangeable batteries (canonicalization is what makes 9..12 feasible);
+// an all-distinct bank must be rejected at the spec layer with a 400, never
+// reach the search.
+func TestRunDiverseBankRejected(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := `{"bank":{"batteries":[` +
+		`{"preset":"B1","capacity":5.5},{"preset":"B1","capacity":6.5},{"preset":"B1","capacity":7.5},` +
+		`{"preset":"B1","capacity":8.5},{"preset":"B1","capacity":9.5},{"preset":"B1","capacity":10.5},` +
+		`{"preset":"B1","capacity":11.5},{"preset":"B1","capacity":12.5},{"preset":"B1","capacity":13.5}]},` +
+		`"load":{"paper":"ILs alt"},"solver":"optimal"}`
+	resp, data := postJSON(t, ts.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
 	}
 }

@@ -1,0 +1,466 @@
+// Package benchkit is the reproducible benchmark harness behind
+// cmd/batbench: a pinned grid of scenarios (the paper's banks and loads
+// through the registry solvers' hot paths) measured with a self-contained
+// timing loop and emitted as machine-readable reports (BENCH_<n>.json).
+// Committed reports seed the repo's perf trajectory: every future PR runs
+// the same grid, appends its report, and CI fails when a case regresses
+// beyond the configured ratio against the committed baseline.
+//
+// The optimal-search cases additionally run the reference search (no
+// canonicalization, no pruning — the pre-optimization algorithm) once and
+// record the explored-state and wall-clock ratios, which is how the
+// branch-and-bound speedups stay measured instead of anecdotal.
+package benchkit
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"batsched/internal/battery"
+	"batsched/internal/dkibam"
+	"batsched/internal/load"
+	"batsched/internal/sched"
+	"batsched/internal/sweep"
+)
+
+// Schema identifies the report format; bump on incompatible changes.
+const Schema = 1
+
+// Measurement is one timed case.
+type Measurement struct {
+	Iterations  int64 `json:"iterations"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// Baseline is the reference optimal search (SearchOptions zero value) run
+// once on the same cell, with the resulting improvement ratios.
+type Baseline struct {
+	Ns          int64   `json:"ns"`
+	States      int64   `json:"states"`
+	SpeedupX    float64 `json:"speedup_x"`
+	StatesRatio float64 `json:"states_ratio"`
+}
+
+// Result is one benchmark case in a report.
+type Result struct {
+	Name string `json:"name"`
+	Measurement
+	// LifetimeMin pins the scenario's result so a report is also a
+	// correctness witness: two reports of the same case must agree.
+	LifetimeMin float64 `json:"lifetime_min,omitempty"`
+	// Stats are the optimal search's counters (single run); absent for
+	// policy cases.
+	Stats *sched.SearchStats `json:"stats,omitempty"`
+	// Baseline compares against the reference search; only on optimal cases.
+	Baseline *Baseline `json:"baseline,omitempty"`
+}
+
+// Report is a full harness run.
+type Report struct {
+	Schema  int      `json:"schema"`
+	Suite   string   `json:"suite"`
+	Go      string   `json:"go"`
+	GOOS    string   `json:"goos"`
+	GOARCH  string   `json:"goarch"`
+	NumCPU  int      `json:"num_cpu"`
+	Results []Result `json:"results"`
+}
+
+// Options tune a harness run.
+type Options struct {
+	// BenchTime is the minimum measuring time per case (default 1s).
+	BenchTime time.Duration
+	// SkipBaselines skips the (slow) single-shot reference-search runs on
+	// the optimal cases; by default they run, because the states/speedup
+	// ratios against the reference search are the point of those cases.
+	SkipBaselines bool
+	// Match filters cases by exact name prefix; empty runs everything.
+	Match string
+}
+
+// kase is one pinned benchmark case.
+type kase struct {
+	name string
+	// run is the measured body; it returns the scenario lifetime for the
+	// correctness pin.
+	run func() (float64, error)
+	// stats, when set, runs the default optimal search once for counters.
+	stats func() (sched.SearchStats, error)
+	// baseline, when set, times the reference search once.
+	baseline func() (time.Duration, sched.SearchStats, error)
+}
+
+// compileCell discretizes a bank on the paper grid and compiles a paper load.
+func compileCell(bats []battery.Params, loadName string, horizon float64) ([]*dkibam.Discretization, load.Compiled, error) {
+	ds := make([]*dkibam.Discretization, len(bats))
+	for i, b := range bats {
+		d, err := dkibam.Discretize(b, dkibam.PaperStepMin, dkibam.PaperUnitAmpMin)
+		if err != nil {
+			return nil, load.Compiled{}, err
+		}
+		ds[i] = d
+	}
+	l, err := load.Paper(loadName, horizon)
+	if err != nil {
+		return nil, load.Compiled{}, err
+	}
+	cl, err := load.Compile(l, dkibam.PaperStepMin, dkibam.PaperUnitAmpMin)
+	if err != nil {
+		return nil, load.Compiled{}, err
+	}
+	return ds, cl, nil
+}
+
+// policyCase measures one policy lifetime on a reused system (construction
+// amortized exactly like production sweeps amortize it via the shared
+// compiled artifact).
+func policyCase(name string, bats []battery.Params, loadName string, horizon float64, p sched.Policy) (kase, error) {
+	ds, cl, err := compileCell(bats, loadName, horizon)
+	if err != nil {
+		return kase{}, err
+	}
+	sys, err := dkibam.NewSystem(ds, cl)
+	if err != nil {
+		return kase{}, err
+	}
+	start := sys.SaveState(nil)
+	return kase{
+		name: name,
+		run: func() (float64, error) {
+			sys.RestoreState(start)
+			return sys.Run(sched.AdaptChooser(p.NewChooser()))
+		},
+	}, nil
+}
+
+// optimalCase measures the default optimal search, records its counters
+// (from the last measured run — every search counts them, so no extra run
+// is needed), and (once) times the reference search for the improvement
+// ratios.
+func optimalCase(name string, bats []battery.Params, loadName string, horizon float64) (kase, error) {
+	ds, cl, err := compileCell(bats, loadName, horizon)
+	if err != nil {
+		return kase{}, err
+	}
+	var last sched.SearchStats
+	return kase{
+		name: name,
+		run: func() (float64, error) {
+			lt, _, st, err := sched.OptimalWithStats(ds, cl)
+			last = st
+			return lt, err
+		},
+		stats: func() (sched.SearchStats, error) {
+			return last, nil
+		},
+		baseline: func() (time.Duration, sched.SearchStats, error) {
+			t0 := time.Now()
+			_, _, st, err := sched.OptimalWithOptions(ds, cl, sched.SearchOptions{})
+			return time.Since(t0), st, err
+		},
+	}, nil
+}
+
+// sweepCase measures a full policy grid through the sweep runner.
+func sweepCase(name string, bank sweep.Bank, loads []string, horizon float64, workers int) kase {
+	return kase{
+		name: name,
+		run: func() (float64, error) {
+			lcs, err := sweep.PaperLoads(loads, horizon)
+			if err != nil {
+				return 0, err
+			}
+			spec := sweep.Spec{
+				Banks:    []sweep.Bank{bank},
+				Loads:    lcs,
+				Policies: sweep.Policies(sched.Sequential(), sched.RoundRobin(), sched.BestAvailable()),
+			}
+			results, err := sweep.Run(spec, sweep.Options{Workers: workers})
+			if err != nil {
+				return 0, err
+			}
+			last := 0.0
+			for _, r := range results {
+				if r.Err != nil {
+					return 0, r.Err
+				}
+				last = r.Lifetime
+			}
+			return last, nil
+		},
+	}
+}
+
+// CalibrationCase is a fixed CPU-bound case independent of the repo's code
+// paths. Compare uses its ratio between two reports to normalize wall-clock
+// comparisons across machines: a runner that is uniformly slower than the
+// machine that recorded the committed baseline slows the calibration case by
+// the same factor and is not read as a regression.
+const CalibrationCase = "calibrate/spin"
+
+func calibrationCase() kase {
+	return kase{
+		name: CalibrationCase,
+		run: func() (float64, error) {
+			// Deterministic xorshift mixing, ~1 ms of pure integer work.
+			x := uint64(0x9E3779B97F4A7C15)
+			var acc uint64
+			for i := 0; i < 400_000; i++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				acc += x
+			}
+			if acc == 0 {
+				return 0, fmt.Errorf("benchkit: calibration accumulator vanished")
+			}
+			return 0, nil
+		},
+	}
+}
+
+// suite builds the pinned case grid. The homogeneous 4xB1 cell is the
+// canonicalization showcase (4! = 24x fewer states than the reference
+// search); the high-c bank is the branch-and-bound showcase (the charge
+// bound binds when batteries die near the total-charge horizon).
+func suite() ([]kase, error) {
+	b1 := battery.B1()
+	hiC := battery.Params{Capacity: 1.2, C: 0.8, KPrime: 0.2, Label: "HiC"}
+	cases := []kase{calibrationCase()}
+	add := func(k kase, err error) error {
+		if err != nil {
+			return err
+		}
+		cases = append(cases, k)
+		return nil
+	}
+	if err := add(policyCase("policy-lifetime/2xB1/ILs alt/bestof", battery.Bank(b1, 2), "ILs alt", 200, sched.BestAvailable())); err != nil {
+		return nil, err
+	}
+	if err := add(policyCase("policy-lifetime/2xB1/ILl 500/bestof", battery.Bank(b1, 2), "ILl 500", 200, sched.BestAvailable())); err != nil {
+		return nil, err
+	}
+	cases = append(cases, sweepCase("sweep/2xB1/paper/policies", sweep.BankOf("2xB1", b1, 2), nil, 200, 1))
+	if err := add(optimalCase("optimal/2xB1/ILs alt", battery.Bank(b1, 2), "ILs alt", 200)); err != nil {
+		return nil, err
+	}
+	if err := add(optimalCase("optimal/2xB1/ILs r1", battery.Bank(b1, 2), "ILs r1", 200)); err != nil {
+		return nil, err
+	}
+	if err := add(optimalCase("optimal/4xB1/CL 500", battery.Bank(b1, 4), "CL 500", 200)); err != nil {
+		return nil, err
+	}
+	if err := add(optimalCase("optimal/3xHiC/ILs alt", battery.Bank(hiC, 3), "ILs alt", 200)); err != nil {
+		return nil, err
+	}
+	return cases, nil
+}
+
+// CaseNames lists the pinned grid in order.
+func CaseNames() ([]string, error) {
+	cases, err := suite()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(cases))
+	for i, c := range cases {
+		names[i] = c.name
+	}
+	return names, nil
+}
+
+// Run executes the harness and returns the report.
+func Run(opts Options) (Report, error) {
+	benchtime := opts.BenchTime
+	if benchtime <= 0 {
+		benchtime = time.Second
+	}
+	cases, err := suite()
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{
+		Schema: Schema,
+		Suite:  "batsched-pinned-v1",
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+	}
+	for _, c := range cases {
+		if opts.Match != "" && !strings.HasPrefix(c.name, opts.Match) {
+			continue
+		}
+		var lifetime float64
+		m, err := measure(benchtime, func() error {
+			lt, err := c.run()
+			lifetime = lt
+			return err
+		})
+		if err != nil {
+			return Report{}, fmt.Errorf("benchkit: case %s: %w", c.name, err)
+		}
+		res := Result{Name: c.name, Measurement: m, LifetimeMin: lifetime}
+		if c.stats != nil {
+			st, err := c.stats()
+			if err != nil {
+				return Report{}, fmt.Errorf("benchkit: case %s stats: %w", c.name, err)
+			}
+			res.Stats = &st
+		}
+		if c.baseline != nil && !opts.SkipBaselines {
+			elapsed, st, err := c.baseline()
+			if err != nil {
+				return Report{}, fmt.Errorf("benchkit: case %s baseline: %w", c.name, err)
+			}
+			b := &Baseline{Ns: elapsed.Nanoseconds(), States: st.States}
+			if res.NsPerOp > 0 {
+				b.SpeedupX = Round2(float64(b.Ns) / float64(res.NsPerOp))
+			}
+			if res.Stats != nil && res.Stats.States > 0 {
+				b.StatesRatio = Round2(float64(b.States) / float64(res.Stats.States))
+			}
+			res.Baseline = b
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// Round2 rounds to two decimals; exported so cmd/batbench can recompute
+// derived ratios when it patches re-measured results.
+func Round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+// measure times fn like the testing package does: grow the iteration count
+// until one batch runs for at least benchtime, reporting per-op wall time
+// and allocation counts from runtime.MemStats deltas. Self-contained so the
+// harness needs no testing flags and works from a plain binary (and in unit
+// tests with a tiny benchtime).
+func measure(benchtime time.Duration, fn func() error) (Measurement, error) {
+	// Warmup run: surfaces errors before timing and charges one-time lazy
+	// work (map growth, pools) outside the measurement.
+	if err := fn(); err != nil {
+		return Measurement{}, err
+	}
+	var ms runtime.MemStats
+	n := int64(1)
+	for {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		startMallocs, startBytes := ms.Mallocs, ms.TotalAlloc
+		start := time.Now()
+		for i := int64(0); i < n; i++ {
+			if err := fn(); err != nil {
+				return Measurement{}, err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		if elapsed >= benchtime || n >= 1_000_000_000 {
+			if elapsed <= 0 {
+				elapsed = time.Nanosecond
+			}
+			return Measurement{
+				Iterations:  n,
+				NsPerOp:     elapsed.Nanoseconds() / n,
+				AllocsPerOp: int64(ms.Mallocs-startMallocs) / n,
+				BytesPerOp:  int64(ms.TotalAlloc-startBytes) / n,
+			}, nil
+		}
+		// Predict the iterations that reach benchtime with 20% headroom,
+		// growing at least 2x and at most 100x per round (the testing
+		// package's strategy).
+		next := n * 100
+		if elapsed > 0 {
+			next = int64(1.2 * float64(benchtime.Nanoseconds()) / (float64(elapsed.Nanoseconds()) / float64(n)))
+		}
+		if next < 2*n {
+			next = 2 * n
+		}
+		if next > 100*n {
+			next = 100 * n
+		}
+		n = next
+	}
+}
+
+// Regression is one case that slowed beyond the allowed ratio. Kind is
+// "ns/op" (wall clock — noisy across machines, retried by the gate) or
+// "states" (explored search states — deterministic for fixed code and grid,
+// the machine-independent signal).
+type Regression struct {
+	Name    string
+	Kind    string
+	Base    int64
+	Current int64
+	Ratio   float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %d %s vs baseline %d (%.2fx > allowed)", r.Name, r.Current, r.Kind, r.Base, r.Ratio)
+}
+
+// GatedPrefixes are the case families the CI regression gate inspects; the
+// other cases are informational.
+var GatedPrefixes = []string{"policy-lifetime/", "optimal/"}
+
+// Compare flags cases in current that regressed more than maxRatio against
+// the same-named case in base, restricted to GatedPrefixes: wall-clock
+// ns/op on every gated case, plus explored states on the optimal cases
+// (deterministic, so immune to machine differences). Wall-clock ratios are
+// divided by the CalibrationCase slowdown when both reports carry it, so a
+// uniformly slower machine (CI runner vs the baseline recorder) is excused;
+// a faster machine never tightens the gate (the calibration workload is not
+// the measured workload). Cases missing from either report are ignored (the
+// grid may grow over time).
+func Compare(base, current Report, maxRatio float64) []Regression {
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	scale := 1.0
+	if b, ok := baseBy[CalibrationCase]; ok && b.NsPerOp > 0 {
+		for _, c := range current.Results {
+			if c.Name == CalibrationCase && c.NsPerOp > 0 {
+				if s := float64(c.NsPerOp) / float64(b.NsPerOp); s > 1 {
+					scale = s
+				}
+				break
+			}
+		}
+	}
+	var regs []Regression
+	for _, r := range current.Results {
+		gated := false
+		for _, p := range GatedPrefixes {
+			if strings.HasPrefix(r.Name, p) {
+				gated = true
+				break
+			}
+		}
+		if !gated {
+			continue
+		}
+		b, ok := baseBy[r.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 {
+			if ratio := float64(r.NsPerOp) / float64(b.NsPerOp) / scale; ratio > maxRatio {
+				regs = append(regs, Regression{Name: r.Name, Kind: "ns/op", Base: b.NsPerOp, Current: r.NsPerOp, Ratio: ratio})
+			}
+		}
+		if b.Stats != nil && r.Stats != nil && b.Stats.States > 0 {
+			if ratio := float64(r.Stats.States) / float64(b.Stats.States); ratio > maxRatio {
+				regs = append(regs, Regression{Name: r.Name, Kind: "states", Base: b.Stats.States, Current: r.Stats.States, Ratio: ratio})
+			}
+		}
+	}
+	return regs
+}

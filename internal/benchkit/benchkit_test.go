@@ -1,0 +1,152 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"batsched/internal/sched"
+)
+
+// TestMeasure: the self-contained loop reports sane per-op numbers.
+func TestMeasure(t *testing.T) {
+	calls := 0
+	m, err := measure(10*time.Millisecond, func() error {
+		calls++
+		time.Sleep(200 * time.Microsecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Iterations < 1 || calls < int(m.Iterations) {
+		t.Fatalf("iterations %d, calls %d", m.Iterations, calls)
+	}
+	if m.NsPerOp < int64(150*time.Microsecond) {
+		t.Fatalf("ns/op %d implausibly small for a 200µs body", m.NsPerOp)
+	}
+}
+
+// TestHarnessPolicyCases runs the cheap policy slice of the pinned grid with
+// a tiny benchtime and checks the report shape round-trips through JSON.
+func TestHarnessPolicyCases(t *testing.T) {
+	rep, err := Run(Options{BenchTime: time.Millisecond, Match: "policy-lifetime/", SkipBaselines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("policy-lifetime cases: %d, want 2", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.LifetimeMin <= 0 {
+			t.Errorf("%s: implausible result %+v", r.Name, r)
+		}
+		if r.Stats != nil || r.Baseline != nil {
+			t.Errorf("%s: policy case carries search fields", r.Name)
+		}
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || len(back.Results) != len(rep.Results) {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+}
+
+// TestHarnessOptimalCase: the optimal case carries search stats, and with
+// baselines on records the reference-search ratios.
+func TestHarnessOptimalCase(t *testing.T) {
+	rep, err := Run(Options{BenchTime: time.Millisecond, Match: "optimal/2xB1/ILs alt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("matched %d cases, want 1", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Stats == nil || r.Stats.States == 0 {
+		t.Fatalf("no search stats: %+v", r)
+	}
+	if r.Baseline == nil || r.Baseline.States == 0 || r.Baseline.StatesRatio < 1 {
+		t.Fatalf("no baseline comparison: %+v", r.Baseline)
+	}
+	if r.LifetimeMin != 16.90 {
+		t.Fatalf("optimal 2xB1/ILs alt lifetime %v, want 16.90 (Table 5)", r.LifetimeMin)
+	}
+}
+
+// TestCompareGate: regressions beyond the ratio are flagged for gated
+// prefixes only, and missing cases are tolerated.
+func TestCompareGate(t *testing.T) {
+	base := Report{Results: []Result{
+		{Name: "optimal/x", Measurement: Measurement{NsPerOp: 100}},
+		{Name: "policy-lifetime/y", Measurement: Measurement{NsPerOp: 100}},
+		{Name: "sweep/z", Measurement: Measurement{NsPerOp: 100}},
+	}}
+	current := Report{Results: []Result{
+		{Name: "optimal/x", Measurement: Measurement{NsPerOp: 150}},
+		{Name: "policy-lifetime/y", Measurement: Measurement{NsPerOp: 250}},
+		{Name: "sweep/z", Measurement: Measurement{NsPerOp: 900}},   // ungated
+		{Name: "optimal/new", Measurement: Measurement{NsPerOp: 5}}, // not in base
+	}}
+	regs := Compare(base, current, 2.0)
+	if len(regs) != 1 || regs[0].Name != "policy-lifetime/y" || regs[0].Kind != "ns/op" {
+		t.Fatalf("regressions %v, want exactly policy-lifetime/y (ns/op)", regs)
+	}
+	if regs[0].Ratio != 2.5 {
+		t.Fatalf("ratio %v, want 2.5", regs[0].Ratio)
+	}
+}
+
+// TestCompareCalibration: a uniformly slower machine (calibration case and
+// workload both 3x slower) is excused by the calibration scale, while a
+// genuine slowdown on a same-speed machine is still flagged, and a faster
+// machine never tightens the gate.
+func TestCompareCalibration(t *testing.T) {
+	base := Report{Results: []Result{
+		{Name: CalibrationCase, Measurement: Measurement{NsPerOp: 1000}},
+		{Name: "optimal/x", Measurement: Measurement{NsPerOp: 100}},
+	}}
+	slowMachine := Report{Results: []Result{
+		{Name: CalibrationCase, Measurement: Measurement{NsPerOp: 3000}},
+		{Name: "optimal/x", Measurement: Measurement{NsPerOp: 300}},
+	}}
+	if regs := Compare(base, slowMachine, 2.0); len(regs) != 0 {
+		t.Fatalf("uniform 3x machine slowdown flagged as regression: %v", regs)
+	}
+	realRegression := Report{Results: []Result{
+		{Name: CalibrationCase, Measurement: Measurement{NsPerOp: 1000}},
+		{Name: "optimal/x", Measurement: Measurement{NsPerOp: 300}},
+	}}
+	if regs := Compare(base, realRegression, 2.0); len(regs) != 1 {
+		t.Fatalf("same-speed machine 3x slowdown not flagged: %v", regs)
+	}
+	fastMachine := Report{Results: []Result{
+		{Name: CalibrationCase, Measurement: Measurement{NsPerOp: 200}},
+		{Name: "optimal/x", Measurement: Measurement{NsPerOp: 150}},
+	}}
+	if regs := Compare(base, fastMachine, 2.0); len(regs) != 0 {
+		t.Fatalf("faster machine tightened the gate: %v", regs)
+	}
+}
+
+// TestCompareStatesGate: explored-state blowups are flagged even when wall
+// clock looks fine — the machine-independent half of the gate.
+func TestCompareStatesGate(t *testing.T) {
+	st := func(states int64) *sched.SearchStats { return &sched.SearchStats{States: states} }
+	base := Report{Results: []Result{
+		{Name: "optimal/x", Measurement: Measurement{NsPerOp: 100}, Stats: st(1000)},
+	}}
+	current := Report{Results: []Result{
+		{Name: "optimal/x", Measurement: Measurement{NsPerOp: 90}, Stats: st(5000)},
+	}}
+	regs := Compare(base, current, 2.0)
+	if len(regs) != 1 || regs[0].Kind != "states" || regs[0].Ratio != 5.0 {
+		t.Fatalf("regressions %v, want one states regression at 5.0x", regs)
+	}
+}

@@ -218,10 +218,23 @@ func (c *Compiled) OptimalLifetime() (float64, sched.Schedule, error) {
 	return sched.Optimal(c.discs, c.cl)
 }
 
+// OptimalLifetimeWithStats is OptimalLifetime, additionally reporting how
+// much work the search performed (states expanded, memo hits, pruned
+// branches); the sweep runner and the evaluation service surface these.
+func (c *Compiled) OptimalLifetimeWithStats() (float64, sched.Schedule, sched.SearchStats, error) {
+	return sched.OptimalWithStats(c.discs, c.cl)
+}
+
 // OptimalLifetimeParallel is OptimalLifetime with the branch exploration
 // spread over a worker pool (workers <= 0 means runtime.NumCPU()).
 func (c *Compiled) OptimalLifetimeParallel(workers int) (float64, sched.Schedule, error) {
 	return sched.OptimalParallel(c.discs, c.cl, workers)
+}
+
+// OptimalLifetimeParallelWithStats is OptimalLifetimeParallel with search
+// statistics (summed over the frontier expansion and all workers).
+func (c *Compiled) OptimalLifetimeParallelWithStats(workers int) (float64, sched.Schedule, sched.SearchStats, error) {
+	return sched.OptimalParallelWithStats(c.discs, c.cl, workers)
 }
 
 // BuildTA constructs the TA-KiBaM priced-timed-automata network of the

@@ -1,0 +1,266 @@
+package dkibam
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"batsched/internal/battery"
+	"batsched/internal/load"
+)
+
+// The ten paper loads pin the event-driven micro-engine (fastDraws,
+// fastIdle, batchDraws, eventJump) to the tick oracle on two battery types
+// and a handful of current levels. The properties here widen that to
+// randomized KiBaM parameters and load shapes — draw periods, burst
+// lengths, recovery constants and bank mixes the paper never exercises —
+// with fixed seeds so CI is deterministic.
+
+// randScenario draws a random bank and compiled load. Currents are
+// constructed as cur*Gamma/(ct*T) so every segment discretizes exactly; the
+// load is extended until its draw demand comfortably exceeds the bank's
+// total charge, so the system dies before the horizon on most trials.
+func randScenario(rng *rand.Rand) ([]*Discretization, load.Compiled, error) {
+	nBats := 1 + rng.Intn(3)
+	ds := make([]*Discretization, nBats)
+	totalUnits := 0
+	for i := range ds {
+		// Occasionally share a discretization (identical batteries).
+		if i > 0 && rng.Intn(2) == 0 {
+			ds[i] = ds[i-1]
+			totalUnits += ds[i].N
+			continue
+		}
+		units := 20 + rng.Intn(280)
+		p := battery.Params{
+			Capacity: float64(units) * PaperUnitAmpMin,
+			C:        float64(100+rng.Intn(800)) / 1000, // 0.100 .. 0.899
+			KPrime:   0.01 + rng.Float64()*0.5,
+			Label:    fmt.Sprintf("R%d", i),
+		}
+		d, err := Discretize(p, PaperStepMin, PaperUnitAmpMin)
+		if err != nil {
+			return nil, load.Compiled{}, err
+		}
+		ds[i] = d
+		totalUnits += units
+	}
+	var segs []load.Segment
+	demand := 0
+	for demand <= 3*totalUnits || len(segs) < 2 {
+		if rng.Intn(3) == 0 {
+			steps := 1 + rng.Intn(300)
+			segs = append(segs, load.Segment{Duration: float64(steps) * PaperStepMin})
+			continue
+		}
+		cur := 1 + rng.Intn(3)
+		ct := 1 + rng.Intn(40)
+		steps := ct * (1 + rng.Intn(200)) // whole draw periods keep demand easy to count
+		segs = append(segs, load.Segment{
+			Duration: float64(steps) * PaperStepMin,
+			Current:  float64(cur) * PaperUnitAmpMin / (float64(ct) * PaperStepMin),
+		})
+		demand += cur * (steps / ct)
+	}
+	l, err := load.New("fuzz", segs...)
+	if err != nil {
+		return nil, load.Compiled{}, err
+	}
+	cl, err := load.Compile(l, PaperStepMin, PaperUnitAmpMin)
+	if err != nil {
+		return nil, load.Compiled{}, err
+	}
+	return ds, cl, nil
+}
+
+// runPropTrace drives one engine with a deterministic pseudo-random chooser
+// and records the full observable trajectory: every decision (time, epoch,
+// reason, choice, and the complete discrete state of every battery) plus
+// how the run ended.
+func runPropTrace(ds []*Discretization, cl load.Compiled, e Engine, chooserSeed int64) (trace []string, outcome string) {
+	sys, err := NewSystem(ds, cl)
+	if err != nil {
+		return nil, "construct: " + err.Error()
+	}
+	sys.SetEngine(e)
+	crng := rand.New(rand.NewSource(chooserSeed))
+	lifetime, err := sys.Run(func(s *System, dec Decision) int {
+		idx := dec.Alive[crng.Intn(len(dec.Alive))]
+		snap := fmt.Sprintf("t=%d j=%d r=%v pick=%d", dec.Step, dec.Epoch, dec.Reason, idx)
+		for i := 0; i < s.Batteries(); i++ {
+			c := s.Cell(i)
+			snap += fmt.Sprintf("|n=%d m=%d cr=%d e=%v", c.N, c.M, c.CRecov, c.Empty)
+		}
+		trace = append(trace, snap)
+		return idx
+	})
+	if err != nil {
+		return trace, "err: " + err.Error()
+	}
+	return trace, fmt.Sprintf("lifetime=%v death=%d", lifetime, sys.DeathStep())
+}
+
+// compareEngines holds event and tick trajectories of one scenario to each
+// other, step for step.
+func compareEngines(t *testing.T, ds []*Discretization, cl load.Compiled, chooserSeed int64, label string) {
+	t.Helper()
+	tickTrace, tickOut := runPropTrace(ds, cl, EngineTick, chooserSeed)
+	evtTrace, evtOut := runPropTrace(ds, cl, EngineEvent, chooserSeed)
+	if tickOut != evtOut {
+		t.Fatalf("%s: outcome diverges:\n tick:  %s\n event: %s", label, tickOut, evtOut)
+	}
+	if len(tickTrace) != len(evtTrace) {
+		t.Fatalf("%s: %d decisions on tick, %d on event", label, len(tickTrace), len(evtTrace))
+	}
+	for i := range tickTrace {
+		if tickTrace[i] != evtTrace[i] {
+			t.Fatalf("%s: decision %d diverges:\n tick:  %s\n event: %s", label, i, tickTrace[i], evtTrace[i])
+		}
+	}
+}
+
+// TestEngineRandomizedDifferential: the event engine must be bit-identical
+// to the tick oracle on randomized banks and loads. Seeded, so CI runs the
+// same 60 scenarios every time.
+func TestEngineRandomizedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260726))
+	trials := 60
+	if testing.Short() {
+		trials = 12
+	}
+	for trial := 0; trial < trials; trial++ {
+		ds, cl, err := randScenario(rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		compareEngines(t, ds, cl, int64(1000+trial), fmt.Sprintf("trial %d", trial))
+	}
+}
+
+// stepReference advances a single discharging cell one step with the
+// canonical per-step semantics of System.step, returning what happened.
+// It is an independent reimplementation for the batchDraws property below.
+func stepReference(d *Discretization, c *Cell, ct, cur int) (drew, decremented, empty bool) {
+	if c.M >= 2 {
+		c.CRecov++
+	} else {
+		c.CRecov = 0
+	}
+	c.CDisch++
+	if c.CDisch >= ct {
+		wasInactive := c.M < 2
+		c.N -= cur
+		c.M += cur
+		if wasInactive && c.M >= 2 {
+			c.CRecov = 0
+		}
+		c.CDisch = 0
+		drew = true
+	}
+	for c.M >= 2 && c.CRecov >= d.RecovTime[c.M] {
+		c.M--
+		c.CRecov = 0
+		decremented = true
+	}
+	if c.M < 2 {
+		c.CRecov = 0
+	}
+	if drew && d.IsEmptyCondition(*c) {
+		c.Empty = true
+		empty = true
+	}
+	return drew, decremented, empty
+}
+
+// TestBatchDrawsProperty: whatever batch size batchDraws claims safe must
+// match the step-by-step reference exactly — same cell state after k draws,
+// no recovery decrement and no empty observation anywhere in the batch —
+// on randomized cells, discretizations and draw periods.
+func TestBatchDrawsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := 4000
+	if testing.Short() {
+		trials = 400
+	}
+	for trial := 0; trial < trials; trial++ {
+		units := 20 + rng.Intn(300)
+		p := battery.Params{
+			Capacity: float64(units) * PaperUnitAmpMin,
+			C:        float64(100+rng.Intn(800)) / 1000,
+			KPrime:   0.01 + rng.Float64()*0.5,
+		}
+		d, err := Discretize(p, PaperStepMin, PaperUnitAmpMin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A mid-discharge cell at a draw boundary with its recovery clock
+		// running — exactly the precondition of batchDraws. Reachable states
+		// satisfy N + M <= capacity (draws conserve the sum, recovery only
+		// shrinks M), which also keeps RecovTime lookups in range.
+		n := 2 + rng.Intn(units-3)
+		if units-n < 2 {
+			continue
+		}
+		m := 2 + rng.Intn(units-n-1)
+		cell := Cell{N: n, M: m, CRecov: rng.Intn(d.RecovTime[m])}
+		if d.IsEmptyCondition(cell) {
+			continue
+		}
+		ct := 1 + rng.Intn(20)
+		cur := 1 + rng.Intn(3)
+		room := 2*ct + rng.Intn(2000)
+
+		k := batchDraws(&cell, d, ct, cur, room)
+		if k < 0 {
+			t.Fatalf("trial %d: negative batch %d", trial, k)
+		}
+		if k == 0 {
+			continue
+		}
+		// Walk the reference k*ct steps: it must perform exactly k draws,
+		// with no decrement, no empty, inside the room.
+		ref := cell
+		draws := 0
+		for s := 0; s < k*ct; s++ {
+			drew, decremented, empty := stepReference(d, &ref, ct, cur)
+			if decremented {
+				t.Fatalf("trial %d: decrement inside a %d-draw batch (step %d, cell %+v ct=%d cur=%d room=%d start %+v)",
+					trial, k, s, ref, ct, cur, room, cell)
+			}
+			if empty {
+				t.Fatalf("trial %d: battery emptied inside a %d-draw batch (step %d)", trial, k, s)
+			}
+			if drew {
+				draws++
+			}
+		}
+		if draws != k {
+			t.Fatalf("trial %d: reference drew %d times, batch claims %d", trial, draws, k)
+		}
+		if k*ct >= room {
+			t.Fatalf("trial %d: batch of %d draws (%d steps) overruns room %d", trial, k, k*ct, room)
+		}
+		got := Cell{N: cell.N - k*cur, M: cell.M + k*cur, CRecov: cell.CRecov + k*ct}
+		if ref.N != got.N || ref.M != got.M || ref.CRecov != got.CRecov || ref.CDisch != 0 {
+			t.Fatalf("trial %d: linear extrapolation %+v, reference %+v", trial, got, ref)
+		}
+	}
+}
+
+// FuzzEngineDifferential is the native fuzz entry point over the same
+// property: bytes choose the bank, the load shape and the chooser seed, and
+// the two engines must agree exactly. `go test` runs the seed corpus only;
+// `go test -fuzz FuzzEngineDifferential ./internal/dkibam` explores.
+func FuzzEngineDifferential(f *testing.F) {
+	f.Add(int64(1), int64(2))
+	f.Add(int64(20260726), int64(7))
+	f.Add(int64(-12345), int64(99))
+	f.Fuzz(func(t *testing.T, scenarioSeed, chooserSeed int64) {
+		rng := rand.New(rand.NewSource(scenarioSeed))
+		ds, cl, err := randScenario(rng)
+		if err != nil {
+			t.Skip() // unlucky parameter draw; nothing to compare
+		}
+		compareEngines(t, ds, cl, chooserSeed, fmt.Sprintf("seed %d/%d", scenarioSeed, chooserSeed))
+	})
+}

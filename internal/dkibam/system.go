@@ -89,6 +89,13 @@ type System struct {
 	// call; never part of snapshots or clones.
 	lastReset []int
 
+	// aliveScratch backs Decision.Alive, mirroring the lastReset pattern:
+	// allocated once at construction and refilled on every pending decision,
+	// so the decision hot loop never allocates. Valid only until the next
+	// call that advances or mutates the system; never part of snapshots or
+	// clones.
+	aliveScratch []int
+
 	// OnStep, when non-nil, is invoked after every completed time step;
 	// used to sample charge traces (Figure 6). Clone clears it.
 	OnStep func(*System)
@@ -121,12 +128,13 @@ func NewSystem(ds []*Discretization, cl load.Compiled) (*System, error) {
 		}
 	}
 	s := &System{
-		ds:        ds,
-		cells:     make([]Cell, len(ds)),
-		cl:        cl,
-		active:    NoBattery,
-		alive:     len(ds),
-		lastReset: make([]int, len(ds)),
+		ds:           ds,
+		cells:        make([]Cell, len(ds)),
+		cl:           cl,
+		active:       NoBattery,
+		alive:        len(ds),
+		lastReset:    make([]int, len(ds)),
+		aliveScratch: make([]int, 0, len(ds)),
 	}
 	for i, d := range ds {
 		s.cells[i] = FullCell(d)
@@ -142,6 +150,7 @@ func (s *System) Clone() *System {
 	c.cells = make([]Cell, len(s.cells))
 	copy(c.cells, s.cells)
 	c.lastReset = make([]int, len(s.cells))
+	c.aliveScratch = make([]int, 0, len(s.cells))
 	c.OnStep = nil
 	return &c
 }
@@ -209,7 +218,10 @@ type Decision struct {
 	Step int
 	// Epoch is the job epoch to serve.
 	Epoch int
-	// Alive lists the batteries that may be chosen.
+	// Alive lists the batteries that may be chosen. It aliases a scratch
+	// buffer owned by the System and is only valid until the next call that
+	// advances or mutates the system (AdvanceToDecision, Choose, Run, ...);
+	// callers that retain a decision across such calls must copy it.
 	Alive []int
 }
 
@@ -264,11 +276,17 @@ func (s *System) pendingDecision() (Decision, bool) {
 	if s.t > start {
 		reason = BatteryEmptied
 	}
+	s.aliveScratch = s.aliveScratch[:0]
+	for i := range s.cells {
+		if !s.cells[i].Empty {
+			s.aliveScratch = append(s.aliveScratch, i)
+		}
+	}
 	return Decision{
 		Reason: reason,
 		Step:   s.t,
 		Epoch:  s.j,
-		Alive:  s.AliveBatteries(),
+		Alive:  s.aliveScratch,
 	}, true
 }
 
@@ -635,7 +653,10 @@ type State struct {
 	T, Epoch, Active int
 	Dead             bool
 	Death            int
-	Cells            []Cell
+	// Alive caches the not-yet-empty counter at capture time so that
+	// RestoreState is a plain copy instead of an O(batteries) recount.
+	Alive int
+	Cells []Cell
 }
 
 // SaveState captures the current simulation state, reusing buf (which may be
@@ -645,6 +666,7 @@ func (s *System) SaveState(buf []Cell) State {
 		T:     s.t,
 		Epoch: s.j, Active: s.active,
 		Dead: s.dead, Death: s.death,
+		Alive: s.alive,
 		Cells: append(buf[:0], s.cells...),
 	}
 }
@@ -654,14 +676,8 @@ func (s *System) SaveState(buf []Cell) State {
 func (s *System) RestoreState(st State) {
 	s.t, s.j, s.active = st.T, st.Epoch, st.Active
 	s.dead, s.death = st.Dead, st.Death
+	s.alive = st.Alive
 	copy(s.cells, st.Cells)
-	alive := 0
-	for i := range s.cells {
-		if !s.cells[i].Empty {
-			alive++
-		}
-	}
-	s.alive = alive
 }
 
 // Run drives the system with the chooser until all batteries are empty and

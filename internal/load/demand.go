@@ -1,0 +1,104 @@
+package load
+
+import "fmt"
+
+// Demand precomputes, for a compiled load, how many draw events serving each
+// epoch costs, plus prefix sums over the epochs. The optimal search's
+// branch-and-bound uses it to turn a remaining-charge budget into an
+// admissible upper bound on the system death step: a bank that can afford at
+// most B more draw events cannot outlive the step at which the load's
+// cumulative draw demand exceeds B.
+//
+// Epoch y is a job epoch when Cur[y] > 0; serving it end to end with the
+// discharge clock starting at zero costs floor(len_y / CurTimes[y]) draw
+// events (one every CurTimes[y] steps, including a draw that lands exactly
+// on the epoch boundary, which the engine fires before switching epochs).
+// Idle epochs cost nothing. A Demand is immutable and safe for concurrent
+// use.
+type Demand struct {
+	loadTime []int
+	curTimes []int
+	cur      []int
+	// cum[y] is the number of draw events needed to serve epochs [0, y) end
+	// to end, each from a zero discharge phase.
+	cum []int64
+}
+
+// NewDemand builds the draw-demand profile of a compiled load. It is built
+// once per search and shared by every bound evaluation.
+func NewDemand(cl Compiled) (*Demand, error) {
+	if err := cl.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Demand{
+		loadTime: cl.LoadTime,
+		curTimes: cl.CurTimes,
+		cur:      cl.Cur,
+		cum:      make([]int64, len(cl.LoadTime)+1),
+	}
+	for y := range cl.LoadTime {
+		var draws int64
+		if cl.Cur[y] > 0 {
+			draws = int64((cl.LoadTime[y] - cl.EpochStart(y)) / cl.CurTimes[y])
+		}
+		d.cum[y+1] = d.cum[y] + draws
+	}
+	return d, nil
+}
+
+// EpochDraws returns the number of draw events epoch y costs when served end
+// to end from a zero discharge phase.
+func (d *Demand) EpochDraws(y int) int64 { return d.cum[y+1] - d.cum[y] }
+
+// TotalDraws returns the draw events the whole load costs.
+func (d *Demand) TotalDraws() int64 { return d.cum[len(d.cum)-1] }
+
+// LastServableStep returns the largest step t >= from such that serving the
+// load from step `from` inside epoch `epoch` — with the discharge clock
+// reset at `from`, and again at every later epoch start — requires at most
+// `budget` draw events. The second result is false when the budget outlasts
+// the load horizon (t is then the horizon itself and no finite bound holds).
+//
+// Draws land at from + k*CurTimes[epoch] within the current epoch and at
+// start_y + k*CurTimes[y] within each later job epoch y, so the step count
+// inverts in O(1) per epoch; the epoch where the budget runs out is found by
+// binary search over the prefix sums.
+func (d *Demand) LastServableStep(from, epoch int, budget int64) (int, bool) {
+	if epoch < 0 || epoch >= len(d.loadTime) {
+		panic(fmt.Sprintf("load: demand epoch %d out of range [0, %d)", epoch, len(d.loadTime)))
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	if d.cur[epoch] > 0 {
+		ct := d.curTimes[epoch]
+		rest := int64((d.loadTime[epoch] - from) / ct)
+		if budget < rest {
+			// The budget dies inside the current epoch: the (budget+1)-th
+			// draw at from + (budget+1)*ct is unaffordable, so the last
+			// servable step is the one just before it.
+			return from + (int(budget)+1)*ct - 1, true
+		}
+		budget -= rest
+	}
+	// Binary search for the largest y with epochs [epoch+1, y) fully
+	// affordable: cum[y] - cum[epoch+1] <= budget.
+	base := d.cum[epoch+1]
+	lo, hi := epoch+1, len(d.loadTime)
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if d.cum[mid]-base <= budget {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if lo == len(d.loadTime) {
+		return d.loadTime[len(d.loadTime)-1], false
+	}
+	// Epoch lo is unaffordable end to end, so it is a job epoch (idle epochs
+	// cost nothing); the budget runs out part way through it.
+	budget -= d.cum[lo] - base
+	start := d.loadTime[lo-1]
+	return start + (int(budget)+1)*d.curTimes[lo] - 1, true
+}

@@ -1,0 +1,125 @@
+package load
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// demandCompiled hand-builds a small compiled load: epochs given as
+// (steps, curTimes, cur) triples.
+func demandCompiled(t *testing.T, epochs [][3]int) Compiled {
+	t.Helper()
+	c := Compiled{StepMin: 0.01, UnitAmpMin: 0.01}
+	end := 0
+	for _, e := range epochs {
+		end += e[0]
+		c.LoadTime = append(c.LoadTime, end)
+		c.CurTimes = append(c.CurTimes, e[1])
+		c.Cur = append(c.Cur, e[2])
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// requiredDraws is the brute-force reference: the draw events needed to
+// serve the load from step `from` in epoch `epoch` through step s, with the
+// discharge clock reset at `from` and at every later epoch start.
+func requiredDraws(c Compiled, from, epoch, s int) int64 {
+	var draws int64
+	t := from
+	for y := epoch; y < len(c.LoadTime) && t < s; y++ {
+		end := c.LoadTime[y]
+		if end > s {
+			end = s
+		}
+		if c.Cur[y] > 0 {
+			draws += int64((end - t) / c.CurTimes[y])
+		}
+		t = c.LoadTime[y]
+	}
+	return draws
+}
+
+func TestDemandEpochDraws(t *testing.T) {
+	c := demandCompiled(t, [][3]int{{100, 4, 1}, {50, 0, 0}, {30, 7, 2}, {60, 0, 0}})
+	d, err := NewDemand(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []int64{25, 0, 4, 0}
+	for y, w := range wants {
+		if got := d.EpochDraws(y); got != w {
+			t.Errorf("epoch %d: %d draws, want %d", y, got, w)
+		}
+	}
+	if got := d.TotalDraws(); got != 29 {
+		t.Errorf("total draws %d, want 29", got)
+	}
+}
+
+// TestDemandLastServableStep holds the O(log epochs) inversion to the
+// brute-force step walk on randomized loads and query points.
+func TestDemandLastServableStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var epochs [][3]int
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			steps := 1 + rng.Intn(40)
+			if rng.Intn(3) == 0 {
+				epochs = append(epochs, [3]int{steps, 0, 0})
+			} else {
+				epochs = append(epochs, [3]int{steps, 1 + rng.Intn(9), 1 + rng.Intn(3)})
+			}
+		}
+		c := demandCompiled(t, epochs)
+		d, err := NewDemand(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := c.TotalSteps()
+		for q := 0; q < 40; q++ {
+			from := rng.Intn(horizon)
+			epoch := 0
+			for c.LoadTime[epoch] <= from {
+				epoch++
+			}
+			budget := int64(rng.Intn(int(d.TotalDraws()) + 3))
+			got, finite := d.LastServableStep(from, epoch, budget)
+			// Reference: the largest s <= horizon with requiredDraws <= budget.
+			want := from
+			for s := from; s <= horizon; s++ {
+				if requiredDraws(c, from, epoch, s) <= budget {
+					want = s
+				}
+			}
+			if finite {
+				if got != want || want >= horizon {
+					t.Fatalf("trial %d: from=%d epoch=%d budget=%d: got %d (finite), brute force %d (horizon %d)",
+						trial, from, epoch, budget, got, want, horizon)
+				}
+			} else {
+				if want < horizon {
+					t.Fatalf("trial %d: from=%d epoch=%d budget=%d: said unbounded, brute force stops at %d < horizon %d",
+						trial, from, epoch, budget, want, horizon)
+				}
+			}
+		}
+	}
+}
+
+func TestDemandEpochRangePanics(t *testing.T) {
+	c := demandCompiled(t, [][3]int{{10, 2, 1}})
+	d, err := NewDemand(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for an out-of-range epoch")
+		}
+	}()
+	d.LastServableStep(0, 1, 5)
+}

@@ -3,58 +3,137 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"math"
 
+	"batsched/internal/battery"
 	"batsched/internal/dkibam"
 	"batsched/internal/load"
 )
 
 // MaxOptimalBatteries bounds the bank size of the optimal search. The memo
 // key is a fixed-size comparable struct so that the map hashes it without
-// allocating; eight batteries is far beyond what the exponential search can
-// explore anyway.
-const MaxOptimalBatteries = 8
+// allocating; twelve batteries is reachable for homogeneous banks thanks to
+// symmetry canonicalization, which collapses the n! permutations of
+// identical batteries into one state.
+const MaxOptimalBatteries = 12
+
+// MaxDistinctOptimalBatteries bounds the number of non-interchangeable
+// battery types past the legacy 8-battery cap: symmetry canonicalization is
+// what makes larger banks tractable, and it collapses nothing between
+// distinct types, so a 9..12-battery bank must not be all-distinct.
+const MaxDistinctOptimalBatteries = 8
 
 // ErrTooManyBatteries is returned when the bank exceeds MaxOptimalBatteries.
-var ErrTooManyBatteries = errors.New("sched: optimal search supports at most 8 batteries")
+var ErrTooManyBatteries = errors.New("sched: optimal search bank exceeds MaxOptimalBatteries")
+
+// ErrBankTooDiverse is returned for banks past MaxDistinctOptimalBatteries
+// batteries whose battery types are (almost) all distinct — without
+// interchangeable batteries the exhaustive search has no symmetry to exploit
+// and would run effectively forever.
+var ErrBankTooDiverse = errors.New("sched: optimal search past 8 batteries needs interchangeable batteries")
+
+// SearchStats counts the work an optimal search performed; the sweep runner
+// and the evaluation service surface them so speedups (and regressions) are
+// observable from the API.
+type SearchStats struct {
+	// States is the number of decision states expanded.
+	States int64 `json:"states"`
+	// Leaves is the number of complete trajectories reached.
+	Leaves int64 `json:"leaves"`
+	// MemoHits counts children resolved from the memo table.
+	MemoHits int64 `json:"memo_hits"`
+	// Pruned counts children cut by the admissible charge bound before
+	// expansion.
+	Pruned int64 `json:"pruned"`
+}
+
+// Add accumulates o into s (used to merge per-worker counters).
+func (s *SearchStats) Add(o SearchStats) {
+	s.States += o.States
+	s.Leaves += o.Leaves
+	s.MemoHits += o.MemoHits
+	s.Pruned += o.Pruned
+}
+
+// SearchOptions select the optimal search's optimizations. The zero value is
+// the reference exhaustive search (memoised, but neither canonicalized nor
+// pruned), kept for differential testing and benchmarking against
+// DefaultSearchOptions.
+type SearchOptions struct {
+	// Canonicalize sorts the states of identical batteries inside memo keys,
+	// collapsing permutation-equivalent states (up to n! for a homogeneous
+	// bank). Optimality is preserved because identical batteries are
+	// interchangeable: relabelling them maps schedules to schedules of equal
+	// lifetime (see DESIGN.md).
+	Canonicalize bool
+	// Prune enables branch-and-bound: children whose admissible
+	// charge-vs-demand bound cannot beat the best lifetime found so far are
+	// cut, and children are explored best-bound-first so the incumbent
+	// tightens early.
+	Prune bool
+}
+
+// DefaultSearchOptions enables every optimization; Optimal and
+// OptimalParallel use them.
+func DefaultSearchOptions() SearchOptions {
+	return SearchOptions{Canonicalize: true, Prune: true}
+}
 
 // Optimal computes the maximum achievable system lifetime and a schedule
-// that attains it by exhaustive depth-first search over all scheduling
-// decisions of the discretized battery system, with memoisation on decision
-// states. The search is iterative (an explicit frame stack) and
-// allocation-lean: it branches by snapshotting and restoring cell state on a
-// single reusable system instead of cloning, and memoises on a compact
-// comparable struct key instead of a formatted string.
+// that attains it by branch-and-bound depth-first search over all scheduling
+// decisions of the discretized battery system, with memoisation on
+// canonicalized decision states. The search is iterative (an explicit frame
+// stack) and allocation-lean: it branches by snapshotting and restoring cell
+// state on a single reusable system instead of cloning, and memoises on a
+// compact comparable struct key instead of a formatted string.
 //
 // This search is an independent cross-check of the priced-timed-automata
 // route of the paper (internal/takibam + internal/mc): both must agree on
 // the optimal lifetime, which the integration tests assert.
 func Optimal(ds []*dkibam.Discretization, cl load.Compiled) (float64, Schedule, error) {
-	o, best, err := solveOptimal(ds, cl)
+	lt, schedule, _, err := OptimalWithOptions(ds, cl, DefaultSearchOptions())
+	return lt, schedule, err
+}
+
+// OptimalWithStats is Optimal, additionally reporting search statistics.
+func OptimalWithStats(ds []*dkibam.Discretization, cl load.Compiled) (float64, Schedule, SearchStats, error) {
+	return OptimalWithOptions(ds, cl, DefaultSearchOptions())
+}
+
+// OptimalWithOptions runs the optimal search with explicit optimization
+// options. The returned lifetime is identical for every option set — the
+// options only change how much of the state space must be visited to prove
+// it — which the differential tests pin on the paper's loads and banks.
+func OptimalWithOptions(ds []*dkibam.Discretization, cl load.Compiled, opts SearchOptions) (float64, Schedule, SearchStats, error) {
+	o, best, err := solveOptimal(ds, cl, opts)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, SearchStats{}, err
 	}
 	sys, err := dkibam.NewSystem(ds, cl)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, SearchStats{}, err
 	}
 	schedule, err := o.replay(sys)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, SearchStats{}, err
 	}
-	return float64(best) * cl.StepMin, schedule, nil
+	return float64(best) * cl.StepMin, schedule, o.stats, nil
 }
 
-// solveOptimal runs the memoised search from the initial state and returns
-// the optimizer (holding the filled memo table) and the best death step.
-func solveOptimal(ds []*dkibam.Discretization, cl load.Compiled) (*optimizer, int, error) {
-	if len(ds) > MaxOptimalBatteries {
-		return nil, 0, fmt.Errorf("%w (have %d)", ErrTooManyBatteries, len(ds))
+// solveOptimal runs the search from the initial state and returns the
+// optimizer (holding the filled memo table) and the best death step.
+func solveOptimal(ds []*dkibam.Discretization, cl load.Compiled, opts SearchOptions) (*optimizer, int, error) {
+	if err := validateBank(ds); err != nil {
+		return nil, 0, err
 	}
 	sys, err := dkibam.NewSystem(ds, cl)
 	if err != nil {
 		return nil, 0, err
 	}
-	o := newOptimizer(cl)
+	o, err := newOptimizer(ds, cl, opts)
+	if err != nil {
+		return nil, 0, err
+	}
 	best, err := o.solve(sys)
 	if err != nil {
 		return nil, 0, err
@@ -62,9 +141,44 @@ func solveOptimal(ds []*dkibam.Discretization, cl load.Compiled) (*optimizer, in
 	return o, best, nil
 }
 
+// validateBank enforces the search's feasibility caps: at most
+// MaxOptimalBatteries total, and past MaxDistinctOptimalBatteries the bank
+// must contain interchangeable batteries for canonicalization to collapse.
+func validateBank(ds []*dkibam.Discretization) error {
+	if len(ds) > MaxOptimalBatteries {
+		return fmt.Errorf("%w (have %d, max %d)", ErrTooManyBatteries, len(ds), MaxOptimalBatteries)
+	}
+	if len(ds) <= MaxDistinctOptimalBatteries {
+		return nil
+	}
+	params := make([]battery.Params, len(ds))
+	for i, d := range ds {
+		params[i] = d.Params
+	}
+	if n := DistinctBatteryTypes(params); n > MaxDistinctOptimalBatteries {
+		return fmt.Errorf("%w (bank of %d has %d distinct types, max %d)",
+			ErrBankTooDiverse, len(ds), n, MaxDistinctOptimalBatteries)
+	}
+	return nil
+}
+
+// maxBound marks subtrees on which the charge bound cannot cut anything
+// (the budget outlasts the load horizon).
+const maxBound = math.MaxInt32
+
+// memoEntry records what the search has proven about one canonical decision
+// state. death is the best realized death step reached from the state and
+// choice the canonical slot attaining it; bound is a proven upper bound on
+// the death step achievable from the state. The entry is exact — the
+// subtree's true optimum is known — exactly when death == bound. Inexact
+// entries arise when branch-and-bound cut children of the subtree; they
+// still prune (via bound) and still replay (via choice), but do not
+// short-circuit a re-expansion. Updates keep death at its maximum and bound
+// at its minimum, so entries only ever sharpen.
 type memoEntry struct {
-	death  int32 // best achievable death step from this decision state
-	choice int8  // battery index attaining it
+	death  int32
+	bound  int32
+	choice int8
 }
 
 // cellKey is one battery's state in a memo key. CDisch is omitted: decisions
@@ -75,139 +189,486 @@ type cellKey struct {
 	empty        bool
 }
 
+// cellLess orders cell states within an identical-battery group; any strict
+// total order works, it only has to be deterministic.
+func cellLess(a, b cellKey) bool {
+	if a.n != b.n {
+		return a.n < b.n
+	}
+	if a.m != b.m {
+		return a.m < b.m
+	}
+	if a.crecov != b.crecov {
+		return a.crecov < b.crecov
+	}
+	return !a.empty && b.empty
+}
+
 // stateKey canonically encodes a decision state. Time (and hence the epoch
 // and position within it) plus every battery's discrete state fully
 // determine the future, because decisions always happen with no battery
-// discharging. Unused battery slots stay at the zero value.
+// discharging. Within each identical-battery group the cell states are
+// sorted (when canonicalization is on), so permutation-equivalent states
+// share one key. Unused battery slots stay at the zero value.
 type stateKey struct {
 	t     int32
 	cells [MaxOptimalBatteries]cellKey
 }
 
-func makeKey(sys *dkibam.System) stateKey {
-	k := stateKey{t: int32(sys.Step())}
-	for i := 0; i < sys.Batteries(); i++ {
-		c := sys.Cell(i)
-		k.cells[i] = cellKey{
-			n: int32(c.N), m: int32(c.M), crecov: int32(c.CRecov),
-			empty: c.Empty,
+// keyPerm maps canonical slots back to physical battery indices:
+// keyPerm[slot] is the battery whose state sits at cells[slot] of the
+// associated stateKey. Canonicalization only permutes positions within an
+// identical-battery group, so slot and keyPerm[slot] always refer to
+// batteries with the same discretization.
+type keyPerm [MaxOptimalBatteries]int8
+
+// slotOf inverts a keyPerm for one physical battery index.
+func slotOf(pm keyPerm, battery int) int8 {
+	for s := range pm {
+		if pm[s] == int8(battery) {
+			return int8(s)
 		}
 	}
-	return k
+	panic(fmt.Sprintf("sched: battery %d not in key permutation", battery))
 }
 
 type optimizer struct {
-	cl   load.Compiled
-	memo map[stateKey]memoEntry
+	cl    load.Compiled
+	opts  SearchOptions
+	memo  map[stateKey]memoEntry
+	stats SearchStats
 
-	// frame and cell-buffer free lists, reused across pushes and pops so the
-	// steady-state search does not allocate.
-	frames []frame
-	bufs   [][]dkibam.Cell
+	nbat int
+	// groups lists, per identical-battery group with at least two members,
+	// the battery positions of that group (ascending); empty without
+	// canonicalization.
+	groups [][]int
+	// demand is the load's draw-event profile backing the admissible bound;
+	// nil without pruning.
+	demand *load.Demand
+	// incumbent is the best realized death step seen so far (-1 initially).
+	// It only ever grows, and it persists across solve calls so that the
+	// parallel search's per-worker optimizers keep pruning power between
+	// subproblems.
+	incumbent int32
+
+	// frame, cell-buffer and child-buffer free lists, reused across pushes
+	// and pops so the steady-state search does not allocate.
+	frames   []frame
+	bufs     [][]dkibam.Cell
+	childers [][]child
 }
 
-func newOptimizer(cl load.Compiled) *optimizer {
-	return &optimizer{cl: cl, memo: make(map[stateKey]memoEntry)}
+// battGroupKey fingerprints what makes two batteries interchangeable: the
+// physical parameters and the discretization grid (the Label is cosmetic).
+type battGroupKey struct {
+	capacity, c, kPrime float64
+	stepMin, unitAmpMin float64
+}
+
+func groupKeyOf(d *dkibam.Discretization) battGroupKey {
+	return battGroupKey{
+		capacity: d.Params.Capacity, c: d.Params.C, kPrime: d.Params.KPrime,
+		stepMin: d.StepMin, unitAmpMin: d.UnitAmpMin,
+	}
+}
+
+// DistinctBatteryTypes counts the non-interchangeable battery types of a
+// bank; it owns the interchangeability fingerprint shared by validateBank
+// and the spec layer's up-front validation. Labels are cosmetic, and the
+// discretization grid is uniform within a bank (NewSystem enforces it), so
+// the physical parameters alone decide interchangeability; groupKeyOf adds
+// the grid only as a defensive belt for the canonicalization groups.
+func DistinctBatteryTypes(params []battery.Params) int {
+	type key struct{ capacity, c, kPrime float64 }
+	types := make(map[key]struct{}, len(params))
+	for _, p := range params {
+		types[key{p.Capacity, p.C, p.KPrime}] = struct{}{}
+	}
+	return len(types)
+}
+
+func newOptimizer(ds []*dkibam.Discretization, cl load.Compiled, opts SearchOptions) (*optimizer, error) {
+	o := &optimizer{
+		cl:        cl,
+		opts:      opts,
+		memo:      make(map[stateKey]memoEntry),
+		nbat:      len(ds),
+		incumbent: -1,
+	}
+	if opts.Canonicalize {
+		byKey := make(map[battGroupKey][]int)
+		order := make([]battGroupKey, 0, len(ds))
+		for i, d := range ds {
+			k := groupKeyOf(d)
+			if _, seen := byKey[k]; !seen {
+				order = append(order, k)
+			}
+			byKey[k] = append(byKey[k], i)
+		}
+		for _, k := range order {
+			if pos := byKey[k]; len(pos) > 1 {
+				o.groups = append(o.groups, pos)
+			}
+		}
+	}
+	if opts.Prune {
+		d, err := load.NewDemand(cl)
+		if err != nil {
+			return nil, err
+		}
+		o.demand = d
+	}
+	return o, nil
+}
+
+// makeKey canonically encodes sys's decision state and returns the slot
+// permutation that maps the key back to physical battery indices.
+func (o *optimizer) makeKey(sys *dkibam.System) (stateKey, keyPerm) {
+	var k stateKey
+	var pm keyPerm
+	k.t = int32(sys.Step())
+	for i := 0; i < o.nbat; i++ {
+		c := sys.Cell(i)
+		k.cells[i] = cellKey{n: int32(c.N), m: int32(c.M), crecov: int32(c.CRecov), empty: c.Empty}
+		pm[i] = int8(i)
+	}
+	for _, pos := range o.groups {
+		// Insertion sort of the group's cell states across its positions,
+		// carrying the permutation; groups are tiny, and the stable sort
+		// keeps ties (physically identical batteries) in index order.
+		for a := 1; a < len(pos); a++ {
+			for b := a; b > 0 && cellLess(k.cells[pos[b]], k.cells[pos[b-1]]); b-- {
+				k.cells[pos[b]], k.cells[pos[b-1]] = k.cells[pos[b-1]], k.cells[pos[b]]
+				pm[pos[b]], pm[pos[b-1]] = pm[pos[b-1]], pm[pos[b]]
+			}
+		}
+	}
+	return k, pm
+}
+
+// bound returns an admissible upper bound on the death step achievable from
+// sys's decision state: the bank can afford at most sum(alive n_i) draw
+// events (each draw needs n >= 1 before it and consumes at least one unit)
+// plus alive-1 phase resets (each mid-job replacement delays the draw grid
+// by less than one period, saving at most one draw, and needs a death of a
+// previously alive battery), and the load demands draws on a fixed grid —
+// see load.Demand and the admissibility proof in DESIGN.md.
+func (o *optimizer) bound(sys *dkibam.System) int32 {
+	var supply, alive int64
+	for i := 0; i < o.nbat; i++ {
+		c := sys.Cell(i)
+		if !c.Empty {
+			supply += int64(c.N)
+			alive++
+		}
+	}
+	step, finite := o.demand.LastServableStep(sys.Step(), sys.Epoch(), supply+alive-1)
+	if !finite {
+		return maxBound
+	}
+	return int32(step)
 }
 
 // frame is one suspended decision node of the iterative depth-first search.
+// Children are expanded eagerly (each advanced to its own decision state)
+// and sorted best-bound-first; resolved ones (leaves, exact memo hits) fold
+// into best immediately and never occupy a child slot.
 type frame struct {
-	key    stateKey
-	state  dkibam.State
-	alive  []int
-	next   int   // index into alive of the next branch to explore
-	best   int32 // best death step over explored branches
-	choice int8  // battery attaining best
+	key      stateKey
+	children []child
+	next     int   // index into children of the next branch to explore
+	best     int32 // best death step over resolved branches
+	choice   int8  // canonical slot attaining best
+	// prunedUB is the largest admissible bound over branches that were cut
+	// (or resolved inexactly); -1 when none. The frame's value is exact iff
+	// best >= prunedUB at completion: everything skipped provably could not
+	// exceed what was found.
+	prunedUB int32
+}
+
+// child is one expanded, not yet explored branch of a frame.
+type child struct {
+	key   stateKey
+	pm    keyPerm
+	state dkibam.State
+	slot  int8  // canonical slot of the parent choice reaching this child
+	ub    int32 // admissible bound on the child's death step
 }
 
 // errHorizon marks search branches on which the batteries outlived the load.
 var errHorizon = errors.New("sched: optimal search ran out of load horizon")
 
+// fold accounts one branch outcome into the frame: v is a realized death
+// step (which also tightens the global incumbent), vb a proven upper bound
+// on the branch (vb > v when the branch was resolved inexactly).
+func (o *optimizer) fold(f *frame, slot int8, v, vb int32) {
+	if v > f.best {
+		f.best, f.choice = v, slot
+	}
+	if v > o.incumbent {
+		o.incumbent = v
+	}
+	if vb > v && vb > f.prunedUB {
+		f.prunedUB = vb
+	}
+}
+
+// skip accounts a branch cut by the bound ub.
+func (o *optimizer) skip(f *frame, ub int32) {
+	o.stats.Pruned++
+	if ub > f.prunedUB {
+		f.prunedUB = ub
+	}
+}
+
+// expand builds the frame of the decision state sys currently sits at
+// (snapshotted in parent): every alive battery is tried, advanced to its own
+// next decision, and either resolved on the spot (leaf, exact memo hit),
+// cut by the admissible bound, or kept as a child — sorted best-bound-first
+// so the incumbent tightens as early as possible.
+func (o *optimizer) expand(sys *dkibam.System, parent dkibam.State, key stateKey, pm keyPerm) (frame, error) {
+	o.stats.States++
+	dec, pending, err := sys.AdvanceToDecision()
+	if err != nil {
+		return frame{}, fmt.Errorf("%w: %w", errHorizon, err)
+	}
+	if !pending {
+		return frame{}, errors.New("sched: optimal search expanded off a decision state")
+	}
+	// dec.Alive aliases the system's scratch buffer, which the child
+	// advances below overwrite; the bank fits a stack copy by construction.
+	var alive [MaxOptimalBatteries]int
+	na := copy(alive[:], dec.Alive)
+	f := frame{key: key, best: -1, choice: -1, prunedUB: -1, children: o.takeChildren()}
+	for ai := 0; ai < na; ai++ {
+		idx := alive[ai]
+		if ai > 0 {
+			sys.RestoreState(parent)
+		}
+		if err := sys.Choose(idx); err != nil {
+			o.abandon(&f)
+			return frame{}, err
+		}
+		slot := slotOf(pm, idx)
+		_, pending, err := sys.AdvanceToDecision()
+		if err != nil {
+			o.abandon(&f)
+			return frame{}, fmt.Errorf("%w: %w", errHorizon, err)
+		}
+		if !pending {
+			o.stats.Leaves++
+			v := int32(sys.DeathStep())
+			o.fold(&f, slot, v, v)
+			continue
+		}
+		ckey, cpm := o.makeKey(sys)
+		ub := int32(maxBound)
+		if e, ok := o.memo[ckey]; ok {
+			if e.death == e.bound {
+				o.stats.MemoHits++
+				o.fold(&f, slot, e.death, e.death)
+				continue
+			}
+			if o.opts.Prune && e.bound <= o.incumbent {
+				o.skip(&f, e.bound)
+				continue
+			}
+			// An inexact entry still carries a proven bound, often tighter
+			// than the fresh charge bound: keep the minimum for ordering and
+			// for the prune re-check at descend time.
+			ub = e.bound
+		}
+		if o.opts.Prune {
+			if b := o.bound(sys); b < ub {
+				ub = b
+			}
+			if ub <= o.incumbent {
+				o.skip(&f, ub)
+				continue
+			}
+		}
+		f.children = append(f.children, child{
+			key: ckey, pm: cpm,
+			state: sys.SaveState(o.takeBuf()),
+			slot:  slot, ub: ub,
+		})
+	}
+	// Best-bound-first, ties on the canonical slot for determinism.
+	cs := f.children
+	for a := 1; a < len(cs); a++ {
+		for b := a; b > 0 && (cs[b].ub > cs[b-1].ub || (cs[b].ub == cs[b-1].ub && cs[b].slot < cs[b-1].slot)); b-- {
+			cs[b], cs[b-1] = cs[b-1], cs[b]
+		}
+	}
+	return f, nil
+}
+
 // solve explores the decision tree rooted at sys's next decision point and
 // returns the best achievable death step. sys is used as scratch space and
 // left in an unspecified state.
 func (o *optimizer) solve(sys *dkibam.System) (int, error) {
-	dec, pending, err := sys.AdvanceToDecision()
+	_, pending, err := sys.AdvanceToDecision()
 	if err != nil {
 		return 0, fmt.Errorf("%w: %w", errHorizon, err)
 	}
 	if !pending {
+		o.stats.Leaves++
 		return sys.DeathStep(), nil
 	}
-	rootKey := makeKey(sys)
-	if e, ok := o.memo[rootKey]; ok {
+	rootKey, rootPm := o.makeKey(sys)
+	if e, ok := o.memo[rootKey]; ok && e.death == e.bound {
+		o.stats.MemoHits++
 		return int(e.death), nil
 	}
+	rootState := sys.SaveState(o.takeBuf())
+	root, err := o.expand(sys, rootState, rootKey, rootPm)
+	o.releaseBuf(rootState.Cells)
+	if err != nil {
+		return 0, err
+	}
 	stack := o.frames[:0]
-	stack = append(stack, o.newFrame(sys, rootKey, dec))
-	// result carries the death step of the most recently completed subtree;
-	// the owning frame folds it in on its next visit.
-	result := 0
+	stack = append(stack, root)
+	// result carries the (death, bound) of the most recently completed
+	// subtree; the owning frame folds it in on its next visit.
+	var result, resultBound int32
+	returning := false
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
-		if f.next > 0 && int32(result) > f.best {
-			f.best = int32(result)
-			f.choice = int8(f.alive[f.next-1])
+		if returning {
+			o.fold(f, f.children[f.next-1].slot, result, resultBound)
+			returning = false
 		}
-		if f.next >= len(f.alive) {
-			o.memo[f.key] = memoEntry{death: f.best, choice: f.choice}
-			result = int(f.best)
-			o.releaseFrame(f)
-			stack = stack[:len(stack)-1]
+		descended := false
+		for f.next < len(f.children) {
+			c := &f.children[f.next]
+			f.next++
+			// The incumbent has typically grown since this child was
+			// expanded, and its subtree may have been resolved or bounded
+			// away under a sibling: re-check both before descending.
+			if o.opts.Prune && c.ub <= o.incumbent {
+				o.skip(f, c.ub)
+				o.releaseChild(c)
+				continue
+			}
+			if e, ok := o.memo[c.key]; ok {
+				if e.death == e.bound {
+					o.stats.MemoHits++
+					o.fold(f, c.slot, e.death, e.death)
+					o.releaseChild(c)
+					continue
+				}
+				if o.opts.Prune && e.bound <= o.incumbent {
+					o.skip(f, e.bound)
+					o.releaseChild(c)
+					continue
+				}
+			}
+			sys.RestoreState(c.state)
+			nf, err := o.expand(sys, c.state, c.key, c.pm)
+			o.releaseChild(c)
+			if err != nil {
+				for i := range stack {
+					o.abandon(&stack[i])
+				}
+				o.frames = stack[:0]
+				return 0, err
+			}
+			stack = append(stack, nf)
+			descended = true
+			break
+		}
+		if descended {
 			continue
 		}
-		idx := f.alive[f.next]
-		f.next++
-		sys.RestoreState(f.state)
-		if err := sys.Choose(idx); err != nil {
-			o.frames = stack
-			return 0, err
+		// Frame complete: everything skipped is provably at most prunedUB,
+		// so the value is exact when best reaches it.
+		bound := f.best
+		if f.prunedUB > f.best {
+			bound = f.prunedUB
 		}
-		dec, pending, err := sys.AdvanceToDecision()
-		if err != nil {
-			o.frames = stack
-			return 0, fmt.Errorf("%w: %w", errHorizon, err)
-		}
-		if !pending {
-			result = sys.DeathStep()
-			continue
-		}
-		key := makeKey(sys)
-		if e, ok := o.memo[key]; ok {
-			result = int(e.death)
-			continue
-		}
-		stack = append(stack, o.newFrame(sys, key, dec))
+		o.store(f.key, f.best, bound, f.choice)
+		result, resultBound = f.best, bound
+		returning = true
+		o.releaseChildren(f.children)
+		f.children = nil
+		stack = stack[:len(stack)-1]
 	}
 	o.frames = stack
-	return result, nil
+	return int(result), nil
 }
 
-// newFrame suspends the current decision state of sys into a frame, reusing
-// pooled buffers where available.
-func (o *optimizer) newFrame(sys *dkibam.System, key stateKey, dec dkibam.Decision) frame {
-	var buf []dkibam.Cell
+// store merges a completed frame into the memo: death only grows (it is a
+// realized value, with choice following it), bound only shrinks (it is a
+// proven limit). Both stay valid under the merge because every stored death
+// is realizable from the state and every stored bound provably limits it.
+func (o *optimizer) store(key stateKey, death, bound int32, choice int8) {
+	if e, ok := o.memo[key]; ok {
+		if death > e.death {
+			e.death, e.choice = death, choice
+		}
+		if bound < e.bound {
+			e.bound = bound
+		}
+		o.memo[key] = e
+		return
+	}
+	o.memo[key] = memoEntry{death: death, bound: bound, choice: choice}
+}
+
+// Buffer pools. Children carry saved cell states; both the child slices and
+// the cell buffers are recycled so the steady-state search does not
+// allocate.
+
+func (o *optimizer) takeBuf() []dkibam.Cell {
 	if n := len(o.bufs); n > 0 {
-		buf = o.bufs[n-1]
+		b := o.bufs[n-1]
 		o.bufs = o.bufs[:n-1]
+		return b
 	}
-	return frame{
-		key:    key,
-		state:  sys.SaveState(buf),
-		alive:  dec.Alive,
-		best:   -1,
-		choice: -1,
+	return nil
+}
+
+func (o *optimizer) releaseBuf(buf []dkibam.Cell) {
+	if buf != nil {
+		o.bufs = append(o.bufs, buf)
 	}
 }
 
-func (o *optimizer) releaseFrame(f *frame) {
-	o.bufs = append(o.bufs, f.state.Cells)
-	f.state.Cells = nil
-	f.alive = nil
+func (o *optimizer) releaseChild(c *child) {
+	o.releaseBuf(c.state.Cells)
+	c.state.Cells = nil
+}
+
+func (o *optimizer) takeChildren() []child {
+	if n := len(o.childers); n > 0 {
+		cs := o.childers[n-1]
+		o.childers = o.childers[:n-1]
+		return cs[:0]
+	}
+	return make([]child, 0, MaxOptimalBatteries)
+}
+
+func (o *optimizer) releaseChildren(cs []child) {
+	if cs != nil {
+		o.childers = append(o.childers, cs)
+	}
+}
+
+// abandon releases a frame's remaining child buffers (error unwinding).
+func (o *optimizer) abandon(f *frame) {
+	for i := f.next; i < len(f.children); i++ {
+		o.releaseChild(&f.children[i])
+	}
+	o.releaseChildren(f.children)
+	f.children = nil
 }
 
 // replay reconstructs an optimal schedule from the memo table by walking the
-// recorded best choices from sys's current state.
+// recorded best choices from sys's current state. Choices are stored as
+// canonical slots, so each step maps the slot back through the current
+// state's permutation — this is what keeps replay emitting concrete battery
+// indices even though permutation-equivalent states share memo entries.
 func (o *optimizer) replay(sys *dkibam.System) (Schedule, error) {
 	var schedule Schedule
 	for {
@@ -218,18 +679,20 @@ func (o *optimizer) replay(sys *dkibam.System) (Schedule, error) {
 		if !pending {
 			return schedule, nil
 		}
-		entry, ok := o.memo[makeKey(sys)]
-		if !ok {
+		key, pm := o.makeKey(sys)
+		entry, ok := o.memo[key]
+		if !ok || entry.choice < 0 {
 			return nil, errors.New("sched: optimal replay hit an unexplored state")
 		}
+		battery := int(pm[entry.choice])
 		schedule = append(schedule, Choice{
 			Step:    dec.Step,
 			Minutes: float64(dec.Step) * o.cl.StepMin,
 			Epoch:   dec.Epoch,
 			Reason:  dec.Reason,
-			Battery: int(entry.choice),
+			Battery: battery,
 		})
-		if err := sys.Choose(int(entry.choice)); err != nil {
+		if err := sys.Choose(battery); err != nil {
 			return nil, err
 		}
 	}

@@ -12,40 +12,61 @@ import (
 // OptimalParallel is Optimal with the branch exploration spread over a
 // worker pool. The decision tree is first expanded breadth-first into a
 // frontier of independent subproblems (enough to keep the workers busy);
-// each worker then solves its share with its own memo table, and the best
-// subtree — together with the breadth-first prefix that reaches it — yields
-// the optimal lifetime and schedule. Workers <= 0 means runtime.NumCPU().
+// each worker then solves its share with its own memo table, incumbent and
+// charge-bound pruning, and the best subtree — together with the
+// breadth-first prefix that reaches it — yields the optimal lifetime and
+// schedule. Workers <= 0 means runtime.NumCPU().
 //
 // The result is deterministic and identical to Optimal: subproblems are
-// assigned and compared in frontier order, and memo tables are per-worker,
-// so goroutine scheduling cannot change the outcome. The price of
-// parallelism is that sibling subtrees no longer share memo entries.
+// assigned and compared in frontier order, and memo tables and incumbents
+// are per-worker, so goroutine scheduling cannot change the outcome. A
+// worker's incumbent carries across its own tasks (that order is fixed), so
+// later subproblems may report a pruned-down value — but the subproblem
+// attaining the true optimum first in frontier order always reports it
+// exactly, because nothing can prune a branch that beats every incumbent.
+// The price of parallelism is that sibling subtrees no longer share memo
+// entries.
 func OptimalParallel(ds []*dkibam.Discretization, cl load.Compiled, workers int) (float64, Schedule, error) {
-	if len(ds) > MaxOptimalBatteries {
-		return 0, nil, fmt.Errorf("%w (have %d)", ErrTooManyBatteries, len(ds))
+	lt, schedule, _, err := OptimalParallelWithOptions(ds, cl, workers, DefaultSearchOptions())
+	return lt, schedule, err
+}
+
+// OptimalParallelWithStats is OptimalParallel, additionally reporting the
+// search statistics summed over the frontier expansion and all workers.
+func OptimalParallelWithStats(ds []*dkibam.Discretization, cl load.Compiled, workers int) (float64, Schedule, SearchStats, error) {
+	return OptimalParallelWithOptions(ds, cl, workers, DefaultSearchOptions())
+}
+
+// OptimalParallelWithOptions is OptimalParallel with explicit optimization
+// options (see OptimalWithOptions).
+func OptimalParallelWithOptions(ds []*dkibam.Discretization, cl load.Compiled, workers int, sopts SearchOptions) (float64, Schedule, SearchStats, error) {
+	if err := validateBank(ds); err != nil {
+		return 0, nil, SearchStats{}, err
 	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	if workers == 1 {
-		return Optimal(ds, cl)
+		return OptimalWithOptions(ds, cl, sopts)
 	}
 
-	frontier, deadEnds, err := expandFrontier(ds, cl, 4*workers)
+	frontier, deadEnds, stats, err := expandFrontier(ds, cl, 4*workers)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, SearchStats{}, err
 	}
 
 	// Solve every frontier subproblem; worker w takes tasks w, w+workers, ...
 	// so the assignment is deterministic and each worker reuses one memo
-	// table (memo keys encode the full state, so entries are valid across a
-	// worker's tasks).
+	// table and incumbent (memo keys encode the full state, so entries are
+	// valid across a worker's tasks, and incumbents are realized lifetimes,
+	// so they prune soundly everywhere).
 	type outcome struct {
 		death int
 		opt   *optimizer
 		err   error
 	}
 	outcomes := make([]outcome, len(frontier))
+	workerOpts := make([]*optimizer, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers && w < len(frontier); w++ {
 		wg.Add(1)
@@ -56,7 +77,12 @@ func OptimalParallel(ds []*dkibam.Discretization, cl load.Compiled, workers int)
 				outcomes[w] = outcome{err: err}
 				return
 			}
-			o := newOptimizer(cl)
+			o, err := newOptimizer(ds, cl, sopts)
+			if err != nil {
+				outcomes[w] = outcome{err: err}
+				return
+			}
+			workerOpts[w] = o
 			for i := w; i < len(frontier); i += workers {
 				sys.RestoreState(frontier[i].state)
 				death, err := o.solve(sys)
@@ -68,11 +94,16 @@ func OptimalParallel(ds []*dkibam.Discretization, cl load.Compiled, workers int)
 		}(w)
 	}
 	wg.Wait()
+	for _, o := range workerOpts {
+		if o != nil {
+			stats.Add(o.stats)
+		}
+	}
 
 	best, bestIdx := -1, -1
 	for i, oc := range outcomes {
 		if oc.err != nil {
-			return 0, nil, oc.err
+			return 0, nil, stats, oc.err
 		}
 		if oc.death > best {
 			best, bestIdx = oc.death, i
@@ -89,25 +120,25 @@ func OptimalParallel(ds []*dkibam.Discretization, cl load.Compiled, workers int)
 	if bestIdx == -1 {
 		for _, de := range deadEnds {
 			if de.death == best {
-				return float64(best) * cl.StepMin, de.prefix, nil
+				return float64(best) * cl.StepMin, de.prefix, stats, nil
 			}
 		}
-		return 0, nil, errHorizon
+		return 0, nil, stats, errHorizon
 	}
 
 	// Reconstruct: the winning subproblem's prefix, then the winning
 	// worker's memo from the subproblem's start state.
 	sys, err := dkibam.NewSystem(ds, cl)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, stats, err
 	}
 	sys.RestoreState(frontier[bestIdx].state)
 	tail, err := outcomes[bestIdx].opt.replay(sys)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, stats, err
 	}
 	schedule := append(append(Schedule{}, frontier[bestIdx].prefix...), tail...)
-	return float64(best) * cl.StepMin, schedule, nil
+	return float64(best) * cl.StepMin, schedule, stats, nil
 }
 
 // subproblem is one frontier node of the parallel search: a decision state
@@ -126,17 +157,19 @@ type deadEnd struct {
 // expandFrontier grows the decision tree breadth-first until it holds at
 // least target open subproblems (or cannot grow further). Branches that die
 // during expansion are returned separately as complete schedules.
-func expandFrontier(ds []*dkibam.Discretization, cl load.Compiled, target int) ([]subproblem, []deadEnd, error) {
+func expandFrontier(ds []*dkibam.Discretization, cl load.Compiled, target int) ([]subproblem, []deadEnd, SearchStats, error) {
+	var stats SearchStats
 	sys, err := dkibam.NewSystem(ds, cl)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, stats, err
 	}
 	dec, pending, err := sys.AdvanceToDecision()
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %w", errHorizon, err)
+		return nil, nil, stats, fmt.Errorf("%w: %w", errHorizon, err)
 	}
 	if !pending {
-		return nil, []deadEnd{{death: sys.DeathStep()}}, nil
+		stats.Leaves++
+		return nil, []deadEnd{{death: sys.DeathStep()}}, stats, nil
 	}
 
 	type node struct {
@@ -144,16 +177,23 @@ func expandFrontier(ds []*dkibam.Discretization, cl load.Compiled, target int) (
 		dec    dkibam.Decision
 		prefix Schedule
 	}
-	queue := []node{{state: sys.SaveState(nil), dec: dec, prefix: nil}}
+	// Decisions alias the system's scratch Alive buffer; queued nodes
+	// outlive many advances, so they keep copies.
+	retain := func(dec dkibam.Decision) dkibam.Decision {
+		dec.Alive = append([]int(nil), dec.Alive...)
+		return dec
+	}
+	queue := []node{{state: sys.SaveState(nil), dec: retain(dec), prefix: nil}}
 	var deadEnds []deadEnd
 	for len(queue) > 0 && len(queue) < target {
 		// FIFO expansion keeps the frontier shallow and is deterministic.
 		n := queue[0]
 		queue = queue[1:]
+		stats.States++
 		for _, idx := range n.dec.Alive {
 			sys.RestoreState(n.state)
 			if err := sys.Choose(idx); err != nil {
-				return nil, nil, err
+				return nil, nil, stats, err
 			}
 			prefix := append(append(Schedule{}, n.prefix...), Choice{
 				Step:    n.dec.Step,
@@ -164,23 +204,24 @@ func expandFrontier(ds []*dkibam.Discretization, cl load.Compiled, target int) (
 			})
 			childDec, pending, err := sys.AdvanceToDecision()
 			if err != nil {
-				return nil, nil, fmt.Errorf("%w: %w", errHorizon, err)
+				return nil, nil, stats, fmt.Errorf("%w: %w", errHorizon, err)
 			}
 			if !pending {
+				stats.Leaves++
 				deadEnds = append(deadEnds, deadEnd{death: sys.DeathStep(), prefix: prefix})
 				continue
 			}
-			queue = append(queue, node{state: sys.SaveState(nil), dec: childDec, prefix: prefix})
+			queue = append(queue, node{state: sys.SaveState(nil), dec: retain(childDec), prefix: prefix})
 		}
 	}
 	if len(queue) == 0 {
 		// Every branch died during expansion; the prefixes are complete
 		// schedules.
-		return nil, deadEnds, nil
+		return nil, deadEnds, stats, nil
 	}
 	frontier := make([]subproblem, len(queue))
 	for i, n := range queue {
 		frontier[i] = subproblem{state: n.state, prefix: n.prefix}
 	}
-	return frontier, deadEnds, nil
+	return frontier, deadEnds, stats, nil
 }

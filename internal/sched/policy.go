@@ -42,7 +42,10 @@ type Decision struct {
 	Reason Reason
 	// Minutes is the decision time.
 	Minutes float64
-	// Alive lists the batteries that may be chosen.
+	// Alive lists the batteries that may be chosen. It aliases a scratch
+	// buffer owned by the simulation and is only valid for the duration of
+	// the chooser call; choosers that retain it across decisions must copy
+	// it.
 	Alive []int
 }
 

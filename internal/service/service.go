@@ -20,6 +20,7 @@ import (
 	"batsched/internal/battery"
 	"batsched/internal/core"
 	"batsched/internal/load"
+	"batsched/internal/sched"
 	"batsched/internal/spec"
 	"batsched/internal/sweep"
 )
@@ -104,6 +105,11 @@ type Result struct {
 	Solver      string  `json:"solver"`
 	LifetimeMin float64 `json:"lifetime_min"`
 	Decisions   int     `json:"decisions"`
+	// Stats reports the optimal search's work counters (states expanded,
+	// memo hits, pruned branches); omitted for solvers without a search.
+	// This is how perf improvements — and regressions — of the exact search
+	// stay observable from /v1/run and /v1/sweep.
+	Stats *sched.SearchStats `json:"stats,omitempty"`
 	// Error is the per-cell failure; one bad cell does not abort a sweep.
 	Error string `json:"error,omitempty"`
 }
@@ -236,6 +242,7 @@ func fromSweep(r sweep.Result) Result {
 		Solver:      r.Policy,
 		LifetimeMin: r.Lifetime,
 		Decisions:   r.Decisions,
+		Stats:       r.Stats,
 	}
 	if r.Err != nil {
 		out.Error = r.Err.Error()

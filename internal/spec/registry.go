@@ -27,6 +27,10 @@ type Builder struct {
 	Doc string
 	// MaxBatteries caps the bank size the solver can handle (0 = no cap).
 	MaxBatteries int
+	// MaxDistinctBatteries caps the number of distinct battery types per
+	// bank (0 = no cap). The optimal search uses it: past 8 batteries only
+	// symmetry between identical batteries keeps the search tractable.
+	MaxDistinctBatteries int
 	// SingleBattery marks solvers that need exactly one battery.
 	SingleBattery bool
 	// Build constructs the sweep case; params is nil for defaults.
@@ -225,8 +229,9 @@ func init() {
 	})
 	Register(Builder{
 		Name: "optimal", Aliases: []string{"opt"},
-		Doc:          "clairvoyant optimum by direct search; params: {\"parallel\": bool, \"workers\": n}",
-		MaxBatteries: sched.MaxOptimalBatteries,
+		Doc:                  "clairvoyant optimum by direct search; params: {\"parallel\": bool, \"workers\": n}",
+		MaxBatteries:         sched.MaxOptimalBatteries,
+		MaxDistinctBatteries: sched.MaxDistinctOptimalBatteries,
 		Build: func(raw json.RawMessage) (sweep.PolicyCase, error) {
 			var p OptimalParams
 			if err := decodeParams(raw, &p); err != nil {

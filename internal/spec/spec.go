@@ -25,6 +25,7 @@ import (
 	"batsched/internal/battery"
 	"batsched/internal/dkibam"
 	"batsched/internal/load"
+	"batsched/internal/sched"
 	"batsched/internal/sweep"
 )
 
@@ -432,7 +433,7 @@ func strictDecode(data []byte, v any) error {
 // Compile validates the scenario and resolves it into the executable sweep
 // grid. Solver names are resolved through the registry; bank sizes are
 // checked against each solver's limits (the optimal search handles at most
-// 8 batteries, the analytic lifetime exactly 1).
+// 12 batteries, the analytic lifetime exactly 1).
 func (sc Scenario) Compile() (sweep.Spec, error) {
 	var out sweep.Spec
 	switch {
@@ -445,6 +446,7 @@ func (sc Scenario) Compile() (sweep.Spec, error) {
 	}
 
 	maxBank := 0
+	maxDistinct := 0
 	seen := map[string]bool{}
 	for i, b := range sc.Banks {
 		name, params, err := b.Resolve()
@@ -457,6 +459,12 @@ func (sc Scenario) Compile() (sweep.Spec, error) {
 		seen[name] = true
 		if len(params) > maxBank {
 			maxBank = len(params)
+		}
+		// Solvers whose tractability depends on interchangeable batteries
+		// cap the distinct types via Builder.MaxDistinctBatteries; the count
+		// uses the search's own interchangeability fingerprint.
+		if n := sched.DistinctBatteryTypes(params); n > maxDistinct {
+			maxDistinct = n
 		}
 		out.Banks = append(out.Banks, sweep.Bank{Name: name, Batteries: params})
 	}
@@ -483,6 +491,10 @@ func (sc Scenario) Compile() (sweep.Spec, error) {
 		if builder.MaxBatteries > 0 && maxBank > builder.MaxBatteries {
 			return out, fmt.Errorf("%w: %s handles at most %d batteries (bank has %d)",
 				ErrTooManyBanks, builder.Name, builder.MaxBatteries, maxBank)
+		}
+		if builder.MaxDistinctBatteries > 0 && maxDistinct > builder.MaxDistinctBatteries {
+			return out, fmt.Errorf("%w: %s handles at most %d distinct battery types (bank has %d)",
+				ErrTooManyBanks, builder.Name, builder.MaxDistinctBatteries, maxDistinct)
 		}
 		if builder.SingleBattery && maxBank > 1 {
 			return out, fmt.Errorf("%w: %s", ErrBankTooSmall, builder.Name)

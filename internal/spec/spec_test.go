@@ -253,7 +253,21 @@ func TestValidationErrors(t *testing.T) {
 	})
 	t.Run("too many batteries for optimal", func(t *testing.T) {
 		sc := base()
-		sc.Banks = []Bank{{Battery: &Battery{Preset: "B1"}, Count: 9}}
+		sc.Banks = []Bank{{Battery: &Battery{Preset: "B1"}, Count: 13}}
+		sc.Solvers = []Solver{{Name: "optimal"}}
+		if err := sc.Validate(); !errors.Is(err, ErrTooManyBanks) {
+			t.Fatalf("got %v, want ErrTooManyBanks", err)
+		}
+	})
+	t.Run("too many distinct batteries for optimal", func(t *testing.T) {
+		sc := base()
+		// Nine distinct capacities: past 8 batteries the optimal search
+		// needs interchangeable batteries for canonicalization to collapse.
+		bats := make([]Battery, 9)
+		for i := range bats {
+			bats[i] = Battery{Preset: "B1", Capacity: 5.5 + float64(i)}
+		}
+		sc.Banks = []Bank{{Name: "diverse", Batteries: bats}}
 		sc.Solvers = []Solver{{Name: "optimal"}}
 		if err := sc.Validate(); !errors.Is(err, ErrTooManyBanks) {
 			t.Fatalf("got %v, want ErrTooManyBanks", err)

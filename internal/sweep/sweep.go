@@ -157,6 +157,9 @@ type Result struct {
 	Lifetime float64
 	// Decisions is the number of scheduling decisions of the run.
 	Decisions int
+	// Stats holds the optimal search's work counters (states expanded, memo
+	// hits, pruned branches); nil for solvers without a search.
+	Stats *sched.SearchStats
 	// Err is the per-scenario failure, if any; one bad cell does not abort
 	// the sweep.
 	Err error
@@ -278,7 +281,7 @@ func Run(spec Spec, opts Options) ([]Result, error) {
 				case cells[c].err != nil:
 					r.Err = cells[c].err
 				default:
-					r.Lifetime, r.Decisions, r.Err = runScenario(cells[c].compiled, spec.Policies[p])
+					r.Lifetime, r.Decisions, r.Stats, r.Err = runScenario(cells[c].compiled, spec.Policies[p])
 				}
 				if opts.OnResult != nil {
 					emitMu.Lock()
@@ -297,19 +300,24 @@ func Run(spec Spec, opts Options) ([]Result, error) {
 }
 
 // runScenario executes one scenario on a shared compiled artifact.
-func runScenario(c *core.Compiled, pc PolicyCase) (lifetime float64, decisions int, err error) {
+func runScenario(c *core.Compiled, pc PolicyCase) (lifetime float64, decisions int, stats *sched.SearchStats, err error) {
 	var schedule sched.Schedule
 	switch {
 	case pc.Run != nil:
-		return pc.Run(c)
+		lifetime, decisions, err = pc.Run(c)
+		return lifetime, decisions, nil, err
 	case pc.Optimal && pc.OptimalWorkers > 1:
-		lifetime, schedule, err = c.OptimalLifetimeParallel(pc.OptimalWorkers)
+		var st sched.SearchStats
+		lifetime, schedule, st, err = c.OptimalLifetimeParallelWithStats(pc.OptimalWorkers)
+		stats = &st
 	case pc.Optimal:
-		lifetime, schedule, err = c.OptimalLifetime()
+		var st sched.SearchStats
+		lifetime, schedule, st, err = c.OptimalLifetimeWithStats()
+		stats = &st
 	case pc.Policy != nil:
 		lifetime, schedule, err = c.PolicyRun(pc.Policy)
 	default:
-		return 0, 0, fmt.Errorf("sweep: policy case %q has neither a policy nor the optimal flag", pc.Name)
+		return 0, 0, nil, fmt.Errorf("sweep: policy case %q has neither a policy nor the optimal flag", pc.Name)
 	}
-	return lifetime, len(schedule), err
+	return lifetime, len(schedule), stats, err
 }

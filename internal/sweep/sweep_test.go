@@ -64,6 +64,15 @@ func TestSweepMatchesDirect(t *testing.T) {
 			if r.Decisions == 0 {
 				t.Errorf("%s/%s: no decisions recorded", r.Load, r.Policy)
 			}
+			// Optimal cells report their search statistics; policy cells
+			// have no search and must leave Stats nil.
+			if r.Policy == "optimal" {
+				if r.Stats == nil || r.Stats.States == 0 {
+					t.Errorf("%s/%s: no search stats (%+v)", r.Load, r.Policy, r.Stats)
+				}
+			} else if r.Stats != nil {
+				t.Errorf("%s/%s: unexpected search stats %+v", r.Load, r.Policy, r.Stats)
+			}
 		}
 	}
 }
