@@ -38,12 +38,14 @@ import (
 	"batsched/internal/battery"
 	"batsched/internal/core"
 	"batsched/internal/dkibam"
+	"batsched/internal/jobs"
 	"batsched/internal/load"
 	"batsched/internal/mc"
 	"batsched/internal/mcarlo"
 	"batsched/internal/sched"
 	"batsched/internal/service"
 	"batsched/internal/spec"
+	"batsched/internal/store"
 	"batsched/internal/sweep"
 	"batsched/internal/takibam"
 )
@@ -325,6 +327,74 @@ type (
 
 // NewEvalService builds an evaluation service.
 func NewEvalService(opts EvalOptions) *EvalService { return service.New(opts) }
+
+// DigestSweep returns the content digest of a sweep request — the dedup key
+// of the result store — plus the number of scenario cells it expands to.
+// The digest covers the resolved display names, the resolved physics of
+// every cell (the same content key the Compiled cache uses), and each
+// solver's canonical identity with parameters.
+func DigestSweep(req SweepRequest) (digest string, cases int, err error) {
+	return service.DigestSweep(req)
+}
+
+// Asynchronous job orchestration (internal/jobs) over a content-addressed
+// result store (internal/store): sweeps submitted as jobs run on a bounded
+// priority worker pool, report per-case progress, cancel via context, dedup
+// against the store by content digest, and — with a file-backed store —
+// survive restarts. cmd/batserve exposes the job API over HTTP
+// (POST/GET/DELETE /v1/jobs, GET /v1/jobs/{id}/results, GET /metrics).
+type (
+	// JobManager owns the job table, priority queue, and worker pool.
+	JobManager = jobs.Manager
+	// JobOptions tune a JobManager (worker count, queue depth).
+	JobOptions = jobs.Options
+	// JobRequest submits a sweep for asynchronous evaluation.
+	JobRequest = jobs.Request
+	// JobStatus is the wire form of a job (state, progress, stats).
+	JobStatus = jobs.Status
+	// JobState is a job lifecycle state.
+	JobState = jobs.State
+	// JobMetrics snapshots the manager's operational counters.
+	JobMetrics = jobs.Metrics
+	// ResultStore is the content-addressed result store.
+	ResultStore = store.Store
+	// StoreCounters snapshots the store's entry/hit/miss counters.
+	StoreCounters = store.Counters
+)
+
+// Job lifecycle states.
+const (
+	JobQueued    = jobs.StateQueued
+	JobRunning   = jobs.StateRunning
+	JobDone      = jobs.StateDone
+	JobFailed    = jobs.StateFailed
+	JobCancelled = jobs.StateCancelled
+)
+
+// Job errors.
+var (
+	// ErrJobNotFound marks an unknown job id.
+	ErrJobNotFound = jobs.ErrNotFound
+	// ErrJobQueueFull rejects submissions beyond the queue bound.
+	ErrJobQueueFull = jobs.ErrQueueFull
+	// ErrJobNotDone rejects result reads of unfinished jobs.
+	ErrJobNotDone = jobs.ErrNotDone
+	// ErrJobFinished rejects cancelling an already-terminal job.
+	ErrJobFinished = jobs.ErrFinished
+	// ErrJobsShuttingDown rejects submissions after Shutdown began.
+	ErrJobsShuttingDown = jobs.ErrShuttingDown
+)
+
+// OpenResultStore opens a content-addressed result store. An empty path is
+// memory-only; otherwise the path is an append-only NDJSON file replayed on
+// open, so completed job results survive restarts.
+func OpenResultStore(path string) (*ResultStore, error) { return store.Open(path) }
+
+// NewJobManager builds a job manager executing through svc and
+// deduplicating against st, and starts its worker pool.
+func NewJobManager(svc *EvalService, st *ResultStore, opts JobOptions) *JobManager {
+	return jobs.New(svc, st, opts)
+}
 
 // Monte-Carlo lifetime estimation (internal/mcarlo): sample random loads,
 // simulate each on the continuous KiBaM, and summarise the lifetime

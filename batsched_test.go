@@ -333,3 +333,66 @@ func TestPublicUppaalExport(t *testing.T) {
 		t.Fatalf("export does not look like Uppaal XML: %.80s", buf.String())
 	}
 }
+
+// TestPublicJobsAPI exercises the asynchronous orchestration surface
+// through the public API only: submit, wait, read results, dedup on
+// resubmission.
+func TestPublicJobsAPI(t *testing.T) {
+	st, err := batsched.OpenResultStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	svc := batsched.NewEvalService(batsched.EvalOptions{})
+	mgr := batsched.NewJobManager(svc, st, batsched.JobOptions{Workers: 2})
+	defer mgr.Shutdown(context.Background())
+
+	req := batsched.JobRequest{Scenario: batsched.Scenario{
+		Banks:   []batsched.BankSpec{{Battery: &batsched.BatterySpec{Preset: "B1"}, Count: 2}},
+		Loads:   []batsched.LoadSpec{{Paper: "ILs alt"}},
+		Solvers: []batsched.SolverSpec{{Name: "bestof"}},
+	}}
+	digest, cases, err := batsched.DigestSweep(batsched.SweepRequest{Scenario: req.Scenario})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest == "" || cases != 1 {
+		t.Fatalf("digest %q cases %d", digest, cases)
+	}
+
+	sub, err := mgr.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Digest != digest {
+		t.Fatalf("job digest %s, want %s", sub.Digest, digest)
+	}
+	final, err := mgr.Wait(context.Background(), sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != batsched.JobDone || final.DoneCases != 1 {
+		t.Fatalf("job %+v", final)
+	}
+	lines, err := mgr.Results(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || !strings.Contains(string(lines[0]), "16.28") {
+		t.Fatalf("results %s, want the Table 5 best-of-two lifetime", lines)
+	}
+
+	re, err := mgr.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.FromStore {
+		t.Fatalf("identical resubmission re-ran: %+v", re)
+	}
+	if c := st.Counters(); c.Hits != 1 || c.Entries != 1 {
+		t.Fatalf("store counters %+v", c)
+	}
+	if m := mgr.Metrics(); m.CasesEvaluated != 1 {
+		t.Fatalf("cases evaluated %d, want 1", m.CasesEvaluated)
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"batsched"
+)
+
+// handleJobSubmit accepts a sweep for asynchronous evaluation. A store hit
+// answers 200 with the already-done job; a fresh submission answers 202
+// Accepted. Both carry a Location header for polling.
+func (a *app) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req batsched.JobRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := a.jobs.Submit(req)
+	if err != nil {
+		writeError(w, jobStatusFor(err), err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	code := http.StatusAccepted
+	if st.FromStore {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// handleJobList returns every job in submission order.
+func (a *app) handleJobList(w http.ResponseWriter, r *http.Request) {
+	list := a.jobs.List()
+	if list == nil {
+		list = []batsched.JobStatus{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": list})
+}
+
+// handleJobGet reports one job's status, progress, and aggregated search
+// stats.
+func (a *app) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	st, err := a.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, jobStatusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobResults streams a done job's results as NDJSON — byte-identical
+// to what the synchronous sweep endpoint produces for the same request.
+func (a *app) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	lines, err := a.jobs.Results(r.PathValue("id"))
+	if err != nil {
+		writeError(w, jobStatusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
+	for _, line := range lines {
+		_ = rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		// Two writes, not append(line, '\n'): the lines are shared across
+		// concurrent fetches of the same job, and append could write the
+		// newline into the shared backing array.
+		if _, err := w.Write(line); err != nil {
+			return
+		}
+		if _, err := w.Write([]byte{'\n'}); err != nil {
+			return
+		}
+	}
+}
+
+// handleJobCancel cancels a queued or running job.
+func (a *app) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := a.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, jobStatusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleMetrics serves the operational counters as a plain-text exposition
+// (stdlib only, prometheus-compatible line format): jobs by state, queue
+// and worker gauges, cases evaluated, result-store and compiled-cache
+// counters.
+func (a *app) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	jm := a.jobs.Metrics()
+	cs := a.svc.Stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, s := range []batsched.JobState{
+		batsched.JobQueued, batsched.JobRunning, batsched.JobDone,
+		batsched.JobFailed, batsched.JobCancelled,
+	} {
+		fmt.Fprintf(w, "batserve_jobs{state=%q} %d\n", s, jm.JobsByState[s])
+	}
+	fmt.Fprintf(w, "batserve_job_queue_depth %d\n", jm.QueueDepth)
+	fmt.Fprintf(w, "batserve_job_queue_bound %d\n", jm.QueueBound)
+	fmt.Fprintf(w, "batserve_job_cases_evaluated_total %d\n", jm.CasesEvaluated)
+	fmt.Fprintf(w, "batserve_workers_busy %d\n", jm.WorkersBusy)
+	fmt.Fprintf(w, "batserve_workers_total %d\n", jm.WorkersTotal)
+	fmt.Fprintf(w, "batserve_store_entries %d\n", jm.Store.Entries)
+	fmt.Fprintf(w, "batserve_store_hits_total %d\n", jm.Store.Hits)
+	fmt.Fprintf(w, "batserve_store_misses_total %d\n", jm.Store.Misses)
+	fmt.Fprintf(w, "batserve_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "batserve_cache_compiles_total %d\n", cs.Compiles)
+	fmt.Fprintf(w, "batserve_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "batserve_uptime_seconds %d\n", int64(time.Since(a.start).Seconds()))
+}
+
+// jobStatusFor maps job-layer errors to HTTP statuses.
+func jobStatusFor(err error) int {
+	var invalid *batsched.InvalidRequestError
+	switch {
+	case errors.As(err, &invalid):
+		return http.StatusBadRequest
+	case errors.Is(err, batsched.ErrJobNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, batsched.ErrJobQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, batsched.ErrJobsShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, batsched.ErrJobNotDone), errors.Is(err, batsched.ErrJobFinished):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,32 +1,38 @@
 // Command batserve is the long-lived HTTP evaluation service of the
 // battery-scheduling reproduction. It serves the serializable scenario API
-// over four endpoints:
+// synchronously and as durable asynchronous jobs:
 //
-//	GET  /healthz      liveness plus compiled-cache counters
-//	GET  /v1/policies  every solver addressable by name (with aliases)
-//	POST /v1/run       evaluate one scenario cell  -> one JSON object
-//	POST /v1/sweep     evaluate a scenario grid    -> NDJSON, one cell per
-//	                   line in deterministic nested order, streamed as
-//	                   results complete
+//	GET    /healthz              liveness: uptime, build, cache + queue gauges
+//	GET    /metrics              plain-text operational counters
+//	GET    /v1/policies          every solver addressable by name (with aliases)
+//	POST   /v1/run               evaluate one scenario cell -> one JSON object
+//	POST   /v1/sweep             evaluate a scenario grid   -> NDJSON stream
+//	POST   /v1/jobs              submit a sweep as a job    -> 202 + job status
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         job status + progress + aggregated stats
+//	GET    /v1/jobs/{id}/results completed job results      -> NDJSON,
+//	                             byte-identical to /v1/sweep on the same spec
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
 //
-// Scenarios are JSON (see internal/spec): banks are presets or custom KiBaM
-// parameters, loads are paper names, inline segments, or load-file text,
-// and solvers are registry names with optional parameters. Compiled
-// artifacts are cached across requests keyed by the resolved
-// (bank, load, grid) content, so many clients probing the same grid share
-// one discretization.
+// Jobs run on a bounded priority worker pool and dedup against a
+// content-addressed result store keyed by the request digest: resubmitting
+// an identical sweep is served from the store without re-evaluating a cell,
+// and with -store the results survive restarts. SIGINT/SIGTERM drain
+// gracefully: in-flight requests and running jobs finish (up to -drain),
+// then the store is closed.
 //
 // Usage:
 //
 //	batserve [-addr :8080] [-concurrency N] [-cache N]
+//	         [-job-workers N] [-queue N] [-store results.ndjson] [-drain 30s]
 //
 // Example:
 //
-//	curl -s localhost:8080/v1/run -d '{
-//	  "bank":   {"battery": {"preset": "B1"}, "count": 2},
-//	  "load":   {"paper": "ILs alt"},
-//	  "solver": "bestof"
-//	}'
+//	curl -s localhost:8080/v1/jobs -d '{"scenario": {
+//	  "banks":   [{"battery": {"preset": "B1"}, "count": 2}],
+//	  "loads":   [{"paper": "ILs alt"}],
+//	  "solvers": ["bestof", "optimal"]
+//	}}'
 package main
 
 import (
@@ -47,15 +53,30 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	concurrency := flag.Int("concurrency", 0, "max concurrently executing requests (0 = number of CPUs)")
 	cacheSize := flag.Int("cache", 0, "compiled-artifact cache entries (0 = default)")
+	jobWorkers := flag.Int("job-workers", 0, "jobs executing concurrently (0 = number of CPUs)")
+	queueDepth := flag.Int("queue", 0, "max queued jobs (0 = default)")
+	retainJobs := flag.Int("retain-jobs", 0, "finished jobs kept in the table (0 = default; results stay in the store)")
+	storePath := flag.String("store", "", "append-only result-store file (empty = in-memory only)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
+	st, err := batsched.OpenResultStore(*storePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "batserve: %v\n", err)
+		os.Exit(1)
+	}
 	svc := batsched.NewEvalService(batsched.EvalOptions{
 		MaxConcurrent: *concurrency,
 		CacheEntries:  *cacheSize,
 	})
+	mgr := batsched.NewJobManager(svc, st, batsched.JobOptions{
+		Workers:    *jobWorkers,
+		QueueDepth: *queueDepth,
+		RetainJobs: *retainJobs,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(svc),
+		Handler:           newHandler(&app{svc: svc, jobs: mgr, start: time.Now()}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -69,13 +90,41 @@ func main() {
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "batserve: %v\n", err)
 		os.Exit(1)
-	case <-stop:
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "batserve: %v, draining (timeout %s)\n", sig, *drain)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := drainAndClose(srv, mgr, st, *drain); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The deadline path is still clean: remaining jobs were cancelled
+			// and the store closed; report it without failing the exit.
+			fmt.Fprintf(os.Stderr, "batserve: drain timeout, running jobs cancelled\n")
+			return
+		}
 		fmt.Fprintf(os.Stderr, "batserve: shutdown: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// drainAndClose shuts the server down gracefully within timeout: stop
+// accepting connections and wait for in-flight HTTP requests, drain the job
+// manager (running jobs finish; past the deadline they are cancelled), then
+// close the result store so every appended record is synced. Split from
+// main so the drain path is testable without signals.
+func drainAndClose(srv *http.Server, mgr *batsched.JobManager, st *batsched.ResultStore, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var firstErr error
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		firstErr = fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := mgr.Shutdown(ctx); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("jobs drain: %w", err)
+	}
+	// Close the store last: a drained-on-deadline job may append its entry
+	// right up to the manager shutdown returning.
+	if err := st.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"time"
 
 	"batsched"
@@ -19,14 +20,29 @@ const maxRequestBytes = 4 << 20
 // buffer.
 const streamWriteTimeout = 30 * time.Second
 
-// newHandler wires the API routes onto a fresh mux. It takes the service
-// (not a global) so httptest can stand up isolated instances.
-func newHandler(svc *batsched.EvalService) http.Handler {
+// app bundles the long-lived server state the handlers share: the
+// synchronous evaluation service, the asynchronous job manager (which owns
+// the result store), and the start instant for uptime reporting.
+type app struct {
+	svc   *batsched.EvalService
+	jobs  *batsched.JobManager
+	start time.Time
+}
+
+// newHandler wires the API routes onto a fresh mux. It takes the app state
+// (not globals) so httptest can stand up isolated instances.
+func newHandler(a *app) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", handleHealth(svc))
+	mux.HandleFunc("GET /healthz", a.handleHealth)
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /v1/policies", handlePolicies)
-	mux.HandleFunc("POST /v1/run", handleRun(svc))
-	mux.HandleFunc("POST /v1/sweep", handleSweep(svc))
+	mux.HandleFunc("POST /v1/run", a.handleRun)
+	mux.HandleFunc("POST /v1/sweep", a.handleSweep)
+	mux.HandleFunc("POST /v1/jobs", a.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", a.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", a.handleJobResults)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleJobCancel)
 	return mux
 }
 
@@ -52,18 +68,36 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
-// handleHealth reports liveness plus the compiled-cache counters, which
-// double as a cheap load indicator.
-func handleHealth(svc *batsched.EvalService) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		st := svc.Stats()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":         "ok",
-			"cache_entries":  st.Entries,
-			"cache_compiles": st.Compiles,
-			"cache_hits":     st.Hits,
-		})
+// buildVersion resolves the server's build identity once (module version
+// plus toolchain); "unknown" outside module builds.
+var buildVersion = func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
 	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	return v + " " + bi.GoVersion
+}()
+
+// handleHealth reports liveness plus the operational gauges a load balancer
+// or operator polls cheaply: uptime, build identity, compiled-cache
+// counters, and the job-queue depth.
+func (a *app) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := a.svc.Stats()
+	jm := a.jobs.Metrics()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"uptime_seconds":  int64(time.Since(a.start).Seconds()),
+		"build":           buildVersion,
+		"cache_entries":   st.Entries,
+		"cache_compiles":  st.Compiles,
+		"cache_hits":      st.Hits,
+		"job_queue_depth": jm.QueueDepth,
+		"jobs_running":    jm.JobsByState[batsched.JobRunning],
+	})
 }
 
 // policyInfo is one registry entry in wire form.
@@ -85,80 +119,76 @@ func handlePolicies(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleRun evaluates a single scenario cell.
-func handleRun(svc *batsched.EvalService) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		var req batsched.RunRequest
-		if err := decodeBody(w, r, &req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		res, err := svc.Evaluate(r.Context(), req)
-		if err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
-		if res.Error != "" {
-			// The cell is well-formed but the solver failed (budget
-			// exhausted, horizon too short, ...): the request itself is not
-			// at fault.
-			writeJSON(w, http.StatusUnprocessableEntity, res)
-			return
-		}
-		writeJSON(w, http.StatusOK, res)
+func (a *app) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req batsched.RunRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
+	res, err := a.svc.Evaluate(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if res.Error != "" {
+		// The cell is well-formed but the solver failed (budget
+		// exhausted, horizon too short, ...): the request itself is not
+		// at fault.
+		writeJSON(w, http.StatusUnprocessableEntity, res)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // handleSweep evaluates a scenario grid, streaming one NDJSON line per cell
 // in deterministic nested order as soon as each result's predecessors are
 // done.
-func handleSweep(svc *batsched.EvalService) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		var req batsched.SweepRequest
-		if err := decodeBody(w, r, &req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		// The header is deferred until the first result: SweepStream
-		// validates the scenario itself (once — no separate Validate pass),
-		// so spec errors still surface with a proper status code.
-		flusher, _ := w.(http.Flusher)
-		rc := http.NewResponseController(w)
-		enc := json.NewEncoder(w)
-		streaming := false
-		// The connection outlives this handler (keep-alive), so the per-line
-		// deadline must not leak into the next request on it.
-		defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
-		err := svc.SweepStream(r.Context(), req, func(res batsched.EvalResult) error {
-			if !streaming {
-				w.Header().Set("Content-Type", "application/x-ndjson")
-				w.WriteHeader(http.StatusOK)
-				streaming = true
-			}
-			// A connected client that stops reading would otherwise block
-			// this write forever — and with it the sweep's workers and a
-			// service concurrency slot. Bound each line; a missed deadline
-			// fails the emit, which cancels the sweep's remaining cells.
-			_ = rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
-			if err := enc.Encode(res); err != nil {
-				return err
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-			return nil
-		})
-		if err != nil && !streaming {
-			var invalid *batsched.InvalidRequestError
-			if errors.As(err, &invalid) {
-				writeError(w, http.StatusBadRequest, err)
-			} else {
-				writeError(w, http.StatusInternalServerError, err)
-			}
-			return
-		}
-		// After the first line the headers are out; an error mid-stream can
-		// only cut the stream short.
+func (a *app) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req batsched.SweepRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
+	// The header is deferred until the first result: SweepStream
+	// validates the scenario itself (once — no separate Validate pass),
+	// so spec errors still surface with a proper status code.
+	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	streaming := false
+	// The connection outlives this handler (keep-alive), so the per-line
+	// deadline must not leak into the next request on it.
+	defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
+	err := a.svc.SweepStream(r.Context(), req, func(res batsched.EvalResult) error {
+		if !streaming {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			streaming = true
+		}
+		// A connected client that stops reading would otherwise block
+		// this write forever — and with it the sweep's workers and a
+		// service concurrency slot. Bound each line; a missed deadline
+		// fails the emit, which cancels the sweep's remaining cells.
+		_ = rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil && !streaming {
+		var invalid *batsched.InvalidRequestError
+		if errors.As(err, &invalid) {
+			writeError(w, http.StatusBadRequest, err)
+		} else {
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	// After the first line the headers are out; an error mid-stream can
+	// only cut the stream short.
 }
 
 // statusFor distinguishes caller mistakes (bad spec → 400) from server

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,16 +12,39 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"batsched"
 )
 
-func newTestServer(t *testing.T) (*httptest.Server, *batsched.EvalService) {
+// testServer bundles an httptest instance with its backing state so tests
+// can reach past HTTP into the service, manager, and store.
+type testServer struct {
+	*httptest.Server
+	svc *batsched.EvalService
+	mgr *batsched.JobManager
+	st  *batsched.ResultStore
+}
+
+func newTestServer(t *testing.T) *testServer { return newTestServerWithStore(t, "") }
+
+func newTestServerWithStore(t *testing.T, storePath string) *testServer {
 	t.Helper()
+	st, err := batsched.OpenResultStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
 	svc := batsched.NewEvalService(batsched.EvalOptions{})
-	ts := httptest.NewServer(newHandler(svc))
-	t.Cleanup(ts.Close)
-	return ts, svc
+	mgr := batsched.NewJobManager(svc, st, batsched.JobOptions{})
+	ts := httptest.NewServer(newHandler(&app{svc: svc, jobs: mgr, start: time.Now()}))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+		st.Close()
+	})
+	return &testServer{Server: ts, svc: svc, mgr: mgr, st: st}
 }
 
 func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
@@ -44,7 +68,7 @@ const runBody = `{
 }`
 
 func TestHealthz(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -54,8 +78,11 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
 	var body struct {
-		Status       string `json:"status"`
-		CacheEntries int    `json:"cache_entries"`
+		Status        string `json:"status"`
+		UptimeSeconds *int64 `json:"uptime_seconds"`
+		Build         string `json:"build"`
+		QueueDepth    *int   `json:"job_queue_depth"`
+		CacheEntries  int    `json:"cache_entries"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
@@ -63,10 +90,21 @@ func TestHealthz(t *testing.T) {
 	if body.Status != "ok" {
 		t.Fatalf("status %q", body.Status)
 	}
+	// The satellite fields: uptime, build info, and queue depth must be
+	// present (zero is fine, absent is not).
+	if body.UptimeSeconds == nil || *body.UptimeSeconds < 0 {
+		t.Fatal("healthz misses uptime_seconds")
+	}
+	if body.Build == "" {
+		t.Fatal("healthz misses build info")
+	}
+	if body.QueueDepth == nil {
+		t.Fatal("healthz misses job_queue_depth")
+	}
 }
 
 func TestPolicies(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/v1/policies")
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +142,7 @@ func TestPolicies(t *testing.T) {
 }
 
 func TestRun(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts := newTestServer(t)
 	resp, data := postJSON(t, ts.URL+"/v1/run", runBody)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, data)
@@ -125,7 +163,7 @@ func TestRun(t *testing.T) {
 }
 
 func TestRunOptimalReportsSearchStats(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts := newTestServer(t)
 	body := `{
 		"bank":   {"battery": {"preset": "B1"}, "count": 2},
 		"load":   {"paper": "ILs alt"},
@@ -156,7 +194,7 @@ func TestRunOptimalReportsSearchStats(t *testing.T) {
 }
 
 func TestRunParameterisedSolver(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts := newTestServer(t)
 	body := `{
 		"bank":   {"battery": {"preset": "B1"}, "count": 2},
 		"load":   {"paper": "ILs alt"},
@@ -176,7 +214,7 @@ func TestRunParameterisedSolver(t *testing.T) {
 }
 
 func TestRunBadRequests(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts := newTestServer(t)
 	cases := map[string]string{
 		"not json":         `{`,
 		"unknown field":    `{"bank":{},"load":{},"solver":"bestof","frob":1}`,
@@ -201,7 +239,7 @@ func TestRunBadRequests(t *testing.T) {
 }
 
 func TestRunSolverFailureIs422(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts := newTestServer(t)
 	body := `{
 		"bank":   {"battery": {"preset": "B1"}, "count": 2},
 		"load":   {"paper": "ILs alt"},
@@ -221,7 +259,7 @@ func TestRunSolverFailureIs422(t *testing.T) {
 }
 
 func TestMethodNotAllowed(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/v1/run")
 	if err != nil {
 		t.Fatal(err)
@@ -241,7 +279,7 @@ const sweepBody = `{
 }`
 
 func TestSweepNDJSON(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts := newTestServer(t)
 	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(sweepBody))
 	if err != nil {
 		t.Fatal(err)
@@ -311,7 +349,7 @@ func TestSweepMatchesLibraryBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ts, _ := newTestServer(t)
+	ts := newTestServer(t)
 	resp, data := postJSON(t, ts.URL+"/v1/sweep", `{"scenario":`+scenarioJSON+`}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, data)
@@ -332,7 +370,7 @@ func TestSweepMatchesLibraryBytes(t *testing.T) {
 }
 
 func TestSweepBadScenario(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts := newTestServer(t)
 	resp, data := postJSON(t, ts.URL+"/v1/sweep",
 		`{"scenario":{"banks":[{"battery":{"preset":"B1"}}],"loads":[{"paper":"ILs alt"}],"solvers":["greedy"]}}`)
 	if resp.StatusCode != http.StatusBadRequest {
@@ -347,7 +385,7 @@ func TestSweepBadScenario(t *testing.T) {
 // clients at the same cell and asserts the service compiled it exactly
 // once.
 func TestConcurrentClientsShareCompiledArtifact(t *testing.T) {
-	ts, svc := newTestServer(t)
+	ts := newTestServer(t)
 	const clients = 12
 	var wg sync.WaitGroup
 	errs := make(chan error, clients)
@@ -384,7 +422,7 @@ func TestConcurrentClientsShareCompiledArtifact(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st := svc.Stats()
+	st := ts.svc.Stats()
 	if st.Compiles != 1 {
 		t.Fatalf("compiled %d times for %d identical clients, want 1", st.Compiles, clients)
 	}
@@ -398,7 +436,7 @@ func TestConcurrentClientsShareCompiledArtifact(t *testing.T) {
 // an all-distinct bank must be rejected at the spec layer with a 400, never
 // reach the search.
 func TestRunDiverseBankRejected(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts := newTestServer(t)
 	body := `{"bank":{"batteries":[` +
 		`{"preset":"B1","capacity":5.5},{"preset":"B1","capacity":6.5},{"preset":"B1","capacity":7.5},` +
 		`{"preset":"B1","capacity":8.5},{"preset":"B1","capacity":9.5},{"preset":"B1","capacity":10.5},` +

@@ -13,6 +13,8 @@
 package benchkit
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"strings"
@@ -20,8 +22,12 @@ import (
 
 	"batsched/internal/battery"
 	"batsched/internal/dkibam"
+	"batsched/internal/jobs"
 	"batsched/internal/load"
 	"batsched/internal/sched"
+	"batsched/internal/service"
+	"batsched/internal/spec"
+	"batsched/internal/store"
 	"batsched/internal/sweep"
 )
 
@@ -195,6 +201,121 @@ func sweepCase(name string, bank sweep.Bank, loads []string, horizon float64, wo
 	}
 }
 
+// jobsScenario is the pinned 200-case grid of the orchestration cases:
+// 2 banks × 10 paper loads × 2 policies × 5 discretization grids. Cells are
+// deliberately cheap (short horizon, deterministic policies) so the
+// measured delta between the jobs path and the direct sweep is the
+// orchestration overhead, not solver time.
+func jobsScenario() spec.Scenario {
+	loads := make([]spec.Load, len(load.PaperLoadNames))
+	for i, name := range load.PaperLoadNames {
+		// The paper's 200 min horizon: recovery-heavy loads let banks live
+		// past 40 min, and a load that ends before the bank dies is an error.
+		loads[i] = spec.Load{Paper: name, HorizonMin: 200}
+	}
+	// Gamma must divide the battery capacities (5.5 and 11 A·min), so the
+	// grid axis sticks to divisors of 0.5.
+	steps := []float64{0.01, 0.02, 0.025, 0.05, 0.1}
+	grids := make([]spec.Grid, len(steps))
+	for i, g := range steps {
+		grids[i] = spec.Grid{StepMin: g, UnitAmpMin: g}
+	}
+	return spec.Scenario{
+		Banks: []spec.Bank{
+			{Battery: &spec.Battery{Preset: "B1"}, Count: 2},
+			{Battery: &spec.Battery{Preset: "B2"}, Count: 1},
+		},
+		Loads:   loads,
+		Solvers: []spec.Solver{{Name: "sequential"}, {Name: "bestof"}},
+		Grids:   grids,
+	}
+}
+
+// jobsSubmitDrainCase measures the full orchestration path: fresh service,
+// store, and manager per op (cold-start included — that is the overhead
+// being tracked), submit the pinned grid as one job, drain it, read the
+// last result. Dedup is defeated by the fresh store, so every op evaluates
+// all 200 cells.
+func jobsSubmitDrainCase(name string) kase {
+	sc := jobsScenario()
+	return kase{
+		name: name,
+		run: func() (float64, error) {
+			svc := service.New(service.Options{MaxConcurrent: 2})
+			st, err := store.Open("")
+			if err != nil {
+				return 0, err
+			}
+			defer st.Close()
+			m := jobs.New(svc, st, jobs.Options{Workers: 1})
+			defer m.Shutdown(context.Background())
+			sub, err := m.Submit(jobs.Request{Scenario: sc, Workers: 2})
+			if err != nil {
+				return 0, err
+			}
+			final, err := m.Wait(context.Background(), sub.ID)
+			if err != nil {
+				return 0, err
+			}
+			if final.State != jobs.StateDone {
+				return 0, fmt.Errorf("benchkit: job finished %s: %s", final.State, final.Error)
+			}
+			lines, err := m.Results(sub.ID)
+			if err != nil {
+				return 0, err
+			}
+			return lastLifetime(lines)
+		},
+	}
+}
+
+// jobsDirectSweepCase is the baseline for the submit-drain case: the same
+// pinned grid through sweep.Run with a fresh compile per op, no
+// orchestration. The lifetime pin ties the two cases together: both must
+// report the same final-cell lifetime.
+func jobsDirectSweepCase(name string) kase {
+	sc := jobsScenario()
+	return kase{
+		name: name,
+		run: func() (float64, error) {
+			sp, err := sc.Compile()
+			if err != nil {
+				return 0, err
+			}
+			results, err := sweep.Run(sp, sweep.Options{Workers: 2})
+			if err != nil {
+				return 0, err
+			}
+			last := 0.0
+			for _, r := range results {
+				if r.Err != nil {
+					return 0, r.Err
+				}
+				last = r.Lifetime
+			}
+			return last, nil
+		},
+	}
+}
+
+// lastLifetime extracts the final cell's lifetime from job result lines.
+func lastLifetime(lines []json.RawMessage) (float64, error) {
+	if len(lines) == 0 {
+		return 0, fmt.Errorf("benchkit: job produced no result lines")
+	}
+	var res struct {
+		LifetimeMin float64 `json:"lifetime_min"`
+		Error       string  `json:"error"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &res); err != nil {
+		return 0, err
+	}
+	if res.Error != "" {
+		return 0, fmt.Errorf("benchkit: final cell failed: %s", res.Error)
+	}
+	return res.LifetimeMin, nil
+}
+
 // CalibrationCase is a fixed CPU-bound case independent of the repo's code
 // paths. Compare uses its ratio between two reports to normalize wall-clock
 // comparisons across machines: a runner that is uniformly slower than the
@@ -257,6 +378,13 @@ func suite() ([]kase, error) {
 	if err := add(optimalCase("optimal/3xHiC/ILs alt", battery.Bank(hiC, 3), "ILs alt", 200)); err != nil {
 		return nil, err
 	}
+	// The orchestration pair: the same pinned 200-case grid through the job
+	// manager (submit + drain) and through the bare sweep runner. Their
+	// ns/op delta is the jobs-layer overhead; informational, not gated.
+	cases = append(cases,
+		jobsSubmitDrainCase("jobs/submit-drain/200-case-grid"),
+		jobsDirectSweepCase("jobs/direct-sweep/200-case-grid"),
+	)
 	return cases, nil
 }
 

@@ -1,0 +1,585 @@
+// Package jobs is the asynchronous orchestration layer over the evaluation
+// service: sweeps become durable jobs instead of blocking HTTP requests.
+//
+// A submitted sweep is digested (service.DigestSweep), checked against the
+// content-addressed result store, and — on a miss — queued for a bounded
+// priority worker pool that executes it through service.SweepStream. Jobs
+// move queued → running → done/failed/cancelled, expose per-case progress
+// counters, cancel via context, and preserve the sweep's deterministic
+// result ordering: the stored result lines are byte-identical to what the
+// synchronous NDJSON endpoint streams for the same request. Completed
+// results land in the store, so identical resubmissions are served without
+// re-evaluating a single cell, and with a file-backed store they survive
+// restarts.
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"batsched/internal/sched"
+	"batsched/internal/service"
+	"batsched/internal/spec"
+	"batsched/internal/store"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// Job lifecycle: Queued and Running are transient; Done, Failed, and
+// Cancelled are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// States lists every job state in lifecycle order (metrics iterate it so
+// gauges exist even at zero).
+var States = []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled}
+
+// Request submits a sweep for asynchronous evaluation.
+type Request struct {
+	// Scenario is the sweep to evaluate (same shape as the synchronous
+	// sweep endpoint).
+	Scenario spec.Scenario `json:"scenario"`
+	// Workers bounds the sweep's worker pool (0 = number of CPUs).
+	Workers int `json:"workers,omitempty"`
+	// Priority orders the queue: higher runs first, FIFO within a priority.
+	Priority int `json:"priority,omitempty"`
+}
+
+// Status is the wire form of a job.
+type Status struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	Digest   string `json:"digest"`
+	Priority int    `json:"priority,omitempty"`
+	// TotalCases is the number of scenario cells the sweep expands to;
+	// DoneCases counts cells whose results have been emitted (deterministic
+	// order, so this is also the length of the readable result prefix).
+	TotalCases int `json:"total_cases"`
+	DoneCases  int `json:"done_cases"`
+	// FromStore marks a submission served entirely from the result store —
+	// zero cells were evaluated.
+	FromStore bool `json:"from_store,omitempty"`
+	// Error is the job-level failure; per-cell failures live in the result
+	// lines, exactly as on the synchronous endpoint.
+	Error string `json:"error,omitempty"`
+	// Stats sums the optimal search's work counters over the job's cells;
+	// omitted when no cell ran a search.
+	Stats       *sched.SearchStats `json:"stats,omitempty"`
+	SubmittedAt string             `json:"submitted_at,omitempty"`
+	StartedAt   string             `json:"started_at,omitempty"`
+	FinishedAt  string             `json:"finished_at,omitempty"`
+}
+
+// Terminal reports whether the job has finished (successfully or not).
+func (s Status) Terminal() bool {
+	return s.State == StateDone || s.State == StateFailed || s.State == StateCancelled
+}
+
+// Job errors.
+var (
+	// ErrNotFound marks an unknown job id.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrQueueFull rejects submissions beyond the queue bound.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrShuttingDown rejects submissions after Shutdown began.
+	ErrShuttingDown = errors.New("jobs: manager shutting down")
+	// ErrNotDone rejects result reads of unfinished or failed jobs.
+	ErrNotDone = errors.New("jobs: results not available")
+	// ErrFinished rejects cancelling a job already in a terminal state.
+	ErrFinished = errors.New("jobs: job already finished")
+)
+
+// job is the manager-internal job record; all mutable fields are guarded by
+// the manager mutex.
+type job struct {
+	id       string
+	seq      int64
+	priority int
+	req      Request
+	digest   string
+	total    int
+
+	state     State
+	fromStore bool
+	errText   string
+	stats     *sched.SearchStats
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// lines are the emitted result lines (no trailing newline), in the
+	// sweep's deterministic order; complete only in StateDone.
+	lines []json.RawMessage
+	// cancel aborts the running sweep; nil until the job starts.
+	cancel context.CancelFunc
+	// cancelRequested marks a DELETE that raced job startup: the worker
+	// cancels immediately instead of running.
+	cancelRequested bool
+	// heapIdx is the job's position in the queue heap; -1 once popped or
+	// removed.
+	heapIdx int
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// Options tune a Manager.
+type Options struct {
+	// Workers is the number of jobs executing concurrently; <= 0 means
+	// runtime.NumCPU(). Note each job's sweep has its own inner pool and
+	// the service bounds total executing requests, so this mainly controls
+	// how many jobs make progress at once.
+	Workers int
+	// QueueDepth bounds jobs waiting to run; <= 0 means 256. Submissions
+	// beyond the bound fail with ErrQueueFull.
+	QueueDepth int
+	// RetainJobs bounds the job table; <= 0 means 1024. When a submission
+	// would exceed it, the oldest *terminal* jobs are evicted (active jobs
+	// never are, so the table can transiently exceed the bound while
+	// everything is in flight). Evicted jobs answer ErrNotFound; their
+	// results remain in the store and an identical resubmission is still a
+	// store hit.
+	RetainJobs int
+}
+
+// Default bounds for the corresponding Options fields when unset.
+const (
+	DefaultQueueDepth = 256
+	DefaultRetainJobs = 1024
+)
+
+// Manager owns the job table, the priority queue, and the worker pool. It
+// is safe for concurrent use.
+type Manager struct {
+	svc     *service.Service
+	st      *store.Store
+	workers int
+	depth   int
+	retain  int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   map[string]*job
+	order  []string
+	queue  jobQueue
+	seq    int64
+	closed bool
+
+	wg    sync.WaitGroup
+	busy  atomic.Int64
+	cases atomic.Int64
+}
+
+// New builds a Manager executing jobs through svc, deduplicating against
+// st (which must be non-nil; use store.Open("") for a memory-only store),
+// and starts its worker pool.
+func New(svc *service.Service, st *store.Store, opts Options) *Manager {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	retain := opts.RetainJobs
+	if retain <= 0 {
+		retain = DefaultRetainJobs
+	}
+	m := &Manager{
+		svc:     svc,
+		st:      st,
+		workers: workers,
+		depth:   depth,
+		retain:  retain,
+		jobs:    make(map[string]*job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.work()
+	}
+	return m
+}
+
+// Store exposes the manager's result store (for metrics and direct reads).
+func (m *Manager) Store() *store.Store { return m.st }
+
+// Submit validates and enqueues a sweep job. When the result store already
+// holds the request's digest, the returned job is immediately done with
+// FromStore set and no cell is evaluated.
+func (m *Manager) Submit(req Request) (Status, error) {
+	digest, cases, err := service.DigestSweep(service.SweepRequest{Scenario: req.Scenario, Workers: req.Workers})
+	if err != nil {
+		return Status{}, err
+	}
+	lines, hit := m.st.Get(digest)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Status{}, ErrShuttingDown
+	}
+	if !hit && len(m.queue) >= m.depth {
+		return Status{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.depth)
+	}
+	m.seq++
+	j := &job{
+		id:        fmt.Sprintf("job-%d", m.seq),
+		seq:       m.seq,
+		priority:  req.Priority,
+		req:       req,
+		digest:    digest,
+		total:     cases,
+		submitted: time.Now(),
+		heapIdx:   -1, // set by the heap on push
+		done:      make(chan struct{}),
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.evictLocked()
+	if hit {
+		j.state = StateDone
+		j.fromStore = true
+		j.lines = lines
+		j.finished = j.submitted
+		close(j.done)
+		return j.status(), nil
+	}
+	j.state = StateQueued
+	heap.Push(&m.queue, j)
+	m.cond.Signal()
+	return j.status(), nil
+}
+
+// Get returns a job's status.
+func (m *Manager) Get(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return j.status(), nil
+}
+
+// List returns every job's status in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, len(m.order))
+	for i, id := range m.order {
+		out[i] = m.jobs[id].status()
+	}
+	return out
+}
+
+// Results returns a done job's result lines (no trailing newlines) in the
+// sweep's deterministic order. Reading an unfinished, failed, or cancelled
+// job fails with ErrNotDone.
+func (m *Manager) Results(id string) ([]json.RawMessage, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if j.state != StateDone {
+		return nil, fmt.Errorf("%w (job %s is %s)", ErrNotDone, id, j.state)
+	}
+	return j.lines, nil
+}
+
+// Cancel cancels a queued or running job. Queued jobs go terminal at once;
+// running jobs transition once the sweep observes the cancellation (poll
+// the status or Wait for the terminal state).
+func (m *Manager) Cancel(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		// Remove from the heap now: a terminal corpse left behind would
+		// count against the queue bound and stall behind busy workers.
+		if j.heapIdx >= 0 {
+			heap.Remove(&m.queue, j.heapIdx)
+		}
+		m.finishLocked(j, StateCancelled, "cancelled while queued")
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	default:
+		return j.status(), fmt.Errorf("%w (job %s is %s)", ErrFinished, id, j.state)
+	}
+	return j.status(), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (m *Manager) Wait(ctx context.Context, id string) (Status, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+		return m.Get(id)
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+}
+
+// Metrics is a snapshot of the manager's operational counters.
+type Metrics struct {
+	// JobsByState counts jobs per lifecycle state (every state present).
+	JobsByState map[State]int
+	// QueueDepth is the number of jobs waiting to run; QueueBound the
+	// configured maximum.
+	QueueDepth, QueueBound int
+	// CasesEvaluated counts scenario cells actually executed by jobs
+	// (store-served submissions add nothing here).
+	CasesEvaluated int64
+	// WorkersBusy and WorkersTotal report pool utilization.
+	WorkersBusy, WorkersTotal int
+	// Store reports the result store's entry/hit/miss counters.
+	Store store.Counters
+}
+
+// Metrics returns a snapshot of the job counters.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	by := make(map[State]int, len(States))
+	for _, s := range States {
+		by[s] = 0
+	}
+	for _, j := range m.jobs {
+		by[j.state]++
+	}
+	depth := len(m.queue)
+	m.mu.Unlock()
+	return Metrics{
+		JobsByState:    by,
+		QueueDepth:     depth,
+		QueueBound:     m.depth,
+		CasesEvaluated: m.cases.Load(),
+		WorkersBusy:    int(m.busy.Load()),
+		WorkersTotal:   m.workers,
+		Store:          m.st.Counters(),
+	}
+}
+
+// Shutdown drains the manager: no new submissions, still-queued jobs are
+// cancelled (they never started), running jobs finish — until ctx expires,
+// at which point they are cancelled — and the worker pool exits. The result
+// store is left open; close it separately after Shutdown returns.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		for m.queue.Len() > 0 {
+			j := heap.Pop(&m.queue).(*job)
+			if j.state == StateQueued {
+				m.finishLocked(j, StateCancelled, "cancelled at shutdown")
+			}
+		}
+		m.cond.Broadcast()
+	}
+	m.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+	}
+	// Drain timeout: cancel the running jobs and wait for the workers to
+	// observe it — sweeps check their cancel channel per cell, so this is
+	// prompt.
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		if j.state == StateRunning {
+			j.cancelRequested = true
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+	}
+	m.mu.Unlock()
+	<-finished
+	return ctx.Err()
+}
+
+// work is one worker: pop the highest-priority queued job, run it, repeat
+// until shutdown empties the queue.
+func (m *Manager) work() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for m.queue.Len() == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.queue.Len() == 0 && m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&m.queue).(*job)
+		if j.state != StateQueued {
+			// Cancelled while queued; already terminal.
+			m.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j.state = StateRunning
+		j.started = time.Now()
+		j.cancel = cancel
+		if j.cancelRequested {
+			cancel()
+		}
+		m.mu.Unlock()
+
+		m.busy.Add(1)
+		m.run(ctx, j)
+		cancel()
+		m.busy.Add(-1)
+	}
+}
+
+// run executes one job's sweep and records the outcome.
+func (m *Manager) run(ctx context.Context, j *job) {
+	var lines []json.RawMessage
+	err := m.svc.SweepStream(ctx, service.SweepRequest{Scenario: j.req.Scenario, Workers: j.req.Workers},
+		func(r service.Result) error {
+			// json.Marshal produces the same bytes json.Encoder writes for
+			// the synchronous NDJSON endpoint (minus the newline the reader
+			// adds back), which is what keeps job results byte-identical to
+			// /v1/sweep.
+			line, err := json.Marshal(r)
+			if err != nil {
+				return err
+			}
+			lines = append(lines, line)
+			m.cases.Add(1)
+			m.mu.Lock()
+			j.lines = lines
+			if r.Stats != nil {
+				if j.stats == nil {
+					j.stats = &sched.SearchStats{}
+				}
+				j.stats.Add(*r.Stats)
+			}
+			m.mu.Unlock()
+			return nil
+		})
+
+	// Append to the store before taking the manager lock: file I/O must not
+	// stall status reads. A store failure only costs future dedup; the job
+	// itself still succeeded, so it is surfaced on the job, not fatal to it.
+	var storeErr error
+	if err == nil {
+		storeErr = m.st.Put(j.digest, lines)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case err == nil:
+		m.finishLocked(j, StateDone, "")
+		if storeErr != nil {
+			j.errText = fmt.Sprintf("result store: %v", storeErr)
+		}
+	case errors.Is(err, context.Canceled) && j.cancelRequested:
+		m.finishLocked(j, StateCancelled, "cancelled while running")
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Shutdown-deadline cancellation without an explicit Cancel call.
+		m.finishLocked(j, StateCancelled, err.Error())
+	default:
+		m.finishLocked(j, StateFailed, err.Error())
+	}
+}
+
+// evictLocked drops the oldest terminal jobs while the table exceeds the
+// retention bound; the manager mutex is held. Active (queued/running) jobs
+// are never evicted — their results and lifecycle are still needed — so the
+// table is bounded by retain + in-flight jobs. Evicted results stay in the
+// store, addressable by resubmitting the same spec.
+func (m *Manager) evictLocked() {
+	if len(m.jobs) <= m.retain {
+		return
+	}
+	kept := m.order[:0]
+	for i, id := range m.order {
+		j := m.jobs[id]
+		if len(m.jobs) <= m.retain {
+			kept = append(kept, m.order[i:]...)
+			break
+		}
+		switch j.state {
+		case StateDone, StateFailed, StateCancelled:
+			delete(m.jobs, id)
+		default:
+			kept = append(kept, id)
+		}
+	}
+	m.order = kept
+}
+
+// finishLocked moves a job to a terminal state; the manager mutex is held.
+func (m *Manager) finishLocked(j *job, s State, errText string) {
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCancelled {
+		return
+	}
+	j.state = s
+	j.errText = errText
+	j.finished = time.Now()
+	close(j.done)
+}
+
+// status snapshots the job; the manager mutex must be held.
+func (j *job) status() Status {
+	st := Status{
+		ID:         j.id,
+		State:      j.state,
+		Digest:     j.digest,
+		Priority:   j.priority,
+		TotalCases: j.total,
+		DoneCases:  len(j.lines),
+		FromStore:  j.fromStore,
+		Error:      j.errText,
+	}
+	if j.stats != nil {
+		c := *j.stats
+		st.Stats = &c
+	}
+	fmtTime := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	st.SubmittedAt = fmtTime(j.submitted)
+	st.StartedAt = fmtTime(j.started)
+	st.FinishedAt = fmtTime(j.finished)
+	return st
+}

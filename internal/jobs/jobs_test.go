@@ -1,0 +1,630 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"batsched/internal/core"
+	"batsched/internal/load"
+	"batsched/internal/sched"
+	"batsched/internal/service"
+	"batsched/internal/spec"
+	"batsched/internal/store"
+	"batsched/internal/sweep"
+)
+
+// The test-only "test-gate" solver blocks each cell on the current gate
+// channel (nil = no blocking) and records the load names it ran, so tests
+// can hold jobs mid-flight and observe execution order.
+var (
+	gateRegister sync.Once
+	gateMu       sync.Mutex
+	gateCh       chan struct{}
+	gateRan      []string
+)
+
+func setGate(ch chan struct{}) {
+	gateMu.Lock()
+	gateCh = ch
+	gateRan = nil
+	gateMu.Unlock()
+}
+
+func gateLog() []string {
+	gateMu.Lock()
+	defer gateMu.Unlock()
+	return append([]string(nil), gateRan...)
+}
+
+func registerGateSolver() {
+	gateRegister.Do(func() {
+		spec.Register(spec.Builder{
+			Name: "test-gate",
+			Doc:  "test-only solver blocking on a gate channel",
+			Build: func(json.RawMessage) (sweep.PolicyCase, error) {
+				return sweep.PolicyCase{
+					Name: "test-gate",
+					Run: func(c *core.Compiled) (float64, int, error) {
+						gateMu.Lock()
+						ch := gateCh
+						gateMu.Unlock()
+						if ch != nil {
+							<-ch
+						}
+						lt, err := c.PolicyLifetime(sched.BestAvailable())
+						gateMu.Lock()
+						// The sweep-level label is not visible here; the
+						// load horizon is, and tests pick distinct ones.
+						gateRan = append(gateRan, fmt.Sprintf("h%.0f", c.Load().TotalDuration()))
+						gateMu.Unlock()
+						return lt, 0, err
+					},
+				}, nil
+			},
+		})
+	})
+}
+
+func newManager(t *testing.T, opts Options) (*Manager, *service.Service, *store.Store) {
+	t.Helper()
+	svc := service.New(service.Options{})
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(svc, st, opts)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+		st.Close()
+	})
+	return m, svc, st
+}
+
+func smallSweep() Request {
+	return Request{Scenario: spec.Scenario{
+		Banks:   []spec.Bank{{Battery: &spec.Battery{Preset: "B1"}, Count: 2}},
+		Loads:   []spec.Load{{Paper: "CL alt"}, {Paper: "ILs alt"}},
+		Solvers: []spec.Solver{{Name: "sequential"}, {Name: "bestof"}},
+	}}
+}
+
+func waitDone(t *testing.T, m *Manager, id string) Status {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := m.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSubmitRunMatchesSweepBytes: a job's stored result lines are
+// byte-identical to what the synchronous sweep path emits for the same
+// request.
+func TestSubmitRunMatchesSweepBytes(t *testing.T) {
+	m, svc, _ := newManager(t, Options{Workers: 2})
+	req := smallSweep()
+	sub, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.State != StateQueued && sub.State != StateRunning {
+		t.Fatalf("fresh submission in state %s", sub.State)
+	}
+	if sub.TotalCases != 4 {
+		t.Fatalf("total cases %d, want 4", sub.TotalCases)
+	}
+	final := waitDone(t, m, sub.ID)
+	if final.State != StateDone || final.Error != "" {
+		t.Fatalf("job finished %+v", final)
+	}
+	if final.DoneCases != 4 {
+		t.Fatalf("done cases %d, want 4", final.DoneCases)
+	}
+
+	lines, err := m.Results(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []json.RawMessage
+	err = svc.SweepStream(context.Background(), service.SweepRequest{Scenario: req.Scenario},
+		func(r service.Result) error {
+			b, err := json.Marshal(r)
+			want = append(want, b)
+			return err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("%d job lines vs %d sweep lines", len(lines), len(want))
+	}
+	for i := range want {
+		if string(lines[i]) != string(want[i]) {
+			t.Fatalf("line %d differs:\njob   %s\nsweep %s", i, lines[i], want[i])
+		}
+	}
+}
+
+// TestResubmitServedFromStore is the dedup half of the acceptance: an
+// identical resubmission is a store hit with zero cells re-evaluated.
+func TestResubmitServedFromStore(t *testing.T) {
+	m, _, _ := newManager(t, Options{Workers: 1})
+	sub, err := m.Submit(smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, sub.ID)
+	first, err := m.Results(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluated := m.Metrics().CasesEvaluated
+
+	re, err := m.Submit(smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.State != StateDone || !re.FromStore {
+		t.Fatalf("resubmission not served from store: %+v", re)
+	}
+	if re.Digest != sub.Digest {
+		t.Fatalf("digest drifted: %s vs %s", re.Digest, sub.Digest)
+	}
+	if got := m.Metrics().CasesEvaluated; got != evaluated {
+		t.Fatalf("resubmission evaluated %d extra cases", got-evaluated)
+	}
+	second, err := m.Results(re.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if string(first[i]) != string(second[i]) {
+			t.Fatalf("stored line %d differs", i)
+		}
+	}
+	mets := m.Metrics()
+	if mets.Store.Hits != 1 || mets.Store.Misses != 1 {
+		t.Fatalf("store counters %+v, want 1 hit / 1 miss", mets.Store)
+	}
+}
+
+// TestStoreSurvivesRestart: a file-backed store serves a fresh manager (a
+// "restarted server") without re-running anything.
+func TestStoreSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.ndjson")
+	svc := service.New(service.Options{})
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(svc, st, Options{Workers: 1})
+	sub, err := m.Submit(smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, sub.ID)
+	first, _ := m.Results(sub.ID)
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(service.New(service.Options{}), st2, Options{Workers: 1})
+	defer func() { m2.Shutdown(context.Background()); st2.Close() }()
+	re, err := m2.Submit(smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.FromStore {
+		t.Fatalf("restarted store missed: %+v", re)
+	}
+	lines, err := m2.Results(re.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if string(lines[i]) != string(first[i]) {
+			t.Fatalf("line %d drifted across restart", i)
+		}
+	}
+	if got := m2.Metrics().CasesEvaluated; got != 0 {
+		t.Fatalf("restarted manager evaluated %d cases", got)
+	}
+}
+
+// gatedRequest builds a one-cell test-gate sweep. Horizons are multiples of
+// 40 so distinct requests digest differently AND the gate log (which keys
+// on the load's total duration) can tell them apart; paper loads repeat
+// whole periods to cover a horizon, so far-apart horizons never collide.
+func gatedRequest(loadName string, priority int, horizon float64) Request {
+	return Request{
+		Priority: priority,
+		Scenario: spec.Scenario{
+			Banks:   []spec.Bank{{Battery: &spec.Battery{Preset: "B1"}, Count: 2}},
+			Loads:   []spec.Load{{Name: loadName, Paper: "ILs alt", HorizonMin: horizon}},
+			Solvers: []spec.Solver{{Name: "test-gate"}},
+		},
+	}
+}
+
+// gateLabel is what the test-gate solver logs for a paper-load horizon.
+func gateLabel(t *testing.T, horizon float64) string {
+	t.Helper()
+	l, err := load.Paper("ILs alt", horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("h%.0f", l.TotalDuration())
+}
+
+func waitState(t *testing.T, m *Manager, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, _ := m.Get(id)
+	t.Fatalf("job %s never reached %s (is %s)", id, want, st.State)
+}
+
+// TestPriorityOrdering: with one worker pinned, a high-priority late
+// arrival overtakes an earlier low-priority job.
+func TestPriorityOrdering(t *testing.T) {
+	registerGateSolver()
+	gate := make(chan struct{})
+	setGate(gate)
+	defer setGate(nil)
+
+	m, _, _ := newManager(t, Options{Workers: 1})
+	a, err := m.Submit(gatedRequest("gate-A", 0, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, a.ID, StateRunning)
+	b, err := m.Submit(gatedRequest("gate-B", 0, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Submit(gatedRequest("gate-C", 5, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	waitDone(t, m, a.ID)
+	waitDone(t, m, b.ID)
+	waitDone(t, m, c.ID)
+
+	got := gateLog()
+	want := []string{gateLabel(t, 40), gateLabel(t, 120), gateLabel(t, 80)}
+	if len(got) != len(want) {
+		t.Fatalf("ran %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v (priority ignored)", got, want)
+		}
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	registerGateSolver()
+	gate := make(chan struct{})
+	setGate(gate)
+	defer setGate(nil)
+
+	m, _, _ := newManager(t, Options{Workers: 1})
+	a, _ := m.Submit(gatedRequest("cq-A", 0, 40))
+	waitState(t, m, a.ID, StateRunning)
+	b, _ := m.Submit(gatedRequest("cq-B", 0, 80))
+
+	st, err := m.Cancel(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("queued job after cancel: %s", st.State)
+	}
+	if _, err := m.Results(b.ID); !errors.Is(err, ErrNotDone) {
+		t.Fatalf("results of cancelled job: %v", err)
+	}
+	// Cancelling a terminal job is an error.
+	if _, err := m.Cancel(b.ID); !errors.Is(err, ErrFinished) {
+		t.Fatalf("double cancel: %v", err)
+	}
+	close(gate)
+	if st := waitDone(t, m, a.ID); st.State != StateDone {
+		t.Fatalf("running job dragged down by a cancelled neighbour: %+v", st)
+	}
+	if ran := gateLog(); len(ran) != 1 || ran[0] != gateLabel(t, 40) {
+		t.Fatalf("cancelled job still executed: %v", ran)
+	}
+}
+
+// TestCancelRunning: cancelling mid-flight stops the remaining cells and
+// lands the job in cancelled, not done.
+func TestCancelRunning(t *testing.T) {
+	registerGateSolver()
+	gate := make(chan struct{})
+	setGate(gate)
+	defer setGate(nil)
+
+	m, _, _ := newManager(t, Options{Workers: 1})
+	req := Request{Scenario: spec.Scenario{
+		Banks: []spec.Bank{{Battery: &spec.Battery{Preset: "B1"}, Count: 2}},
+		Loads: []spec.Load{
+			{Name: "cr-1", Paper: "ILs alt", HorizonMin: 40},
+			{Name: "cr-2", Paper: "ILs alt", HorizonMin: 41},
+			{Name: "cr-3", Paper: "ILs alt", HorizonMin: 42},
+		},
+		Solvers: []spec.Solver{{Name: "test-gate"}},
+	}, Workers: 1}
+	sub, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, sub.ID, StateRunning)
+	if _, err := m.Cancel(sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	final := waitDone(t, m, sub.ID)
+	if final.State != StateCancelled {
+		t.Fatalf("cancelled job finished as %s", final.State)
+	}
+	if _, err := m.Results(sub.ID); !errors.Is(err, ErrNotDone) {
+		t.Fatalf("results of cancelled job: %v", err)
+	}
+	// The store must not be poisoned with a partial result set.
+	if c := m.Store().Counters(); c.Entries != 0 {
+		t.Fatalf("cancelled job stored %d entries", c.Entries)
+	}
+}
+
+func TestQueueBound(t *testing.T) {
+	registerGateSolver()
+	gate := make(chan struct{})
+	setGate(gate)
+	defer setGate(nil)
+
+	m, _, _ := newManager(t, Options{Workers: 1, QueueDepth: 1})
+	a, _ := m.Submit(gatedRequest("qb-A", 0, 40))
+	waitState(t, m, a.ID, StateRunning)
+	if _, err := m.Submit(gatedRequest("qb-B", 0, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(gatedRequest("qb-C", 0, 120)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-bound submission: %v", err)
+	}
+	close(gate)
+}
+
+// TestCancelledQueuedJobsFreeTheQueue: cancelling queued jobs must free
+// their queue slots immediately — a queue full of cancelled corpses must
+// not reject new submissions while the worker is busy.
+func TestCancelledQueuedJobsFreeTheQueue(t *testing.T) {
+	registerGateSolver()
+	gate := make(chan struct{})
+	setGate(gate)
+	defer setGate(nil)
+
+	m, _, _ := newManager(t, Options{Workers: 1, QueueDepth: 2})
+	a, _ := m.Submit(gatedRequest("qf-A", 0, 40))
+	waitState(t, m, a.ID, StateRunning)
+	b, _ := m.Submit(gatedRequest("qf-B", 0, 80))
+	c, _ := m.Submit(gatedRequest("qf-C", 0, 120))
+	if _, err := m.Cancel(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Metrics().QueueDepth; got != 0 {
+		t.Fatalf("queue depth %d after cancelling all queued jobs, want 0", got)
+	}
+	// Both slots are free again while the worker is still busy.
+	if _, err := m.Submit(gatedRequest("qf-D", 0, 160)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(gatedRequest("qf-E", 0, 200)); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+}
+
+// TestRetentionEvictsTerminalJobs: the job table is bounded; evicted jobs
+// vanish from Get/List but their results stay addressable via the store.
+func TestRetentionEvictsTerminalJobs(t *testing.T) {
+	registerGateSolver() // ungated: the solver just runs
+	setGate(nil)
+	m, _, _ := newManager(t, Options{Workers: 1, RetainJobs: 2})
+	var ids []string
+	for _, h := range []float64{40, 80, 120, 160} {
+		sub, err := m.Submit(gatedRequest(fmt.Sprintf("ret-%g", h), 0, h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, m, sub.ID)
+		ids = append(ids, sub.ID)
+	}
+	list := m.List()
+	if len(list) != 2 {
+		t.Fatalf("retained %d jobs, want 2", len(list))
+	}
+	if list[0].ID != ids[2] || list[1].ID != ids[3] {
+		t.Fatalf("retained %v, want the two newest %v", list, ids[2:])
+	}
+	if _, err := m.Get(ids[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("evicted job still visible: %v", err)
+	}
+	// The evicted job's results are still in the store: resubmitting its
+	// spec is a hit, not a re-run.
+	re, err := m.Submit(gatedRequest("ret-40", 0, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.FromStore {
+		t.Fatalf("evicted job's spec re-ran: %+v", re)
+	}
+}
+
+func TestSubmitInvalidScenario(t *testing.T) {
+	m, _, _ := newManager(t, Options{Workers: 1})
+	req := smallSweep()
+	req.Scenario.Solvers = []spec.Solver{{Name: "greedy"}}
+	_, err := m.Submit(req)
+	var invalid *service.InvalidRequestError
+	if !errors.As(err, &invalid) {
+		t.Fatalf("invalid scenario error %v", err)
+	}
+}
+
+func TestUnknownJob(t *testing.T) {
+	m, _, _ := newManager(t, Options{Workers: 1})
+	if _, err := m.Get("job-404"); !errors.Is(err, ErrNotFound) {
+		t.Fatal(err)
+	}
+	if _, err := m.Results("job-404"); !errors.Is(err, ErrNotFound) {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel("job-404"); !errors.Is(err, ErrNotFound) {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), "job-404"); !errors.Is(err, ErrNotFound) {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimalJobAggregatesStats: optimal cells sum their search counters
+// onto the job status.
+func TestOptimalJobAggregatesStats(t *testing.T) {
+	m, _, _ := newManager(t, Options{Workers: 1})
+	req := Request{Scenario: spec.Scenario{
+		Banks:   []spec.Bank{{Battery: &spec.Battery{Preset: "B1"}, Count: 2}},
+		Loads:   []spec.Load{{Paper: "ILs alt"}},
+		Solvers: []spec.Solver{{Name: "optimal"}},
+	}}
+	sub, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m, sub.ID)
+	if final.State != StateDone {
+		t.Fatalf("job %+v", final)
+	}
+	if final.Stats == nil || final.Stats.States == 0 {
+		t.Fatalf("optimal job carries no aggregated stats: %+v", final)
+	}
+}
+
+// TestShutdownDrains: shutdown lets the running job finish, cancels the
+// queued one, and rejects new submissions.
+func TestShutdownDrains(t *testing.T) {
+	registerGateSolver()
+	gate := make(chan struct{})
+	setGate(gate)
+	defer setGate(nil)
+
+	svc := service.New(service.Options{})
+	st, _ := store.Open("")
+	defer st.Close()
+	m := New(svc, st, Options{Workers: 1})
+
+	a, _ := m.Submit(gatedRequest("sd-A", 0, 40))
+	waitState(t, m, a.ID, StateRunning)
+	b, _ := m.Submit(gatedRequest("sd-B", 0, 80))
+
+	done := make(chan error, 1)
+	go func() { done <- m.Shutdown(context.Background()) }()
+
+	// The queued job is cancelled promptly, before the drain completes.
+	waitState(t, m, b.ID, StateCancelled)
+	if _, err := m.Submit(gatedRequest("sd-C", 0, 120)); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("submission during shutdown: %v", err)
+	}
+
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+	if st := waitDone(t, m, a.ID); st.State != StateDone {
+		t.Fatalf("running job did not drain to done: %+v", st)
+	}
+}
+
+// TestShutdownDeadlineCancelsRunning: when the drain deadline passes, the
+// running job is cancelled instead of holding the pool forever.
+func TestShutdownDeadlineCancelsRunning(t *testing.T) {
+	registerGateSolver()
+	gate := make(chan struct{})
+	setGate(gate)
+
+	svc := service.New(service.Options{})
+	st, _ := store.Open("")
+	defer st.Close()
+	m := New(svc, st, Options{Workers: 1})
+
+	a, _ := m.Submit(gatedRequest("sdl-A", 0, 40))
+	waitState(t, m, a.ID, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- m.Shutdown(ctx) }()
+	// The gate holds the in-flight cell; the deadline fires, the manager
+	// cancels the job, and once the cell unblocks the drain completes.
+	time.Sleep(100 * time.Millisecond)
+	close(gate)
+	setGate(nil)
+	if err := <-done; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain returned %v, want deadline exceeded", err)
+	}
+	final, err := m.Get(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCancelled {
+		t.Fatalf("deadline-cancelled job is %s", final.State)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	m, _, _ := newManager(t, Options{Workers: 3, QueueDepth: 7})
+	sub, _ := m.Submit(smallSweep())
+	waitDone(t, m, sub.ID)
+	mets := m.Metrics()
+	if mets.WorkersTotal != 3 || mets.QueueBound != 7 {
+		t.Fatalf("config gauges %+v", mets)
+	}
+	if mets.JobsByState[StateDone] != 1 {
+		t.Fatalf("done gauge %+v", mets.JobsByState)
+	}
+	if len(mets.JobsByState) != len(States) {
+		t.Fatalf("states missing from metrics: %+v", mets.JobsByState)
+	}
+	if mets.CasesEvaluated != 4 {
+		t.Fatalf("cases evaluated %d, want 4", mets.CasesEvaluated)
+	}
+}

@@ -1,0 +1,43 @@
+package jobs
+
+import "container/heap"
+
+// jobQueue is a priority queue of submitted jobs: higher Priority pops
+// first, FIFO (submission sequence) within a priority so equal-priority
+// jobs keep arrival order. Each job tracks its heap index so cancelling a
+// queued job can remove it immediately — corpses left in the heap would
+// count against the queue bound and inflate the depth gauge.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q jobQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIdx = i
+	q[j].heapIdx = j
+}
+
+func (q *jobQueue) Push(x any) {
+	j := x.(*job)
+	j.heapIdx = len(*q)
+	*q = append(*q, j)
+}
+
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIdx = -1
+	*q = old[:n-1]
+	return j
+}
+
+var _ heap.Interface = (*jobQueue)(nil)

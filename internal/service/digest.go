@@ -1,0 +1,82 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"batsched/internal/spec"
+	"batsched/internal/sweep"
+)
+
+// DigestSweep returns the content digest of a sweep request — the key under
+// which the job layer stores and dedups completed results — plus the number
+// of scenario cells the request expands to.
+//
+// The digest covers exactly what determines the result bytes:
+//
+//   - every resolved display name (grid, bank, load, solver) — names label
+//     the NDJSON lines, so requests with different labels must never share
+//     an entry even when the physics agree;
+//   - the resolved physics of every (grid, bank, load) cell, via the same
+//     cellKey the Compiled cache uses — so a preset and its spelled-out
+//     parameters share a digest when their labels agree;
+//   - each solver's canonical registry identity (aliases collapse) with its
+//     compacted parameters — a montecarlo seed or an optimal-ta budget
+//     changes the output without changing any display name.
+//
+// Sweep workers are deliberately excluded: results are emitted in
+// deterministic order regardless of pool size.
+func DigestSweep(req SweepRequest) (digest string, cases int, err error) {
+	sp, err := req.Scenario.Compile()
+	if err != nil {
+		return "", 0, &InvalidRequestError{Err: err}
+	}
+	grids := append([]sweep.GridSpec(nil), sp.Grids...)
+	if len(grids) == 0 {
+		grids = []sweep.GridSpec{sweep.PaperGrid()}
+	}
+	for i := range grids {
+		if grids[i].Name == "" {
+			// Mirror sweep.Run's default naming so the digest sees the same
+			// labels the results will carry.
+			grids[i].Name = fmt.Sprintf("T%g-G%g", grids[i].StepMin, grids[i].UnitAmpMin)
+		}
+	}
+
+	h := sha256.New()
+	// User-controlled strings (display names, solver params) are
+	// length-prefixed so no choice of characters inside a name can mimic a
+	// field boundary and collide two different scenarios onto one digest.
+	field := func(tag byte, ss ...string) {
+		h.Write([]byte{tag})
+		for _, s := range ss {
+			fmt.Fprintf(h, "%d:%s", len(s), s)
+		}
+	}
+	field('V', "sweep-digest-v1")
+	for _, g := range grids {
+		field('G', g.Name)
+	}
+	for _, b := range sp.Banks {
+		field('B', b.Name)
+	}
+	for _, l := range sp.Loads {
+		field('L', l.Name)
+	}
+	for i, s := range req.Scenario.Solvers {
+		cs, err := spec.CanonicalSolver(s)
+		if err != nil {
+			return "", 0, &InvalidRequestError{Err: err}
+		}
+		field('S', cs.Name, string(cs.Params), sp.Policies[i].Name)
+	}
+	for _, g := range grids {
+		for _, b := range sp.Banks {
+			for _, l := range sp.Loads {
+				field('C', cellKey(b.Batteries, l.Load, g))
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), sp.Scenarios(), nil
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"errors"
+	"testing"
+
+	"batsched/internal/spec"
+)
+
+func sweepReq(solvers ...spec.Solver) SweepRequest {
+	return SweepRequest{Scenario: spec.Scenario{
+		Banks:   []spec.Bank{{Battery: &spec.Battery{Preset: "B1"}, Count: 2}},
+		Loads:   []spec.Load{{Paper: "ILs alt"}},
+		Solvers: solvers,
+	}}
+}
+
+func TestDigestSweepDeterministic(t *testing.T) {
+	d1, n1, err := DigestSweep(sweepReq(spec.Solver{Name: "bestof"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, n2, err := DigestSweep(sweepReq(spec.Solver{Name: "bestof"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 || n1 != n2 || n1 != 1 {
+		t.Fatalf("identical requests digest differently: %s/%d vs %s/%d", d1, n1, d2, n2)
+	}
+}
+
+func TestDigestSweepWorkersExcluded(t *testing.T) {
+	a := sweepReq(spec.Solver{Name: "bestof"})
+	b := sweepReq(spec.Solver{Name: "bestof"})
+	b.Workers = 7
+	da, _, _ := DigestSweep(a)
+	db, _, _ := DigestSweep(b)
+	if da != db {
+		t.Fatal("worker-pool size leaked into the content digest")
+	}
+}
+
+func TestDigestSweepAliasCollapses(t *testing.T) {
+	da, _, err := DigestSweep(sweepReq(spec.Solver{Name: "rr"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _, err := DigestSweep(sweepReq(spec.Solver{Name: "roundrobin"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da != db {
+		t.Fatal("alias and canonical solver name digest differently")
+	}
+}
+
+func TestDigestSweepEquivalentBankSpellings(t *testing.T) {
+	// A preset and its explicit parameters, forced onto the same display
+	// name, are the same request byte-for-byte and must share a digest.
+	a := sweepReq(spec.Solver{Name: "bestof"})
+	a.Scenario.Banks = []spec.Bank{{Name: "2xB1", Battery: &spec.Battery{Preset: "B1"}, Count: 2}}
+	b := sweepReq(spec.Solver{Name: "bestof"})
+	b.Scenario.Banks = []spec.Bank{{Name: "2xB1", Batteries: []spec.Battery{
+		{Capacity: 5.5, C: 0.166, KPrime: 0.122},
+		{Capacity: 5.5, C: 0.166, KPrime: 0.122},
+	}}}
+	da, _, err := DigestSweep(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _, err := DigestSweep(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da != db {
+		t.Fatal("equivalent bank spellings with one label digest differently")
+	}
+}
+
+func TestDigestSweepSeparates(t *testing.T) {
+	base, _, _ := DigestSweep(sweepReq(spec.Solver{Name: "bestof"}))
+	distinct := map[string]SweepRequest{}
+
+	// Different solver params without a display-name change.
+	mcA, err := spec.NamedSolver("montecarlo", spec.MonteCarloParams{Samples: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcB, err := spec.NamedSolver("montecarlo", spec.MonteCarloParams{Samples: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct["mc seed 1"] = sweepReq(mcA)
+	distinct["mc seed 2"] = sweepReq(mcB)
+
+	// Different display name on identical physics.
+	renamed := sweepReq(spec.Solver{Name: "bestof"})
+	renamed.Scenario.Banks[0].Name = "pair"
+	distinct["renamed bank"] = renamed
+
+	// Different grid.
+	regridded := sweepReq(spec.Solver{Name: "bestof"})
+	regridded.Scenario.Grids = []spec.Grid{{StepMin: 0.02, UnitAmpMin: 0.02}}
+	distinct["coarser grid"] = regridded
+
+	seen := map[string]string{base: "base"}
+	for name, req := range distinct {
+		d, _, err := DigestSweep(req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("%q collides with %q", name, prev)
+		}
+		seen[d] = name
+	}
+}
+
+// TestDigestSweepDelimiterInjection: display names containing the hash's
+// own separators must not let two different scenarios collide (names label
+// the output bytes, so a collision would serve wrong-labeled results).
+func TestDigestSweepDelimiterInjection(t *testing.T) {
+	bank := func(name string) spec.Bank {
+		return spec.Bank{Name: name, Battery: &spec.Battery{Preset: "B1"}, Count: 2}
+	}
+	a := sweepReq(spec.Solver{Name: "bestof"})
+	a.Scenario.Banks = []spec.Bank{bank("x;B:y"), bank("z")}
+	b := sweepReq(spec.Solver{Name: "bestof"})
+	b.Scenario.Banks = []spec.Bank{bank("x"), bank("y;B:z")}
+	da, _, err := DigestSweep(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _, err := DigestSweep(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da == db {
+		t.Fatal("delimiter-crafted bank names collide onto one digest")
+	}
+}
+
+func TestDigestSweepInvalidScenario(t *testing.T) {
+	_, _, err := DigestSweep(sweepReq(spec.Solver{Name: "greedy"}))
+	if err == nil {
+		t.Fatal("unknown solver digested")
+	}
+	var invalid *InvalidRequestError
+	if !errors.As(err, &invalid) {
+		t.Fatalf("error %v is not an InvalidRequestError", err)
+	}
+}

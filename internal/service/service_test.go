@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -218,6 +219,110 @@ func TestCacheEviction(t *testing.T) {
 	if st := s.Stats(); st.Entries != 2 {
 		t.Fatalf("cache entries %d, want bound 2", st.Entries)
 	}
+}
+
+// evictionCell builds the i-th distinct cell of the eviction tests: inline
+// loads whose durations differ by construction, so each i resolves to its
+// own cache key (paper loads snap horizons to whole periods and would
+// collide).
+func evictionCell(i int) spec.Run {
+	req := twoB1ILsAlt()
+	req.Load = spec.Load{
+		Name:     fmt.Sprintf("evict-%d", i),
+		Segments: []spec.Segment{{DurationMin: 20 + float64(i), CurrentA: 0.25}},
+	}
+	return req
+}
+
+// TestCacheEvictionConcurrent hammers the FIFO eviction path from many
+// goroutines over far more distinct cells than the cache bound and asserts
+// the invariants the lock is supposed to protect: the entry count never
+// exceeds the bound, the insertion-order book matches the map exactly, and
+// every evaluation still returns a correct result (eviction must force
+// recompiles, never corrupt artifacts).
+func TestCacheEvictionConcurrent(t *testing.T) {
+	const (
+		bound   = 3
+		cells   = 12
+		clients = 24
+		rounds  = 3
+	)
+	s := New(Options{MaxConcurrent: 8, CacheEntries: bound})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Distinct inline durations are distinct resolved loads,
+				// hence distinct cache keys; striding by the client index
+				// makes the goroutines fight over insertion and eviction
+				// order.
+				req := evictionCell((c + r) % cells)
+				res, err := s.Evaluate(ctx, req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Error != "" || res.LifetimeMin <= 0 {
+					errs <- fmt.Errorf("cell %d/%d: %+v", c, r, res)
+					return
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	checkBook := func() {
+		t.Helper()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if len(s.cache) > bound {
+			t.Fatalf("cache holds %d entries, bound %d", len(s.cache), bound)
+		}
+		if len(s.cache) != len(s.order) {
+			t.Fatalf("order book has %d keys, cache %d", len(s.order), len(s.cache))
+		}
+		seen := map[string]bool{}
+		for _, key := range s.order {
+			if seen[key] {
+				t.Fatalf("key %s appears twice in the order book", key)
+			}
+			seen[key] = true
+			if _, ok := s.cache[key]; !ok {
+				t.Fatalf("order book lists evicted key %s", key)
+			}
+		}
+	}
+	checkBook()
+
+	// Deterministic tail: two serial passes over all 12 cells in order. With
+	// a 3-entry FIFO, visiting cell i always finds {i-3, i-2, i-1} cached, so
+	// at most the bound's worth of leftovers from the concurrent phase can
+	// hit — every other visit must recompile an evicted cell. That pins the
+	// eviction-and-recompile path without depending on goroutine timing.
+	before := s.compiles.Load()
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < cells; i++ {
+			if _, err := s.Evaluate(ctx, evictionCell(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if delta := s.compiles.Load() - before; delta < 2*cells-bound {
+		t.Fatalf("serial eviction passes recompiled %d cells, want >= %d", delta, 2*cells-bound)
+	}
+	checkBook()
 }
 
 func TestSweepStreamOrder(t *testing.T) {

@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -95,6 +96,30 @@ func SolverNames() []string {
 func BuildSolver(s Solver) (sweep.PolicyCase, error) {
 	_, pc, err := buildSolver(s)
 	return pc, err
+}
+
+// CanonicalSolver resolves a solver reference to its registry-canonical
+// identity: the canonical name (aliases collapse — "rr" and "roundrobin"
+// are the same scheme) and compacted parameters (empty objects collapse to
+// none). Content digests key on this identity so two spellings of the same
+// solver dedup to one stored result.
+func CanonicalSolver(s Solver) (Solver, error) {
+	b, ok := Lookup(s.Name)
+	if !ok {
+		return Solver{}, fmt.Errorf("%w %q (known: %s)",
+			ErrUnknownSolver, s.Name, strings.Join(SolverNames(), ", "))
+	}
+	out := Solver{Name: b.Name}
+	if len(s.Params) > 0 {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, s.Params); err != nil {
+			return Solver{}, fmt.Errorf("%w: %s: %v", ErrSolverParams, b.Name, err)
+		}
+		if p := buf.String(); p != "{}" && p != "null" {
+			out.Params = append(json.RawMessage(nil), buf.Bytes()...)
+		}
+	}
+	return out, nil
 }
 
 func buildSolver(s Solver) (Builder, sweep.PolicyCase, error) {

@@ -391,6 +391,46 @@ func TestValidationErrors(t *testing.T) {
 	})
 }
 
+func TestCanonicalSolver(t *testing.T) {
+	// Aliases collapse to the canonical name.
+	cs, err := CanonicalSolver(Solver{Name: "rr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Name != "roundrobin" || cs.Params != nil {
+		t.Fatalf("canonical of rr: %+v", cs)
+	}
+	// Case-insensitive, like Lookup.
+	if cs, _ := CanonicalSolver(Solver{Name: "BestOf"}); cs.Name != "bestof" {
+		t.Fatalf("canonical of BestOf: %+v", cs)
+	}
+	// Parameters are compacted; empty objects collapse to none.
+	cs, err = CanonicalSolver(Solver{Name: "lookahead", Params: []byte("{ \"horizon\": 5 }")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cs.Params) != `{"horizon":5}` {
+		t.Fatalf("params not compacted: %s", cs.Params)
+	}
+	for _, empty := range []string{"{}", "null", " { } "} {
+		cs, err := CanonicalSolver(Solver{Name: "bestof", Params: []byte(empty)})
+		if err != nil {
+			t.Fatalf("%q: %v", empty, err)
+		}
+		if cs.Params != nil {
+			t.Fatalf("empty params %q kept: %s", empty, cs.Params)
+		}
+	}
+	// Unknown names fail.
+	if _, err := CanonicalSolver(Solver{Name: "greedy"}); !errors.Is(err, ErrUnknownSolver) {
+		t.Fatalf("unknown solver: %v", err)
+	}
+	// Malformed params fail.
+	if _, err := CanonicalSolver(Solver{Name: "lookahead", Params: []byte("{")}); !errors.Is(err, ErrSolverParams) {
+		t.Fatalf("malformed params: %v", err)
+	}
+}
+
 func TestRegistryCoverage(t *testing.T) {
 	names := SolverNames()
 	for _, want := range []string{

@@ -1,0 +1,172 @@
+// Package store is a content-addressed result store: immutable sets of
+// NDJSON result lines keyed by a content digest of the request that
+// produced them (see service.DigestSweep for the keying rule).
+//
+// The store is what makes large sweeps durable and deduplicated: a job that
+// finishes puts its result lines under the request digest, an identical
+// resubmission is served from the store without re-evaluating a single
+// cell, and with the optional append-only file backend the results survive
+// process restarts. Entries are immutable — a digest maps to exactly one
+// byte sequence, so serving from the store is byte-identical to the run
+// that produced the entry.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Store maps content digests to immutable result-line sets. It is safe for
+// concurrent use. The zero value is not usable; call Open.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string][]json.RawMessage
+	file    *os.File // nil = memory-only
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// record is one append-only file line: a completed entry.
+type record struct {
+	Digest  string            `json:"digest"`
+	Results []json.RawMessage `json:"results"`
+}
+
+// Open builds a store. An empty path means memory-only; otherwise the path
+// is an append-only NDJSON file: existing records are replayed into memory,
+// and every future Put is appended. A torn trailing record — a crash
+// mid-append — is truncated away, so at most the record being written is
+// lost and future appends never glue onto a corrupt tail.
+func Open(path string) (*Store, error) {
+	s := &Store{entries: make(map[string][]json.RawMessage)}
+	if path == "" {
+		return s, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	// Replay tracking the byte offset of the last cleanly-terminated good
+	// record: everything past it (torn line, garbage) is truncated before
+	// the first append, otherwise the next Put would glue onto the fragment
+	// and both records would be unreadable on the following open.
+	r := bufio.NewReaderSize(f, 1<<20)
+	var good int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			// EOF with a partial (newline-less) tail, or any read error:
+			// the tail is torn — appends always end in '\n'.
+			if err != io.EOF {
+				f.Close()
+				return nil, fmt.Errorf("store: read %s: %w", path, err)
+			}
+			break
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			good += int64(len(line))
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(trimmed, &rec); err != nil || rec.Digest == "" {
+			// A complete but unparseable line: treat it and everything after
+			// as torn rather than guessing where records resume.
+			break
+		}
+		good += int64(len(line))
+		s.entries[rec.Digest] = rec.Results
+	}
+	if info, err := f.Stat(); err == nil && info.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	s.file = f
+	return s, nil
+}
+
+// Get returns the result lines stored under digest. It counts a hit or a
+// miss; callers probing for dedup should call it exactly once per request.
+func (s *Store) Get(digest string) ([]json.RawMessage, bool) {
+	s.mu.Lock()
+	lines, ok := s.entries[digest]
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return lines, ok
+}
+
+// Put stores the result lines under digest. Entries are immutable: a digest
+// already present is left untouched (the first writer wins — identical
+// requests produce identical bytes, so there is nothing to overwrite).
+func (s *Store) Put(digest string, results []json.RawMessage) error {
+	if digest == "" {
+		return fmt.Errorf("store: empty digest")
+	}
+	lines := make([]json.RawMessage, len(results))
+	for i, r := range results {
+		lines[i] = append(json.RawMessage(nil), r...)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.entries[digest]; dup {
+		return nil
+	}
+	if s.file != nil {
+		data, err := json.Marshal(record{Digest: digest, Results: lines})
+		if err != nil {
+			return fmt.Errorf("store: encode %s: %w", digest, err)
+		}
+		data = append(data, '\n')
+		if _, err := s.file.Write(data); err != nil {
+			return fmt.Errorf("store: append %s: %w", digest, err)
+		}
+	}
+	s.entries[digest] = lines
+	return nil
+}
+
+// Counters is a snapshot of the store's effectiveness counters.
+type Counters struct {
+	// Entries is the number of stored result sets.
+	Entries int
+	// Hits and Misses count Get probes.
+	Hits, Misses int64
+}
+
+// Counters returns a snapshot of the store counters.
+func (s *Store) Counters() Counters {
+	s.mu.Lock()
+	entries := len(s.entries)
+	s.mu.Unlock()
+	return Counters{Entries: entries, Hits: s.hits.Load(), Misses: s.misses.Load()}
+}
+
+// Close syncs and closes the file backend; memory-only stores are a no-op.
+// The store must not be used after Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return nil
+	}
+	f := s.file
+	s.file = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,182 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func lines(ss ...string) []json.RawMessage {
+	out := make([]json.RawMessage, len(ss))
+	for i, s := range ss {
+		out[i] = json.RawMessage(s)
+	}
+	return out
+}
+
+func TestMemoryPutGet(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, ok := s.Get("d1"); ok {
+		t.Fatal("empty store claims a hit")
+	}
+	want := lines(`{"a":1}`, `{"b":2}`)
+	if err := s.Put("d1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("d1")
+	if !ok || len(got) != 2 || string(got[0]) != `{"a":1}` || string(got[1]) != `{"b":2}` {
+		t.Fatalf("got %v ok=%v", got, ok)
+	}
+	c := s.Counters()
+	if c.Entries != 1 || c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestPutIsImmutable(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	if err := s.Put("d", lines(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("d", lines(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get("d")
+	if string(got[0]) != `{"v":1}` {
+		t.Fatalf("second Put overwrote the entry: %s", got[0])
+	}
+	// The stored lines are copies: mutating the caller's slice afterwards
+	// must not corrupt the entry.
+	in := lines(`{"v":9}`)
+	s.Put("d2", in)
+	in[0][5] = '0'
+	got, _ = s.Get("d2")
+	if string(got[0]) != `{"v":9}` {
+		t.Fatalf("entry aliases caller bytes: %s", got[0])
+	}
+}
+
+func TestEmptyDigestRejected(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	if err := s.Put("", lines(`{}`)); err == nil {
+		t.Fatal("empty digest accepted")
+	}
+}
+
+// TestFileBackendSurvivesReopen is the durability half of the issue's
+// acceptance: entries put before Close are served after a fresh Open of the
+// same path, byte-identical.
+func TestFileBackendSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.ndjson")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lines(`{"grid":"paper","lifetime_min":16.28}`, `{"grid":"paper","lifetime_min":16.9}`)
+	if err := s.Put("digest-a", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("digest-b", lines(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, ok := re.Get("digest-a")
+	if !ok || len(got) != 2 {
+		t.Fatalf("digest-a after reopen: %v ok=%v", got, ok)
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("line %d drifted: %s vs %s", i, got[i], want[i])
+		}
+	}
+	if c := re.Counters(); c.Entries != 2 {
+		t.Fatalf("entries after reopen %d, want 2", c.Entries)
+	}
+}
+
+// TestTornTrailingRecordSkipped: a crash mid-append leaves a truncated last
+// line; everything before it must still load.
+func TestTornTrailingRecordSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.ndjson")
+	s, _ := Open(path)
+	s.Put("good", lines(`{"ok":true}`))
+	s.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"digest":"torn","results":[{"ok"`)
+	f.Close()
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.Get("good"); !ok {
+		t.Fatal("intact record lost behind a torn tail")
+	}
+	if _, ok := re.Get("torn"); ok {
+		t.Fatal("torn record surfaced")
+	}
+	// The reopened store still accepts appends — and because the torn tail
+	// was truncated, the append must not glue onto the fragment: a third
+	// open has to see both the old record and the new one.
+	if err := re.Put("after", lines(`{"v":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	third, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer third.Close()
+	if _, ok := third.Get("good"); !ok {
+		t.Fatal("original record lost after post-torn append")
+	}
+	got, ok := third.Get("after")
+	if !ok || string(got[0]) != `{"v":3}` {
+		t.Fatalf("post-torn append lost on reopen: %v ok=%v", got, ok)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.ndjson")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d := string(rune('a' + i%4))
+			s.Put(d, lines(`{"w":1}`))
+			s.Get(d)
+		}(i)
+	}
+	wg.Wait()
+	if c := s.Counters(); c.Entries != 4 {
+		t.Fatalf("entries %d, want 4", c.Entries)
+	}
+}
