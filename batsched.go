@@ -321,6 +321,10 @@ type (
 	RunRequest = service.RunRequest
 	// SweepRequest asks the service for a whole scenario grid.
 	SweepRequest = service.SweepRequest
+	// SweepLine is one emitted sweep cell in NDJSON-line form (the
+	// EvalService.SweepStreamLines payload): pre-encoded bytes plus whether
+	// the cell came from the result store.
+	SweepLine = service.SweepLine
 	// InvalidRequestError marks spec-level validation failures.
 	InvalidRequestError = service.InvalidRequestError
 )
@@ -328,21 +332,33 @@ type (
 // NewEvalService builds an evaluation service.
 func NewEvalService(opts EvalOptions) *EvalService { return service.New(opts) }
 
-// DigestSweep returns the content digest of a sweep request — the dedup key
-// of the result store — plus the number of scenario cells it expands to.
-// The digest covers the resolved display names, the resolved physics of
-// every cell (the same content key the Compiled cache uses), and each
-// solver's canonical identity with parameters.
+// CellDigests returns the per-cell content digests of a sweep request in
+// the sweep's deterministic result order, plus the whole-request digest.
+// A cell digest covers the cell's resolved display names, its resolved
+// physics, and its solver's canonical identity with parameters — the
+// result store's keying rule (see DESIGN.md).
+func CellDigests(req SweepRequest) (cells []string, request string, err error) {
+	return service.CellDigests(req)
+}
+
+// DigestSweep returns the content digest of a sweep request — the key of
+// the result store's whole-request index — plus the number of scenario
+// cells it expands to. The digest is derived from the ordered per-cell
+// digests; see CellDigests.
 func DigestSweep(req SweepRequest) (digest string, cases int, err error) {
 	return service.DigestSweep(req)
 }
 
-// Asynchronous job orchestration (internal/jobs) over a content-addressed
-// result store (internal/store): sweeps submitted as jobs run on a bounded
-// priority worker pool, report per-case progress, cancel via context, dedup
-// against the store by content digest, and — with a file-backed store —
-// survive restarts. cmd/batserve exposes the job API over HTTP
-// (POST/GET/DELETE /v1/jobs, GET /v1/jobs/{id}/results, GET /metrics).
+// Asynchronous job orchestration (internal/jobs) over a cell-granular
+// content-addressed result store (internal/store): sweeps submitted as jobs
+// run on a bounded priority worker pool, report per-case progress (split
+// into evaluated and cache-served cells), cancel via context, dedup against
+// the store per cell — identical resubmissions are one whole-request index
+// probe, overlapping ones evaluate only their novel cells — and, with a
+// file-backed store, survive restarts. cmd/batserve exposes the job API
+// over HTTP (POST/GET/DELETE /v1/jobs, GET /v1/jobs/{id}/results,
+// GET /metrics). Wire the same store into EvalOptions.Store so synchronous
+// sweeps and jobs reuse each other's cells.
 type (
 	// JobManager owns the job table, priority queue, and worker pool.
 	JobManager = jobs.Manager

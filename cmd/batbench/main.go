@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"batsched/internal/benchkit"
@@ -29,6 +31,7 @@ func main() {
 		match     = flag.String("match", "", "only run cases with this name prefix")
 		skipBase  = flag.Bool("skip-baselines", false, "skip the slow reference-search baseline runs")
 		list      = flag.Bool("list", false, "list the pinned cases and exit")
+		memprof   = flag.String("memprofile", "", "write a heap profile here after the run (pprof format)")
 	)
 	flag.Parse()
 
@@ -50,6 +53,13 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *memprof != "" {
+		// Snapshot live heap after the measured cases: CI uploads this so
+		// an allocation regression comes with the profile that explains it.
+		if err := writeHeapProfile(*memprof); err != nil {
+			fatal(err)
+		}
 	}
 
 	var regs []benchkit.Regression
@@ -133,6 +143,21 @@ func wallRegs(regs []benchkit.Regression) bool {
 		}
 	}
 	return false
+}
+
+// writeHeapProfile garbage-collects (so the profile reflects live data, not
+// garbage awaiting collection) and writes the heap profile to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

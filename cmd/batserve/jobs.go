@@ -104,14 +104,21 @@ func (a *app) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "batserve_job_queue_depth %d\n", jm.QueueDepth)
 	fmt.Fprintf(w, "batserve_job_queue_bound %d\n", jm.QueueBound)
 	fmt.Fprintf(w, "batserve_job_cases_evaluated_total %d\n", jm.CasesEvaluated)
+	fmt.Fprintf(w, "batserve_job_cases_from_cache_total %d\n", jm.CasesFromCache)
 	fmt.Fprintf(w, "batserve_workers_busy %d\n", jm.WorkersBusy)
 	fmt.Fprintf(w, "batserve_workers_total %d\n", jm.WorkersTotal)
 	fmt.Fprintf(w, "batserve_store_entries %d\n", jm.Store.Entries)
+	fmt.Fprintf(w, "batserve_store_requests %d\n", jm.Store.Requests)
 	fmt.Fprintf(w, "batserve_store_hits_total %d\n", jm.Store.Hits)
 	fmt.Fprintf(w, "batserve_store_misses_total %d\n", jm.Store.Misses)
+	fmt.Fprintf(w, "batserve_store_cell_hits_total %d\n", jm.Store.CellHits)
+	fmt.Fprintf(w, "batserve_store_cell_misses_total %d\n", jm.Store.CellMisses)
 	fmt.Fprintf(w, "batserve_cache_entries %d\n", cs.Entries)
 	fmt.Fprintf(w, "batserve_cache_compiles_total %d\n", cs.Compiles)
 	fmt.Fprintf(w, "batserve_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "batserve_sweep_cell_hits_total %d\n", cs.CellHits)
+	fmt.Fprintf(w, "batserve_sweep_cells_evaluated_total %d\n", cs.CellsEvaluated)
+	fmt.Fprintf(w, "batserve_store_errors_total %d\n", cs.StoreErrors)
 	fmt.Fprintf(w, "batserve_uptime_seconds %d\n", int64(time.Since(a.start).Seconds()))
 }
 

@@ -102,12 +102,8 @@ func metricValue(t *testing.T, ts *testServer, name string) int64 {
 func TestJobEquivalenceAndDedup(t *testing.T) {
 	ts := newTestServer(t)
 
-	// Synchronous reference bytes.
-	resp, wantBytes := postJSON(t, ts.URL+"/v1/sweep", `{"scenario":`+jobScenario+`}`)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("sweep status %d: %s", resp.StatusCode, wantBytes)
-	}
-
+	// The job runs first (cold store), so it evaluates every cell and
+	// carries the aggregated search stats.
 	sub := submitJob(t, ts, `{"scenario":`+jobScenario+`}`)
 	final := pollJobDone(t, ts, sub.ID)
 	if final.State != batsched.JobDone || final.Error != "" {
@@ -115,6 +111,9 @@ func TestJobEquivalenceAndDedup(t *testing.T) {
 	}
 	if final.TotalCases != 6 || final.DoneCases != 6 {
 		t.Fatalf("progress %d/%d, want 6/6", final.DoneCases, final.TotalCases)
+	}
+	if final.CachedCases != 0 {
+		t.Fatalf("cold job reports %d cached cases", final.CachedCases)
 	}
 	if final.Stats == nil || final.Stats.States == 0 {
 		t.Fatalf("job with optimal cells carries no aggregated stats: %+v", final)
@@ -127,8 +126,19 @@ func TestJobEquivalenceAndDedup(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Fatalf("results content type %q", ct)
 	}
+
+	// The synchronous sweep of the same scenario is now served from the
+	// shared cell store — and must still be byte-identical to the job's
+	// evaluated output.
+	resp, wantBytes := postJSON(t, ts.URL+"/v1/sweep", `{"scenario":`+jobScenario+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, wantBytes)
+	}
 	if !bytes.Equal(gotBytes, wantBytes) {
 		t.Fatalf("job results differ from synchronous sweep:\njob:\n%s\nsweep:\n%s", gotBytes, wantBytes)
+	}
+	if evals := metricValue(t, ts, "batserve_sweep_cells_evaluated_total"); evals != 6 {
+		t.Fatalf("cache-served sync sweep re-evaluated cells: %d evaluations, want 6", evals)
 	}
 
 	// Identical resubmission: served from the store, zero extra cases.

@@ -65,9 +65,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "batserve: %v\n", err)
 		os.Exit(1)
 	}
+	// The service and the job manager share one store: synchronous sweeps
+	// and jobs then reuse each other's cells, and an overlapping submission
+	// on either path evaluates only what neither has produced.
 	svc := batsched.NewEvalService(batsched.EvalOptions{
 		MaxConcurrent: *concurrency,
 		CacheEntries:  *cacheSize,
+		Store:         st,
 	})
 	mgr := batsched.NewJobManager(svc, st, batsched.JobOptions{
 		Workers:    *jobWorkers,

@@ -20,6 +20,10 @@ const maxRequestBytes = 4 << 20
 // buffer.
 const streamWriteTimeout = 30 * time.Second
 
+// nl terminates NDJSON lines; a shared slice so streaming writes do not
+// allocate per line.
+var nl = []byte{'\n'}
+
 // app bundles the long-lived server state the handlers share: the
 // synchronous evaluation service, the asynchronous job manager (which owns
 // the result store), and the start instant for uptime reporting.
@@ -149,17 +153,16 @@ func (a *app) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// The header is deferred until the first result: SweepStream
+	// The header is deferred until the first result: SweepStreamLines
 	// validates the scenario itself (once — no separate Validate pass),
 	// so spec errors still surface with a proper status code.
 	flusher, _ := w.(http.Flusher)
 	rc := http.NewResponseController(w)
-	enc := json.NewEncoder(w)
 	streaming := false
 	// The connection outlives this handler (keep-alive), so the per-line
 	// deadline must not leak into the next request on it.
 	defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
-	err := a.svc.SweepStream(r.Context(), req, func(res batsched.EvalResult) error {
+	err := a.svc.SweepStreamLines(r.Context(), req, func(sl batsched.SweepLine) error {
 		if !streaming {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			w.WriteHeader(http.StatusOK)
@@ -169,8 +172,14 @@ func (a *app) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// this write forever — and with it the sweep's workers and a
 		// service concurrency slot. Bound each line; a missed deadline
 		// fails the emit, which cancels the sweep's remaining cells.
+		// The service hands over pre-encoded line bytes (cached cells
+		// pass store bytes straight through), so the handler writes, it
+		// never marshals.
 		_ = rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
-		if err := enc.Encode(res); err != nil {
+		if _, err := w.Write(sl.Line); err != nil {
+			return err
+		}
+		if _, err := w.Write(nl); err != nil {
 			return err
 		}
 		if flusher != nil {

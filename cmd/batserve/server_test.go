@@ -34,7 +34,9 @@ func newTestServerWithStore(t *testing.T, storePath string) *testServer {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := batsched.NewEvalService(batsched.EvalOptions{})
+	// Mirror main.go: the service and the job manager share the store, so
+	// sync sweeps and jobs reuse each other's cells.
+	svc := batsched.NewEvalService(batsched.EvalOptions{Store: st})
 	mgr := batsched.NewJobManager(svc, st, batsched.JobOptions{})
 	ts := httptest.NewServer(newHandler(&app{svc: svc, jobs: mgr, start: time.Now()}))
 	t.Cleanup(func() {
@@ -426,8 +428,14 @@ func TestConcurrentClientsShareCompiledArtifact(t *testing.T) {
 	if st.Compiles != 1 {
 		t.Fatalf("compiled %d times for %d identical clients, want 1", st.Compiles, clients)
 	}
-	if st.Hits != clients-1 {
-		t.Fatalf("cache hits %d, want %d", st.Hits, clients-1)
+	// With the cell store wired in, identical clients do not even share the
+	// compiled artifact — they share the evaluated cell: one evaluation, the
+	// rest served from the store or the in-flight table.
+	if st.CellsEvaluated != 1 {
+		t.Fatalf("evaluated %d cells for %d identical clients, want 1", st.CellsEvaluated, clients)
+	}
+	if st.CellHits != clients-1 {
+		t.Fatalf("cell hits %d, want %d", st.CellHits, clients-1)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"batsched/internal/battery"
+	"batsched/internal/core"
 	"batsched/internal/dkibam"
 	"batsched/internal/jobs"
 	"batsched/internal/load"
@@ -171,21 +172,49 @@ func optimalCase(name string, bats []battery.Params, loadName string, horizon fl
 	}, nil
 }
 
-// sweepCase measures a full policy grid through the sweep runner.
-func sweepCase(name string, bank sweep.Bank, loads []string, horizon float64, workers int) kase {
+// sweepCase measures a full policy grid through the sweep runner. The spec
+// and the compiled cells are built once, outside the measured body, exactly
+// as the evaluation service amortizes them via its compiled cache in
+// production: what the case times is the sweep pipeline on hot cells — the
+// evaluation path behind a cell-store miss — which the allocs/op gate holds
+// near zero per scenario.
+func sweepCase(name string, bank sweep.Bank, loads []string, horizon float64, workers int) (kase, error) {
+	lcs, err := sweep.PaperLoads(loads, horizon)
+	if err != nil {
+		return kase{}, err
+	}
+	sp := sweep.Spec{
+		Banks:    []sweep.Bank{bank},
+		Loads:    lcs,
+		Policies: sweep.Policies(sched.Sequential(), sched.RoundRobin(), sched.BestAvailable()),
+	}
+	// Precompile every cell into a read-only map; the compile hook then
+	// only reads it, so concurrent workers need no lock.
+	cells := make(map[string]*core.Compiled)
+	key := func(bank sweep.Bank, lc sweep.LoadCase, grid sweep.GridSpec) string {
+		return bank.Name + "\x00" + lc.Name + "\x00" + grid.Name
+	}
+	grid := sweep.PaperGrid()
+	for _, lc := range lcs {
+		c, err := core.Compile(bank.Batteries, lc.Load, grid.StepMin, grid.UnitAmpMin)
+		if err != nil {
+			return kase{}, err
+		}
+		cells[key(bank, lc, grid)] = c
+	}
+	opts := sweep.Options{
+		Workers: workers,
+		Compile: func(bank sweep.Bank, lc sweep.LoadCase, grid sweep.GridSpec) (*core.Compiled, error) {
+			if c, ok := cells[key(bank, lc, grid)]; ok {
+				return c, nil
+			}
+			return core.Compile(bank.Batteries, lc.Load, grid.StepMin, grid.UnitAmpMin)
+		},
+	}
 	return kase{
 		name: name,
 		run: func() (float64, error) {
-			lcs, err := sweep.PaperLoads(loads, horizon)
-			if err != nil {
-				return 0, err
-			}
-			spec := sweep.Spec{
-				Banks:    []sweep.Bank{bank},
-				Loads:    lcs,
-				Policies: sweep.Policies(sched.Sequential(), sched.RoundRobin(), sched.BestAvailable()),
-			}
-			results, err := sweep.Run(spec, sweep.Options{Workers: workers})
+			results, err := sweep.Run(sp, opts)
 			if err != nil {
 				return 0, err
 			}
@@ -198,7 +227,7 @@ func sweepCase(name string, bank sweep.Bank, loads []string, horizon float64, wo
 			}
 			return last, nil
 		},
-	}
+	}, nil
 }
 
 // jobsScenario is the pinned 200-case grid of the orchestration cases:
@@ -241,12 +270,15 @@ func jobsSubmitDrainCase(name string) kase {
 	return kase{
 		name: name,
 		run: func() (float64, error) {
-			svc := service.New(service.Options{MaxConcurrent: 2})
 			st, err := store.Open("")
 			if err != nil {
 				return 0, err
 			}
 			defer st.Close()
+			// The service shares the job manager's store, as batserve wires
+			// it in production; the store is fresh per op, so every cell is
+			// still a miss and the full evaluation path is measured.
+			svc := service.New(service.Options{MaxConcurrent: 2, Store: st})
 			m := jobs.New(svc, st, jobs.Options{Workers: 1})
 			defer m.Shutdown(context.Background())
 			sub, err := m.Submit(jobs.Request{Scenario: sc, Workers: 2})
@@ -296,6 +328,128 @@ func jobsDirectSweepCase(name string) kase {
 			return last, nil
 		},
 	}
+}
+
+// overlapScenario is jobsScenario with one of the ten paper loads swapped
+// for an inline load not in the paper set: 9 of 10 loads — and so 180 of
+// the 200 cells — are shared with the pinned grid, which makes a seeded
+// resubmission exactly 90% overlapping.
+func overlapScenario() spec.Scenario {
+	sc := jobsScenario()
+	for i := range sc.Loads {
+		if sc.Loads[i].Paper == "ILs alt" {
+			// A 250 s on / 250 s off intermittent variant of the paper's
+			// alternating load, repeated across the 200 min horizon.
+			segs := make([]spec.Segment, 0, 48)
+			for len(segs) < 48 {
+				segs = append(segs,
+					spec.Segment{DurationMin: 250.0 / 60, CurrentA: 0.5},
+					spec.Segment{DurationMin: 250.0 / 60, CurrentA: 0},
+				)
+			}
+			sc.Loads[i] = spec.Load{Name: "ILs 250/250", Segments: segs}
+		}
+	}
+	return sc
+}
+
+// runSweepLines drives one store-backed sweep through the service line path
+// and returns the last lifetime plus the cached-cell count.
+func runSweepLines(svc *service.Service, sc spec.Scenario) (last float64, cached int, err error) {
+	var lastLine []byte
+	err = svc.SweepStreamLines(context.Background(),
+		service.SweepRequest{Scenario: sc, Workers: 2},
+		func(sl service.SweepLine) error {
+			if sl.Cached {
+				cached++
+			}
+			lastLine = append(lastLine[:0], sl.Line...)
+			return nil
+		})
+	if err != nil {
+		return 0, 0, err
+	}
+	last, err = lastLifetime([]json.RawMessage{lastLine})
+	return last, cached, err
+}
+
+// sweepColdCase measures the content-addressed sweep pipeline cold: fresh
+// store and service per op, so all 200 cells are digested, missed, and
+// evaluated. The delta against the 90%-overlap case below is what cell
+// granularity buys on resubmission.
+func sweepColdCase(name string) kase {
+	sc := jobsScenario()
+	return kase{
+		name: name,
+		run: func() (float64, error) {
+			st, err := store.Open("")
+			if err != nil {
+				return 0, err
+			}
+			defer st.Close()
+			svc := service.New(service.Options{MaxConcurrent: 2, Store: st})
+			last, cached, err := runSweepLines(svc, sc)
+			if err != nil {
+				return 0, err
+			}
+			if cached != 0 {
+				return 0, fmt.Errorf("benchkit: cold sweep reported %d cached cells", cached)
+			}
+			return last, nil
+		},
+	}
+}
+
+// sweepOverlapCase measures a 90%-overlapping resubmission: per op the
+// store is seeded with the 200 cells of the pinned grid (captured once,
+// outside measurement), then the overlap scenario — sharing 180 of its 200
+// cells — runs against it. Only the 20 novel cells evaluate; the measured
+// body is digesting, the bulk probe, and the 10% miss path. The store is
+// rebuilt per op so the novel cells stay novel and the work is stationary.
+func sweepOverlapCase(name string) (kase, error) {
+	base := jobsScenario()
+	over := overlapScenario()
+	// Capture the pinned grid's cell digests and lines once.
+	seedStore, err := store.Open("")
+	if err != nil {
+		return kase{}, err
+	}
+	seedSvc := service.New(service.Options{MaxConcurrent: 2, Store: seedStore})
+	if _, _, err := runSweepLines(seedSvc, base); err != nil {
+		return kase{}, err
+	}
+	digests, _, err := service.CellDigests(service.SweepRequest{Scenario: base})
+	if err != nil {
+		return kase{}, err
+	}
+	lines, hits := seedStore.LookupCells(digests)
+	if hits != len(digests) {
+		return kase{}, fmt.Errorf("benchkit: seed sweep stored %d of %d cells", hits, len(digests))
+	}
+	return kase{
+		name: name,
+		run: func() (float64, error) {
+			st, err := store.Open("")
+			if err != nil {
+				return 0, err
+			}
+			defer st.Close()
+			for i, d := range digests {
+				if err := st.PutCell(d, lines[i]); err != nil {
+					return 0, err
+				}
+			}
+			svc := service.New(service.Options{MaxConcurrent: 2, Store: st})
+			last, cached, err := runSweepLines(svc, over)
+			if err != nil {
+				return 0, err
+			}
+			if cached != 180 {
+				return 0, fmt.Errorf("benchkit: overlap sweep served %d cached cells, want 180", cached)
+			}
+			return last, nil
+		},
+	}, nil
 }
 
 // lastLifetime extracts the final cell's lifetime from job result lines.
@@ -365,7 +519,9 @@ func suite() ([]kase, error) {
 	if err := add(policyCase("policy-lifetime/2xB1/ILl 500/bestof", battery.Bank(b1, 2), "ILl 500", 200, sched.BestAvailable())); err != nil {
 		return nil, err
 	}
-	cases = append(cases, sweepCase("sweep/2xB1/paper/policies", sweep.BankOf("2xB1", b1, 2), nil, 200, 1))
+	if err := add(sweepCase("sweep/2xB1/paper/policies", sweep.BankOf("2xB1", b1, 2), nil, 200, 1)); err != nil {
+		return nil, err
+	}
 	if err := add(optimalCase("optimal/2xB1/ILs alt", battery.Bank(b1, 2), "ILs alt", 200)); err != nil {
 		return nil, err
 	}
@@ -385,6 +541,14 @@ func suite() ([]kase, error) {
 		jobsSubmitDrainCase("jobs/submit-drain/200-case-grid"),
 		jobsDirectSweepCase("jobs/direct-sweep/200-case-grid"),
 	)
+	// The incremental pair: the pinned grid cold through the cell-addressed
+	// service versus a 90%-overlapping resubmission that reuses 180 of the
+	// 200 cells. Their ratio is what cell-granular content addressing buys
+	// on the paper's overlapping experiment grids.
+	cases = append(cases, sweepColdCase("sweep/overlap/cold/200-case-grid"))
+	if err := add(sweepOverlapCase("sweep/overlap/resubmit-90pct/200-case-grid")); err != nil {
+		return nil, err
+	}
 	return cases, nil
 }
 
@@ -519,9 +683,10 @@ func measure(benchtime time.Duration, fn func() error) (Measurement, error) {
 }
 
 // Regression is one case that slowed beyond the allowed ratio. Kind is
-// "ns/op" (wall clock — noisy across machines, retried by the gate) or
+// "ns/op" (wall clock — noisy across machines, retried by the gate),
 // "states" (explored search states — deterministic for fixed code and grid,
-// the machine-independent signal).
+// the machine-independent signal), or "allocs/op" (allocation count —
+// near-deterministic, the zero-allocation pipeline's guard).
 type Regression struct {
 	Name    string
 	Kind    string
@@ -536,7 +701,13 @@ func (r Regression) String() string {
 
 // GatedPrefixes are the case families the CI regression gate inspects; the
 // other cases are informational.
-var GatedPrefixes = []string{"policy-lifetime/", "optimal/"}
+var GatedPrefixes = []string{"policy-lifetime/", "optimal/", "sweep/"}
+
+// allocSlack is how many allocs/op a zero-alloc baseline case may drift
+// before the gate fires: allocation counts are near-deterministic, but a
+// stray background GC assist or pool refill can charge a handful of
+// allocations to the measured loop.
+const allocSlack = 16
 
 // Compare flags cases in current that regressed more than maxRatio against
 // the same-named case in base, restricted to GatedPrefixes: wall-clock
@@ -588,6 +759,19 @@ func Compare(base, current Report, maxRatio float64) []Regression {
 			if ratio := float64(r.Stats.States) / float64(b.Stats.States); ratio > maxRatio {
 				regs = append(regs, Regression{Name: r.Name, Kind: "states", Base: b.Stats.States, Current: r.Stats.States, Ratio: ratio})
 			}
+		}
+		// Allocation gate: machine-independent like the states gate. A
+		// baseline at (or near) zero cannot express a ratio, so it gets an
+		// absolute slack instead — the zero-allocation cases must stay
+		// zero-allocation.
+		switch {
+		case b.AllocsPerOp > allocSlack:
+			if ratio := float64(r.AllocsPerOp) / float64(b.AllocsPerOp); ratio > maxRatio {
+				regs = append(regs, Regression{Name: r.Name, Kind: "allocs/op", Base: b.AllocsPerOp, Current: r.AllocsPerOp, Ratio: ratio})
+			}
+		case r.AllocsPerOp > b.AllocsPerOp+allocSlack:
+			regs = append(regs, Regression{Name: r.Name, Kind: "allocs/op", Base: b.AllocsPerOp, Current: r.AllocsPerOp,
+				Ratio: float64(r.AllocsPerOp) / float64(b.AllocsPerOp+1)})
 		}
 	}
 	return regs

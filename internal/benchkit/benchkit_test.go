@@ -81,25 +81,62 @@ func TestHarnessOptimalCase(t *testing.T) {
 }
 
 // TestCompareGate: regressions beyond the ratio are flagged for gated
-// prefixes only, and missing cases are tolerated.
+// prefixes only (sweep/ included since the zero-allocation pipeline), and
+// missing cases are tolerated.
 func TestCompareGate(t *testing.T) {
 	base := Report{Results: []Result{
 		{Name: "optimal/x", Measurement: Measurement{NsPerOp: 100}},
 		{Name: "policy-lifetime/y", Measurement: Measurement{NsPerOp: 100}},
 		{Name: "sweep/z", Measurement: Measurement{NsPerOp: 100}},
+		{Name: "jobs/w", Measurement: Measurement{NsPerOp: 100}},
 	}}
 	current := Report{Results: []Result{
 		{Name: "optimal/x", Measurement: Measurement{NsPerOp: 150}},
 		{Name: "policy-lifetime/y", Measurement: Measurement{NsPerOp: 250}},
-		{Name: "sweep/z", Measurement: Measurement{NsPerOp: 900}},   // ungated
+		{Name: "sweep/z", Measurement: Measurement{NsPerOp: 900}},
+		{Name: "jobs/w", Measurement: Measurement{NsPerOp: 900}},    // ungated
 		{Name: "optimal/new", Measurement: Measurement{NsPerOp: 5}}, // not in base
 	}}
 	regs := Compare(base, current, 2.0)
-	if len(regs) != 1 || regs[0].Name != "policy-lifetime/y" || regs[0].Kind != "ns/op" {
-		t.Fatalf("regressions %v, want exactly policy-lifetime/y (ns/op)", regs)
+	if len(regs) != 2 || regs[0].Name != "policy-lifetime/y" || regs[0].Kind != "ns/op" ||
+		regs[1].Name != "sweep/z" || regs[1].Kind != "ns/op" {
+		t.Fatalf("regressions %v, want policy-lifetime/y and sweep/z (ns/op)", regs)
 	}
 	if regs[0].Ratio != 2.5 {
 		t.Fatalf("ratio %v, want 2.5", regs[0].Ratio)
+	}
+}
+
+// TestCompareAllocGate: allocation counts are gated on the same prefixes —
+// by ratio when the baseline allocates, and with an absolute slack when the
+// baseline is (near) zero, so the zero-allocation cases must stay that way.
+func TestCompareAllocGate(t *testing.T) {
+	base := Report{Results: []Result{
+		{Name: "sweep/hot", Measurement: Measurement{NsPerOp: 100, AllocsPerOp: 100}},
+		{Name: "policy-lifetime/zero", Measurement: Measurement{NsPerOp: 100, AllocsPerOp: 0}},
+		{Name: "jobs/w", Measurement: Measurement{NsPerOp: 100, AllocsPerOp: 100}},
+	}}
+	current := Report{Results: []Result{
+		{Name: "sweep/hot", Measurement: Measurement{NsPerOp: 100, AllocsPerOp: 300}},
+		{Name: "policy-lifetime/zero", Measurement: Measurement{NsPerOp: 100, AllocsPerOp: allocSlack + 1}},
+		{Name: "jobs/w", Measurement: Measurement{NsPerOp: 100, AllocsPerOp: 900}}, // ungated
+	}}
+	regs := Compare(base, current, 2.0)
+	if len(regs) != 2 {
+		t.Fatalf("regressions %v, want sweep/hot and policy-lifetime/zero (allocs/op)", regs)
+	}
+	for _, r := range regs {
+		if r.Kind != "allocs/op" {
+			t.Fatalf("regression kind %q, want allocs/op: %v", r.Kind, r)
+		}
+	}
+	// Within slack: a zero-alloc case picking up a couple of stray
+	// allocations is noise, not a regression.
+	current.Results[0].AllocsPerOp = 150
+	current.Results[1].AllocsPerOp = allocSlack
+	current.Results[2].AllocsPerOp = 100
+	if regs := Compare(base, current, 2.0); len(regs) != 0 {
+		t.Fatalf("within-slack drift flagged: %v", regs)
 	}
 }
 

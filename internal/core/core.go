@@ -120,6 +120,12 @@ type Compiled struct {
 	ld        load.Load
 	discs     []*dkibam.Discretization
 	cl        load.Compiled
+
+	// sysPool recycles per-run Systems across simulations on this artifact;
+	// a pooled system is Reset on acquire, so policy evaluations on a hot
+	// cell allocate nothing. Valid only because every System built here
+	// shares the same immutable discs/cl.
+	sysPool sync.Pool
 }
 
 // Compile discretizes a bank and a load onto a grid, producing the shared
@@ -172,6 +178,44 @@ func (c *Compiled) CompiledLoad() load.Compiled { return c.cl }
 // at time zero) on the shared artifact.
 func (c *Compiled) NewSystem() (*dkibam.System, error) {
 	return dkibam.NewSystem(c.discs, c.cl)
+}
+
+// AcquireSystem returns a per-run system in the construction state (fully
+// charged, time zero), recycling an earlier run's system when one is pooled.
+// Pair it with ReleaseSystem once the run is done; a released system must
+// not be used again.
+func (c *Compiled) AcquireSystem() (*dkibam.System, error) {
+	if sys, ok := c.sysPool.Get().(*dkibam.System); ok {
+		sys.Reset()
+		return sys, nil
+	}
+	return c.NewSystem()
+}
+
+// ReleaseSystem returns a system acquired from AcquireSystem to the pool.
+func (c *Compiled) ReleaseSystem(sys *dkibam.System) {
+	if sys == nil {
+		return
+	}
+	sys.OnStep = nil
+	c.sysPool.Put(sys)
+}
+
+// PolicyLifetimeCount simulates a scheduling policy on a pooled per-run
+// system and returns the lifetime plus the number of scheduling decisions —
+// what the sweep runner needs — without materializing the Schedule that
+// PolicyRun records.
+func (c *Compiled) PolicyLifetimeCount(policy sched.Policy) (float64, int, error) {
+	sys, err := c.AcquireSystem()
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.ReleaseSystem(sys)
+	lifetime, err := sys.Run(sched.AdaptChooser(policy.NewChooser()))
+	if err != nil {
+		return 0, 0, err
+	}
+	return lifetime, sys.Decisions(), nil
 }
 
 // AnalyticLifetime computes the battery lifetime under the continuous KiBaM

@@ -96,6 +96,10 @@ type System struct {
 	// clones.
 	aliveScratch []int
 
+	// decisions counts the chooser invocations of the current Run call; see
+	// Decisions.
+	decisions int
+
 	// OnStep, when non-nil, is invoked after every completed time step;
 	// used to sample charge traces (Figure 6). Clone clears it.
 	OnStep func(*System)
@@ -153,6 +157,25 @@ func (s *System) Clone() *System {
 	c.aliveScratch = make([]int, 0, len(s.cells))
 	c.OnStep = nil
 	return &c
+}
+
+// Reset reinstates the construction state — fully charged batteries at time
+// zero, the default event engine — without allocating. It is what lets
+// per-run systems be pooled and reused across sweep scenarios instead of
+// rebuilt per run; restoring the engine matters there, or a system released
+// after a SetEngine(EngineTick) differential run would silently degrade
+// every later pooled run to the O(steps) oracle.
+func (s *System) Reset() {
+	s.t, s.j = 0, 0
+	s.active = NoBattery
+	s.alive = len(s.cells)
+	s.dead = false
+	s.death = 0
+	s.decisions = 0
+	s.engine = EngineEvent
+	for i, d := range s.ds {
+		s.cells[i] = FullCell(d)
+	}
 }
 
 // SetEngine selects the stepping engine. EngineEvent (the default) and
@@ -684,6 +707,7 @@ func (s *System) RestoreState(st State) {
 // returns the lifetime in minutes. It returns ErrLoadExhausted if the load
 // horizon ends first.
 func (s *System) Run(choose Chooser) (float64, error) {
+	s.decisions = 0
 	for {
 		dec, pending, err := s.AdvanceToDecision()
 		if err != nil {
@@ -692,12 +716,19 @@ func (s *System) Run(choose Chooser) (float64, error) {
 		if !pending {
 			return s.Lifetime(), nil
 		}
+		s.decisions++
 		idx := choose(s, dec)
 		if err := s.Choose(idx); err != nil {
 			return 0, err
 		}
 	}
 }
+
+// Decisions returns how many scheduling decisions the most recent Run call
+// made — the length of the schedule Run would have recorded — so callers
+// that only need the count (the sweep runner) can skip materializing a
+// Schedule.
+func (s *System) Decisions() int { return s.decisions }
 
 // RemainingUnits returns the summed remaining charge units over all
 // batteries; the maximum-finder automaton converts exactly this quantity

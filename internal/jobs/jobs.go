@@ -1,16 +1,18 @@
 // Package jobs is the asynchronous orchestration layer over the evaluation
 // service: sweeps become durable jobs instead of blocking HTTP requests.
 //
-// A submitted sweep is digested (service.DigestSweep), checked against the
-// content-addressed result store, and — on a miss — queued for a bounded
-// priority worker pool that executes it through service.SweepStream. Jobs
-// move queued → running → done/failed/cancelled, expose per-case progress
-// counters, cancel via context, and preserve the sweep's deterministic
-// result ordering: the stored result lines are byte-identical to what the
-// synchronous NDJSON endpoint streams for the same request. Completed
-// results land in the store, so identical resubmissions are served without
-// re-evaluating a single cell, and with a file-backed store they survive
-// restarts.
+// A submitted sweep is digested per cell (service.CellDigests), checked
+// against the content-addressed result store's whole-request index, and —
+// on a miss — queued for a bounded priority worker pool that executes it
+// through service.SweepStreamLines. Jobs move queued → running →
+// done/failed/cancelled, expose per-case progress counters (split into
+// evaluated and cache-served cells), cancel via context, and preserve the
+// sweep's deterministic result ordering: the stored result lines are
+// byte-identical to what the synchronous NDJSON endpoint streams for the
+// same request. Completed jobs record the request → cell-digest index, so
+// an identical resubmission is served without touching the queue, a merely
+// overlapping one evaluates only the cells no earlier sweep produced, and
+// with a file-backed store both survive restarts.
 package jobs
 
 import (
@@ -69,14 +71,21 @@ type Status struct {
 	// order, so this is also the length of the readable result prefix).
 	TotalCases int `json:"total_cases"`
 	DoneCases  int `json:"done_cases"`
-	// FromStore marks a submission served entirely from the result store —
-	// zero cells were evaluated.
+	// CachedCases counts emitted cells that were served from the
+	// cell-granular result store instead of evaluated; DoneCases minus
+	// CachedCases is the work this job actually performed. A sweep
+	// overlapping an earlier one reports most of its cells here.
+	CachedCases int `json:"cached_cases,omitempty"`
+	// FromStore marks a submission served entirely from the result store's
+	// whole-request index — zero cells were evaluated and the job never
+	// entered the queue.
 	FromStore bool `json:"from_store,omitempty"`
 	// Error is the job-level failure; per-cell failures live in the result
 	// lines, exactly as on the synchronous endpoint.
 	Error string `json:"error,omitempty"`
-	// Stats sums the optimal search's work counters over the job's cells;
-	// omitted when no cell ran a search.
+	// Stats sums the optimal search's work counters over the job's
+	// evaluated cells (cache-served cells did no search work); omitted when
+	// no cell ran a search.
 	Stats       *sched.SearchStats `json:"stats,omitempty"`
 	SubmittedAt string             `json:"submitted_at,omitempty"`
 	StartedAt   string             `json:"started_at,omitempty"`
@@ -110,10 +119,14 @@ type job struct {
 	priority int
 	req      Request
 	digest   string
-	total    int
+	// cellDigests are the per-cell content digests in result order; the
+	// completion commit writes them as the request's store index.
+	cellDigests []string
+	total       int
 
 	state     State
 	fromStore bool
+	cached    int
 	errText   string
 	stats     *sched.SearchStats
 	submitted time.Time
@@ -177,9 +190,10 @@ type Manager struct {
 	seq    int64
 	closed bool
 
-	wg    sync.WaitGroup
-	busy  atomic.Int64
-	cases atomic.Int64
+	wg         sync.WaitGroup
+	busy       atomic.Int64
+	cases      atomic.Int64
+	cacheCases atomic.Int64
 }
 
 // New builds a Manager executing jobs through svc, deduplicating against
@@ -217,15 +231,15 @@ func New(svc *service.Service, st *store.Store, opts Options) *Manager {
 // Store exposes the manager's result store (for metrics and direct reads).
 func (m *Manager) Store() *store.Store { return m.st }
 
-// Submit validates and enqueues a sweep job. When the result store already
-// holds the request's digest, the returned job is immediately done with
-// FromStore set and no cell is evaluated.
+// Submit validates and enqueues a sweep job. When the result store's
+// whole-request index already holds the request's digest, the returned job
+// is immediately done with FromStore set and no cell is evaluated.
 func (m *Manager) Submit(req Request) (Status, error) {
-	digest, cases, err := service.DigestSweep(service.SweepRequest{Scenario: req.Scenario, Workers: req.Workers})
+	cells, digest, err := service.CellDigests(service.SweepRequest{Scenario: req.Scenario, Workers: req.Workers})
 	if err != nil {
 		return Status{}, err
 	}
-	lines, hit := m.st.Get(digest)
+	lines, hit := m.st.GetRequest(digest)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -237,15 +251,16 @@ func (m *Manager) Submit(req Request) (Status, error) {
 	}
 	m.seq++
 	j := &job{
-		id:        fmt.Sprintf("job-%d", m.seq),
-		seq:       m.seq,
-		priority:  req.Priority,
-		req:       req,
-		digest:    digest,
-		total:     cases,
-		submitted: time.Now(),
-		heapIdx:   -1, // set by the heap on push
-		done:      make(chan struct{}),
+		id:          fmt.Sprintf("job-%d", m.seq),
+		seq:         m.seq,
+		priority:    req.Priority,
+		req:         req,
+		digest:      digest,
+		cellDigests: cells,
+		total:       len(cells),
+		submitted:   time.Now(),
+		heapIdx:     -1, // set by the heap on push
+		done:        make(chan struct{}),
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
@@ -354,9 +369,12 @@ type Metrics struct {
 	// QueueDepth is the number of jobs waiting to run; QueueBound the
 	// configured maximum.
 	QueueDepth, QueueBound int
-	// CasesEvaluated counts scenario cells actually executed by jobs
-	// (store-served submissions add nothing here).
+	// CasesEvaluated counts scenario cells actually executed by jobs;
+	// CasesFromCache counts job cells served from the cell-granular result
+	// store (whole-request store hits at submission add to neither — those
+	// jobs never run).
 	CasesEvaluated int64
+	CasesFromCache int64
 	// WorkersBusy and WorkersTotal report pool utilization.
 	WorkersBusy, WorkersTotal int
 	// Store reports the result store's entry/hit/miss counters.
@@ -380,6 +398,7 @@ func (m *Manager) Metrics() Metrics {
 		QueueDepth:     depth,
 		QueueBound:     m.depth,
 		CasesEvaluated: m.cases.Load(),
+		CasesFromCache: m.cacheCases.Load(),
 		WorkersBusy:    int(m.busy.Load()),
 		WorkersTotal:   m.workers,
 		Store:          m.st.Counters(),
@@ -468,37 +487,44 @@ func (m *Manager) work() {
 
 // run executes one job's sweep and records the outcome.
 func (m *Manager) run(ctx context.Context, j *job) {
-	var lines []json.RawMessage
-	err := m.svc.SweepStream(ctx, service.SweepRequest{Scenario: j.req.Scenario, Workers: j.req.Workers},
-		func(r service.Result) error {
-			// json.Marshal produces the same bytes json.Encoder writes for
-			// the synchronous NDJSON endpoint (minus the newline the reader
-			// adds back), which is what keeps job results byte-identical to
-			// /v1/sweep.
-			line, err := json.Marshal(r)
-			if err != nil {
-				return err
+	// Pre-sized from the grid dimensions; the emit callback's line buffer is
+	// reused by the service, so retention is exactly one copy per cell —
+	// the copy the job table has to own anyway.
+	lines := make([]json.RawMessage, 0, j.total)
+	cached := 0
+	err := m.svc.SweepStreamLines(ctx, service.SweepRequest{Scenario: j.req.Scenario, Workers: j.req.Workers},
+		func(sl service.SweepLine) error {
+			// The service encodes lines exactly as the synchronous NDJSON
+			// endpoint does (minus the newline the reader adds back), which
+			// is what keeps job results byte-identical to /v1/sweep.
+			lines = append(lines, append(json.RawMessage(nil), sl.Line...))
+			if sl.Cached {
+				cached++
+				m.cacheCases.Add(1)
+			} else {
+				m.cases.Add(1)
 			}
-			lines = append(lines, line)
-			m.cases.Add(1)
 			m.mu.Lock()
 			j.lines = lines
-			if r.Stats != nil {
+			j.cached = cached
+			if sl.Stats != nil {
 				if j.stats == nil {
 					j.stats = &sched.SearchStats{}
 				}
-				j.stats.Add(*r.Stats)
+				j.stats.Add(*sl.Stats)
 			}
 			m.mu.Unlock()
 			return nil
 		})
 
-	// Append to the store before taking the manager lock: file I/O must not
-	// stall status reads. A store failure only costs future dedup; the job
-	// itself still succeeded, so it is surfaced on the job, not fatal to it.
+	// Commit the whole-request index (and, when the service runs without a
+	// cell store of its own, the cell lines) before taking the manager
+	// lock: file I/O must not stall status reads. A store failure only
+	// costs future dedup; the job itself still succeeded, so it is surfaced
+	// on the job, not fatal to it.
 	var storeErr error
 	if err == nil {
-		storeErr = m.st.Put(j.digest, lines)
+		storeErr = m.st.PutRequest(j.digest, j.cellDigests, lines)
 	}
 
 	m.mu.Lock()
@@ -559,14 +585,15 @@ func (m *Manager) finishLocked(j *job, s State, errText string) {
 // status snapshots the job; the manager mutex must be held.
 func (j *job) status() Status {
 	st := Status{
-		ID:         j.id,
-		State:      j.state,
-		Digest:     j.digest,
-		Priority:   j.priority,
-		TotalCases: j.total,
-		DoneCases:  len(j.lines),
-		FromStore:  j.fromStore,
-		Error:      j.errText,
+		ID:          j.id,
+		State:       j.state,
+		Digest:      j.digest,
+		Priority:    j.priority,
+		TotalCases:  j.total,
+		DoneCases:   len(j.lines),
+		CachedCases: j.cached,
+		FromStore:   j.fromStore,
+		Error:       j.errText,
 	}
 	if j.stats != nil {
 		c := *j.stats

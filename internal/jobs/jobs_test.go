@@ -628,3 +628,146 @@ func TestMetrics(t *testing.T) {
 		t.Fatalf("cases evaluated %d, want 4", mets.CasesEvaluated)
 	}
 }
+
+// newCellManager is newManager with the cell store wired into the service,
+// as batserve configures it in production.
+func newCellManager(t *testing.T, opts Options) (*Manager, *store.Store) {
+	t.Helper()
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Options{Store: st})
+	m := New(svc, st, opts)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+		st.Close()
+	})
+	return m, st
+}
+
+// TestOverlappingJobEvaluatesOnlyNovelCells is the issue's acceptance at
+// the job layer: a 90%-style overlapping resubmission reuses every shared
+// cell from the store (CachedCases on the status, zero extra evaluated
+// cases for them) and its result bytes are identical to a cold run of the
+// same request.
+func TestOverlappingJobEvaluatesOnlyNovelCells(t *testing.T) {
+	m, _ := newCellManager(t, Options{Workers: 1})
+
+	base := smallSweep() // 2 loads x 2 solvers = 4 cells
+	a, err := m.Submit(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, a.ID)
+
+	overlap := Request{Scenario: spec.Scenario{
+		Banks: base.Scenario.Banks,
+		Loads: append(append([]spec.Load{}, base.Scenario.Loads...),
+			spec.Load{Paper: "ILl 500"}),
+		Solvers: base.Scenario.Solvers,
+	}} // 3 loads x 2 solvers = 6 cells, 4 shared
+	evalBefore := m.Metrics().CasesEvaluated
+	b, err := m.Submit(overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m, b.ID)
+	if final.State != StateDone {
+		t.Fatalf("overlap job finished %s: %s", final.State, final.Error)
+	}
+	if final.FromStore {
+		t.Fatal("overlapping (not identical) job claimed a whole-request store hit")
+	}
+	if final.TotalCases != 6 || final.DoneCases != 6 || final.CachedCases != 4 {
+		t.Fatalf("overlap job progress %d/%d with %d cached, want 6/6 with 4",
+			final.DoneCases, final.TotalCases, final.CachedCases)
+	}
+	if got := m.Metrics().CasesEvaluated - evalBefore; got != 2 {
+		t.Fatalf("overlap job evaluated %d cells, want only the 2 novel ones", got)
+	}
+	if got := m.Metrics().CasesFromCache; got != 4 {
+		t.Fatalf("cache-served cases %d, want 4", got)
+	}
+	gotLines, err := m.Results(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold reference: the same overlap request on a fresh manager.
+	cold, _ := newCellManager(t, Options{Workers: 1})
+	c, err := cold.Submit(overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, cold, c.ID)
+	wantLines, err := cold.Results(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotLines) != len(wantLines) {
+		t.Fatalf("line counts differ: %d vs %d", len(gotLines), len(wantLines))
+	}
+	for i := range wantLines {
+		if string(gotLines[i]) != string(wantLines[i]) {
+			t.Fatalf("line %d differs between incremental and cold runs:\nincremental: %s\ncold:        %s",
+				i, gotLines[i], wantLines[i])
+		}
+	}
+
+	// And the identical resubmission fast path still holds on top.
+	re, err := m.Submit(overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.FromStore || re.State != StateDone {
+		t.Fatalf("identical resubmission not served from the request index: %+v", re)
+	}
+}
+
+// TestJobCellReuseAcrossRestart: with a file-backed store, an overlapping
+// job after a restart reuses the previous process's cells — not just whole
+// requests.
+func TestJobCellReuseAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.ndjson")
+	open := func() (*Manager, func()) {
+		st, err := store.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := service.New(service.Options{Store: st})
+		m := New(svc, st, Options{Workers: 1})
+		return m, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			m.Shutdown(ctx)
+			st.Close()
+		}
+	}
+
+	m1, close1 := open()
+	a, err := m1.Submit(smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m1, a.ID)
+	close1()
+
+	m2, close2 := open()
+	defer close2()
+	overlap := smallSweep()
+	overlap.Scenario.Loads = append(overlap.Scenario.Loads, spec.Load{Paper: "ILl 500"})
+	b, err := m2.Submit(overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m2, b.ID)
+	if final.State != StateDone || final.CachedCases != 4 {
+		t.Fatalf("restarted overlap job: state %s, %d cached cases, want done with 4", final.State, final.CachedCases)
+	}
+	if got := m2.Metrics().CasesEvaluated; got != 2 {
+		t.Fatalf("restarted overlap job evaluated %d cells, want 2", got)
+	}
+}

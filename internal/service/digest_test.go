@@ -150,3 +150,93 @@ func TestDigestSweepInvalidScenario(t *testing.T) {
 		t.Fatalf("error %v is not an InvalidRequestError", err)
 	}
 }
+
+// TestCellDigestsStableAcrossScenarios is the property cell granularity
+// rests on: a cell's digest depends only on the cell itself, so the cells
+// two overlapping sweeps share key to the same store entries no matter what
+// else each sweep carries.
+func TestCellDigestsStableAcrossScenarios(t *testing.T) {
+	base := SweepRequest{Scenario: spec.Scenario{
+		Banks:   []spec.Bank{{Battery: &spec.Battery{Preset: "B1"}, Count: 2}},
+		Loads:   []spec.Load{{Paper: "CL alt"}, {Paper: "ILs alt"}},
+		Solvers: []spec.Solver{{Name: "sequential"}, {Name: "bestof"}},
+	}}
+	overlap := SweepRequest{Scenario: spec.Scenario{
+		Banks: base.Scenario.Banks,
+		Loads: append(append([]spec.Load{}, base.Scenario.Loads...),
+			spec.Load{Paper: "ILl 500"}),
+		Solvers: base.Scenario.Solvers,
+	}}
+	cellsA, reqA, err := CellDigests(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellsB, reqB, err := CellDigests(overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cellsA) != 4 || len(cellsB) != 6 {
+		t.Fatalf("cell counts %d/%d, want 4/6", len(cellsA), len(cellsB))
+	}
+	if reqA == reqB {
+		t.Fatal("different requests share a request digest")
+	}
+	// Cell order is grid, bank, load, solver — the base's 4 cells are the
+	// overlap's first 4.
+	for i := range cellsA {
+		if cellsA[i] != cellsB[i] {
+			t.Fatalf("shared cell %d digests differently across scenarios: %s vs %s", i, cellsA[i], cellsB[i])
+		}
+	}
+	seen := map[string]bool{}
+	for _, d := range cellsB {
+		if seen[d] {
+			t.Fatalf("duplicate cell digest %s within one request", d)
+		}
+		seen[d] = true
+	}
+	if seen[cellsB[4]] != true || cellsB[4] == cellsA[0] {
+		t.Fatal("novel cells must not collide with shared ones")
+	}
+}
+
+// TestCellDigestsSeparateLabels: cells agreeing on physics but not on a
+// display name must not share a digest — the name is part of the line
+// bytes the store serves back.
+func TestCellDigestsSeparateLabels(t *testing.T) {
+	named := func(bankName string) SweepRequest {
+		return SweepRequest{Scenario: spec.Scenario{
+			Banks:   []spec.Bank{{Name: bankName, Battery: &spec.Battery{Preset: "B1"}, Count: 2}},
+			Loads:   []spec.Load{{Paper: "ILs alt"}},
+			Solvers: []spec.Solver{{Name: "bestof"}},
+		}}
+	}
+	a, _, err := CellDigests(named("bank-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := CellDigests(named("bank-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] == b[0] {
+		t.Fatal("cells with different bank labels share a digest")
+	}
+}
+
+// TestDigestSweepMatchesCellDigests: the whole-request digest is a pure
+// function of the ordered cell list.
+func TestDigestSweepMatchesCellDigests(t *testing.T) {
+	req := sweepReq(spec.Solver{Name: "bestof"}, spec.Solver{Name: "optimal"})
+	cells, fromCells, err := CellDigests(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, cases, err := DigestSweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != fromCells || cases != len(cells) {
+		t.Fatalf("DigestSweep (%s, %d) disagrees with CellDigests (%s, %d)", digest, cases, fromCells, len(cells))
+	}
+}

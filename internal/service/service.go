@@ -9,9 +9,11 @@
 package service
 
 import (
+	"bytes"
 	"context"
-	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -22,6 +24,7 @@ import (
 	"batsched/internal/load"
 	"batsched/internal/sched"
 	"batsched/internal/spec"
+	"batsched/internal/store"
 	"batsched/internal/sweep"
 )
 
@@ -35,6 +38,13 @@ type Options struct {
 	// Eviction is FIFO: scenario grids revisit the same cells, so recency
 	// tracking buys little over insertion order here.
 	CacheEntries int
+	// Store, when set, is the cell-granular result store: every sweep
+	// probes it per cell before evaluating and commits each computed cell
+	// after, so overlapping sweeps evaluate only the cells no earlier sweep
+	// has produced. Concurrent sweeps additionally coordinate in-flight
+	// cells (see the flight map), so a shared cell is evaluated at most
+	// once even when two sweeps miss it simultaneously.
+	Store *store.Store
 }
 
 // DefaultCacheEntries is the compiled-cache bound when Options.CacheEntries
@@ -46,13 +56,26 @@ const DefaultCacheEntries = 256
 type Service struct {
 	sem     chan struct{}
 	maxSize int
+	st      *store.Store // nil = no cell-granular result caching
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
 	order []string
 
+	// flights tracks cells being evaluated right now, keyed by cell digest.
+	// A sweep that misses the store claims the cell's flight before
+	// evaluating; a concurrent sweep that misses the same cell parks on the
+	// flight instead of evaluating it a second time — the cell-store
+	// mirror of the compiled cache's sync.Once-per-entry rule.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
 	compiles atomic.Int64
 	hits     atomic.Int64
+
+	cellHits       atomic.Int64
+	cellsEvaluated atomic.Int64
+	storeErrors    atomic.Int64
 }
 
 // cacheEntry builds its artifact at most once; concurrent requests for the
@@ -61,6 +84,15 @@ type cacheEntry struct {
 	once sync.Once
 	c    *core.Compiled
 	err  error
+}
+
+// flight is one in-flight cell evaluation. The claimer either commits the
+// cell to the store and resolves with the stored line, or abandons (sweep
+// canceled, emit failed) with a nil line — waiters then re-claim and
+// evaluate themselves, so an abandoned flight never strands a cell.
+type flight struct {
+	done chan struct{}
+	line json.RawMessage // nil = abandoned
 }
 
 // New builds a Service.
@@ -76,9 +108,15 @@ func New(opts Options) *Service {
 	return &Service{
 		sem:     make(chan struct{}, workers),
 		maxSize: size,
+		st:      opts.Store,
 		cache:   make(map[string]*cacheEntry),
+		flights: make(map[string]*flight),
 	}
 }
+
+// Store returns the service's cell-granular result store (nil when none was
+// configured).
+func (s *Service) Store() *store.Store { return s.st }
 
 // Stats reports cache effectiveness.
 type Stats struct {
@@ -87,6 +125,16 @@ type Stats struct {
 	Compiles int64
 	Hits     int64
 	Entries  int
+	// CellHits counts sweep cells served from the result store (bulk probe
+	// plus waited-out in-flight evaluations); CellsEvaluated counts cells
+	// actually executed. Together they are the incremental-sweep ledger: a
+	// 90%-overlapping resubmission moves CellHits by 180 and
+	// CellsEvaluated by 20.
+	CellHits       int64
+	CellsEvaluated int64
+	// StoreErrors counts failed cell commits (file-backend trouble); a
+	// commit failure only costs future dedup, never the sweep itself.
+	StoreErrors int64
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -94,7 +142,14 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	entries := len(s.cache)
 	s.mu.Unlock()
-	return Stats{Compiles: s.compiles.Load(), Hits: s.hits.Load(), Entries: entries}
+	return Stats{
+		Compiles:       s.compiles.Load(),
+		Hits:           s.hits.Load(),
+		Entries:        entries,
+		CellHits:       s.cellHits.Load(),
+		CellsEvaluated: s.cellsEvaluated.Load(),
+		StoreErrors:    s.storeErrors.Load(),
+	}
 }
 
 // Result is one evaluated scenario cell in wire form.
@@ -162,11 +217,40 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest) ([]Result, error)
 	return out, nil
 }
 
+// SweepLine is one emitted sweep cell in wire-line form.
+type SweepLine struct {
+	// Line is the cell's encoded NDJSON line without the trailing newline —
+	// byte-identical to what json.Marshal produces for the Result. It is
+	// only valid until the emit callback returns; retain via copy.
+	Line []byte
+	// Cached marks a line served from the cell store instead of evaluated.
+	Cached bool
+	// Stats points at the optimal-search work counters of an evaluated
+	// cell; nil for cached lines and for solvers without a search.
+	Stats *sched.SearchStats
+}
+
 // SweepStream evaluates the scenario grid and emits each result as soon as
 // it and all its predecessors in the deterministic order are done, so
-// consumers (the NDJSON endpoint) stream a stable order without waiting for
-// the whole grid. An emit error stops further emission and is returned.
+// consumers stream a stable order without waiting for the whole grid. An
+// emit error stops further emission and is returned.
 func (s *Service) SweepStream(ctx context.Context, req SweepRequest, emit func(Result) error) error {
+	return s.sweepCore(ctx, req, nil, emit)
+}
+
+// SweepStreamLines is SweepStream in line form: each cell arrives as its
+// encoded NDJSON line (appending '\n' to every line reproduces the
+// synchronous sweep endpoint's body byte for byte) plus whether it was
+// served from the cell store. This is the zero-copy path the HTTP handler
+// and the job layer consume — no per-line marshalling on their side, and
+// cached cells pass the stored bytes straight through.
+func (s *Service) SweepStreamLines(ctx context.Context, req SweepRequest, emit func(SweepLine) error) error {
+	return s.sweepCore(ctx, req, emit, nil)
+}
+
+// sweepCore is the one sweep implementation behind SweepStream and
+// SweepStreamLines; exactly one of emitLine/emitRes is set.
+func (s *Service) sweepCore(ctx context.Context, req SweepRequest, emitLine func(SweepLine) error, emitRes func(Result) error) error {
 	sp, err := req.Scenario.Compile()
 	if err != nil {
 		return &InvalidRequestError{Err: err}
@@ -197,32 +281,118 @@ func (s *Service) SweepStream(ctx context.Context, req SweepRequest, emit func(R
 		}
 	}()
 
-	pending := make(map[int]Result)
+	n := sp.Scenarios()
+	// Cell-store integration: one bulk probe up front (one lock, one
+	// hit/miss ledger update for the whole grid), then per-cell claims for
+	// the misses so concurrent sweeps never evaluate a shared cell twice.
+	var (
+		digests   []string
+		cellLines []json.RawMessage
+		claims    []*flight
+	)
+	if s.st != nil {
+		var derr error
+		digests, _, derr = cellDigestsCompiled(sp, req.Scenario.Solvers)
+		if derr != nil {
+			return derr
+		}
+		var hits int
+		cellLines, hits = s.st.LookupCells(digests)
+		s.cellHits.Add(int64(hits))
+		claims = make([]*flight, n)
+		// Whatever happens below — emit error, cancellation, panic-free
+		// early return — every claim this sweep took must be resolved, or
+		// a concurrent sweep would park on it forever.
+		defer func() {
+			for i, f := range claims {
+				if f != nil {
+					s.resolveFlight(digests[i], f, nil)
+				}
+			}
+		}()
+	}
+
+	// The ordered-emit buffer is pre-sized from the grid dimensions: out-of-
+	// order completions park here until their predecessors are done. Slots
+	// hold the compact sweep results; encoding happens once, at emit time,
+	// into a single reused buffer.
+	type slot struct {
+		r     sweep.Result
+		ready bool
+	}
+	slots := make([]slot, n)
 	next := 0
 	var emitErr error
+	var encBuf bytes.Buffer
+	enc := json.NewEncoder(&encBuf)
+
+	// emitOne delivers the cell at index i (already ready) in the caller's
+	// chosen form.
+	emitOne := func(i int) error {
+		r := &slots[i].r
+		if r.Cached {
+			line := cellLines[i]
+			if emitLine != nil {
+				return emitLine(SweepLine{Line: line, Cached: true})
+			}
+			var res Result
+			if err := json.Unmarshal(line, &res); err != nil {
+				return fmt.Errorf("service: stored cell %d corrupt: %w", i, err)
+			}
+			return emitRes(res)
+		}
+		res := fromSweep(*r)
+		if emitRes != nil {
+			return emitRes(res)
+		}
+		// A committed cell was already marshalled once on the commit path;
+		// reuse the store-owned bytes instead of encoding twice.
+		if cellLines != nil && cellLines[i] != nil {
+			return emitLine(SweepLine{Line: cellLines[i], Stats: res.Stats})
+		}
+		encBuf.Reset()
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		line := encBuf.Bytes()
+		line = line[:len(line)-1] // Encode appends '\n'
+		return emitLine(SweepLine{Line: line, Stats: res.Stats})
+	}
+
 	opts := sweep.Options{
 		Workers: req.Workers,
 		Compile: s.cachedCompile,
 		Cancel:  cancel,
 		OnResult: func(i int, r sweep.Result) {
+			// Commit and flight resolution come first and run even after an
+			// emit error: a concurrent sweep may be parked on this cell, and
+			// the computed result is worth storing regardless of whether our
+			// own consumer is still listening.
+			if claims != nil && !r.Cached && claims[i] != nil {
+				s.commitCell(i, digests, cellLines, claims, r)
+			}
+			if !r.Cached && !errors.Is(r.Err, sweep.ErrCanceled) {
+				s.cellsEvaluated.Add(1)
+			}
 			if emitErr != nil {
 				return
 			}
-			pending[i] = fromSweep(r)
-			for {
-				res, ok := pending[next]
-				if !ok {
-					return
-				}
-				delete(pending, next)
-				if err := emit(res); err != nil {
+			slots[i] = slot{r: r, ready: true}
+			for next < n && slots[next].ready {
+				if err := emitOne(next); err != nil {
 					emitErr = err
 					stop()
 					return
 				}
+				slots[next] = slot{} // free the buffered result early
 				next++
 			}
 		},
+	}
+	if s.st != nil {
+		opts.Lookup = func(i int) (sweep.Result, bool) {
+			return s.lookupCell(i, digests, cellLines, claims, cancel)
+		}
 	}
 	if _, err := sweep.Run(sp, opts); err != nil {
 		return err
@@ -231,6 +401,91 @@ func (s *Service) SweepStream(ctx context.Context, req SweepRequest, emit func(R
 		return err
 	}
 	return emitErr
+}
+
+// lookupCell is the sweep Lookup hook: serve index i from the bulk probe, or
+// wait out another sweep's in-flight evaluation, or claim the cell for this
+// sweep (ok=false → the caller evaluates it).
+func (s *Service) lookupCell(i int, digests []string, cellLines []json.RawMessage, claims []*flight, cancel <-chan struct{}) (sweep.Result, bool) {
+	if cellLines[i] != nil {
+		return sweep.Result{}, true
+	}
+	d := digests[i]
+	for {
+		// Re-probe without counters: the bulk probe already recorded this
+		// cell's miss; a hit here means another sweep committed it since
+		// (counted as a waited hit below only when we actually parked).
+		if line, ok := s.st.PeekCell(d); ok {
+			cellLines[i] = line
+			return sweep.Result{}, true
+		}
+		s.flightMu.Lock()
+		f, inFlight := s.flights[d]
+		if !inFlight {
+			f = &flight{done: make(chan struct{})}
+			s.flights[d] = f
+			s.flightMu.Unlock()
+			claims[i] = f
+			return sweep.Result{}, false
+		}
+		s.flightMu.Unlock()
+		select {
+		case <-f.done:
+			if f.line != nil {
+				cellLines[i] = f.line
+				s.cellHits.Add(1)
+				return sweep.Result{}, true
+			}
+			// Abandoned (the claiming sweep was canceled): try again — the
+			// next round either claims or parks on a newer flight.
+		case <-cancel:
+			// Our own sweep is being canceled; report a miss and let the
+			// runner mark the scenario canceled.
+			return sweep.Result{}, false
+		}
+	}
+}
+
+// commitCell stores the computed cell i in the result store and resolves
+// its flight with the stored line. Canceled scenarios are never committed —
+// their lines are not deterministic outputs of the cell — and abandon the
+// flight instead so a parked sweep takes over.
+func (s *Service) commitCell(i int, digests []string, cellLines []json.RawMessage, claims []*flight, r sweep.Result) {
+	f := claims[i]
+	claims[i] = nil
+	d := digests[i]
+	if errors.Is(r.Err, sweep.ErrCanceled) {
+		s.resolveFlight(d, f, nil)
+		return
+	}
+	line, err := json.Marshal(fromSweep(r))
+	if err == nil {
+		err = s.st.PutCell(d, line)
+	}
+	if err != nil {
+		s.storeErrors.Add(1)
+		s.resolveFlight(d, f, nil)
+		return
+	}
+	// Hand waiters — and our own emit path, which has not run yet for this
+	// index — the store-owned copy so every consumer shares one stable
+	// allocation.
+	stored, _ := s.st.PeekCell(d)
+	if stored == nil {
+		stored = line
+	}
+	cellLines[i] = stored
+	s.resolveFlight(d, f, stored)
+}
+
+// resolveFlight publishes a flight outcome (nil line = abandoned) and
+// removes it from the in-flight table.
+func (s *Service) resolveFlight(digest string, f *flight, line json.RawMessage) {
+	f.line = line
+	s.flightMu.Lock()
+	delete(s.flights, digest)
+	s.flightMu.Unlock()
+	close(f.done)
 }
 
 // fromSweep converts an engine result to wire form.
@@ -282,16 +537,29 @@ func (s *Service) cachedCompile(bank sweep.Bank, lc sweep.LoadCase, grid sweep.G
 // cellKey digests the resolved compile inputs — battery parameters, load
 // epochs, grid sizes — so that two spec spellings of the same cell (say, a
 // preset and its explicit parameters) share one artifact. Names are
-// deliberately excluded: they label results, not physics.
+// deliberately excluded: they label results, not physics. The preimage is
+// binary (IEEE float bits) into a pooled buffer: the key is computed once
+// per cell per sweep, and the fmt-based hashing this replaces was a
+// measurable slice of the sweep submit path.
 func cellKey(bats []battery.Params, ld load.Load, grid sweep.GridSpec) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "g:%g:%g;", grid.StepMin, grid.UnitAmpMin)
+	p := preimagePool.Get().(*preimage)
+	defer preimagePool.Put(p)
+	p.buf = p.buf[:0]
+	p.tag('g')
+	p.f64(grid.StepMin)
+	p.f64(grid.UnitAmpMin)
+	p.tag('b')
 	for _, b := range bats {
-		fmt.Fprintf(h, "b:%g:%g:%g;", b.Capacity, b.C, b.KPrime)
+		p.f64(b.Capacity)
+		p.f64(b.C)
+		p.f64(b.KPrime)
 	}
+	p.tag('l')
 	for i := 0; i < ld.Len(); i++ {
 		s := ld.Segment(i)
-		fmt.Fprintf(h, "l:%g:%g;", s.Duration, s.Current)
+		p.f64(s.Duration)
+		p.f64(s.Current)
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	d := p.sum()
+	return hex.EncodeToString(d[:])
 }

@@ -8,10 +8,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"batsched/internal/core"
 	"batsched/internal/sched"
 	"batsched/internal/spec"
+	"batsched/internal/store"
 	"batsched/internal/sweep"
 )
 
@@ -407,5 +409,229 @@ func TestEmitErrorCancelsRemainingCells(t *testing.T) {
 	}
 	if got := testExecutions.Load(); got != 1 {
 		t.Fatalf("%d cells executed after the consumer vanished, want 1", got)
+	}
+}
+
+// sweepLines collects a line-path sweep: the raw NDJSON lines (copied) and
+// the per-line cached flags.
+func sweepLines(t *testing.T, s *Service, sc spec.Scenario) (lines []string, cached []bool) {
+	t.Helper()
+	err := s.SweepStreamLines(context.Background(), SweepRequest{Scenario: sc, Workers: 2},
+		func(sl SweepLine) error {
+			lines = append(lines, string(sl.Line))
+			cached = append(cached, sl.Cached)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lines, cached
+}
+
+// TestSweepCellStoreIncremental is the issue's acceptance scenario at the
+// service layer: a sweep overlapping an earlier one evaluates only the
+// novel cells, and its bytes are identical to a cold run of the same
+// request.
+func TestSweepCellStoreIncremental(t *testing.T) {
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := New(Options{Store: st})
+
+	base := spec.Scenario{
+		Banks:   []spec.Bank{{Battery: &spec.Battery{Preset: "B1"}, Count: 2}},
+		Loads:   []spec.Load{{Paper: "CL alt"}, {Paper: "ILs alt"}},
+		Solvers: []spec.Solver{{Name: "sequential"}, {Name: "bestof"}},
+	}
+	overlap := base
+	overlap.Loads = append([]spec.Load{}, base.Loads...)
+	overlap.Loads = append(overlap.Loads, spec.Load{Paper: "ILl 500"})
+
+	_, cachedA := sweepLines(t, s, base)
+	for i, c := range cachedA {
+		if c {
+			t.Fatalf("cold sweep cell %d reported cached", i)
+		}
+	}
+	if got := s.Stats().CellsEvaluated; got != 4 {
+		t.Fatalf("cold sweep evaluated %d cells, want 4", got)
+	}
+
+	linesB, cachedB := sweepLines(t, s, overlap)
+	if len(linesB) != 6 {
+		t.Fatalf("overlap sweep emitted %d lines, want 6", len(linesB))
+	}
+	nCached := 0
+	for _, c := range cachedB {
+		if c {
+			nCached++
+		}
+	}
+	if nCached != 4 {
+		t.Fatalf("overlap sweep served %d cells from the store, want the 4 shared ones (flags %v)", nCached, cachedB)
+	}
+	if got := s.Stats().CellsEvaluated; got != 6 {
+		t.Fatalf("after overlap sweep %d cells evaluated in total, want 6 (4 base + 2 novel)", got)
+	}
+
+	// Byte-identity: a cold run of the overlap request on a storeless
+	// service must produce exactly the same lines.
+	coldLines, _ := sweepLines(t, New(Options{}), overlap)
+	if len(coldLines) != len(linesB) {
+		t.Fatalf("cold run emitted %d lines, want %d", len(coldLines), len(linesB))
+	}
+	for i := range coldLines {
+		if coldLines[i] != linesB[i] {
+			t.Fatalf("line %d differs between cached and cold runs:\ncached: %s\ncold:   %s", i, linesB[i], coldLines[i])
+		}
+	}
+}
+
+// TestSweepStreamDecodesStoredCells: the struct-emitting path must yield
+// full results for cache-served cells too (the /v1/run 422 discrimination
+// and library consumers depend on the decoded fields).
+func TestSweepStreamDecodesStoredCells(t *testing.T) {
+	st, _ := store.Open("")
+	defer st.Close()
+	s := New(Options{Store: st})
+	req := twoB1ILsAlt()
+	first, err := s.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatalf("store-served result drifted: %+v vs %+v", again, first)
+	}
+	if again.LifetimeMin < 16.27 || again.LifetimeMin > 16.29 {
+		t.Fatalf("lifetime %v, want ~16.28", again.LifetimeMin)
+	}
+	if got := s.Stats().CellsEvaluated; got != 1 {
+		t.Fatalf("evaluated %d cells for two identical runs, want 1", got)
+	}
+}
+
+// testSlowExecutions counts runs of the test-only "test-slow-counting"
+// solver, whose per-cell sleep keeps sweeps in flight long enough for
+// concurrent submissions to overlap.
+var (
+	testSlowExecutions   atomic.Int64
+	registerTestSlowOnce sync.Once
+)
+
+func registerSlowCountingSolver() {
+	registerTestSlowOnce.Do(func() {
+		spec.Register(spec.Builder{
+			Name: "test-slow-counting",
+			Doc:  "test-only solver counting executions with a per-cell delay",
+			Build: func(json.RawMessage) (sweep.PolicyCase, error) {
+				return sweep.PolicyCase{
+					Name: "test-slow-counting",
+					Run: func(c *core.Compiled) (float64, int, error) {
+						testSlowExecutions.Add(1)
+						time.Sleep(10 * time.Millisecond)
+						lt, err := c.PolicyLifetime(sched.BestAvailable())
+						return lt, 0, err
+					},
+				}, nil
+			},
+		})
+	})
+	testSlowExecutions.Store(0)
+}
+
+// TestConcurrentSweepsEvaluateSharedCellsOnce extends the compiled cache's
+// sync.Once-per-entry rule to evaluation: simultaneous sweeps sharing cells
+// must compile and evaluate each shared cell at most once — the in-flight
+// table parks the loser on the winner's flight instead of re-running the
+// cell. The slow solver keeps both sweeps in flight together; the assertion
+// holds for any interleaving (a sweep that arrives late reuses the store
+// instead of the flight).
+func TestConcurrentSweepsEvaluateSharedCellsOnce(t *testing.T) {
+	registerSlowCountingSolver()
+	st, _ := store.Open("")
+	defer st.Close()
+	s := New(Options{Store: st, MaxConcurrent: 4})
+	sc := spec.Scenario{
+		Banks:   []spec.Bank{{Battery: &spec.Battery{Preset: "B1"}, Count: 2}},
+		Loads:   []spec.Load{{Paper: "CL alt"}, {Paper: "ILs alt"}, {Paper: "CL 250"}, {Paper: "ILs 250"}},
+		Solvers: []spec.Solver{{Name: "test-slow-counting"}},
+	}
+	const sweeps = 4
+	outputs := make([][]string, sweeps)
+	var wg sync.WaitGroup
+	errs := make(chan error, sweeps)
+	for i := 0; i < sweeps; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs <- s.SweepStreamLines(context.Background(), SweepRequest{Scenario: sc, Workers: 2},
+				func(sl SweepLine) error {
+					outputs[i] = append(outputs[i], string(sl.Line))
+					return nil
+				})
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := testSlowExecutions.Load(); got != 4 {
+		t.Fatalf("%d evaluations of 4 distinct cells across %d concurrent sweeps, want 4", got, sweeps)
+	}
+	if got := s.Stats().CellsEvaluated; got != 4 {
+		t.Fatalf("service counted %d evaluated cells, want 4", got)
+	}
+	for i := 1; i < sweeps; i++ {
+		if len(outputs[i]) != len(outputs[0]) {
+			t.Fatalf("sweep %d emitted %d lines, sweep 0 emitted %d", i, len(outputs[i]), len(outputs[0]))
+		}
+		for j := range outputs[i] {
+			if outputs[i][j] != outputs[0][j] {
+				t.Fatalf("sweep %d line %d differs:\n%s\nvs\n%s", i, j, outputs[i][j], outputs[0][j])
+			}
+		}
+	}
+}
+
+// TestAbandonedFlightDoesNotStrandWaiters: a sweep that claims a cell and
+// is then canceled must hand the cell over — a concurrent sweep parked on
+// the flight re-claims and evaluates it rather than hanging or inheriting
+// a canceled line.
+func TestAbandonedFlightDoesNotStrandWaiters(t *testing.T) {
+	registerSlowCountingSolver()
+	st, _ := store.Open("")
+	defer st.Close()
+	s := New(Options{Store: st, MaxConcurrent: 4})
+	sc := spec.Scenario{
+		Banks:   []spec.Bank{{Battery: &spec.Battery{Preset: "B1"}, Count: 2}},
+		Loads:   []spec.Load{{Paper: "CL alt"}, {Paper: "ILs alt"}},
+		Solvers: []spec.Solver{{Name: "test-slow-counting"}},
+	}
+	// The first sweep dies on its first emit; its unfinished claims are
+	// abandoned.
+	wantErr := fmt.Errorf("consumer gone")
+	err := s.SweepStreamLines(context.Background(), SweepRequest{Scenario: sc, Workers: 1},
+		func(SweepLine) error { return wantErr })
+	if err != wantErr {
+		t.Fatalf("got %v, want the emit error", err)
+	}
+	// The second sweep must complete every cell with real results.
+	lines, _ := sweepLines(t, s, sc)
+	if len(lines) != 2 {
+		t.Fatalf("emitted %d lines, want 2", len(lines))
+	}
+	for i, l := range lines {
+		if strings.Contains(l, "error") {
+			t.Fatalf("line %d carries an error after an abandoned flight: %s", i, l)
+		}
 	}
 }

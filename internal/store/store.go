@@ -1,14 +1,24 @@
-// Package store is a content-addressed result store: immutable sets of
-// NDJSON result lines keyed by a content digest of the request that
-// produced them (see service.DigestSweep for the keying rule).
+// Package store is a content-addressed result store whose unit is a single
+// scenario cell: one NDJSON result line keyed by the cell's content digest
+// (see service.CellDigests for the keying rule). On top of the cell map it
+// keeps a whole-request index — request digest → ordered cell-digest list —
+// so an identical resubmission is still served in one probe, byte-identical
+// to the run that produced it.
 //
-// The store is what makes large sweeps durable and deduplicated: a job that
-// finishes puts its result lines under the request digest, an identical
-// resubmission is served from the store without re-evaluating a single
-// cell, and with the optional append-only file backend the results survive
-// process restarts. Entries are immutable — a digest maps to exactly one
-// byte sequence, so serving from the store is byte-identical to the run
-// that produced the entry.
+// Cell granularity is what makes overlapping sweeps incremental: the
+// paper's experiment grids overlap heavily (change one load in a 200-cell
+// grid and 180 cells are unchanged), and a store keyed by whole requests
+// re-evaluates everything on any change. Here a new sweep reuses every cell
+// any earlier sweep already computed and evaluates only the rest.
+//
+// Entries are immutable — a cell digest maps to exactly one byte sequence —
+// and the optional append-only file backend survives restarts. Legacy
+// whole-request records written by the previous store format are recognized
+// and skipped on replay: the digest scheme changed with cell granularity,
+// so no new submission can address them, and loading them would only pin
+// dead memory. An old store file opens cleanly (torn-tail handling
+// included) and is rebuilt organically as cell-granular records accumulate
+// alongside the inert legacy lines.
 package store
 
 import (
@@ -22,30 +32,49 @@ import (
 	"sync/atomic"
 )
 
-// Store maps content digests to immutable result-line sets. It is safe for
-// concurrent use. The zero value is not usable; call Open.
+// Store maps cell digests to immutable result lines and request digests to
+// cell-digest lists. It is safe for concurrent use. The zero value is not
+// usable; call Open.
 type Store struct {
-	mu      sync.Mutex
-	entries map[string][]json.RawMessage
-	file    *os.File // nil = memory-only
+	mu       sync.Mutex
+	cells    map[string]json.RawMessage
+	requests map[string][]string
+	file     *os.File      // nil = memory-only
+	w        *bufio.Writer // wraps file; appends flush on Close
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits, misses         atomic.Int64 // whole-request probes
+	cellHits, cellMisses atomic.Int64 // per-cell probes
 }
 
-// record is one append-only file line: a completed entry.
+// record is one append-only file line. Exactly one of Cell, Req, or Digest
+// is set: a cell result, a request index, or a legacy (pre-cell-granular)
+// whole-request entry.
 type record struct {
-	Digest  string            `json:"digest"`
-	Results []json.RawMessage `json:"results"`
+	// Cell + Result: one stored cell line.
+	Cell   string          `json:"cell,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	// Req + Cells: the whole-request index entry.
+	Req   string   `json:"req,omitempty"`
+	Cells []string `json:"cells,omitempty"`
+	// Digest + Results: a legacy (pre-cell-granular) whole-request record,
+	// recognized so old files open cleanly but not loaded — the digest
+	// scheme changed, so nothing can ever look these entries up again.
+	Digest  string            `json:"digest,omitempty"`
+	Results []json.RawMessage `json:"results,omitempty"`
 }
 
 // Open builds a store. An empty path means memory-only; otherwise the path
 // is an append-only NDJSON file: existing records are replayed into memory,
-// and every future Put is appended. A torn trailing record — a crash
-// mid-append — is truncated away, so at most the record being written is
-// lost and future appends never glue onto a corrupt tail.
+// and every future put is appended (a multi-record put coalesces into one
+// buffered write, flushed before the put returns; Close additionally
+// syncs). A torn trailing record — a crash mid-append — is truncated away,
+// so at most the records of the put in progress are lost and future appends
+// never glue onto a corrupt tail.
 func Open(path string) (*Store, error) {
-	s := &Store{entries: make(map[string][]json.RawMessage)}
+	s := &Store{
+		cells:    make(map[string]json.RawMessage),
+		requests: make(map[string][]string),
+	}
 	if path == "" {
 		return s, nil
 	}
@@ -55,7 +84,7 @@ func Open(path string) (*Store, error) {
 	}
 	// Replay tracking the byte offset of the last cleanly-terminated good
 	// record: everything past it (torn line, garbage) is truncated before
-	// the first append, otherwise the next Put would glue onto the fragment
+	// the first append, otherwise the next put would glue onto the fragment
 	// and both records would be unreadable on the following open.
 	r := bufio.NewReaderSize(f, 1<<20)
 	var good int64
@@ -76,13 +105,13 @@ func Open(path string) (*Store, error) {
 			continue
 		}
 		var rec record
-		if err := json.Unmarshal(trimmed, &rec); err != nil || rec.Digest == "" {
-			// A complete but unparseable line: treat it and everything after
-			// as torn rather than guessing where records resume.
+		if err := json.Unmarshal(trimmed, &rec); err != nil || !s.replay(rec) {
+			// A complete but unparseable (or shape-less) line: treat it and
+			// everything after as torn rather than guessing where records
+			// resume.
 			break
 		}
 		good += int64(len(line))
-		s.entries[rec.Digest] = rec.Results
 	}
 	if info, err := f.Stat(); err == nil && info.Size() > good {
 		if err := f.Truncate(good); err != nil {
@@ -91,14 +120,37 @@ func Open(path string) (*Store, error) {
 		}
 	}
 	s.file = f
+	s.w = bufio.NewWriterSize(f, 1<<18)
 	return s, nil
 }
 
-// Get returns the result lines stored under digest. It counts a hit or a
-// miss; callers probing for dedup should call it exactly once per request.
-func (s *Store) Get(digest string) ([]json.RawMessage, bool) {
+// replay loads one file record into the maps, reporting whether the record
+// had a recognizable shape.
+func (s *Store) replay(rec record) bool {
+	switch {
+	case rec.Cell != "":
+		s.cells[rec.Cell] = rec.Result
+	case rec.Req != "":
+		s.requests[rec.Req] = rec.Cells
+	case rec.Digest != "":
+		// Legacy whole-request record: detected so the file opens cleanly
+		// and the replay offset advances past it, but deliberately not
+		// loaded. Its request digest was computed by the retired scheme, so
+		// no future submission can produce that key; the entry is dead
+		// weight, not a servable result.
+	default:
+		return false
+	}
+	return true
+}
+
+// GetRequest returns the ordered result lines stored under a whole-request
+// digest via the request index. It counts a request-level hit or miss;
+// callers probing for whole-request dedup should call it exactly once per
+// submission.
+func (s *Store) GetRequest(digest string) ([]json.RawMessage, bool) {
 	s.mu.Lock()
-	lines, ok := s.entries[digest]
+	lines, ok := s.lookupRequestLocked(digest)
 	s.mu.Unlock()
 	if ok {
 		s.hits.Add(1)
@@ -108,62 +160,208 @@ func (s *Store) Get(digest string) ([]json.RawMessage, bool) {
 	return lines, ok
 }
 
-// Put stores the result lines under digest. Entries are immutable: a digest
-// already present is left untouched (the first writer wins — identical
-// requests produce identical bytes, so there is nothing to overwrite).
-func (s *Store) Put(digest string, results []json.RawMessage) error {
-	if digest == "" {
-		return fmt.Errorf("store: empty digest")
+func (s *Store) lookupRequestLocked(digest string) ([]json.RawMessage, bool) {
+	cells, ok := s.requests[digest]
+	if !ok {
+		return nil, false
 	}
-	lines := make([]json.RawMessage, len(results))
-	for i, r := range results {
-		lines[i] = append(json.RawMessage(nil), r...)
+	lines := make([]json.RawMessage, len(cells))
+	for i, c := range cells {
+		line, ok := s.cells[c]
+		if !ok {
+			// Defensive: an index referencing a missing cell (possible only
+			// through file corruption the torn-tail rule cannot see) must
+			// read as a miss, never as a short result set.
+			return nil, false
+		}
+		lines[i] = line
+	}
+	return lines, true
+}
+
+// GetCell returns the result line stored under one cell digest, counting a
+// per-cell hit or miss.
+func (s *Store) GetCell(digest string) (json.RawMessage, bool) {
+	s.mu.Lock()
+	line, ok := s.cells[digest]
+	s.mu.Unlock()
+	if ok {
+		s.cellHits.Add(1)
+	} else {
+		s.cellMisses.Add(1)
+	}
+	return line, ok
+}
+
+// PeekCell is GetCell without advancing the hit/miss counters: an internal
+// re-probe (the service re-checks a cell after waiting out another sweep's
+// in-flight evaluation) must not distort the effectiveness counters the
+// bulk probe already recorded.
+func (s *Store) PeekCell(digest string) (json.RawMessage, bool) {
+	s.mu.Lock()
+	line, ok := s.cells[digest]
+	s.mu.Unlock()
+	return line, ok
+}
+
+// LookupCells probes every digest at once and returns the stored lines
+// aligned with the input (nil where the store has no entry) plus the hit
+// count. One lock acquisition covers the whole grid, and the per-cell
+// hit/miss counters advance by the aggregate — this is the sweep runner's
+// bulk probe.
+func (s *Store) LookupCells(digests []string) ([]json.RawMessage, int) {
+	lines := make([]json.RawMessage, len(digests))
+	hits := 0
+	s.mu.Lock()
+	for i, d := range digests {
+		if line, ok := s.cells[d]; ok {
+			lines[i] = line
+			hits++
+		}
+	}
+	s.mu.Unlock()
+	s.cellHits.Add(int64(hits))
+	s.cellMisses.Add(int64(len(digests) - hits))
+	return lines, hits
+}
+
+// PutCell stores one result line under a cell digest. Entries are
+// immutable: a digest already present is left untouched (the first writer
+// wins — identical cells produce identical bytes, so there is nothing to
+// overwrite). The line is copied; callers may reuse their buffer.
+func (s *Store) PutCell(digest string, line json.RawMessage) error {
+	if digest == "" {
+		return fmt.Errorf("store: empty cell digest")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.entries[digest]; dup {
+	if err := s.putCellLocked(digest, line); err != nil {
+		return err
+	}
+	return s.flushLocked()
+}
+
+func (s *Store) putCellLocked(digest string, line json.RawMessage) error {
+	if _, dup := s.cells[digest]; dup {
 		return nil
 	}
-	if s.file != nil {
-		data, err := json.Marshal(record{Digest: digest, Results: lines})
-		if err != nil {
-			return fmt.Errorf("store: encode %s: %w", digest, err)
-		}
-		data = append(data, '\n')
-		if _, err := s.file.Write(data); err != nil {
-			return fmt.Errorf("store: append %s: %w", digest, err)
+	owned := append(json.RawMessage(nil), line...)
+	if err := s.appendLocked(record{Cell: digest, Result: owned}); err != nil {
+		return err
+	}
+	s.cells[digest] = owned
+	return nil
+}
+
+// flushLocked pushes buffered appends to the file. Every public mutating
+// call ends with it, so a crash between calls loses nothing and a crash
+// mid-call loses at most that call's records — the same "at most the
+// record being written" posture the torn-tail replay assumes — while a
+// multi-record PutRequest still coalesces into one write.
+func (s *Store) flushLocked() error {
+	if s.w == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	return nil
+}
+
+// PutRequest records the whole-request index entry digest → cellDigests and
+// stores any cell lines the store does not hold yet (lines aligned with
+// cellDigests; lines may be nil when every cell is known to be present).
+// The index is immutable like the cells: a request already indexed is left
+// untouched.
+func (s *Store) PutRequest(digest string, cellDigests []string, lines []json.RawMessage) error {
+	if digest == "" {
+		return fmt.Errorf("store: empty request digest")
+	}
+	if lines != nil && len(lines) != len(cellDigests) {
+		return fmt.Errorf("store: %d lines for %d cell digests", len(lines), len(cellDigests))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lines != nil {
+		for i, cd := range cellDigests {
+			if err := s.putCellLocked(cd, lines[i]); err != nil {
+				return err
+			}
 		}
 	}
-	s.entries[digest] = lines
+	if _, dup := s.requests[digest]; dup {
+		return s.flushLocked()
+	}
+	cells := append([]string(nil), cellDigests...)
+	if err := s.appendLocked(record{Req: digest, Cells: cells}); err != nil {
+		return err
+	}
+	s.requests[digest] = cells
+	return s.flushLocked()
+}
+
+// appendLocked writes one record to the file backend (no-op when
+// memory-only); the store mutex is held.
+func (s *Store) appendLocked(rec record) error {
+	if s.w == nil {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode record: %w", err)
+	}
+	if _, err := s.w.Write(data); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
 	return nil
 }
 
 // Counters is a snapshot of the store's effectiveness counters.
 type Counters struct {
-	// Entries is the number of stored result sets.
-	Entries int
-	// Hits and Misses count Get probes.
+	// Entries is the number of stored cell lines; Requests the number of
+	// indexed whole requests.
+	Entries  int
+	Requests int
+	// Hits and Misses count whole-request probes (GetRequest).
 	Hits, Misses int64
+	// CellHits and CellMisses count per-cell probes (GetCell, LookupCells);
+	// a sweep that reuses 180 of 200 cells advances CellHits by 180 and
+	// CellMisses by 20.
+	CellHits, CellMisses int64
 }
 
 // Counters returns a snapshot of the store counters.
 func (s *Store) Counters() Counters {
 	s.mu.Lock()
-	entries := len(s.entries)
+	entries, requests := len(s.cells), len(s.requests)
 	s.mu.Unlock()
-	return Counters{Entries: entries, Hits: s.hits.Load(), Misses: s.misses.Load()}
+	return Counters{
+		Entries:    entries,
+		Requests:   requests,
+		Hits:       s.hits.Load(),
+		Misses:     s.misses.Load(),
+		CellHits:   s.cellHits.Load(),
+		CellMisses: s.cellMisses.Load(),
+	}
 }
 
-// Close syncs and closes the file backend; memory-only stores are a no-op.
-// The store must not be used after Close.
+// Close flushes, syncs, and closes the file backend; memory-only stores are
+// a no-op. The store must not be used after Close.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.file == nil {
 		return nil
 	}
-	f := s.file
-	s.file = nil
+	f, w := s.file, s.w
+	s.file, s.w = nil, nil
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: flush: %w", err)
+	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return fmt.Errorf("store: sync: %w", err)

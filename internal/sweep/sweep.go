@@ -160,6 +160,9 @@ type Result struct {
 	// Stats holds the optimal search's work counters (states expanded, memo
 	// hits, pruned branches); nil for solvers without a search.
 	Stats *sched.SearchStats
+	// Cached marks a scenario served by Options.Lookup instead of being
+	// evaluated; callers count these to report sweep-level hit/miss ratios.
+	Cached bool
 	// Err is the per-scenario failure, if any; one bad cell does not abort
 	// the sweep.
 	Err error
@@ -174,6 +177,16 @@ type Options struct {
 	// sweeps (the evaluation service) use it to share cached artifacts
 	// across runs. It must be safe for concurrent use.
 	Compile func(bank Bank, lc LoadCase, grid GridSpec) (*core.Compiled, error)
+	// Lookup, when set, is consulted once per scenario with the scenario's
+	// deterministic index before any evaluation. Returning ok serves the
+	// scenario from the returned result — the cell is neither compiled nor
+	// evaluated, and the result is delivered with Cached set. This is the
+	// per-cell dedup hook: the evaluation service wires the cell-granular
+	// result store here, so a sweep overlapping an earlier one evaluates
+	// only the cells the store has not seen. It must be safe for concurrent
+	// calls and may block (the service parks a worker here while another
+	// in-flight sweep finishes computing the same cell).
+	Lookup func(index int) (Result, bool)
 	// OnResult, when set, is invoked once per completed scenario with the
 	// scenario's deterministic index and its result. Calls are serialized
 	// but arrive in completion order, not index order; the service's NDJSON
@@ -210,11 +223,13 @@ func Run(spec Spec, opts Options) ([]Result, error) {
 	}
 
 	// One immutable compiled artifact per (grid, bank, load) cell, shared by
-	// every policy scenario of that cell and safe for concurrent use.
-	// Compilation is cheap (integer tables + three arrays), so it happens
-	// up front and serially; a cell that fails to compile marks just its own
-	// scenarios as failed.
+	// every policy scenario of that cell and safe for concurrent use. Cells
+	// compile lazily on first need, sync.Once-guarded: a cell whose every
+	// scenario is served by Options.Lookup never compiles at all, which is
+	// what makes overlapping-sweep resubmissions cheap. A cell that fails to
+	// compile marks just its own scenarios as failed.
 	type cell struct {
+		once     sync.Once
 		compiled *core.Compiled
 		err      error
 	}
@@ -236,18 +251,12 @@ func Run(spec Spec, opts Options) ([]Result, error) {
 		}
 	}
 	cells := make([]cell, len(grids)*len(spec.Banks)*len(spec.Loads))
-	for g, grid := range grids {
-		for b, bank := range spec.Banks {
-			for l, lc := range spec.Loads {
-				i := (g*len(spec.Banks)+b)*len(spec.Loads) + l
-				if canceled() {
-					cells[i] = cell{err: ErrCanceled}
-					continue
-				}
-				c, err := compile(bank, lc, grid)
-				cells[i] = cell{compiled: c, err: err}
-			}
-		}
+	getCell := func(i, g, b, l int) (*core.Compiled, error) {
+		c := &cells[i]
+		c.once.Do(func() {
+			c.compiled, c.err = compile(spec.Banks[b], spec.Loads[l], grids[g])
+		})
+		return c.compiled, c.err
 	}
 
 	results := make([]Result, spec.Scenarios())
@@ -273,15 +282,30 @@ func Run(spec Spec, opts Options) ([]Result, error) {
 				b := c / len(spec.Loads) % len(spec.Banks)
 				l := c % len(spec.Loads)
 				r := &results[i]
+				served := false
+				if opts.Lookup != nil && !canceled() {
+					if res, ok := opts.Lookup(i); ok {
+						*r = res
+						r.Cached = true
+						served = true
+					}
+				}
+				// The scenario names always come from the spec, not the
+				// lookup: the deterministic labeling must hold whatever a
+				// cache returns.
 				r.Grid, r.Bank, r.Load, r.Policy =
 					grids[g].Name, spec.Banks[b].Name, spec.Loads[l].Name, spec.Policies[p].Name
-				switch {
-				case canceled():
-					r.Err = ErrCanceled
-				case cells[c].err != nil:
-					r.Err = cells[c].err
-				default:
-					r.Lifetime, r.Decisions, r.Stats, r.Err = runScenario(cells[c].compiled, spec.Policies[p])
+				if !served {
+					switch {
+					case canceled():
+						r.Err = ErrCanceled
+					default:
+						var compiled *core.Compiled
+						compiled, r.Err = getCell(c, g, b, l)
+						if r.Err == nil {
+							r.Lifetime, r.Decisions, r.Stats, r.Err = runScenario(compiled, spec.Policies[p])
+						}
+					}
 				}
 				if opts.OnResult != nil {
 					emitMu.Lock()
@@ -315,7 +339,11 @@ func runScenario(c *core.Compiled, pc PolicyCase) (lifetime float64, decisions i
 		lifetime, schedule, st, err = c.OptimalLifetimeWithStats()
 		stats = &st
 	case pc.Policy != nil:
-		lifetime, schedule, err = c.PolicyRun(pc.Policy)
+		// The pooled count variant: no Schedule is materialized and the
+		// per-run System is recycled, so a policy scenario on a hot cell
+		// costs only the chooser closures.
+		lifetime, decisions, err = c.PolicyLifetimeCount(pc.Policy)
+		return lifetime, decisions, nil, err
 	default:
 		return 0, 0, nil, fmt.Errorf("sweep: policy case %q has neither a policy nor the optimal flag", pc.Name)
 	}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"batsched/internal/battery"
@@ -197,6 +198,98 @@ func TestSweepSpecValidation(t *testing.T) {
 	} {
 		if _, err := Run(tc.spec, Options{}); err != tc.want {
 			t.Errorf("got %v, want %v", err, tc.want)
+		}
+	}
+}
+
+// TestLookupServesCellsWithoutCompiling: scenarios served by the Lookup
+// hook are marked Cached, keep their deterministic spec labels, and — when
+// a whole cell is covered — the cell is never compiled at all.
+func TestLookupServesCellsWithoutCompiling(t *testing.T) {
+	spec := table5Spec(t, []string{"CL alt", "ILs alt"})
+	spec.Policies = Policies(sched.Sequential(), sched.BestAvailable())
+	// Serve every scenario of the first load (cell 0) from the hook.
+	perCell := len(spec.Policies)
+	var compiled []string
+	var mu sync.Mutex
+	opts := Options{
+		Workers: 2,
+		Lookup: func(i int) (Result, bool) {
+			if i/perCell == 0 {
+				return Result{Lifetime: 42, Decisions: 7}, true
+			}
+			return Result{}, false
+		},
+		Compile: func(bank Bank, lc LoadCase, grid GridSpec) (*core.Compiled, error) {
+			mu.Lock()
+			compiled = append(compiled, lc.Name)
+			mu.Unlock()
+			return core.Compile(bank.Batteries, lc.Load, grid.StepMin, grid.UnitAmpMin)
+		},
+	}
+	results, err := Run(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		fromHook := i/perCell == 0
+		if r.Cached != fromHook {
+			t.Fatalf("result %d cached=%v, want %v", i, r.Cached, fromHook)
+		}
+		if fromHook {
+			if r.Lifetime != 42 || r.Decisions != 7 {
+				t.Fatalf("hook result %d not delivered: %+v", i, r)
+			}
+			// Labels come from the spec even for cached results.
+			if r.Load != "CL alt" || r.Bank != "2xB1" || r.Grid != "paper" {
+				t.Fatalf("hook result %d mislabeled: %+v", i, r)
+			}
+		} else if r.Err != nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+	}
+	if len(compiled) != 1 || compiled[0] != "ILs alt" {
+		t.Fatalf("compiled cells %v, want only the uncached ILs alt", compiled)
+	}
+}
+
+// TestPolicyDecisionsMatchSchedule: the pooled count path must report
+// exactly the decision count the schedule-recording path produces.
+func TestPolicyDecisionsMatchSchedule(t *testing.T) {
+	spec := table5Spec(t, []string{"ILs alt", "CL alt"})
+	spec.Policies = Policies(sched.Sequential(), sched.RoundRobin(), sched.BestAvailable())
+	results, err := Run(spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		var p sched.Policy
+		switch r.Policy {
+		case "sequential":
+			p = sched.Sequential()
+		case "round robin":
+			p = sched.RoundRobin()
+		case "best-of-two":
+			p = sched.BestAvailable()
+		}
+		lcs, err := PaperLoads([]string{r.Load}, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.Compile(battery.Bank(battery.B1(), 2), lcs[0].Load, PaperGrid().StepMin, PaperGrid().UnitAmpMin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt, schedule, err := c.PolicyRun(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lt != r.Lifetime || len(schedule) != r.Decisions {
+			t.Fatalf("%s/%s: sweep (%.4f, %d decisions) vs PolicyRun (%.4f, %d)",
+				r.Load, r.Policy, r.Lifetime, r.Decisions, lt, len(schedule))
 		}
 	}
 }
