@@ -32,6 +32,7 @@ func main() {
 		skipBase  = flag.Bool("skip-baselines", false, "skip the slow reference-search baseline runs")
 		list      = flag.Bool("list", false, "list the pinned cases and exit")
 		memprof   = flag.String("memprofile", "", "write a heap profile here after the run (pprof format)")
+		cpuprof   = flag.String("cpuprofile", "", "profile the measured cases' CPU time into this file (pprof format)")
 	)
 	flag.Parse()
 
@@ -46,11 +47,27 @@ func main() {
 		return
 	}
 
+	if *cpuprof != "" {
+		// Profile the main measuring pass (not the re-measure retries): CI
+		// uploads this so a wall-clock regression comes with the flame graph
+		// that explains where the search spends its time.
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+	}
 	rep, err := benchkit.Run(benchkit.Options{
 		BenchTime:     *benchtime,
 		Match:         *match,
 		SkipBaselines: *skipBase,
 	})
+	if *cpuprof != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -126,12 +143,20 @@ func main() {
 	if *check == "" {
 		return
 	}
-	if len(regs) == 0 {
+	// The parallel-speedup floor: a property of the current report alone
+	// (serial baseline vs parallel measurement on the same machine), gated
+	// together with the baseline comparison. CheckSpeedups skips machines
+	// with fewer CPUs than a case has workers.
+	slow := benchkit.CheckSpeedups(rep, benchkit.MinParallelSpeedup)
+	if len(regs) == 0 && len(slow) == 0 {
 		fmt.Fprintf(os.Stderr, "batbench: no regressions beyond %.1fx against %s\n", *maxRatio, *check)
 		return
 	}
 	for _, r := range regs {
 		fmt.Fprintf(os.Stderr, "batbench: REGRESSION %s\n", r)
+	}
+	for _, s := range slow {
+		fmt.Fprintf(os.Stderr, "batbench: REGRESSION %s\n", s)
 	}
 	os.Exit(1)
 }

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	batopt [-battery B1|B2] [-n COUNT] [-load NAME] [-horizon MIN]
-//	       [-spec run.json] [-direct] [-budget N] [-export FILE.xml] [-v]
+//	       [-spec run.json] [-direct] [-budget N] [-workers N] [-stats]
+//	       [-export FILE.xml] [-v]
 //
 // With -spec, the bank/load/grid come from a serializable run file (the
 // same JSON the batserve /v1/run endpoint accepts; its solver field is
@@ -32,6 +33,8 @@ func main() {
 	specPath := flag.String("spec", "", "read the bank/load/grid from a serializable run file (JSON)")
 	direct := flag.Bool("direct", false, "skip the timed-automata checker, use only the direct search")
 	budget := flag.Int("budget", 0, "state budget for the timed-automata checker (0 = default)")
+	workers := flag.Int("workers", 1, "direct-search workers: 1 = serial, 0 = all CPUs, N = work-stealing pool of N")
+	stats := flag.Bool("stats", false, "print the direct search's work counters (states, pruned, lp_pruned, steals, ...)")
 	export := flag.String("export", "", "write the TA-KiBaM as an Uppaal XML model to this file")
 	verbose := flag.Bool("v", false, "print the full optimal schedule")
 	flag.Parse()
@@ -41,7 +44,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "batopt: %v\n", err)
 		os.Exit(1)
 	}
-	if err := run(problem, label, *direct, *budget, *verbose); err != nil {
+	if err := run(problem, label, *direct, *budget, *workers, *stats, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "batopt: %v\n", err)
 		os.Exit(1)
 	}
@@ -117,13 +120,34 @@ func exportModel(p *batsched.Problem, path string) error {
 	return nil
 }
 
-func run(p *batsched.Problem, label string, direct bool, budget int, verbose bool) error {
-	lifetime, schedule, err := p.OptimalLifetime()
+func run(p *batsched.Problem, label string, direct bool, budget, workers int, showStats, verbose bool) error {
+	c, err := p.Compile()
+	if err != nil {
+		return err
+	}
+	var (
+		lifetime float64
+		schedule batsched.Schedule
+		stats    batsched.OptimalSearchStats
+	)
+	if workers == 1 {
+		lifetime, schedule, stats, err = c.OptimalLifetimeWithStats()
+	} else {
+		lifetime, schedule, stats, err = c.OptimalLifetimeParallelWithStats(workers)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Println(label)
 	fmt.Printf("optimal lifetime (direct search):  %.2f min (%d decisions)\n", lifetime, len(schedule))
+	if showStats {
+		fmt.Printf("  search: %d states, %d leaves, %d memo hits, %d pruned\n",
+			stats.States, stats.Leaves, stats.MemoHits, stats.Pruned)
+		fmt.Printf("  bounds: %d lp evaluations, %d lp-pruned\n", stats.LPBounds, stats.LPPruned)
+		if workers != 1 {
+			fmt.Printf("  parallel: %d steals, %d shared-memo hits\n", stats.Steals, stats.SharedMemoHits)
+		}
+	}
 	if verbose {
 		for _, c := range schedule {
 			fmt.Printf("  %7.2f min  %-15s -> battery %d\n", c.Minutes, c.Reason, c.Battery+1)

@@ -119,6 +119,14 @@ func (a *app) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "batserve_sweep_cell_hits_total %d\n", cs.CellHits)
 	fmt.Fprintf(w, "batserve_sweep_cells_evaluated_total %d\n", cs.CellsEvaluated)
 	fmt.Fprintf(w, "batserve_store_errors_total %d\n", cs.StoreErrors)
+	fmt.Fprintf(w, "batserve_search_states_total %d\n", cs.Search.States)
+	fmt.Fprintf(w, "batserve_search_leaves_total %d\n", cs.Search.Leaves)
+	fmt.Fprintf(w, "batserve_search_memo_hits_total %d\n", cs.Search.MemoHits)
+	fmt.Fprintf(w, "batserve_search_pruned_total %d\n", cs.Search.Pruned)
+	fmt.Fprintf(w, "batserve_search_lp_bounds_total %d\n", cs.Search.LPBounds)
+	fmt.Fprintf(w, "batserve_search_lp_pruned_total %d\n", cs.Search.LPPruned)
+	fmt.Fprintf(w, "batserve_search_steals_total %d\n", cs.Search.Steals)
+	fmt.Fprintf(w, "batserve_search_shared_memo_hits_total %d\n", cs.Search.SharedMemoHits)
 	fmt.Fprintf(w, "batserve_uptime_seconds %d\n", int64(time.Since(a.start).Seconds()))
 }
 

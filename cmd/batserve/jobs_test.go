@@ -140,6 +140,12 @@ func TestJobEquivalenceAndDedup(t *testing.T) {
 	if evals := metricValue(t, ts, "batserve_sweep_cells_evaluated_total"); evals != 6 {
 		t.Fatalf("cache-served sync sweep re-evaluated cells: %d evaluations, want 6", evals)
 	}
+	// The optimal cells' search work shows up in the cumulative search
+	// counters — and a cache-served sweep must not re-count it.
+	statesAfterJob := metricValue(t, ts, "batserve_search_states_total")
+	if statesAfterJob == 0 {
+		t.Fatal("cold job with optimal cells left batserve_search_states_total at 0")
+	}
 
 	// Identical resubmission: served from the store, zero extra cases.
 	casesBefore := metricValue(t, ts, "batserve_job_cases_evaluated_total")
@@ -166,6 +172,9 @@ func TestJobEquivalenceAndDedup(t *testing.T) {
 	_, reBytes := getBody(t, ts.URL+"/v1/jobs/"+re.ID+"/results")
 	if !bytes.Equal(reBytes, wantBytes) {
 		t.Fatal("store-served results differ from synchronous sweep")
+	}
+	if states := metricValue(t, ts, "batserve_search_states_total"); states != statesAfterJob {
+		t.Fatalf("store-served traffic re-counted search work: %d states, want %d", states, statesAfterJob)
 	}
 }
 

@@ -222,7 +222,7 @@ func TestRunBadRequests(t *testing.T) {
 		"unknown field":    `{"bank":{},"load":{},"solver":"bestof","frob":1}`,
 		"unknown solver":   `{"bank":{"battery":{"preset":"B1"}},"load":{"paper":"ILs alt"},"solver":"greedy"}`,
 		"unknown preset":   `{"bank":{"battery":{"preset":"B9"}},"load":{"paper":"ILs alt"},"solver":"bestof"}`,
-		"13xB1 optimal":    `{"bank":{"battery":{"preset":"B1"},"count":13},"load":{"paper":"ILs alt"},"solver":"optimal"}`,
+		"17xB1 optimal":    `{"bank":{"battery":{"preset":"B1"},"count":17},"load":{"paper":"ILs alt"},"solver":"optimal"}`,
 		"negative horizon": `{"bank":{"battery":{"preset":"B1"}},"load":{"paper":"ILs alt","horizon_min":-5},"solver":"bestof"}`,
 	}
 	for name, body := range cases {

@@ -62,8 +62,12 @@ type Result struct {
 	// Stats are the optimal search's counters (single run); absent for
 	// policy cases.
 	Stats *sched.SearchStats `json:"stats,omitempty"`
-	// Baseline compares against the reference search; only on optimal cases.
+	// Baseline compares against the case's reference solver: the
+	// no-optimization search for optimal/* cases, the serial default search
+	// for optimal-par/* cases (so SpeedupX there is the parallel speedup).
 	Baseline *Baseline `json:"baseline,omitempty"`
+	// Workers is the worker count of optimal-par/* cases; 0 otherwise.
+	Workers int `json:"workers,omitempty"`
 }
 
 // Report is a full harness run.
@@ -92,20 +96,23 @@ type Options struct {
 // kase is one pinned benchmark case.
 type kase struct {
 	name string
+	// workers is the worker count of parallel-search cases; 0 otherwise.
+	workers int
 	// run is the measured body; it returns the scenario lifetime for the
 	// correctness pin.
 	run func() (float64, error)
 	// stats, when set, runs the default optimal search once for counters.
 	stats func() (sched.SearchStats, error)
-	// baseline, when set, times the reference search once.
+	// baseline, when set, times the case's reference solver once.
 	baseline func() (time.Duration, sched.SearchStats, error)
 }
 
-// compileCell discretizes a bank on the paper grid and compiles a paper load.
-func compileCell(bats []battery.Params, loadName string, horizon float64) ([]*dkibam.Discretization, load.Compiled, error) {
+// compileCellGrid discretizes a bank and compiles a paper load on an
+// explicit grid.
+func compileCellGrid(bats []battery.Params, loadName string, horizon, stepMin, unitAmpMin float64) ([]*dkibam.Discretization, load.Compiled, error) {
 	ds := make([]*dkibam.Discretization, len(bats))
 	for i, b := range bats {
-		d, err := dkibam.Discretize(b, dkibam.PaperStepMin, dkibam.PaperUnitAmpMin)
+		d, err := dkibam.Discretize(b, stepMin, unitAmpMin)
 		if err != nil {
 			return nil, load.Compiled{}, err
 		}
@@ -115,11 +122,16 @@ func compileCell(bats []battery.Params, loadName string, horizon float64) ([]*dk
 	if err != nil {
 		return nil, load.Compiled{}, err
 	}
-	cl, err := load.Compile(l, dkibam.PaperStepMin, dkibam.PaperUnitAmpMin)
+	cl, err := load.Compile(l, stepMin, unitAmpMin)
 	if err != nil {
 		return nil, load.Compiled{}, err
 	}
 	return ds, cl, nil
+}
+
+// compileCell discretizes a bank on the paper grid and compiles a paper load.
+func compileCell(bats []battery.Params, loadName string, horizon float64) ([]*dkibam.Discretization, load.Compiled, error) {
+	return compileCellGrid(bats, loadName, horizon, dkibam.PaperStepMin, dkibam.PaperUnitAmpMin)
 }
 
 // policyCase measures one policy lifetime on a reused system (construction
@@ -167,6 +179,61 @@ func optimalCase(name string, bats []battery.Params, loadName string, horizon fl
 		baseline: func() (time.Duration, sched.SearchStats, error) {
 			t0 := time.Now()
 			_, _, st, err := sched.OptimalWithOptions(ds, cl, sched.SearchOptions{})
+			return time.Since(t0), st, err
+		},
+	}, nil
+}
+
+// heterogeneousCase measures the default serial search on a mixed-preset
+// bank at an explicit (coarse) grid. There is no reference-search baseline:
+// without canonicalization and pruning a six-battery heterogeneous bank
+// never terminates in benchmark time — which is the point of the case. The
+// states counter is deterministic and gated.
+func heterogeneousCase(name string, bats []battery.Params, loadName string, horizon, stepMin, unitAmpMin float64) (kase, error) {
+	ds, cl, err := compileCellGrid(bats, loadName, horizon, stepMin, unitAmpMin)
+	if err != nil {
+		return kase{}, err
+	}
+	var last sched.SearchStats
+	return kase{
+		name: name,
+		run: func() (float64, error) {
+			lt, _, st, err := sched.OptimalWithStats(ds, cl)
+			last = st
+			return lt, err
+		},
+		stats: func() (sched.SearchStats, error) {
+			return last, nil
+		},
+	}, nil
+}
+
+// parallelCase measures the work-stealing search at a fixed worker count.
+// Its baseline is the serial default search on the same cell, so the
+// recorded SpeedupX is the parallel speedup (≈1 on a single-CPU machine —
+// CheckSpeedups only enforces the floor when NumCPU covers the workers).
+// Explored states are nondeterministic under stealing, so Compare exempts
+// optimal-par/* from the states gate.
+func parallelCase(name string, bats []battery.Params, loadName string, horizon, stepMin, unitAmpMin float64, workers int) (kase, error) {
+	ds, cl, err := compileCellGrid(bats, loadName, horizon, stepMin, unitAmpMin)
+	if err != nil {
+		return kase{}, err
+	}
+	var last sched.SearchStats
+	return kase{
+		name:    name,
+		workers: workers,
+		run: func() (float64, error) {
+			lt, _, st, err := sched.OptimalParallelWithStats(ds, cl, workers)
+			last = st
+			return lt, err
+		},
+		stats: func() (sched.SearchStats, error) {
+			return last, nil
+		},
+		baseline: func() (time.Duration, sched.SearchStats, error) {
+			t0 := time.Now()
+			_, _, st, err := sched.OptimalWithStats(ds, cl)
 			return time.Since(t0), st, err
 		},
 	}, nil
@@ -534,6 +601,22 @@ func suite() ([]kase, error) {
 	if err := add(optimalCase("optimal/3xHiC/ILs alt", battery.Bank(hiC, 3), "ILs alt", 200)); err != nil {
 		return nil, err
 	}
+	// The heterogeneous showcase: a mixed 3xB1 + 3xB2 bank on the coarse
+	// 0.5-grid, serial (deterministic states, gated) and through the
+	// work-stealing pool. Plus the parallel twin of the 4xB1 case, whose
+	// serial-baseline speedup CheckSpeedups holds above the floor on
+	// multi-core runners.
+	mixed := []battery.Params{b1, b1, b1, battery.B2(), battery.B2(), battery.B2()}
+	if err := add(heterogeneousCase("optimal/3xB1+3xB2/ILs 500", mixed, "ILs 500", 2000, 0.5, 0.5)); err != nil {
+		return nil, err
+	}
+	if err := add(parallelCase("optimal-par/4w/4xB1/CL 500", battery.Bank(b1, 4), "CL 500", 200,
+		dkibam.PaperStepMin, dkibam.PaperUnitAmpMin, 4)); err != nil {
+		return nil, err
+	}
+	if err := add(parallelCase("optimal-par/4w/3xB1+3xB2/ILs 500", mixed, "ILs 500", 2000, 0.5, 0.5, 4)); err != nil {
+		return nil, err
+	}
 	// The orchestration pair: the same pinned 200-case grid through the job
 	// manager (submit + drain) and through the bare sweep runner. Their
 	// ns/op delta is the jobs-layer overhead; informational, not gated.
@@ -596,7 +679,7 @@ func Run(opts Options) (Report, error) {
 		if err != nil {
 			return Report{}, fmt.Errorf("benchkit: case %s: %w", c.name, err)
 		}
-		res := Result{Name: c.name, Measurement: m, LifetimeMin: lifetime}
+		res := Result{Name: c.name, Measurement: m, LifetimeMin: lifetime, Workers: c.workers}
 		if c.stats != nil {
 			st, err := c.stats()
 			if err != nil {
@@ -700,8 +783,10 @@ func (r Regression) String() string {
 }
 
 // GatedPrefixes are the case families the CI regression gate inspects; the
-// other cases are informational.
-var GatedPrefixes = []string{"policy-lifetime/", "optimal/", "sweep/"}
+// other cases are informational. optimal-par/* cases are gated on ns/op and
+// allocs/op but not on explored states (nondeterministic under stealing);
+// their parallel speedup is enforced separately by CheckSpeedups.
+var GatedPrefixes = []string{"policy-lifetime/", "optimal/", "optimal-par/", "sweep/"}
 
 // allocSlack is how many allocs/op a zero-alloc baseline case may drift
 // before the gate fires: allocation counts are near-deterministic, but a
@@ -755,7 +840,10 @@ func Compare(base, current Report, maxRatio float64) []Regression {
 				regs = append(regs, Regression{Name: r.Name, Kind: "ns/op", Base: b.NsPerOp, Current: r.NsPerOp, Ratio: ratio})
 			}
 		}
-		if b.Stats != nil && r.Stats != nil && b.Stats.States > 0 {
+		// The states gate only applies to deterministic (serial) searches:
+		// under work stealing the explored-state count depends on which
+		// worker publishes the incumbent first.
+		if b.Stats != nil && r.Stats != nil && b.Stats.States > 0 && !strings.HasPrefix(r.Name, "optimal-par/") {
 			if ratio := float64(r.Stats.States) / float64(b.Stats.States); ratio > maxRatio {
 				regs = append(regs, Regression{Name: r.Name, Kind: "states", Base: b.Stats.States, Current: r.Stats.States, Ratio: ratio})
 			}
@@ -775,4 +863,33 @@ func Compare(base, current Report, maxRatio float64) []Regression {
 		}
 	}
 	return regs
+}
+
+// MinParallelSpeedup is the serial-to-parallel speedup floor the
+// optimal-par/* cases must clear at their pinned worker count. The cases run
+// four workers; near-linear scaling lands above 3x, and the floor at 2x
+// leaves room for shared-memo contention and runner noise while still
+// catching a work-stealing pool that degenerated to serial-with-overhead.
+const MinParallelSpeedup = 2.0
+
+// CheckSpeedups flags optimal-par cases whose measured speedup against
+// their serial baseline fell below floor. A machine with fewer CPUs than a
+// case has workers cannot express parallel speedup at all, so such cases
+// are skipped — the floor binds on multi-core CI runners, not on machines
+// pinned to one core.
+func CheckSpeedups(rep Report, floor float64) []string {
+	var bad []string
+	for _, r := range rep.Results {
+		if !strings.HasPrefix(r.Name, "optimal-par/") || r.Baseline == nil || r.Workers <= 1 {
+			continue
+		}
+		if rep.NumCPU < r.Workers {
+			continue
+		}
+		if r.Baseline.SpeedupX < floor {
+			bad = append(bad, fmt.Sprintf("%s: parallel speedup %.2fx at %d workers, floor %.2fx",
+				r.Name, r.Baseline.SpeedupX, r.Workers, floor))
+		}
+	}
+	return bad
 }

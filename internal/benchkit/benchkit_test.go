@@ -2,6 +2,7 @@ package benchkit
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 
@@ -185,5 +186,37 @@ func TestCompareStatesGate(t *testing.T) {
 	regs := Compare(base, current, 2.0)
 	if len(regs) != 1 || regs[0].Kind != "states" || regs[0].Ratio != 5.0 {
 		t.Fatalf("regressions %v, want one states regression at 5.0x", regs)
+	}
+
+	// optimal-par/* is exempt: explored states are nondeterministic under
+	// work stealing, so a blowup there is not a regression signal.
+	base.Results = append(base.Results, Result{Name: "optimal-par/4w/x", Measurement: Measurement{NsPerOp: 100}, Stats: st(1000)})
+	current.Results = []Result{
+		{Name: "optimal/x", Measurement: Measurement{NsPerOp: 90}, Stats: st(1000)},
+		{Name: "optimal-par/4w/x", Measurement: Measurement{NsPerOp: 90}, Stats: st(9000)},
+	}
+	if regs := Compare(base, current, 2.0); len(regs) != 0 {
+		t.Fatalf("parallel states blowup flagged: %v", regs)
+	}
+}
+
+// TestCheckSpeedups: the parallel-speedup floor fires only on optimal-par
+// cases, and only when the measuring machine has enough CPUs to express the
+// case's parallelism.
+func TestCheckSpeedups(t *testing.T) {
+	rep := Report{NumCPU: 4, Results: []Result{
+		{Name: "optimal-par/4w/slow", Workers: 4, Baseline: &Baseline{SpeedupX: 1.2}},
+		{Name: "optimal-par/4w/fine", Workers: 4, Baseline: &Baseline{SpeedupX: 3.1}},
+		{Name: "optimal/serial", Baseline: &Baseline{SpeedupX: 0.5}}, // reference ratio, not a parallel speedup
+	}}
+	bad := CheckSpeedups(rep, MinParallelSpeedup)
+	if len(bad) != 1 || !strings.Contains(bad[0], "optimal-par/4w/slow") {
+		t.Fatalf("speedup failures %v, want exactly optimal-par/4w/slow", bad)
+	}
+	// A single-CPU machine cannot measure parallel speedup; the floor must
+	// not fire there.
+	rep.NumCPU = 1
+	if bad := CheckSpeedups(rep, MinParallelSpeedup); len(bad) != 0 {
+		t.Fatalf("speedup floor fired on a single-CPU report: %v", bad)
 	}
 }

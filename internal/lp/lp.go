@@ -1,0 +1,361 @@
+// Package lp implements a small dense bounded-variable simplex solver:
+//
+//	maximize    c·x
+//	subject to  A x <= b
+//	            0 <= x_j <= u_j   (u_j may be +Inf)
+//
+// It exists so the optimal search can state its LP-relaxation bound against a
+// real solver (the fast in-search evaluator is proven equal to the simplex on
+// the search's relaxation structure, see internal/sched), and as the seed of
+// the solver tier the roadmap calls for. The implementation is the textbook
+// two-phase primal simplex with upper-bounded variables and Bland's rule, on
+// an explicitly maintained basis inverse — O(m^2 + mn) per iteration, which
+// is plenty for the problem sizes the repository needs and keeps the code
+// free of external dependencies.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status reports how a solve ended.
+type Status int
+
+const (
+	// Optimal: the returned X attains the maximum Z.
+	Optimal Status = iota
+	// Infeasible: no x satisfies the constraints.
+	Infeasible
+	// Unbounded: the objective can grow without limit.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("lp.Status(%d)", int(s))
+	}
+}
+
+// Problem is an LP in inequality form: maximize C·x subject to A x <= B and
+// 0 <= x <= U. U may be nil (all variables unbounded above); individual
+// entries may be math.Inf(1).
+type Problem struct {
+	C []float64
+	A [][]float64
+	B []float64
+	U []float64
+}
+
+// Solution is the outcome of Solve. X and Z are meaningful only when Status
+// is Optimal.
+type Solution struct {
+	Status Status
+	Z      float64
+	X      []float64
+}
+
+// ErrCycling is returned when the iteration cap is exceeded; with Bland's
+// rule this indicates numerical trouble rather than true cycling.
+var ErrCycling = errors.New("lp: iteration limit exceeded")
+
+const eps = 1e-9
+
+// Solve runs the two-phase bounded-variable simplex on p.
+func Solve(p Problem) (Solution, error) {
+	n := len(p.C)
+	m := len(p.A)
+	if len(p.B) != m {
+		return Solution{}, fmt.Errorf("lp: %d rows but %d right-hand sides", m, len(p.B))
+	}
+	if p.U != nil && len(p.U) != n {
+		return Solution{}, fmt.Errorf("lp: %d variables but %d upper bounds", n, len(p.U))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return Solution{}, fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+
+	// Equality form. Rows with a negative right-hand side are negated (so
+	// every rhs is nonnegative) and get an artificial variable; the others
+	// get a plain slack. Columns are stored column-major.
+	nart := 0
+	for _, b := range p.B {
+		if b < 0 {
+			nart++
+		}
+	}
+	total := n + m + nart
+	t := &tableau{
+		m: m, n: n, total: total,
+		cols:    make([][]float64, total),
+		up:      make([]float64, total),
+		basis:   make([]int, m),
+		inBasis: make([]bool, total),
+		atUpper: make([]bool, total),
+		xB:      make([]float64, m),
+		binv:    make([][]float64, m),
+		y:       make([]float64, m),
+		w:       make([]float64, m),
+	}
+	for j := 0; j < n; j++ {
+		col := make([]float64, m)
+		t.cols[j] = col
+		t.up[j] = math.Inf(1)
+		if p.U != nil {
+			if p.U[j] < 0 {
+				return Solution{}, fmt.Errorf("lp: negative upper bound %g on variable %d", p.U[j], j)
+			}
+			t.up[j] = p.U[j]
+		}
+	}
+	art := n + m
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if p.B[i] < 0 {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			t.cols[j][i] = sign * p.A[i][j]
+		}
+		slack := make([]float64, m)
+		slack[i] = sign
+		t.cols[n+i] = slack
+		t.up[n+i] = math.Inf(1)
+		t.xB[i] = sign * p.B[i]
+		t.binv[i] = make([]float64, m)
+		t.binv[i][i] = 1
+		if sign < 0 {
+			acol := make([]float64, m)
+			acol[i] = 1
+			t.cols[art] = acol
+			t.up[art] = math.Inf(1)
+			t.basis[i] = art
+			t.inBasis[art] = true
+			art++
+		} else {
+			t.basis[i] = n + i
+			t.inBasis[n+i] = true
+		}
+	}
+
+	cost := make([]float64, total)
+	if nart > 0 {
+		// Phase 1: maximize -(sum of artificials); feasible iff it reaches 0.
+		for j := n + m; j < total; j++ {
+			cost[j] = -1
+		}
+		status, err := t.iterate(cost)
+		if err != nil {
+			return Solution{}, err
+		}
+		if status != Optimal {
+			return Solution{}, errors.New("lp: phase 1 reported unbounded")
+		}
+		var z1 float64
+		for i, bi := range t.basis {
+			if bi >= n+m {
+				z1 -= t.xB[i]
+			}
+		}
+		if z1 < -eps {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Lock every artificial at zero; ones still (degenerately) basic are
+		// harmless with bounds [0, 0].
+		for j := n + m; j < total; j++ {
+			cost[j] = 0
+			t.up[j] = 0
+			t.atUpper[j] = false
+		}
+	}
+	copy(cost, p.C)
+	for j := n; j < total; j++ {
+		cost[j] = 0
+	}
+	status, err := t.iterate(cost)
+	if err != nil {
+		return Solution{}, err
+	}
+	if status != Optimal {
+		return Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if !t.inBasis[j] && t.atUpper[j] {
+			x[j] = t.up[j]
+		}
+	}
+	for i, bi := range t.basis {
+		if bi < n {
+			v := t.xB[i]
+			if v < 0 {
+				v = 0
+			}
+			x[bi] = v
+		}
+	}
+	var z float64
+	for j := 0; j < n; j++ {
+		z += p.C[j] * x[j]
+	}
+	return Solution{Status: Optimal, Z: z, X: x}, nil
+}
+
+// tableau is the simplex working state: a basis, its explicit inverse, the
+// basic variable values, and the lower/upper status of every nonbasic.
+type tableau struct {
+	m, n, total int
+	cols        [][]float64 // equality-form columns, column-major
+	up          []float64   // upper bounds (lower bounds are all zero)
+	basis       []int       // basis[i] = variable basic in row i
+	inBasis     []bool
+	atUpper     []bool // nonbasic at upper (rather than lower) bound
+	xB          []float64
+	binv        [][]float64 // explicit basis inverse
+	y, w        []float64   // scratch: simplex multipliers, pivot column
+}
+
+// iterate runs primal simplex pivots under the given costs until optimality
+// or unboundedness. Entering and leaving variables follow Bland's rule
+// (lowest index), which prevents cycling.
+func (t *tableau) iterate(cost []float64) (Status, error) {
+	maxIter := 200 * (t.total + 1)
+	for iter := 0; iter < maxIter; iter++ {
+		// Simplex multipliers y = cB · B^{-1}.
+		for i := 0; i < t.m; i++ {
+			t.y[i] = 0
+		}
+		for k := 0; k < t.m; k++ {
+			if cb := cost[t.basis[k]]; cb != 0 {
+				row := t.binv[k]
+				for i := 0; i < t.m; i++ {
+					t.y[i] += cb * row[i]
+				}
+			}
+		}
+		// Pricing: first improving nonbasic (Bland). A variable at its lower
+		// bound improves by increasing (reduced cost > 0), one at its upper
+		// bound by decreasing (reduced cost < 0).
+		enter, dir := -1, 1.0
+		for j := 0; j < t.total; j++ {
+			if t.inBasis[j] {
+				continue
+			}
+			d := cost[j]
+			col := t.cols[j]
+			for i := 0; i < t.m; i++ {
+				d -= t.y[i] * col[i]
+			}
+			if !t.atUpper[j] && d > eps {
+				enter, dir = j, 1
+				break
+			}
+			if t.atUpper[j] && d < -eps {
+				enter, dir = j, -1
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal, nil
+		}
+		// Pivot column w = B^{-1} · A_enter.
+		col := t.cols[enter]
+		for i := 0; i < t.m; i++ {
+			var s float64
+			row := t.binv[i]
+			for k := 0; k < t.m; k++ {
+				s += row[k] * col[k]
+			}
+			t.w[i] = s
+		}
+		// Ratio test: the entering variable moves by step >= 0 from its bound
+		// (toward the other bound), each basic moves by -dir*w[i] per unit;
+		// the step is capped by the entering variable's own span and by every
+		// basic hitting one of its bounds. Ties leave the lowest variable
+		// index (Bland).
+		step := t.up[enter]
+		leave := -1
+		for i := 0; i < t.m; i++ {
+			delta := -dir * t.w[i]
+			var ti float64
+			switch {
+			case delta < -eps:
+				ti = t.xB[i] / -delta
+			case delta > eps:
+				ub := t.up[t.basis[i]]
+				if math.IsInf(ub, 1) {
+					continue
+				}
+				ti = (ub - t.xB[i]) / delta
+			default:
+				continue
+			}
+			if ti < 0 {
+				ti = 0
+			}
+			if ti < step-eps || (ti < step+eps && leave >= 0 && t.basis[i] < t.basis[leave]) {
+				step, leave = ti, i
+			} else if ti < step+eps && leave < 0 && ti <= step {
+				step, leave = ti, i
+			}
+		}
+		if math.IsInf(step, 1) {
+			return Unbounded, nil
+		}
+		if leave < 0 {
+			// The entering variable swings clear to its other bound: a bound
+			// flip, no basis change.
+			for i := 0; i < t.m; i++ {
+				t.xB[i] -= dir * t.w[i] * step
+			}
+			t.atUpper[enter] = !t.atUpper[enter]
+			continue
+		}
+		for i := 0; i < t.m; i++ {
+			if i != leave {
+				t.xB[i] -= dir * t.w[i] * step
+			}
+		}
+		entVal := step
+		if dir < 0 {
+			entVal = t.up[enter] - step
+		}
+		left := t.basis[leave]
+		t.inBasis[left] = false
+		// The leaving variable exits at whichever bound it hit.
+		t.atUpper[left] = -dir*t.w[leave] > 0 && !math.IsInf(t.up[left], 1)
+		t.basis[leave] = enter
+		t.inBasis[enter] = true
+		t.atUpper[enter] = false
+		t.xB[leave] = entVal
+		// Eta update of the explicit inverse.
+		piv := t.w[leave]
+		prow := t.binv[leave]
+		for k := 0; k < t.m; k++ {
+			prow[k] /= piv
+		}
+		for i := 0; i < t.m; i++ {
+			if i == leave {
+				continue
+			}
+			if f := t.w[i]; f != 0 {
+				row := t.binv[i]
+				for k := 0; k < t.m; k++ {
+					row[k] -= f * prow[k]
+				}
+			}
+		}
+	}
+	return Optimal, ErrCycling
+}

@@ -1,0 +1,205 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func wantOptimal(t *testing.T, p Problem, z float64) Solution {
+	t.Helper()
+	s := solveOK(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	if math.Abs(s.Z-z) > 1e-6 {
+		t.Fatalf("Z = %g, want %g", s.Z, z)
+	}
+	checkFeasible(t, p, s.X)
+	return s
+}
+
+// checkFeasible asserts x satisfies p's constraints within tolerance.
+func checkFeasible(t *testing.T, p Problem, x []float64) {
+	t.Helper()
+	for j, v := range x {
+		if v < -1e-7 {
+			t.Fatalf("x[%d] = %g < 0", j, v)
+		}
+		if p.U != nil && v > p.U[j]+1e-7 {
+			t.Fatalf("x[%d] = %g > upper bound %g", j, v, p.U[j])
+		}
+	}
+	for i, row := range p.A {
+		var s float64
+		for j, a := range row {
+			s += a * x[j]
+		}
+		if s > p.B[i]+1e-6 {
+			t.Fatalf("row %d: %g > %g", i, s, p.B[i])
+		}
+	}
+}
+
+func TestKnownOptima(t *testing.T) {
+	// Vertices of {x+y<=4, x+3y<=6}: (0,0) (4,0) (0,2) (3,1); max 3x+2y = 12.
+	wantOptimal(t, Problem{
+		C: []float64{3, 2},
+		A: [][]float64{{1, 1}, {1, 3}},
+		B: []float64{4, 6},
+	}, 12)
+
+	// Upper bound binds before the row does.
+	wantOptimal(t, Problem{
+		C: []float64{1},
+		A: [][]float64{{1}},
+		B: []float64{10},
+		U: []float64{3},
+	}, 3)
+
+	// Degenerate/redundant rows.
+	wantOptimal(t, Problem{
+		C: []float64{2, 1},
+		A: [][]float64{{1, 0}, {1, 0}, {1, 1}},
+		B: []float64{2, 2, 3},
+	}, 5)
+
+	// Negative rhs (x >= 1 as -x <= -1) exercises phase 1.
+	wantOptimal(t, Problem{
+		C: []float64{-1},
+		A: [][]float64{{-1}, {1}},
+		B: []float64{-1, 3},
+	}, -1)
+
+	// No rows at all: the box is the feasible region.
+	wantOptimal(t, Problem{
+		C: []float64{1, 2},
+		A: nil,
+		B: nil,
+		U: []float64{4, 5},
+	}, 14)
+}
+
+func TestUnbounded(t *testing.T) {
+	for _, p := range []Problem{
+		{C: []float64{1}, A: nil, B: nil},
+		{C: []float64{1}, A: [][]float64{{-1}}, B: []float64{1}},
+		{C: []float64{1, 1}, A: [][]float64{{1, -2}}, B: []float64{2}},
+	} {
+		if s := solveOK(t, p); s.Status != Unbounded {
+			t.Fatalf("status = %v, want unbounded for %+v", s.Status, p)
+		}
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	for _, p := range []Problem{
+		// x + y >= 5 but both capped at 2.
+		{C: []float64{1, 1}, A: [][]float64{{-1, -1}}, B: []float64{-5}, U: []float64{2, 2}},
+		// x >= 3 and x <= 1.
+		{C: []float64{0}, A: [][]float64{{-1}, {1}}, B: []float64{-3, 1}},
+	} {
+		if s := solveOK(t, p); s.Status != Infeasible {
+			t.Fatalf("status = %v, want infeasible for %+v", s.Status, p)
+		}
+	}
+}
+
+func TestPhase1FeasibleThenOptimal(t *testing.T) {
+	// 1 <= x <= 3, 1 <= y, x + y <= 4: maximize x + 2y at (1, 3).
+	wantOptimal(t, Problem{
+		C: []float64{1, 2},
+		A: [][]float64{{-1, 0}, {0, -1}, {1, 1}},
+		B: []float64{-1, -1, 4},
+		U: []float64{3, math.Inf(1)},
+	}, 7)
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, A: nil, B: []float64{1}}); err == nil {
+		t.Fatal("rhs without row accepted")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, U: []float64{-1}}); err == nil {
+		t.Fatal("negative upper bound accepted")
+	}
+}
+
+// TestRandomizedAgainstSampling solves random origin-feasible LPs and checks
+// that no sampled feasible point beats the reported optimum, and that the
+// reported point is feasible. It is a smoke property, not a proof — the exact
+// cross-check against an independent combinatorial optimum lives in
+// internal/sched's bound differential.
+func TestRandomizedAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		p := Problem{
+			C: make([]float64, n),
+			A: make([][]float64, m),
+			B: make([]float64, m),
+			U: make([]float64, n),
+		}
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.Float64()*4 - 2
+			p.U[j] = rng.Float64() * 5
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64()*2 - 0.5
+			}
+			p.A[i] = row
+			p.B[i] = rng.Float64() * 4 // origin stays feasible
+		}
+		s := solveOK(t, p)
+		if s.Status != Optimal {
+			// Nonnegative rhs with box bounds is always feasible and bounded.
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		checkFeasible(t, p, s.X)
+		for probe := 0; probe < 100; probe++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * p.U[j]
+			}
+			// Shrink toward the (feasible) origin until inside.
+			for scale := 1.0; scale > 1e-3; scale *= 0.7 {
+				feasible := true
+				var z float64
+				for i, row := range p.A {
+					var sum float64
+					for j, a := range row {
+						sum += a * x[j] * scale
+					}
+					if sum > p.B[i] {
+						feasible = false
+						break
+					}
+				}
+				if !feasible {
+					continue
+				}
+				for j := range x {
+					z += p.C[j] * x[j] * scale
+				}
+				if z > s.Z+1e-6 {
+					t.Fatalf("trial %d: sampled point beats optimum: %g > %g", trial, z, s.Z)
+				}
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package sched
+
+import (
+	"batsched/internal/dkibam"
+	"batsched/internal/load"
+)
+
+// lpBounder evaluates the LP-relaxation bound of the optimal search: an
+// admissible upper bound on the death step achievable from a decision state
+// that, unlike the cheap charge bound, accounts for *availability* — how
+// fast bound charge can recover into available charge — instead of only
+// total charge. The relaxation is epoch-granular:
+//
+//	max T  s.t.  exists x[i][y] >= 0, sigma[y] >= 0 with
+//	             sum_i x[i][y] + sigma[y] >= U[y]          (epoch coverage)
+//	             sum_{y' <= y} x[i][y'] <= cap_i(t_y - t0) (release caps)
+//	             sum_y sigma[y] <= (alive-1) * maxCur      (phase-reset slack)
+//	             for every epoch y with end step t_y <= T,
+//
+// where U[y] is epoch y's draw demand in charge units and cap_i(w) bounds
+// the units battery i can deliver within w steps from its current cell
+// state. Because supply is released over time, storable and fungible across
+// batteries, the LP is feasible iff every prefix (boundary) check
+// sum_i cap_i + slack >= cumulative demand passes — which is what bound()
+// evaluates, inverting the dying epoch onto the draw grid exactly like
+// load.Demand.LastServableStep. The equivalence with the simplex-solved LP
+// (internal/lp) is pinned by tests, and the admissibility argument lives in
+// DESIGN.md.
+//
+// The delivery cap couples availability to recovery kinetics. If battery i
+// delivers u units within w steps, then with R recovery decrements
+//
+//	1000*u <= avail - 1 + rest*R + 1000*curLast   (alive before last draw)
+//	R      <= 1 + w / RecovTime[M0 + u]           (decrement spacing)
+//	u      <= N                                   (total charge)
+//
+// where rest = 1000 - cmille, curLast <= the window's largest per-event
+// draw, and the spacing bound holds because consecutive decrements are at
+// least RecovTime[height] steps apart, heights never exceed M0 + u (each
+// drawn unit raises the height difference by one), and RecovTime is
+// nonincreasing in the height. The first inequality solved for u has u on
+// both sides (through the RecovTime lookup); iterating it downward from
+// u = N converges onto the greatest fixed point from above, so *any* fixed
+// iteration count yields an admissible cap.
+type lpBounder struct {
+	// Per battery: per-mille bound fraction (1000 - c) and the recovery
+	// table.
+	rest  []int64
+	recov [][]int
+
+	// Load profile (aliasing the compiled load's slices).
+	loadTime []int
+	curTimes []int
+	cur      []int
+}
+
+func newLPBounder(ds []*dkibam.Discretization, cl load.Compiled) *lpBounder {
+	b := &lpBounder{
+		rest:     make([]int64, len(ds)),
+		recov:    make([][]int, len(ds)),
+		loadTime: cl.LoadTime,
+		curTimes: cl.CurTimes,
+		cur:      cl.Cur,
+	}
+	for i, d := range ds {
+		b.rest[i] = int64(1000 - d.CMille)
+		b.recov[i] = d.RecovTime
+	}
+	return b
+}
+
+// capIters is the fixed-point iteration count of the delivery cap. Each
+// iterate starting from u = N over-estimates the cap, so correctness does
+// not depend on the count; three steps are enough to be near the fixed
+// point on the states the search visits.
+const capIters = 3
+
+// cap bounds the units a battery with capacity n, available charge avail
+// (mille), height difference m0, bound fraction rest and recovery table rt
+// can deliver within w steps of a window whose largest per-event draw is
+// maxCur.
+func deliveryCap(n, avail, m0, rest int64, rt []int, w, maxCur int64) int64 {
+	u := n
+	for it := 0; it < capIters; it++ {
+		// Max recovery decrements in w steps at heights <= m0 + u.
+		mm := m0 + u
+		var r int64
+		if mm >= 2 {
+			mi := mm
+			if mi > int64(len(rt)-1) {
+				mi = int64(len(rt) - 1)
+			}
+			r = 1 + w/int64(rt[mi])
+		}
+		nu := (avail-1+rest*r)/1000 + maxCur
+		if nu < 0 {
+			nu = 0
+		}
+		if nu >= u {
+			break
+		}
+		u = nu
+	}
+	return u
+}
+
+// bound returns the LP-relaxation upper bound on the death step achievable
+// from sys's decision state, or maxBound when the relaxation outlasts the
+// load horizon.
+func (b *lpBounder) bound(sys *dkibam.System) int32 {
+	t0 := sys.Step()
+	e0 := sys.Epoch()
+
+	var (
+		nAlive int
+		capN   [MaxOptimalBatteries]int64
+		avail  [MaxOptimalBatteries]int64
+		height [MaxOptimalBatteries]int64
+		rest   [MaxOptimalBatteries]int64
+		recov  [MaxOptimalBatteries][]int
+		sumN   int64
+	)
+	for i := 0; i < len(b.rest); i++ {
+		c := sys.Cell(i)
+		if c.Empty {
+			continue
+		}
+		capN[nAlive] = int64(c.N)
+		avail[nAlive] = (1000-b.rest[i])*int64(c.N) - b.rest[i]*int64(c.M)
+		height[nAlive] = int64(c.M)
+		rest[nAlive] = b.rest[i]
+		recov[nAlive] = b.recov[i]
+		sumN += int64(c.N)
+		nAlive++
+	}
+	if nAlive == 0 {
+		return int32(t0)
+	}
+
+	maxCur := int64(0)
+	unitsBefore := int64(0) // demand of the epochs scanned so far, in units
+	y := e0
+	saturated := false
+	// Detailed phase: per-boundary checks with availability-capped supply.
+	// Caps are nondecreasing in the window and reach the plain charge cap N
+	// within a bounded number of boundaries (RecovTime[m]*m is roughly
+	// constant), after which the scan switches to a single charge-only
+	// inversion over the precomputed prefix sums.
+	for ; y < len(b.loadTime); y++ {
+		cur := int64(b.cur[y])
+		var evts int64
+		start := t0
+		if y != e0 {
+			start = b.loadTime[y-1]
+		}
+		if cur > 0 {
+			evts = int64((b.loadTime[y] - start) / b.curTimes[y])
+			if cur > maxCur {
+				maxCur = cur
+			}
+		}
+		w := int64(b.loadTime[y] - t0)
+		supply := int64(nAlive-1) * maxCur
+		sat := true
+		for a := 0; a < nAlive; a++ {
+			u := deliveryCap(capN[a], avail[a], height[a], rest[a], recov[a], w, maxCur)
+			if u >= capN[a] {
+				u = capN[a]
+			} else {
+				sat = false
+			}
+			supply += u
+		}
+		demandEnd := unitsBefore + evts*cur
+		if evts > 0 && supply < demandEnd {
+			// The relaxation dies inside epoch y: it affords
+			// (supply-unitsBefore)/cur more events on the grid anchored at
+			// start, and the next one is unaffordable.
+			budget := (supply - unitsBefore) / cur
+			if budget < 0 {
+				budget = 0
+			}
+			return int32(start + (int(budget)+1)*b.curTimes[y] - 1)
+		}
+		unitsBefore = demandEnd
+		if sat {
+			y++
+			saturated = true
+			break
+		}
+	}
+	if !saturated {
+		return maxBound // horizon reached with availability still binding
+	}
+
+	// Charge-only tail: every cap is pinned at the battery's remaining total
+	// charge, so the supply no longer depends on the window and the scan is
+	// O(1) per epoch (epochs past the switch are whole, so the partial first
+	// epoch never reaches here).
+	for ; y < len(b.loadTime); y++ {
+		cur := int64(b.cur[y])
+		if cur == 0 {
+			continue
+		}
+		if cur > maxCur {
+			maxCur = cur
+		}
+		start := b.loadTime[y-1]
+		evts := int64((b.loadTime[y] - start) / b.curTimes[y])
+		demandEnd := unitsBefore + evts*cur
+		if supply := sumN + int64(nAlive-1)*maxCur; supply < demandEnd {
+			budget := (supply - unitsBefore) / cur
+			if budget < 0 {
+				budget = 0
+			}
+			return int32(start + (int(budget)+1)*b.curTimes[y] - 1)
+		}
+		unitsBefore = demandEnd
+	}
+	return maxBound
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"batsched/internal/battery"
 	"batsched/internal/dkibam"
@@ -12,15 +13,17 @@ import (
 
 // MaxOptimalBatteries bounds the bank size of the optimal search. The memo
 // key is a fixed-size comparable struct so that the map hashes it without
-// allocating; twelve batteries is reachable for homogeneous banks thanks to
-// symmetry canonicalization, which collapses the n! permutations of
-// identical batteries into one state.
-const MaxOptimalBatteries = 12
+// allocating; sixteen batteries is reachable for homogeneous and
+// few-type banks thanks to symmetry canonicalization (which collapses the
+// n! permutations of identical batteries into one state) combined with the
+// LP-relaxation bound (which prunes the availability-starved subtrees the
+// cheap charge bound cannot see).
+const MaxOptimalBatteries = 16
 
 // MaxDistinctOptimalBatteries bounds the number of non-interchangeable
 // battery types past the legacy 8-battery cap: symmetry canonicalization is
 // what makes larger banks tractable, and it collapses nothing between
-// distinct types, so a 9..12-battery bank must not be all-distinct.
+// distinct types, so a 9..16-battery bank must not be all-distinct.
 const MaxDistinctOptimalBatteries = 8
 
 // ErrTooManyBatteries is returned when the bank exceeds MaxOptimalBatteries.
@@ -40,11 +43,27 @@ type SearchStats struct {
 	States int64 `json:"states"`
 	// Leaves is the number of complete trajectories reached.
 	Leaves int64 `json:"leaves"`
-	// MemoHits counts children resolved from the memo table.
+	// MemoHits counts children resolved from a memo entry this worker stored
+	// itself (for the serial search: every memo resolution).
 	MemoHits int64 `json:"memo_hits"`
-	// Pruned counts children cut by the admissible charge bound before
-	// expansion.
+	// Pruned counts children cut by the admissible charge bound (or by a
+	// previously proven memo bound) before expansion.
 	Pruned int64 `json:"pruned"`
+	// LPBounds counts LP-relaxation bound evaluations. The LP bound is lazy:
+	// it runs only on children the cheap charge bound failed to prune.
+	LPBounds int64 `json:"lp_bounds"`
+	// LPPruned counts children cut only thanks to the LP-relaxation bound
+	// (the cheap bound alone would have descended).
+	LPPruned int64 `json:"lp_pruned"`
+	// Steals counts tasks taken from another worker's deque by the parallel
+	// search's work stealing; zero for serial searches.
+	Steals int64 `json:"steals"`
+	// SharedMemoHits counts memo hits served by an entry another worker
+	// stored — the cross-worker sharing the parallel search's shared table
+	// buys; zero for serial searches. A lookup increments exactly one of
+	// MemoHits and SharedMemoHits, in the stats of the one worker that
+	// performed it, so the two never double-count.
+	SharedMemoHits int64 `json:"shared_memo_hits"`
 }
 
 // Add accumulates o into s (used to merge per-worker counters).
@@ -53,6 +72,10 @@ func (s *SearchStats) Add(o SearchStats) {
 	s.Leaves += o.Leaves
 	s.MemoHits += o.MemoHits
 	s.Pruned += o.Pruned
+	s.LPBounds += o.LPBounds
+	s.LPPruned += o.LPPruned
+	s.Steals += o.Steals
+	s.SharedMemoHits += o.SharedMemoHits
 }
 
 // SearchOptions select the optimal search's optimizations. The zero value is
@@ -71,12 +94,18 @@ type SearchOptions struct {
 	// cut, and children are explored best-bound-first so the incumbent
 	// tightens early.
 	Prune bool
+	// LPBound layers a second, tighter admissible bound — the LP relaxation
+	// of the remaining-schedule problem (see lpBounder) — behind the cheap
+	// charge bound. It is evaluated lazily, only on children the cheap bound
+	// failed to prune, and only at their first expansion (re-encounters carry
+	// a memo bound that is at least as sharp). Requires Prune.
+	LPBound bool
 }
 
 // DefaultSearchOptions enables every optimization; Optimal and
 // OptimalParallel use them.
 func DefaultSearchOptions() SearchOptions {
-	return SearchOptions{Canonicalize: true, Prune: true}
+	return SearchOptions{Canonicalize: true, Prune: true, LPBound: true}
 }
 
 // Optimal computes the maximum achievable system lifetime and a schedule
@@ -101,19 +130,25 @@ func OptimalWithStats(ds []*dkibam.Discretization, cl load.Compiled) (float64, S
 }
 
 // OptimalWithOptions runs the optimal search with explicit optimization
-// options. The returned lifetime is identical for every option set — the
-// options only change how much of the state space must be visited to prove
-// it — which the differential tests pin on the paper's loads and banks.
+// options. The returned lifetime and schedule are identical for every option
+// set — the options only change how much of the state space must be visited
+// to prove it — which the differential tests pin on the paper's loads and
+// banks. The schedule is the canonical optimal schedule (see reconstruct),
+// so it is also identical to what the parallel search returns.
 func OptimalWithOptions(ds []*dkibam.Discretization, cl load.Compiled, opts SearchOptions) (float64, Schedule, SearchStats, error) {
 	o, best, err := solveOptimal(ds, cl, opts)
 	if err != nil {
 		return 0, nil, SearchStats{}, err
 	}
-	sys, err := dkibam.NewSystem(ds, cl)
+	walk, err := dkibam.NewSystem(ds, cl)
 	if err != nil {
 		return 0, nil, SearchStats{}, err
 	}
-	schedule, err := o.replay(sys)
+	scratch, err := dkibam.NewSystem(ds, cl)
+	if err != nil {
+		return 0, nil, SearchStats{}, err
+	}
+	schedule, err := o.reconstruct(walk, scratch, int32(best))
 	if err != nil {
 		return 0, nil, SearchStats{}, err
 	}
@@ -166,19 +201,59 @@ func validateBank(ds []*dkibam.Discretization) error {
 // (the budget outlasts the load horizon).
 const maxBound = math.MaxInt32
 
+// lpProbation is how many LP-relaxation evaluations a search gets to produce
+// its first LP-only prune before the LP bound is disabled for the rest of
+// that search (per optimizer, so per worker in the parallel search).
+const lpProbation = 4096
+
 // memoEntry records what the search has proven about one canonical decision
-// state. death is the best realized death step reached from the state and
-// choice the canonical slot attaining it; bound is a proven upper bound on
-// the death step achievable from the state. The entry is exact — the
-// subtree's true optimum is known — exactly when death == bound. Inexact
-// entries arise when branch-and-bound cut children of the subtree; they
-// still prune (via bound) and still replay (via choice), but do not
-// short-circuit a re-expansion. Updates keep death at its maximum and bound
-// at its minimum, so entries only ever sharpen.
+// state. death is the best realized death step reached from the state; bound
+// is a proven upper bound on the death step achievable from it. The entry is
+// exact — the subtree's true optimum is known — exactly when death == bound.
+// Inexact entries arise when branch-and-bound cut children of the subtree;
+// they still prune (via bound) but do not short-circuit a re-expansion.
+// Updates keep death at its maximum and bound at its minimum, so entries
+// only ever sharpen. by is the worker that stored the current death (0 for
+// the serial search); it only feeds the MemoHits/SharedMemoHits attribution
+// and carries no search meaning.
 type memoEntry struct {
-	death  int32
-	bound  int32
-	choice int8
+	death int32
+	bound int32
+	by    uint8
+}
+
+// memoTable is the memo storage of an optimizer. The serial search uses a
+// plain map (mapMemo); the parallel search shares one sharded, mutex-striped
+// table (sharedMemo) across all workers. Both implement the same merge
+// semantics: death keeps its maximum (it is a realized value), bound its
+// minimum (it is a proven limit). Both stay valid under the merge because
+// every stored death is realizable from the state and every stored bound
+// provably limits it — which is also why entries written concurrently by
+// different workers, each under a different incumbent, can be mixed freely
+// (bound proofs never depend on the incumbent; see DESIGN.md).
+type memoTable interface {
+	lookup(k stateKey) (memoEntry, bool)
+	merge(k stateKey, e memoEntry)
+}
+
+// mapMemo is the serial search's memo table.
+type mapMemo map[stateKey]memoEntry
+
+func (m mapMemo) lookup(k stateKey) (memoEntry, bool) {
+	e, ok := m[k]
+	return e, ok
+}
+
+func (m mapMemo) merge(k stateKey, e memoEntry) {
+	if old, ok := m[k]; ok {
+		if old.death > e.death {
+			e.death, e.by = old.death, old.by
+		}
+		if old.bound < e.bound {
+			e.bound = old.bound
+		}
+	}
+	m[k] = e
 }
 
 // cellKey is one battery's state in a memo key. CDisch is omitted: decisions
@@ -215,27 +290,10 @@ type stateKey struct {
 	cells [MaxOptimalBatteries]cellKey
 }
 
-// keyPerm maps canonical slots back to physical battery indices:
-// keyPerm[slot] is the battery whose state sits at cells[slot] of the
-// associated stateKey. Canonicalization only permutes positions within an
-// identical-battery group, so slot and keyPerm[slot] always refer to
-// batteries with the same discretization.
-type keyPerm [MaxOptimalBatteries]int8
-
-// slotOf inverts a keyPerm for one physical battery index.
-func slotOf(pm keyPerm, battery int) int8 {
-	for s := range pm {
-		if pm[s] == int8(battery) {
-			return int8(s)
-		}
-	}
-	panic(fmt.Sprintf("sched: battery %d not in key permutation", battery))
-}
-
 type optimizer struct {
 	cl    load.Compiled
 	opts  SearchOptions
-	memo  map[stateKey]memoEntry
+	memo  memoTable
 	stats SearchStats
 
 	nbat int
@@ -246,11 +304,27 @@ type optimizer struct {
 	// demand is the load's draw-event profile backing the admissible bound;
 	// nil without pruning.
 	demand *load.Demand
-	// incumbent is the best realized death step seen so far (-1 initially).
-	// It only ever grows, and it persists across solve calls so that the
-	// parallel search's per-worker optimizers keep pruning power between
-	// subproblems.
+	// lpb evaluates the LP-relaxation bound; nil unless Prune and LPBound.
+	lpb *lpBounder
+
+	// incumbent is the best realized death step this optimizer knows of (-1
+	// initially). It only ever grows within a solve, and it persists across
+	// solve calls; reconstruct deliberately re-primes it per probe.
 	incumbent int32
+	// ginc, when non-nil, is the parallel search's global incumbent; realized
+	// values are published to it and prune checks refresh from it, so one
+	// worker's finds cut every worker's subtrees.
+	ginc *atomic.Int32
+	// wid is this optimizer's worker id, matched against memoEntry.by for
+	// the MemoHits/SharedMemoHits attribution.
+	wid uint8
+	// spawn, when non-nil, is offered every child the solve loop is about to
+	// descend into; returning true moves the child's subtree to another task
+	// (the parallel search's work splitting). The frame then accounts the
+	// child like a cut branch — its admissible bound keeps the parent's memo
+	// entry honest, and its realized value reaches the incumbent through the
+	// task that solves it.
+	spawn func(c *child) bool
 
 	// frame, cell-buffer and child-buffer free lists, reused across pushes
 	// and pops so the steady-state search does not allocate.
@@ -292,7 +366,7 @@ func newOptimizer(ds []*dkibam.Discretization, cl load.Compiled, opts SearchOpti
 	o := &optimizer{
 		cl:        cl,
 		opts:      opts,
-		memo:      make(map[stateKey]memoEntry),
+		memo:      make(mapMemo),
 		nbat:      len(ds),
 		incumbent: -1,
 	}
@@ -318,33 +392,71 @@ func newOptimizer(ds []*dkibam.Discretization, cl load.Compiled, opts SearchOpti
 			return nil, err
 		}
 		o.demand = d
+		if opts.LPBound {
+			o.lpb = newLPBounder(ds, cl)
+		}
 	}
 	return o, nil
 }
 
-// makeKey canonically encodes sys's decision state and returns the slot
-// permutation that maps the key back to physical battery indices.
-func (o *optimizer) makeKey(sys *dkibam.System) (stateKey, keyPerm) {
+// cumbent returns the freshest incumbent this optimizer may prune against,
+// folding in the global one when the search is parallel.
+func (o *optimizer) cumbent() int32 {
+	if o.ginc != nil {
+		if g := o.ginc.Load(); g > o.incumbent {
+			o.incumbent = g
+		}
+	}
+	return o.incumbent
+}
+
+// raise publishes a realized death step into the incumbent(s). The global
+// incumbent is monotone (CAS-max), so concurrent raises keep the maximum.
+func (o *optimizer) raise(v int32) {
+	if v <= o.incumbent {
+		return
+	}
+	o.incumbent = v
+	if o.ginc != nil {
+		for {
+			cur := o.ginc.Load()
+			if v <= cur || o.ginc.CompareAndSwap(cur, v) {
+				return
+			}
+		}
+	}
+}
+
+// noteHit attributes one exact memo resolution: to MemoHits when this worker
+// stored the entry's death itself, to SharedMemoHits when another worker
+// did. Exactly one counter moves per lookup.
+func (o *optimizer) noteHit(e memoEntry) {
+	if e.by == o.wid {
+		o.stats.MemoHits++
+	} else {
+		o.stats.SharedMemoHits++
+	}
+}
+
+// makeKey canonically encodes sys's decision state.
+func (o *optimizer) makeKey(sys *dkibam.System) stateKey {
 	var k stateKey
-	var pm keyPerm
 	k.t = int32(sys.Step())
 	for i := 0; i < o.nbat; i++ {
 		c := sys.Cell(i)
 		k.cells[i] = cellKey{n: int32(c.N), m: int32(c.M), crecov: int32(c.CRecov), empty: c.Empty}
-		pm[i] = int8(i)
 	}
 	for _, pos := range o.groups {
-		// Insertion sort of the group's cell states across its positions,
-		// carrying the permutation; groups are tiny, and the stable sort
-		// keeps ties (physically identical batteries) in index order.
+		// Insertion sort of the group's cell states across its positions;
+		// groups are tiny, and the stable sort keeps ties (physically
+		// identical batteries) in index order.
 		for a := 1; a < len(pos); a++ {
 			for b := a; b > 0 && cellLess(k.cells[pos[b]], k.cells[pos[b-1]]); b-- {
 				k.cells[pos[b]], k.cells[pos[b-1]] = k.cells[pos[b-1]], k.cells[pos[b]]
-				pm[pos[b]], pm[pos[b-1]] = pm[pos[b-1]], pm[pos[b]]
 			}
 		}
 	}
-	return k, pm
+	return k
 }
 
 // bound returns an admissible upper bound on the death step achievable from
@@ -379,20 +491,18 @@ type frame struct {
 	children []child
 	next     int   // index into children of the next branch to explore
 	best     int32 // best death step over resolved branches
-	choice   int8  // canonical slot attaining best
 	// prunedUB is the largest admissible bound over branches that were cut
-	// (or resolved inexactly); -1 when none. The frame's value is exact iff
-	// best >= prunedUB at completion: everything skipped provably could not
-	// exceed what was found.
+	// (or resolved inexactly, or handed to another task); -1 when none. The
+	// frame's value is exact iff best >= prunedUB at completion: everything
+	// skipped provably could not exceed what was found.
 	prunedUB int32
 }
 
 // child is one expanded, not yet explored branch of a frame.
 type child struct {
 	key   stateKey
-	pm    keyPerm
 	state dkibam.State
-	slot  int8  // canonical slot of the parent choice reaching this child
+	idx   int8  // physical battery index of the parent choice reaching this child
 	ub    int32 // admissible bound on the child's death step
 }
 
@@ -400,15 +510,13 @@ type child struct {
 var errHorizon = errors.New("sched: optimal search ran out of load horizon")
 
 // fold accounts one branch outcome into the frame: v is a realized death
-// step (which also tightens the global incumbent), vb a proven upper bound
-// on the branch (vb > v when the branch was resolved inexactly).
-func (o *optimizer) fold(f *frame, slot int8, v, vb int32) {
+// step (which also tightens the incumbent), vb a proven upper bound on the
+// branch (vb > v when the branch was resolved inexactly).
+func (o *optimizer) fold(f *frame, v, vb int32) {
 	if v > f.best {
-		f.best, f.choice = v, slot
+		f.best = v
 	}
-	if v > o.incumbent {
-		o.incumbent = v
-	}
+	o.raise(v)
 	if vb > v && vb > f.prunedUB {
 		f.prunedUB = vb
 	}
@@ -427,7 +535,7 @@ func (o *optimizer) skip(f *frame, ub int32) {
 // next decision, and either resolved on the spot (leaf, exact memo hit),
 // cut by the admissible bound, or kept as a child — sorted best-bound-first
 // so the incumbent tightens as early as possible.
-func (o *optimizer) expand(sys *dkibam.System, parent dkibam.State, key stateKey, pm keyPerm) (frame, error) {
+func (o *optimizer) expand(sys *dkibam.System, parent dkibam.State, key stateKey) (frame, error) {
 	o.stats.States++
 	dec, pending, err := sys.AdvanceToDecision()
 	if err != nil {
@@ -440,7 +548,7 @@ func (o *optimizer) expand(sys *dkibam.System, parent dkibam.State, key stateKey
 	// advances below overwrite; the bank fits a stack copy by construction.
 	var alive [MaxOptimalBatteries]int
 	na := copy(alive[:], dec.Alive)
-	f := frame{key: key, best: -1, choice: -1, prunedUB: -1, children: o.takeChildren()}
+	f := frame{key: key, best: -1, prunedUB: -1, children: o.takeChildren()}
 	for ai := 0; ai < na; ai++ {
 		idx := alive[ai]
 		if ai > 0 {
@@ -450,7 +558,6 @@ func (o *optimizer) expand(sys *dkibam.System, parent dkibam.State, key stateKey
 			o.abandon(&f)
 			return frame{}, err
 		}
-		slot := slotOf(pm, idx)
 		_, pending, err := sys.AdvanceToDecision()
 		if err != nil {
 			o.abandon(&f)
@@ -459,18 +566,19 @@ func (o *optimizer) expand(sys *dkibam.System, parent dkibam.State, key stateKey
 		if !pending {
 			o.stats.Leaves++
 			v := int32(sys.DeathStep())
-			o.fold(&f, slot, v, v)
+			o.fold(&f, v, v)
 			continue
 		}
-		ckey, cpm := o.makeKey(sys)
+		ckey := o.makeKey(sys)
 		ub := int32(maxBound)
-		if e, ok := o.memo[ckey]; ok {
+		known := false
+		if e, ok := o.memo.lookup(ckey); ok {
 			if e.death == e.bound {
-				o.stats.MemoHits++
-				o.fold(&f, slot, e.death, e.death)
+				o.noteHit(e)
+				o.fold(&f, e.death, e.death)
 				continue
 			}
-			if o.opts.Prune && e.bound <= o.incumbent {
+			if o.opts.Prune && e.bound <= o.cumbent() {
 				o.skip(&f, e.bound)
 				continue
 			}
@@ -478,26 +586,50 @@ func (o *optimizer) expand(sys *dkibam.System, parent dkibam.State, key stateKey
 			// than the fresh charge bound: keep the minimum for ordering and
 			// for the prune re-check at descend time.
 			ub = e.bound
+			known = true
 		}
 		if o.opts.Prune {
 			if b := o.bound(sys); b < ub {
 				ub = b
 			}
-			if ub <= o.incumbent {
+			if ub <= o.cumbent() {
 				o.skip(&f, ub)
 				continue
 			}
+			// The cheap bound failed to prune: lazily try the tighter LP
+			// relaxation, but only on first encounters — a re-encountered
+			// state carries a searched memo bound already at least as sharp —
+			// and only while the relaxation earns its keep: on loads whose
+			// bottleneck is total charge rather than availability the LP
+			// verdict matches the cheap bound's, so after lpProbation
+			// evaluations without a single extra prune it is switched off
+			// (skipping an optional admissible bound is always sound, and the
+			// rule is deterministic, so serial stats stay reproducible).
+			if o.lpb != nil && !known &&
+				(o.stats.LPPruned > 0 || o.stats.LPBounds < lpProbation) {
+				o.stats.LPBounds++
+				if b := o.lpb.bound(sys); b < ub {
+					ub = b
+					if ub <= o.cumbent() {
+						o.stats.LPPruned++
+						if ub > f.prunedUB {
+							f.prunedUB = ub
+						}
+						continue
+					}
+				}
+			}
 		}
 		f.children = append(f.children, child{
-			key: ckey, pm: cpm,
+			key:   ckey,
 			state: sys.SaveState(o.takeBuf()),
-			slot:  slot, ub: ub,
+			idx:   int8(idx), ub: ub,
 		})
 	}
-	// Best-bound-first, ties on the canonical slot for determinism.
+	// Best-bound-first, ties on the battery index for determinism.
 	cs := f.children
 	for a := 1; a < len(cs); a++ {
-		for b := a; b > 0 && (cs[b].ub > cs[b-1].ub || (cs[b].ub == cs[b-1].ub && cs[b].slot < cs[b-1].slot)); b-- {
+		for b := a; b > 0 && (cs[b].ub > cs[b-1].ub || (cs[b].ub == cs[b-1].ub && cs[b].idx < cs[b-1].idx)); b-- {
 			cs[b], cs[b-1] = cs[b-1], cs[b]
 		}
 	}
@@ -507,6 +639,11 @@ func (o *optimizer) expand(sys *dkibam.System, parent dkibam.State, key stateKey
 // solve explores the decision tree rooted at sys's next decision point and
 // returns the best achievable death step. sys is used as scratch space and
 // left in an unspecified state.
+//
+// Under a spawn hook, subtrees handed to other tasks are not folded into the
+// return value; the caller must take the realized optimum from the global
+// incumbent instead (every value realized anywhere is achievable from the
+// root, so the incumbent's maximum is the root optimum — see DESIGN.md).
 func (o *optimizer) solve(sys *dkibam.System) (int, error) {
 	_, pending, err := sys.AdvanceToDecision()
 	if err != nil {
@@ -514,15 +651,18 @@ func (o *optimizer) solve(sys *dkibam.System) (int, error) {
 	}
 	if !pending {
 		o.stats.Leaves++
-		return sys.DeathStep(), nil
+		v := sys.DeathStep()
+		o.raise(int32(v))
+		return v, nil
 	}
-	rootKey, rootPm := o.makeKey(sys)
-	if e, ok := o.memo[rootKey]; ok && e.death == e.bound {
-		o.stats.MemoHits++
+	rootKey := o.makeKey(sys)
+	if e, ok := o.memo.lookup(rootKey); ok && e.death == e.bound {
+		o.noteHit(e)
+		o.raise(e.death)
 		return int(e.death), nil
 	}
 	rootState := sys.SaveState(o.takeBuf())
-	root, err := o.expand(sys, rootState, rootKey, rootPm)
+	root, err := o.expand(sys, rootState, rootKey)
 	o.releaseBuf(rootState.Cells)
 	if err != nil {
 		return 0, err
@@ -536,7 +676,7 @@ func (o *optimizer) solve(sys *dkibam.System) (int, error) {
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
 		if returning {
-			o.fold(f, f.children[f.next-1].slot, result, resultBound)
+			o.fold(f, result, resultBound)
 			returning = false
 		}
 		descended := false
@@ -546,26 +686,35 @@ func (o *optimizer) solve(sys *dkibam.System) (int, error) {
 			// The incumbent has typically grown since this child was
 			// expanded, and its subtree may have been resolved or bounded
 			// away under a sibling: re-check both before descending.
-			if o.opts.Prune && c.ub <= o.incumbent {
+			if o.opts.Prune && c.ub <= o.cumbent() {
 				o.skip(f, c.ub)
 				o.releaseChild(c)
 				continue
 			}
-			if e, ok := o.memo[c.key]; ok {
+			if e, ok := o.memo.lookup(c.key); ok {
 				if e.death == e.bound {
-					o.stats.MemoHits++
-					o.fold(f, c.slot, e.death, e.death)
+					o.noteHit(e)
+					o.fold(f, e.death, e.death)
 					o.releaseChild(c)
 					continue
 				}
-				if o.opts.Prune && e.bound <= o.incumbent {
+				if o.opts.Prune && e.bound <= o.cumbent() {
 					o.skip(f, e.bound)
 					o.releaseChild(c)
 					continue
 				}
 			}
+			if o.spawn != nil && o.spawn(c) {
+				// Another task owns this subtree now; account its bound like
+				// a cut branch so the parent's memo entry stays honest.
+				if c.ub > f.prunedUB {
+					f.prunedUB = c.ub
+				}
+				o.releaseChild(c)
+				continue
+			}
 			sys.RestoreState(c.state)
-			nf, err := o.expand(sys, c.state, c.key, c.pm)
+			nf, err := o.expand(sys, c.state, c.key)
 			o.releaseChild(c)
 			if err != nil {
 				for i := range stack {
@@ -587,7 +736,7 @@ func (o *optimizer) solve(sys *dkibam.System) (int, error) {
 		if f.prunedUB > f.best {
 			bound = f.prunedUB
 		}
-		o.store(f.key, f.best, bound, f.choice)
+		o.memo.merge(f.key, memoEntry{death: f.best, bound: bound, by: o.wid})
 		result, resultBound = f.best, bound
 		returning = true
 		o.releaseChildren(f.children)
@@ -596,24 +745,6 @@ func (o *optimizer) solve(sys *dkibam.System) (int, error) {
 	}
 	o.frames = stack
 	return int(result), nil
-}
-
-// store merges a completed frame into the memo: death only grows (it is a
-// realized value, with choice following it), bound only shrinks (it is a
-// proven limit). Both stay valid under the merge because every stored death
-// is realizable from the state and every stored bound provably limits it.
-func (o *optimizer) store(key stateKey, death, bound int32, choice int8) {
-	if e, ok := o.memo[key]; ok {
-		if death > e.death {
-			e.death, e.choice = death, choice
-		}
-		if bound < e.bound {
-			e.bound = bound
-		}
-		o.memo[key] = e
-		return
-	}
-	o.memo[key] = memoEntry{death: death, bound: bound, choice: choice}
 }
 
 // Buffer pools. Children carry saved cell states; both the child slices and
@@ -664,36 +795,99 @@ func (o *optimizer) abandon(f *frame) {
 	f.children = nil
 }
 
-// replay reconstructs an optimal schedule from the memo table by walking the
-// recorded best choices from sys's current state. Choices are stored as
-// canonical slots, so each step maps the slot back through the current
-// state's permutation — this is what keeps replay emitting concrete battery
-// indices even though permutation-equivalent states share memo entries.
-func (o *optimizer) replay(sys *dkibam.System) (Schedule, error) {
+// reconstruct derives the canonical optimal schedule once the optimum is
+// proven: walking down from walk's current state, it commits at every
+// decision to the lowest-indexed battery whose subtree still achieves the
+// proven death step. "Achieves needed" is a property of the child state
+// alone, so the choice sequence — and hence the schedule bytes — does not
+// depend on the memo's content, the search options, the worker count or any
+// interleaving; the memo (possibly the parallel search's shared table) only
+// short-circuits proving it. needed is invariant down an optimal path
+// because death steps are absolute times.
+//
+// Probes are cheap: a memoised death >= needed accepts and a memoised bound
+// < needed rejects without search; otherwise a branch-and-bound solve runs
+// with the incumbent primed to needed-1, so it explores only what can still
+// reach needed. The probes' work is deliberately excluded from the reported
+// SearchStats — States etc. describe the search that proved the optimum,
+// and stay comparable across option sets and worker counts.
+func (o *optimizer) reconstruct(walk, scratch *dkibam.System, needed int32) (Schedule, error) {
+	statsSnap, incSnap, gincSnap, spawnSnap := o.stats, o.incumbent, o.ginc, o.spawn
+	// Probes must prune against needed-1 only — a live global incumbent
+	// (already at the optimum) would cut the very branches being probed —
+	// and must run to completion locally, not hand subtrees away.
+	o.ginc, o.spawn = nil, nil
+	defer func() { o.stats, o.incumbent, o.ginc, o.spawn = statsSnap, incSnap, gincSnap, spawnSnap }()
 	var schedule Schedule
+	var parent dkibam.State
+	var probeBuf dkibam.State
 	for {
-		dec, pending, err := sys.AdvanceToDecision()
+		dec, pending, err := walk.AdvanceToDecision()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %w", errHorizon, err)
 		}
 		if !pending {
+			if int32(walk.DeathStep()) < needed {
+				return nil, errors.New("sched: reconstructed schedule misses the proven optimum")
+			}
 			return schedule, nil
 		}
-		key, pm := o.makeKey(sys)
-		entry, ok := o.memo[key]
-		if !ok || entry.choice < 0 {
-			return nil, errors.New("sched: optimal replay hit an unexplored state")
+		parent = walk.SaveState(parent.Cells)
+		var alive [MaxOptimalBatteries]int
+		na := copy(alive[:], dec.Alive)
+		picked := -1
+		for ai := 0; ai < na && picked < 0; ai++ {
+			idx := alive[ai]
+			if ai > 0 {
+				walk.RestoreState(parent)
+			}
+			if err := walk.Choose(idx); err != nil {
+				return nil, err
+			}
+			_, pending, err := walk.AdvanceToDecision()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %w", errHorizon, err)
+			}
+			if !pending {
+				if int32(walk.DeathStep()) >= needed {
+					picked = idx
+				}
+				continue
+			}
+			key := o.makeKey(walk)
+			if e, ok := o.memo.lookup(key); ok {
+				if e.death >= needed {
+					picked = idx
+					continue
+				}
+				if e.bound < needed {
+					continue
+				}
+			}
+			o.incumbent = needed - 1
+			probeBuf = walk.SaveState(probeBuf.Cells)
+			scratch.RestoreState(probeBuf)
+			v, err := o.solve(scratch)
+			if err != nil {
+				return nil, err
+			}
+			if int32(v) >= needed {
+				picked = idx
+			}
 		}
-		battery := int(pm[entry.choice])
+		if picked < 0 {
+			return nil, errors.New("sched: reconstruction found no branch achieving the optimum")
+		}
+		walk.RestoreState(parent)
+		if err := walk.Choose(picked); err != nil {
+			return nil, err
+		}
 		schedule = append(schedule, Choice{
 			Step:    dec.Step,
 			Minutes: float64(dec.Step) * o.cl.StepMin,
 			Epoch:   dec.Epoch,
 			Reason:  dec.Reason,
-			Battery: battery,
+			Battery: picked,
 		})
-		if err := sys.Choose(battery); err != nil {
-			return nil, err
-		}
 	}
 }

@@ -38,7 +38,9 @@ var optionMatrix = []struct {
 	name string
 	opts SearchOptions
 }{
-	{"canon+prune", DefaultSearchOptions()},
+	{"canon+prune+lp", DefaultSearchOptions()},
+	{"canon+prune", SearchOptions{Canonicalize: true, Prune: true}},
+	{"prune+lp", SearchOptions{Prune: true, LPBound: true}},
 	{"canon", SearchOptions{Canonicalize: true}},
 	{"prune", SearchOptions{Prune: true}},
 }

@@ -76,6 +76,12 @@ type Service struct {
 	cellHits       atomic.Int64
 	cellsEvaluated atomic.Int64
 	storeErrors    atomic.Int64
+
+	// search accumulates the optimal solvers' SearchStats across every cell
+	// this service actually evaluated (cache hits re-serve stored counters
+	// without re-counting them).
+	searchMu sync.Mutex
+	search   sched.SearchStats
 }
 
 // cacheEntry builds its artifact at most once; concurrent requests for the
@@ -135,6 +141,11 @@ type Stats struct {
 	// StoreErrors counts failed cell commits (file-backend trouble); a
 	// commit failure only costs future dedup, never the sweep itself.
 	StoreErrors int64
+	// Search is the cumulative optimal-search effort (states, prunes, LP
+	// bound evaluations, steals, shared-memo traffic) over every cell this
+	// service evaluated itself — cells served from the cache or the result
+	// store do not re-count the work that produced them.
+	Search sched.SearchStats
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -142,6 +153,9 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	entries := len(s.cache)
 	s.mu.Unlock()
+	s.searchMu.Lock()
+	search := s.search
+	s.searchMu.Unlock()
 	return Stats{
 		Compiles:       s.compiles.Load(),
 		Hits:           s.hits.Load(),
@@ -149,6 +163,7 @@ func (s *Service) Stats() Stats {
 		CellHits:       s.cellHits.Load(),
 		CellsEvaluated: s.cellsEvaluated.Load(),
 		StoreErrors:    s.storeErrors.Load(),
+		Search:         search,
 	}
 }
 
@@ -373,6 +388,11 @@ func (s *Service) sweepCore(ctx context.Context, req SweepRequest, emitLine func
 			}
 			if !r.Cached && !errors.Is(r.Err, sweep.ErrCanceled) {
 				s.cellsEvaluated.Add(1)
+				if r.Stats != nil {
+					s.searchMu.Lock()
+					s.search.Add(*r.Stats)
+					s.searchMu.Unlock()
+				}
 			}
 			if emitErr != nil {
 				return

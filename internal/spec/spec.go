@@ -433,7 +433,7 @@ func strictDecode(data []byte, v any) error {
 // Compile validates the scenario and resolves it into the executable sweep
 // grid. Solver names are resolved through the registry; bank sizes are
 // checked against each solver's limits (the optimal search handles at most
-// 12 batteries, the analytic lifetime exactly 1).
+// 16 batteries, the analytic lifetime exactly 1).
 func (sc Scenario) Compile() (sweep.Spec, error) {
 	var out sweep.Spec
 	switch {

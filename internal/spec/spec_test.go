@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"batsched/internal/sched"
 	"batsched/internal/sweep"
 )
 
@@ -253,7 +254,7 @@ func TestValidationErrors(t *testing.T) {
 	})
 	t.Run("too many batteries for optimal", func(t *testing.T) {
 		sc := base()
-		sc.Banks = []Bank{{Battery: &Battery{Preset: "B1"}, Count: 13}}
+		sc.Banks = []Bank{{Battery: &Battery{Preset: "B1"}, Count: sched.MaxOptimalBatteries + 1}}
 		sc.Solvers = []Solver{{Name: "optimal"}}
 		if err := sc.Validate(); !errors.Is(err, ErrTooManyBanks) {
 			t.Fatalf("got %v, want ErrTooManyBanks", err)
