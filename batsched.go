@@ -44,6 +44,7 @@ import (
 	"batsched/internal/mcarlo"
 	"batsched/internal/sched"
 	"batsched/internal/service"
+	"batsched/internal/session"
 	"batsched/internal/spec"
 	"batsched/internal/store"
 	"batsched/internal/sweep"
@@ -443,3 +444,69 @@ func MCLifetimeDistribution(batteries []BatteryParams, p Policy, gen MCGenerator
 func MCComparePolicies(batteries []BatteryParams, policies []Policy, gen MCGenerator, n int, seed int64) (map[string]MCDistribution, error) {
 	return mcarlo.ComparePolicies(batteries, policies, gen, n, seed)
 }
+
+// Online session scheduling (internal/session): where the sweep API
+// consumes whole recorded loads, a session holds one persistent discrete
+// KiBaM system and schedules draw events as they arrive, with an online
+// policy deciding against live battery state. Replaying a recorded load
+// through a session is bit-identical to the offline run under the same
+// policy. cmd/batserve exposes sessions over HTTP (POST /v1/sessions,
+// POST /v1/sessions/{id}/step, SSE GET /v1/sessions/{id}/events).
+type (
+	// SchedSession is one streaming scheduling session.
+	SchedSession = session.Session
+	// SessionManager owns the session table: bounded opens, idle
+	// eviction, step accounting, graceful shutdown.
+	SessionManager = session.Manager
+	// SessionOptions tune a SessionManager.
+	SessionOptions = session.Options
+	// SessionTelemetry is the per-step state report.
+	SessionTelemetry = session.Telemetry
+	// SessionEvent is one server-sent session update.
+	SessionEvent = session.Event
+	// SessionMetrics snapshots a manager's counters.
+	SessionMetrics = session.Metrics
+	// SessionSpec is the wire form of a session request (bank, online
+	// policy, optional grid).
+	SessionSpec = spec.Session
+	// OnlinePolicyBuilder is one online-policy registry entry.
+	OnlinePolicyBuilder = spec.OnlineBuilder
+)
+
+// Session errors.
+var (
+	// ErrSessionBusy means another step is in flight on the session.
+	ErrSessionBusy = session.ErrBusy
+	// ErrSessionClosed marks a closed (or evicted) session.
+	ErrSessionClosed = session.ErrClosed
+	// ErrSessionDead means the session's bank is exhausted for good.
+	ErrSessionDead = session.ErrDead
+	// ErrSessionNotFound marks an unknown session id.
+	ErrSessionNotFound = session.ErrNotFound
+	// ErrTooManySessions rejects opens beyond the manager's bound.
+	ErrTooManySessions = session.ErrTooManySessions
+	// ErrSessionShutdown rejects opens after the manager began draining.
+	ErrSessionShutdown = session.ErrShutdown
+	// ErrUnknownOnlinePolicy marks a solver name with no online form.
+	ErrUnknownOnlinePolicy = spec.ErrUnknownOnlinePolicy
+)
+
+// NewSessionManager builds a session manager and starts its idle janitor.
+func NewSessionManager(opts SessionOptions) *SessionManager { return session.NewManager(opts) }
+
+// ParseSession strictly decodes a session request.
+func ParseSession(data []byte) (SessionSpec, error) { return spec.ParseSession(data) }
+
+// OnlinePolicies lists every registered online policy.
+func OnlinePolicies() []OnlinePolicyBuilder { return spec.OnlineBuilders() }
+
+// OnlinePolicyNames lists the registered online policy names, sorted.
+func OnlinePolicyNames() []string { return spec.OnlinePolicyNames() }
+
+// GreedySOC schedules each decision onto the battery with the most
+// available charge (online form of BestAvailable).
+func GreedySOC() Policy { return sched.GreedySOC() }
+
+// EFQ schedules by energy fair queueing: each decision goes to the battery
+// with the least virtual time (energy served over capacity weight).
+func EFQ() Policy { return sched.EFQ() }

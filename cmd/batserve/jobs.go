@@ -127,6 +127,16 @@ func (a *app) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "batserve_search_lp_pruned_total %d\n", cs.Search.LPPruned)
 	fmt.Fprintf(w, "batserve_search_steals_total %d\n", cs.Search.Steals)
 	fmt.Fprintf(w, "batserve_search_shared_memo_hits_total %d\n", cs.Search.SharedMemoHits)
+	sm := a.sessions.Metrics()
+	fmt.Fprintf(w, "batserve_sessions_open %d\n", sm.Open)
+	fmt.Fprintf(w, "batserve_sessions_opened_total %d\n", sm.Opened)
+	fmt.Fprintf(w, "batserve_sessions_closed_total %d\n", sm.Closed)
+	fmt.Fprintf(w, "batserve_sessions_evicted_total %d\n", sm.Evicted)
+	fmt.Fprintf(w, "batserve_session_steps_total %d\n", sm.Steps)
+	for _, pl := range sm.PerPolicy {
+		fmt.Fprintf(w, "batserve_session_policy_steps_total{policy=%q} %d\n", pl.Policy, pl.Steps)
+		fmt.Fprintf(w, "batserve_session_policy_step_mean_nanos{policy=%q} %d\n", pl.Policy, pl.MeanNanos)
+	}
 	fmt.Fprintf(w, "batserve_uptime_seconds %d\n", int64(time.Since(a.start).Seconds()))
 }
 

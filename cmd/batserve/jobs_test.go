@@ -380,7 +380,8 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 	svc := batsched.NewEvalService(batsched.EvalOptions{MaxConcurrent: 8})
 	mgr := batsched.NewJobManager(svc, st, batsched.JobOptions{Workers: 2})
-	srv := &http.Server{Handler: newHandler(&app{svc: svc, jobs: mgr, start: time.Now()})}
+	sess := batsched.NewSessionManager(batsched.SessionOptions{CompileBank: svc.CompileBank})
+	srv := &http.Server{Handler: newHandler(&app{svc: svc, jobs: mgr, sessions: sess, start: time.Now()})}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -420,7 +421,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	<-entered // both the sync cell and the job cell are in flight
 
 	drainDone := make(chan error, 1)
-	go func() { drainDone <- drainAndClose(srv, mgr, st, 30*time.Second) }()
+	go func() { drainDone <- drainAndClose(srv, sess, mgr, st, 30*time.Second) }()
 	// Give the drain a moment to begin, then release the held cells.
 	time.Sleep(50 * time.Millisecond)
 	close(gate)

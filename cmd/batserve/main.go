@@ -13,18 +13,29 @@
 //	GET    /v1/jobs/{id}/results completed job results      -> NDJSON,
 //	                             byte-identical to /v1/sweep on the same spec
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	POST   /v1/sessions          open a streaming scheduling session
+//	GET    /v1/sessions/{id}     current session state (no step)
+//	POST   /v1/sessions/{id}/step feed one draw event -> per-step telemetry
+//	GET    /v1/sessions/{id}/events telemetry stream (server-sent events)
+//	DELETE /v1/sessions/{id}     close a session
 //
 // Jobs run on a bounded priority worker pool and dedup against a
 // content-addressed result store keyed by the request digest: resubmitting
 // an identical sweep is served from the store without re-evaluating a cell,
-// and with -store the results survive restarts. SIGINT/SIGTERM drain
-// gracefully: in-flight requests and running jobs finish (up to -drain),
-// then the store is closed.
+// and with -store the results survive restarts.
+//
+// Sessions hold a persistent discrete KiBaM system and schedule draw
+// events online as they arrive — the load need not be known up front. The
+// session table is bounded (-max-sessions) and idle sessions are evicted
+// (-session-ttl). SIGINT/SIGTERM drain gracefully: open sessions close
+// (ending their event streams), in-flight requests and running jobs finish
+// (up to -drain), then the store is closed.
 //
 // Usage:
 //
 //	batserve [-addr :8080] [-concurrency N] [-cache N]
-//	         [-job-workers N] [-queue N] [-store results.ndjson] [-drain 30s]
+//	         [-job-workers N] [-queue N] [-store results.ndjson]
+//	         [-max-sessions N] [-session-ttl 5m] [-drain 30s]
 //
 // Example:
 //
@@ -57,6 +68,8 @@ func main() {
 	queueDepth := flag.Int("queue", 0, "max queued jobs (0 = default)")
 	retainJobs := flag.Int("retain-jobs", 0, "finished jobs kept in the table (0 = default; results stay in the store)")
 	storePath := flag.String("store", "", "append-only result-store file (empty = in-memory only)")
+	maxSessions := flag.Int("max-sessions", 0, "max concurrently open streaming sessions (0 = default)")
+	sessionTTL := flag.Duration("session-ttl", 0, "idle streaming sessions are evicted after this long (0 = default)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
@@ -78,9 +91,17 @@ func main() {
 		QueueDepth: *queueDepth,
 		RetainJobs: *retainJobs,
 	})
+	// Sessions compile bank artifacts through the service so streaming
+	// sessions and sweeps on the same bank share one cached artifact (and
+	// its pooled systems).
+	sess := batsched.NewSessionManager(batsched.SessionOptions{
+		MaxSessions: *maxSessions,
+		IdleTTL:     *sessionTTL,
+		CompileBank: svc.CompileBank,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(&app{svc: svc, jobs: mgr, start: time.Now()}),
+		Handler:           newHandler(&app{svc: svc, jobs: mgr, sessions: sess, start: time.Now()}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -98,7 +119,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "batserve: %v, draining (timeout %s)\n", sig, *drain)
 	}
 
-	if err := drainAndClose(srv, mgr, st, *drain); err != nil {
+	if err := drainAndClose(srv, sess, mgr, st, *drain); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			// The deadline path is still clean: remaining jobs were cancelled
 			// and the store closed; report it without failing the exit.
@@ -110,16 +131,22 @@ func main() {
 	}
 }
 
-// drainAndClose shuts the server down gracefully within timeout: stop
-// accepting connections and wait for in-flight HTTP requests, drain the job
-// manager (running jobs finish; past the deadline they are cancelled), then
-// close the result store so every appended record is synced. Split from
-// main so the drain path is testable without signals.
-func drainAndClose(srv *http.Server, mgr *batsched.JobManager, st *batsched.ResultStore, timeout time.Duration) error {
+// drainAndClose shuts the server down gracefully within timeout: close
+// every streaming session (their final "closed" events end the otherwise
+// never-ending SSE requests — this MUST precede the HTTP shutdown, which
+// waits for in-flight requests), stop accepting connections and wait for
+// in-flight HTTP requests, drain the job manager (running jobs finish;
+// past the deadline they are cancelled), then close the result store so
+// every appended record is synced. Split from main so the drain path is
+// testable without signals.
+func drainAndClose(srv *http.Server, sess *batsched.SessionManager, mgr *batsched.JobManager, st *batsched.ResultStore, timeout time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	var firstErr error
-	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := sess.Shutdown(ctx); err != nil {
+		firstErr = fmt.Errorf("sessions drain: %w", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) && firstErr == nil {
 		firstErr = fmt.Errorf("http shutdown: %w", err)
 	}
 	if err := mgr.Shutdown(ctx); err != nil && firstErr == nil {

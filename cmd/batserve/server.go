@@ -28,9 +28,10 @@ var nl = []byte{'\n'}
 // synchronous evaluation service, the asynchronous job manager (which owns
 // the result store), and the start instant for uptime reporting.
 type app struct {
-	svc   *batsched.EvalService
-	jobs  *batsched.JobManager
-	start time.Time
+	svc      *batsched.EvalService
+	jobs     *batsched.JobManager
+	sessions *batsched.SessionManager
+	start    time.Time
 }
 
 // newHandler wires the API routes onto a fresh mux. It takes the app state
@@ -47,6 +48,11 @@ func newHandler(a *app) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJobGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", a.handleJobResults)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleJobCancel)
+	mux.HandleFunc("POST /v1/sessions", a.handleSessionOpen)
+	mux.HandleFunc("GET /v1/sessions/{id}", a.handleSessionGet)
+	mux.HandleFunc("POST /v1/sessions/{id}/step", a.handleSessionStep)
+	mux.HandleFunc("GET /v1/sessions/{id}/events", a.handleSessionEvents)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", a.handleSessionClose)
 	return mux
 }
 
@@ -101,6 +107,7 @@ func (a *app) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"cache_hits":      st.Hits,
 		"job_queue_depth": jm.QueueDepth,
 		"jobs_running":    jm.JobsByState[batsched.JobRunning],
+		"sessions_open":   a.sessions.Metrics().Open,
 	})
 }
 
@@ -112,14 +119,19 @@ type policyInfo struct {
 }
 
 // handlePolicies lists every solver the registry (and thus the whole API
-// surface) can address by name.
+// surface) can address by name, plus the online policies sessions accept.
 func handlePolicies(w http.ResponseWriter, r *http.Request) {
 	builders := batsched.Solvers()
 	out := make([]policyInfo, len(builders))
 	for i, b := range builders {
 		out[i] = policyInfo{Name: b.Name, Aliases: b.Aliases, Doc: b.Doc}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"policies": out})
+	onlines := batsched.OnlinePolicies()
+	online := make([]policyInfo, len(onlines))
+	for i, b := range onlines {
+		online[i] = policyInfo{Name: b.Name, Aliases: b.Aliases, Doc: b.Doc}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"policies": out, "online": online})
 }
 
 // handleRun evaluates a single scenario cell.

@@ -21,9 +21,10 @@ import (
 // can reach past HTTP into the service, manager, and store.
 type testServer struct {
 	*httptest.Server
-	svc *batsched.EvalService
-	mgr *batsched.JobManager
-	st  *batsched.ResultStore
+	svc  *batsched.EvalService
+	mgr  *batsched.JobManager
+	sess *batsched.SessionManager
+	st   *batsched.ResultStore
 }
 
 func newTestServer(t *testing.T) *testServer { return newTestServerWithStore(t, "") }
@@ -38,15 +39,17 @@ func newTestServerWithStore(t *testing.T, storePath string) *testServer {
 	// sync sweeps and jobs reuse each other's cells.
 	svc := batsched.NewEvalService(batsched.EvalOptions{Store: st})
 	mgr := batsched.NewJobManager(svc, st, batsched.JobOptions{})
-	ts := httptest.NewServer(newHandler(&app{svc: svc, jobs: mgr, start: time.Now()}))
+	sess := batsched.NewSessionManager(batsched.SessionOptions{CompileBank: svc.CompileBank})
+	ts := httptest.NewServer(newHandler(&app{svc: svc, jobs: mgr, sessions: sess, start: time.Now()}))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		sess.Shutdown(ctx)
 		mgr.Shutdown(ctx)
 		st.Close()
 	})
-	return &testServer{Server: ts, svc: svc, mgr: mgr, st: st}
+	return &testServer{Server: ts, svc: svc, mgr: mgr, sess: sess, st: st}
 }
 
 func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"batsched"
+)
+
+// stepRequest is one draw event in wire form: a current draw held for a
+// duration. Zero current is an idle period (recovery time for the bank).
+type stepRequest struct {
+	CurrentA    float64 `json:"current_a"`
+	DurationMin float64 `json:"duration_min"`
+}
+
+// sessionInfo is the wire form of an open session.
+type sessionInfo struct {
+	ID     string                    `json:"id"`
+	Policy string                    `json:"policy"`
+	State  batsched.SessionTelemetry `json:"state"`
+}
+
+// handleSessionOpen opens a streaming scheduling session: the body names a
+// bank and an online policy (optionally a grid), the response carries the
+// session id and the initial bank state.
+func (a *app) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	var sp batsched.SessionSpec
+	if err := decodeBody(w, r, &sp); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s, err := a.sessions.Open(sp)
+	if err != nil {
+		writeError(w, sessionStatusFor(err), err)
+		return
+	}
+	info := sessionInfo{ID: s.ID(), Policy: s.Policy()}
+	if err := s.Snapshot(&info.State); err != nil {
+		writeError(w, sessionStatusFor(err), err)
+		return
+	}
+	w.Header().Set("Location", "/v1/sessions/"+s.ID())
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleSessionGet reports a session's current state without stepping it.
+func (a *app) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	s, err := a.sessions.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, sessionStatusFor(err), err)
+		return
+	}
+	info := sessionInfo{ID: s.ID(), Policy: s.Policy()}
+	if err := s.Snapshot(&info.State); err != nil {
+		writeError(w, sessionStatusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleSessionStep feeds one draw event into a session and answers with
+// the resulting telemetry. Overlapping steps on one session answer 409
+// rather than queueing; a step on an exhausted bank answers 410 with the
+// final lifetime in the error.
+func (a *app) handleSessionStep(w http.ResponseWriter, r *http.Request) {
+	var req stepRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var tel batsched.SessionTelemetry
+	if err := a.sessions.Step(r.PathValue("id"), req.CurrentA, req.DurationMin, &tel); err != nil {
+		writeError(w, sessionStatusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tel)
+}
+
+// handleSessionEvents streams a session's telemetry as server-sent events:
+// one "step" event per step, a final "closed" event when the session ends
+// (explicit delete, idle eviction, or server drain), then EOF. The request
+// blocks until the session closes or the client disconnects — the session
+// manager's shutdown runs before the HTTP server's for exactly this
+// reason.
+func (a *app) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	s, err := a.sessions.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, sessionStatusFor(err), err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	ch, cancel, err := s.Subscribe()
+	if err != nil {
+		writeError(w, sessionStatusFor(err), err)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	rc := http.NewResponseController(w)
+	defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			// Same guard as the sweep stream: a client that stops reading
+			// must not wedge the handler behind a full TCP buffer.
+			_ = rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, ev.Data); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// handleSessionClose deletes a session, delivering the final "closed"
+// event to any open event streams.
+func (a *app) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := a.sessions.Close(id); err != nil {
+		writeError(w, sessionStatusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "closed"})
+}
+
+// sessionStatusFor maps session-layer errors to HTTP statuses.
+func sessionStatusFor(err error) int {
+	switch {
+	case errors.Is(err, batsched.ErrSessionNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, batsched.ErrSessionBusy):
+		return http.StatusConflict
+	case errors.Is(err, batsched.ErrSessionDead), errors.Is(err, batsched.ErrSessionClosed):
+		return http.StatusGone
+	case errors.Is(err, batsched.ErrTooManySessions):
+		return http.StatusTooManyRequests
+	case errors.Is(err, batsched.ErrSessionShutdown):
+		return http.StatusServiceUnavailable
+	default:
+		// The rest are spec or event validation failures (unknown policy,
+		// empty bank, a draw that does not discretize on the grid).
+		return http.StatusBadRequest
+	}
+}

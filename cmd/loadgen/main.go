@@ -2,14 +2,26 @@
 // test load into the three arrays (load_time, cur_times, cur) consumed by
 // the timed-automata battery model, on the paper's discretization grid.
 //
+// With -stream it instead emits the load as NDJSON draw events — one
+// {"current_a": A, "duration_min": MIN} line per segment, the wire form of
+// batserve's POST /v1/sessions/{id}/step — so a recorded load can be
+// replayed through a streaming session:
+//
+//	loadgen -load "ILs alt" -stream | while read ev; do
+//	  curl -s localhost:8080/v1/sessions/$SID/step -d "$ev"
+//	done
+//
 // Usage:
 //
-//	loadgen [-load NAME] [-horizon MIN] [-step T] [-unit GAMMA] [-format table|go]
+//	loadgen [-load NAME] [-horizon MIN] [-step T] [-unit GAMMA]
+//	        [-format table|go] [-stream]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"batsched"
@@ -22,18 +34,41 @@ func main() {
 	step := flag.Float64("step", batsched.PaperStepMin, "time step T in minutes")
 	unit := flag.Float64("unit", batsched.PaperUnitAmpMin, "charge unit Gamma in A·min")
 	format := flag.String("format", "table", "output format: table or go")
+	stream := flag.Bool("stream", false, "emit NDJSON draw events (session step-request lines) instead of compiled arrays")
 	flag.Parse()
 
-	if err := run(*loadName, *horizon, *step, *unit, *format); err != nil {
+	if *stream {
+		*format = "stream"
+	}
+	if err := run(os.Stdout, *loadName, *horizon, *step, *unit, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, horizon, step, unit float64, format string) error {
+// streamEvent is one NDJSON draw event, matching batserve's session step
+// request body.
+type streamEvent struct {
+	CurrentA    float64 `json:"current_a"`
+	DurationMin float64 `json:"duration_min"`
+}
+
+func run(w io.Writer, name string, horizon, step, unit float64, format string) error {
 	l, err := batsched.CLILoad(name, horizon)
 	if err != nil {
 		return err
+	}
+	if format == "stream" {
+		// The stream mode does not compile: sessions discretize each event
+		// server-side, and the raw segments are what a live device reports.
+		enc := json.NewEncoder(w)
+		for i := 0; i < l.Len(); i++ {
+			seg := l.Segment(i)
+			if err := enc.Encode(streamEvent{CurrentA: seg.Current, DurationMin: seg.Duration}); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	cl, err := load.Compile(l, step, unit)
 	if err != nil {
@@ -41,17 +76,17 @@ func run(name string, horizon, step, unit float64, format string) error {
 	}
 	switch format {
 	case "table":
-		fmt.Printf("# %s, T=%g min, Gamma=%g A·min, %d epochs\n", name, step, unit, cl.Epochs())
-		fmt.Println("epoch  start  load_time  cur_times  cur  current(A)")
+		fmt.Fprintf(w, "# %s, T=%g min, Gamma=%g A·min, %d epochs\n", name, step, unit, cl.Epochs())
+		fmt.Fprintln(w, "epoch  start  load_time  cur_times  cur  current(A)")
 		for y := 0; y < cl.Epochs(); y++ {
-			fmt.Printf("%5d  %5d  %9d  %9d  %3d  %10.3f\n",
+			fmt.Fprintf(w, "%5d  %5d  %9d  %9d  %3d  %10.3f\n",
 				y, cl.EpochStart(y), cl.LoadTime[y], cl.CurTimes[y], cl.Cur[y], cl.Current(y))
 		}
 	case "go":
-		fmt.Printf("// %s, T=%g min, Gamma=%g A·min\n", name, step, unit)
-		fmt.Printf("loadTime := %#v\n", cl.LoadTime)
-		fmt.Printf("curTimes := %#v\n", cl.CurTimes)
-		fmt.Printf("cur := %#v\n", cl.Cur)
+		fmt.Fprintf(w, "// %s, T=%g min, Gamma=%g A·min\n", name, step, unit)
+		fmt.Fprintf(w, "loadTime := %#v\n", cl.LoadTime)
+		fmt.Fprintf(w, "curTimes := %#v\n", cl.CurTimes)
+		fmt.Fprintf(w, "cur := %#v\n", cl.Cur)
 	default:
 		return fmt.Errorf("unknown format %q", format)
 	}

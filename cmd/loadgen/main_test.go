@@ -1,21 +1,55 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+
+	"batsched"
+)
 
 func TestRunFormats(t *testing.T) {
-	if err := run("ILs alt", 10, 0.01, 0.01, "table"); err != nil {
+	if err := run(io.Discard, "ILs alt", 10, 0.01, 0.01, "table"); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("ILs alt", 10, 0.01, 0.01, "go"); err != nil {
+	if err := run(io.Discard, "ILs alt", 10, 0.01, 0.01, "go"); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("ILs alt", 10, 0.01, 0.01, "yaml"); err == nil {
+	if err := run(io.Discard, "ILs alt", 10, 0.01, 0.01, "yaml"); err == nil {
 		t.Fatal("accepted unknown format")
 	}
-	if err := run("nope", 10, 0.01, 0.01, "table"); err == nil {
+	if err := run(io.Discard, "nope", 10, 0.01, 0.01, "table"); err == nil {
 		t.Fatal("accepted unknown load")
 	}
-	if err := run("ILs alt", 10, 0, 0.01, "table"); err == nil {
+	if err := run(io.Discard, "ILs alt", 10, 0, 0.01, "table"); err == nil {
 		t.Fatal("accepted zero step")
+	}
+}
+
+// TestStreamMode: one NDJSON event per load segment, in order, matching
+// the segments exactly (these lines are session step-request bodies).
+func TestStreamMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "ILs alt", 40, 0.01, 0.01, "stream"); err != nil {
+		t.Fatal(err)
+	}
+	l, err := batsched.PaperLoad("ILs alt", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	for i := 0; i < l.Len(); i++ {
+		var ev streamEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		seg := l.Segment(i)
+		if ev.CurrentA != seg.Current || ev.DurationMin != seg.Duration {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, seg)
+		}
+	}
+	if dec.More() {
+		t.Fatal("stream emitted extra events")
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"batsched/internal/load"
 	"batsched/internal/sched"
 	"batsched/internal/service"
+	"batsched/internal/session"
 	"batsched/internal/spec"
 	"batsched/internal/store"
 	"batsched/internal/sweep"
@@ -519,6 +520,55 @@ func sweepOverlapCase(name string) (kase, error) {
 	}, nil
 }
 
+// sessionStepCase measures one online scheduling step through the session
+// layer: append a draw event, advance the engine through its decisions,
+// fill telemetry. The shared bank artifact and the telemetry buffer live
+// outside the measured op, as batserve amortizes them, so the steady-state
+// step is the allocation-free path the gate holds at zero. When the bank
+// dies the session is closed and reopened from the artifact's pool —
+// hundreds of steps apart, so the reopen amortizes to nothing per op. The
+// pinned lifetime is the (deterministic) death time of the fixed event
+// pattern.
+func sessionStepCase(name string, mkPolicy func() sched.Policy) (kase, error) {
+	art, err := core.CompileBank(battery.Bank(battery.B1(), 2), dkibam.PaperStepMin, dkibam.PaperUnitAmpMin)
+	if err != nil {
+		return kase{}, err
+	}
+	var (
+		s        *session.Session
+		tel      session.Telemetry
+		n        int
+		lifetime float64
+	)
+	return kase{
+		name: name,
+		run: func() (float64, error) {
+			if s == nil {
+				var err error
+				if s, err = session.New("bench", art, "bench", mkPolicy()); err != nil {
+					return 0, err
+				}
+			}
+			// The fixed pattern: two 0.25 A minutes, then an idle minute —
+			// jobs exercise the decision path, idles the recovery path.
+			cur := 0.25
+			if n%3 == 2 {
+				cur = 0
+			}
+			n++
+			if err := s.Step(cur, 1.0, &tel); err != nil {
+				return 0, err
+			}
+			if tel.Dead {
+				lifetime = tel.LifetimeMin
+				s.Close("bench")
+				s, n = nil, 0
+			}
+			return lifetime, nil
+		},
+	}, nil
+}
+
 // lastLifetime extracts the final cell's lifetime from job result lines.
 func lastLifetime(lines []json.RawMessage) (float64, error) {
 	if len(lines) == 0 {
@@ -624,6 +674,11 @@ func suite() ([]kase, error) {
 		jobsSubmitDrainCase("jobs/submit-drain/200-case-grid"),
 		jobsDirectSweepCase("jobs/direct-sweep/200-case-grid"),
 	)
+	// The online serving case: per-step latency of the streaming session
+	// layer in steady state, gated at zero allocations per step.
+	if err := add(sessionStepCase("session/step/2xB1/sequential", sched.Sequential)); err != nil {
+		return nil, err
+	}
 	// The incremental pair: the pinned grid cold through the cell-addressed
 	// service versus a 90%-overlapping resubmission that reuses 180 of the
 	// 200 cells. Their ratio is what cell-granular content addressing buys
@@ -786,7 +841,7 @@ func (r Regression) String() string {
 // other cases are informational. optimal-par/* cases are gated on ns/op and
 // allocs/op but not on explored states (nondeterministic under stealing);
 // their parallel speedup is enforced separately by CheckSpeedups.
-var GatedPrefixes = []string{"policy-lifetime/", "optimal/", "optimal-par/", "sweep/"}
+var GatedPrefixes = []string{"policy-lifetime/", "optimal/", "optimal-par/", "sweep/", "session/"}
 
 // allocSlack is how many allocs/op a zero-alloc baseline case may drift
 // before the gate fires: allocation counts are near-deterministic, but a

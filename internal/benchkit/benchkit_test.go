@@ -220,3 +220,29 @@ func TestCheckSpeedups(t *testing.T) {
 		t.Fatalf("speedup floor fired on a single-CPU report: %v", bad)
 	}
 }
+
+// TestSessionStepCaseIsAllocationFree runs the session case long enough to
+// reach steady state (thousands of steps, several pool-recycled sessions)
+// and holds the acceptance gate directly: zero allocations per step.
+func TestSessionStepCaseIsAllocationFree(t *testing.T) {
+	rep, err := Run(Options{BenchTime: 100 * time.Millisecond, Match: "session/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("session cases: %d, want 1", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "session/step/2xB1/sequential" {
+		t.Fatalf("case name %q", r.Name)
+	}
+	if r.Iterations < 1000 {
+		t.Fatalf("only %d steps measured; not steady state", r.Iterations)
+	}
+	if r.AllocsPerOp != 0 {
+		t.Fatalf("session step allocates: %d allocs/op (%d B/op)", r.AllocsPerOp, r.BytesPerOp)
+	}
+	if r.LifetimeMin <= 0 {
+		t.Fatalf("no death observed over %d steps; lifetime pin is %v", r.Iterations, r.LifetimeMin)
+	}
+}

@@ -154,6 +154,32 @@ func Compile(batteries []battery.Params, ld load.Load, stepMin, unitAmpMin float
 	}, nil
 }
 
+// CompileBank discretizes a bank onto a grid with an empty load: the
+// artifact behind streaming sessions, whose load arrives event by event
+// (dkibam.System.AppendEpoch) instead of being compiled up front. The
+// system pool works exactly as on a full artifact — Reset truncates a
+// pooled system's appended stream away — but the offline lifetime methods
+// are useless here (no load to run). One bank artifact is safe to share
+// across any number of concurrent sessions.
+func CompileBank(batteries []battery.Params, stepMin, unitAmpMin float64) (*Compiled, error) {
+	if len(batteries) == 0 {
+		return nil, ErrNoBatteries
+	}
+	ds := make([]*dkibam.Discretization, len(batteries))
+	for i, b := range batteries {
+		d, err := dkibam.Discretize(b, stepMin, unitAmpMin)
+		if err != nil {
+			return nil, fmt.Errorf("battery %d: %w", i, err)
+		}
+		ds[i] = d
+	}
+	return &Compiled{
+		batteries: append([]battery.Params(nil), batteries...),
+		discs:     ds,
+		cl:        load.Compiled{StepMin: stepMin, UnitAmpMin: unitAmpMin},
+	}, nil
+}
+
 // Batteries returns a copy of the battery parameters.
 func (c *Compiled) Batteries() []battery.Params {
 	return append([]battery.Params(nil), c.batteries...)

@@ -1,0 +1,72 @@
+package dkibam
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadEpoch rejects malformed epochs handed to AppendEpoch.
+var ErrBadEpoch = errors.New("dkibam: appended epoch is malformed")
+
+// streamSlack is the extra epoch capacity reserved when a system unshares
+// its load arrays on the first append, so a short burst of appends does not
+// reallocate per epoch.
+const streamSlack = 16
+
+// AppendEpoch extends the system's load in place with one more epoch of the
+// given duration in steps: a job epoch drawing cur charge units every
+// curTimes steps, or an idle epoch (cur = curTimes = 0). This is the
+// incremental counterpart of compiling a whole load up front — the online
+// session layer feeds draw events into a running system one epoch at a time,
+// and advancing after each append reproduces, bit for bit, the trajectory of
+// the same epochs compiled offline (the epoch-boundary handling in step()
+// leaves the system in exactly the state a mid-load run has at that
+// boundary).
+//
+// The first append copies the three load arrays into system-private storage:
+// a system built on a shared core.Compiled artifact aliases the artifact's
+// immutable arrays, and appending into those would corrupt every other
+// system on the artifact. Systems whose construction load was empty (a pure
+// stream system) additionally compact fully consumed epochs away on append,
+// so an unbounded stream runs in bounded memory; Epoch numbering stays
+// absolute via an internal base offset. Systems with a non-empty
+// construction load never compact, which is what lets Reset reinstate the
+// construction load by truncation.
+func (s *System) AppendEpoch(steps, curTimes, cur int) error {
+	if steps <= 0 {
+		return fmt.Errorf("%w (duration %d steps)", ErrBadEpoch, steps)
+	}
+	if cur < 0 || curTimes < 0 || (cur > 0) != (curTimes > 0) {
+		return fmt.Errorf("%w (cur=%d, curTimes=%d)", ErrBadEpoch, cur, curTimes)
+	}
+	if !s.streamOwned {
+		n := len(s.cl.LoadTime)
+		s.cl.LoadTime = append(make([]int, 0, n+streamSlack), s.cl.LoadTime...)
+		s.cl.CurTimes = append(make([]int, 0, n+streamSlack), s.cl.CurTimes...)
+		s.cl.Cur = append(make([]int, 0, n+streamSlack), s.cl.Cur...)
+		s.streamOwned = true
+	}
+	// Compact epochs strictly before j-1: the engine reads LoadTime[j-1] for
+	// the current epoch's start, everything earlier is dead weight. Only pure
+	// stream systems compact (see above).
+	if s.baseEpochs == 0 && s.j >= 2 {
+		k := s.j - 1
+		s.cl.LoadTime = append(s.cl.LoadTime[:0], s.cl.LoadTime[k:]...)
+		s.cl.CurTimes = append(s.cl.CurTimes[:0], s.cl.CurTimes[k:]...)
+		s.cl.Cur = append(s.cl.Cur[:0], s.cl.Cur[k:]...)
+		s.epochBase += k
+		s.j -= k
+	}
+	end := steps
+	if n := len(s.cl.LoadTime); n > 0 {
+		end += s.cl.LoadTime[n-1]
+	}
+	s.cl.LoadTime = append(s.cl.LoadTime, end)
+	s.cl.CurTimes = append(s.cl.CurTimes, curTimes)
+	s.cl.Cur = append(s.cl.Cur, cur)
+	return nil
+}
+
+// PendingEpochs returns how many appended (or compiled) epochs the system
+// has not yet fully consumed — zero when it is caught up with its load.
+func (s *System) PendingEpochs() int { return len(s.cl.LoadTime) - s.j }

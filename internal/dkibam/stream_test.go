@@ -1,0 +1,501 @@
+package dkibam
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"batsched/internal/battery"
+	"batsched/internal/load"
+)
+
+// emptyLoad returns a compiled load with no epochs on the paper grid — the
+// construction load of a pure stream system.
+func emptyLoad() load.Compiled {
+	return load.Compiled{StepMin: PaperStepMin, UnitAmpMin: PaperUnitAmpMin}
+}
+
+// snapshot renders the full observable state of a system: time, epoch,
+// active battery, liveness, and the complete discrete state of every cell.
+func snapshot(s *System) string {
+	out := fmt.Sprintf("t=%d ep=%d act=%d alive=%d dead=%v death=%d",
+		s.Step(), s.Epoch(), s.Active(), s.AliveCount(), s.Dead(), s.DeathStep())
+	for i := 0; i < s.Batteries(); i++ {
+		c := s.Cell(i)
+		out += fmt.Sprintf("|n=%d m=%d cr=%d cd=%d e=%v", c.N, c.M, c.CRecov, c.CDisch, c.Empty)
+	}
+	return out
+}
+
+// drainStream advances the system until it either dies or catches up with
+// its appended load (ErrLoadExhausted, the streaming "need more input"
+// signal), resolving pending decisions with the chooser and recording each
+// decision snapshot. It reports whether the system died.
+func drainStream(t *testing.T, s *System, choose Chooser, trace *[]string) bool {
+	t.Helper()
+	for {
+		dec, pending, err := s.AdvanceToDecision()
+		if errors.Is(err, ErrLoadExhausted) {
+			return false
+		}
+		if err != nil {
+			t.Fatalf("advance: %v", err)
+		}
+		if !pending {
+			return true // dead
+		}
+		idx := choose(s, dec)
+		*trace = append(*trace, fmt.Sprintf("dec r=%v pick=%d %s", dec.Reason, idx, snapshot(s)))
+		if err := s.Choose(idx); err != nil {
+			t.Fatalf("choose %d: %v", idx, err)
+		}
+	}
+}
+
+// replayThroughStream feeds the epochs of a compiled load into a pure
+// stream system chunk epochs at a time, draining between chunks, and
+// returns the decision trace plus the outcome.
+func replayThroughStream(t *testing.T, ds []*Discretization, cl load.Compiled, choose Chooser, chunk int) (trace []string, outcome string) {
+	t.Helper()
+	s, err := NewSystem(ds, emptyLoad())
+	if err != nil {
+		t.Fatalf("stream system: %v", err)
+	}
+	dead := false
+	for y := 0; y < cl.Epochs() && !dead; y++ {
+		steps := cl.LoadTime[y] - cl.EpochStart(y)
+		if err := s.AppendEpoch(steps, cl.CurTimes[y], cl.Cur[y]); err != nil {
+			t.Fatalf("append epoch %d: %v", y, err)
+		}
+		if (y+1)%chunk == 0 {
+			dead = drainStream(t, s, choose, &trace)
+		}
+	}
+	if !dead {
+		dead = drainStream(t, s, choose, &trace)
+	}
+	if dead {
+		return trace, fmt.Sprintf("lifetime=%v death=%d", s.Lifetime(), s.DeathStep())
+	}
+	return trace, fmt.Sprintf("exhausted t=%d ep=%d %s", s.Step(), s.Epoch(), snapshot(s))
+}
+
+// runOffline runs the same load compiled up front, recording the same
+// decision trace shape as replayThroughStream.
+func runOffline(t *testing.T, ds []*Discretization, cl load.Compiled, choose Chooser) (trace []string, outcome string) {
+	t.Helper()
+	s, err := NewSystem(ds, cl)
+	if err != nil {
+		t.Fatalf("offline system: %v", err)
+	}
+	lifetime, err := s.Run(func(sys *System, dec Decision) int {
+		idx := choose(sys, dec)
+		trace = append(trace, fmt.Sprintf("dec r=%v pick=%d %s", dec.Reason, idx, snapshot(sys)))
+		return idx
+	})
+	if errors.Is(err, ErrLoadExhausted) {
+		return trace, fmt.Sprintf("exhausted t=%d ep=%d %s", s.Step(), s.Epoch(), snapshot(s))
+	}
+	if err != nil {
+		t.Fatalf("offline run: %v", err)
+	}
+	_ = lifetime
+	return trace, fmt.Sprintf("lifetime=%v death=%d", s.Lifetime(), s.DeathStep())
+}
+
+func sequentialChooser(s *System, dec Decision) int { return dec.Alive[0] }
+
+func roundRobinChooser() Chooser {
+	last := -1
+	return func(s *System, dec Decision) int {
+		n := s.Batteries()
+		for k := 1; k <= n; k++ {
+			i := (last + k) % n
+			if !s.Cell(i).Empty {
+				last = i
+				return i
+			}
+		}
+		return dec.Alive[0]
+	}
+}
+
+// TestStreamReplayBitIdentical is the tentpole differential: feeding a
+// paper load into a pure stream system epoch by epoch (or in chunks)
+// reproduces the offline run bit for bit — every decision instant, every
+// cell state, and the final lifetime.
+func TestStreamReplayBitIdentical(t *testing.T) {
+	banks := map[string][]*Discretization{
+		"2xB1": {
+			MustDiscretize(battery.B1(), PaperStepMin, PaperUnitAmpMin),
+			MustDiscretize(battery.B1(), PaperStepMin, PaperUnitAmpMin),
+		},
+		"B1+B2+B1": {
+			MustDiscretize(battery.B1(), PaperStepMin, PaperUnitAmpMin),
+			MustDiscretize(battery.B2(), PaperStepMin, PaperUnitAmpMin),
+			MustDiscretize(battery.B1(), PaperStepMin, PaperUnitAmpMin),
+		},
+	}
+	choosers := map[string]func() Chooser{
+		"sequential": func() Chooser { return sequentialChooser },
+		"roundrobin": roundRobinChooser,
+	}
+	for _, name := range load.PaperLoadNames {
+		l, err := load.Paper(name, load.DefaultHorizon)
+		if err != nil {
+			t.Fatalf("paper load %s: %v", name, err)
+		}
+		cl := load.MustCompile(l, PaperStepMin, PaperUnitAmpMin)
+		for bankName, ds := range banks {
+			for chName, mk := range choosers {
+				offTrace, offOut := runOffline(t, ds, cl, mk())
+				for _, chunk := range []int{1, 3, cl.Epochs()} {
+					label := fmt.Sprintf("%s/%s/%s/chunk=%d", name, bankName, chName, chunk)
+					strTrace, strOut := replayThroughStream(t, ds, cl, mk(), chunk)
+					if strOut != offOut {
+						t.Fatalf("%s: outcome diverges:\n offline: %s\n stream:  %s", label, offOut, strOut)
+					}
+					if len(strTrace) != len(offTrace) {
+						t.Fatalf("%s: %d decisions offline, %d streamed", label, len(offTrace), len(strTrace))
+					}
+					for i := range offTrace {
+						if strTrace[i] != offTrace[i] {
+							t.Fatalf("%s: decision %d diverges:\n offline: %s\n stream:  %s", label, i, offTrace[i], strTrace[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamCompaction checks that a pure stream system's load arrays stay
+// bounded over a long append/drain cycle while the absolute epoch numbering
+// keeps counting, and that the trajectory still matches a run over the same
+// epochs compiled up front (which never compacts).
+func TestStreamCompaction(t *testing.T) {
+	mkBank := func() []*Discretization {
+		return []*Discretization{
+			MustDiscretize(battery.B1(), PaperStepMin, PaperUnitAmpMin),
+			MustDiscretize(battery.B2(), PaperStepMin, PaperUnitAmpMin),
+		}
+	}
+	// Light intermittent load: short job, long idle — the bank survives many
+	// epochs, so compaction gets real exercise.
+	const epochs = 400
+	full := load.Compiled{StepMin: PaperStepMin, UnitAmpMin: PaperUnitAmpMin}
+	end := 0
+	for y := 0; y < epochs; y++ {
+		if y%2 == 0 {
+			end += 10
+			full.LoadTime = append(full.LoadTime, end)
+			full.CurTimes = append(full.CurTimes, 1)
+			full.Cur = append(full.Cur, 1)
+		} else {
+			end += 200
+			full.LoadTime = append(full.LoadTime, end)
+			full.CurTimes = append(full.CurTimes, 0)
+			full.Cur = append(full.Cur, 0)
+		}
+	}
+	offTrace, offOut := runOffline(t, mkBank(), full, sequentialChooser)
+
+	ds := mkBank()
+	s, err := NewSystem(ds, emptyLoad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []string
+	dead := false
+	maxLen := 0
+	for y := 0; y < epochs && !dead; y++ {
+		steps := full.LoadTime[y] - full.EpochStart(y)
+		if err := s.AppendEpoch(steps, full.CurTimes[y], full.Cur[y]); err != nil {
+			t.Fatalf("append %d: %v", y, err)
+		}
+		dead = drainStream(t, s, sequentialChooser, &trace)
+		if n := len(s.cl.LoadTime); n > maxLen {
+			maxLen = n
+		}
+	}
+	var out string
+	if dead {
+		out = fmt.Sprintf("lifetime=%v death=%d", s.Lifetime(), s.DeathStep())
+	} else {
+		out = fmt.Sprintf("exhausted t=%d ep=%d %s", s.Step(), s.Epoch(), snapshot(s))
+	}
+	if out != offOut {
+		t.Fatalf("outcome diverges:\n offline: %s\n stream:  %s", offOut, out)
+	}
+	for i := range offTrace {
+		if trace[i] != offTrace[i] {
+			t.Fatalf("decision %d diverges:\n offline: %s\n stream:  %s", i, offTrace[i], trace[i])
+		}
+	}
+	if maxLen > 4 {
+		t.Fatalf("compaction failed: load arrays grew to %d epochs (want <= 4)", maxLen)
+	}
+	if s.epochBase == 0 {
+		t.Fatal("no epochs were ever compacted in a 400-epoch stream")
+	}
+}
+
+// TestAppendEpochValidation pins the malformed-epoch rejections.
+func TestAppendEpochValidation(t *testing.T) {
+	ds := []*Discretization{MustDiscretize(battery.B1(), PaperStepMin, PaperUnitAmpMin)}
+	s, err := NewSystem(ds, emptyLoad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct{ steps, ct, cur int }{
+		{0, 0, 0}, {-5, 0, 0}, // non-positive duration
+		{10, 0, 1}, {10, 1, 0}, // mixed job/idle markers
+		{10, -1, -1}, // negative entries
+	}
+	for _, c := range bad {
+		if err := s.AppendEpoch(c.steps, c.ct, c.cur); !errors.Is(err, ErrBadEpoch) {
+			t.Fatalf("AppendEpoch(%d,%d,%d) = %v, want ErrBadEpoch", c.steps, c.ct, c.cur, err)
+		}
+	}
+	if got := s.PendingEpochs(); got != 0 {
+		t.Fatalf("rejected appends left %d pending epochs", got)
+	}
+	if err := s.AppendEpoch(10, 1, 1); err != nil {
+		t.Fatalf("valid append: %v", err)
+	}
+	if got := s.PendingEpochs(); got != 1 {
+		t.Fatalf("PendingEpochs = %d after one append, want 1", got)
+	}
+}
+
+// TestAppendDoesNotMutateSharedLoad: two systems built on the same compiled
+// load alias its arrays; appending to one must unshare first, leaving the
+// artifact and its other systems untouched.
+func TestAppendDoesNotMutateSharedLoad(t *testing.T) {
+	ds := []*Discretization{
+		MustDiscretize(battery.B1(), PaperStepMin, PaperUnitAmpMin),
+		MustDiscretize(battery.B1(), PaperStepMin, PaperUnitAmpMin),
+	}
+	l, err := load.Paper("CL 250", load.DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := load.MustCompile(l, PaperStepMin, PaperUnitAmpMin)
+	// Force spare capacity so a naive append would write into the shared
+	// backing array instead of reallocating.
+	cl.LoadTime = append(make([]int, 0, cl.Epochs()+8), cl.LoadTime...)
+	cl.CurTimes = append(make([]int, 0, cl.Epochs()+8), cl.CurTimes...)
+	cl.Cur = append(make([]int, 0, cl.Epochs()+8), cl.Cur...)
+	want := append([]int(nil), cl.LoadTime...)
+
+	a, err := NewSystem(ds, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSystem(ds, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, refOut := runOffline(t, ds, cl, sequentialChooser)
+	if err := a.AppendEpoch(500, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	spare := cl.LoadTime[:cap(cl.LoadTime)][cl.Epochs()]
+	if spare != 0 {
+		t.Fatalf("append wrote %d into the shared backing array", spare)
+	}
+	for i, v := range want {
+		if cl.LoadTime[i] != v {
+			t.Fatalf("shared LoadTime[%d] changed: %d -> %d", i, v, cl.LoadTime[i])
+		}
+	}
+	lifetime, err := b.Run(sequentialChooser)
+	if err != nil {
+		t.Fatalf("sibling run after append: %v", err)
+	}
+	if got := fmt.Sprintf("lifetime=%v death=%d", lifetime, b.DeathStep()); got != refOut {
+		t.Fatalf("sibling system diverged after append elsewhere: %s vs %s", got, refOut)
+	}
+}
+
+// streamOp is one randomized operation applied identically to two systems.
+type streamOp struct {
+	append         bool
+	steps, ct, cur int
+	advance        bool
+	chooserSeed    int64
+}
+
+// randOps draws a mixed append/advance sequence. Appends are always
+// grid-exact (cur units every ct steps), so no discretization failures.
+func randOps(rng *rand.Rand, n int) []streamOp {
+	ops := make([]streamOp, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0: // idle epoch
+			ops = append(ops, streamOp{append: true, steps: 1 + rng.Intn(200)})
+		case 1: // job epoch
+			ct := 1 + rng.Intn(20)
+			ops = append(ops, streamOp{
+				append: true,
+				steps:  ct * (1 + rng.Intn(30)),
+				ct:     ct,
+				cur:    1 + rng.Intn(3),
+			})
+		default:
+			ops = append(ops, streamOp{advance: true, chooserSeed: rng.Int63()})
+		}
+	}
+	ops = append(ops, streamOp{advance: true, chooserSeed: rng.Int63()})
+	return ops
+}
+
+// applyOps drives one system through an op sequence, recording snapshots.
+func applyOps(t *testing.T, s *System, ops []streamOp) []string {
+	t.Helper()
+	var trace []string
+	dead := false
+	for _, op := range ops {
+		if op.append {
+			if err := s.AppendEpoch(op.steps, op.ct, op.cur); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+			trace = append(trace, "append "+snapshot(s))
+			continue
+		}
+		if dead {
+			trace = append(trace, "dead "+snapshot(s))
+			continue
+		}
+		crng := rand.New(rand.NewSource(op.chooserSeed))
+		dead = drainStream(t, s, func(sys *System, dec Decision) int {
+			return dec.Alive[crng.Intn(len(dec.Alive))]
+		}, &trace)
+		trace = append(trace, "advanced "+snapshot(s))
+	}
+	return trace
+}
+
+// TestResetEquivalentToFresh is the satellite property test: after an
+// arbitrary randomized streaming history, Reset leaves a system
+// indistinguishable from a freshly constructed one — both replay a second
+// randomized history identically, snapshot for snapshot.
+func TestResetEquivalentToFresh(t *testing.T) {
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(7000 + int64(trial)))
+		nBats := 1 + rng.Intn(3)
+		ds := make([]*Discretization, nBats)
+		for i := range ds {
+			units := 20 + rng.Intn(200)
+			p := battery.Params{
+				Capacity: float64(units) * PaperUnitAmpMin,
+				C:        float64(100+rng.Intn(800)) / 1000,
+				KPrime:   0.01 + rng.Float64()*0.5,
+				Label:    fmt.Sprintf("R%d", i),
+			}
+			d, err := Discretize(p, PaperStepMin, PaperUnitAmpMin)
+			if err != nil {
+				t.Fatalf("trial %d: discretize: %v", trial, err)
+			}
+			ds[i] = d
+		}
+		dirty, err := NewSystem(ds, emptyLoad())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Dirty it with one history (appends, partial advances, possibly
+		// death), including the tick engine so Reset must restore EngineEvent.
+		dirty.SetEngine(EngineTick)
+		applyOps(t, dirty, randOps(rng, 5+rng.Intn(20)))
+		dirty.Reset()
+
+		fresh, err := NewSystem(ds, emptyLoad())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if dirty.Engine() != fresh.Engine() {
+			t.Fatalf("trial %d: engine after Reset = %v, fresh = %v", trial, dirty.Engine(), fresh.Engine())
+		}
+		if got, want := snapshot(dirty), snapshot(fresh); got != want {
+			t.Fatalf("trial %d: state after Reset diverges:\n reset: %s\n fresh: %s", trial, got, want)
+		}
+		ops := randOps(rng, 5+rng.Intn(20))
+		resetTrace := applyOps(t, dirty, ops)
+		freshTrace := applyOps(t, fresh, ops)
+		for i := range freshTrace {
+			if resetTrace[i] != freshTrace[i] {
+				t.Fatalf("trial %d: step %d diverges after Reset:\n reset: %s\n fresh: %s",
+					trial, i, resetTrace[i], freshTrace[i])
+			}
+		}
+	}
+}
+
+// TestResetRestoresConstructionLoad: a system built on a real compiled load
+// that later had stream epochs appended must, after Reset, run its original
+// load exactly as a never-streamed system does.
+func TestResetRestoresConstructionLoad(t *testing.T) {
+	ds := []*Discretization{
+		MustDiscretize(battery.B1(), PaperStepMin, PaperUnitAmpMin),
+		MustDiscretize(battery.B2(), PaperStepMin, PaperUnitAmpMin),
+	}
+	l, err := load.Paper("ILs 250", load.DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := load.MustCompile(l, PaperStepMin, PaperUnitAmpMin)
+	_, refOut := runOffline(t, ds, cl, sequentialChooser)
+
+	s, err := NewSystem(ds, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream extra epochs past the compiled horizon and burn them down.
+	if _, err := s.Run(sequentialChooser); err != nil && !errors.Is(err, ErrLoadExhausted) {
+		t.Fatal(err)
+	}
+	if !s.Dead() {
+		if err := s.AppendEpoch(2000, 2, 1); err != nil {
+			t.Fatal(err)
+		}
+		var trace []string
+		drainStream(t, s, sequentialChooser, &trace)
+	}
+	s.Reset()
+	if got := s.PendingEpochs(); got != cl.Epochs() {
+		t.Fatalf("PendingEpochs after Reset = %d, want %d", got, cl.Epochs())
+	}
+	var trace []string
+	dead := drainStream(t, s, sequentialChooser, &trace)
+	var out string
+	if dead {
+		out = fmt.Sprintf("lifetime=%v death=%d", s.Lifetime(), s.DeathStep())
+	} else {
+		out = fmt.Sprintf("exhausted t=%d ep=%d %s", s.Step(), s.Epoch(), snapshot(s))
+	}
+	if out != refOut {
+		t.Fatalf("construction-load replay after Reset diverges:\n want: %s\n got:  %s", refOut, out)
+	}
+}
+
+// TestCloneIsolatesStreamArrays: clones of a stream-owned system must not
+// share load arrays — compaction shifts them in place.
+func TestCloneIsolatesStreamArrays(t *testing.T) {
+	ds := []*Discretization{MustDiscretize(battery.B1(), PaperStepMin, PaperUnitAmpMin)}
+	s, err := NewSystem(ds, emptyLoad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEpoch(10, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if err := s.AppendEpoch(20, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PendingEpochs(); got != 1 {
+		t.Fatalf("clone saw the original's append: PendingEpochs = %d, want 1", got)
+	}
+}

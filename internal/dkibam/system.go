@@ -77,12 +77,22 @@ type System struct {
 	cl    load.Compiled
 
 	t      int // current step
-	j      int // current epoch index
+	j      int // current epoch index into cl (relative; see epochBase)
 	active int // index of the discharging battery, or NoBattery
 	alive  int // number of batteries not yet observed empty
 	dead   bool
 	death  int // step at which the last battery was observed empty
 	engine Engine
+
+	// Streaming state (see AppendEpoch). baseEpochs is the construction
+	// load's epoch count — Reset truncates the load back to it. streamOwned
+	// marks the cl arrays as private to this system (copied on the first
+	// append); until then they may alias a shared compiled artifact and must
+	// never be written. epochBase counts epochs compacted away on pure
+	// stream systems, so the exposed Epoch numbering stays absolute.
+	baseEpochs  int
+	streamOwned bool
+	epochBase   int
 
 	// lastReset is fastDraws scratch: per-cell absolute reset times of the
 	// inactive cells' recovery countdowns. Valid only within one fastDraws
@@ -139,6 +149,7 @@ func NewSystem(ds []*Discretization, cl load.Compiled) (*System, error) {
 		alive:        len(ds),
 		lastReset:    make([]int, len(ds)),
 		aliveScratch: make([]int, 0, len(ds)),
+		baseEpochs:   len(cl.LoadTime),
 	}
 	for i, d := range ds {
 		s.cells[i] = FullCell(d)
@@ -156,6 +167,14 @@ func (s *System) Clone() *System {
 	c.lastReset = make([]int, len(s.cells))
 	c.aliveScratch = make([]int, 0, len(s.cells))
 	c.OnStep = nil
+	// Stream-owned load arrays are mutated in place by AppendEpoch (and
+	// compaction shifts them), so a clone needs its own copies; shared
+	// artifact arrays are immutable and stay shared.
+	if s.streamOwned {
+		c.cl.LoadTime = append([]int(nil), s.cl.LoadTime...)
+		c.cl.CurTimes = append([]int(nil), s.cl.CurTimes...)
+		c.cl.Cur = append([]int(nil), s.cl.Cur...)
+	}
 	return &c
 }
 
@@ -173,6 +192,16 @@ func (s *System) Reset() {
 	s.death = 0
 	s.decisions = 0
 	s.engine = EngineEvent
+	// Drop any epochs appended by the incremental path, reinstating the
+	// construction load. Pure stream systems (empty construction load)
+	// truncate to empty even after compaction; systems with a real base load
+	// never compact, so their base epochs are still in place. The arrays
+	// keep their capacity — a pooled session system steps a fresh stream
+	// without reallocating.
+	s.cl.LoadTime = s.cl.LoadTime[:s.baseEpochs]
+	s.cl.CurTimes = s.cl.CurTimes[:s.baseEpochs]
+	s.cl.Cur = s.cl.Cur[:s.baseEpochs]
+	s.epochBase = 0
 	for i, d := range s.ds {
 		s.cells[i] = FullCell(d)
 	}
@@ -201,8 +230,9 @@ func (s *System) Step() int { return s.t }
 // Minutes returns the current time in minutes.
 func (s *System) Minutes() float64 { return float64(s.t) * s.cl.StepMin }
 
-// Epoch returns the current epoch index into the compiled load.
-func (s *System) Epoch() int { return s.j }
+// Epoch returns the current epoch index. The numbering is absolute over the
+// whole load — epochs a streaming system has compacted away still count.
+func (s *System) Epoch() int { return s.epochBase + s.j }
 
 // Active returns the index of the discharging battery, or NoBattery.
 func (s *System) Active() int { return s.active }
@@ -308,7 +338,7 @@ func (s *System) pendingDecision() (Decision, bool) {
 	return Decision{
 		Reason: reason,
 		Step:   s.t,
-		Epoch:  s.j,
+		Epoch:  s.epochBase + s.j,
 		Alive:  s.aliveScratch,
 	}, true
 }

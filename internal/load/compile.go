@@ -63,30 +63,45 @@ func Compile(l Load, stepMin, unitAmpMin float64) (Compiled, error) {
 	}
 	end := 0
 	for i := 0; i < l.Len(); i++ {
-		seg := l.Segment(i)
-		steps, ok := asInt(seg.Duration / stepMin)
-		if !ok || steps <= 0 {
-			return Compiled{}, fmt.Errorf("%w: segment %d duration %v min is not a positive multiple of T=%v",
-				ErrNotDiscretable, i, seg.Duration, stepMin)
+		steps, cur, curTimes, err := CompileSegment(l.Segment(i), stepMin, unitAmpMin)
+		if err != nil {
+			return Compiled{}, fmt.Errorf("segment %d: %w", i, err)
 		}
 		end += steps
 		c.LoadTime = append(c.LoadTime, end)
-		if !seg.IsJob() {
-			c.CurTimes = append(c.CurTimes, 0)
-			c.Cur = append(c.Cur, 0)
-			continue
-		}
-		// Per-step draw in charge units: r = I*T/Gamma. Find cur/curTimes = r.
-		r := seg.Current * stepMin / unitAmpMin
-		cur, curTimes, err := rationalize(r)
-		if err != nil {
-			return Compiled{}, fmt.Errorf("%w: segment %d current %v A: %v",
-				ErrNotDiscretable, i, seg.Current, err)
-		}
 		c.CurTimes = append(c.CurTimes, curTimes)
 		c.Cur = append(c.Cur, cur)
 	}
 	return c, nil
+}
+
+// CompileSegment discretizes one load segment onto a grid: the duration in
+// steps of size stepMin plus the rational draw encoding (cur charge units
+// every curTimes steps; both zero for an idle segment). It is the per-epoch
+// core of Compile, exported so the online session layer can discretize draw
+// events one at a time without building a Load.
+func CompileSegment(seg Segment, stepMin, unitAmpMin float64) (steps, cur, curTimes int, err error) {
+	if !(stepMin > 0) {
+		return 0, 0, 0, fmt.Errorf("%w (got %v)", ErrBadStep, stepMin)
+	}
+	if !(unitAmpMin > 0) {
+		return 0, 0, 0, fmt.Errorf("%w (got %v)", ErrBadUnit, unitAmpMin)
+	}
+	steps, ok := asInt(seg.Duration / stepMin)
+	if !ok || steps <= 0 {
+		return 0, 0, 0, fmt.Errorf("%w: duration %v min is not a positive multiple of T=%v",
+			ErrNotDiscretable, seg.Duration, stepMin)
+	}
+	if !seg.IsJob() {
+		return steps, 0, 0, nil
+	}
+	// Per-step draw in charge units: r = I*T/Gamma. Find cur/curTimes = r.
+	r := seg.Current * stepMin / unitAmpMin
+	cur, curTimes, rerr := rationalize(r)
+	if rerr != nil {
+		return 0, 0, 0, fmt.Errorf("%w: current %v A: %v", ErrNotDiscretable, seg.Current, rerr)
+	}
+	return steps, cur, curTimes, nil
 }
 
 // MustCompile is Compile but panics on error.

@@ -1,0 +1,74 @@
+package sched
+
+// Online policies: schemes written for the streaming session layer, where
+// decisions are made against live battery state as draw events arrive and
+// no load horizon is known. They are ordinary Policy values — the same
+// chooser drives an offline sweep run, which is what the session layer's
+// differential tests exploit.
+
+// greedySOC picks the battery with the highest available charge (state of
+// charge) at every decision, ties to the lowest index. On the Bank view
+// this is the same choice rule as the paper's best-of-two generalisation;
+// it is registered under its own name because the online literature (Shi's
+// dynamic battery scheduling) knows it as greedy-SOC.
+type greedySOC struct{}
+
+// GreedySOC returns the greedy state-of-charge online policy.
+func GreedySOC() Policy { return greedySOC{} }
+
+func (greedySOC) Name() string { return "greedy-soc" }
+
+func (greedySOC) NewChooser() Chooser {
+	return func(bank Bank, dec Decision) int {
+		best := dec.Alive[0]
+		bestAvail := bank.Available(best)
+		for _, idx := range dec.Alive[1:] {
+			if a := bank.Available(idx); a > bestAvail {
+				best, bestAvail = idx, a
+			}
+		}
+		return best
+	}
+}
+
+// efq is an energy-based fair queuing credit scheduler (after the EFQ
+// scheduler in PAPERS.md): each battery accrues virtual time in proportion
+// to the energy it has served, normalised by its weight, and every decision
+// goes to the alive battery with the least virtual time. Weights are the
+// batteries' total charge at the first decision (their full capacity — runs
+// start on full batteries), so a battery twice as large is asked to serve
+// twice the energy before falling behind. Ties go to the lowest index.
+type efq struct{}
+
+// EFQ returns the energy-based fair queuing online policy.
+func EFQ() Policy { return efq{} }
+
+func (efq) Name() string { return "efq" }
+
+func (efq) NewChooser() Chooser {
+	var weight []float64
+	return func(bank Bank, dec Decision) int {
+		if weight == nil {
+			weight = make([]float64, bank.Batteries())
+			for i := range weight {
+				if w := bank.Total(i); w > 0 {
+					weight[i] = w
+				} else {
+					weight[i] = 1
+				}
+			}
+		}
+		best, bestVT := -1, 0.0
+		for _, idx := range dec.Alive {
+			served := weight[idx] - bank.Total(idx)
+			if served < 0 {
+				served = 0
+			}
+			vt := served / weight[idx]
+			if best < 0 || vt < bestVT {
+				best, bestVT = idx, vt
+			}
+		}
+		return best
+	}
+}

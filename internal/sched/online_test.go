@@ -1,0 +1,98 @@
+package sched
+
+import "testing"
+
+// onlineBank is a hand-set Bank view for driving choosers directly.
+type onlineBank struct {
+	avail, total []float64
+	empty        []bool
+}
+
+func (b onlineBank) Batteries() int          { return len(b.avail) }
+func (b onlineBank) Alive(i int) bool        { return !b.empty[i] }
+func (b onlineBank) Available(i int) float64 { return b.avail[i] }
+func (b onlineBank) Total(i int) float64     { return b.total[i] }
+
+func aliveOf(b onlineBank) []int {
+	var alive []int
+	for i := range b.empty {
+		if !b.empty[i] {
+			alive = append(alive, i)
+		}
+	}
+	return alive
+}
+
+func TestGreedySOCPicksHighestAvailable(t *testing.T) {
+	if got := GreedySOC().Name(); got != "greedy-soc" {
+		t.Fatalf("Name = %q", got)
+	}
+	ch := GreedySOC().NewChooser()
+	b := onlineBank{avail: []float64{1, 5, 3}, total: []float64{2, 6, 4}, empty: make([]bool, 3)}
+	if got := ch(b, Decision{Reason: JobStart, Alive: aliveOf(b)}); got != 1 {
+		t.Fatalf("picked %d, want 1 (highest available)", got)
+	}
+	// Ties go to the lowest index.
+	b.avail = []float64{5, 5, 3}
+	if got := ch(b, Decision{Reason: JobStart, Alive: aliveOf(b)}); got != 0 {
+		t.Fatalf("tie picked %d, want 0", got)
+	}
+	// Empty batteries are not offered and never chosen.
+	b = onlineBank{avail: []float64{9, 1, 3}, total: []float64{9, 1, 3}, empty: []bool{true, false, false}}
+	if got := ch(b, Decision{Reason: BatteryEmptied, Alive: aliveOf(b)}); got != 2 {
+		t.Fatalf("picked %d, want 2", got)
+	}
+}
+
+func TestEFQServesLeastVirtualTime(t *testing.T) {
+	if got := EFQ().Name(); got != "efq" {
+		t.Fatalf("Name = %q", got)
+	}
+	ch := EFQ().NewChooser()
+	// Identical batteries: weights captured at the first decision.
+	b := onlineBank{avail: []float64{5, 5}, total: []float64{10, 10}, empty: make([]bool, 2)}
+	dec := func() Decision { return Decision{Reason: JobStart, Alive: aliveOf(b)} }
+	if got := ch(b, dec()); got != 0 {
+		t.Fatalf("first pick %d, want 0 (all virtual times zero, lowest index)", got)
+	}
+	b.total[0] = 8 // battery 0 served 2 -> vt 0.2 vs 0
+	if got := ch(b, dec()); got != 1 {
+		t.Fatalf("second pick %d, want 1", got)
+	}
+	b.total[1] = 7 // battery 1 served 3 -> vt 0.2 vs 0.3
+	if got := ch(b, dec()); got != 0 {
+		t.Fatalf("third pick %d, want 0", got)
+	}
+}
+
+func TestEFQWeighsByCapacity(t *testing.T) {
+	ch := EFQ().NewChooser()
+	// Battery 1 is twice the size; after equal energy served it is the
+	// fair-queue choice (half the virtual time).
+	b := onlineBank{avail: []float64{5, 10}, total: []float64{10, 20}, empty: make([]bool, 2)}
+	_ = ch(b, Decision{Reason: JobStart, Alive: aliveOf(b)}) // capture weights
+	b.total = []float64{8, 18}                               // both served 2
+	if got := ch(b, Decision{Reason: JobStart, Alive: aliveOf(b)}); got != 1 {
+		t.Fatalf("picked %d, want 1 (vt 0.1 vs 0.2)", got)
+	}
+}
+
+// TestEFQLifetimeOnPaperBank drives EFQ and GreedySOC end-to-end through
+// the discrete engine so they are exercised against the real Bank adapter.
+func TestEFQLifetimeOnPaperBank(t *testing.T) {
+	ds := b1Pair(t)
+	cl := compiled(t, "ILs 250", 200)
+	seq, err := Lifetime(ds, cl, Sequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Policy{GreedySOC(), EFQ()} {
+		lt, err := Lifetime(ds, cl, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if lt < seq {
+			t.Fatalf("%s lifetime %v shorter than sequential %v", p.Name(), lt, seq)
+		}
+	}
+}

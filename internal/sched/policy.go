@@ -152,6 +152,13 @@ func (b discreteBank) Total(i int) float64 {
 	return b.sys.Disc(i).TotalAmpMin(b.sys.Cell(i))
 }
 
+// SystemBank wraps a discrete system in the policy Bank view. The session
+// layer holds the returned Bank for the system's whole life, so the
+// interface boxing happens once per session instead of once per decision —
+// the difference between an allocation-free step path and one allocation
+// per scheduling decision.
+func SystemBank(sys *dkibam.System) Bank { return discreteBank{sys: sys} }
+
 // AdaptChooser turns a policy chooser into the discrete engine's chooser
 // type.
 func AdaptChooser(c Chooser) dkibam.Chooser {

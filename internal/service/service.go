@@ -554,6 +554,39 @@ func (s *Service) cachedCompile(bank sweep.Bank, lc sweep.LoadCase, grid sweep.G
 	return e.c, e.err
 }
 
+// CompileBank returns the shared streaming-bank artifact (an empty-load
+// core.Compiled; see core.CompileBank) for a resolved bank on a grid. It
+// uses the same bounded artifact cache as scenario cells, so every session
+// on the same bank content shares one discretization and one system pool.
+// The key is prefixed so a bank artifact can never collide with a scenario
+// cell's full artifact.
+func (s *Service) CompileBank(bats []battery.Params, grid sweep.GridSpec) (*core.Compiled, error) {
+	key := "bank\x00" + cellKey(bats, load.Load{}, grid)
+
+	s.mu.Lock()
+	e, ok := s.cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		s.cache[key] = e
+		s.order = append(s.order, key)
+		for len(s.order) > s.maxSize {
+			evict := s.order[0]
+			s.order = s.order[1:]
+			delete(s.cache, evict)
+		}
+	}
+	s.mu.Unlock()
+
+	if ok {
+		s.hits.Add(1)
+	}
+	e.once.Do(func() {
+		s.compiles.Add(1)
+		e.c, e.err = core.CompileBank(bats, grid.StepMin, grid.UnitAmpMin)
+	})
+	return e.c, e.err
+}
+
 // cellKey digests the resolved compile inputs — battery parameters, load
 // epochs, grid sizes — so that two spec spellings of the same cell (say, a
 // preset and its explicit parameters) share one artifact. Names are

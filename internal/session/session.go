@@ -1,0 +1,354 @@
+// Package session is the online serving layer of the reproduction: where
+// the sweep path consumes whole compiled loads, a session holds one
+// persistent dkibam.System and advances it incrementally as draw events
+// arrive, scheduling each event with an online policy against live battery
+// state. Sessions realise the paper's actual regime — a device switching
+// among batteries as demand shows up — and the dynamic scheduling setting
+// of Shi's model and the EFQ scheduler (PAPERS.md).
+//
+// State ownership follows the pool-reuse rule of internal/core: the
+// immutable bank artifact (core.CompileBank) is shared by every session on
+// the same bank content; each session owns one dkibam.System acquired from
+// the artifact's pool and returns it on Close, where Reset truncates the
+// appended stream away. A session's Step is allocation-free in steady
+// state: the engine compacts consumed epochs, telemetry fills a
+// caller-owned buffer, and the policy Bank view is boxed once at
+// construction.
+package session
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"batsched/internal/core"
+	"batsched/internal/dkibam"
+	"batsched/internal/load"
+	"batsched/internal/sched"
+)
+
+// Session errors.
+var (
+	// ErrBusy means another Step is in flight; sessions serialize steps and
+	// report contention instead of queueing (HTTP maps this to 409).
+	ErrBusy = errors.New("session: a step is already in progress")
+	// ErrClosed means the session was closed (or evicted).
+	ErrClosed = errors.New("session: session is closed")
+	// ErrDead means every battery has been observed empty; the session's
+	// lifetime is final and further steps are refused.
+	ErrDead = errors.New("session: all batteries are exhausted")
+)
+
+// Telemetry is the per-step state report. Slices are sized to the bank;
+// Step fills a caller-owned value, reusing its slice capacity, so a caller
+// looping Step with one Telemetry allocates nothing.
+type Telemetry struct {
+	// Seq numbers the steps of this session from 1.
+	Seq uint64 `json:"seq"`
+	// Step and Minutes are the engine time after the step.
+	Step    int     `json:"step"`
+	Minutes float64 `json:"minutes"`
+	// Epoch is the absolute load epoch the engine sits in.
+	Epoch int `json:"epoch"`
+	// Chosen is the battery serving the stepped epoch, or -1 for an idle
+	// event. If batteries emptied mid-epoch it is the last replacement.
+	Chosen int `json:"chosen"`
+	// Decisions counts the scheduling decisions this step triggered.
+	Decisions int `json:"decisions"`
+	// Deaths is the cumulative number of batteries observed empty.
+	Deaths int `json:"deaths"`
+	// Dead marks the whole bank exhausted; LifetimeMin is then final.
+	Dead bool `json:"dead"`
+	// LifetimeMin is the cumulative lifetime in minutes: time served so
+	// far while the bank lives, the death time once Dead.
+	LifetimeMin float64 `json:"lifetime_min"`
+	// Available and Bound hold each battery's available and bound charge
+	// wells in A·min; Empty marks batteries observed empty.
+	Available []float64 `json:"available_amp_min"`
+	Bound     []float64 `json:"bound_amp_min"`
+	Empty     []bool    `json:"empty"`
+}
+
+// Event is one server-sent update of a session.
+type Event struct {
+	// Kind is "step" for telemetry updates and "closed" for the final
+	// event of a closed or evicted session.
+	Kind string
+	// Data is the JSON payload: a Telemetry for "step", a small reason
+	// object for "closed".
+	Data []byte
+}
+
+// subBuffer is each subscriber's channel depth; a consumer that falls
+// further behind misses intermediate steps (state updates are snapshots,
+// so the next event supersedes the missed ones anyway).
+const subBuffer = 16
+
+// Session is one streaming scheduling session. Safe for concurrent use:
+// steps serialize via a try-lock (concurrent callers get ErrBusy), and
+// subscriptions have their own lock.
+type Session struct {
+	id     string
+	policy string
+
+	mu     sync.Mutex
+	art    *core.Compiled
+	sys    *dkibam.System
+	bank   sched.Bank
+	choose sched.Chooser
+	closed bool
+	seq    uint64
+
+	stepMin    float64
+	unitAmpMin float64
+
+	// lastUsed is the unix-nano time of the last step or open, read by the
+	// manager's idle janitor without taking the step lock.
+	lastUsed atomic.Int64
+
+	subMu   sync.Mutex
+	subs    map[int]chan Event
+	nextSub int
+	// nSubs mirrors len(subs) so the step path can skip event encoding
+	// entirely — without even the subscription lock — when nobody listens.
+	nSubs atomic.Int32
+}
+
+// New opens a session on a shared bank artifact with a fresh per-session
+// system from the artifact's pool. The policy name is only a label; the
+// chooser does the scheduling.
+func New(id string, art *core.Compiled, policyName string, policy sched.Policy) (*Session, error) {
+	sys, err := art.AcquireSystem()
+	if err != nil {
+		return nil, err
+	}
+	stepMin, unitAmpMin := art.Grid()
+	s := &Session{
+		id:         id,
+		policy:     policyName,
+		art:        art,
+		sys:        sys,
+		bank:       sched.SystemBank(sys),
+		choose:     policy.NewChooser(),
+		stepMin:    stepMin,
+		unitAmpMin: unitAmpMin,
+		subs:       map[int]chan Event{},
+	}
+	s.lastUsed.Store(time.Now().UnixNano())
+	return s, nil
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Policy returns the online policy's registry name.
+func (s *Session) Policy() string { return s.policy }
+
+// LastUsed returns the time of the last step (or the open).
+func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) }
+
+// Seq returns how many steps the session has served.
+func (s *Session) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Step feeds one draw event — currentA amperes for durationMin minutes
+// (currentA 0 = idle) — into the engine, advances it through every
+// scheduling decision the event triggers, and fills out with the resulting
+// telemetry. The event must discretize on the session's grid exactly like
+// an offline load segment would (load.CompileSegment), which is what makes
+// a replayed recorded load bit-identical to its offline run.
+//
+// A concurrent Step returns ErrBusy; a step after the bank died returns
+// ErrDead wrapped with the final lifetime.
+func (s *Session) Step(currentA, durationMin float64, out *Telemetry) error {
+	if !s.mu.TryLock() {
+		return ErrBusy
+	}
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.sys.Dead() {
+		return fmt.Errorf("%w (lifetime %g min)", ErrDead, s.sys.Lifetime())
+	}
+	// Events get the same validation load.New applies to offline segments.
+	if currentA < 0 {
+		return fmt.Errorf("%w (%v)", load.ErrNegativeCurrent, currentA)
+	}
+	steps, cur, curTimes, err := load.CompileSegment(
+		load.Segment{Duration: durationMin, Current: currentA}, s.stepMin, s.unitAmpMin)
+	if err != nil {
+		return err
+	}
+	if err := s.sys.AppendEpoch(steps, curTimes, cur); err != nil {
+		return err
+	}
+	s.lastUsed.Store(time.Now().UnixNano())
+	chosen := dkibam.NoBattery
+	decisions := 0
+	for {
+		dec, pending, err := s.sys.AdvanceToDecision()
+		if err != nil {
+			// ErrLoadExhausted: the engine caught up with the appended
+			// stream — the step is complete.
+			break
+		}
+		if !pending {
+			break // the bank died serving this event
+		}
+		idx := s.choose(s.bank, sched.Decision{
+			Reason:  dec.Reason,
+			Minutes: float64(dec.Step) * s.stepMin,
+			Alive:   dec.Alive,
+		})
+		if err := s.sys.Choose(idx); err != nil {
+			return err
+		}
+		chosen = idx
+		decisions++
+	}
+	s.seq++
+	s.fill(out, chosen, decisions)
+	if s.nSubs.Load() > 0 {
+		s.publishStep(out)
+	}
+	return nil
+}
+
+// fill writes the post-step state into out, reusing its slice capacity.
+func (s *Session) fill(out *Telemetry, chosen, decisions int) {
+	n := s.sys.Batteries()
+	out.Seq = s.seq
+	out.Step = s.sys.Step()
+	out.Minutes = s.sys.Minutes()
+	out.Epoch = s.sys.Epoch()
+	out.Chosen = chosen
+	out.Decisions = decisions
+	out.Deaths = n - s.sys.AliveCount()
+	out.Dead = s.sys.Dead()
+	if out.Dead {
+		out.LifetimeMin = s.sys.Lifetime()
+	} else {
+		out.LifetimeMin = s.sys.Minutes()
+	}
+	out.Available = out.Available[:0]
+	out.Bound = out.Bound[:0]
+	out.Empty = out.Empty[:0]
+	for i := 0; i < n; i++ {
+		c := s.sys.Cell(i)
+		d := s.sys.Disc(i)
+		avail := d.AvailableAmpMin(c)
+		out.Available = append(out.Available, avail)
+		out.Bound = append(out.Bound, d.TotalAmpMin(c)-avail)
+		out.Empty = append(out.Empty, c.Empty)
+	}
+}
+
+// Dead reports whether the bank is exhausted.
+func (s *Session) Dead() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed && s.sys.Dead()
+}
+
+// Snapshot fills out with the current state without stepping; Seq is the
+// last step's number and Chosen/Decisions are zeroed. It blocks behind an
+// in-flight step.
+func (s *Session) Snapshot(out *Telemetry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.fill(out, dkibam.NoBattery, 0)
+	return nil
+}
+
+// Close shuts the session: it waits out an in-flight step, returns the
+// system to the artifact pool, and delivers a final "closed" event (with
+// the given reason) to every subscriber before closing their channels.
+// Closing twice is a no-op.
+func (s *Session) Close(reason string) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.art.ReleaseSystem(s.sys)
+	s.sys = nil
+	s.mu.Unlock()
+
+	data := []byte(fmt.Sprintf(`{"reason":%q}`, reason))
+	s.subMu.Lock()
+	for id, ch := range s.subs {
+		select {
+		case ch <- Event{Kind: "closed", Data: data}:
+		default:
+		}
+		close(ch)
+		delete(s.subs, id)
+	}
+	s.nSubs.Store(0)
+	s.subMu.Unlock()
+}
+
+// Subscribe registers an event consumer and returns its channel plus a
+// cancel function. The channel closes when the consumer cancels or the
+// session closes; a consumer that stops draining misses events rather than
+// blocking the step path. Lock order is mu before subMu throughout the
+// session (Step holds mu while publishing), so the closed check here must
+// nest the same way — a subscription racing Close either registers before
+// the final broadcast or sees closed and fails.
+func (s *Session) Subscribe() (<-chan Event, func(), error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	s.subMu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	ch := make(chan Event, subBuffer)
+	s.subs[id] = ch
+	s.nSubs.Store(int32(len(s.subs)))
+	s.subMu.Unlock()
+	s.mu.Unlock()
+	cancel := func() {
+		s.subMu.Lock()
+		defer s.subMu.Unlock()
+		if c, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(c)
+			s.nSubs.Store(int32(len(s.subs)))
+		}
+	}
+	return ch, cancel, nil
+}
+
+// marshalTelemetry is the one telemetry encoding shared by events and the
+// HTTP layer.
+func marshalTelemetry(tel *Telemetry) ([]byte, error) { return json.Marshal(tel) }
+
+// publishStep encodes the telemetry once and offers it to every
+// subscriber, dropping it for subscribers with full buffers.
+func (s *Session) publishStep(tel *Telemetry) {
+	data, err := marshalTelemetry(tel)
+	if err != nil {
+		return
+	}
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for _, ch := range s.subs {
+		select {
+		case ch <- Event{Kind: "step", Data: data}:
+		default:
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"batsched/internal/sched"
+)
+
+// Online-policy errors.
+var (
+	ErrUnknownOnlinePolicy = errors.New("spec: unknown online policy")
+)
+
+// OnlineBuilder turns an online policy's raw JSON parameters into a
+// sched.Policy for a streaming session. Online policies must decide from
+// live bank state alone — no load horizon exists when a session starts —
+// which is why clairvoyant solvers (optimal, lookahead) have no online
+// registration.
+type OnlineBuilder struct {
+	// Name is the canonical registry name.
+	Name string
+	// Aliases are accepted alternative spellings.
+	Aliases []string
+	// Doc is a one-line description served by /v1/policies.
+	Doc string
+	// New constructs the policy; params is nil for defaults.
+	New func(params json.RawMessage) (sched.Policy, error)
+}
+
+var (
+	onlineMu    sync.RWMutex
+	onlineReg   = map[string]*OnlineBuilder{}
+	onlineOrder []string
+)
+
+// RegisterOnline adds an online-policy builder under its name and aliases,
+// panicking on duplicates like Register.
+func RegisterOnline(b OnlineBuilder) {
+	onlineMu.Lock()
+	defer onlineMu.Unlock()
+	for _, name := range append([]string{b.Name}, b.Aliases...) {
+		key := strings.ToLower(name)
+		if _, dup := onlineReg[key]; dup {
+			panic(fmt.Sprintf("spec: online policy %q registered twice", name))
+		}
+		copy := b
+		onlineReg[key] = &copy
+	}
+	onlineOrder = append(onlineOrder, b.Name)
+}
+
+// LookupOnline resolves an online-policy name or alias (case-insensitive).
+func LookupOnline(name string) (OnlineBuilder, bool) {
+	onlineMu.RLock()
+	defer onlineMu.RUnlock()
+	b, ok := onlineReg[strings.ToLower(name)]
+	if !ok {
+		return OnlineBuilder{}, false
+	}
+	return *b, true
+}
+
+// OnlineBuilders returns the registered online policies in registration
+// order.
+func OnlineBuilders() []OnlineBuilder {
+	onlineMu.RLock()
+	defer onlineMu.RUnlock()
+	out := make([]OnlineBuilder, 0, len(onlineOrder))
+	for _, name := range onlineOrder {
+		out = append(out, *onlineReg[strings.ToLower(name)])
+	}
+	return out
+}
+
+// OnlinePolicyNames returns the canonical online-policy names, sorted.
+func OnlinePolicyNames() []string {
+	onlineMu.RLock()
+	defer onlineMu.RUnlock()
+	out := append([]string(nil), onlineOrder...)
+	sort.Strings(out)
+	return out
+}
+
+// BuildOnlinePolicy resolves a policy reference (the Solver wire form:
+// bare string or {"name":params}) through the online registry.
+func BuildOnlinePolicy(s Solver) (sched.Policy, error) {
+	b, ok := LookupOnline(s.Name)
+	if !ok {
+		return nil, fmt.Errorf("%w %q (known: %s)",
+			ErrUnknownOnlinePolicy, s.Name, strings.Join(OnlinePolicyNames(), ", "))
+	}
+	p, err := b.New(s.Params)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return p, nil
+}
+
+// Session describes one streaming session: a bank, an online policy, and
+// an optional grid. Bank and Grid reuse the scenario wire forms; Policy
+// uses the Solver wire form against the online registry.
+type Session struct {
+	Bank   Bank   `json:"bank"`
+	Policy Solver `json:"policy"`
+	Grid   *Grid  `json:"grid,omitempty"`
+}
+
+// ParseSession decodes session JSON, rejecting unknown fields.
+func ParseSession(data []byte) (Session, error) {
+	var s Session
+	if err := strictDecode(data, &s); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// onlineNoParams registers a parameterless policy constructor.
+func onlineNoParams(mk func() sched.Policy) func(json.RawMessage) (sched.Policy, error) {
+	return func(raw json.RawMessage) (sched.Policy, error) {
+		if err := noParams(raw); err != nil {
+			return nil, err
+		}
+		return mk(), nil
+	}
+}
+
+func init() {
+	RegisterOnline(OnlineBuilder{
+		Name: "sequential", Aliases: []string{"seq"},
+		Doc: "drain the batteries one after the other",
+		New: onlineNoParams(sched.Sequential),
+	})
+	RegisterOnline(OnlineBuilder{
+		Name: "roundrobin", Aliases: []string{"rr", "round robin"},
+		Doc: "assign job k to battery k mod B in a fixed rotation",
+		New: onlineNoParams(sched.RoundRobin),
+	})
+	RegisterOnline(OnlineBuilder{
+		Name: "greedy-soc", Aliases: []string{"greedysoc", "soc"},
+		Doc: "pick the battery with the highest available charge at each decision",
+		New: onlineNoParams(sched.GreedySOC),
+	})
+	RegisterOnline(OnlineBuilder{
+		Name: "efq",
+		Doc:  "energy-based fair queuing: serve from the battery with the least energy-weighted virtual time",
+		New:  onlineNoParams(sched.EFQ),
+	})
+}

@@ -1,0 +1,75 @@
+package spec
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOnlineRegistryNames(t *testing.T) {
+	want := []string{"efq", "greedy-soc", "roundrobin", "sequential"}
+	got := OnlinePolicyNames()
+	if len(got) != len(want) {
+		t.Fatalf("OnlinePolicyNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OnlinePolicyNames = %v, want %v", got, want)
+		}
+	}
+	for _, alias := range []string{"seq", "rr", "GREEDY-SOC", "greedysoc", "soc", "Round Robin"} {
+		if _, ok := LookupOnline(alias); !ok {
+			t.Fatalf("alias %q did not resolve", alias)
+		}
+	}
+	if len(OnlineBuilders()) != len(want) {
+		t.Fatalf("OnlineBuilders returned %d entries", len(OnlineBuilders()))
+	}
+}
+
+func TestBuildOnlinePolicy(t *testing.T) {
+	for name, policy := range map[string]string{
+		"sequential": "sequential",
+		"rr":         "round robin",
+		"greedy-soc": "greedy-soc",
+		"efq":        "efq",
+	} {
+		p, err := BuildOnlinePolicy(Solver{Name: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != policy {
+			t.Fatalf("%s built policy %q, want %q", name, p.Name(), policy)
+		}
+	}
+	if _, err := BuildOnlinePolicy(Solver{Name: "optimal"}); !errors.Is(err, ErrUnknownOnlinePolicy) {
+		t.Fatalf("clairvoyant solver resolved online: %v", err)
+	}
+	if _, err := BuildOnlinePolicy(Solver{Name: "efq", Params: []byte(`{"x":1}`)}); !errors.Is(err, ErrSolverParams) {
+		t.Fatalf("unexpected params accepted: %v", err)
+	}
+}
+
+func TestParseSession(t *testing.T) {
+	s, err := ParseSession([]byte(`{
+		"bank": {"battery": {"preset": "B1"}, "count": 2},
+		"policy": {"efq": {}},
+		"grid": {"step_min": 0.01}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy.Name != "efq" || s.Bank.Count != 2 || s.Grid == nil {
+		t.Fatalf("parsed session = %+v", s)
+	}
+	if _, err := ParseSession([]byte(`{"bank": {}, "policy": "seq", "bogus": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	// Bare-string policy wire form.
+	s, err = ParseSession([]byte(`{"bank": {"battery": {"preset": "B2"}}, "policy": "greedy-soc"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy.Name != "greedy-soc" {
+		t.Fatalf("policy = %+v", s.Policy)
+	}
+}

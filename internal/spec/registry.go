@@ -238,6 +238,26 @@ func init() {
 		},
 	})
 	Register(Builder{
+		Name: "greedy-soc", Aliases: []string{"greedysoc"},
+		Doc: "online greedy state-of-charge policy (same choice rule as bestof, session-capable)",
+		Build: func(raw json.RawMessage) (sweep.PolicyCase, error) {
+			if err := noParams(raw); err != nil {
+				return sweep.PolicyCase{}, err
+			}
+			return policyCase(sched.GreedySOC()), nil
+		},
+	})
+	Register(Builder{
+		Name: "efq",
+		Doc:  "online energy-based fair queuing: serve from the battery with the least energy-weighted virtual time",
+		Build: func(raw json.RawMessage) (sweep.PolicyCase, error) {
+			if err := noParams(raw); err != nil {
+				return sweep.PolicyCase{}, err
+			}
+			return policyCase(sched.EFQ()), nil
+		},
+	})
+	Register(Builder{
 		Name: "lookahead",
 		Doc:  "online model-predictive policy; params: {\"horizon\": minutes}",
 		Build: func(raw json.RawMessage) (sweep.PolicyCase, error) {
