@@ -407,6 +407,39 @@ var (
 // open, so completed job results survive restarts.
 func OpenResultStore(path string) (*ResultStore, error) { return store.Open(path) }
 
+// Store durability and robustness knobs (internal/store): StoreOptions
+// selects the fsync policy — the crash-safety tradeoff — and the
+// retry/breaker tuning; ErrStoreDegraded is the fail-fast error of the
+// degraded read-only mode entered after persistent write failure.
+type (
+	// StoreOptions tune a result store (fsync policy, retry/backoff,
+	// breaker cooldown).
+	StoreOptions = store.Options
+	// StoreSyncPolicy says when the store fsyncs its append-only file.
+	StoreSyncPolicy = store.SyncPolicy
+)
+
+// Fsync policies: never (the OS decides, fastest, a crash can lose recent
+// results), interval (bounded loss window, the default), always (every put
+// durable before it is acknowledged, slowest).
+const (
+	StoreSyncNever    = store.SyncNever
+	StoreSyncInterval = store.SyncInterval
+	StoreSyncAlways   = store.SyncAlways
+)
+
+// ErrStoreDegraded is returned by store puts while the write circuit is
+// open: the store keeps serving reads (and the service keeps evaluating),
+// it just stops caching until a cooldown probe succeeds.
+var ErrStoreDegraded = store.ErrDegraded
+
+// ParseStoreSyncPolicy parses "never", "interval", or "always".
+func ParseStoreSyncPolicy(s string) (StoreSyncPolicy, error) { return store.ParseSyncPolicy(s) }
+
+// OpenResultStoreWith opens a result store with explicit durability and
+// robustness options.
+func OpenResultStoreWith(opts StoreOptions) (*ResultStore, error) { return store.OpenWith(opts) }
+
 // NewJobManager builds a job manager executing through svc and
 // deduplicating against st, and starts its worker pool.
 func NewJobManager(svc *EvalService, st *ResultStore, opts JobOptions) *JobManager {

@@ -113,6 +113,19 @@ func (a *app) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "batserve_store_misses_total %d\n", jm.Store.Misses)
 	fmt.Fprintf(w, "batserve_store_cell_hits_total %d\n", jm.Store.CellHits)
 	fmt.Fprintf(w, "batserve_store_cell_misses_total %d\n", jm.Store.CellMisses)
+	fmt.Fprintf(w, "batserve_store_quarantined_total %d\n", jm.Store.Quarantined)
+	fmt.Fprintf(w, "batserve_store_append_errors_total %d\n", jm.Store.AppendErrors)
+	fmt.Fprintf(w, "batserve_store_append_retries_total %d\n", jm.Store.AppendRetries)
+	fmt.Fprintf(w, "batserve_store_dropped_puts_total %d\n", jm.Store.DroppedPuts)
+	fmt.Fprintf(w, "batserve_store_sync_errors_total %d\n", jm.Store.SyncErrors)
+	degraded := 0
+	if jm.Store.Degraded {
+		degraded = 1
+	}
+	fmt.Fprintf(w, "batserve_store_degraded %d\n", degraded)
+	fmt.Fprintf(w, "batserve_job_retries_total %d\n", jm.Retries)
+	fmt.Fprintf(w, "batserve_job_panics_total %d\n", jm.Panics)
+	fmt.Fprintf(w, "batserve_requests_shed_total %d\n", a.shed.Load())
 	fmt.Fprintf(w, "batserve_cache_entries %d\n", cs.Entries)
 	fmt.Fprintf(w, "batserve_cache_compiles_total %d\n", cs.Compiles)
 	fmt.Fprintf(w, "batserve_cache_hits_total %d\n", cs.Hits)
@@ -133,6 +146,7 @@ func (a *app) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "batserve_sessions_closed_total %d\n", sm.Closed)
 	fmt.Fprintf(w, "batserve_sessions_evicted_total %d\n", sm.Evicted)
 	fmt.Fprintf(w, "batserve_session_steps_total %d\n", sm.Steps)
+	fmt.Fprintf(w, "batserve_session_events_dropped_total %d\n", sm.EventsDropped)
 	for _, pl := range sm.PerPolicy {
 		fmt.Fprintf(w, "batserve_session_policy_steps_total{policy=%q} %d\n", pl.Policy, pl.Steps)
 		fmt.Fprintf(w, "batserve_session_policy_step_mean_nanos{policy=%q} %d\n", pl.Policy, pl.MeanNanos)

@@ -3,6 +3,7 @@
 // synchronously and as durable asynchronous jobs:
 //
 //	GET    /healthz              liveness: uptime, build, cache + queue gauges
+//	GET    /readyz               readiness: 503 while draining or store-degraded
 //	GET    /metrics              plain-text operational counters
 //	GET    /v1/policies          every solver addressable by name (with aliases)
 //	POST   /v1/run               evaluate one scenario cell -> one JSON object
@@ -31,11 +32,27 @@
 // (ending their event streams), in-flight requests and running jobs finish
 // (up to -drain), then the store is closed.
 //
+// The store hardens against mid-file corruption (per-line checksums;
+// corrupt lines are quarantined on replay, not served), transient write
+// errors (bounded retries with backoff), and persistent ones (a write
+// circuit breaker: the store goes degraded read-only — still serving and
+// still evaluating, just not caching — until a cooldown probe succeeds;
+// /readyz reports it). -store-sync picks the crash-safety tradeoff:
+//
+//	never     fastest; the OS decides when results reach disk, a crash can
+//	          lose anything since the last natural flush
+//	interval  fsync at most once per -store-sync-interval (default 1s); a
+//	          crash loses at most that window (the default)
+//	always    fsync before every put is acknowledged; nothing is lost short
+//	          of device failure, at a per-put latency cost
+//
 // Usage:
 //
 //	batserve [-addr :8080] [-concurrency N] [-cache N]
 //	         [-job-workers N] [-queue N] [-store results.ndjson]
+//	         [-store-sync interval] [-store-sync-interval 1s]
 //	         [-max-sessions N] [-session-ttl 5m] [-drain 30s]
+//	         [-request-timeout 2m] [-max-inflight N]
 //
 // Example:
 //
@@ -68,12 +85,25 @@ func main() {
 	queueDepth := flag.Int("queue", 0, "max queued jobs (0 = default)")
 	retainJobs := flag.Int("retain-jobs", 0, "finished jobs kept in the table (0 = default; results stay in the store)")
 	storePath := flag.String("store", "", "append-only result-store file (empty = in-memory only)")
+	storeSync := flag.String("store-sync", "interval", "store fsync policy: never, interval, or always (crash-safety vs latency)")
+	storeSyncInterval := flag.Duration("store-sync-interval", 0, "max unsynced window under -store-sync interval (0 = default 1s)")
 	maxSessions := flag.Int("max-sessions", 0, "max concurrently open streaming sessions (0 = default)")
 	sessionTTL := flag.Duration("session-ttl", 0, "idle streaming sessions are evicted after this long (0 = default)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	requestTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request deadline on synchronous evaluation endpoints (0 = none)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing synchronous evaluations before shedding with 429 (0 = unlimited)")
 	flag.Parse()
 
-	st, err := batsched.OpenResultStore(*storePath)
+	syncPolicy, err := batsched.ParseStoreSyncPolicy(*storeSync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "batserve: -store-sync: %v\n", err)
+		os.Exit(1)
+	}
+	st, err := batsched.OpenResultStoreWith(batsched.StoreOptions{
+		Path:         *storePath,
+		Sync:         syncPolicy,
+		SyncInterval: *storeSyncInterval,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "batserve: %v\n", err)
 		os.Exit(1)
@@ -99,9 +129,14 @@ func main() {
 		IdleTTL:     *sessionTTL,
 		CompileBank: svc.CompileBank,
 	})
+	a := &app{
+		svc: svc, jobs: mgr, sessions: sess, st: st, start: time.Now(),
+		requestTimeout: *requestTimeout,
+		maxInflight:    int64(*maxInflight),
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(&app{svc: svc, jobs: mgr, sessions: sess, start: time.Now()}),
+		Handler:           newHandler(a),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -119,6 +154,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "batserve: %v, draining (timeout %s)\n", sig, *drain)
 	}
 
+	// Flip readiness first: /readyz answers 503 (and the sync endpoints
+	// shed) for the whole drain, so a load balancer stops routing here
+	// while in-flight work finishes.
+	a.draining.Store(true)
 	if err := drainAndClose(srv, sess, mgr, st, *drain); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			// The deadline path is still clean: remaining jobs were cancelled

@@ -1,0 +1,299 @@
+// HTTP-layer robustness: the readiness probe, load shedding, per-request
+// deadlines, and the /metrics exposition of the failure-mode counters.
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"batsched"
+	"batsched/internal/core"
+	"batsched/internal/faults"
+	"batsched/internal/spec"
+	"batsched/internal/store"
+	"batsched/internal/sweep"
+)
+
+// Test-only solvers, registered once for the whole package: a gate solver
+// that blocks until released (drives the shedding test) and a sleeper
+// (drives the deadline test).
+var (
+	registerServerSolvers sync.Once
+	gateMu                sync.Mutex
+	gateCh                chan struct{}
+)
+
+func serverSolvers() {
+	registerServerSolvers.Do(func() {
+		spec.Register(spec.Builder{
+			Name: "test-gate",
+			Doc:  "test-only solver that blocks until the package gate opens",
+			Build: func(json.RawMessage) (sweep.PolicyCase, error) {
+				return sweep.PolicyCase{Name: "test-gate", Run: func(*core.Compiled) (float64, int, error) {
+					gateMu.Lock()
+					ch := gateCh
+					gateMu.Unlock()
+					if ch != nil {
+						<-ch
+					}
+					return 1, 0, nil
+				}}, nil
+			},
+		})
+		spec.Register(spec.Builder{
+			Name: "test-sleep",
+			Doc:  "test-only solver that sleeps 200ms per cell",
+			Build: func(json.RawMessage) (sweep.PolicyCase, error) {
+				return sweep.PolicyCase{Name: "test-sleep", Run: func(*core.Compiled) (float64, int, error) {
+					time.Sleep(200 * time.Millisecond)
+					return 1, 0, nil
+				}}, nil
+			},
+		})
+	})
+}
+
+func getReady(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// /readyz is ready on a healthy server and flips to 503 (with Retry-After)
+// the moment draining begins, while /healthz liveness stays 200 — the two
+// probes must answer differently during a drain.
+func TestReadyzDraining(t *testing.T) {
+	ts := newTestServer(t)
+	resp, data := getReady(t, ts.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy readyz = %d: %s", resp.StatusCode, data)
+	}
+
+	ts.app.draining.Store(true)
+	resp, data = getReady(t, ts.URL)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining readyz carries no Retry-After")
+	}
+	if !strings.Contains(string(data), "draining") {
+		t.Fatalf("readyz body names no reason: %s", data)
+	}
+	// Liveness is unaffected: the process is healthy, just not accepting
+	// new work.
+	live, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Body.Close()
+	if live.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain = %d, want 200", live.StatusCode)
+	}
+	// The synchronous evaluation endpoints shed during the drain.
+	resp2, data2 := postJSON(t, ts.URL+"/v1/run", runBody)
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("run during drain = %d, want 503: %s", resp2.StatusCode, data2)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response carries no Retry-After")
+	}
+}
+
+// A store whose writes persistently fail goes degraded; /readyz reports it
+// while /v1/run keeps answering 200 — degraded means "stops caching", not
+// "stops serving".
+func TestReadyzStoreDegraded(t *testing.T) {
+	inj := faults.New(1, faults.Rule{Op: faults.OpStoreWrite, P: 1})
+	st, err := store.OpenWith(store.Options{
+		Path:     filepath.Join(t.TempDir(), "s.ndjson"),
+		WrapFile: faults.WrapStore(inj),
+		Sleep:    func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServerOn(t, st, nil)
+
+	resp, data := postJSON(t, ts.URL+"/v1/run", runBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run with failing store = %d, want 200: %s", resp.StatusCode, data)
+	}
+	resp2, data2 := getReady(t, ts.URL)
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded readyz = %d, want 503: %s", resp2.StatusCode, data2)
+	}
+	if !strings.Contains(string(data2), "degraded") {
+		t.Fatalf("readyz body does not name the degraded store: %s", data2)
+	}
+	// The degraded gauge is on /metrics for alerting.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mdata), "batserve_store_degraded 1") {
+		t.Fatal("metrics do not report batserve_store_degraded 1")
+	}
+}
+
+// Past -max-inflight concurrently executing evaluations the server sheds
+// with 429 + Retry-After instead of queueing, and counts the shed request.
+func TestLoadSheddingMaxInflight(t *testing.T) {
+	serverSolvers()
+	gateMu.Lock()
+	gateCh = make(chan struct{})
+	gateMu.Unlock()
+	defer func() {
+		gateMu.Lock()
+		if gateCh != nil {
+			close(gateCh)
+			gateCh = nil
+		}
+		gateMu.Unlock()
+	}()
+
+	ts := newTestServerOn(t, mustMemStore(t), func(a *app) { a.maxInflight = 1 })
+	gateBody := `{
+		"bank":   {"battery": {"preset": "B1"}, "count": 2},
+		"load":   {"paper": "ILs alt"},
+		"solver": "test-gate"
+	}`
+
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(gateBody))
+		if resp != nil {
+			resp.Body.Close()
+			done <- resp.StatusCode
+		} else {
+			done <- 0
+		}
+	}()
+	// Wait until the gated request is actually in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for ts.app.inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("gated request never went in flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v1/run", runBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d, want 429: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After")
+	}
+
+	gateMu.Lock()
+	close(gateCh)
+	gateCh = nil
+	gateMu.Unlock()
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("gated request finished %d, want 200", code)
+	}
+
+	// The shed is counted, and capacity is back: the same request now runs.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mdata), "batserve_requests_shed_total 1") {
+		t.Fatal("metrics do not count the shed request")
+	}
+	resp2, data2 := postJSON(t, ts.URL+"/v1/run", runBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("request after release = %d: %s", resp2.StatusCode, data2)
+	}
+}
+
+// A synchronous evaluation that outlives -request-timeout answers 504.
+func TestRequestTimeoutMapsTo504(t *testing.T) {
+	serverSolvers()
+	ts := newTestServerOn(t, mustMemStore(t), func(a *app) { a.requestTimeout = 30 * time.Millisecond })
+	body := `{
+		"bank":   {"battery": {"preset": "B1"}, "count": 2},
+		"load":   {"paper": "ILs alt"},
+		"solver": "test-sleep"
+	}`
+	resp, data := postJSON(t, ts.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("slow run = %d, want 504: %s", resp.StatusCode, data)
+	}
+}
+
+// The failure-model counters are all on /metrics, zero-valued on a healthy
+// server — operators can alert on names that exist before trouble starts.
+func TestMetricsExposeRobustnessCounters(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, name := range []string{
+		"batserve_store_quarantined_total",
+		"batserve_store_append_errors_total",
+		"batserve_store_append_retries_total",
+		"batserve_store_dropped_puts_total",
+		"batserve_store_sync_errors_total",
+		"batserve_store_degraded",
+		"batserve_job_retries_total",
+		"batserve_job_panics_total",
+		"batserve_requests_shed_total",
+		"batserve_session_events_dropped_total",
+	} {
+		if !strings.Contains(string(data), name+" ") {
+			t.Errorf("/metrics misses %s", name)
+		}
+	}
+}
+
+// The -store-sync flag grammar round-trips through the root package.
+func TestStoreSyncPolicyFlag(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want batsched.StoreSyncPolicy
+	}{
+		{"never", batsched.StoreSyncNever},
+		{"interval", batsched.StoreSyncInterval},
+		{"always", batsched.StoreSyncAlways},
+	} {
+		got, err := batsched.ParseStoreSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseStoreSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := batsched.ParseStoreSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad sync policy accepted")
+	}
+}
+
+func mustMemStore(t *testing.T) *batsched.ResultStore {
+	t.Helper()
+	st, err := batsched.OpenResultStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"batsched"
@@ -25,13 +27,28 @@ const streamWriteTimeout = 30 * time.Second
 var nl = []byte{'\n'}
 
 // app bundles the long-lived server state the handlers share: the
-// synchronous evaluation service, the asynchronous job manager (which owns
-// the result store), and the start instant for uptime reporting.
+// synchronous evaluation service, the asynchronous job manager, the result
+// store (for the readiness probe), and the start instant for uptime
+// reporting.
 type app struct {
 	svc      *batsched.EvalService
 	jobs     *batsched.JobManager
 	sessions *batsched.SessionManager
+	st       *batsched.ResultStore
 	start    time.Time
+
+	// requestTimeout bounds each synchronous evaluation request; 0 means
+	// unbounded. A missed deadline answers 504.
+	requestTimeout time.Duration
+	// maxInflight bounds concurrently executing synchronous evaluation
+	// requests; past it requests are shed with 429 instead of queueing on
+	// the service semaphore. 0 means unbounded.
+	maxInflight int64
+	inflight    atomic.Int64
+	shed        atomic.Uint64
+	// draining flips when graceful shutdown begins: /readyz goes not-ready
+	// (so load balancers stop routing here) while in-flight work finishes.
+	draining atomic.Bool
 }
 
 // newHandler wires the API routes onto a fresh mux. It takes the app state
@@ -39,10 +56,11 @@ type app struct {
 func newHandler(a *app) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", a.handleHealth)
+	mux.HandleFunc("GET /readyz", a.handleReady)
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /v1/policies", handlePolicies)
-	mux.HandleFunc("POST /v1/run", a.handleRun)
-	mux.HandleFunc("POST /v1/sweep", a.handleSweep)
+	mux.HandleFunc("POST /v1/run", a.guard(a.handleRun))
+	mux.HandleFunc("POST /v1/sweep", a.guard(a.handleSweep))
 	mux.HandleFunc("POST /v1/jobs", a.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", a.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJobGet)
@@ -63,9 +81,48 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps an error to a JSON {"error": ...} payload.
+// writeError maps an error to a JSON {"error": ...} payload. Backpressure
+// statuses carry Retry-After so well-behaved clients back off instead of
+// hammering an already-saturated (or draining) server.
 func writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// Load-shedding errors.
+var (
+	errOverloaded = errors.New("server overloaded: too many requests in flight")
+	errDraining   = errors.New("server is draining")
+)
+
+// guard is the load-shedding and deadline middleware on the synchronous
+// evaluation endpoints: a draining server answers 503, one past its
+// in-flight bound sheds with 429 (both with Retry-After), and accepted
+// requests run under the per-request timeout.
+func (a *app) guard(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if a.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, errDraining)
+			return
+		}
+		if a.maxInflight > 0 {
+			if a.inflight.Add(1) > a.maxInflight {
+				a.inflight.Add(-1)
+				a.shed.Add(1)
+				writeError(w, http.StatusTooManyRequests, errOverloaded)
+				return
+			}
+			defer a.inflight.Add(-1)
+		}
+		if a.requestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), a.requestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next(w, r)
+	}
 }
 
 // decodeBody strictly decodes one JSON value from the request body.
@@ -109,6 +166,29 @@ func (a *app) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"jobs_running":    jm.JobsByState[batsched.JobRunning],
 		"sessions_open":   a.sessions.Metrics().Open,
 	})
+}
+
+// handleReady is the readiness probe, distinct from /healthz liveness: a
+// live server is not ready while draining (shutdown began; stop routing
+// new work here) or while the store's write circuit is open (results are
+// still served and evaluated, but nothing new is cached — prefer a healthy
+// replica when there is one).
+func (a *app) handleReady(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if a.draining.Load() {
+		reasons = append(reasons, "draining")
+	}
+	if a.st.Degraded() {
+		reasons = append(reasons, "store degraded: write circuit open")
+	}
+	if len(reasons) > 0 {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "not ready", "reasons": reasons,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 // policyInfo is one registry entry in wire form.
@@ -200,24 +280,23 @@ func (a *app) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil && !streaming {
-		var invalid *batsched.InvalidRequestError
-		if errors.As(err, &invalid) {
-			writeError(w, http.StatusBadRequest, err)
-		} else {
-			writeError(w, http.StatusInternalServerError, err)
-		}
+		writeError(w, statusFor(err), err)
 		return
 	}
 	// After the first line the headers are out; an error mid-stream can
 	// only cut the stream short.
 }
 
-// statusFor distinguishes caller mistakes (bad spec → 400) from server
-// trouble.
+// statusFor distinguishes caller mistakes (bad spec → 400) from a missed
+// per-request deadline (504) and the rest of server trouble.
 func statusFor(err error) int {
 	var invalid *batsched.InvalidRequestError
-	if errors.As(err, &invalid) {
+	switch {
+	case errors.As(err, &invalid):
 		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
 	}
-	return http.StatusInternalServerError
 }

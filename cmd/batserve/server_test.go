@@ -18,9 +18,10 @@ import (
 )
 
 // testServer bundles an httptest instance with its backing state so tests
-// can reach past HTTP into the service, manager, and store.
+// can reach past HTTP into the service, manager, store, and app.
 type testServer struct {
 	*httptest.Server
+	app  *app
 	svc  *batsched.EvalService
 	mgr  *batsched.JobManager
 	sess *batsched.SessionManager
@@ -35,12 +36,23 @@ func newTestServerWithStore(t *testing.T, storePath string) *testServer {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return newTestServerOn(t, st, nil)
+}
+
+// newTestServerOn stands a server up on a caller-built store; tune (may be
+// nil) adjusts the app before the listener starts.
+func newTestServerOn(t *testing.T, st *batsched.ResultStore, tune func(*app)) *testServer {
+	t.Helper()
 	// Mirror main.go: the service and the job manager share the store, so
 	// sync sweeps and jobs reuse each other's cells.
 	svc := batsched.NewEvalService(batsched.EvalOptions{Store: st})
 	mgr := batsched.NewJobManager(svc, st, batsched.JobOptions{})
 	sess := batsched.NewSessionManager(batsched.SessionOptions{CompileBank: svc.CompileBank})
-	ts := httptest.NewServer(newHandler(&app{svc: svc, jobs: mgr, sessions: sess, start: time.Now()}))
+	a := &app{svc: svc, jobs: mgr, sessions: sess, st: st, start: time.Now()}
+	if tune != nil {
+		tune(a)
+	}
+	ts := httptest.NewServer(newHandler(a))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -49,7 +61,7 @@ func newTestServerWithStore(t *testing.T, storePath string) *testServer {
 		mgr.Shutdown(ctx)
 		st.Close()
 	})
-	return &testServer{Server: ts, svc: svc, mgr: mgr, sess: sess, st: st}
+	return &testServer{Server: ts, app: a, svc: svc, mgr: mgr, sess: sess, st: st}
 }
 
 func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {

@@ -1,0 +1,197 @@
+// Package faults is a deterministic fault-injection harness. An Injector
+// holds a seeded RNG and a set of rules keyed by operation name; hardened
+// layers call Check (or CheckWrite for byte-granular operations) at their
+// fault points and the injector decides — reproducibly for a given seed —
+// whether that operation fails, panics, stalls, or tears.
+//
+// Rules trigger two ways: point-based (After: fire on exactly the Nth
+// matching operation, which pins a fault to a precise step for regression
+// tests) and rate-based (P: fire with probability p per operation, which
+// drives the randomized chaos suites). A nil *Injector is valid and inert:
+// every hook site can call it unconditionally, so the fault-free hot path
+// pays one nil check and nothing else.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error returned by firing rules that do not
+// carry their own. Layers that retry transient failures treat it like any
+// other I/O error; tests assert on it with errors.Is.
+var ErrInjected = errors.New("faults: injected fault")
+
+// PanicValue is the value thrown by panic-injecting rules, recognizable in
+// recovered stacks and job statuses.
+const PanicValue = "faults: injected panic"
+
+// Rule describes one fault source. Op selects the operations it applies to
+// (exact match against the name passed to Check). Exactly one trigger is
+// consulted: After (1-based ordinal of the matching operation) when set,
+// else probability P. Count caps how many times the rule fires in total
+// (0 = unlimited). The effect is, in order of precedence: Panic, torn write
+// (Torn, only meaningful via CheckWrite), error (Err, defaulting to
+// ErrInjected). Latency alone — no error, no panic — delays the operation
+// and lets it proceed.
+type Rule struct {
+	Op      string        // operation name, e.g. "store.write", "jobs.run"
+	P       float64       // rate trigger: fire with this probability
+	After   int64         // point trigger: fire on the Nth matching op (1-based)
+	Count   int64         // max fires (0 = unlimited)
+	Err     error         // injected error (nil = ErrInjected)
+	Panic   bool          // panic instead of returning an error
+	Torn    bool          // writes only: deliver a random prefix, then fail
+	Latency time.Duration // delay before the effect (or alone: delay and proceed)
+}
+
+type ruleState struct {
+	Rule
+	seen  int64 // matching operations observed
+	fired int64 // times this rule fired
+}
+
+// Injector evaluates rules against named operations. Safe for concurrent
+// use; a nil Injector is inert (all methods no-op).
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*ruleState
+	fired map[string]int64
+	ops   map[string]int64
+}
+
+// New builds an injector with a deterministic RNG. The same seed, rules,
+// and operation sequence reproduce the same fault schedule exactly.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		fired: make(map[string]int64),
+		ops:   make(map[string]int64),
+	}
+	in.Add(rules...)
+	return in
+}
+
+// Add appends rules; useful for arming an injector after a warm-up phase.
+// No-op on a nil injector.
+func (in *Injector) Add(rules ...Rule) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	for _, r := range rules {
+		rc := r
+		in.rules = append(in.rules, &ruleState{Rule: rc})
+	}
+	in.mu.Unlock()
+}
+
+// Check evaluates op against the rules: the first rule that fires decides
+// the outcome (panic, or an error wrapping ErrInjected / the rule's Err).
+// Latency-only rules sleep and keep scanning. Returns nil — at no cost
+// beyond the receiver check — when the injector is nil or nothing fires.
+func (in *Injector) Check(op string) error {
+	_, err := in.check(op, 0)
+	return err
+}
+
+// CheckWrite is Check for byte-granular writes of n bytes. When a torn
+// rule fires it returns the number of bytes the caller should write before
+// failing with the returned error — a random cut point in [1, n) — so a
+// wrapper can deliver a genuine partial write. Non-torn rules return
+// allow 0 with their error.
+func (in *Injector) CheckWrite(op string, n int) (allow int, err error) {
+	return in.check(op, n)
+}
+
+func (in *Injector) check(op string, n int) (int, error) {
+	if in == nil {
+		return 0, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops[op]++
+	var delay time.Duration
+	for _, r := range in.rules {
+		if r.Op != op {
+			continue
+		}
+		r.seen++
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		fire := false
+		if r.After > 0 {
+			fire = r.seen == r.After
+		} else if r.P > 0 {
+			fire = in.rng.Float64() < r.P
+		}
+		if !fire {
+			continue
+		}
+		r.fired++
+		in.fired[op]++
+		delay += r.Latency
+		if !r.Panic && r.Err == nil && !r.Torn && r.Latency > 0 {
+			continue // latency-only: delay, operation proceeds
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if r.Panic {
+			panic(fmt.Sprintf("%s (op %s)", PanicValue, op))
+		}
+		allow := 0
+		if r.Torn && n > 1 {
+			allow = 1 + in.rng.Intn(n-1)
+		}
+		base := r.Err
+		if base == nil {
+			base = ErrInjected
+		}
+		return allow, fmt.Errorf("%w (op %s)", base, op)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return 0, nil
+}
+
+// Fired reports how many faults have fired for op (any op when op is "").
+func (in *Injector) Fired(op string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if op == "" {
+		var total int64
+		for _, n := range in.fired {
+			total += n
+		}
+		return total
+	}
+	return in.fired[op]
+}
+
+// Ops reports how many operations have been observed for op (any op when
+// op is ""), fired or not — useful for asserting a hook site is wired.
+func (in *Injector) Ops(op string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if op == "" {
+		var total int64
+		for _, n := range in.ops {
+			total += n
+		}
+		return total
+	}
+	return in.ops[op]
+}

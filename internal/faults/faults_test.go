@@ -1,0 +1,144 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Check("anything"); err != nil {
+		t.Fatalf("nil Check = %v", err)
+	}
+	if n, err := in.CheckWrite("anything", 100); n != 0 || err != nil {
+		t.Fatalf("nil CheckWrite = %d, %v", n, err)
+	}
+	in.Add(Rule{Op: "x", P: 1})
+	if in.Fired("") != 0 || in.Ops("") != 0 {
+		t.Fatal("nil counters non-zero")
+	}
+}
+
+func TestPointTriggerFiresExactlyOnce(t *testing.T) {
+	in := New(1, Rule{Op: "op", After: 3})
+	for i := 1; i <= 5; i++ {
+		err := in.Check("op")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("op %d: err = %v", i, err)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("op %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if in.Fired("op") != 1 {
+		t.Fatalf("Fired = %d, want 1", in.Fired("op"))
+	}
+}
+
+func TestRateTriggerIsDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed int64) string {
+		in := New(seed, Rule{Op: "op", P: 0.5})
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if in.Check("op") != nil {
+				b.WriteByte('F')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	a, b := schedule(42), schedule(42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if a == schedule(43) {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+	if !strings.Contains(a, "F") || !strings.Contains(a, ".") {
+		t.Fatalf("p=0.5 schedule degenerate: %s", a)
+	}
+}
+
+func TestCountCapsFires(t *testing.T) {
+	in := New(7, Rule{Op: "op", P: 1, Count: 2})
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if in.Check("op") != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("fired %d times, want 2", fails)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	in := New(1, Rule{Op: "op", P: 1, Err: sentinel})
+	if err := in.Check("op"); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	in := New(1, Rule{Op: "op", After: 1, Panic: true})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if !strings.Contains(r.(string), PanicValue) {
+			t.Fatalf("panic value %v lacks marker", r)
+		}
+		// The injector must remain usable after a recovered panic (the
+		// mutex was released by the deferred unlock).
+		if err := in.Check("op"); err != nil {
+			t.Fatalf("post-panic Check = %v", err)
+		}
+	}()
+	in.Check("op")
+}
+
+func TestTornWriteAllowRange(t *testing.T) {
+	in := New(3, Rule{Op: "w", P: 1, Torn: true})
+	for i := 0; i < 50; i++ {
+		allow, err := in.CheckWrite("w", 100)
+		if err == nil {
+			t.Fatal("torn rule did not fire")
+		}
+		if allow < 1 || allow >= 100 {
+			t.Fatalf("allow = %d, want in [1, 100)", allow)
+		}
+	}
+	// A 1-byte write cannot tear: it fails with nothing allowed.
+	if allow, err := in.CheckWrite("w", 1); err == nil || allow != 0 {
+		t.Fatalf("1-byte torn write: allow=%d err=%v", allow, err)
+	}
+}
+
+func TestLatencyOnlyRuleDelaysAndProceeds(t *testing.T) {
+	in := New(1, Rule{Op: "op", P: 1, Latency: 5 * time.Millisecond})
+	start := time.Now()
+	if err := in.Check("op"); err != nil {
+		t.Fatalf("latency-only rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 4*time.Millisecond {
+		t.Fatalf("no observable delay: %v", d)
+	}
+}
+
+func TestOpsCountsAllObservations(t *testing.T) {
+	in := New(1, Rule{Op: "a", P: 1, Count: 1})
+	in.Check("a")
+	in.Check("a")
+	in.Check("b")
+	if in.Ops("a") != 2 || in.Ops("b") != 1 || in.Ops("") != 3 {
+		t.Fatalf("ops: a=%d b=%d all=%d", in.Ops("a"), in.Ops("b"), in.Ops(""))
+	}
+	if in.Fired("") != 1 {
+		t.Fatalf("fired total = %d, want 1", in.Fired(""))
+	}
+}

@@ -1,0 +1,58 @@
+// Store-backend wrapper: intercepts the write-side operations of a store
+// file and consults the injector before delegating. Reads, stats, and
+// truncates pass through untouched — replay and torn-tail repair are the
+// recovery machinery under test, not the thing being broken.
+package faults
+
+import (
+	"batsched/internal/store"
+)
+
+// Operation names the store wrapper consults. Rules target these.
+const (
+	OpStoreWrite = "store.write"
+	OpStoreSync  = "store.sync"
+)
+
+// WrapStore returns a store.Options.WrapFile hook that injects faults on
+// writes (including torn partial writes) and syncs. A nil injector yields
+// a pass-through hook.
+func WrapStore(in *Injector) func(store.File) store.File {
+	return func(f store.File) store.File {
+		return &storeFile{f: f, in: in}
+	}
+}
+
+type storeFile struct {
+	f  store.File
+	in *Injector
+}
+
+func (s *storeFile) Read(p []byte) (int, error) { return s.f.Read(p) }
+
+func (s *storeFile) Write(p []byte) (int, error) {
+	allow, err := s.in.CheckWrite(OpStoreWrite, len(p))
+	if err != nil {
+		n := 0
+		if allow > 0 {
+			// Torn write: genuinely deliver the prefix so the file ends
+			// mid-record, exactly like a crash between write syscalls.
+			n, _ = s.f.Write(p[:allow])
+		}
+		return n, err
+	}
+	return s.f.Write(p)
+}
+
+func (s *storeFile) Sync() error {
+	if err := s.in.Check(OpStoreSync); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+func (s *storeFile) Truncate(size int64) error { return s.f.Truncate(size) }
+
+func (s *storeFile) Size() (int64, error) { return s.f.Size() }
+
+func (s *storeFile) Close() error { return s.f.Close() }

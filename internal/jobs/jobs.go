@@ -22,14 +22,17 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"batsched/internal/faults"
 	"batsched/internal/sched"
 	"batsched/internal/service"
 	"batsched/internal/spec"
 	"batsched/internal/store"
+	"batsched/internal/sweep"
 )
 
 // State is a job lifecycle state.
@@ -58,6 +61,12 @@ type Request struct {
 	Workers int `json:"workers,omitempty"`
 	// Priority orders the queue: higher runs first, FIFO within a priority.
 	Priority int `json:"priority,omitempty"`
+	// TimeoutSec is the per-job deadline in seconds (0 = the manager's
+	// default). It can tighten the manager's Options.JobTimeout but not
+	// exceed it. The deadline covers execution, not queue time, and does
+	// not enter the request digest — the same sweep under a different
+	// deadline is still the same cached result.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
 }
 
 // Status is the wire form of a job.
@@ -81,8 +90,12 @@ type Status struct {
 	// entered the queue.
 	FromStore bool `json:"from_store,omitempty"`
 	// Error is the job-level failure; per-cell failures live in the result
-	// lines, exactly as on the synchronous endpoint.
+	// lines, exactly as on the synchronous endpoint. A recovered worker
+	// panic lands here with its stack trace.
 	Error string `json:"error,omitempty"`
+	// Attempts counts evaluation attempts: 1 for a clean run, more when
+	// transient failures were retried.
+	Attempts int `json:"attempts,omitempty"`
 	// Stats sums the optimal search's work counters over the job's
 	// evaluated cells (cache-served cells did no search work); omitted when
 	// no cell ran a search.
@@ -109,7 +122,23 @@ var (
 	ErrNotDone = errors.New("jobs: results not available")
 	// ErrFinished rejects cancelling a job already in a terminal state.
 	ErrFinished = errors.New("jobs: job already finished")
+	// ErrDeadline marks a job killed by its own deadline (as opposed to a
+	// shutdown or client cancellation): the job fails, it is not retried.
+	ErrDeadline = errors.New("jobs: job deadline exceeded")
 )
+
+// panicError wraps a panic recovered at the job-run boundary (injection
+// hooks, service entry) — panics inside sweep workers arrive as
+// *sweep.PanicError instead. Both mark the job failed with the stack in
+// its status.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("jobs: run panicked: %v", e.value)
+}
 
 // job is the manager-internal job record; all mutable fields are guarded by
 // the manager mutex.
@@ -127,6 +156,8 @@ type job struct {
 	state     State
 	fromStore bool
 	cached    int
+	attempts  int
+	timeout   time.Duration // per-job deadline (0 = none), resolved at submit
 	errText   string
 	stats     *sched.SearchStats
 	submitted time.Time
@@ -165,22 +196,49 @@ type Options struct {
 	// results remain in the store and an identical resubmission is still a
 	// store hit.
 	RetainJobs int
+	// MaxRetries bounds how many times a job's evaluation is re-attempted
+	// after a transient failure (injected faults, store hiccups — not
+	// panics, cancellations, deadlines, or invalid requests). 0 means 2;
+	// negative disables retries.
+	MaxRetries int
+	// JobTimeout is the default per-job execution deadline (0 = none). A
+	// request's TimeoutSec can tighten it but not exceed it. A job that
+	// overruns fails with ErrDeadline — it is not reported as cancelled.
+	JobTimeout time.Duration
+	// RetryBase is the base of the exponential backoff between attempts
+	// (default 50ms, capped at 1s); Sleep is injectable for tests.
+	RetryBase time.Duration
+	Sleep     func(time.Duration)
+	// Injector arms fault injection at the job-run hook (operation
+	// "jobs.run", consulted once per attempt). Chaos tests only; nil — the
+	// default — is free.
+	Injector *faults.Injector
 }
 
 // Default bounds for the corresponding Options fields when unset.
 const (
 	DefaultQueueDepth = 256
 	DefaultRetainJobs = 1024
+	DefaultMaxRetries = 2
 )
+
+// OpJobRun is the fault-injection operation consulted once per job
+// evaluation attempt.
+const OpJobRun = "jobs.run"
 
 // Manager owns the job table, the priority queue, and the worker pool. It
 // is safe for concurrent use.
 type Manager struct {
-	svc     *service.Service
-	st      *store.Store
-	workers int
-	depth   int
-	retain  int
+	svc        *service.Service
+	st         *store.Store
+	workers    int
+	depth      int
+	retain     int
+	maxRetries int
+	jobTimeout time.Duration
+	retryBase  time.Duration
+	sleep      func(time.Duration)
+	inj        *faults.Injector
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -194,6 +252,8 @@ type Manager struct {
 	busy       atomic.Int64
 	cases      atomic.Int64
 	cacheCases atomic.Int64
+	retries    atomic.Int64
+	panics     atomic.Int64
 }
 
 // New builds a Manager executing jobs through svc, deduplicating against
@@ -212,13 +272,32 @@ func New(svc *service.Service, st *store.Store, opts Options) *Manager {
 	if retain <= 0 {
 		retain = DefaultRetainJobs
 	}
+	maxRetries := opts.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = DefaultMaxRetries
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	retryBase := opts.RetryBase
+	if retryBase <= 0 {
+		retryBase = 50 * time.Millisecond
+	}
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
 	m := &Manager{
-		svc:     svc,
-		st:      st,
-		workers: workers,
-		depth:   depth,
-		retain:  retain,
-		jobs:    make(map[string]*job),
+		svc:        svc,
+		st:         st,
+		workers:    workers,
+		depth:      depth,
+		retain:     retain,
+		maxRetries: maxRetries,
+		jobTimeout: opts.JobTimeout,
+		retryBase:  retryBase,
+		sleep:      sleep,
+		inj:        opts.Injector,
+		jobs:       make(map[string]*job),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < workers; i++ {
@@ -250,6 +329,13 @@ func (m *Manager) Submit(req Request) (Status, error) {
 		return Status{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.depth)
 	}
 	m.seq++
+	timeout := m.jobTimeout
+	if req.TimeoutSec > 0 {
+		reqTO := time.Duration(req.TimeoutSec * float64(time.Second))
+		if timeout == 0 || reqTO < timeout {
+			timeout = reqTO
+		}
+	}
 	j := &job{
 		id:          fmt.Sprintf("job-%d", m.seq),
 		seq:         m.seq,
@@ -258,6 +344,7 @@ func (m *Manager) Submit(req Request) (Status, error) {
 		digest:      digest,
 		cellDigests: cells,
 		total:       len(cells),
+		timeout:     timeout,
 		submitted:   time.Now(),
 		heapIdx:     -1, // set by the heap on push
 		done:        make(chan struct{}),
@@ -377,6 +464,9 @@ type Metrics struct {
 	CasesFromCache int64
 	// WorkersBusy and WorkersTotal report pool utilization.
 	WorkersBusy, WorkersTotal int
+	// Retries counts transient-failure re-attempts; Panics counts worker
+	// panics recovered into failed jobs.
+	Retries, Panics int64
 	// Store reports the result store's entry/hit/miss counters.
 	Store store.Counters
 }
@@ -401,6 +491,8 @@ func (m *Manager) Metrics() Metrics {
 		CasesFromCache: m.cacheCases.Load(),
 		WorkersBusy:    int(m.busy.Load()),
 		WorkersTotal:   m.workers,
+		Retries:        m.retries.Load(),
+		Panics:         m.panics.Load(),
 		Store:          m.st.Counters(),
 	}
 }
@@ -485,14 +577,95 @@ func (m *Manager) work() {
 	}
 }
 
-// run executes one job's sweep and records the outcome.
+// run executes one job's sweep — retrying transient failures up to the
+// manager's retry budget — and records the outcome. Every attempt runs
+// inside a recover frame: a panic anywhere in the evaluation marks the job
+// failed with the stack in its status, and the worker (and process)
+// survive to run the next job.
 func (m *Manager) run(ctx context.Context, j *job) {
+	var lines []json.RawMessage
+	var err error
+	for attempt := 0; ; attempt++ {
+		m.mu.Lock()
+		j.attempts = attempt + 1
+		m.mu.Unlock()
+		lines, err = m.runAttempt(ctx, j)
+		if err == nil || attempt >= m.maxRetries || !retryable(err) {
+			break
+		}
+		m.retries.Add(1)
+		m.sleep(retryBackoff(m.retryBase, attempt))
+	}
+
+	// Commit the whole-request index (and, when the service runs without a
+	// cell store of its own, the cell lines) before taking the manager
+	// lock: file I/O must not stall status reads. A store failure only
+	// costs future dedup; the job itself still succeeded, so it is surfaced
+	// on the job, not fatal to it.
+	var storeErr error
+	if err == nil {
+		storeErr = m.st.PutRequest(j.digest, j.cellDigests, lines)
+	}
+
+	var jpe *panicError
+	var spe *sweep.PanicError
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case err == nil:
+		m.finishLocked(j, StateDone, "")
+		if storeErr != nil {
+			j.errText = fmt.Sprintf("result store: %v", storeErr)
+		}
+	case errors.As(err, &jpe):
+		m.panics.Add(1)
+		m.finishLocked(j, StateFailed, fmt.Sprintf("panic: %v\n%s", jpe.value, jpe.stack))
+	case errors.As(err, &spe):
+		m.panics.Add(1)
+		m.finishLocked(j, StateFailed, fmt.Sprintf("panic: %v\n%s", spe.Value, spe.Stack))
+	case errors.Is(err, context.Canceled) && j.cancelRequested:
+		m.finishLocked(j, StateCancelled, "cancelled while running")
+	case errors.Is(err, ErrDeadline):
+		// The job's own deadline, not a shutdown: this is a failure the
+		// submitter must see, not a cancellation they asked for.
+		m.finishLocked(j, StateFailed, err.Error())
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Shutdown-deadline cancellation without an explicit Cancel call.
+		m.finishLocked(j, StateCancelled, err.Error())
+	default:
+		m.finishLocked(j, StateFailed, err.Error())
+	}
+}
+
+// runAttempt is one evaluation attempt: fault-injection gate, per-job
+// deadline, the sweep itself, with panics converted to errors.
+func (m *Manager) runAttempt(ctx context.Context, j *job) (lines []json.RawMessage, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &panicError{value: p, stack: debug.Stack()}
+		}
+	}()
+	// A retry starts from scratch: the progress counters must not glue a
+	// failed attempt's partial prefix onto the new one.
+	m.mu.Lock()
+	j.lines, j.cached, j.stats = nil, 0, nil
+	m.mu.Unlock()
+	if err := m.inj.Check(OpJobRun); err != nil {
+		return nil, err
+	}
+	actx := ctx
+	if j.timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, j.timeout)
+		defer cancel()
+	}
 	// Pre-sized from the grid dimensions; the emit callback's line buffer is
 	// reused by the service, so retention is exactly one copy per cell —
 	// the copy the job table has to own anyway.
-	lines := make([]json.RawMessage, 0, j.total)
+	lines = make([]json.RawMessage, 0, j.total)
 	cached := 0
-	err := m.svc.SweepStreamLines(ctx, service.SweepRequest{Scenario: j.req.Scenario, Workers: j.req.Workers},
+	err = m.svc.SweepStreamLines(actx, service.SweepRequest{Scenario: j.req.Scenario, Workers: j.req.Workers},
 		func(sl service.SweepLine) error {
 			// The service encodes lines exactly as the synchronous NDJSON
 			// endpoint does (minus the newline the reader adds back), which
@@ -516,33 +689,40 @@ func (m *Manager) run(ctx context.Context, j *job) {
 			m.mu.Unlock()
 			return nil
 		})
-
-	// Commit the whole-request index (and, when the service runs without a
-	// cell store of its own, the cell lines) before taking the manager
-	// lock: file I/O must not stall status reads. A store failure only
-	// costs future dedup; the job itself still succeeded, so it is surfaced
-	// on the job, not fatal to it.
-	var storeErr error
-	if err == nil {
-		storeErr = m.st.PutRequest(j.digest, j.cellDigests, lines)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+		// Our own timer fired, not the caller's context: name it so the
+		// outcome classification can tell a deadline from a shutdown.
+		err = fmt.Errorf("%w (after %s)", ErrDeadline, j.timeout)
 	}
+	return lines, err
+}
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// retryable reports whether an attempt error is transient: worth retrying
+// rather than final. Cancellations, deadlines, panics, and invalid
+// requests are final; injected faults, store errors, and other incidental
+// failures are not.
+func retryable(err error) bool {
+	var jpe *panicError
+	var spe *sweep.PanicError
+	var inv *service.InvalidRequestError
 	switch {
-	case err == nil:
-		m.finishLocked(j, StateDone, "")
-		if storeErr != nil {
-			j.errText = fmt.Sprintf("result store: %v", storeErr)
-		}
-	case errors.Is(err, context.Canceled) && j.cancelRequested:
-		m.finishLocked(j, StateCancelled, "cancelled while running")
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		// Shutdown-deadline cancellation without an explicit Cancel call.
-		m.finishLocked(j, StateCancelled, err.Error())
-	default:
-		m.finishLocked(j, StateFailed, err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, ErrDeadline):
+		return false
+	case errors.As(err, &jpe), errors.As(err, &spe), errors.As(err, &inv):
+		return false
 	}
+	return true
+}
+
+// retryBackoff is the delay before retry attempt (0-based): base·2^attempt
+// capped at 1s.
+func retryBackoff(base time.Duration, attempt int) time.Duration {
+	d := base << uint(min(attempt, 10))
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
 }
 
 // evictLocked drops the oldest terminal jobs while the table exceeds the
@@ -594,6 +774,7 @@ func (j *job) status() Status {
 		CachedCases: j.cached,
 		FromStore:   j.fromStore,
 		Error:       j.errText,
+		Attempts:    j.attempts,
 	}
 	if j.stats != nil {
 		c := *j.stats

@@ -1,0 +1,184 @@
+// Session-layer robustness: slow-subscriber drop accounting and the
+// TTL-eviction / concurrent-Step race.
+package session
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"batsched/internal/sched"
+)
+
+// A subscriber that stops draining loses events — but not silently: the
+// session tallies the drops, and the next frame the subscriber accepts
+// carries them in a "dropped" field.
+func TestSlowSubscriberDroppedAccounting(t *testing.T) {
+	art := bankArtifact(t, 2)
+	s := openSession(t, art, sched.Sequential())
+	defer s.Close("done")
+	ch, cancel, err := s.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	// Overflow the buffer by 4 without draining.
+	var tel Telemetry
+	const overflow = 4
+	for i := 0; i < subBuffer+overflow; i++ {
+		if err := s.Step(0, 1.0, &tel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.DroppedEvents(); got != overflow {
+		t.Fatalf("DroppedEvents = %d, want %d", got, overflow)
+	}
+
+	// The buffered frames predate the gap and carry no dropped field.
+	for i := 0; i < subBuffer; i++ {
+		ev := <-ch
+		var frame map[string]any
+		if err := json.Unmarshal(ev.Data, &frame); err != nil {
+			t.Fatalf("frame %d is not valid JSON: %v", i, err)
+		}
+		if _, ok := frame["dropped"]; ok {
+			t.Fatalf("frame %d carries a dropped field before the gap", i)
+		}
+	}
+
+	// The next frame the (now-drained) subscriber accepts reports the gap.
+	if err := s.Step(0, 1.0, &tel); err != nil {
+		t.Fatal(err)
+	}
+	ev := <-ch
+	var frame struct {
+		Seq     uint64 `json:"seq"`
+		Dropped uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal(ev.Data, &frame); err != nil {
+		t.Fatalf("spliced frame is not valid JSON: %v\n%s", err, ev.Data)
+	}
+	if frame.Dropped != overflow {
+		t.Fatalf("post-gap frame dropped = %d, want %d\n%s", frame.Dropped, overflow, ev.Data)
+	}
+	if want := uint64(subBuffer + overflow + 1); frame.Seq != want {
+		t.Fatalf("post-gap frame seq = %d, want %d", frame.Seq, want)
+	}
+
+	// Delivery resets the tally: the following frame is plain again, and
+	// the session total holds.
+	if err := s.Step(0, 1.0, &tel); err != nil {
+		t.Fatal(err)
+	}
+	ev = <-ch
+	var next map[string]any
+	if err := json.Unmarshal(ev.Data, &next); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := next["dropped"]; ok {
+		t.Fatalf("dropped tally did not reset after delivery: %s", ev.Data)
+	}
+	if got := s.DroppedEvents(); got != overflow {
+		t.Fatalf("session total moved to %d after deliveries, want %d", got, overflow)
+	}
+}
+
+// The manager's EventsDropped metric aggregates open sessions live and
+// keeps a closed session's tally after it is gone.
+func TestManagerCountsDroppedEvents(t *testing.T) {
+	art := bankArtifact(t, 2)
+	m := NewManager(Options{})
+	defer m.Shutdown(t.Context())
+	s, err := m.open(art, "sequential", sched.Sequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cancel, err := s.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	var tel Telemetry
+	const overflow = 3
+	for i := 0; i < subBuffer+overflow; i++ {
+		if err := m.Step(s.ID(), 0, 1.0, &tel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Metrics().EventsDropped; got != overflow {
+		t.Fatalf("live EventsDropped = %d, want %d", got, overflow)
+	}
+	if err := m.Close(s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Metrics().EventsDropped; got != overflow {
+		t.Fatalf("EventsDropped after close = %d, want %d (tally lost on close)", got, overflow)
+	}
+}
+
+// TTL eviction racing a concurrent Step: eviction either loses the race
+// (the step completes with coherent telemetry) or waits it out; a step on
+// the just-evicted session fails cleanly with ErrClosed (HTTP 410) / the
+// manager's ErrNotFound — never a panic, never torn telemetry.
+func TestEvictionRacingStep(t *testing.T) {
+	art := bankArtifact(t, 2)
+	for round := 0; round < 50; round++ {
+		m := NewManager(Options{IdleTTL: time.Hour})
+		s, err := m.open(art, "sequential", sched.Sequential())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var tel Telemetry
+			var lastSeq uint64
+			for {
+				err := m.Step(s.ID(), 0, 1.0, &tel)
+				switch {
+				case err == nil:
+					// Telemetry from a winning step must be whole: the
+					// next seq, slices sized to the bank.
+					if tel.Seq != lastSeq+1 {
+						t.Errorf("torn telemetry: seq %d after %d", tel.Seq, lastSeq)
+						return
+					}
+					if len(tel.Available) != 2 || len(tel.Bound) != 2 || len(tel.Empty) != 2 {
+						t.Errorf("torn telemetry: bank slices %d/%d/%d",
+							len(tel.Available), len(tel.Bound), len(tel.Empty))
+						return
+					}
+					lastSeq = tel.Seq
+				case errors.Is(err, ErrNotFound), errors.Is(err, ErrClosed):
+					return // evicted under us — the clean outcome
+				case errors.Is(err, ErrBusy):
+					// contention with nothing; keep going
+				default:
+					t.Errorf("step during eviction: %v", err)
+					return
+				}
+			}
+		}()
+		// Force-evict concurrently with the stepper by pretending the TTL
+		// passed. Close inside waits out any in-flight step.
+		m.evictIdle(time.Now().Add(2 * time.Hour))
+		wg.Wait()
+
+		// The just-evicted session refuses further use, cleanly.
+		var tel Telemetry
+		if err := s.Step(0, 1.0, &tel); !errors.Is(err, ErrClosed) {
+			t.Fatalf("step on evicted session = %v, want ErrClosed", err)
+		}
+		if err := m.Step(s.ID(), 0, 1.0, &tel); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("manager step on evicted session = %v, want ErrNotFound", err)
+		}
+		if got := m.Metrics().Evicted; got != 1 {
+			t.Fatalf("evicted = %d, want 1", got)
+		}
+		m.Shutdown(t.Context())
+	}
+}

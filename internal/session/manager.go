@@ -65,7 +65,10 @@ type Manager struct {
 	closed   uint64
 	evicted  uint64
 	steps    uint64
-	down     bool
+	// dropped accumulates the dropped-event tallies of closed sessions;
+	// open sessions are summed live in Metrics.
+	dropped uint64
+	down    bool
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -204,7 +207,19 @@ func (m *Manager) Close(id string) error {
 		return fmt.Errorf("%w (%q)", ErrNotFound, id)
 	}
 	s.Close("closed")
+	m.harvestDropped(s)
 	return nil
+}
+
+// harvestDropped folds a closed session's dropped-event tally into the
+// manager's lifetime counter. Must run after s.Close (the count is final
+// then: Close waits out an in-flight step, so no publish follows it).
+func (m *Manager) harvestDropped(s *Session) {
+	if n := s.DroppedEvents(); n > 0 {
+		m.mu.Lock()
+		m.dropped += n
+		m.mu.Unlock()
+	}
 }
 
 // janitor evicts idle sessions until the manager shuts down.
@@ -240,6 +255,7 @@ func (m *Manager) evictIdle(now time.Time) {
 	m.mu.Unlock()
 	for _, s := range victims {
 		s.Close("idle-evicted")
+		m.harvestDropped(s)
 	}
 }
 
@@ -269,6 +285,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	close(m.janitorStop)
 	for _, s := range victims {
 		s.Close("shutdown")
+		m.harvestDropped(s)
 	}
 	<-m.janitorDone
 	return ctx.Err()
@@ -292,6 +309,9 @@ type Metrics struct {
 	Closed  uint64
 	Evicted uint64
 	Steps   uint64
+	// EventsDropped counts step events dropped on full subscriber buffers
+	// across all sessions, open and closed.
+	EventsDropped uint64
 	// PerPolicy is sorted by policy name for stable exposition.
 	PerPolicy []PolicyLatency
 }
@@ -301,11 +321,15 @@ func (m *Manager) Metrics() Metrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := Metrics{
-		Open:    len(m.sessions),
-		Opened:  m.opened,
-		Closed:  m.closed,
-		Evicted: m.evicted,
-		Steps:   m.steps,
+		Open:          len(m.sessions),
+		Opened:        m.opened,
+		Closed:        m.closed,
+		Evicted:       m.evicted,
+		Steps:         m.steps,
+		EventsDropped: m.dropped,
+	}
+	for _, s := range m.sessions {
+		out.EventsDropped += s.DroppedEvents()
 	}
 	for name, ps := range m.perPol {
 		pl := PolicyLatency{Policy: name, Steps: ps.steps}

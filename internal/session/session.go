@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,8 +85,17 @@ type Event struct {
 
 // subBuffer is each subscriber's channel depth; a consumer that falls
 // further behind misses intermediate steps (state updates are snapshots,
-// so the next event supersedes the missed ones anyway).
+// so the next event supersedes the missed ones anyway). Drops are
+// accounted, not silent: the next frame a lagging subscriber receives
+// carries a "dropped" count, and the session totals them for /metrics.
 const subBuffer = 16
+
+// subscriber is one event consumer: its channel plus the number of step
+// events dropped since it last accepted one (guarded by subMu).
+type subscriber struct {
+	ch      chan Event
+	dropped uint64
+}
 
 // Session is one streaming scheduling session. Safe for concurrent use:
 // steps serialize via a try-lock (concurrent callers get ErrBusy), and
@@ -110,11 +120,14 @@ type Session struct {
 	lastUsed atomic.Int64
 
 	subMu   sync.Mutex
-	subs    map[int]chan Event
+	subs    map[int]*subscriber
 	nextSub int
 	// nSubs mirrors len(subs) so the step path can skip event encoding
 	// entirely — without even the subscription lock — when nobody listens.
 	nSubs atomic.Int32
+	// eventsDropped counts step events dropped across all subscribers over
+	// the session's lifetime.
+	eventsDropped atomic.Uint64
 }
 
 // New opens a session on a shared bank artifact with a fresh per-session
@@ -135,7 +148,7 @@ func New(id string, art *core.Compiled, policyName string, policy sched.Policy) 
 		choose:     policy.NewChooser(),
 		stepMin:    stepMin,
 		unitAmpMin: unitAmpMin,
-		subs:       map[int]chan Event{},
+		subs:       map[int]*subscriber{},
 	}
 	s.lastUsed.Store(time.Now().UnixNano())
 	return s, nil
@@ -287,17 +300,21 @@ func (s *Session) Close(reason string) {
 
 	data := []byte(fmt.Sprintf(`{"reason":%q}`, reason))
 	s.subMu.Lock()
-	for id, ch := range s.subs {
+	for id, sub := range s.subs {
 		select {
-		case ch <- Event{Kind: "closed", Data: data}:
+		case sub.ch <- Event{Kind: "closed", Data: data}:
 		default:
 		}
-		close(ch)
+		close(sub.ch)
 		delete(s.subs, id)
 	}
 	s.nSubs.Store(0)
 	s.subMu.Unlock()
 }
+
+// DroppedEvents returns how many step events were dropped on full
+// subscriber buffers over the session's lifetime.
+func (s *Session) DroppedEvents() uint64 { return s.eventsDropped.Load() }
 
 // Subscribe registers an event consumer and returns its channel plus a
 // cancel function. The channel closes when the consumer cancels or the
@@ -315,8 +332,8 @@ func (s *Session) Subscribe() (<-chan Event, func(), error) {
 	s.subMu.Lock()
 	id := s.nextSub
 	s.nextSub++
-	ch := make(chan Event, subBuffer)
-	s.subs[id] = ch
+	sub := &subscriber{ch: make(chan Event, subBuffer)}
+	s.subs[id] = sub
 	s.nSubs.Store(int32(len(s.subs)))
 	s.subMu.Unlock()
 	s.mu.Unlock()
@@ -325,11 +342,11 @@ func (s *Session) Subscribe() (<-chan Event, func(), error) {
 		defer s.subMu.Unlock()
 		if c, ok := s.subs[id]; ok {
 			delete(s.subs, id)
-			close(c)
+			close(c.ch)
 			s.nSubs.Store(int32(len(s.subs)))
 		}
 	}
-	return ch, cancel, nil
+	return sub.ch, cancel, nil
 }
 
 // marshalTelemetry is the one telemetry encoding shared by events and the
@@ -337,7 +354,10 @@ func (s *Session) Subscribe() (<-chan Event, func(), error) {
 func marshalTelemetry(tel *Telemetry) ([]byte, error) { return json.Marshal(tel) }
 
 // publishStep encodes the telemetry once and offers it to every
-// subscriber, dropping it for subscribers with full buffers.
+// subscriber. A subscriber with a full buffer has the event dropped and
+// its tally bumped; the next frame it does accept is re-encoded with a
+// "dropped" field carrying that tally, so a lagging consumer can tell a
+// gap from a quiet session.
 func (s *Session) publishStep(tel *Telemetry) {
 	data, err := marshalTelemetry(tel)
 	if err != nil {
@@ -345,10 +365,27 @@ func (s *Session) publishStep(tel *Telemetry) {
 	}
 	s.subMu.Lock()
 	defer s.subMu.Unlock()
-	for _, ch := range s.subs {
+	for _, sub := range s.subs {
+		frame := data
+		if sub.dropped > 0 {
+			frame = spliceDropped(data, sub.dropped)
+		}
 		select {
-		case ch <- Event{Kind: "step", Data: data}:
+		case sub.ch <- Event{Kind: "step", Data: frame}:
+			sub.dropped = 0
 		default:
+			sub.dropped++
+			s.eventsDropped.Add(1)
 		}
 	}
+}
+
+// spliceDropped rewrites a marshalled telemetry object to carry a
+// trailing "dropped" count, without re-marshalling the telemetry.
+func spliceDropped(data []byte, dropped uint64) []byte {
+	out := make([]byte, 0, len(data)+24)
+	out = append(out, data[:len(data)-1]...)
+	out = append(out, `,"dropped":`...)
+	out = strconv.AppendUint(out, dropped, 10)
+	return append(out, '}')
 }

@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"batsched/internal/battery"
+	"batsched/internal/core"
+	"batsched/internal/sched"
+)
+
+// A panicking scenario must not kill the process: the worker recovers,
+// remaining scenarios abort, and Run reports the panic (with stack) as a
+// *PanicError.
+func TestRunContainsWorkerPanic(t *testing.T) {
+	bomb := PolicyCase{Name: "bomb", Run: func(*core.Compiled) (float64, int, error) {
+		panic("solver exploded")
+	}}
+	spec := Spec{
+		Banks:    []Bank{BankOf("2xB1", battery.B1(), 2)},
+		Loads:    mustPaperLoads(t, []string{"ILs alt"}),
+		Policies: append(Policies(sched.RoundRobin()), bomb),
+	}
+	results, err := Run(spec, Options{Workers: 2})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run error = %v, want *PanicError", err)
+	}
+	if !strings.Contains(pe.Error(), "solver exploded") {
+		t.Fatalf("panic value lost: %v", pe)
+	}
+	if !strings.Contains(string(pe.Stack), "panic_test.go") {
+		t.Fatal("panic stack does not point at the panic site")
+	}
+	// The panicked scenario carries the error; results remain addressable.
+	found := false
+	for _, r := range results {
+		if r.Policy == "bomb" && r.Err != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no result marked with the panic")
+	}
+}
+
+// A panic aborts the scenarios not yet started — they are marked canceled,
+// not silently zero — while already-finished ones keep their results.
+func TestRunPanicAbortsRemainingScenarios(t *testing.T) {
+	bomb := PolicyCase{Name: "bomb", Run: func(*core.Compiled) (float64, int, error) {
+		panic("early bomb")
+	}}
+	// Single worker: the bomb (first policy) runs before everything else,
+	// so every later scenario must observe the abort.
+	spec := Spec{
+		Banks:    []Bank{BankOf("2xB1", battery.B1(), 2)},
+		Loads:    mustPaperLoads(t, []string{"ILs alt", "CL alt"}),
+		Policies: append([]PolicyCase{bomb}, Policies(sched.RoundRobin())...),
+	}
+	results, err := Run(spec, Options{Workers: 1})
+	if err == nil {
+		t.Fatal("Run returned nil error after panic")
+	}
+	for i, r := range results[1:] {
+		if !errors.Is(r.Err, ErrCanceled) {
+			t.Fatalf("scenario %d after panic: err = %v, want ErrCanceled", i+1, r.Err)
+		}
+	}
+}
+
+func mustPaperLoads(t *testing.T, names []string) []LoadCase {
+	t.Helper()
+	lcs, err := PaperLoads(names, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lcs
+}

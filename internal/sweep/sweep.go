@@ -16,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"batsched/internal/battery"
 	"batsched/internal/core"
@@ -202,6 +204,23 @@ type Options struct {
 // ErrCanceled marks scenarios skipped because Options.Cancel fired.
 var ErrCanceled = errors.New("sweep: run canceled")
 
+// PanicError reports a panic recovered inside a sweep worker — a solver or
+// callback blowing up on one scenario. The workers run on raw goroutines,
+// so without this containment a single panicking cell would kill the whole
+// process, not just its request. Run aborts the remaining scenarios and
+// returns the first PanicError; the job layer marks the job failed with
+// the captured stack.
+type PanicError struct {
+	// Value is the recovered panic value; Stack the goroutine stack at the
+	// panic site.
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: scenario panicked: %v", e.Value)
+}
+
 // Run expands the spec into scenarios and executes them over a worker pool,
 // returning one Result per scenario in deterministic nested order (grid,
 // then bank, then load, then policy). Per-scenario failures are reported in
@@ -239,7 +258,19 @@ func Run(spec Spec, opts Options) ([]Result, error) {
 			return core.Compile(bank.Batteries, lc.Load, grid.StepMin, grid.UnitAmpMin)
 		}
 	}
+	// A recovered worker panic aborts the rest of the run: scenarios not
+	// yet started are marked ErrCanceled and Run returns the PanicError.
+	// One struct, not three locals — the worker closures capture it as a
+	// single heap cell.
+	var panicked struct {
+		aborted atomic.Bool
+		mu      sync.Mutex
+		err     *PanicError
+	}
 	canceled := func() bool {
+		if panicked.aborted.Load() {
+			return true
+		}
 		if opts.Cancel == nil {
 			return false
 		}
@@ -276,42 +307,60 @@ func Run(spec Spec, opts Options) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				p := i % len(spec.Policies)
-				c := i / len(spec.Policies) // == cell index: ((g*B)+b)*L + l
-				g := c / (len(spec.Banks) * len(spec.Loads))
-				b := c / len(spec.Loads) % len(spec.Banks)
-				l := c % len(spec.Loads)
-				r := &results[i]
-				served := false
-				if opts.Lookup != nil && !canceled() {
-					if res, ok := opts.Lookup(i); ok {
-						*r = res
-						r.Cached = true
-						served = true
-					}
-				}
-				// The scenario names always come from the spec, not the
-				// lookup: the deterministic labeling must hold whatever a
-				// cache returns.
-				r.Grid, r.Bank, r.Load, r.Policy =
-					grids[g].Name, spec.Banks[b].Name, spec.Loads[l].Name, spec.Policies[p].Name
-				if !served {
-					switch {
-					case canceled():
-						r.Err = ErrCanceled
-					default:
-						var compiled *core.Compiled
-						compiled, r.Err = getCell(c, g, b, l)
-						if r.Err == nil {
-							r.Lifetime, r.Decisions, r.Stats, r.Err = runScenario(compiled, spec.Policies[p])
+				// Each scenario runs inside its own recover frame: a panic
+				// in a solver, compile, or callback poisons only this item,
+				// aborts the remaining queue, and surfaces as Run's error —
+				// the worker loop and the process survive.
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							pe := &PanicError{Value: p, Stack: debug.Stack()}
+							panicked.mu.Lock()
+							if panicked.err == nil {
+								panicked.err = pe
+							}
+							panicked.mu.Unlock()
+							panicked.aborted.Store(true)
+							results[i].Err = pe
+						}
+					}()
+					p := i % len(spec.Policies)
+					c := i / len(spec.Policies) // == cell index: ((g*B)+b)*L + l
+					g := c / (len(spec.Banks) * len(spec.Loads))
+					b := c / len(spec.Loads) % len(spec.Banks)
+					l := c % len(spec.Loads)
+					r := &results[i]
+					served := false
+					if opts.Lookup != nil && !canceled() {
+						if res, ok := opts.Lookup(i); ok {
+							*r = res
+							r.Cached = true
+							served = true
 						}
 					}
-				}
-				if opts.OnResult != nil {
-					emitMu.Lock()
-					opts.OnResult(i, *r)
-					emitMu.Unlock()
-				}
+					// The scenario names always come from the spec, not the
+					// lookup: the deterministic labeling must hold whatever a
+					// cache returns.
+					r.Grid, r.Bank, r.Load, r.Policy =
+						grids[g].Name, spec.Banks[b].Name, spec.Loads[l].Name, spec.Policies[p].Name
+					if !served {
+						switch {
+						case canceled():
+							r.Err = ErrCanceled
+						default:
+							var compiled *core.Compiled
+							compiled, r.Err = getCell(c, g, b, l)
+							if r.Err == nil {
+								r.Lifetime, r.Decisions, r.Stats, r.Err = runScenario(compiled, spec.Policies[p])
+							}
+						}
+					}
+					if opts.OnResult != nil {
+						emitMu.Lock()
+						opts.OnResult(i, *r)
+						emitMu.Unlock()
+					}
+				}()
 			}
 		}()
 	}
@@ -320,6 +369,9 @@ func Run(spec Spec, opts Options) ([]Result, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	if panicked.err != nil {
+		return results, panicked.err
+	}
 	return results, nil
 }
 
