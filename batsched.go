@@ -33,6 +33,7 @@
 package batsched
 
 import (
+	"context"
 	"io"
 
 	"batsched/internal/battery"
@@ -42,6 +43,7 @@ import (
 	"batsched/internal/load"
 	"batsched/internal/mc"
 	"batsched/internal/mcarlo"
+	"batsched/internal/obs"
 	"batsched/internal/sched"
 	"batsched/internal/service"
 	"batsched/internal/session"
@@ -543,3 +545,50 @@ func GreedySOC() Policy { return sched.GreedySOC() }
 // EFQ schedules by energy fair queueing: each decision goes to the battery
 // with the least virtual time (energy served over capacity weight).
 func EFQ() Policy { return sched.EFQ() }
+
+// Observability (internal/obs): a dependency-free metrics registry with
+// Prometheus-compatible text exposition, bounded in-memory tracing with
+// W3C traceparent propagation, and trace-aware structured logging.
+// cmd/batserve wires one registry and tracer across every layer; embedders
+// can thread the same instruments through EvalOptions.CellLatency,
+// JobOptions.QueueWait/RunLatency, SessionOptions.StepLatency, and
+// StoreOptions.AppendLatency.
+type (
+	// MetricsRegistry owns named counters, gauges, and histograms and
+	// renders them as a plain-text exposition.
+	MetricsRegistry = obs.Registry
+	// Histogram is a fixed-bucket latency histogram; a nil Histogram is a
+	// no-op, so instrument hooks cost nothing when unset.
+	Histogram = obs.Histogram
+	// HistogramSnapshot is a point-in-time histogram copy with Mean and
+	// interpolated Quantile.
+	HistogramSnapshot = obs.HistogramSnapshot
+	// Tracer records completed spans in a bounded ring.
+	Tracer = obs.Tracer
+	// Span is one traced operation; a nil Span is a no-op.
+	Span = obs.Span
+	// TraceLink carries a trace identity across an async boundary (e.g.
+	// into a queued job); the zero TraceLink is inert.
+	TraceLink = obs.Link
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewHistogram builds a standalone histogram; nil bounds mean the default
+// latency buckets (100ns to 10s).
+func NewHistogram(bounds []float64) *Histogram { return obs.NewHistogram(bounds) }
+
+// NewTracer builds a tracer whose span ring holds size completed spans
+// (<= 0 means the 4096 default).
+func NewTracer(size int) *Tracer { return obs.NewTracer(size) }
+
+// WithTracer arms tracing on a context; StartSpan opens a span on an armed
+// context and is free (no allocation, nil span) on an unarmed one.
+func WithTracer(ctx context.Context, t *Tracer) context.Context { return obs.WithTracer(ctx, t) }
+
+// StartSpan opens a span named name if ctx is armed with a tracer; the
+// returned context parents later spans under it.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.StartSpan(ctx, name)
+}

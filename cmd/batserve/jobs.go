@@ -2,7 +2,6 @@ package main
 
 import (
 	"errors"
-	"fmt"
 	"net/http"
 	"time"
 
@@ -18,7 +17,9 @@ func (a *app) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := a.jobs.Submit(req)
+	// SubmitContext carries the request's trace link into the job, so the
+	// queued run continues this trace and the status reports its trace_id.
+	st, err := a.jobs.SubmitContext(r.Context(), req)
 	if err != nil {
 		writeError(w, jobStatusFor(err), err)
 		return
@@ -88,70 +89,14 @@ func (a *app) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves the operational counters as a plain-text exposition
-// (stdlib only, prometheus-compatible line format): jobs by state, queue
-// and worker gauges, cases evaluated, result-store and compiled-cache
-// counters.
+// (stdlib only, prometheus-compatible line format). The legacy fprintf body
+// now lives in legacyMetrics (obs.go), registered as a registry collector,
+// so its lines come out byte-identical and first — followed by the
+// registry's native histogram families (request, store-append, job
+// queue/run, sweep-cell, and per-policy step latency buckets).
 func (a *app) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	jm := a.jobs.Metrics()
-	cs := a.svc.Stats()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	for _, s := range []batsched.JobState{
-		batsched.JobQueued, batsched.JobRunning, batsched.JobDone,
-		batsched.JobFailed, batsched.JobCancelled,
-	} {
-		fmt.Fprintf(w, "batserve_jobs{state=%q} %d\n", s, jm.JobsByState[s])
-	}
-	fmt.Fprintf(w, "batserve_job_queue_depth %d\n", jm.QueueDepth)
-	fmt.Fprintf(w, "batserve_job_queue_bound %d\n", jm.QueueBound)
-	fmt.Fprintf(w, "batserve_job_cases_evaluated_total %d\n", jm.CasesEvaluated)
-	fmt.Fprintf(w, "batserve_job_cases_from_cache_total %d\n", jm.CasesFromCache)
-	fmt.Fprintf(w, "batserve_workers_busy %d\n", jm.WorkersBusy)
-	fmt.Fprintf(w, "batserve_workers_total %d\n", jm.WorkersTotal)
-	fmt.Fprintf(w, "batserve_store_entries %d\n", jm.Store.Entries)
-	fmt.Fprintf(w, "batserve_store_requests %d\n", jm.Store.Requests)
-	fmt.Fprintf(w, "batserve_store_hits_total %d\n", jm.Store.Hits)
-	fmt.Fprintf(w, "batserve_store_misses_total %d\n", jm.Store.Misses)
-	fmt.Fprintf(w, "batserve_store_cell_hits_total %d\n", jm.Store.CellHits)
-	fmt.Fprintf(w, "batserve_store_cell_misses_total %d\n", jm.Store.CellMisses)
-	fmt.Fprintf(w, "batserve_store_quarantined_total %d\n", jm.Store.Quarantined)
-	fmt.Fprintf(w, "batserve_store_append_errors_total %d\n", jm.Store.AppendErrors)
-	fmt.Fprintf(w, "batserve_store_append_retries_total %d\n", jm.Store.AppendRetries)
-	fmt.Fprintf(w, "batserve_store_dropped_puts_total %d\n", jm.Store.DroppedPuts)
-	fmt.Fprintf(w, "batserve_store_sync_errors_total %d\n", jm.Store.SyncErrors)
-	degraded := 0
-	if jm.Store.Degraded {
-		degraded = 1
-	}
-	fmt.Fprintf(w, "batserve_store_degraded %d\n", degraded)
-	fmt.Fprintf(w, "batserve_job_retries_total %d\n", jm.Retries)
-	fmt.Fprintf(w, "batserve_job_panics_total %d\n", jm.Panics)
-	fmt.Fprintf(w, "batserve_requests_shed_total %d\n", a.shed.Load())
-	fmt.Fprintf(w, "batserve_cache_entries %d\n", cs.Entries)
-	fmt.Fprintf(w, "batserve_cache_compiles_total %d\n", cs.Compiles)
-	fmt.Fprintf(w, "batserve_cache_hits_total %d\n", cs.Hits)
-	fmt.Fprintf(w, "batserve_sweep_cell_hits_total %d\n", cs.CellHits)
-	fmt.Fprintf(w, "batserve_sweep_cells_evaluated_total %d\n", cs.CellsEvaluated)
-	fmt.Fprintf(w, "batserve_store_errors_total %d\n", cs.StoreErrors)
-	fmt.Fprintf(w, "batserve_search_states_total %d\n", cs.Search.States)
-	fmt.Fprintf(w, "batserve_search_leaves_total %d\n", cs.Search.Leaves)
-	fmt.Fprintf(w, "batserve_search_memo_hits_total %d\n", cs.Search.MemoHits)
-	fmt.Fprintf(w, "batserve_search_pruned_total %d\n", cs.Search.Pruned)
-	fmt.Fprintf(w, "batserve_search_lp_bounds_total %d\n", cs.Search.LPBounds)
-	fmt.Fprintf(w, "batserve_search_lp_pruned_total %d\n", cs.Search.LPPruned)
-	fmt.Fprintf(w, "batserve_search_steals_total %d\n", cs.Search.Steals)
-	fmt.Fprintf(w, "batserve_search_shared_memo_hits_total %d\n", cs.Search.SharedMemoHits)
-	sm := a.sessions.Metrics()
-	fmt.Fprintf(w, "batserve_sessions_open %d\n", sm.Open)
-	fmt.Fprintf(w, "batserve_sessions_opened_total %d\n", sm.Opened)
-	fmt.Fprintf(w, "batserve_sessions_closed_total %d\n", sm.Closed)
-	fmt.Fprintf(w, "batserve_sessions_evicted_total %d\n", sm.Evicted)
-	fmt.Fprintf(w, "batserve_session_steps_total %d\n", sm.Steps)
-	fmt.Fprintf(w, "batserve_session_events_dropped_total %d\n", sm.EventsDropped)
-	for _, pl := range sm.PerPolicy {
-		fmt.Fprintf(w, "batserve_session_policy_steps_total{policy=%q} %d\n", pl.Policy, pl.Steps)
-		fmt.Fprintf(w, "batserve_session_policy_step_mean_nanos{policy=%q} %d\n", pl.Policy, pl.MeanNanos)
-	}
-	fmt.Fprintf(w, "batserve_uptime_seconds %d\n", int64(time.Since(a.start).Seconds()))
+	_ = a.obs.reg.Expose(w)
 }
 
 // jobStatusFor maps job-layer errors to HTTP statuses.

@@ -4,7 +4,8 @@
 //
 //	GET    /healthz              liveness: uptime, build, cache + queue gauges
 //	GET    /readyz               readiness: 503 while draining or store-degraded
-//	GET    /metrics              plain-text operational counters
+//	GET    /metrics              plain-text operational counters + histograms
+//	GET    /debug/traces         recent spans (JSON), ?trace= filters one trace
 //	GET    /v1/policies          every solver addressable by name (with aliases)
 //	POST   /v1/run               evaluate one scenario cell -> one JSON object
 //	POST   /v1/sweep             evaluate a scenario grid   -> NDJSON stream
@@ -53,6 +54,7 @@
 //	         [-store-sync interval] [-store-sync-interval 1s]
 //	         [-max-sessions N] [-session-ttl 5m] [-drain 30s]
 //	         [-request-timeout 2m] [-max-inflight N]
+//	         [-debug-addr :6060] [-log-level info]
 //
 // Example:
 //
@@ -68,6 +70,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -75,6 +78,7 @@ import (
 	"time"
 
 	"batsched"
+	"batsched/internal/obs"
 )
 
 func main() {
@@ -92,7 +96,22 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	requestTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request deadline on synchronous evaluation endpoints (0 = none)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing synchronous evaluations before shedding with 429 (0 = unlimited)")
+	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof, /debug/traces, and runtime metrics (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "batserve: -log-level: %v\n", err)
+		os.Exit(1)
+	}
+	// The observability kit is built before any layer so its histograms can
+	// be threaded into the layer options: store append, job queue wait and
+	// run time, per-cell sweep evaluation, and per-policy session stepping
+	// all land in registry-owned bucket families on /metrics.
+	kit := newObsKit()
+	kit.logger = obs.NewLogger(os.Stderr, level)
+	logger := kit.logger
 
 	syncPolicy, err := batsched.ParseStoreSyncPolicy(*storeSync)
 	if err != nil {
@@ -100,12 +119,13 @@ func main() {
 		os.Exit(1)
 	}
 	st, err := batsched.OpenResultStoreWith(batsched.StoreOptions{
-		Path:         *storePath,
-		Sync:         syncPolicy,
-		SyncInterval: *storeSyncInterval,
+		Path:          *storePath,
+		Sync:          syncPolicy,
+		SyncInterval:  *storeSyncInterval,
+		AppendLatency: kit.appendLatency,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "batserve: %v\n", err)
+		logger.Error("store open failed", "error", err)
 		os.Exit(1)
 	}
 	// The service and the job manager share one store: synchronous sweeps
@@ -115,11 +135,14 @@ func main() {
 		MaxConcurrent: *concurrency,
 		CacheEntries:  *cacheSize,
 		Store:         st,
+		CellLatency:   kit.cellLatency,
 	})
 	mgr := batsched.NewJobManager(svc, st, batsched.JobOptions{
 		Workers:    *jobWorkers,
 		QueueDepth: *queueDepth,
 		RetainJobs: *retainJobs,
+		QueueWait:  kit.queueWait,
+		RunLatency: kit.runLatency,
 	})
 	// Sessions compile bank artifacts through the service so streaming
 	// sessions and sweeps on the same bank share one cached artifact (and
@@ -128,11 +151,13 @@ func main() {
 		MaxSessions: *maxSessions,
 		IdleTTL:     *sessionTTL,
 		CompileBank: svc.CompileBank,
+		StepLatency: kit.stepLatency,
 	})
 	a := &app{
 		svc: svc, jobs: mgr, sessions: sess, st: st, start: time.Now(),
 		requestTimeout: *requestTimeout,
 		maxInflight:    int64(*maxInflight),
+		obs:            kit,
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -142,16 +167,35 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("batserve: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr)
+
+	// The optional debug listener carries the heavier diagnostics — pprof,
+	// the span ring, and runtime-metrics gauges folded into the exposition —
+	// on a separate address an operator can keep off the public interface.
+	if *debugAddr != "" {
+		obs.RegisterRuntimeMetrics(kit.reg)
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugMux(kit.reg, kit.tracer),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
+		defer dbg.Close()
+		logger.Info("debug listening", "addr", *debugAddr)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "batserve: %v\n", err)
+		logger.Error("serve failed", "error", err)
 		os.Exit(1)
 	case sig := <-stop:
-		fmt.Fprintf(os.Stderr, "batserve: %v, draining (timeout %s)\n", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "timeout", drain.String())
 	}
 
 	// Flip readiness first: /readyz answers 503 (and the sync endpoints
@@ -162,10 +206,10 @@ func main() {
 		if errors.Is(err, context.DeadlineExceeded) {
 			// The deadline path is still clean: remaining jobs were cancelled
 			// and the store closed; report it without failing the exit.
-			fmt.Fprintf(os.Stderr, "batserve: drain timeout, running jobs cancelled\n")
+			logger.Warn("drain timeout, running jobs cancelled")
 			return
 		}
-		fmt.Fprintf(os.Stderr, "batserve: shutdown: %v\n", err)
+		logger.Error("shutdown failed", "error", err)
 		os.Exit(1)
 	}
 }

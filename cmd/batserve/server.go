@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -49,29 +50,50 @@ type app struct {
 	// draining flips when graceful shutdown begins: /readyz goes not-ready
 	// (so load balancers stop routing here) while in-flight work finishes.
 	draining atomic.Bool
+
+	// obs is the observability kit: metrics registry, tracer, logger, and
+	// the layer histograms. main threads a kit through the layer options
+	// before building the app; when tests construct an app literal without
+	// one, newHandler fills it in lazily via initObs.
+	obs     *obsKit
+	obsOnce sync.Once
 }
 
 // newHandler wires the API routes onto a fresh mux. It takes the app state
-// (not globals) so httptest can stand up isolated instances.
+// (not globals) so httptest can stand up isolated instances. Every route
+// runs under the instrument middleware — request id, tracing, and latency
+// accounting — with guard (shedding, deadlines) inside it, so even 429/503
+// rejections are traced and carry X-Request-ID.
 func newHandler(a *app) http.Handler {
+	a.initObs()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", a.handleHealth)
-	mux.HandleFunc("GET /readyz", a.handleReady)
-	mux.HandleFunc("GET /metrics", a.handleMetrics)
-	mux.HandleFunc("GET /v1/policies", handlePolicies)
-	mux.HandleFunc("POST /v1/run", a.guard(a.handleRun))
-	mux.HandleFunc("POST /v1/sweep", a.guard(a.handleSweep))
-	mux.HandleFunc("POST /v1/jobs", a.handleJobSubmit)
-	mux.HandleFunc("GET /v1/jobs", a.handleJobList)
-	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJobGet)
-	mux.HandleFunc("GET /v1/jobs/{id}/results", a.handleJobResults)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleJobCancel)
-	mux.HandleFunc("POST /v1/sessions", a.handleSessionOpen)
-	mux.HandleFunc("GET /v1/sessions/{id}", a.handleSessionGet)
-	mux.HandleFunc("POST /v1/sessions/{id}/step", a.handleSessionStep)
-	mux.HandleFunc("GET /v1/sessions/{id}/events", a.handleSessionEvents)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", a.handleSessionClose)
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, a.instrument(pattern, h))
+	}
+	route("GET /healthz", a.handleHealth)
+	route("GET /readyz", a.handleReady)
+	route("GET /metrics", a.handleMetrics)
+	route("GET /debug/traces", a.handleTraces)
+	route("GET /v1/policies", handlePolicies)
+	route("POST /v1/run", a.guard(a.handleRun))
+	route("POST /v1/sweep", a.guard(a.handleSweep))
+	route("POST /v1/jobs", a.handleJobSubmit)
+	route("GET /v1/jobs", a.handleJobList)
+	route("GET /v1/jobs/{id}", a.handleJobGet)
+	route("GET /v1/jobs/{id}/results", a.handleJobResults)
+	route("DELETE /v1/jobs/{id}", a.handleJobCancel)
+	route("POST /v1/sessions", a.handleSessionOpen)
+	route("GET /v1/sessions/{id}", a.handleSessionGet)
+	route("POST /v1/sessions/{id}/step", a.handleSessionStep)
+	route("GET /v1/sessions/{id}/events", a.handleSessionEvents)
+	route("DELETE /v1/sessions/{id}", a.handleSessionClose)
 	return mux
+}
+
+// handleTraces dumps the tracer's span ring as JSON, filterable with
+// ?trace=<hex id> (the id a job status reports as trace_id) and ?limit=.
+func (a *app) handleTraces(w http.ResponseWriter, r *http.Request) {
+	a.obs.tracer.ServeDump(w, r)
 }
 
 // writeJSON writes v as a single JSON response.
@@ -83,12 +105,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError maps an error to a JSON {"error": ...} payload. Backpressure
 // statuses carry Retry-After so well-behaved clients back off instead of
-// hammering an already-saturated (or draining) server.
+// hammering an already-saturated (or draining) server. The payload echoes
+// the request id the instrument middleware stamped on the response header,
+// so an error report alone is enough to find the request in logs and traces.
 func writeError(w http.ResponseWriter, status int, err error) {
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	payload := map[string]string{"error": err.Error()}
+	if id := w.Header().Get("X-Request-ID"); id != "" {
+		payload["request_id"] = id
+	}
+	writeJSON(w, status, payload)
 }
 
 // Load-shedding errors.

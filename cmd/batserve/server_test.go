@@ -43,12 +43,19 @@ func newTestServerWithStore(t *testing.T, storePath string) *testServer {
 // nil) adjusts the app before the listener starts.
 func newTestServerOn(t *testing.T, st *batsched.ResultStore, tune func(*app)) *testServer {
 	t.Helper()
-	// Mirror main.go: the service and the job manager share the store, so
-	// sync sweeps and jobs reuse each other's cells.
-	svc := batsched.NewEvalService(batsched.EvalOptions{Store: st})
-	mgr := batsched.NewJobManager(svc, st, batsched.JobOptions{})
-	sess := batsched.NewSessionManager(batsched.SessionOptions{CompileBank: svc.CompileBank})
-	a := &app{svc: svc, jobs: mgr, sessions: sess, st: st, start: time.Now()}
+	// Mirror main.go: the observability kit is built first so its
+	// histograms thread into the layer options, and the service and the
+	// job manager share the store, so sync sweeps and jobs reuse each
+	// other's cells.
+	kit := newObsKit()
+	svc := batsched.NewEvalService(batsched.EvalOptions{Store: st, CellLatency: kit.cellLatency})
+	mgr := batsched.NewJobManager(svc, st, batsched.JobOptions{
+		QueueWait: kit.queueWait, RunLatency: kit.runLatency,
+	})
+	sess := batsched.NewSessionManager(batsched.SessionOptions{
+		CompileBank: svc.CompileBank, StepLatency: kit.stepLatency,
+	})
+	a := &app{svc: svc, jobs: mgr, sessions: sess, st: st, start: time.Now(), obs: kit}
 	if tune != nil {
 		tune(a)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"batsched"
+	"batsched/internal/obs"
 )
 
 // stepRequest is one draw event in wire form: a current draw held for a
@@ -71,11 +72,17 @@ func (a *app) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	_, span := obs.StartSpan(r.Context(), "session.step")
+	span.Set("session", r.PathValue("id"))
 	var tel batsched.SessionTelemetry
-	if err := a.sessions.Step(r.PathValue("id"), req.CurrentA, req.DurationMin, &tel); err != nil {
+	err := a.sessions.Step(r.PathValue("id"), req.CurrentA, req.DurationMin, &tel)
+	if err != nil {
+		span.Set("error", err.Error())
+		span.End()
 		writeError(w, sessionStatusFor(err), err)
 		return
 	}
+	span.End()
 	writeJSON(w, http.StatusOK, tel)
 }
 

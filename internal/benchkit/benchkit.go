@@ -25,6 +25,7 @@ import (
 	"batsched/internal/dkibam"
 	"batsched/internal/jobs"
 	"batsched/internal/load"
+	"batsched/internal/obs"
 	"batsched/internal/sched"
 	"batsched/internal/service"
 	"batsched/internal/session"
@@ -687,7 +688,83 @@ func suite() ([]kase, error) {
 	if err := add(sweepOverlapCase("sweep/overlap/resubmit-90pct/200-case-grid")); err != nil {
 		return nil, err
 	}
+	// The observability overhead pins: what instrumentation costs on paths
+	// that run per cell or per step. Disarmed span start/end is the price
+	// every un-traced request pays (gated at zero allocations); histogram
+	// observe is the per-sample recording cost (also zero-alloc); the armed
+	// span is the full record-into-ring lifecycle.
+	cases = append(cases,
+		obsDisarmedSpanCase("obs/span/disarmed-start-end"),
+		obsArmedSpanCase("obs/span/armed-start-end"),
+		obsHistogramCase("obs/histogram/observe"),
+	)
 	return cases, nil
+}
+
+// obsBatch is the inner repetition count of the obs cases: the measured
+// operations are a few nanoseconds each, so each timed op runs a fixed
+// batch to keep the harness loop overhead out of the signal. Reported
+// ns/op is per batch, comparable across reports.
+const obsBatch = 128
+
+// obsDisarmedSpanCase pins the disarmed-tracing overhead: StartSpan on a
+// context with no tracer must return the context untouched and a nil span
+// whose End is a no-op — zero allocations, held by the gate.
+func obsDisarmedSpanCase(name string) kase {
+	ctx := context.Background()
+	return kase{
+		name: name,
+		run: func() (float64, error) {
+			for i := 0; i < obsBatch; i++ {
+				sctx, sp := obs.StartSpan(ctx, "bench")
+				if sctx != ctx || sp != nil {
+					return 0, fmt.Errorf("benchkit: disarmed StartSpan armed itself")
+				}
+				sp.End()
+			}
+			return 0, nil
+		},
+	}
+}
+
+// obsArmedSpanCase pins the armed span lifecycle: id assignment, attribute
+// set, and the record landing in the ring.
+func obsArmedSpanCase(name string) kase {
+	tr := obs.NewTracer(1024)
+	ctx := obs.WithTracer(context.Background(), tr)
+	return kase{
+		name: name,
+		run: func() (float64, error) {
+			for i := 0; i < obsBatch; i++ {
+				_, sp := obs.StartSpan(ctx, "bench")
+				sp.SetInt("i", int64(i))
+				sp.End()
+			}
+			if tr.Active() != 0 {
+				return 0, fmt.Errorf("benchkit: armed span case leaked spans")
+			}
+			return 0, nil
+		},
+	}
+}
+
+// obsHistogramCase pins the per-sample recording cost of Histogram.Observe
+// (bucket search plus two atomics) — the price every instrumented cell,
+// step, commit, and request pays. Zero-alloc, held by the gate.
+func obsHistogramCase(name string) kase {
+	h := obs.NewHistogram(nil)
+	return kase{
+		name: name,
+		run: func() (float64, error) {
+			for i := 0; i < obsBatch; i++ {
+				h.Observe(float64(i%1000) * 1e-6)
+			}
+			if h.Count() == 0 {
+				return 0, fmt.Errorf("benchkit: histogram observed nothing")
+			}
+			return 0, nil
+		},
+	}
 }
 
 // CaseNames lists the pinned grid in order.
@@ -841,7 +918,7 @@ func (r Regression) String() string {
 // other cases are informational. optimal-par/* cases are gated on ns/op and
 // allocs/op but not on explored states (nondeterministic under stealing);
 // their parallel speedup is enforced separately by CheckSpeedups.
-var GatedPrefixes = []string{"policy-lifetime/", "optimal/", "optimal-par/", "sweep/", "session/"}
+var GatedPrefixes = []string{"policy-lifetime/", "optimal/", "optimal-par/", "sweep/", "session/", "obs/"}
 
 // allocSlack is how many allocs/op a zero-alloc baseline case may drift
 // before the gate fires: allocation counts are near-deterministic, but a

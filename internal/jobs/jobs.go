@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"batsched/internal/faults"
+	"batsched/internal/obs"
 	"batsched/internal/sched"
 	"batsched/internal/service"
 	"batsched/internal/spec"
@@ -99,10 +100,13 @@ type Status struct {
 	// Stats sums the optimal search's work counters over the job's
 	// evaluated cells (cache-served cells did no search work); omitted when
 	// no cell ran a search.
-	Stats       *sched.SearchStats `json:"stats,omitempty"`
-	SubmittedAt string             `json:"submitted_at,omitempty"`
-	StartedAt   string             `json:"started_at,omitempty"`
-	FinishedAt  string             `json:"finished_at,omitempty"`
+	Stats *sched.SearchStats `json:"stats,omitempty"`
+	// TraceID is the trace the submit request belonged to, when tracing was
+	// armed: feed it to GET /debug/traces?trace= to see the job's spans.
+	TraceID     string `json:"trace_id,omitempty"`
+	SubmittedAt string `json:"submitted_at,omitempty"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
 }
 
 // Terminal reports whether the job has finished (successfully or not).
@@ -158,6 +162,7 @@ type job struct {
 	cached    int
 	attempts  int
 	timeout   time.Duration // per-job deadline (0 = none), resolved at submit
+	link      obs.Link      // the submit request's trace identity (zero = untraced)
 	errText   string
 	stats     *sched.SearchStats
 	submitted time.Time
@@ -213,6 +218,12 @@ type Options struct {
 	// "jobs.run", consulted once per attempt). Chaos tests only; nil — the
 	// default — is free.
 	Injector *faults.Injector
+	// QueueWait, when set, observes each job's queued seconds (submit to
+	// start; store-served submissions never queue and are not observed).
+	// RunLatency observes each job's execution seconds (start to terminal,
+	// retries included). Nil histograms are no-ops.
+	QueueWait  *obs.Histogram
+	RunLatency *obs.Histogram
 }
 
 // Default bounds for the corresponding Options fields when unset.
@@ -239,6 +250,8 @@ type Manager struct {
 	retryBase  time.Duration
 	sleep      func(time.Duration)
 	inj        *faults.Injector
+	queueWait  *obs.Histogram
+	runLat     *obs.Histogram
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -297,6 +310,8 @@ func New(svc *service.Service, st *store.Store, opts Options) *Manager {
 		retryBase:  retryBase,
 		sleep:      sleep,
 		inj:        opts.Injector,
+		queueWait:  opts.QueueWait,
+		runLat:     opts.RunLatency,
 		jobs:       make(map[string]*job),
 	}
 	m.cond = sync.NewCond(&m.mu)
@@ -314,6 +329,15 @@ func (m *Manager) Store() *store.Store { return m.st }
 // whole-request index already holds the request's digest, the returned job
 // is immediately done with FromStore set and no cell is evaluated.
 func (m *Manager) Submit(req Request) (Status, error) {
+	return m.SubmitContext(context.Background(), req)
+}
+
+// SubmitContext is Submit carrying the caller's context: when the context
+// holds an active span (the HTTP submit handler's), its trace identity is
+// captured so the job's asynchronous execution continues the same trace and
+// the job status reports the trace id.
+func (m *Manager) SubmitContext(ctx context.Context, req Request) (Status, error) {
+	link := obs.LinkFromContext(ctx)
 	cells, digest, err := service.CellDigests(service.SweepRequest{Scenario: req.Scenario, Workers: req.Workers})
 	if err != nil {
 		return Status{}, err
@@ -345,6 +369,7 @@ func (m *Manager) Submit(req Request) (Status, error) {
 		cellDigests: cells,
 		total:       len(cells),
 		timeout:     timeout,
+		link:        link,
 		submitted:   time.Now(),
 		heapIdx:     -1, // set by the heap on push
 		done:        make(chan struct{}),
@@ -568,6 +593,7 @@ func (m *Manager) work() {
 		if j.cancelRequested {
 			cancel()
 		}
+		m.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
 		m.mu.Unlock()
 
 		m.busy.Add(1)
@@ -583,6 +609,13 @@ func (m *Manager) work() {
 // failed with the stack in its status, and the worker (and process)
 // survive to run the next job.
 func (m *Manager) run(ctx context.Context, j *job) {
+	// Re-arm the submit request's trace on the worker context so the job's
+	// spans — and everything the sweep records below them — land in the same
+	// trace the client saw on its submit response.
+	ctx = j.link.Context(ctx)
+	ctx, span := obs.StartSpan(ctx, "jobs.run")
+	span.Set("job", j.id)
+	runStart := time.Now()
 	var lines []json.RawMessage
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -611,7 +644,6 @@ func (m *Manager) run(ctx context.Context, j *job) {
 	var spe *sweep.PanicError
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	switch {
 	case err == nil:
 		m.finishLocked(j, StateDone, "")
@@ -636,6 +668,12 @@ func (m *Manager) run(ctx context.Context, j *job) {
 	default:
 		m.finishLocked(j, StateFailed, err.Error())
 	}
+	outcome, attempts := j.state, j.attempts
+	m.mu.Unlock()
+
+	m.runLat.ObserveSince(runStart)
+	span.Set("outcome", string(outcome)).SetInt("attempts", int64(attempts))
+	span.End()
 }
 
 // runAttempt is one evaluation attempt: fault-injection gate, per-job
@@ -780,6 +818,7 @@ func (j *job) status() Status {
 		c := *j.stats
 		st.Stats = &c
 	}
+	st.TraceID = j.link.Trace()
 	fmtTime := func(t time.Time) string {
 		if t.IsZero() {
 			return ""

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+)
+
+// TraceDump is the JSON shape /debug/traces serves.
+type TraceDump struct {
+	// Active is started-minus-ended spans right now (a nonzero value with no
+	// traffic in flight is a span leak); Started and Dropped are lifetime
+	// counters (Dropped counts ring overwrites).
+	Active  int64        `json:"active"`
+	Started uint64       `json:"started"`
+	Dropped uint64       `json:"dropped"`
+	Spans   []SpanRecord `json:"spans"`
+}
+
+// Dump snapshots the ring, optionally filtered to one trace id and capped
+// to the most recent limit spans (limit <= 0 = all).
+func (t *Tracer) Dump(trace string, limit int) TraceDump {
+	spans := t.Snapshot()
+	if trace != "" {
+		kept := spans[:0]
+		for _, s := range spans {
+			if s.Trace == trace {
+				kept = append(kept, s)
+			}
+		}
+		spans = kept
+	}
+	if limit > 0 && len(spans) > limit {
+		spans = spans[len(spans)-limit:]
+	}
+	if spans == nil {
+		spans = []SpanRecord{}
+	}
+	return TraceDump{
+		Active:  t.Active(),
+		Started: t.Started(),
+		Dropped: t.Dropped(),
+		Spans:   spans,
+	}
+}
+
+// ServeDump is the GET /debug/traces handler: the span ring as JSON, oldest
+// first. Query parameters: trace=<hex id> filters to one trace, limit=N
+// keeps only the most recent N spans.
+func (t *Tracer) ServeDump(w http.ResponseWriter, r *http.Request) {
+	limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+	dump := t.Dump(r.URL.Query().Get("trace"), limit)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(dump)
+}
+
+// RegisterRuntimeMetrics adds Go runtime gauges (goroutines, heap, GC
+// pauses) to the registry as a collector — one ReadMemStats per scrape.
+// Opt-in: batserve registers it only when the debug listener is enabled,
+// since ReadMemStats briefly stops the world.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.Collect(func(e *Exposition) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		e.Val("batserve_go_goroutines", int64(runtime.NumGoroutine()))
+		e.Val("batserve_go_heap_alloc_bytes", int64(ms.HeapAlloc))
+		e.Val("batserve_go_heap_objects", int64(ms.HeapObjects))
+		e.Val("batserve_go_gc_cycles_total", int64(ms.NumGC))
+		e.Float("batserve_go_gc_pause_total_seconds", float64(ms.PauseTotalNs)/1e9)
+	})
+}
+
+// DebugMux builds the opt-in debug listener's mux: pprof under
+// /debug/pprof/, the span ring under /debug/traces, and the registry's
+// exposition under /metrics (handy when the debug port is the only one
+// reachable).
+func DebugMux(reg *Registry, t *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if t != nil {
+		mux.HandleFunc("GET /debug/traces", t.ServeDump)
+	}
+	if reg != nil {
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = reg.Expose(w)
+		})
+	}
+	return mux
+}

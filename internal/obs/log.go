@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// TraceHandler decorates a slog.Handler so that every record logged with a
+// context carrying an active span gains trace and span attributes. Records
+// logged without a traced context pass through unchanged.
+type TraceHandler struct{ slog.Handler }
+
+// Handle stamps the record with the context's trace identity, then
+// delegates.
+func (h *TraceHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if s := SpanFrom(ctx); s != nil {
+		rec.AddAttrs(slog.String("trace", s.TraceHex()), slog.String("span", s.IDHex()))
+	}
+	return h.Handler.Handle(ctx, rec)
+}
+
+// WithAttrs keeps the trace decoration on derived handlers.
+func (h *TraceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &TraceHandler{Handler: h.Handler.WithAttrs(attrs)}
+}
+
+// WithGroup keeps the trace decoration on derived handlers.
+func (h *TraceHandler) WithGroup(name string) slog.Handler {
+	return &TraceHandler{Handler: h.Handler.WithGroup(name)}
+}
+
+// NewLogger builds a text slog.Logger writing to w whose records carry the
+// trace id whenever they are logged through a traced context
+// (slog.InfoContext and friends).
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(&TraceHandler{Handler: slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})})
+}

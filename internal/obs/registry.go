@@ -1,0 +1,341 @@
+// Package obs is the dependency-free observability core of the serving
+// stack: a typed metrics registry (counters, gauges, fixed-bucket
+// histograms) with Prometheus-compatible text exposition, request-scoped
+// tracing with a bounded in-memory span ring, and slog helpers that stamp
+// the trace id on every record. It uses only the standard library and is
+// designed so that disarmed instrumentation — a nil histogram, a context
+// without a tracer — costs a nil check and nothing else, keeping the
+// zero-allocation hot paths (session steps, sweep cells) intact.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// kind discriminates the metric families a registry holds.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// Counter is a monotonically increasing metric. The nil Counter is a valid
+// no-op, so call sites can stay unconditional whether or not a registry is
+// wired.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous metric. The nil Gauge is a valid no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	key string // rendered, sorted label set ("" = unlabeled)
+	c   *Counter
+	g   *Gauge
+	gf  func() float64
+	h   *Histogram
+}
+
+// family is every series sharing one metric name and type.
+type family struct {
+	name    string
+	typ     kind
+	buckets []float64
+
+	mu     sync.Mutex
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry holds metric families and exposes them in Prometheus text
+// format. Registration is get-or-create: asking twice for the same name and
+// label set returns the same instrument, so lazily-labeled series (per
+// policy, per route) need no external bookkeeping. Safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	fams       []*family
+	byName     map[string]*family
+	collectors []func(*Exposition)
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Collect registers a snapshot collector invoked on every exposition before
+// the registry's own families are written. Collectors bridge pre-existing
+// counter snapshots (store counters, job metrics) into the exposition
+// without re-registering every field individually — one snapshot per
+// scrape, byte-compatible lines.
+func (r *Registry) Collect(fn func(*Exposition)) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// family returns the named family, creating it on first use. A name reused
+// with a different type is a programming error and panics.
+func (r *Registry) family(name string, k kind, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, typ: k, buckets: buckets, byKey: make(map[string]*series)}
+		r.byName[name] = f
+		r.fams = append(r.fams, f)
+		return f
+	}
+	if f.typ != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, k))
+	}
+	return f
+}
+
+// get returns the series for the label set, creating instruments on first
+// use.
+func (f *family) get(labels []Label) *series {
+	key := labelKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.byKey[key]
+	if s == nil {
+		s = &series{key: key}
+		switch f.typ {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = NewHistogram(f.buckets)
+		}
+		f.byKey[key] = s
+		f.series = append(f.series, s)
+	}
+	return s
+}
+
+// Counter returns the counter for name and labels, registering it on first
+// use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.family(name, kindCounter, nil).get(labels).c
+}
+
+// Gauge returns the gauge for name and labels, registering it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.family(name, kindGauge, nil).get(labels).g
+}
+
+// GaugeFunc registers a gauge whose value is sampled by fn at exposition
+// time.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	s := r.family(name, kindGaugeFunc, nil).get(labels)
+	s.gf = fn
+}
+
+// Histogram returns the fixed-bucket histogram for name and labels,
+// registering it on first use. The bucket bounds are taken from the first
+// registration of the family; later calls may pass nil.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	return r.family(name, kindHistogram, buckets).get(labels).h
+}
+
+// labelKey renders a sorted, quoted label set ('policy="efq",x="y"').
+func labelKey(labels []Label) string {
+	switch len(labels) {
+	case 0:
+		return ""
+	case 1:
+		return labels[0].Key + "=" + strconv.Quote(labels[0].Value)
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	return b.String()
+}
+
+// Exposition is the line writer handed to collectors and used for the
+// registry's own families. Its methods keep the Prometheus text line format
+// in one place; after a write error it degrades to a no-op and the error
+// surfaces from Expose.
+type Exposition struct {
+	w   io.Writer
+	err error
+}
+
+func (e *Exposition) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Val writes an unlabeled integer sample line.
+func (e *Exposition) Val(name string, v int64) { e.printf("%s %d\n", name, v) }
+
+// ValL writes a sample line with one label pair, quoted like %q.
+func (e *Exposition) ValL(name, labelKey, labelValue string, v int64) {
+	e.printf("%s{%s=%q} %d\n", name, labelKey, labelValue, v)
+}
+
+// Float writes an unlabeled float sample line.
+func (e *Exposition) Float(name string, v float64) { e.printf("%s %s\n", name, formatFloat(v)) }
+
+// line writes one sample with a pre-rendered label set.
+func (e *Exposition) line(name, key, val string) {
+	if key == "" {
+		e.printf("%s %s\n", name, val)
+		return
+	}
+	e.printf("%s{%s} %s\n", name, key, val)
+}
+
+// bucket writes one cumulative histogram bucket line.
+func (e *Exposition) bucket(name, key, le string, v uint64) {
+	if key == "" {
+		e.printf("%s_bucket{le=%q} %d\n", name, le, v)
+		return
+	}
+	e.printf("%s_bucket{%s,le=%q} %d\n", name, key, le, v)
+}
+
+// formatFloat renders a float sample value ('g' so bounds read naturally:
+// 0.005, 2.5e-06, +Inf).
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Expose writes the full exposition: every collector in registration order,
+// then every family in registration order (series sorted by label set).
+// Instrument values are read atomically, and histogram bucket lines are
+// cumulative sums over one coherent snapshot, so a concurrently-scraped
+// exposition always parses and its buckets are always monotone.
+func (r *Registry) Expose(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<14)
+	e := &Exposition{w: bw}
+	r.mu.Lock()
+	collectors := append([]func(*Exposition){}, r.collectors...)
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	for _, c := range collectors {
+		c(e)
+	}
+	for _, f := range fams {
+		f.expose(e)
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+func (f *family) expose(e *Exposition) {
+	f.mu.Lock()
+	series := append([]*series(nil), f.series...)
+	f.mu.Unlock()
+	if len(series) == 0 {
+		return
+	}
+	sort.Slice(series, func(i, j int) bool { return series[i].key < series[j].key })
+	e.printf("# TYPE %s %s\n", f.name, f.typ)
+	for _, s := range series {
+		switch f.typ {
+		case kindCounter:
+			e.line(f.name, s.key, strconv.FormatUint(s.c.Value(), 10))
+		case kindGauge:
+			e.line(f.name, s.key, strconv.FormatInt(s.g.Value(), 10))
+		case kindGaugeFunc:
+			e.line(f.name, s.key, formatFloat(s.gf()))
+		case kindHistogram:
+			snap := s.h.Snapshot()
+			var cum uint64
+			for i, b := range snap.Bounds {
+				cum += snap.Counts[i]
+				e.bucket(f.name, s.key, formatFloat(b), cum)
+			}
+			cum += snap.Counts[len(snap.Bounds)]
+			e.bucket(f.name, s.key, "+Inf", cum)
+			e.line(f.name+"_sum", s.key, formatFloat(snap.Sum))
+			e.line(f.name+"_count", s.key, strconv.FormatUint(cum, 10))
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRegistryExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total").Add(3)
+	r.Counter("test_labeled_total", L("state", "queued")).Inc()
+	r.Counter("test_labeled_total", L("state", "running")).Add(2)
+	r.Gauge("test_gauge").Set(-7)
+	r.GaugeFunc("test_fn", func() float64 { return 1.5 })
+	h := r.Histogram("test_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.Expose(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{
+		"# TYPE test_total counter\ntest_total 3\n",
+		"test_labeled_total{state=\"queued\"} 1\n",
+		"test_labeled_total{state=\"running\"} 2\n",
+		"# TYPE test_gauge gauge\ntest_gauge -7\n",
+		"test_fn 1.5\n",
+		"# TYPE test_seconds histogram\n",
+		"test_seconds_bucket{le=\"0.01\"} 1\n",
+		"test_seconds_bucket{le=\"0.1\"} 2\n",
+		"test_seconds_bucket{le=\"1\"} 2\n",
+		"test_seconds_bucket{le=\"+Inf\"} 3\n",
+		"test_seconds_count 3\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "test_seconds_sum 5.055") {
+		t.Errorf("exposition missing histogram sum:\n%s", got)
+	}
+}
+
+func TestRegistryGetOrCreateReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", L("x", "1"))
+	b := r.Counter("same_total", L("x", "1"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	if r.Counter("same_total", L("x", "2")) == a {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	ha := r.Histogram("same_seconds", []float64{1, 2})
+	hb := r.Histogram("same_seconds", nil)
+	if ha != hb {
+		t.Fatal("same histogram name returned distinct histograms")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflicted")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("conflicted")
+}
+
+func TestRegistryCollectorRunsFirst(t *testing.T) {
+	r := NewRegistry()
+	r.Collect(func(e *Exposition) {
+		e.Val("legacy_metric", 42)
+		e.ValL("legacy_labeled", "state", "ok", 7)
+	})
+	r.Counter("native_total").Inc()
+	var buf bytes.Buffer
+	if err := r.Expose(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	legacy := strings.Index(got, "legacy_metric 42\n")
+	native := strings.Index(got, "native_total 1\n")
+	if legacy < 0 || native < 0 || legacy > native {
+		t.Fatalf("collector output must precede native families:\n%s", got)
+	}
+	if !strings.Contains(got, "legacy_labeled{state=\"ok\"} 7\n") {
+		t.Fatalf("labeled collector line missing:\n%s", got)
+	}
+}
+
+// expositionLine matches one sample line of the text format.
+var expositionLine = regexp.MustCompile(`^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})? (-?[0-9].*|\+Inf|NaN)$`)
+
+// checkExposition parses an exposition: every non-comment line must match
+// the sample-line shape, every histogram's cumulative buckets must be
+// monotone, and every +Inf bucket must equal its _count line. It returns
+// the parsed samples keyed by "name{labels}".
+func checkExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	type bucketSeries struct {
+		cums  []float64
+		last  float64
+		inf   float64
+		seen  bool
+		count float64
+	}
+	buckets := make(map[string]*bucketSeries)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := expositionLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		name, labels := m[1], m[2]
+		var v float64
+		if m[3] == "+Inf" {
+			v = math.Inf(1)
+		} else {
+			var err error
+			v, err = strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+		}
+		samples[name+labels] = v
+		if fam, ok := strings.CutSuffix(name, "_bucket"); ok && strings.Contains(labels, `le="`) {
+			key := fam + stripLE(labels)
+			bs := buckets[key]
+			if bs == nil {
+				bs = &bucketSeries{}
+				buckets[key] = bs
+			}
+			if strings.Contains(labels, `le="+Inf"`) {
+				bs.inf = v
+				bs.seen = true
+			} else {
+				if v < bs.last {
+					t.Fatalf("non-monotone cumulative buckets at %q: %v after %v", line, v, bs.last)
+				}
+				bs.last = v
+				bs.cums = append(bs.cums, v)
+			}
+		}
+		if fam, ok := strings.CutSuffix(name, "_count"); ok {
+			if bs := buckets[fam+labels]; bs != nil {
+				bs.count = v
+			} else {
+				buckets[fam+labels] = &bucketSeries{count: v}
+			}
+		}
+	}
+	for key, bs := range buckets {
+		if !bs.seen {
+			continue
+		}
+		if bs.inf < bs.last {
+			t.Fatalf("histogram %s: +Inf bucket %v below last finite bucket %v", key, bs.inf, bs.last)
+		}
+		if bs.inf != bs.count {
+			t.Fatalf("histogram %s: +Inf bucket %v != count %v", key, bs.inf, bs.count)
+		}
+	}
+	return samples
+}
+
+// stripLE removes the le label from a rendered label set, keeping the rest
+// so bucket lines group with their _count line.
+func stripLE(labels string) string {
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	parts := strings.Split(inner, ",")
+	kept := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, `le="`) {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+// TestRegistryConcurrentScrape is the -race registry hammer: NumCPU
+// goroutines pounding counters, gauges, and histograms while the registry
+// is scraped concurrently. Every exposition must parse, histogram buckets
+// must be cumulative-monotone with +Inf == _count, and a counter's value
+// must be monotone across successive scrapes.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	var stop atomic.Bool
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("hammer_total")
+			cl := r.Counter("hammer_labeled_total", L("worker", strconv.Itoa(w%4)))
+			g := r.Gauge("hammer_gauge")
+			h := r.Histogram("hammer_seconds", nil, L("worker", strconv.Itoa(w%4)))
+			for i := 0; i == 0 || !stop.Load(); i++ {
+				c.Inc()
+				cl.Add(2)
+				g.Set(int64(i))
+				h.Observe(float64(i%1000) * 1e-6)
+			}
+		}(w)
+	}
+	prev := -1.0
+	for i := 0; i < 200; i++ {
+		var buf bytes.Buffer
+		if err := r.Expose(&buf); err != nil {
+			t.Fatal(err)
+		}
+		samples := checkExposition(t, buf.String())
+		if v, ok := samples["hammer_total"]; ok {
+			if v < prev {
+				t.Fatalf("counter went backwards: %v after %v", v, prev)
+			}
+			prev = v
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	var buf bytes.Buffer
+	if err := r.Expose(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := checkExposition(t, buf.String())
+	if samples["hammer_total"] <= 0 {
+		t.Fatal("hammer counter never advanced")
+	}
+}

@@ -1,0 +1,395 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a W3C trace-context trace id (16 bytes).
+type TraceID [16]byte
+
+// IsZero reports the invalid all-zero id.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the id as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID is a W3C trace-context span id (8 bytes).
+type SpanID [8]byte
+
+// IsZero reports the invalid all-zero id.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the id as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is one completed span as stored in the ring and dumped by
+// /debug/traces.
+type SpanRecord struct {
+	Trace      string    `json:"trace"`
+	Span       string    `json:"span"`
+	Parent     string    `json:"parent,omitempty"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationNs int64     `json:"duration_ns"`
+	Attrs      []Attr    `json:"attrs,omitempty"`
+}
+
+// DefaultRingSize bounds the tracer's completed-span ring when NewTracer is
+// given no size.
+const DefaultRingSize = 4096
+
+// Tracer owns span identity and the bounded ring of completed spans. Spans
+// are recorded only when they End; the ring overwrites oldest-first, so the
+// tracer's memory is fixed no matter the request rate. Safe for concurrent
+// use.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int
+	count int
+
+	started atomic.Uint64
+	dropped atomic.Uint64
+	active  atomic.Int64
+
+	idBase uint64
+	idCtr  atomic.Uint64
+}
+
+// NewTracer builds a tracer with a bounded completed-span ring (size <= 0
+// means DefaultRingSize).
+func NewTracer(size int) *Tracer {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	t := &Tracer{ring: make([]SpanRecord, size)}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		t.idBase = binary.LittleEndian.Uint64(b[:])
+	} else {
+		t.idBase = uint64(time.Now().UnixNano())
+	}
+	return t
+}
+
+// Started counts spans ever started; Dropped counts ring overwrites; Active
+// is started minus ended — a steady-state value above zero after traffic
+// stops is a span leak.
+func (t *Tracer) Started() uint64 { return t.started.Load() }
+
+// Dropped counts completed spans overwritten by newer ones in the ring.
+func (t *Tracer) Dropped() uint64 { return t.dropped.Load() }
+
+// Active returns the number of started-but-not-ended spans.
+func (t *Tracer) Active() int64 { return t.active.Load() }
+
+// newTraceID draws a fresh random trace id.
+func newTraceID() TraceID {
+	var id TraceID
+	if _, err := rand.Read(id[:]); err != nil || id.IsZero() {
+		binary.LittleEndian.PutUint64(id[:], uint64(time.Now().UnixNano()))
+		id[15] = 1
+	}
+	return id
+}
+
+// newSpanID derives a process-unique span id from a random base plus a
+// counter — no entropy syscall per span.
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		binary.LittleEndian.PutUint64(id[:], t.idBase+t.idCtr.Add(1))
+	}
+	return id
+}
+
+// start opens a span on this tracer.
+func (t *Tracer) start(name string, trace TraceID, parent SpanID) *Span {
+	t.started.Add(1)
+	t.active.Add(1)
+	return &Span{t: t, trace: trace, parent: parent, id: t.newSpanID(), name: name, start: time.Now()}
+}
+
+// push appends a completed span to the ring, overwriting the oldest record
+// when full.
+func (t *Tracer) push(rec SpanRecord) {
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	} else {
+		t.dropped.Add(1)
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot copies the completed-span ring, oldest first.
+func (t *Tracer) Snapshot() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, t.count)
+	start := t.next - t.count
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Span is one in-flight span. The nil Span is a valid no-op — every method
+// tolerates it — so call sites stay unconditional whether tracing is armed
+// or not.
+type Span struct {
+	t      *Tracer
+	trace  TraceID
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended atomic.Bool
+}
+
+// TraceHex returns the span's trace id as hex ("" on a nil span).
+func (s *Span) TraceHex() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace.String()
+}
+
+// IDHex returns the span's own id as hex ("" on a nil span).
+func (s *Span) IDHex() string {
+	if s == nil {
+		return ""
+	}
+	return s.id.String()
+}
+
+// Traceparent renders the span as a W3C traceparent header value ("" on a
+// nil span).
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return FormatTraceparent(s.trace, s.id)
+}
+
+// Set annotates the span with a string attribute. Nil-safe; returns the
+// span for chaining.
+func (s *Span) Set(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+	return s
+}
+
+// SetInt annotates the span with an integer attribute. Nil-safe.
+func (s *Span) SetInt(key string, v int64) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.Set(key, strconv.FormatInt(v, 10))
+}
+
+// Child opens a child span directly off this span, for call sites that hold
+// a span but no context (the sweep worker pool). Nil-safe: a nil parent
+// returns a nil (no-op) child.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.start(name, s.trace, s.id)
+}
+
+// End completes the span: its duration is fixed and the record lands in the
+// tracer's ring. Nil-safe and idempotent.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	d := time.Since(s.start)
+	s.mu.Lock()
+	attrs := s.attrs
+	s.mu.Unlock()
+	rec := SpanRecord{
+		Trace:      s.trace.String(),
+		Span:       s.id.String(),
+		Name:       s.name,
+		Start:      s.start,
+		DurationNs: d.Nanoseconds(),
+		Attrs:      attrs,
+	}
+	if !s.parent.IsZero() {
+		rec.Parent = s.parent.String()
+	}
+	s.t.push(rec)
+	s.t.active.Add(-1)
+}
+
+// Context plumbing. Three keys: the tracer (arms span creation), the
+// current span (parents children), and a remote parent (continues a trace
+// started elsewhere — an incoming traceparent header, or a job resuming its
+// submit request's trace).
+type (
+	tracerKey struct{}
+	spanKey   struct{}
+	remoteKey struct{}
+)
+
+type remoteParent struct {
+	trace TraceID
+	span  SpanID
+}
+
+// WithTracer arms span creation on the context.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer (nil when tracing is disarmed).
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// WithRemoteParent records an externally-started trace as the parent for
+// the next root span on this context.
+func WithRemoteParent(ctx context.Context, trace TraceID, parent SpanID) context.Context {
+	if trace.IsZero() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey{}, remoteParent{trace: trace, span: parent})
+}
+
+// SpanFrom returns the context's current span (nil when none).
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a span named name: a child of the context's current span
+// when one exists, otherwise a root span on the context's tracer
+// (continuing a remote parent when one was recorded). With no tracer on the
+// context it returns (ctx, nil) — the disarmed fast path is two context
+// lookups and no allocation, and the nil span's methods are all no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if parent := SpanFrom(ctx); parent != nil {
+		s := parent.t.start(name, parent.trace, parent.id)
+		return context.WithValue(ctx, spanKey{}, s), s
+	}
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	var trace TraceID
+	var parent SpanID
+	if rem, ok := ctx.Value(remoteKey{}).(remoteParent); ok {
+		trace, parent = rem.trace, rem.span
+	}
+	if trace.IsZero() {
+		trace = newTraceID()
+	}
+	s := t.start(name, trace, parent)
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// Link captures a context's trace identity so asynchronous work (a queued
+// job) can continue the trace after the originating span has ended.
+type Link struct {
+	t     *Tracer
+	trace TraceID
+	span  SpanID
+}
+
+// LinkFromContext snapshots the context's current span into a Link; the
+// zero Link (disarmed tracing) is valid and inert.
+func LinkFromContext(ctx context.Context) Link {
+	s := SpanFrom(ctx)
+	if s == nil {
+		return Link{}
+	}
+	return Link{t: s.t, trace: s.trace, span: s.id}
+}
+
+// Trace returns the linked trace id as hex ("" when disarmed).
+func (l Link) Trace() string {
+	if l.t == nil {
+		return ""
+	}
+	return l.trace.String()
+}
+
+// Context arms ctx with the link's tracer and remote parent, so the next
+// StartSpan continues the linked trace.
+func (l Link) Context(ctx context.Context) context.Context {
+	if l.t == nil {
+		return ctx
+	}
+	return WithRemoteParent(WithTracer(ctx, l.t), l.trace, l.span)
+}
+
+// ParseTraceparent parses a W3C traceparent header value
+// (version-traceid-spanid-flags). It accepts any non-ff version and
+// requires non-zero ids, per spec.
+func ParseTraceparent(h string) (TraceID, SpanID, bool) {
+	parts := strings.SplitN(strings.TrimSpace(h), "-", 4)
+	if len(parts) < 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.DecodeString(parts[0]); err != nil || parts[0] == "ff" {
+		return TraceID{}, SpanID{}, false
+	}
+	var trace TraceID
+	var span SpanID
+	if _, err := hex.Decode(trace[:], []byte(parts[1])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.Decode(span[:], []byte(parts[2])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if trace.IsZero() || span.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	return trace, span, true
+}
+
+// FormatTraceparent renders a version-00, sampled traceparent header value.
+func FormatTraceparent(trace TraceID, span SpanID) string {
+	return "00-" + trace.String() + "-" + span.String() + "-01"
+}
+
+// NewRequestID returns a fresh 16-hex-digit request id for X-Request-ID
+// headers.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.LittleEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -22,6 +22,7 @@ import (
 	"batsched/internal/battery"
 	"batsched/internal/core"
 	"batsched/internal/load"
+	"batsched/internal/obs"
 	"batsched/internal/sched"
 	"batsched/internal/spec"
 	"batsched/internal/store"
@@ -45,6 +46,10 @@ type Options struct {
 	// cells (see the flight map), so a shared cell is evaluated at most
 	// once even when two sweeps miss it simultaneously.
 	Store *store.Store
+	// CellLatency, when set, observes the wall-clock seconds of every cell
+	// the sweep engine actually evaluates (compile included). Nil is a
+	// no-op.
+	CellLatency *obs.Histogram
 }
 
 // DefaultCacheEntries is the compiled-cache bound when Options.CacheEntries
@@ -56,7 +61,8 @@ const DefaultCacheEntries = 256
 type Service struct {
 	sem     chan struct{}
 	maxSize int
-	st      *store.Store // nil = no cell-granular result caching
+	st      *store.Store   // nil = no cell-granular result caching
+	cellLat *obs.Histogram // per-cell evaluation latency, nil = not observed
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -115,6 +121,7 @@ func New(opts Options) *Service {
 		sem:     make(chan struct{}, workers),
 		maxSize: size,
 		st:      opts.Store,
+		cellLat: opts.CellLatency,
 		cache:   make(map[string]*cacheEntry),
 		flights: make(map[string]*flight),
 	}
@@ -273,6 +280,24 @@ func (s *Service) sweepCore(ctx context.Context, req SweepRequest, emitLine func
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// The sweep span covers semaphore wait through last emit. Cache outcome
+	// and search effort are attached when it ends; localEval/localStats are
+	// written only under the sweep's serialized OnResult and read after
+	// sweep.Run returns.
+	ctx, span := obs.StartSpan(ctx, "service.sweep")
+	var localEval, localHits int64
+	var localStats sched.SearchStats
+	defer func() {
+		if span == nil {
+			return
+		}
+		span.SetInt("evaluated", localEval).SetInt("store_hits", localHits)
+		if localStats.States > 0 {
+			span.SetInt("search_states", localStats.States).
+				SetInt("search_pruned", localStats.Pruned)
+		}
+		span.End()
+	}()
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
@@ -297,6 +322,7 @@ func (s *Service) sweepCore(ctx context.Context, req SweepRequest, emitLine func
 	}()
 
 	n := sp.Scenarios()
+	span.SetInt("cells", int64(n))
 	// Cell-store integration: one bulk probe up front (one lock, one
 	// hit/miss ledger update for the whole grid), then per-cell claims for
 	// the misses so concurrent sweeps never evaluate a shared cell twice.
@@ -311,9 +337,13 @@ func (s *Service) sweepCore(ctx context.Context, req SweepRequest, emitLine func
 		if derr != nil {
 			return derr
 		}
+		_, lookupSpan := obs.StartSpan(ctx, "store.lookup")
 		var hits int
 		cellLines, hits = s.st.LookupCells(digests)
+		lookupSpan.SetInt("cells", int64(n)).SetInt("hits", int64(hits))
+		lookupSpan.End()
 		s.cellHits.Add(int64(hits))
+		localHits = int64(hits)
 		claims = make([]*flight, n)
 		// Whatever happens below — emit error, cancellation, panic-free
 		// early return — every claim this sweep took must be resolved, or
@@ -375,23 +405,29 @@ func (s *Service) sweepCore(ctx context.Context, req SweepRequest, emitLine func
 	}
 
 	opts := sweep.Options{
-		Workers: req.Workers,
-		Compile: s.cachedCompile,
-		Cancel:  cancel,
+		Workers:     req.Workers,
+		Compile:     s.cachedCompile,
+		Cancel:      cancel,
+		CellLatency: s.cellLat,
+		Span:        span,
 		OnResult: func(i int, r sweep.Result) {
 			// Commit and flight resolution come first and run even after an
 			// emit error: a concurrent sweep may be parked on this cell, and
 			// the computed result is worth storing regardless of whether our
 			// own consumer is still listening.
 			if claims != nil && !r.Cached && claims[i] != nil {
+				commitSpan := span.Child("store.commit")
 				s.commitCell(i, digests, cellLines, claims, r)
+				commitSpan.Set("cell", shortDigest(digests[i])).End()
 			}
 			if !r.Cached && !errors.Is(r.Err, sweep.ErrCanceled) {
 				s.cellsEvaluated.Add(1)
+				localEval++
 				if r.Stats != nil {
 					s.searchMu.Lock()
 					s.search.Add(*r.Stats)
 					s.searchMu.Unlock()
+					localStats.Add(*r.Stats)
 				}
 			}
 			if emitErr != nil {
@@ -411,7 +447,7 @@ func (s *Service) sweepCore(ctx context.Context, req SweepRequest, emitLine func
 	}
 	if s.st != nil {
 		opts.Lookup = func(i int) (sweep.Result, bool) {
-			return s.lookupCell(i, digests, cellLines, claims, cancel)
+			return s.lookupCell(i, digests, cellLines, claims, cancel, span)
 		}
 	}
 	if _, err := sweep.Run(sp, opts); err != nil {
@@ -426,7 +462,7 @@ func (s *Service) sweepCore(ctx context.Context, req SweepRequest, emitLine func
 // lookupCell is the sweep Lookup hook: serve index i from the bulk probe, or
 // wait out another sweep's in-flight evaluation, or claim the cell for this
 // sweep (ok=false → the caller evaluates it).
-func (s *Service) lookupCell(i int, digests []string, cellLines []json.RawMessage, claims []*flight, cancel <-chan struct{}) (sweep.Result, bool) {
+func (s *Service) lookupCell(i int, digests []string, cellLines []json.RawMessage, claims []*flight, cancel <-chan struct{}, span *obs.Span) (sweep.Result, bool) {
 	if cellLines[i] != nil {
 		return sweep.Result{}, true
 	}
@@ -449,21 +485,37 @@ func (s *Service) lookupCell(i int, digests []string, cellLines []json.RawMessag
 			return sweep.Result{}, false
 		}
 		s.flightMu.Unlock()
+		// Parked on another sweep's in-flight evaluation: the wait is a span
+		// of its own — it is exactly the time the flight table saved or cost
+		// this request.
+		waitSpan := span.Child("service.flight_wait")
+		waitSpan.Set("cell", shortDigest(d))
 		select {
 		case <-f.done:
 			if f.line != nil {
+				waitSpan.Set("outcome", "served").End()
 				cellLines[i] = f.line
 				s.cellHits.Add(1)
 				return sweep.Result{}, true
 			}
 			// Abandoned (the claiming sweep was canceled): try again — the
 			// next round either claims or parks on a newer flight.
+			waitSpan.Set("outcome", "abandoned").End()
 		case <-cancel:
 			// Our own sweep is being canceled; report a miss and let the
 			// runner mark the scenario canceled.
+			waitSpan.Set("outcome", "canceled").End()
 			return sweep.Result{}, false
 		}
 	}
+}
+
+// shortDigest abbreviates a cell digest for span attributes.
+func shortDigest(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
 }
 
 // commitCell stores the computed cell i in the result store and resolves

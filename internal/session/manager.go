@@ -12,6 +12,7 @@ import (
 
 	"batsched/internal/battery"
 	"batsched/internal/core"
+	"batsched/internal/obs"
 	"batsched/internal/sched"
 	"batsched/internal/spec"
 	"batsched/internal/sweep"
@@ -45,12 +46,11 @@ type Options struct {
 	// a grid; nil means core.CompileBank uncached. cmd/batserve plugs the
 	// service's bounded artifact cache in here.
 	CompileBank func(bats []battery.Params, grid sweep.GridSpec) (*core.Compiled, error)
-}
-
-// policyStats accumulates step latency per online policy.
-type policyStats struct {
-	steps      uint64
-	totalNanos uint64
+	// StepLatency supplies the histogram that records a policy's step
+	// latency (seconds); nil means a standalone default-bucket histogram
+	// per policy. cmd/batserve plugs registry-owned histograms in here so
+	// step latency shows up in /metrics as a labeled bucket family.
+	StepLatency func(policy string) *obs.Histogram
 }
 
 // Manager owns the session table: bounded opens, idle eviction, step
@@ -60,7 +60,7 @@ type Manager struct {
 
 	mu       sync.Mutex
 	sessions map[string]*Session
-	perPol   map[string]*policyStats
+	perPol   map[string]*obs.Histogram
 	opened   uint64
 	closed   uint64
 	evicted  uint64
@@ -87,10 +87,13 @@ func NewManager(opts Options) *Manager {
 			return core.CompileBank(bats, grid.StepMin, grid.UnitAmpMin)
 		}
 	}
+	if opts.StepLatency == nil {
+		opts.StepLatency = func(string) *obs.Histogram { return obs.NewHistogram(nil) }
+	}
 	m := &Manager{
 		opts:        opts,
 		sessions:    map[string]*Session{},
-		perPol:      map[string]*policyStats{},
+		perPol:      map[string]*obs.Histogram{},
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
@@ -183,14 +186,13 @@ func (m *Manager) Step(id string, currentA, durationMin float64, out *Telemetry)
 	elapsed := time.Since(start)
 	m.mu.Lock()
 	m.steps++
-	ps := m.perPol[s.Policy()]
-	if ps == nil {
-		ps = &policyStats{}
-		m.perPol[s.Policy()] = ps
+	h := m.perPol[s.Policy()]
+	if h == nil {
+		h = m.opts.StepLatency(s.Policy())
+		m.perPol[s.Policy()] = h
 	}
-	ps.steps++
-	ps.totalNanos += uint64(elapsed.Nanoseconds())
 	m.mu.Unlock()
+	h.Observe(elapsed.Seconds())
 	return nil
 }
 
@@ -291,7 +293,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	return ctx.Err()
 }
 
-// PolicyLatency is one policy's step-latency ledger.
+// PolicyLatency is one policy's step-latency ledger, distilled from its
+// histogram: the mean survives for the legacy gauge, and the tail — which a
+// mean hides entirely — is exposed as interpolated percentiles.
 type PolicyLatency struct {
 	// Policy is the online policy's registry name.
 	Policy string
@@ -299,6 +303,11 @@ type PolicyLatency struct {
 	// step latency over them.
 	Steps     uint64
 	MeanNanos uint64
+	// P50Nanos, P95Nanos, and P99Nanos are step-latency percentiles
+	// estimated from the histogram buckets by linear interpolation.
+	P50Nanos uint64
+	P95Nanos uint64
+	P99Nanos uint64
 }
 
 // Metrics is a counter snapshot for /metrics.
@@ -331,10 +340,14 @@ func (m *Manager) Metrics() Metrics {
 	for _, s := range m.sessions {
 		out.EventsDropped += s.DroppedEvents()
 	}
-	for name, ps := range m.perPol {
-		pl := PolicyLatency{Policy: name, Steps: ps.steps}
-		if ps.steps > 0 {
-			pl.MeanNanos = ps.totalNanos / ps.steps
+	for name, h := range m.perPol {
+		snap := h.Snapshot()
+		pl := PolicyLatency{Policy: name, Steps: snap.Count()}
+		if pl.Steps > 0 {
+			pl.MeanNanos = uint64(snap.Mean() * 1e9)
+			pl.P50Nanos = uint64(snap.Quantile(0.50) * 1e9)
+			pl.P95Nanos = uint64(snap.Quantile(0.95) * 1e9)
+			pl.P99Nanos = uint64(snap.Quantile(0.99) * 1e9)
 		}
 		out.PerPolicy = append(out.PerPolicy, pl)
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"batsched/internal/faults"
+	"batsched/internal/obs"
 	"batsched/internal/store"
 )
 
@@ -476,5 +477,41 @@ func TestSyncFailureTripsBreaker(t *testing.T) {
 	}
 	if _, ok := s.PeekCell("d1"); !ok {
 		t.Fatal("synced-write put lost from memory")
+	}
+}
+
+// Injected write latency must land in the append-latency histogram: the
+// observation covers the whole commit (write + retries + fsync), so an
+// operator sees injected (or real) slowness as a shifted bucket, not just
+// as a retry counter.
+func TestAppendLatencyHistogramUnderInjectedLatency(t *testing.T) {
+	const injected = 20 * time.Millisecond
+	inj := faults.New(chaosSeed(t),
+		faults.Rule{Op: faults.OpStoreWrite, P: 1, Count: 1, Latency: injected})
+	h := obs.NewHistogram(nil)
+	s, err := store.OpenWith(store.Options{
+		Path:          filepath.Join(t.TempDir(), "s.ndjson"),
+		WrapFile:      faults.WrapStore(inj),
+		Sleep:         noSleep,
+		AppendLatency: h,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustPutCell(t, s, "d1", `{"x":1}`)
+	snap := h.Snapshot()
+	if snap.Count() != 1 {
+		t.Fatalf("append latency observations = %d, want 1", snap.Count())
+	}
+	if got := snap.Sum; got < injected.Seconds() {
+		t.Fatalf("append latency sum %.6fs, want >= injected %.3fs", got, injected.Seconds())
+	}
+	// The delayed commit must sit in a bucket at or above the injected
+	// latency — the buckets below it stay empty.
+	for i, bound := range snap.Bounds {
+		if bound < injected.Seconds() && snap.Counts[i] != 0 {
+			t.Fatalf("observation landed below the injected latency: bucket le=%g has %d", bound, snap.Counts[i])
+		}
 	}
 }

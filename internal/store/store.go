@@ -49,6 +49,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"batsched/internal/obs"
 )
 
 // ErrDegraded is returned by puts while the write circuit is open: the
@@ -140,6 +142,10 @@ type Options struct {
 	// WrapFile, when set, decorates the opened backend — the
 	// fault-injection hook. Never called for memory-only stores.
 	WrapFile func(File) File
+	// AppendLatency, when set, observes the wall-clock seconds of each
+	// commit (write + retries + fsync), including failed ones. Nil is a
+	// no-op.
+	AppendLatency *obs.Histogram
 	// Clock and Sleep are injectable for deterministic tests (defaults
 	// time.Now and time.Sleep).
 	Clock func() time.Time
@@ -174,6 +180,8 @@ type Store struct {
 
 	hits, misses         atomic.Int64 // whole-request probes
 	cellHits, cellMisses atomic.Int64 // per-cell probes
+
+	appendLatency *obs.Histogram // commit latency, nil = not observed
 
 	quarantined  atomic.Int64 // corrupt complete lines skipped on replay
 	appendErrors atomic.Int64 // puts that exhausted retries (breaker trips)
@@ -251,6 +259,8 @@ func OpenWith(opts Options) (*Store, error) {
 		syncEvry: time.Second,
 		now:      time.Now,
 		sleep:    time.Sleep,
+
+		appendLatency: opts.AppendLatency,
 	}
 	if opts.RetryAttempts != 0 {
 		s.retries = max(opts.RetryAttempts, 0)
@@ -544,6 +554,7 @@ func (s *Store) commitLocked() error {
 	if s.f == nil || len(s.pend) == 0 {
 		return nil
 	}
+	defer func(start time.Time) { s.appendLatency.ObserveSince(start) }(time.Now())
 	if s.degraded {
 		if s.now().Sub(s.openedAt) < s.cooldown {
 			s.droppedPuts.Add(1)

@@ -19,11 +19,13 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"batsched/internal/battery"
 	"batsched/internal/core"
 	"batsched/internal/dkibam"
 	"batsched/internal/load"
+	"batsched/internal/obs"
 	"batsched/internal/sched"
 )
 
@@ -199,6 +201,14 @@ type Options struct {
 	// being executed (in-flight ones finish). The service wires client
 	// disconnects here so abandoned sweeps stop burning CPU.
 	Cancel <-chan struct{}
+	// CellLatency, when set, observes the wall-clock seconds each evaluated
+	// (non-cached, non-canceled) scenario took, compile included. Nil is a
+	// no-op.
+	CellLatency *obs.Histogram
+	// Span, when set, is the parent under which each evaluated scenario
+	// records a "sweep.cell" child span carrying the cell's labels and
+	// outcome. Nil (the common disarmed case) records nothing.
+	Span *obs.Span
 }
 
 // ErrCanceled marks scenarios skipped because Options.Cancel fired.
@@ -348,10 +358,28 @@ func Run(spec Spec, opts Options) ([]Result, error) {
 						case canceled():
 							r.Err = ErrCanceled
 						default:
+							sp := opts.Span.Child("sweep.cell")
+							start := time.Time{}
+							if opts.CellLatency != nil || sp != nil {
+								start = time.Now()
+							}
 							var compiled *core.Compiled
 							compiled, r.Err = getCell(c, g, b, l)
 							if r.Err == nil {
 								r.Lifetime, r.Decisions, r.Stats, r.Err = runScenario(compiled, spec.Policies[p])
+							}
+							if !start.IsZero() {
+								opts.CellLatency.Observe(time.Since(start).Seconds())
+							}
+							if sp != nil {
+								sp.Set("grid", r.Grid).Set("bank", r.Bank).
+									Set("load", r.Load).Set("policy", r.Policy)
+								if r.Err != nil {
+									sp.Set("error", r.Err.Error())
+								} else if r.Stats != nil {
+									sp.SetInt("states", r.Stats.States)
+								}
+								sp.End()
 							}
 						}
 					}
