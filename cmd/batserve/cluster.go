@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"batsched"
+	"batsched/internal/cluster"
+)
+
+// The peer API is the node-to-node surface of a batserve cluster. Every
+// route operates on this node's LOCAL store tier only — peers ask each
+// other for what each one actually holds; routing through the tiered
+// backend here would recurse a remote miss back into the cluster.
+//
+//	GET  /v1/cells/{digest}           one stored cell line (404 when absent)
+//	PUT  /v1/cells/{digest}           accept a replicated cell line
+//	POST /v1/cells/lookup             batched probe: digests -> lines/nulls
+//	POST /v1/cells/{digest}/evaluate  evaluate one owned cell (single-flight)
+//	POST /v1/cluster/gossip           symmetric digest/health exchange
+//	GET  /v1/cluster                  this node's cluster view
+
+// maxCellBytes bounds a pushed cell line; result lines are a few hundred
+// bytes.
+const maxCellBytes = 1 << 20
+
+// clusterRoutes registers the peer API; called from newHandler only when
+// the node runs clustered, so single-node servers expose no peer surface.
+func (a *app) clusterRoutes(route func(pattern string, h http.HandlerFunc)) {
+	route("GET /v1/cells/{digest}", a.handleCellGet)
+	route("PUT /v1/cells/{digest}", a.handleCellPut)
+	route("POST /v1/cells/lookup", a.handleCellLookup)
+	route("POST /v1/cells/{digest}/evaluate", a.guard(a.handleCellEvaluate))
+	route("POST /v1/cluster/gossip", a.handleGossip)
+	route("GET /v1/cluster", a.handleClusterView)
+}
+
+// handleCellGet serves one cell line from the local tier.
+func (a *app) handleCellGet(w http.ResponseWriter, r *http.Request) {
+	line, ok := a.st.PeekCell(r.PathValue("digest"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("cell not stored here"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(line)
+}
+
+// handleCellPut accepts a cell line replicated by a peer (the async push
+// after the peer evaluated a cell this node owns) into the local tier.
+func (a *app) handleCellPut(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCellBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !json.Valid(body) {
+		writeError(w, http.StatusBadRequest, errors.New("cell line is not valid JSON"))
+		return
+	}
+	if err := a.st.PutCell(r.PathValue("digest"), body); err != nil {
+		if errors.Is(err, batsched.ErrStoreDegraded) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// cellLookupRequest / cellLookupResponse are the batched probe wire shapes
+// (mirrored by the cluster peer client).
+type cellLookupRequest struct {
+	Digests []string `json:"digests"`
+}
+
+type cellLookupResponse struct {
+	Lines []json.RawMessage `json:"lines"`
+}
+
+// handleCellLookup probes the local tier for a batch of digests. Absent
+// cells answer null in their slot — one round trip resolves a whole sweep's
+// worth of misses. Probes bypass the store's hit/miss ledger (PeekCell):
+// a peer's fishing expedition is not this node's cache traffic.
+func (a *app) handleCellLookup(w http.ResponseWriter, r *http.Request) {
+	var req cellLookupRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := cellLookupResponse{Lines: make([]json.RawMessage, len(req.Digests))}
+	for i, d := range req.Digests {
+		if line, ok := a.st.PeekCell(d); ok {
+			resp.Lines[i] = line
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCellEvaluate evaluates one cell this node owns on behalf of a peer.
+// The body must be a single-cell sweep request whose cell digest equals the
+// path digest — the forwarding contract; anything else is a 400. The
+// evaluation runs under LocalOnly (a forwarded cell is never re-forwarded)
+// and lands in the service's flight table, so concurrent forwards of the
+// same cell from every node in the cluster still evaluate it exactly once.
+func (a *app) handleCellEvaluate(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	var req batsched.SweepRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cells, _, err := batsched.CellDigests(req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if len(cells) != 1 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("evaluate body expands to %d cells, want exactly 1", len(cells)))
+		return
+	}
+	if cells[0] != digest {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("evaluate body digests to %s, not the addressed cell", cells[0][:12]))
+		return
+	}
+	var line []byte
+	err = a.svc.SweepStreamLines(batsched.LocalOnly(r.Context()), req, func(sl batsched.SweepLine) error {
+		line = append(line[:0], sl.Line...)
+		return nil
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(line)
+}
+
+// handleGossip answers a peer's gossip exchange with this node's own view.
+func (a *app) handleGossip(w http.ResponseWriter, r *http.Request) {
+	var msg cluster.GossipMsg
+	if err := decodeBody(w, r, &msg); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, a.cluster.HandleGossip(msg))
+}
+
+// handleClusterView reports this node's view of the cluster: membership,
+// per-peer health, and the operational counters, for operators and tests.
+func (a *app) handleClusterView(w http.ResponseWriter, r *http.Request) {
+	c := a.cluster
+	st := c.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"self":              c.Self(),
+		"members":           c.Ring().Members(),
+		"ring_replicas":     c.Ring().Replicas(),
+		"peers":             c.Health(),
+		"unreachable_share": c.UnreachableShare(),
+		"stats": map[string]int64{
+			"fetches":         st.Fetches,
+			"fetched_cells":   st.FetchedCells,
+			"fetch_errors":    st.FetchErrors,
+			"pushes":          st.Pushes,
+			"push_errors":     st.PushErrors,
+			"pushes_dropped":  st.PushesDropped,
+			"evaluates":       st.Evaluates,
+			"evaluate_errors": st.EvaluateErr,
+			"gossip_sent":     st.GossipSent,
+			"gossip_recv":     st.GossipRecv,
+			"gossip_errors":   st.GossipErrors,
+			"hint_cells":      int64(st.HintCells),
+			"hint_hits":       st.HintHits,
+			"breaker_trips":   st.BreakerTrips,
+		},
+	})
+}

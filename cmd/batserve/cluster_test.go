@@ -1,0 +1,454 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"batsched"
+	"batsched/internal/cluster"
+)
+
+// swapHandler lets a listener start before the app behind it exists: the
+// cluster needs every member's URL at construction, but httptest only hands
+// out a URL once the listener is up. Each node's server starts on an empty
+// swapHandler; the real handler is stored once all URLs are known.
+type swapHandler struct{ v atomic.Value }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, _ := s.v.Load().(http.Handler); h != nil {
+		h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "node not ready", http.StatusServiceUnavailable)
+}
+
+// clusterNode is one in-process batserve instance of a test cluster.
+type clusterNode struct {
+	url string
+	ts  *httptest.Server
+	app *app
+	svc *batsched.EvalService
+	st  *batsched.ResultStore
+	clu *cluster.Cluster
+}
+
+// newTestCluster stands up n fully wired batserve nodes that form one
+// consistent-hash ring, mirroring main.go's clustered construction: each
+// node's service and job manager run on a tiered backend (local store +
+// cluster), while the app's peer API serves the local tier directly. Gossip
+// is not started — tests drive exchanges explicitly so counts stay exact.
+func newTestCluster(t *testing.T, n int) []*clusterNode {
+	t.Helper()
+	nodes := make([]*clusterNode, n)
+	swaps := make([]*swapHandler, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		swaps[i] = &swapHandler{}
+		ts := httptest.NewServer(swaps[i])
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+		nodes[i] = &clusterNode{url: ts.URL, ts: ts}
+	}
+	for i, node := range nodes {
+		st, err := batsched.OpenResultStore("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var peerList []string
+		for j, u := range urls {
+			if j != i {
+				peerList = append(peerList, u)
+			}
+		}
+		clu := cluster.New(cluster.Options{Self: urls[i], Peers: peerList})
+		backend := batsched.NewTieredStore(st, clu)
+		kit := newObsKit()
+		svc := batsched.NewEvalService(batsched.EvalOptions{
+			Store: backend, Cluster: clu, CellLatency: kit.cellLatency,
+		})
+		mgr := batsched.NewJobManager(svc, backend, batsched.JobOptions{
+			QueueWait: kit.queueWait, RunLatency: kit.runLatency,
+		})
+		sess := batsched.NewSessionManager(batsched.SessionOptions{
+			CompileBank: svc.CompileBank, StepLatency: kit.stepLatency,
+		})
+		a := &app{
+			svc: svc, jobs: mgr, sessions: sess, st: st, start: time.Now(),
+			obs: kit, cluster: clu,
+		}
+		swaps[i].v.Store(newHandler(a))
+		node.app, node.svc, node.st, node.clu = a, svc, st, clu
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			sess.Shutdown(ctx)
+			mgr.Shutdown(ctx)
+			st.Close()
+		})
+	}
+	return nodes
+}
+
+// clusterSweepBody spans the full index decomposition — 2 grids x 2 banks x
+// 3 loads x 2 solvers = 24 cells — enough that every node of a 3-member
+// ring owns some cells with near certainty (ownership follows the random
+// listener ports, so the split itself varies run to run).
+const clusterSweepBody = `{"scenario": {
+	"banks":   [{"battery": {"preset": "B1"}, "count": 2},
+	            {"battery": {"preset": "B2"}, "count": 2}],
+	"loads":   [{"paper": "CL alt"}, {"paper": "ILs alt"}, {"paper": "CL 250"}],
+	"solvers": ["sequential", "bestof"],
+	"grids":   [{}, {"step_min": 2}]
+}}`
+
+// clusterSweepDigests resolves the sweep body's cell digests so tests can
+// derive exact per-node ownership from the ring.
+func clusterSweepDigests(t *testing.T) []string {
+	t.Helper()
+	var req batsched.SweepRequest
+	if err := json.Unmarshal([]byte(clusterSweepBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	digests, _, err := batsched.CellDigests(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return digests
+}
+
+// ownershipByNode counts how many of digests each member URL owns, in
+// nodes[0]'s ring view (every node computes the identical placement).
+func ownershipByNode(nodes []*clusterNode, digests []string) map[string]int {
+	owned := make(map[string]int, len(nodes))
+	for _, d := range digests {
+		owned[nodes[0].clu.Owner(d)]++
+	}
+	return owned
+}
+
+// sweepNDJSON posts a sweep to url and returns the NDJSON lines.
+func sweepNDJSON(t *testing.T, url, body string) []string {
+	t.Helper()
+	resp, data := postJSON(t, url+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, data)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	return lines
+}
+
+func nodeMetric(t *testing.T, node *clusterNode, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(node.url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(line, name+" %d", &v); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s missing on %s", name, node.url)
+	return 0
+}
+
+// TestClusterSweepMatchesSingleNode is the issue's acceptance test: a sweep
+// against one node of a 3-node cluster streams byte-identical NDJSON to a
+// single-node server, and the summed per-node /metrics prove each cell was
+// evaluated exactly once cluster-wide — owned cells locally, the rest
+// forwarded to their ring owners.
+func TestClusterSweepMatchesSingleNode(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	digests := clusterSweepDigests(t)
+	owned := ownershipByNode(nodes, digests)
+
+	solo := newTestServer(t)
+	soloLines := sweepNDJSON(t, solo.URL, clusterSweepBody)
+	if len(soloLines) != len(digests) {
+		t.Fatalf("solo sweep: %d lines, want %d", len(soloLines), len(digests))
+	}
+
+	gotLines := sweepNDJSON(t, nodes[0].url, clusterSweepBody)
+	if len(gotLines) != len(digests) {
+		t.Fatalf("cluster sweep: %d lines, want %d", len(gotLines), len(digests))
+	}
+	for i := range gotLines {
+		if gotLines[i] != soloLines[i] {
+			t.Fatalf("line %d differs from single-node run:\ncluster: %s\nsolo:    %s",
+				i, gotLines[i], soloLines[i])
+		}
+	}
+
+	// Exactly-once, proven from the same /metrics surface operators scrape:
+	// each node evaluated precisely the cells it owns, and the cluster-wide
+	// sum is the grid size.
+	var sum int64
+	for _, node := range nodes {
+		evaluated := nodeMetric(t, node, "batserve_sweep_cells_evaluated_total")
+		if want := int64(owned[node.url]); evaluated != want {
+			t.Fatalf("%s evaluated %d cells, owns %d", node.url, evaluated, want)
+		}
+		sum += evaluated
+	}
+	if sum != int64(len(digests)) {
+		t.Fatalf("cluster evaluated %d cells total, want %d", sum, len(digests))
+	}
+	if fwd := nodeMetric(t, nodes[0], "batserve_sweep_cells_forwarded_total"); fwd != int64(len(digests)-owned[nodes[0].url]) {
+		t.Fatalf("node0 forwarded %d cells, want %d", fwd, len(digests)-owned[nodes[0].url])
+	}
+	if fb := nodeMetric(t, nodes[0], "batserve_sweep_forward_fallbacks_total"); fb != 0 {
+		t.Fatalf("node0 fell back on %d cells with all peers healthy", fb)
+	}
+
+	// The same sweep submitted to EACH remaining node re-evaluates
+	// nothing: their local misses resolve through the tiered backend's
+	// remote fetch from the owners, so every node streams the identical
+	// bytes and the cluster-wide total stays the grid size.
+	for _, node := range nodes[1:] {
+		againLines := sweepNDJSON(t, node.url, clusterSweepBody)
+		for i := range againLines {
+			if againLines[i] != soloLines[i] {
+				t.Fatalf("overlapping sweep via %s: line %d differs from single-node run", node.url, i)
+			}
+		}
+	}
+	sum = 0
+	for _, node := range nodes {
+		sum += nodeMetric(t, node, "batserve_sweep_cells_evaluated_total")
+	}
+	if sum != int64(len(digests)) {
+		t.Fatalf("after overlapping sweeps the cluster evaluated %d cells total, want still %d", sum, len(digests))
+	}
+}
+
+// TestClusterPartitionFallsBackLocally kills one member mid-sweep: the
+// surviving requester must complete the sweep — cells owned by the dead
+// node fall back to local evaluation — and still stream byte-identical
+// NDJSON, because a fallback evaluation is the same deterministic solver
+// run the owner would have done.
+func TestClusterPartitionFallsBackLocally(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	digests := clusterSweepDigests(t)
+	owned := ownershipByNode(nodes, digests)
+
+	// Kill the peer that owns the most cells, so the partition is exercised
+	// by as many forwards as the run's ring placement allows.
+	victim := 1
+	if owned[nodes[2].url] > owned[nodes[1].url] {
+		victim = 2
+	}
+	if owned[nodes[victim].url] == 0 {
+		// Vanishingly unlikely (the ring left both peers empty-handed), but
+		// then the test would not exercise the partition at all.
+		t.Skipf("ring placement left peers owning no cells: %v", owned)
+	}
+
+	solo := newTestServer(t)
+	soloLines := sweepNDJSON(t, solo.URL, clusterSweepBody)
+
+	resp, err := http.Post(nodes[0].url+"/v1/sweep", "application/json",
+		strings.NewReader(clusterSweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d", resp.StatusCode)
+	}
+	var gotLines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		gotLines = append(gotLines, sc.Text())
+		if len(gotLines) == 1 {
+			// First line arrived: the sweep is in flight. Kill the victim —
+			// in-flight forwards to it now fail and the survivors fall back.
+			nodes[victim].ts.CloseClientConnections()
+			nodes[victim].ts.Close()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream broken after %d lines: %v", len(gotLines), err)
+	}
+	if len(gotLines) != len(digests) {
+		t.Fatalf("sweep completed %d lines, want %d (survivors must finish the dead node's cells)",
+			len(gotLines), len(digests))
+	}
+	for i := range gotLines {
+		if gotLines[i] != soloLines[i] {
+			t.Fatalf("line %d differs from single-node run after partition:\ncluster: %s\nsolo:    %s",
+				i, gotLines[i], soloLines[i])
+		}
+	}
+
+	// Every victim-owned cell reached the stream exactly one way: its
+	// forward completed before the kill, or the requester fell back
+	// locally. (The victim may have *evaluated* more cells than the
+	// completed forwards — a response cut mid-flight still counts as a
+	// fallback on the requester; duplicate work is the designed partition
+	// cost, duplicate or missing lines are not.)
+	st := nodes[0].svc.Stats()
+	forwardedToVictim := st.CellsForwarded - int64(owned[nodes[3-victim].url])
+	if st.ForwardFallbacks+forwardedToVictim != int64(owned[nodes[victim].url]) {
+		t.Fatalf("fallbacks (%d) + completed victim forwards (%d) != victim-owned cells (%d; ownership %v)",
+			st.ForwardFallbacks, forwardedToVictim, owned[nodes[victim].url], owned)
+	}
+	if st.CellsEvaluated != int64(owned[nodes[0].url])+st.ForwardFallbacks {
+		t.Fatalf("requester evaluated %d cells, want its %d owned plus %d fallbacks",
+			st.CellsEvaluated, owned[nodes[0].url], st.ForwardFallbacks)
+	}
+}
+
+// TestReadyzReportsPeerOutages drives the readiness rule: peer trouble is
+// reported by name but keeps the node ready (local fallback preserves
+// capacity) until a majority of the ring is owned by unreachable peers.
+func TestReadyzReportsPeerOutages(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+
+	readyz := func() (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(nodes[0].url + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := readyz(); code != http.StatusOK || body["reasons"] != nil {
+		t.Fatalf("healthy cluster: readyz = %d %v, want clean 200", code, body)
+	}
+
+	// tripBreaker kills a node and burns its breaker threshold with fetches
+	// routed at digests it owns (scanned deterministically off the ring).
+	tripBreaker := func(i int) {
+		t.Helper()
+		nodes[i].ts.CloseClientConnections()
+		nodes[i].ts.Close()
+		var d string
+		for j := 0; ; j++ {
+			d = fmt.Sprintf("readyz-probe-%d", j)
+			if nodes[0].clu.Owner(d) == nodes[i].url {
+				break
+			}
+		}
+		for j := 0; j < 3; j++ {
+			if n := nodes[0].clu.FetchCells([]string{d}, make([]json.RawMessage, 1)); n != 0 {
+				t.Fatalf("fetch from dead peer filled %d cells", n)
+			}
+		}
+	}
+
+	tripBreaker(1)
+	code, body := readyz()
+	if code != http.StatusOK {
+		t.Fatalf("one dead peer: readyz = %d %v, want 200 (minority outage keeps the node serving)", code, body)
+	}
+	reasons := fmt.Sprint(body["reasons"])
+	if !strings.Contains(reasons, "peer:"+nodes[1].url+" unreachable") {
+		t.Fatalf("readyz reasons %q do not name the dead peer %s", reasons, nodes[1].url)
+	}
+
+	tripBreaker(2)
+	code, body = readyz()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("both peers dead: readyz = %d %v, want 503", code, body)
+	}
+	reasons = fmt.Sprint(body["reasons"])
+	if !strings.Contains(reasons, "majority of owned shards unservable") {
+		t.Fatalf("readyz reasons %q missing the majority-outage verdict", reasons)
+	}
+	if !strings.Contains(reasons, nodes[1].url) || !strings.Contains(reasons, nodes[2].url) {
+		t.Fatalf("readyz reasons %q do not name both dead peers", reasons)
+	}
+}
+
+// TestClusterViewAndPeerAPI exercises the node-to-node surface directly:
+// cell get/put round-trips through the local tier, batched lookup answers
+// nulls for absent digests, and /v1/cluster reports membership.
+func TestClusterViewAndPeerAPI(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+
+	// PUT a cell line, read it back, and see it in a batched lookup.
+	line := `{"solver":"bestof","lifetime_min":12.5}`
+	req, err := http.NewRequest(http.MethodPut, nodes[0].url+"/v1/cells/test-digest", strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("cell put status %d", resp.StatusCode)
+	}
+	getResp, data := getBody(t, nodes[0].url+"/v1/cells/test-digest")
+	if getResp.StatusCode != http.StatusOK || string(data) != line {
+		t.Fatalf("cell get = %d %q, want the stored line", getResp.StatusCode, data)
+	}
+	lookupResp, data := postJSON(t, nodes[0].url+"/v1/cells/lookup",
+		`{"digests":["test-digest","absent-digest"]}`)
+	if lookupResp.StatusCode != http.StatusOK {
+		t.Fatalf("lookup status %d", lookupResp.StatusCode)
+	}
+	var lookup struct {
+		Lines []json.RawMessage `json:"lines"`
+	}
+	if err := json.Unmarshal(data, &lookup); err != nil {
+		t.Fatal(err)
+	}
+	if len(lookup.Lines) != 2 || string(lookup.Lines[0]) != line || string(lookup.Lines[1]) != "null" {
+		t.Fatalf("lookup = %s, want [line, null]", data)
+	}
+
+	// The stored-but-unowned cell is absent on the peers: peer puts are
+	// local-tier writes, never re-replicated.
+	peerResp, _ := getBody(t, nodes[1].url+"/v1/cells/test-digest")
+	if peerResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("peer serves a cell it never stored: %d", peerResp.StatusCode)
+	}
+
+	viewResp, data := getBody(t, nodes[0].url+"/v1/cluster")
+	if viewResp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster view status %d", viewResp.StatusCode)
+	}
+	var view struct {
+		Self    string   `json:"self"`
+		Members []string `json:"members"`
+	}
+	if err := json.Unmarshal(data, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Self != nodes[0].url || len(view.Members) != 3 {
+		t.Fatalf("cluster view = %s, want self %s among 3 members", data, nodes[0].url)
+	}
+
+	// Single-node servers must not expose the peer surface at all.
+	solo := newTestServer(t)
+	soloResp, _ := getBody(t, solo.URL+"/v1/cluster")
+	if soloResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("single-node server answered /v1/cluster with %d, want 404", soloResp.StatusCode)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"batsched"
+	"batsched/internal/cluster"
 )
 
 // maxRequestBytes bounds request bodies; scenario JSON is small, and an
@@ -35,8 +36,16 @@ type app struct {
 	svc      *batsched.EvalService
 	jobs     *batsched.JobManager
 	sessions *batsched.SessionManager
-	st       *batsched.ResultStore
-	start    time.Time
+	// st is this node's LOCAL store tier: the readiness probe and the peer
+	// API read and write it directly. The service and job layers may wrap
+	// it in a cluster-aware tiered backend; the peer endpoints must not,
+	// or a remote miss would recurse back into the cluster.
+	st    *batsched.ResultStore
+	start time.Time
+
+	// cluster is the multi-node tier; nil on single-node servers (the peer
+	// API is then not even routed).
+	cluster *cluster.Cluster
 
 	// requestTimeout bounds each synchronous evaluation request; 0 means
 	// unbounded. A missed deadline answers 504.
@@ -87,6 +96,9 @@ func newHandler(a *app) http.Handler {
 	route("POST /v1/sessions/{id}/step", a.handleSessionStep)
 	route("GET /v1/sessions/{id}/events", a.handleSessionEvents)
 	route("DELETE /v1/sessions/{id}", a.handleSessionClose)
+	if a.cluster != nil {
+		a.clusterRoutes(route)
+	}
 	return mux
 }
 
@@ -183,7 +195,7 @@ var buildVersion = func() string {
 func (a *app) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := a.svc.Stats()
 	jm := a.jobs.Metrics()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":          "ok",
 		"uptime_seconds":  int64(time.Since(a.start).Seconds()),
 		"build":           buildVersion,
@@ -193,7 +205,14 @@ func (a *app) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"job_queue_depth": jm.QueueDepth,
 		"jobs_running":    jm.JobsByState[batsched.JobRunning],
 		"sessions_open":   a.sessions.Metrics().Open,
-	})
+	}
+	if a.cluster != nil {
+		cs := a.cluster.Stats()
+		resp["cluster_self"] = a.cluster.Self()
+		resp["cluster_members"] = cs.Members
+		resp["cluster_peers_healthy"] = cs.PeersHealthy
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleReady is the readiness probe, distinct from /healthz liveness: a
@@ -209,14 +228,37 @@ func (a *app) handleReady(w http.ResponseWriter, r *http.Request) {
 	if a.st.Degraded() {
 		reasons = append(reasons, "store degraded: write circuit open")
 	}
-	if len(reasons) > 0 {
+	notReady := len(reasons) > 0
+	// Cluster health is reported per peer but only flips readiness when a
+	// majority of the ring is owned by unreachable peers: below that the
+	// local-fallback rule keeps every sweep completing (the minority of
+	// forwarded cells are just evaluated here), so the node is still
+	// useful — a load balancer draining it would lose capacity for nothing.
+	if a.cluster != nil {
+		for _, ps := range a.cluster.Health() {
+			if !ps.Healthy {
+				reasons = append(reasons, fmt.Sprintf("peer:%s unreachable (%s)", ps.Addr, ps.Reason))
+			}
+		}
+		if a.cluster.UnreachableShare() > 0.5 {
+			notReady = true
+			reasons = append(reasons, "majority of owned shards unservable")
+		}
+	}
+	if notReady {
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status": "not ready", "reasons": reasons,
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	resp := map[string]any{"status": "ready"}
+	if len(reasons) > 0 {
+		// Peer trouble below the majority threshold: still ready, but the
+		// reasons surface so operators see the degradation before it grows.
+		resp["reasons"] = reasons
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // policyInfo is one registry entry in wire form.

@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"batsched/internal/obs"
+)
+
+// maxPeerResponseBytes bounds peer response bodies; one cell line is a few
+// hundred bytes and a batched lookup a few megabytes at the extreme.
+const maxPeerResponseBytes = 32 << 20
+
+// lookupRequest and lookupResponse are the wire shapes of the batched
+// cell probe (POST /v1/cells/lookup). Lines aligns with Digests; absent
+// cells are null.
+type lookupRequest struct {
+	Digests []string `json:"digests"`
+}
+
+type lookupResponse struct {
+	Lines []json.RawMessage `json:"lines"`
+}
+
+// do runs one peer RPC under the breaker, concurrency bound, fault hook,
+// timeout, span, and latency histogram. want is the expected status;
+// a 404 returns (nil, nil) so callers can distinguish "peer healthy,
+// cell absent" from peer trouble without tripping the breaker.
+func (c *Cluster) do(ctx context.Context, p *peer, op, method, path string, body []byte, timeout time.Duration) ([]byte, error) {
+	if err := c.inj.Check("peer." + op); err != nil {
+		return nil, err
+	}
+	release, err := c.acquire(p)
+	if err != nil {
+		return nil, err
+	}
+	var sp *obs.Span
+	ctx, sp = obs.StartSpan(ctx, "peer."+op)
+	sp.Set("peer", p.addr)
+	start := time.Now()
+	out, notFound, err := c.roundTrip(ctx, p, method, path, body, timeout)
+	if c.latency != nil {
+		if h := c.latency(op); h != nil {
+			h.Observe(time.Since(start).Seconds())
+		}
+	}
+	if err != nil {
+		sp.Set("error", err.Error())
+	} else if notFound {
+		sp.Set("outcome", "absent")
+	}
+	sp.End()
+	release(err)
+	if notFound {
+		return nil, nil
+	}
+	return out, err
+}
+
+// roundTrip is the bare HTTP exchange: peer-relative path, JSON bodies,
+// bounded response reads. A 404 is (nil, true, nil): the peer answered,
+// it just does not hold the resource.
+func (c *Cluster) roundTrip(ctx context.Context, p *peer, method, path string, body []byte, timeout time.Duration) ([]byte, bool, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, p.addr+path, rd)
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: build %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponseBytes))
+	if err != nil {
+		return nil, false, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, true, nil
+	case resp.StatusCode >= 300:
+		msg := bytes.TrimSpace(out)
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return nil, false, fmt.Errorf("cluster: peer %s: %s %s: status %d: %s", p.addr, method, path, resp.StatusCode, msg)
+	}
+	return out, false, nil
+}
+
+// FetchCells implements store.RemoteTier: fill the nil slots of lines from
+// peers. Each missing digest is routed to its ring owner (or, when the
+// owner is this node or unavailable, to a gossip-hinted holder), grouped
+// into one batched lookup per peer. Slots are only ever filled with a
+// complete line; every failure path leaves them nil.
+func (c *Cluster) FetchCells(digests []string, lines []json.RawMessage) int {
+	if !c.Armed() {
+		return 0
+	}
+	// Group missing indices by target peer.
+	groups := make(map[*peer][]int)
+	for i, d := range digests {
+		if lines[i] != nil {
+			continue
+		}
+		if p, viaHint := c.routeFetch(d); p != nil {
+			groups[p] = append(groups[p], i)
+			if viaHint {
+				c.hintHits.Add(1)
+			}
+		}
+	}
+	filled := 0
+	for p, idx := range groups {
+		c.fetches.Add(1)
+		batch := make([]string, len(idx))
+		for j, i := range idx {
+			batch[j] = digests[i]
+		}
+		body, err := json.Marshal(lookupRequest{Digests: batch})
+		if err != nil {
+			c.fetchErrors.Add(1)
+			continue
+		}
+		out, err := c.do(context.Background(), p, "fetch", http.MethodPost, "/v1/cells/lookup", body, c.rpcTimeout)
+		if err != nil || out == nil {
+			c.fetchErrors.Add(1)
+			continue
+		}
+		var resp lookupResponse
+		if err := json.Unmarshal(out, &resp); err != nil || len(resp.Lines) != len(idx) {
+			c.fetchErrors.Add(1)
+			continue
+		}
+		for j, i := range idx {
+			if line := resp.Lines[j]; len(line) > 0 && !bytes.Equal(line, []byte("null")) {
+				lines[i] = line
+				filled++
+			}
+		}
+	}
+	c.fetchedCells.Add(int64(filled))
+	return filled
+}
+
+// routeFetch picks the peer to ask for digest: the ring owner when it is
+// another node and its breaker admits traffic, else a gossip-hinted holder.
+func (c *Cluster) routeFetch(digest string) (*peer, bool) {
+	owner := c.ring.Owner(digest)
+	if owner != c.self {
+		if p := c.byAddr[owner]; p != nil && c.admits(p) {
+			return p, false
+		}
+	}
+	if addr, ok := c.hintFor(digest); ok {
+		if p := c.byAddr[addr]; p != nil && c.admits(p) {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// admits reports whether p's breaker would admit an RPC right now (without
+// consuming the half-open probe slot).
+func (c *Cluster) admits(p *peer) bool {
+	now := c.now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fails < c.threshold {
+		return true
+	}
+	return !now.Before(p.openUntil) && !p.probing
+}
+
+// PushCell implements store.RemoteTier: offer a locally stored cell to the
+// cluster. The digest is recorded for gossip; when another node owns it,
+// the line is replicated there asynchronously (bounded by the peer's
+// concurrency bound; at saturation or with the breaker open the push is
+// dropped and counted — the owner can still fetch it back via gossip).
+func (c *Cluster) PushCell(digest string, line json.RawMessage) {
+	if !c.Armed() {
+		return
+	}
+	c.RecordLocalCell(digest)
+	owner := c.ring.Owner(digest)
+	if owner == c.self {
+		return
+	}
+	p := c.byAddr[owner]
+	if p == nil || !c.admits(p) {
+		c.pushesDropped.Add(1)
+		return
+	}
+	c.pushes.Add(1)
+	// The line is store-owned and immutable; safe to share with the
+	// goroutine. url.PathEscape keeps hostile digests from smuggling path
+	// segments even though real digests are hex.
+	go func() {
+		_, err := c.do(context.Background(), p, "push", http.MethodPut,
+			"/v1/cells/"+url.PathEscape(digest), line, c.rpcTimeout)
+		if err != nil {
+			c.pushErrors.Add(1)
+		}
+	}()
+}
+
+// EvaluateCell forwards one owned-elsewhere cell to its ring owner:
+// POST {owner}/v1/cells/{digest}/evaluate with the single-cell sweep
+// request as body, returning the owner's stored NDJSON line. The owner's
+// in-flight table guarantees the cell is evaluated at most once cluster-
+// wide no matter how many nodes forward it concurrently. Any error —
+// breaker open, timeout, non-200 — tells the caller to fall back to local
+// evaluation.
+func (c *Cluster) EvaluateCell(ctx context.Context, digest string, body []byte) (json.RawMessage, error) {
+	if !c.Armed() {
+		return nil, ErrNotArmed
+	}
+	owner := c.ring.Owner(digest)
+	if owner == c.self {
+		return nil, fmt.Errorf("cluster: cell %s is self-owned", digest)
+	}
+	p := c.byAddr[owner]
+	if p == nil {
+		return nil, ErrPeerUnavailable
+	}
+	c.evaluates.Add(1)
+	out, err := c.do(ctx, p, "evaluate", http.MethodPost,
+		"/v1/cells/"+url.PathEscape(digest)+"/evaluate", body, c.evalTimeout)
+	if err == nil && out == nil {
+		err = fmt.Errorf("cluster: peer %s: evaluate %s: not found", owner, digest)
+	}
+	if err != nil {
+		c.evaluateErrors.Add(1)
+		return nil, err
+	}
+	return bytes.TrimSpace(out), nil
+}

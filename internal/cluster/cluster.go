@@ -1,0 +1,454 @@
+package cluster
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"batsched/internal/faults"
+	"batsched/internal/obs"
+)
+
+// ErrPeerUnavailable is returned when a peer cannot be asked right now:
+// its circuit breaker is open, its concurrency bound is saturated, or it
+// is not a cluster member at all. Callers treat it like any other RPC
+// failure — fall back locally — but it never cost a network round trip.
+var ErrPeerUnavailable = errors.New("cluster: peer unavailable")
+
+// ErrNotArmed is returned by remote operations on a single-node cluster.
+var ErrNotArmed = errors.New("cluster: not armed (no peers)")
+
+// Options configure a Cluster.
+type Options struct {
+	// Self is this node's advertised base URL (e.g. "http://10.0.0.1:8080").
+	// It must appear in the ring exactly as the peers spell it.
+	Self string
+	// Peers are the other members' base URLs. Empty means single-node: the
+	// cluster is disarmed, OwnsCell is always true, and no RPC ever fires.
+	Peers []string
+	// Replicas is the virtual-node count per member (<= 0 = DefaultReplicas).
+	Replicas int
+	// HTTPClient issues peer RPCs (default: a dedicated client; timeouts
+	// come from the per-RPC contexts, not the client).
+	HTTPClient *http.Client
+	// RPCTimeout bounds fetch/push/lookup/gossip RPCs (default 2s).
+	// EvalTimeout bounds forwarded cell evaluations, which run a solver on
+	// the owner and legitimately take longer (default 60s).
+	RPCTimeout  time.Duration
+	EvalTimeout time.Duration
+	// MaxPerPeer bounds concurrent RPCs per peer (default 4). At the bound,
+	// synchronous calls fail fast with ErrPeerUnavailable (the caller falls
+	// back locally) and asynchronous pushes are dropped and counted.
+	MaxPerPeer int
+	// BreakerThreshold is how many consecutive failures open a peer's
+	// circuit (default 3); BreakerCooldown how long it stays open before a
+	// half-open probe (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// HintCap bounds the gossip hint map (digest → node that advertised
+	// holding it); default 4096. At capacity new hints evict arbitrary old
+	// ones — hints are an optimization, not a correctness surface.
+	HintCap int
+	// GossipWindow bounds how many recently stored digests one gossip
+	// message advertises (default 128).
+	GossipWindow int
+	// Injector, when set, is the deterministic fault-injection hook; peer
+	// RPCs check ops "peer.fetch", "peer.push", "peer.evaluate", and
+	// "peer.gossip" before touching the network.
+	Injector *faults.Injector
+	// RPCLatency, when set, resolves the latency histogram for a peer RPC
+	// kind ("fetch", "push", "evaluate", "gossip"). Nil is a no-op.
+	RPCLatency func(op string) *obs.Histogram
+	// Now is injectable for deterministic breaker tests (default time.Now).
+	Now func() time.Time
+}
+
+// peer is the per-member client state: circuit breaker, concurrency bound,
+// and health bookkeeping.
+type peer struct {
+	addr string
+	sem  chan struct{}
+
+	mu        sync.Mutex
+	fails     int       // consecutive failures
+	openUntil time.Time // breaker open while now < openUntil
+	probing   bool      // a half-open probe is in flight
+	lastErr   string
+	lastSeen  time.Time // last successful RPC or received gossip
+
+	rpcs, rpcErrors atomic.Int64
+}
+
+// Cluster is one node's view of the multi-node tier. It is safe for
+// concurrent use. A Cluster built without peers is permanently disarmed:
+// every cell is self-owned and every remote operation is a no-op, so the
+// single-node path pays only a nil/flag check.
+type Cluster struct {
+	self string
+	ring *Ring
+
+	peers  []*peer
+	byAddr map[string]*peer
+
+	client      *http.Client
+	rpcTimeout  time.Duration
+	evalTimeout time.Duration
+	threshold   int
+	cooldown    time.Duration
+	inj         *faults.Injector
+	latency     func(op string) *obs.Histogram
+	now         func() time.Time
+
+	// hints: digest → peer addr learned from gossip; consulted when the
+	// ring owner cannot serve a fetch.
+	hintMu  sync.Mutex
+	hints   map[string]string
+	hintCap int
+
+	// recent is a bounded ring of digests this node recently stored,
+	// advertised on the next gossip exchange.
+	recentMu  sync.Mutex
+	recent    []string
+	recentPos int
+	window    int
+
+	gossipStop chan struct{}
+	gossipWG   sync.WaitGroup
+
+	fetches, fetchedCells, fetchErrors  atomic.Int64
+	pushes, pushErrors, pushesDropped   atomic.Int64
+	evaluates, evaluateErrors           atomic.Int64
+	gossipSent, gossipRecv, gossipFails atomic.Int64
+	hintHits, breakerTrips              atomic.Int64
+}
+
+// New builds a Cluster. With no peers it is a valid, disarmed single-node
+// cluster.
+func New(opts Options) *Cluster {
+	c := &Cluster{
+		self:        opts.Self,
+		client:      opts.HTTPClient,
+		rpcTimeout:  opts.RPCTimeout,
+		evalTimeout: opts.EvalTimeout,
+		threshold:   opts.BreakerThreshold,
+		cooldown:    opts.BreakerCooldown,
+		inj:         opts.Injector,
+		latency:     opts.RPCLatency,
+		now:         opts.Now,
+		hintCap:     opts.HintCap,
+		window:      opts.GossipWindow,
+		byAddr:      make(map[string]*peer),
+		hints:       make(map[string]string),
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	if c.rpcTimeout <= 0 {
+		c.rpcTimeout = 2 * time.Second
+	}
+	if c.evalTimeout <= 0 {
+		c.evalTimeout = 60 * time.Second
+	}
+	if c.threshold <= 0 {
+		c.threshold = 3
+	}
+	if c.cooldown <= 0 {
+		c.cooldown = 5 * time.Second
+	}
+	if c.hintCap <= 0 {
+		c.hintCap = 4096
+	}
+	if c.window <= 0 {
+		c.window = 128
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	maxPerPeer := opts.MaxPerPeer
+	if maxPerPeer <= 0 {
+		maxPerPeer = 4
+	}
+	if len(opts.Peers) > 0 {
+		members := append([]string{opts.Self}, opts.Peers...)
+		c.ring = NewRing(members, opts.Replicas)
+		for _, addr := range opts.Peers {
+			if addr == "" || addr == opts.Self || c.byAddr[addr] != nil {
+				continue
+			}
+			p := &peer{addr: addr, sem: make(chan struct{}, maxPerPeer)}
+			c.peers = append(c.peers, p)
+			c.byAddr[addr] = p
+		}
+	}
+	c.recent = make([]string, 0, c.window)
+	return c
+}
+
+// Armed reports whether the cluster has peers; disarmed clusters own every
+// cell and never speak HTTP.
+func (c *Cluster) Armed() bool { return c != nil && len(c.peers) > 0 }
+
+// Self returns this node's advertised address.
+func (c *Cluster) Self() string { return c.self }
+
+// Ring exposes the placement ring (nil when disarmed).
+func (c *Cluster) Ring() *Ring {
+	if c == nil {
+		return nil
+	}
+	return c.ring
+}
+
+// OwnsCell reports whether this node owns digest under the ring. Disarmed
+// clusters own everything — the ownership rule degrades to the existing
+// single-node behavior with zero extra work.
+func (c *Cluster) OwnsCell(digest string) bool {
+	if !c.Armed() {
+		return true
+	}
+	return c.ring.Owner(digest) == c.self
+}
+
+// Owner returns the owning member for digest ("" when disarmed).
+func (c *Cluster) Owner(digest string) string {
+	if !c.Armed() {
+		return ""
+	}
+	return c.ring.Owner(digest)
+}
+
+// acquire admits one RPC to p, enforcing the breaker and the concurrency
+// bound. On success it returns a release function the caller MUST invoke
+// with the RPC outcome; on failure it returns ErrPeerUnavailable without
+// costing a round trip.
+func (c *Cluster) acquire(p *peer) (func(err error), error) {
+	now := c.now()
+	p.mu.Lock()
+	if !p.openUntil.IsZero() && p.fails >= c.threshold {
+		if now.Before(p.openUntil) {
+			p.mu.Unlock()
+			return nil, ErrPeerUnavailable
+		}
+		// Cooldown elapsed: admit exactly one half-open probe.
+		if p.probing {
+			p.mu.Unlock()
+			return nil, ErrPeerUnavailable
+		}
+		p.probing = true
+	}
+	p.mu.Unlock()
+
+	select {
+	case p.sem <- struct{}{}:
+	default:
+		p.mu.Lock()
+		p.probing = false
+		p.mu.Unlock()
+		return nil, ErrPeerUnavailable
+	}
+	p.rpcs.Add(1)
+	return func(err error) {
+		<-p.sem
+		p.mu.Lock()
+		p.probing = false
+		if err == nil {
+			p.fails = 0
+			p.openUntil = time.Time{}
+			p.lastSeen = c.now()
+			p.lastErr = ""
+		} else {
+			p.rpcErrors.Add(1)
+			p.fails++
+			p.lastErr = err.Error()
+			if p.fails >= c.threshold {
+				wasOpen := !p.openUntil.IsZero()
+				p.openUntil = c.now().Add(c.cooldown)
+				if !wasOpen {
+					c.breakerTrips.Add(1)
+				}
+			}
+		}
+		p.mu.Unlock()
+	}, nil
+}
+
+// markAlive resets a peer's breaker — called when the peer proves itself
+// (e.g. it gossiped to us), so a recovered node gets traffic again without
+// waiting out a cooldown.
+func (c *Cluster) markAlive(addr string) {
+	p := c.byAddr[addr]
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.fails = 0
+	p.openUntil = time.Time{}
+	p.lastErr = ""
+	p.lastSeen = c.now()
+	p.mu.Unlock()
+}
+
+// PeerStatus is one member's health in this node's view.
+type PeerStatus struct {
+	Addr        string `json:"addr"`
+	Healthy     bool   `json:"healthy"`
+	Reason      string `json:"reason,omitempty"`
+	ConsecFails int    `json:"consecutive_failures,omitempty"`
+	BreakerOpen bool   `json:"breaker_open,omitempty"`
+}
+
+// Health snapshots every peer's breaker state, in stable (construction)
+// order.
+func (c *Cluster) Health() []PeerStatus {
+	if !c.Armed() {
+		return nil
+	}
+	now := c.now()
+	out := make([]PeerStatus, len(c.peers))
+	for i, p := range c.peers {
+		p.mu.Lock()
+		open := p.fails >= c.threshold && now.Before(p.openUntil)
+		st := PeerStatus{
+			Addr:        p.addr,
+			Healthy:     p.fails < c.threshold,
+			ConsecFails: p.fails,
+			BreakerOpen: open,
+		}
+		if !st.Healthy {
+			st.Reason = p.lastErr
+			if st.Reason == "" {
+				st.Reason = "unreachable"
+			}
+		}
+		p.mu.Unlock()
+		out[i] = st
+	}
+	return out
+}
+
+// UnreachableShare returns the fraction of the ring owned by peers whose
+// breaker currently reports them unhealthy — the share of shards that
+// cannot be forwarded to their owner right now. Self is always reachable.
+func (c *Cluster) UnreachableShare() float64 {
+	if !c.Armed() {
+		return 0
+	}
+	var share float64
+	for _, st := range c.Health() {
+		if !st.Healthy {
+			share += c.ring.Share(st.Addr)
+		}
+	}
+	return share
+}
+
+// Stats snapshots the cluster's operational counters for /metrics.
+type Stats struct {
+	Members       int
+	PeersHealthy  int
+	RingReplicas  int
+	Fetches       int64
+	FetchedCells  int64
+	FetchErrors   int64
+	Pushes        int64
+	PushErrors    int64
+	PushesDropped int64
+	Evaluates     int64
+	EvaluateErr   int64
+	GossipSent    int64
+	GossipRecv    int64
+	GossipErrors  int64
+	HintCells     int
+	HintHits      int64
+	BreakerTrips  int64
+}
+
+// Stats returns a snapshot of the cluster counters.
+func (c *Cluster) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	healthy := 0
+	for _, st := range c.Health() {
+		if st.Healthy {
+			healthy++
+		}
+	}
+	c.hintMu.Lock()
+	hintCells := len(c.hints)
+	c.hintMu.Unlock()
+	members := 0
+	if c.Armed() {
+		members = len(c.ring.Members())
+	}
+	return Stats{
+		Members:       members,
+		PeersHealthy:  healthy,
+		RingReplicas:  c.ring.Replicas(),
+		Fetches:       c.fetches.Load(),
+		FetchedCells:  c.fetchedCells.Load(),
+		FetchErrors:   c.fetchErrors.Load(),
+		Pushes:        c.pushes.Load(),
+		PushErrors:    c.pushErrors.Load(),
+		PushesDropped: c.pushesDropped.Load(),
+		Evaluates:     c.evaluates.Load(),
+		EvaluateErr:   c.evaluateErrors.Load(),
+		GossipSent:    c.gossipSent.Load(),
+		GossipRecv:    c.gossipRecv.Load(),
+		GossipErrors:  c.gossipFails.Load(),
+		HintCells:     hintCells,
+		HintHits:      c.hintHits.Load(),
+		BreakerTrips:  c.breakerTrips.Load(),
+	}
+}
+
+// hint records that addr holds digest; bounded by evicting an arbitrary
+// entry at capacity (hints are advisory).
+func (c *Cluster) hint(digest, addr string) {
+	if addr == "" || addr == c.self {
+		return
+	}
+	c.hintMu.Lock()
+	if len(c.hints) >= c.hintCap {
+		for k := range c.hints {
+			delete(c.hints, k)
+			break
+		}
+	}
+	c.hints[digest] = addr
+	c.hintMu.Unlock()
+}
+
+// hintFor returns the gossip-advertised holder of digest, if any.
+func (c *Cluster) hintFor(digest string) (string, bool) {
+	c.hintMu.Lock()
+	addr, ok := c.hints[digest]
+	c.hintMu.Unlock()
+	return addr, ok
+}
+
+// RecordLocalCell notes that this node now holds digest locally; the next
+// gossip exchange advertises it so peers can fetch without guessing.
+func (c *Cluster) RecordLocalCell(digest string) {
+	if !c.Armed() {
+		return
+	}
+	c.recentMu.Lock()
+	if len(c.recent) < c.window {
+		c.recent = append(c.recent, digest)
+	} else {
+		c.recent[c.recentPos] = digest
+		c.recentPos = (c.recentPos + 1) % c.window
+	}
+	c.recentMu.Unlock()
+}
+
+// recentDigests snapshots the advertisement window.
+func (c *Cluster) recentDigests() []string {
+	c.recentMu.Lock()
+	out := append([]string(nil), c.recent...)
+	c.recentMu.Unlock()
+	return out
+}

@@ -1,0 +1,491 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"batsched/internal/faults"
+)
+
+// digestOwnedBy scans synthetic digests until one lands on member.
+func digestOwnedBy(t *testing.T, r *Ring, member string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		d := fmt.Sprintf("test-digest-%d", i)
+		if r.Owner(d) == member {
+			return d
+		}
+	}
+	t.Fatalf("no digest owned by %s in 100000 tries", member)
+	return ""
+}
+
+// testClock is an injectable clock for breaker timing.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerOpensFailsFastAndRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if !healthy.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer ts.Close()
+
+	clock := &testClock{t: time.Unix(1000, 0)}
+	c := New(Options{
+		Self:             "http://self:1",
+		Peers:            []string{ts.URL},
+		BreakerThreshold: 3,
+		BreakerCooldown:  5 * time.Second,
+		Now:              clock.Now,
+	})
+	d := digestOwnedBy(t, c.ring, ts.URL)
+
+	// Three consecutive failures trip the breaker.
+	for i := 0; i < 3; i++ {
+		if _, err := c.EvaluateCell(context.Background(), d, []byte(`{}`)); err == nil {
+			t.Fatalf("call %d: want error from failing peer", i)
+		}
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server hits = %d, want 3", got)
+	}
+	st := c.Health()
+	if len(st) != 1 || st[0].Healthy || !st[0].BreakerOpen {
+		t.Fatalf("after trips, health = %+v, want unhealthy+open", st)
+	}
+	if c.Stats().BreakerTrips != 1 {
+		t.Fatalf("breaker trips = %d, want 1", c.Stats().BreakerTrips)
+	}
+
+	// While open, calls fail fast without touching the network.
+	if _, err := c.EvaluateCell(context.Background(), d, []byte(`{}`)); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("open breaker: err = %v, want ErrPeerUnavailable", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("open breaker cost a round trip: hits = %d", got)
+	}
+
+	// Cooldown elapses but the peer is still down: the single half-open
+	// probe fails and re-opens the breaker.
+	clock.Advance(6 * time.Second)
+	if _, err := c.EvaluateCell(context.Background(), d, []byte(`{}`)); err == nil {
+		t.Fatal("half-open probe against failing peer should error")
+	}
+	if got := hits.Load(); got != 4 {
+		t.Fatalf("half-open probe hits = %d, want 4", got)
+	}
+	if _, err := c.EvaluateCell(context.Background(), d, []byte(`{}`)); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("re-opened breaker: err = %v, want ErrPeerUnavailable", err)
+	}
+
+	// Peer recovers; next probe succeeds and fully closes the breaker.
+	healthy.Store(true)
+	clock.Advance(6 * time.Second)
+	out, err := c.EvaluateCell(context.Background(), d, []byte(`{}`))
+	if err != nil {
+		t.Fatalf("recovered peer: %v", err)
+	}
+	if string(out) != `{"ok":true}` {
+		t.Fatalf("recovered peer returned %q", out)
+	}
+	st = c.Health()
+	if !st[0].Healthy || st[0].BreakerOpen || st[0].ConsecFails != 0 {
+		t.Fatalf("after recovery, health = %+v, want healthy+closed", st)
+	}
+	if share := c.UnreachableShare(); share != 0 {
+		t.Fatalf("unreachable share after recovery = %v", share)
+	}
+}
+
+func TestUnreachableShareReflectsRing(t *testing.T) {
+	clock := &testClock{t: time.Unix(1000, 0)}
+	c := New(Options{
+		Self:             "http://self:1",
+		Peers:            []string{"http://down:1", "http://up:1"},
+		BreakerThreshold: 1,
+		Now:              clock.Now,
+	})
+	// Manually fail the "down" peer past its threshold.
+	p := c.byAddr["http://down:1"]
+	rel, err := c.acquire(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel(errors.New("synthetic"))
+	want := c.ring.Share("http://down:1")
+	if got := c.UnreachableShare(); got != want {
+		t.Fatalf("unreachable share = %v, want %v (down peer's ring share)", got, want)
+	}
+}
+
+func TestFetchCellsBatchesPerOwner(t *testing.T) {
+	held := map[string]string{}
+	var requests atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cells/lookup" {
+			http.NotFound(w, r)
+			return
+		}
+		requests.Add(1)
+		var req lookupRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := lookupResponse{Lines: make([]json.RawMessage, len(req.Digests))}
+		for i, d := range req.Digests {
+			if line, ok := held[d]; ok {
+				resp.Lines[i] = json.RawMessage(line)
+			}
+		}
+		json.NewEncoder(w).Encode(resp)
+	}))
+	defer ts.Close()
+
+	c := New(Options{Self: "http://self:1", Peers: []string{ts.URL}})
+	d1 := digestOwnedBy(t, c.ring, ts.URL)
+	var d2 string
+	for i := 0; ; i++ {
+		d2 = fmt.Sprintf("second-digest-%d", i)
+		if c.ring.Owner(d2) == ts.URL {
+			break
+		}
+	}
+	dMissing := digestOwnedBy(t, c.ring, "http://self:1") // self-owned: not routed
+	held[d1] = `{"cell":1}`
+	held[d2] = `{"cell":2}`
+
+	digests := []string{d1, dMissing, d2}
+	lines := make([]json.RawMessage, 3)
+	filled := c.FetchCells(digests, lines)
+	if filled != 2 {
+		t.Fatalf("filled = %d, want 2", filled)
+	}
+	if string(lines[0]) != `{"cell":1}` || string(lines[2]) != `{"cell":2}` {
+		t.Fatalf("lines = %q / %q", lines[0], lines[2])
+	}
+	if lines[1] != nil {
+		t.Fatalf("self-owned digest should stay nil, got %q", lines[1])
+	}
+	// Both peer-owned digests travelled in ONE batched request.
+	if got := requests.Load(); got != 1 {
+		t.Fatalf("lookup requests = %d, want 1 (batched)", got)
+	}
+	st := c.Stats()
+	if st.Fetches != 1 || st.FetchedCells != 2 {
+		t.Fatalf("stats = %+v, want Fetches=1 FetchedCells=2", st)
+	}
+
+	// Pre-filled slots are never re-fetched.
+	lines2 := []json.RawMessage{json.RawMessage(`{"have":true}`), nil}
+	if n := c.FetchCells([]string{d1, d2}, lines2); n != 1 {
+		t.Fatalf("refetch filled = %d, want 1", n)
+	}
+	if string(lines2[0]) != `{"have":true}` {
+		t.Fatalf("pre-filled slot overwritten: %q", lines2[0])
+	}
+}
+
+func TestFetchCellsFollowsGossipHints(t *testing.T) {
+	held := map[string]string{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req lookupRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		resp := lookupResponse{Lines: make([]json.RawMessage, len(req.Digests))}
+		for i, d := range req.Digests {
+			if line, ok := held[d]; ok {
+				resp.Lines[i] = json.RawMessage(line)
+			}
+		}
+		json.NewEncoder(w).Encode(resp)
+	}))
+	defer ts.Close()
+
+	c := New(Options{Self: "http://self:1", Peers: []string{ts.URL}})
+	// A digest this node owns would normally never be fetched remotely —
+	// unless gossip advertised that the peer holds it.
+	d := digestOwnedBy(t, c.ring, "http://self:1")
+	held[d] = `{"hinted":true}`
+
+	lines := make([]json.RawMessage, 1)
+	if n := c.FetchCells([]string{d}, lines); n != 0 {
+		t.Fatalf("without hint, filled = %d, want 0", n)
+	}
+
+	c.HandleGossip(GossipMsg{From: ts.URL, Digests: []string{d}})
+	if n := c.FetchCells([]string{d}, lines); n != 1 {
+		t.Fatalf("with hint, filled = %d, want 1", n)
+	}
+	if string(lines[0]) != `{"hinted":true}` {
+		t.Fatalf("line = %q", lines[0])
+	}
+	if c.Stats().HintHits != 1 {
+		t.Fatalf("hint hits = %d, want 1", c.Stats().HintHits)
+	}
+}
+
+func TestPushCellReplicatesToOwner(t *testing.T) {
+	type put struct {
+		path string
+		body string
+	}
+	got := make(chan put, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPut {
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+			return
+		}
+		var body [256]byte
+		n, _ := r.Body.Read(body[:])
+		got <- put{path: r.URL.Path, body: string(body[:n])}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+
+	c := New(Options{Self: "http://self:1", Peers: []string{ts.URL}})
+	dPeer := digestOwnedBy(t, c.ring, ts.URL)
+	dSelf := digestOwnedBy(t, c.ring, "http://self:1")
+
+	// Self-owned cells are advertised but never pushed.
+	c.PushCell(dSelf, json.RawMessage(`{"mine":true}`))
+	if c.Stats().Pushes != 0 {
+		t.Fatalf("self-owned push fired an RPC")
+	}
+
+	c.PushCell(dPeer, json.RawMessage(`{"cell":9}`))
+	select {
+	case p := <-got:
+		if p.path != "/v1/cells/"+dPeer {
+			t.Fatalf("push path = %q", p.path)
+		}
+		if p.body != `{"cell":9}` {
+			t.Fatalf("push body = %q", p.body)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("push never reached the owner")
+	}
+	// Both digests are now in the gossip advertisement window.
+	ad := c.recentDigests()
+	if len(ad) != 2 {
+		t.Fatalf("advertised digests = %v, want both", ad)
+	}
+}
+
+func TestGossipExchangeIsSymmetric(t *testing.T) {
+	// Two live clusters whose gossip endpoints route into each other.
+	var a, b *Cluster
+	serve := func(target **Cluster) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			var msg GossipMsg
+			if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			json.NewEncoder(w).Encode((*target).HandleGossip(msg))
+		}
+	}
+	tsA := httptest.NewServer(serve(&a))
+	defer tsA.Close()
+	tsB := httptest.NewServer(serve(&b))
+	defer tsB.Close()
+
+	a = New(Options{Self: tsA.URL, Peers: []string{tsB.URL}})
+	b = New(Options{Self: tsB.URL, Peers: []string{tsA.URL}})
+
+	a.RecordLocalCell("digest-held-by-a")
+	b.RecordLocalCell("digest-held-by-b")
+
+	if err := a.GossipOnce(context.Background()); err != nil {
+		t.Fatalf("gossip: %v", err)
+	}
+	// B learned what A holds from the request; A learned what B holds from
+	// the reply.
+	if addr, ok := b.hintFor("digest-held-by-a"); !ok || addr != tsA.URL {
+		t.Fatalf("b's hint for a-held digest = %q, %v", addr, ok)
+	}
+	if addr, ok := a.hintFor("digest-held-by-b"); !ok || addr != tsB.URL {
+		t.Fatalf("a's hint for b-held digest = %q, %v", addr, ok)
+	}
+	if a.Stats().GossipSent != 1 || b.Stats().GossipRecv != 1 {
+		t.Fatalf("gossip counters: a=%+v b=%+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestGossipReceiptResetsBreaker(t *testing.T) {
+	clock := &testClock{t: time.Unix(1000, 0)}
+	c := New(Options{
+		Self:             "http://self:1",
+		Peers:            []string{"http://flaky:1"},
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour,
+		Now:              clock.Now,
+	})
+	p := c.byAddr["http://flaky:1"]
+	rel, err := c.acquire(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel(errors.New("synthetic"))
+	if c.Health()[0].Healthy {
+		t.Fatal("peer should be unhealthy after failure")
+	}
+	// The peer gossips to us: proof of life, breaker resets immediately —
+	// no cooldown wait.
+	c.HandleGossip(GossipMsg{From: "http://flaky:1"})
+	if st := c.Health()[0]; !st.Healthy || st.BreakerOpen {
+		t.Fatalf("after gossip receipt, health = %+v, want healthy", st)
+	}
+}
+
+func TestGossipHealthIsAdvisoryOnly(t *testing.T) {
+	c := New(Options{Self: "http://self:1", Peers: []string{"http://a:1", "http://b:1"}})
+	// Peer a claims peer b is down. We can still reach b ourselves, so our
+	// breaker for b must stay closed.
+	c.HandleGossip(GossipMsg{From: "http://a:1", Health: map[string]bool{"http://b:1": false}})
+	for _, st := range c.Health() {
+		if !st.Healthy {
+			t.Fatalf("hearsay opened a breaker: %+v", st)
+		}
+	}
+}
+
+func TestConcurrencyBoundFailsFast(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+
+	c := New(Options{Self: "http://self:1", Peers: []string{ts.URL}, MaxPerPeer: 1})
+	d := digestOwnedBy(t, c.ring, ts.URL)
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.EvaluateCell(context.Background(), d, []byte(`{}`))
+		errc <- err
+	}()
+	<-entered // first RPC holds the only slot
+	if _, err := c.EvaluateCell(context.Background(), d, []byte(`{}`)); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("saturated peer: err = %v, want ErrPeerUnavailable", err)
+	}
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+}
+
+func TestFaultInjectionShortCircuitsRPCs(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		fmt.Fprint(w, `{"lines":[null]}`)
+	}))
+	defer ts.Close()
+
+	inj := faults.New(1, faults.Rule{Op: "peer.fetch", P: 1})
+	c := New(Options{Self: "http://self:1", Peers: []string{ts.URL}, Injector: inj})
+	d := digestOwnedBy(t, c.ring, ts.URL)
+
+	lines := make([]json.RawMessage, 1)
+	if n := c.FetchCells([]string{d}, lines); n != 0 {
+		t.Fatalf("injected fetch filled %d", n)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("injected fault still reached the network")
+	}
+	if c.Stats().FetchErrors != 1 {
+		t.Fatalf("fetch errors = %d, want 1", c.Stats().FetchErrors)
+	}
+	if inj.Fired("peer.fetch") != 1 {
+		t.Fatalf("injector fired = %d", inj.Fired("peer.fetch"))
+	}
+}
+
+func TestEvaluateCellErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+
+	c := New(Options{Self: "http://self:1", Peers: []string{ts.URL}})
+	dPeer := digestOwnedBy(t, c.ring, ts.URL)
+	dSelf := digestOwnedBy(t, c.ring, "http://self:1")
+
+	// A 404 from the owner is an error for evaluate (the cell should have
+	// been computed) but must not trip the breaker.
+	if _, err := c.EvaluateCell(context.Background(), dPeer, []byte(`{}`)); err == nil {
+		t.Fatal("evaluate of missing cell should error")
+	}
+	if st := c.Health()[0]; !st.Healthy {
+		t.Fatalf("404 tripped the breaker: %+v", st)
+	}
+	if _, err := c.EvaluateCell(context.Background(), dSelf, []byte(`{}`)); err == nil {
+		t.Fatal("evaluate of self-owned cell should error")
+	}
+
+	disarmed := New(Options{Self: "http://self:1"})
+	if disarmed.Armed() {
+		t.Fatal("peerless cluster is armed")
+	}
+	if !disarmed.OwnsCell("anything") {
+		t.Fatal("disarmed cluster must own every cell")
+	}
+	if _, err := disarmed.EvaluateCell(context.Background(), "d", nil); !errors.Is(err, ErrNotArmed) {
+		t.Fatalf("disarmed evaluate err = %v", err)
+	}
+	if n := disarmed.FetchCells([]string{"d"}, make([]json.RawMessage, 1)); n != 0 {
+		t.Fatal("disarmed fetch did work")
+	}
+}
+
+func TestHintCapEvicts(t *testing.T) {
+	c := New(Options{Self: "http://self:1", Peers: []string{"http://a:1"}, HintCap: 4})
+	for i := 0; i < 10; i++ {
+		c.hint(fmt.Sprintf("d%d", i), "http://a:1")
+	}
+	if got := c.Stats().HintCells; got > 4 {
+		t.Fatalf("hint map grew to %d, cap 4", got)
+	}
+}
+
+func TestRecordLocalCellWindowBounded(t *testing.T) {
+	c := New(Options{Self: "http://self:1", Peers: []string{"http://a:1"}, GossipWindow: 8})
+	for i := 0; i < 50; i++ {
+		c.RecordLocalCell(fmt.Sprintf("d%d", i))
+	}
+	if got := len(c.recentDigests()); got != 8 {
+		t.Fatalf("advertisement window = %d, want 8", got)
+	}
+}

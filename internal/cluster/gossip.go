@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// GossipMsg is one gossip exchange payload, symmetric in both directions:
+// the sender identifies itself, advertises digests it recently stored, and
+// shares which members its breakers currently consider healthy. There is
+// no coordinator — every node gossips with a random peer on its own clock,
+// and the exchange is informational (hints and health), never
+// authoritative: correctness of placement rests on the deterministic ring
+// alone.
+type GossipMsg struct {
+	From    string          `json:"from"`
+	Digests []string        `json:"digests,omitempty"`
+	Health  map[string]bool `json:"health,omitempty"`
+}
+
+// healthView builds this node's health map for a gossip message.
+func (c *Cluster) healthView() map[string]bool {
+	view := make(map[string]bool, len(c.peers)+1)
+	view[c.self] = true
+	for _, st := range c.Health() {
+		view[st.Addr] = st.Healthy
+	}
+	return view
+}
+
+// HandleGossip merges an incoming gossip message and returns the reply.
+// The sender proved itself alive by reaching us, so its breaker resets;
+// its advertised digests become fetch hints; its health view is advisory
+// only (we never open a breaker on hearsay — a peer we can reach stays
+// reachable no matter what a third node claims).
+func (c *Cluster) HandleGossip(msg GossipMsg) GossipMsg {
+	if c == nil {
+		return GossipMsg{}
+	}
+	c.gossipRecv.Add(1)
+	if msg.From != "" && msg.From != c.self {
+		c.markAlive(msg.From)
+		for _, d := range msg.Digests {
+			c.hint(d, msg.From)
+		}
+	}
+	return GossipMsg{
+		From:    c.self,
+		Digests: c.recentDigests(),
+		Health:  c.healthView(),
+	}
+}
+
+// GossipOnce exchanges state with one reachable peer (rotating through the
+// member list from a random start). The reply's digests become hints
+// attributed to the replying peer. Returns ErrNotArmed on single-node
+// clusters and ErrPeerUnavailable when no peer admits traffic.
+func (c *Cluster) GossipOnce(ctx context.Context) error {
+	if !c.Armed() {
+		return ErrNotArmed
+	}
+	start := gossipRand(len(c.peers))
+	var lastErr error = ErrPeerUnavailable
+	for k := 0; k < len(c.peers); k++ {
+		p := c.peers[(start+k)%len(c.peers)]
+		if !c.admits(p) {
+			continue
+		}
+		body, err := json.Marshal(GossipMsg{
+			From:    c.self,
+			Digests: c.recentDigests(),
+			Health:  c.healthView(),
+		})
+		if err != nil {
+			return err
+		}
+		c.gossipSent.Add(1)
+		out, err := c.do(ctx, p, "gossip", http.MethodPost, "/v1/cluster/gossip", body, c.rpcTimeout)
+		if err != nil || out == nil {
+			c.gossipFails.Add(1)
+			lastErr = err
+			if lastErr == nil {
+				lastErr = fmt.Errorf("cluster: gossip with %s: not found", p.addr)
+			}
+			continue
+		}
+		var reply GossipMsg
+		if err := json.Unmarshal(out, &reply); err != nil {
+			c.gossipFails.Add(1)
+			lastErr = err
+			continue
+		}
+		from := reply.From
+		if from == "" {
+			from = p.addr
+		}
+		for _, d := range reply.Digests {
+			c.hint(d, from)
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// gossipRand picks the rotation start; a package-level seeded source keeps
+// it cheap without coupling gossip order across nodes.
+var gossipRng = struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}{rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
+func gossipRand(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	gossipRng.mu.Lock()
+	defer gossipRng.mu.Unlock()
+	return gossipRng.rng.Intn(n)
+}
+
+// StartGossip launches the periodic gossip loop; no-op on disarmed
+// clusters or when interval <= 0. Stop it with StopGossip.
+func (c *Cluster) StartGossip(interval time.Duration) {
+	if !c.Armed() || interval <= 0 || c.gossipStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	c.gossipStop = stop
+	c.gossipWG.Add(1)
+	go func() {
+		defer c.gossipWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				_ = c.GossipOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// StopGossip stops the gossip loop and waits for it to exit. Safe to call
+// when the loop never started.
+func (c *Cluster) StopGossip() {
+	if c == nil || c.gossipStop == nil {
+		return
+	}
+	close(c.gossipStop)
+	c.gossipWG.Wait()
+	c.gossipStop = nil
+}

@@ -1,0 +1,181 @@
+// Package cluster is the multi-node tier of the evaluation service: a
+// consistent-hash ring that assigns every scenario cell (keyed by its
+// content digest, see service.CellDigests) to exactly one owning node, an
+// HTTP peer client with per-peer circuit breakers and bounded concurrency,
+// and a coordinator-free gossip exchange of store-hit digests and health.
+//
+// The cell digest is the shard key on purpose: it is content-derived and
+// process-independent, so every node computes the same owner for the same
+// cell without any coordination — two nodes handed overlapping sweeps agree
+// on who evaluates each shared cell before either has spoken to the other.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the number of virtual nodes each member contributes to
+// the ring. 128 points per member keeps the expected ownership imbalance
+// and the key movement on membership change within a few percent of the
+// consistent-hashing ideal (1/N) without making placement lookups slow.
+const DefaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring over named members. Placement
+// is deterministic across processes: positions are SHA-256 based, so every
+// node that builds a ring from the same member list (any order) computes
+// identical ownership for every key.
+type Ring struct {
+	replicas int
+	members  []string // sorted, deduplicated
+	hashes   []uint64 // sorted virtual-node positions
+	owners   []int32  // owners[i] = index into members of hashes[i]
+}
+
+// ringHash maps bytes to a position on the ring. The first 8 bytes of a
+// SHA-256 are overkill cryptographically but exactly right operationally:
+// no seed, no process-dependent state, stable forever.
+func ringHash(parts ...string) uint64 {
+	h := sha256.New()
+	for i, p := range parts {
+		if i > 0 {
+			h.Write([]byte{0})
+		}
+		h.Write([]byte(p))
+	}
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0])[:8])
+}
+
+// NewRing builds a ring over the member names (node base URLs in batserve)
+// with the given number of virtual nodes per member (<= 0 means
+// DefaultReplicas). Member order does not matter — the list is sorted and
+// deduplicated — so peers handed the same set in any order agree on
+// placement. An empty member list yields a nil ring, on which Owner
+// returns "".
+func NewRing(members []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	if len(uniq) == 0 {
+		return nil
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		replicas: replicas,
+		members:  uniq,
+		hashes:   make([]uint64, 0, len(uniq)*replicas),
+		owners:   make([]int32, 0, len(uniq)*replicas),
+	}
+	type vnode struct {
+		hash  uint64
+		owner int32
+	}
+	vnodes := make([]vnode, 0, len(uniq)*replicas)
+	for mi, m := range uniq {
+		for v := 0; v < replicas; v++ {
+			vnodes = append(vnodes, vnode{
+				hash:  ringHash("ring-v1", m, strconv.Itoa(v)),
+				owner: int32(mi),
+			})
+		}
+	}
+	sort.Slice(vnodes, func(i, j int) bool {
+		if vnodes[i].hash != vnodes[j].hash {
+			return vnodes[i].hash < vnodes[j].hash
+		}
+		// A full 64-bit collision between distinct members is vanishingly
+		// unlikely; break it by member order so placement stays total.
+		return vnodes[i].owner < vnodes[j].owner
+	})
+	for _, v := range vnodes {
+		r.hashes = append(r.hashes, v.hash)
+		r.owners = append(r.owners, v.owner)
+	}
+	return r
+}
+
+// Owner returns the member that owns key: the first virtual node clockwise
+// from the key's ring position. A nil ring owns nothing ("").
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.hashes) == 0 {
+		return ""
+	}
+	h := ringHash("key-v1", key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap around
+	}
+	return r.members[r.owners[i]]
+}
+
+// Members returns the sorted member list (shared slice; do not mutate).
+func (r *Ring) Members() []string {
+	if r == nil {
+		return nil
+	}
+	return r.members
+}
+
+// Replicas returns the virtual nodes per member.
+func (r *Ring) Replicas() int {
+	if r == nil {
+		return 0
+	}
+	return r.replicas
+}
+
+// Share returns the fraction of the 64-bit hash space owned by member —
+// the expected fraction of cells that land on it. Unknown members own 0.
+func (r *Ring) Share(member string) float64 {
+	if r == nil || len(r.hashes) == 0 {
+		return 0
+	}
+	mi := int32(-1)
+	for i, m := range r.members {
+		if m == member {
+			mi = int32(i)
+			break
+		}
+	}
+	if mi < 0 {
+		return 0
+	}
+	var owned uint64
+	for i, h := range r.hashes {
+		if r.owners[i] != mi {
+			continue
+		}
+		// The arc assigned to vnode i stretches from the previous vnode
+		// (exclusive) to i (inclusive); the first vnode also owns the
+		// wrap-around arc.
+		var prev uint64
+		if i > 0 {
+			prev = r.hashes[i-1]
+			owned += h - prev
+		} else {
+			owned += h + (^uint64(0) - r.hashes[len(r.hashes)-1])
+		}
+	}
+	return float64(owned) / float64(^uint64(0))
+}
+
+// String describes the ring for logs and the cluster view endpoint.
+func (r *Ring) String() string {
+	if r == nil {
+		return "ring(empty)"
+	}
+	return fmt.Sprintf("ring(%d members, %d vnodes)", len(r.members), len(r.hashes))
+}

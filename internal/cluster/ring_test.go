@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func keys(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%016x%016x", rng.Uint64(), rng.Uint64())
+	}
+	return out
+}
+
+// TestRingPlacementDeterministic: the same member set — in any order —
+// yields identical ownership for every key, because placement is pure
+// SHA-256 arithmetic with no process-dependent state. This is the property
+// that lets every node compute ownership locally and still agree.
+func TestRingPlacementDeterministic(t *testing.T) {
+	members := []string{"http://node-c:8080", "http://node-a:8080", "http://node-b:8080"}
+	shuffled := []string{"http://node-b:8080", "http://node-c:8080", "http://node-a:8080"}
+	r1 := NewRing(members, 0)
+	r2 := NewRing(shuffled, 0)
+	for _, k := range keys(2000, 1) {
+		if o1, o2 := r1.Owner(k), r2.Owner(k); o1 != o2 {
+			t.Fatalf("member order changed placement of %s: %s vs %s", k, o1, o2)
+		}
+	}
+}
+
+// TestRingPlacementGolden pins concrete placements so an accidental change
+// to the hash basis (which would strand every existing cluster's placement)
+// fails loudly. The expected owners were computed once from the sha256
+// scheme and must never change.
+func TestRingPlacementGolden(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 128)
+	golden := map[string]string{
+		"cell-digest-000": "http://a:1",
+		"cell-digest-001": "http://c:1",
+		"cell-digest-002": "http://a:1",
+	}
+	for k, want := range golden {
+		if got := r.Owner(k); got != want {
+			t.Errorf("Owner(%q) = %q, want %q (hash basis changed?)", k, got, want)
+		}
+	}
+}
+
+// TestRingBalance: with 128 vnodes per member, every member's share of the
+// hash space is within a reasonable band of 1/N, and shares sum to ~1.
+func TestRingBalance(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(members, 0)
+	var sum float64
+	for _, m := range members {
+		s := r.Share(m)
+		sum += s
+		if s < 0.10 || s > 0.45 {
+			t.Errorf("share(%s) = %.3f, badly off 1/4", m, s)
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %.6f, want 1", sum)
+	}
+}
+
+// TestRingBoundedMovement: adding one node to an N-node ring moves fewer
+// than 2/(N+1) of the keys, and every moved key moves TO the new node;
+// removing a node moves fewer than 2/N, all FROM the removed node. This is
+// consistent hashing's defining property — a naive modulo map reshuffles
+// nearly everything.
+func TestRingBoundedMovement(t *testing.T) {
+	base := []string{"http://n1:1", "http://n2:1", "http://n3:1", "http://n4:1"}
+	joined := append(append([]string(nil), base...), "http://n5:1")
+	rBase := NewRing(base, 0)
+	rJoin := NewRing(joined, 0)
+	ks := keys(20000, 2)
+
+	moved := 0
+	for _, k := range ks {
+		was, is := rBase.Owner(k), rJoin.Owner(k)
+		if was != is {
+			moved++
+			if is != "http://n5:1" {
+				t.Fatalf("key %s moved %s -> %s on join; may only move to the joiner", k, was, is)
+			}
+		}
+	}
+	bound := 2 * len(ks) / len(joined)
+	if moved >= bound {
+		t.Fatalf("join moved %d of %d keys, want < %d (2/N)", moved, len(ks), bound)
+	}
+	if moved == 0 {
+		t.Fatal("join moved no keys; the new node owns nothing")
+	}
+
+	left := base[:3] // n4 leaves
+	rLeft := NewRing(left, 0)
+	moved = 0
+	for _, k := range ks {
+		was, is := rBase.Owner(k), rLeft.Owner(k)
+		if was != is {
+			moved++
+			if was != "http://n4:1" {
+				t.Fatalf("key %s moved %s -> %s on leave; only the leaver's keys may move", k, was, is)
+			}
+		}
+	}
+	bound = 2 * len(ks) / len(base)
+	if moved >= bound {
+		t.Fatalf("leave moved %d of %d keys, want < %d (2/N)", moved, len(ks), bound)
+	}
+}
+
+// TestRingFuzzVsModuloReference: seeded fuzz across random member sets.
+// The reference modulo map (hash % N into the sorted member list) agrees
+// with the ring on validity — both always pick a real member — but on
+// membership change the modulo map reshuffles the bulk of the keyspace
+// while the ring stays near 1/N. The fuzz pins both facts.
+func TestRingFuzzVsModuloReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	moduloOwner := func(members []string, key string) string {
+		return members[ringHash("key-v1", key)%uint64(len(members))]
+	}
+	for round := 0; round < 20; round++ {
+		n := 2 + rng.Intn(6)
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("http://fuzz-%d-%d:1", round, i)
+		}
+		r := NewRing(members, 0)
+		valid := make(map[string]bool, n)
+		for _, m := range members {
+			valid[m] = true
+		}
+		ks := keys(500, int64(round))
+		for _, k := range ks {
+			if o := r.Owner(k); !valid[o] {
+				t.Fatalf("round %d: ring placed %s on non-member %q", round, k, o)
+			}
+			if o := moduloOwner(members, k); !valid[o] {
+				t.Fatalf("round %d: reference placed %s on non-member %q", round, k, o)
+			}
+		}
+		// Drop the last member from both maps and compare churn.
+		if n < 3 {
+			continue
+		}
+		smaller := members[:n-1]
+		rSmall := NewRing(smaller, 0)
+		ringMoved, moduloMoved := 0, 0
+		for _, k := range ks {
+			if r.Owner(k) != rSmall.Owner(k) {
+				ringMoved++
+			}
+			if moduloOwner(members, k) != moduloOwner(smaller, k) {
+				moduloMoved++
+			}
+		}
+		if ringMoved >= 2*len(ks)/n {
+			t.Fatalf("round %d (n=%d): ring moved %d/%d keys, want < %d", round, n, ringMoved, len(ks), 2*len(ks)/n)
+		}
+		// The modulo reference churns roughly (n-1)/n of all keys; require
+		// it to be clearly worse than the ring so the comparison stays
+		// meaningful rather than vacuous.
+		if moduloMoved <= ringMoved {
+			t.Fatalf("round %d: modulo reference moved %d keys, ring %d — reference should churn more", round, moduloMoved, ringMoved)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	if r := NewRing(nil, 0); r != nil {
+		t.Fatal("empty member list should yield a nil ring")
+	}
+	var nilRing *Ring
+	if o := nilRing.Owner("k"); o != "" {
+		t.Fatalf("nil ring owner = %q", o)
+	}
+	solo := NewRing([]string{"http://only:1"}, 0)
+	for _, k := range keys(50, 3) {
+		if o := solo.Owner(k); o != "http://only:1" {
+			t.Fatalf("single-member ring placed %s on %q", k, o)
+		}
+	}
+	dup := NewRing([]string{"http://a:1", "http://a:1", "http://b:1"}, 0)
+	if got := len(dup.Members()); got != 2 {
+		t.Fatalf("duplicated members not collapsed: %d", got)
+	}
+}

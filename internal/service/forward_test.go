@@ -1,0 +1,220 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"batsched/internal/spec"
+	"batsched/internal/store"
+)
+
+// fakePeer implements CellEvaluator on top of a second, independent Service
+// — an in-process stand-in for the owning cluster node. It owns every cell
+// whose digest the owns predicate accepts; EvaluateCell round-trips the
+// forwarded body through JSON exactly like the HTTP peer endpoint would.
+type fakePeer struct {
+	t     *testing.T
+	owner *Service
+	owns  func(digest string) bool
+
+	calls atomic.Int64
+	fail  atomic.Bool
+}
+
+func (f *fakePeer) OwnsCell(digest string) bool { return f.owns(digest) }
+
+func (f *fakePeer) EvaluateCell(ctx context.Context, digest string, body []byte) (json.RawMessage, error) {
+	f.calls.Add(1)
+	if f.fail.Load() {
+		return nil, errors.New("fakePeer: injected peer failure")
+	}
+	var req SweepRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		f.t.Errorf("forwarded body does not decode: %v", err)
+		return nil, err
+	}
+	// The owner-side contract: the forwarded single-cell request must
+	// reproduce the digest it was addressed by, or routing and storage
+	// would disagree about what the cell is.
+	cells, _, err := CellDigests(req)
+	if err != nil {
+		f.t.Errorf("forwarded body does not digest: %v", err)
+		return nil, err
+	}
+	if len(cells) != 1 || cells[0] != digest {
+		f.t.Errorf("forwarded body digests to %v, want exactly [%s]", cells, digest)
+		return nil, errors.New("digest mismatch")
+	}
+	var line json.RawMessage
+	err = f.owner.SweepStreamLines(LocalOnly(ctx), req, func(l SweepLine) error {
+		line = append(json.RawMessage(nil), l.Line...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return line, nil
+}
+
+// forwardScenario exercises the full index decomposition: 2 grids x 1 bank
+// x 2 loads x 2 solvers = 8 cells.
+func forwardScenario() spec.Scenario {
+	return spec.Scenario{
+		Banks:   []spec.Bank{{Battery: &spec.Battery{Preset: "B1"}, Count: 2}},
+		Loads:   []spec.Load{{Paper: "CL alt"}, {Paper: "ILs alt"}},
+		Solvers: []spec.Solver{{Name: "sequential"}, {Name: "bestof"}},
+		Grids:   []spec.Grid{{}, {StepMin: 2}},
+	}
+}
+
+func newForwardPair(t *testing.T, owns func(string) bool) (*Service, *fakePeer) {
+	t.Helper()
+	ownerStore, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ownerStore.Close() })
+	localStore, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { localStore.Close() })
+	peer := &fakePeer{t: t, owner: New(Options{Store: ownerStore}), owns: owns}
+	local := New(Options{Store: localStore, Cluster: peer})
+	return local, peer
+}
+
+func TestSweepForwardsOwnedElsewhereCells(t *testing.T) {
+	sc := forwardScenario()
+	digests, _, err := CellDigests(SweepRequest{Scenario: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The peer owns every cell with an even digest index.
+	owned := map[string]bool{}
+	for i, d := range digests {
+		owned[d] = i%2 == 0
+	}
+	local, peer := newForwardPair(t, func(d string) bool { return !owned[d] })
+
+	lines, cached := sweepLines(t, local, sc)
+	if len(lines) != len(digests) {
+		t.Fatalf("%d lines, want %d", len(lines), len(digests))
+	}
+	nForwarded := 0
+	for i, c := range cached {
+		if owned[digests[i]] != c {
+			t.Fatalf("cell %d: cached=%v, want %v (forwarded cells surface as cached)", i, c, owned[digests[i]])
+		}
+		if c {
+			nForwarded++
+		}
+	}
+
+	st := local.Stats()
+	if st.CellsForwarded != int64(nForwarded) {
+		t.Fatalf("CellsForwarded = %d, want %d", st.CellsForwarded, nForwarded)
+	}
+	if st.ForwardFallbacks != 0 {
+		t.Fatalf("ForwardFallbacks = %d, want 0", st.ForwardFallbacks)
+	}
+	// Cluster-wide single evaluation: local evaluated only what it owns,
+	// the peer evaluated exactly the forwarded cells, and the sum is the
+	// grid size.
+	if st.CellsEvaluated != int64(len(digests)-nForwarded) {
+		t.Fatalf("local evaluated %d, want %d", st.CellsEvaluated, len(digests)-nForwarded)
+	}
+	if got := peer.owner.Stats().CellsEvaluated; got != int64(nForwarded) {
+		t.Fatalf("peer evaluated %d, want %d", got, nForwarded)
+	}
+
+	// Byte-identity with a plain single-node sweep of the same scenario.
+	soloLines, _ := sweepLines(t, New(Options{}), sc)
+	for i := range lines {
+		if lines[i] != soloLines[i] {
+			t.Fatalf("line %d differs from single-node run:\ncluster: %s\nsolo:    %s", i, lines[i], soloLines[i])
+		}
+	}
+}
+
+func TestSweepForwardFallsBackLocally(t *testing.T) {
+	sc := forwardScenario()
+	local, peer := newForwardPair(t, func(string) bool { return false })
+	peer.fail.Store(true) // every cell owned elsewhere, owner down
+
+	lines, cached := sweepLines(t, local, sc)
+	for i, c := range cached {
+		if c {
+			t.Fatalf("cell %d cached despite peer failure", i)
+		}
+	}
+	st := local.Stats()
+	if st.CellsForwarded != 0 {
+		t.Fatalf("CellsForwarded = %d, want 0", st.CellsForwarded)
+	}
+	if st.ForwardFallbacks != int64(len(lines)) {
+		t.Fatalf("ForwardFallbacks = %d, want %d", st.ForwardFallbacks, len(lines))
+	}
+	if st.CellsEvaluated != int64(len(lines)) {
+		t.Fatalf("local evaluated %d, want all %d", st.CellsEvaluated, len(lines))
+	}
+	soloLines, _ := sweepLines(t, New(Options{}), sc)
+	for i := range lines {
+		if lines[i] != soloLines[i] {
+			t.Fatalf("fallback line %d differs from single-node run", i)
+		}
+	}
+}
+
+func TestLocalOnlyDisablesForwarding(t *testing.T) {
+	sc := forwardScenario()
+	local, peer := newForwardPair(t, func(string) bool { return false })
+
+	var n int
+	err := local.SweepStreamLines(LocalOnly(context.Background()), SweepRequest{Scenario: sc}, func(SweepLine) error {
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no lines emitted")
+	}
+	if got := peer.calls.Load(); got != 0 {
+		t.Fatalf("LocalOnly sweep still forwarded %d cells", got)
+	}
+	if got := local.Stats().CellsEvaluated; got != int64(n) {
+		t.Fatalf("evaluated %d, want %d", got, n)
+	}
+}
+
+func TestForwardedCellsLandInLocalStoreViaTier(t *testing.T) {
+	// With a Tiered store whose remote tier is the peer's local store, a
+	// second overlapping sweep on this node hits the remote tier instead of
+	// re-forwarding: the evaluate-forward and the fetch path compose.
+	sc := forwardScenario()
+	digests, _, err := CellDigests(SweepRequest{Scenario: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, peer := newForwardPair(t, func(string) bool { return false })
+
+	if _, err := local.Sweep(context.Background(), SweepRequest{Scenario: sc}); err != nil {
+		t.Fatal(err)
+	}
+	if got := peer.owner.Stats().CellsEvaluated; got != int64(len(digests)) {
+		t.Fatalf("peer evaluated %d, want all %d", got, len(digests))
+	}
+	// Every forwarded cell is in the peer's store, none in the local one.
+	lines := make([]json.RawMessage, len(digests))
+	if n := func() int { l, h := peer.owner.Store().LookupCells(digests); copy(lines, l); return h }(); n != len(digests) {
+		t.Fatalf("peer store holds %d cells, want %d", n, len(digests))
+	}
+	if _, n := local.Store().LookupCells(digests); n != 0 {
+		t.Fatalf("local store holds %d forwarded cells, want 0 (owner stores, requester streams)", n)
+	}
+}

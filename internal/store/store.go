@@ -184,6 +184,7 @@ type Store struct {
 	appendLatency *obs.Histogram // commit latency, nil = not observed
 
 	quarantined  atomic.Int64 // corrupt complete lines skipped on replay
+	legacySkips  atomic.Int64 // legacy whole-request records skipped on replay
 	appendErrors atomic.Int64 // puts that exhausted retries (breaker trips)
 	appendRetry  atomic.Int64 // individual append retries
 	droppedPuts  atomic.Int64 // puts rejected fast while degraded
@@ -353,7 +354,9 @@ func (s *Store) replay(rec record) bool {
 		// and the replay offset advances past it, but deliberately not
 		// loaded. Its request digest was computed by the retired scheme, so
 		// no future submission can produce that key; the entry is dead
-		// weight, not a servable result.
+		// weight, not a servable result. Counted so an operator can see how
+		// much of a file is unaddressable history.
+		s.legacySkips.Add(1)
 	default:
 		return false
 	}
@@ -680,8 +683,11 @@ type Counters struct {
 	// a sweep that reuses 180 of 200 cells advances CellHits by 180 and
 	// CellMisses by 20.
 	CellHits, CellMisses int64
-	// Quarantined counts corrupt complete lines skipped on replay.
-	Quarantined int64
+	// Quarantined counts corrupt complete lines skipped on replay;
+	// LegacySkipped counts recognizable pre-cell-granular records skipped
+	// because their digest scheme is retired (dead weight, not servable).
+	Quarantined   int64
+	LegacySkipped int64
 	// AppendErrors counts puts that exhausted their retries (each trips
 	// the breaker); AppendRetries counts individual retry attempts;
 	// DroppedPuts counts puts rejected fast while degraded; SyncErrors
@@ -708,6 +714,7 @@ func (s *Store) Counters() Counters {
 		CellHits:      s.cellHits.Load(),
 		CellMisses:    s.cellMisses.Load(),
 		Quarantined:   s.quarantined.Load(),
+		LegacySkipped: s.legacySkips.Load(),
 		AppendErrors:  s.appendErrors.Load(),
 		AppendRetries: s.appendRetry.Load(),
 		DroppedPuts:   s.droppedPuts.Load(),
